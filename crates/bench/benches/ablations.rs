@@ -1,0 +1,60 @@
+//! Benchmarks for the extension/ablation experiments in DESIGN.md:
+//! utilisation sweep, full frequency sweep, frequency-policy comparison.
+
+use archer2_core::experiment;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SEED: u64 = 2022;
+
+fn bench_utilisation_sweep(c: &mut Criterion) {
+    println!("\n=== Energy efficiency vs utilisation (§5) ===");
+    for row in experiment::utilisation_sweep(SEED) {
+        println!(
+            "utilisation {:>4.0}%: facility {:>5.0} kW, {:.3} kWh per busy node-hour",
+            row.utilisation * 100.0,
+            row.facility_kw,
+            row.kwh_per_busy_node_hour
+        );
+    }
+    c.bench_function("ablation_utilisation_sweep", |b| {
+        b.iter(|| black_box(experiment::utilisation_sweep(black_box(SEED))))
+    });
+}
+
+fn bench_frequency_sweep(c: &mut Criterion) {
+    println!("\n=== Full frequency sweep (1.5 / 2.0 / 2.25+turbo) ===");
+    for row in experiment::frequency_sweep(SEED) {
+        println!(
+            "{:<24} perf {:?}  energy {:?}",
+            row.benchmark,
+            row.perf.map(|v| (v * 100.0).round() / 100.0),
+            row.energy.map(|v| (v * 100.0).round() / 100.0)
+        );
+    }
+    c.bench_function("ablation_frequency_sweep", |b| {
+        b.iter(|| black_box(experiment::frequency_sweep(black_box(SEED))))
+    });
+}
+
+fn bench_policy(c: &mut Criterion) {
+    println!("\n=== Frequency-policy ablation (14 simulated days) ===");
+    for row in experiment::policy_ablation(SEED, 10) {
+        println!(
+            "{:<26} mean {:>5.0} kW, reverted {:.1}%",
+            row.policy,
+            row.mean_kw,
+            row.revert_fraction * 100.0
+        );
+    }
+    c.bench_function("ablation_frequency_policy", |b| {
+        b.iter(|| black_box(experiment::policy_ablation(black_box(SEED), black_box(10))))
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = bench_utilisation_sweep, bench_frequency_sweep, bench_policy
+}
+criterion_main!(ablations);

@@ -1,0 +1,58 @@
+//! Regenerates the §2 emissions analysis (regime sweep + lifetime
+//! scenarios) and benchmarks it.
+
+use archer2_core::experiment;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpc_emissions::scenario::archer2_scenario;
+use hpc_emissions::OperatingChoice;
+use hpc_grid::IntensityScenario;
+use std::hint::black_box;
+
+const SEED: u64 = 2022;
+
+fn bench_regimes(c: &mut Criterion) {
+    let a = experiment::emissions_regimes(SEED);
+    println!("\n{}", experiment::render_regimes(&a));
+    println!("scope2 = scope3 parity at {:.0} g/kWh (paper band: 30-100)\n", a.parity_ci);
+    c.bench_function("section2_regime_sweep", |b| {
+        b.iter(|| black_box(experiment::emissions_regimes(black_box(SEED))))
+    });
+}
+
+fn bench_lifetime_scenarios(c: &mut Criterion) {
+    let choices = vec![
+        OperatingChoice {
+            label: "2.25 GHz+turbo".into(),
+            node_power_kw: 0.49,
+            runtime_ratio: 1.0,
+        },
+        OperatingChoice {
+            label: "2.0 GHz".into(),
+            node_power_kw: 0.39,
+            runtime_ratio: 1.11,
+        },
+    ];
+    let sc = archer2_scenario(IntensityScenario::UkGrid2022);
+    for out in sc.compare(&choices) {
+        println!(
+            "lifetime {}: scope2 {:.0} t + scope3 {:.0} t = {:.0} tCO2e",
+            out.label,
+            out.scope2_t,
+            out.scope3_t,
+            out.total_t()
+        );
+    }
+    c.bench_function("lifetime_scenario_uk_grid", |b| {
+        b.iter(|| {
+            let sc = archer2_scenario(IntensityScenario::UkGrid2022);
+            black_box(sc.compare(black_box(&choices)))
+        })
+    });
+}
+
+criterion_group! {
+    name = emissions;
+    config = Criterion::default().sample_size(10);
+    targets = bench_regimes, bench_lifetime_scenarios
+}
+criterion_main!(emissions);

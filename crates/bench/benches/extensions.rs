@@ -1,0 +1,128 @@
+//! Benchmarks for the §5 future-work extensions: toolchain sweep, AI
+//! surrogate, carbon-aware shifting, cooling/PUE and the TCO model.
+
+use archer2_core::experiment;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpc_emissions::CostModel;
+use hpc_grid::{optimal_shift, IntensityScenario};
+use hpc_power::CoolingPlant;
+use sim_core::{SimDuration, SimTime};
+use std::hint::black_box;
+
+const SEED: u64 = 2022;
+
+fn bench_toolchain(c: &mut Criterion) {
+    println!("\n=== Toolchain sweep (energy per work unit at 2.0 GHz, vs baseline@ref) ===");
+    for row in experiment::toolchain_sweep(SEED) {
+        println!(
+            "{:<24} {:<11} perf(2.0) {:.2}  E/work(2.0) {:.3}",
+            row.benchmark, row.variant, row.perf_ratio_20, row.energy_per_work_20
+        );
+    }
+    c.bench_function("ext_toolchain_sweep", |b| {
+        b.iter(|| black_box(experiment::toolchain_sweep(black_box(SEED))))
+    });
+}
+
+fn bench_ai_surrogate(c: &mut Criterion) {
+    println!("\n=== AI surrogate (8x node-hour speedup) ===");
+    for row in experiment::ai_surrogate(SEED, 8.0) {
+        println!(
+            "CI {:>3.0} g/kWh: classical {:>6.1} g/unit, surrogate {:>5.1} g/unit ({:.1}x less)",
+            row.ci, row.classical_g, row.surrogate_g, row.reduction
+        );
+    }
+    c.bench_function("ext_ai_surrogate", |b| {
+        b.iter(|| black_box(experiment::ai_surrogate(black_box(SEED), black_box(8.0))))
+    });
+}
+
+fn bench_carbon_shift(c: &mut Criterion) {
+    let run = || {
+        optimal_shift(
+            IntensityScenario::UkGrid2022,
+            SimTime::from_ymd(2022, 11, 1),
+            24 * 30,
+            3000.0,
+            0.10,
+            0.10,
+            SimDuration::from_hours(12),
+        )
+    };
+    let out = run();
+    println!(
+        "\ncarbon-aware shifting: {:.1} t baseline -> {:.1} t shifted ({:.2}% saved, {:.0} MWh moved)",
+        out.baseline_t,
+        out.shifted_t,
+        out.saved_fraction() * 100.0,
+        out.moved_mwh
+    );
+    c.bench_function("ext_carbon_shift_30d", |b| b.iter(|| black_box(run())));
+}
+
+fn bench_cooling(c: &mut Criterion) {
+    let plant = CoolingPlant::default();
+    println!(
+        "\ncooling: annual PUE {:.3} at 3.22 MW IT, {:.3} at 2.53 MW IT",
+        plant.annual_mean_pue(3.22e6, 2022),
+        plant.annual_mean_pue(2.53e6, 2022)
+    );
+    c.bench_function("ext_annual_pue", |b| {
+        b.iter(|| black_box(plant.annual_mean_pue(black_box(3.22e6), 2022)))
+    });
+}
+
+fn bench_tco(c: &mut Criterion) {
+    let m = CostModel::archer2(0.30);
+    println!(
+        "\nTCO: electricity share {:.0}% at GBP 0.30/kWh; crossover at GBP {:.2}/kWh",
+        m.electricity_share() * 100.0,
+        m.crossover_price_gbp_per_kwh()
+    );
+    c.bench_function("ext_tco_model", |b| {
+        b.iter(|| {
+            let m = CostModel::archer2(black_box(0.30));
+            black_box((m.electricity_share(), m.crossover_price_gbp_per_kwh()))
+        })
+    });
+}
+
+fn bench_power_cap(c: &mut Criterion) {
+    println!("\n=== Power-cap menu (busy fleet, throughput-optimal mixes) ===");
+    for row in experiment::power_cap_sweep(SEED) {
+        println!(
+            "cap {:>5.0} kW: [1.5: {:>4.0}%, 2.0: {:>4.0}%, turbo: {:>4.0}%] -> throughput {:.2}",
+            row.cap_kw,
+            row.fractions[0] * 100.0,
+            row.fractions[1] * 100.0,
+            row.fractions[2] * 100.0,
+            row.throughput
+        );
+    }
+    c.bench_function("ext_power_cap_sweep", |b| {
+        b.iter(|| black_box(experiment::power_cap_sweep(black_box(SEED))))
+    });
+}
+
+fn bench_grid_aware(c: &mut Criterion) {
+    let r = experiment::grid_aware_december(SEED, 10);
+    println!(
+        "\ngrid-aware December: fast {:.0} kW / aware {:.0} kW / capped {:.0} kW; scope-2 {:?} t; shed {:.0}% of hours",
+        r.static_fast_kw,
+        r.grid_aware_kw,
+        r.static_slow_kw,
+        r.scope2_t.map(|t| t.round()),
+        r.shed_fraction * 100.0
+    );
+    c.bench_function("ext_grid_aware_december", |b| {
+        b.iter(|| black_box(experiment::grid_aware_december(black_box(SEED), black_box(10))))
+    });
+}
+
+criterion_group! {
+    name = extensions;
+    config = Criterion::default().sample_size(10);
+    targets = bench_toolchain, bench_ai_surrogate, bench_carbon_shift, bench_cooling, bench_tco,
+              bench_power_cap, bench_grid_aware
+}
+criterion_main!(extensions);

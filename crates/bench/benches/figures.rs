@@ -1,0 +1,63 @@
+//! Regenerates every *figure* of the paper (the campaign simulations) and
+//! benchmarks the regeneration.
+//!
+//! Default scale is 1/10 of the facility (composition-preserving; reported
+//! kilowatts are full-facility). Set `ARCHER2_BENCH_SCALE=1` to simulate
+//! all 5,860 nodes.
+
+use archer2_core::experiment;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SEED: u64 = 2022;
+
+fn scale() -> u32 {
+    std::env::var("ARCHER2_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    let fig = experiment::figure1(SEED, scale());
+    println!("\n{}", fig.render());
+    println!(
+        "baseline mean {:.0} kW (paper: 3,220 kW), utilisation {:.1}%\n",
+        fig.summary.means[0],
+        fig.utilisation * 100.0
+    );
+    c.bench_function("figure1_baseline_campaign", |b| {
+        b.iter(|| black_box(experiment::figure1(black_box(SEED), black_box(scale()))))
+    });
+}
+
+fn bench_figure2(c: &mut Criterion) {
+    let fig = experiment::figure2(SEED, scale());
+    println!("\n{}", fig.render());
+    println!(
+        "settled means {:.0} -> {:.0} kW (paper: 3,220 -> 3,010 kW)\n",
+        fig.settled_means_kw[0], fig.settled_means_kw[1]
+    );
+    c.bench_function("figure2_bios_change_campaign", |b| {
+        b.iter(|| black_box(experiment::figure2(black_box(SEED), black_box(scale()))))
+    });
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    let fig = experiment::figure3(SEED, scale());
+    println!("\n{}", fig.render());
+    println!(
+        "settled means {:.0} -> {:.0} kW (paper: 3,010 -> 2,530 kW)\n",
+        fig.settled_means_kw[0], fig.settled_means_kw[1]
+    );
+    c.bench_function("figure3_frequency_change_campaign", |b| {
+        b.iter(|| black_box(experiment::figure3(black_box(SEED), black_box(scale()))))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figure1, bench_figure2, bench_figure3
+}
+criterion_main!(figures);

@@ -1,0 +1,81 @@
+//! Real-kernel roofline benchmarks: the measurable ground truth for the
+//! memory-bound / compute-bound dichotomy that drives §4.2 of the paper.
+//!
+//! Prints each kernel's operational intensity and classification against an
+//! ARCHER2-node roofline, then times the parallel implementations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpc_kernels::{CsrMatrix, Dgemm, Jacobi3d, MachineBalance, NBody, Triad};
+use std::hint::black_box;
+
+fn print_roofline() {
+    let m = MachineBalance::archer2_node();
+    println!("\nARCHER2-node roofline: {:.0} GFLOP/s, {:.0} GB/s, ridge {:.1} flops/byte", m.peak_gflops, m.peak_gbs, m.balance());
+    let triad = Triad::new(1 << 20);
+    let gemm = Dgemm::new(512);
+    let stencil = Jacobi3d::new(64);
+    let nbody = NBody::new(2048);
+    let spmv = CsrMatrix::laplacian_2d(256);
+    for (name, counts) in [
+        ("STREAM triad", triad.counts()),
+        ("DGEMM 512", gemm.counts()),
+        ("Jacobi3D 64", stencil.counts()),
+        ("n-body 2048", nbody.counts()),
+        ("SpMV laplacian 256", spmv.counts()),
+    ] {
+        println!(
+            "  {:<20} intensity {:>8.3} flops/byte -> {:?}, implied beta {:.2}",
+            name,
+            counts.intensity(),
+            m.classify(&counts),
+            m.beta(&counts)
+        );
+    }
+    println!();
+}
+
+fn bench_triad(c: &mut Criterion) {
+    print_roofline();
+    let mut t = Triad::new(1 << 22);
+    let mut g = c.benchmark_group("kernel_triad");
+    g.throughput(Throughput::Bytes(t.counts().bytes as u64));
+    g.bench_function("parallel_4M", |b| b.iter(|| t.run(black_box(3.0))));
+    g.finish();
+}
+
+fn bench_dgemm(c: &mut Criterion) {
+    let mut d = Dgemm::new(512);
+    let mut g = c.benchmark_group("kernel_dgemm");
+    g.throughput(Throughput::Elements(d.counts().flops as u64));
+    g.bench_function("blocked_parallel_512", |b| b.iter(|| d.run()));
+    g.finish();
+}
+
+fn bench_stencil(c: &mut Criterion) {
+    let mut j = Jacobi3d::new(128);
+    let mut g = c.benchmark_group("kernel_jacobi3d");
+    g.throughput(Throughput::Bytes(j.counts().bytes as u64));
+    g.bench_function("parallel_128cubed", |b| b.iter(|| j.step()));
+    g.finish();
+}
+
+fn bench_nbody(c: &mut Criterion) {
+    let mut n = NBody::new(4096);
+    let mut g = c.benchmark_group("kernel_nbody");
+    g.throughput(Throughput::Elements(n.counts().flops as u64));
+    g.bench_function("parallel_4096", |b| b.iter(|| n.step(black_box(1e-3))));
+    g.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let m = CsrMatrix::laplacian_2d(512);
+    let x = vec![1.0; m.cols()];
+    let mut y = vec![0.0; m.rows()];
+    let mut g = c.benchmark_group("kernel_spmv");
+    g.throughput(Throughput::Bytes(m.counts().bytes as u64));
+    g.bench_function("laplacian_512", |b| b.iter(|| m.spmv(black_box(&x), &mut y)));
+    g.finish();
+}
+
+criterion_group!(kernels, bench_triad, bench_dgemm, bench_stencil, bench_nbody, bench_spmv);
+criterion_main!(kernels);

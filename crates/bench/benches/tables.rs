@@ -1,0 +1,55 @@
+//! Regenerates every *table* of the paper and benchmarks the regeneration.
+//!
+//! Run with `cargo bench -p archer2-bench --bench tables`. Each bench first
+//! prints the reproduced table (paper vs model) once, then times the
+//! closed-form regeneration.
+
+use archer2_core::experiment;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SEED: u64 = 2022;
+
+fn bench_table1(c: &mut Criterion) {
+    println!("\n=== Table 1: ARCHER2 hardware summary ===\n{}\n", experiment::table1());
+    c.bench_function("table1_hardware_summary", |b| {
+        b.iter(|| black_box(experiment::table1()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let t = experiment::table2(SEED);
+    println!("\n=== Table 2: component power decomposition ===\n{}", t.render());
+    println!(
+        "paper: idle 1,800 kW / loaded 3,500 kW; model: idle {:.0} kW / loaded {:.0} kW\n",
+        t.idle_total_kw, t.loaded_total_kw
+    );
+    c.bench_function("table2_power_decomposition", |b| {
+        b.iter(|| black_box(experiment::table2(black_box(SEED))))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let t = experiment::table3(SEED);
+    println!("\n=== {} ===", t.render());
+    println!("max |model - paper| = {:.4}\n", t.max_abs_error());
+    c.bench_function("table3_determinism_ratios", |b| {
+        b.iter(|| black_box(experiment::table3(black_box(SEED))))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let t = experiment::table4(SEED);
+    println!("\n=== {} ===", t.render());
+    println!("max |model - paper| = {:.4}\n", t.max_abs_error());
+    c.bench_function("table4_frequency_ratios", |b| {
+        b.iter(|| black_box(experiment::table4(black_box(SEED))))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2, bench_table3, bench_table4
+}
+criterion_main!(tables);

@@ -1,0 +1,956 @@
+//! The campaign: a months-long discrete-event simulation of the facility
+//! replaying the paper's operational timeline.
+//!
+//! A campaign drives the batch scheduler with an on-demand job stream
+//! (ARCHER2-style standing backlog ⇒ >90 % utilisation), samples compute-
+//! cabinet power on a fixed telemetry cadence, and lets the operator change
+//! the facility operating point mid-flight — the BIOS determinism switch of
+//! May 2022 (§4.1) and the 2.0 GHz default of Dec 2022 (§4.2).
+//!
+//! ## Modelling choices
+//!
+//! * A job's power draw and runtime are fixed when it *starts*, from the
+//!   operating point in force at that instant (plus any per-job override).
+//!   Operating-point changes therefore propagate over roughly one mean job
+//!   length (~hours) — matching the sharp day-scale steps in Figures 2–3.
+//! * Per-job node power is the calibrated application model evaluated with
+//!   the facility-typical silicon; the silicon spread moves cabinet power
+//!   by well under the ±1 % telemetry noise applied to samples.
+//! * The frequency-change policy reproduces the paper's deployment: the
+//!   module system resets jobs whose expected slowdown exceeds a threshold
+//!   back to 2.25 GHz+turbo, and a small fraction of users override the
+//!   default themselves.
+
+use crate::facility::Archer2Facility;
+use hpc_power::FreqSetting;
+use hpc_sched::BatchScheduler;
+use hpc_telemetry::TimeSeries;
+use hpc_workload::{
+    AppModel, GeneratorConfig, Job, JobGenerator, JobId, JobTrace, OperatingPoint, TraceEntry,
+    WorkloadMix,
+};
+use hpc_topo::NodeId;
+use sim_core::rng::{Rng, Xoshiro256StarStar};
+use sim_core::sim::{Scheduler as EventScheduler, Simulation, World};
+use sim_core::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// How jobs respond to a facility default of 2.0 GHz (§4.2's deployment).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrequencyPolicy {
+    /// Every job runs at the facility default.
+    Blanket,
+    /// Jobs whose predicted performance ratio at 2.0 GHz falls below the
+    /// threshold are reset to 2.25 GHz+turbo by the module system, and
+    /// `user_revert_fraction` of the rest override the default themselves.
+    AutoRevert {
+        /// Perf-ratio threshold; the paper reverted apps with >10 % impact.
+        threshold: f64,
+        /// Fraction of remaining jobs whose users force turbo anyway.
+        user_revert_fraction: f64,
+    },
+}
+
+impl Default for FrequencyPolicy {
+    fn default() -> Self {
+        FrequencyPolicy::AutoRevert {
+            threshold: 0.90,
+            user_revert_fraction: 0.01,
+        }
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed (silicon lottery, job stream, telemetry noise).
+    pub seed: u64,
+    /// Telemetry cadence.
+    pub sample_interval: SimDuration,
+    /// Standing backlog depth the generator maintains.
+    pub backlog_target: usize,
+    /// Job-shape parameters.
+    pub generator: GeneratorConfig,
+    /// Research-area mix.
+    pub mix: WorkloadMix,
+    /// Frequency policy once the default drops to 2.0 GHz.
+    pub policy: FrequencyPolicy,
+    /// Fractional 1-sigma telemetry noise on power samples.
+    pub telemetry_noise: f64,
+    /// Fraction of the fleet unavailable to the scheduler at any moment
+    /// (maintenance drains, service reservations, short-queue set-asides).
+    /// These nodes draw idle power. ARCHER2 runs >90 % but not 100 %
+    /// utilisation (§3.2: full load is "impossible to achieve due to
+    /// scheduling overheads").
+    pub unavailable_fraction: f64,
+    /// Hardware failure injection, if enabled.
+    pub failures: Option<FailureConfig>,
+    /// Record a per-job accounting trace (HPC-JEEP-style).
+    pub record_trace: bool,
+    /// Dynamic operating schedule; `None` keeps the operating point fixed
+    /// between explicit `set_operating_point` calls.
+    pub schedule: Option<OperatingSchedule>,
+    /// Record one power series per compute cabinet (heavier diagnostics:
+    /// O(nodes) work per telemetry sample).
+    pub per_cabinet_telemetry: bool,
+}
+
+/// A time-varying operating policy: drop the default frequency whenever
+/// the grid's carbon intensity (or stress) is above a threshold, restore it
+/// when the grid relaxes — the §2 decision rule applied hour by hour
+/// instead of once per year.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingSchedule {
+    /// Carbon-intensity signal driving the policy.
+    pub scenario: hpc_grid::IntensityScenario,
+    /// Above this intensity (gCO₂/kWh) the facility sheds to `shed`.
+    pub high_ci_threshold: f64,
+    /// Operating point on a relaxed grid.
+    pub normal: OperatingPoint,
+    /// Operating point on a stressed grid.
+    pub shed: OperatingPoint,
+    /// How often the policy re-evaluates.
+    pub tick: SimDuration,
+}
+
+impl OperatingSchedule {
+    /// The operating point this schedule selects at `t`.
+    pub fn at(&self, t: SimTime) -> OperatingPoint {
+        if self.scenario.expected(t) > self.high_ci_threshold {
+            self.shed
+        } else {
+            self.normal
+        }
+    }
+}
+
+/// Node hardware failure model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureConfig {
+    /// Mean time between failures of one node (hours). Fleet-level failure
+    /// arrivals are exponential with rate `nodes / mtbf`.
+    pub node_mtbf_hours: f64,
+    /// Time a failed node spends offline before returning to service.
+    pub repair: SimDuration,
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig {
+            // ~6 months per node: a 5,860-node fleet sees ~1.3 failures/hour.
+            node_mtbf_hours: 4_380.0,
+            repair: SimDuration::from_hours(24),
+        }
+    }
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 2022,
+            sample_interval: SimDuration::from_mins(15),
+            backlog_target: 120,
+            generator: GeneratorConfig::default(),
+            mix: WorkloadMix::archer2(),
+            policy: FrequencyPolicy::default(),
+            telemetry_noise: 0.01,
+            unavailable_fraction: 0.05,
+            failures: None,
+            record_trace: false,
+            schedule: None,
+            per_cabinet_telemetry: false,
+        }
+    }
+}
+
+/// Campaign events.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Telemetry sample tick.
+    Sample,
+    /// A running job finishes. The epoch guards against a stale completion
+    /// firing for a job that was killed by a node failure and restarted.
+    Finish(JobId, u32),
+    /// Top up the backlog and run a scheduling pass.
+    Refill,
+    /// A node fails.
+    NodeFail,
+    /// The dynamic operating schedule re-evaluates.
+    PolicyTick,
+    /// A failed node returns to service.
+    NodeRepair(NodeId),
+}
+
+/// Key for the per-(application, operating point) power/runtime cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct EvalKey {
+    app: String,
+    setting: FreqSetting,
+    mode: hpc_power::DeterminismMode,
+}
+
+/// The simulated world.
+struct FacilityWorld {
+    facility: Archer2Facility,
+    /// Nodes the scheduler may use (fleet minus the unavailable set).
+    schedulable_nodes: u32,
+    scheduler: BatchScheduler,
+    generator: JobGenerator,
+    op: OperatingPoint,
+    policy_active: bool,
+    config: CampaignConfig,
+    /// Sum of node power over running jobs (W).
+    busy_power_w: f64,
+    /// Per-job node power (W) for incremental accounting.
+    job_power_w: HashMap<JobId, f64>,
+    /// (power W/node, runtime ratio) cache per app × operating point.
+    eval_cache: HashMap<EvalKey, (f64, f64)>,
+    /// Fleet-mean idle node power per BIOS mode (kW), computed lazily.
+    idle_kw_cache: HashMap<hpc_power::DeterminismMode, f64>,
+    series: TimeSeries,
+    noise_rng: Xoshiro256StarStar,
+    policy_rng: Xoshiro256StarStar,
+    reverted_jobs: u64,
+    started_jobs: u64,
+    /// Run-instance counter per job id (bumped when a failure kills a job).
+    job_epoch: HashMap<JobId, u32>,
+    /// Effective operating point per running job (for trace records).
+    job_op: HashMap<JobId, OperatingPoint>,
+    trace: JobTrace,
+    cabinet_series: Vec<TimeSeries>,
+    failure_rng: Xoshiro256StarStar,
+    node_failures: u64,
+    jobs_killed: u64,
+}
+
+impl FacilityWorld {
+    /// Evaluate (node power W, runtime ratio) for an app at an operating
+    /// point, cached — the catalog is small, so the cache stays tiny while
+    /// eliminating per-job bisection cost.
+    fn evaluate(&mut self, app: &AppModel, op: OperatingPoint) -> (f64, f64) {
+        let key = EvalKey {
+            app: app.name.clone(),
+            setting: op.setting,
+            mode: op.mode,
+        };
+        if let Some(&v) = self.eval_cache.get(&key) {
+            return v;
+        }
+        let nm = self.facility.node_model();
+        let lot = self.facility.lottery();
+        let v = (app.node_power_w(op, nm, lot), app.runtime_ratio(op, nm, lot));
+        self.eval_cache.insert(key, v);
+        v
+    }
+
+    /// Apply the frequency policy to a job about to start, returning its
+    /// effective operating point.
+    fn effective_op(&mut self, job: &Job) -> OperatingPoint {
+        let mut op = self.op;
+        if let Some(setting) = job.freq_override {
+            op.setting = setting;
+            return op;
+        }
+        if op.setting == FreqSetting::Mid2000 && self.policy_active {
+            if let FrequencyPolicy::AutoRevert {
+                threshold,
+                user_revert_fraction,
+            } = self.config.policy
+            {
+                let (_, rt) = self.evaluate(&job.app, op);
+                let perf = 1.0 / rt;
+                let reverts = perf < threshold || self.policy_rng.chance(user_revert_fraction);
+                if reverts {
+                    op.setting = FreqSetting::TurboBoost2250;
+                    self.reverted_jobs += 1;
+                }
+            }
+        }
+        op
+    }
+
+    /// Total compute-cabinet power right now (kW).
+    fn compute_cabinet_power_kw(&mut self) -> f64 {
+        let mode = self.op.mode;
+        let facility = &self.facility;
+        let per_idle_kw = *self
+            .idle_kw_cache
+            .entry(mode)
+            .or_insert_with(|| facility.mean_idle_node_kw(mode));
+        let unavailable = self.facility.nodes() - self.schedulable_nodes;
+        // Offline (failed) nodes are powered down for repair and draw
+        // nothing; unavailable-but-healthy nodes idle.
+        let idle_nodes = (self.scheduler.free_nodes() + unavailable) as f64;
+        let idle_kw = idle_nodes * per_idle_kw;
+        let nodes_kw = self.busy_power_w / 1000.0 + idle_kw;
+        // Fabric traffic tracks utilisation loosely; switch power barely
+        // cares (§5).
+        let util = self.scheduler.busy_nodes() as f64 / self.facility.nodes() as f64;
+        let budget = self.facility.budget_from_nodes(nodes_kw, 0.7 * util);
+        budget.compute_cabinets_kw()
+    }
+
+    /// Run a scheduling pass and register starts.
+    fn schedule_pass(&mut self, now: SimTime, sched: &mut EventScheduler<'_, Event>) {
+        let placements = self.scheduler.schedule(now);
+        for p in placements {
+            let running = self
+                .scheduler
+                .running_job(p.job_id)
+                .expect("just placed")
+                .job
+                .clone();
+            let op = self.effective_op(&running);
+            let (power_per_node_w, rt_ratio) = self.evaluate(&running.app, op);
+            let job_w = power_per_node_w * running.nodes as f64;
+            self.busy_power_w += job_w;
+            self.job_power_w.insert(p.job_id, job_w);
+            self.job_op.insert(p.job_id, op);
+            self.started_jobs += 1;
+            let runtime = running.actual_runtime(rt_ratio);
+            let epoch = *self.job_epoch.entry(p.job_id).or_insert(0);
+            sched.after(runtime, Event::Finish(p.job_id, epoch));
+        }
+    }
+
+    /// Sample per-cabinet power: each cabinet's nodes (busy at their job's
+    /// per-node power, idle at the fleet idle level, offline at zero) plus
+    /// its switches and overhead share.
+    fn sample_cabinets(&mut self) {
+        let mode = self.op.mode;
+        let facility = &self.facility;
+        let per_idle_w = *self
+            .idle_kw_cache
+            .entry(mode)
+            .or_insert_with(|| facility.mean_idle_node_kw(mode))
+            * 1000.0;
+        let util = self.scheduler.busy_nodes() as f64 / self.facility.nodes() as f64;
+        let topo = self.facility.topology();
+        let sw_model = hpc_power::SwitchPowerModel::new(hpc_power::SwitchSpec::default());
+        let sw_w = sw_model.power_w(0.7 * util);
+        let overhead = hpc_power::CabinetOverheadModel::default();
+
+        let mut samples = Vec::with_capacity(self.cabinet_series.len());
+        for cab in topo.cabinets() {
+            let mut nodes_w = 0.0;
+            for &n in topo.nodes_in_cabinet(cab) {
+                if n.0 >= self.schedulable_nodes {
+                    nodes_w += per_idle_w; // the unavailable set idles
+                } else if let Some(job) = self.scheduler.job_on_node(n) {
+                    let job_w = self.job_power_w.get(&job).expect("running job has power");
+                    let nodes = self.scheduler.running_job(job).expect("running").job.nodes;
+                    nodes_w += job_w / nodes as f64;
+                } else if self.scheduler.is_node_offline(n) {
+                    // powered down for repair
+                } else {
+                    nodes_w += per_idle_w;
+                }
+            }
+            let switches_w = topo.switches_in_cabinet(cab).len() as f64 * sw_w;
+            let it_w = nodes_w + switches_w;
+            samples.push((it_w + overhead.power_w(it_w)) / 1000.0);
+        }
+        for (series, kw) in self.cabinet_series.iter_mut().zip(samples) {
+            series.push(kw);
+        }
+    }
+
+    /// Draw the next fleet-level failure arrival.
+    fn schedule_fail(&mut self, sched: &mut EventScheduler<'_, Event>) {
+        if let Some(cfg) = self.config.failures {
+            let rate_per_hour = self.schedulable_nodes as f64 / cfg.node_mtbf_hours;
+            let gap_h = -(1.0 - self.failure_rng.next_f64()).ln() / rate_per_hour;
+            let gap_s = (gap_h * 3600.0).max(1.0) as u64;
+            sched.after(SimDuration::from_secs(gap_s), Event::NodeFail);
+        }
+    }
+
+    /// Top the backlog up to the target.
+    fn refill(&mut self, now: SimTime) {
+        while self.scheduler.pending_count() < self.config.backlog_target {
+            let job = self.generator.next_job(now);
+            self.scheduler.submit(job);
+        }
+    }
+}
+
+impl World for FacilityWorld {
+    type Event = Event;
+
+    fn handle(&mut self, event: Event, sched: &mut EventScheduler<'_, Event>) {
+        let now = sched.now();
+        match event {
+            Event::Sample => {
+                let kw = self.compute_cabinet_power_kw();
+                let noise = 1.0 + self.config.telemetry_noise * standard_normal(&mut self.noise_rng);
+                self.series.push(kw * noise.max(0.0));
+                if self.config.per_cabinet_telemetry {
+                    self.sample_cabinets();
+                }
+                sched.after(self.config.sample_interval, Event::Sample);
+            }
+            Event::Finish(id, epoch) => {
+                if self.job_epoch.get(&id) != Some(&epoch) {
+                    // Stale completion: the job was killed by a failure and
+                    // restarted (or is waiting to restart) under a new epoch.
+                    return;
+                }
+                let job_w = self.job_power_w.remove(&id).expect("job had power registered");
+                self.busy_power_w -= job_w;
+                self.job_epoch.remove(&id);
+                let op = self.job_op.remove(&id).expect("job had an operating point");
+                let done = self.scheduler.complete(id, now);
+                if self.config.record_trace {
+                    self.trace.push(TraceEntry {
+                        job: id,
+                        app: done.job.app.name.clone(),
+                        area: done.job.app.area,
+                        nodes: done.job.nodes,
+                        submitted: done.job.submitted_at,
+                        started: done.started_at,
+                        ended: now,
+                        op,
+                        node_power_w: job_w / done.job.nodes as f64,
+                    });
+                }
+                self.refill(now);
+                self.schedule_pass(now, sched);
+            }
+            Event::Refill => {
+                self.refill(now);
+                self.schedule_pass(now, sched);
+            }
+            Event::NodeFail => {
+                let Some(cfg) = self.config.failures else {
+                    return;
+                };
+                // Uniform victim across the schedulable fleet.
+                let victim = NodeId(self.failure_rng.next_below(self.schedulable_nodes as u64) as u32);
+                if self.scheduler.is_node_offline(victim) {
+                    // Already down for repair; no new repair must be queued.
+                    self.schedule_fail(sched);
+                    return;
+                }
+                self.node_failures += 1;
+                if let Some(killed) = self.scheduler.fail_node(victim, now) {
+                    // Remove the dead job's power; it restarts from scratch
+                    // when the scheduler re-places it (no checkpointing).
+                    let job_w = self.job_power_w.remove(&killed).expect("killed job had power");
+                    self.busy_power_w -= job_w;
+                    self.job_op.remove(&killed);
+                    *self.job_epoch.entry(killed).or_insert(0) += 1;
+                    self.jobs_killed += 1;
+                }
+                sched.after(cfg.repair, Event::NodeRepair(victim));
+                self.schedule_fail(sched);
+                self.schedule_pass(now, sched);
+            }
+            Event::NodeRepair(node) => {
+                self.scheduler.repair_node(node, now);
+                self.schedule_pass(now, sched);
+            }
+            Event::PolicyTick => {
+                if let Some(schedule) = self.config.schedule {
+                    self.op = schedule.at(now);
+                    sched.after(schedule.tick, Event::PolicyTick);
+                }
+            }
+        }
+    }
+}
+
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1 = 1.0 - rng.next_f64();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A runnable campaign.
+pub struct Campaign {
+    sim: Simulation<FacilityWorld>,
+}
+
+impl Campaign {
+    /// Build a campaign over `facility` starting at `start` in operating
+    /// point `op`.
+    pub fn new(facility: Archer2Facility, config: CampaignConfig, start: SimTime, op: OperatingPoint) -> Self {
+        let root = Xoshiro256StarStar::seeded(config.seed);
+        let mut gen_cfg = config.generator;
+        gen_cfg.max_nodes = gen_cfg.max_nodes.min(
+            (facility.nodes() as f64 * (1.0 - config.unavailable_fraction)) as u32,
+        );
+        let generator = JobGenerator::new(
+            gen_cfg,
+            config.mix.clone(),
+            facility.catalog(),
+            config.seed ^ 0x9E37_79B9,
+        );
+        let unavailable =
+            (facility.nodes() as f64 * config.unavailable_fraction).round() as u32;
+        let schedulable_nodes = facility.nodes() - unavailable;
+        let scheduler = BatchScheduler::new(schedulable_nodes);
+        let series = TimeSeries::new(start, config.sample_interval, "kW");
+        let world = FacilityWorld {
+            schedulable_nodes,
+            scheduler,
+            generator,
+            op,
+            policy_active: true,
+            busy_power_w: 0.0,
+            job_power_w: HashMap::new(),
+            eval_cache: HashMap::new(),
+            series,
+            idle_kw_cache: HashMap::new(),
+            noise_rng: root.substream(1),
+            policy_rng: root.substream(2),
+            reverted_jobs: 0,
+            started_jobs: 0,
+            job_epoch: HashMap::new(),
+            job_op: HashMap::new(),
+            trace: JobTrace::new(),
+            cabinet_series: Vec::new(),
+            failure_rng: root.substream(3),
+            node_failures: 0,
+            jobs_killed: 0,
+            config,
+            facility,
+        };
+        let mut world = world;
+        if world.config.per_cabinet_telemetry {
+            let n = world.facility.topology().config().cabinets as usize;
+            world.cabinet_series = (0..n)
+                .map(|_| TimeSeries::new(start, world.config.sample_interval, "kW"))
+                .collect();
+        }
+        let failures_enabled = world.config.failures.is_some();
+        let mut sim = Simulation::new(start, world);
+        sim.schedule(start, Event::Refill);
+        sim.schedule(start, Event::Sample);
+        if failures_enabled {
+            sim.schedule(start + SimDuration::from_secs(1), Event::NodeFail);
+        }
+        if sim.world().config.schedule.is_some() {
+            sim.schedule(start, Event::PolicyTick);
+        }
+        Campaign { sim }
+    }
+
+    /// Run the campaign up to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.sim.run_until(until);
+    }
+
+    /// Change the facility operating point (takes effect for jobs that
+    /// start from now on, like a rolling reboot of defaults).
+    pub fn set_operating_point(&mut self, op: OperatingPoint) {
+        self.sim.world_mut().op = op;
+    }
+
+    /// Current operating point.
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.sim.world().op
+    }
+
+    /// The compute-cabinet power telemetry recorded so far.
+    pub fn power_series(&self) -> &TimeSeries {
+        &self.sim.world().series
+    }
+
+    /// Mean utilisation since the start, measured against the whole fleet
+    /// (unavailable nodes count as unutilised, as in the service reports).
+    pub fn utilisation(&self) -> f64 {
+        let w = self.sim.world();
+        w.scheduler.utilisation_meter().utilisation() * w.schedulable_nodes as f64
+            / w.facility.nodes() as f64
+    }
+
+    /// Jobs started / reverted-to-turbo counts.
+    pub fn job_counts(&self) -> (u64, u64) {
+        let w = self.sim.world();
+        (w.started_jobs, w.reverted_jobs)
+    }
+
+    /// The facility being simulated.
+    pub fn facility(&self) -> &Archer2Facility {
+        &self.sim.world().facility
+    }
+
+    /// Events processed so far (diagnostics).
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+
+    /// (node failures injected, jobs killed by failures) so far.
+    pub fn failure_counts(&self) -> (u64, u64) {
+        let w = self.sim.world();
+        (w.node_failures, w.jobs_killed)
+    }
+
+    /// Nodes currently offline for repair.
+    pub fn offline_nodes(&self) -> u32 {
+        self.sim.world().scheduler.offline_nodes()
+    }
+
+    /// The job accounting trace (empty unless `record_trace` was set).
+    pub fn trace(&self) -> &JobTrace {
+        &self.sim.world().trace
+    }
+
+    /// Per-cabinet power series (empty unless `per_cabinet_telemetry`).
+    pub fn cabinet_series(&self) -> &[TimeSeries] {
+        &self.sim.world().cabinet_series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_topo::{DragonflyConfig, FacilityConfig};
+
+    /// A 1/10-scale facility for fast tests: power means scale linearly.
+    fn small_facility(seed: u64) -> Archer2Facility {
+        // Component counts scaled by ~1/10 so the power composition (node
+        // share ≈ 86 %) matches the full facility and means scale linearly.
+        let cfg = FacilityConfig {
+            nodes: 586,
+            cores_per_node: 128,
+            cabinets: 3,
+            cdus: 1,
+            filesystems: 1,
+            fabric: DragonflyConfig {
+                groups: 10,
+                switches_per_group: 8,
+                ports_per_switch: 64,
+                endpoints_per_switch: 16,
+                nics_per_node: 2,
+            },
+        };
+        Archer2Facility::with_config(cfg, seed)
+    }
+
+    fn small_config() -> CampaignConfig {
+        CampaignConfig {
+            backlog_target: 40,
+            generator: GeneratorConfig {
+                max_nodes: 128,
+                ..GeneratorConfig::default()
+            },
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn utilisation_exceeds_90_percent() {
+        // §3.2: "Compute node utilisation on ARCHER2 over all periods
+        // considered in this paper is consistently over 90%".
+        let f = small_facility(1);
+        let start = SimTime::from_ymd(2021, 12, 1);
+        let mut c = Campaign::new(f, small_config(), start, OperatingPoint::ORIGINAL);
+        c.run_until(start + SimDuration::from_days(14));
+        let util = c.utilisation();
+        assert!(util > 0.90, "utilisation {util}");
+    }
+
+    #[test]
+    fn power_series_sampled_on_cadence() {
+        let f = small_facility(2);
+        let start = SimTime::from_ymd(2021, 12, 1);
+        let mut c = Campaign::new(f, small_config(), start, OperatingPoint::ORIGINAL);
+        c.run_until(start + SimDuration::from_days(2));
+        let s = c.power_series();
+        // 2 days at 15-minute cadence = 192 samples (±1 boundary sample).
+        assert!((191..=193).contains(&s.len()), "samples {}", s.len());
+        assert_eq!(s.interval(), SimDuration::from_mins(15));
+    }
+
+    #[test]
+    fn bios_change_drops_power() {
+        let f = small_facility(3);
+        let start = SimTime::from_ymd(2022, 4, 1);
+        let mut c = Campaign::new(f, small_config(), start, OperatingPoint::ORIGINAL);
+        c.run_until(start + SimDuration::from_days(10));
+        c.set_operating_point(OperatingPoint::AFTER_BIOS);
+        c.run_until(start + SimDuration::from_days(20));
+        let s = c.power_series();
+        let before = s.window_mean(start, start + SimDuration::from_days(10));
+        // Skip a 2-day transition while old jobs drain.
+        let after = s.window_mean(start + SimDuration::from_days(12), start + SimDuration::from_days(20));
+        let drop = (before - after) / before;
+        assert!((0.04..=0.10).contains(&drop), "BIOS drop {drop} (from {before} to {after} kW)");
+    }
+
+    #[test]
+    fn frequency_change_drops_power_further() {
+        let f = small_facility(4);
+        let start = SimTime::from_ymd(2022, 11, 1);
+        let mut c = Campaign::new(f, small_config(), start, OperatingPoint::AFTER_BIOS);
+        c.run_until(start + SimDuration::from_days(10));
+        c.set_operating_point(OperatingPoint::AFTER_FREQ);
+        c.run_until(start + SimDuration::from_days(20));
+        let s = c.power_series();
+        let before = s.window_mean(start, start + SimDuration::from_days(10));
+        let after = s.window_mean(start + SimDuration::from_days(12), start + SimDuration::from_days(20));
+        let drop = (before - after) / before;
+        assert!(
+            (0.10..=0.22).contains(&drop),
+            "frequency drop {drop} (from {before} to {after} kW)"
+        );
+        let (started, reverted) = c.job_counts();
+        assert!(reverted > 0, "some jobs must revert to turbo");
+        assert!(reverted < started / 2, "most jobs must accept the default");
+    }
+
+    #[test]
+    fn blanket_policy_saves_more_than_auto_revert() {
+        let run = |policy: FrequencyPolicy| {
+            let f = small_facility(5);
+            let cfg = CampaignConfig {
+                policy,
+                ..small_config()
+            };
+            let start = SimTime::from_ymd(2022, 11, 1);
+            let mut c = Campaign::new(f, cfg, start, OperatingPoint::AFTER_FREQ);
+            c.run_until(start + SimDuration::from_days(7));
+            c.power_series().mean()
+        };
+        let blanket = run(FrequencyPolicy::Blanket);
+        let auto = run(FrequencyPolicy::default());
+        assert!(blanket < auto, "blanket 2.0 GHz should draw less: {blanket} vs {auto}");
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let mk = || {
+            let f = small_facility(6);
+            let start = SimTime::from_ymd(2022, 1, 1);
+            let mut c = Campaign::new(f, small_config(), start, OperatingPoint::ORIGINAL);
+            c.run_until(start + SimDuration::from_days(3));
+            c.power_series().values().to_vec()
+        };
+        assert_eq!(mk(), mk());
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::experiment::scaled_facility;
+
+    fn failing_config() -> CampaignConfig {
+        CampaignConfig {
+            failures: Some(FailureConfig {
+                node_mtbf_hours: 200.0, // aggressive: ~3 failures/hour at 1/10 scale
+                repair: SimDuration::from_hours(12),
+            }),
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn failures_occur_and_jobs_requeue() {
+        let f = scaled_facility(11, 10);
+        let start = SimTime::from_ymd(2022, 2, 1);
+        let mut c = Campaign::new(f, failing_config(), start, OperatingPoint::ORIGINAL);
+        c.run_until(start + SimDuration::from_days(7));
+        let (failures, killed) = c.failure_counts();
+        assert!(failures > 100, "expected many failures, got {failures}");
+        // At >90 % utilisation most victims are busy.
+        assert!(killed as f64 > failures as f64 * 0.5, "{killed} killed of {failures}");
+        assert!(c.offline_nodes() > 0, "some nodes should be in repair");
+    }
+
+    #[test]
+    fn facility_survives_failures_at_high_utilisation() {
+        let f = scaled_facility(12, 10);
+        let start = SimTime::from_ymd(2022, 2, 1);
+        let mut c = Campaign::new(f, failing_config(), start, OperatingPoint::ORIGINAL);
+        c.run_until(start + SimDuration::from_days(10));
+        // The backlog keeps the healthy fleet saturated despite the churn.
+        assert!(c.utilisation() > 0.85, "utilisation {}", c.utilisation());
+        // Power stays finite and positive throughout.
+        for &kw in c.power_series().values() {
+            assert!(kw > 0.0 && kw.is_finite());
+        }
+    }
+
+    #[test]
+    fn failures_reduce_mean_power_slightly() {
+        // Offline nodes are powered down, so the failing campaign draws a
+        // little less than the healthy one.
+        let start = SimTime::from_ymd(2022, 2, 1);
+        let healthy = {
+            let f = scaled_facility(13, 10);
+            let mut c = Campaign::new(f, CampaignConfig::default(), start, OperatingPoint::ORIGINAL);
+            c.run_until(start + SimDuration::from_days(5));
+            c.power_series().mean()
+        };
+        let failing = {
+            let f = scaled_facility(13, 10);
+            let mut c = Campaign::new(f, failing_config(), start, OperatingPoint::ORIGINAL);
+            c.run_until(start + SimDuration::from_days(5));
+            c.power_series().mean()
+        };
+        assert!(failing < healthy, "failing {failing} vs healthy {healthy}");
+        assert!(failing > healthy * 0.9, "the dip should be modest");
+    }
+
+    #[test]
+    fn no_failure_config_means_no_failures() {
+        let f = scaled_facility(14, 10);
+        let start = SimTime::from_ymd(2022, 2, 1);
+        let mut c = Campaign::new(f, CampaignConfig::default(), start, OperatingPoint::ORIGINAL);
+        c.run_until(start + SimDuration::from_days(3));
+        assert_eq!(c.failure_counts(), (0, 0));
+        assert_eq!(c.offline_nodes(), 0);
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+    use crate::experiment::scaled_facility;
+
+    fn instrumented_config() -> CampaignConfig {
+        CampaignConfig {
+            record_trace: true,
+            per_cabinet_telemetry: true,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn trace_records_completed_jobs() {
+        let f = scaled_facility(21, 10);
+        let start = SimTime::from_ymd(2022, 6, 1);
+        let mut c = Campaign::new(f, instrumented_config(), start, OperatingPoint::AFTER_BIOS);
+        c.run_until(start + SimDuration::from_days(4));
+        let trace = c.trace();
+        assert!(trace.len() > 500, "expected many completions, got {}", trace.len());
+        // Energy per node-hour should sit near the busy node draw (~0.47 kW).
+        let kwh = trace.mean_kwh_per_node_hour();
+        assert!((0.35..=0.55).contains(&kwh), "kWh/node-hour {kwh}");
+        // The app mix shows through: materials science codes lead.
+        let by_app = trace.node_hours_by_app();
+        assert!(by_app.len() >= 8, "a diverse mix: {} apps", by_app.len());
+        // JSON round-trip of a real trace.
+        let back = hpc_workload::JobTrace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(&back, trace);
+    }
+
+    #[test]
+    fn cabinet_series_sum_to_facility_series() {
+        let f = scaled_facility(22, 10);
+        let cabinets = f.topology().config().cabinets as usize;
+        let start = SimTime::from_ymd(2022, 6, 1);
+        let mut c = Campaign::new(f, instrumented_config(), start, OperatingPoint::AFTER_BIOS);
+        c.run_until(start + SimDuration::from_days(2));
+
+        let cab = c.cabinet_series();
+        assert_eq!(cab.len(), cabinets);
+        let total = c.power_series();
+        assert_eq!(cab[0].len(), total.len());
+        for i in 0..total.len() {
+            let sum: f64 = cab.iter().map(|s| s.values()[i]).sum();
+            let facility = total.values()[i];
+            // The facility series carries ±1 % telemetry noise; the cabinet
+            // series are noiseless, so reconcile within 5 sigma.
+            assert!(
+                (sum - facility).abs() / facility < 0.05,
+                "sample {i}: cabinets {sum} vs facility {facility}"
+            );
+        }
+    }
+
+    #[test]
+    fn cabinet_loads_are_balanced() {
+        let f = scaled_facility(23, 10);
+        let start = SimTime::from_ymd(2022, 6, 1);
+        let mut c = Campaign::new(f, instrumented_config(), start, OperatingPoint::AFTER_BIOS);
+        c.run_until(start + SimDuration::from_days(2));
+        let means: Vec<f64> = c.cabinet_series().iter().map(|s| s.mean()).collect();
+        // Nodes are spread in contiguous blocks, so per-cabinet means stay
+        // within ~25 % of each other (the tail cabinet is smaller).
+        let max = means.iter().cloned().fold(f64::MIN, f64::max);
+        let min = means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(min > 0.0);
+        assert!(max / min < 1.6, "cabinet imbalance: {min:.1}..{max:.1} kW");
+    }
+
+    #[test]
+    fn telemetry_off_by_default() {
+        let f = scaled_facility(24, 10);
+        let start = SimTime::from_ymd(2022, 6, 1);
+        let mut c = Campaign::new(f, CampaignConfig::default(), start, OperatingPoint::AFTER_BIOS);
+        c.run_until(start + SimDuration::from_days(1));
+        assert!(c.trace().is_empty());
+        assert!(c.cabinet_series().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod schedule_tests {
+    use super::*;
+    use crate::experiment::scaled_facility;
+    use hpc_grid::IntensityScenario;
+
+    fn grid_aware_config() -> CampaignConfig {
+        CampaignConfig {
+            schedule: Some(OperatingSchedule {
+                scenario: IntensityScenario::UkGrid2022,
+                high_ci_threshold: 230.0,
+                normal: OperatingPoint::AFTER_BIOS,
+                shed: OperatingPoint::AFTER_FREQ,
+                tick: SimDuration::from_hours(1),
+            }),
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn grid_aware_campaign_sits_between_the_static_points() {
+        let start = SimTime::from_ymd(2022, 12, 1);
+        let run = |cfg: CampaignConfig, op: OperatingPoint| {
+            let f = scaled_facility(31, 10);
+            let mut c = Campaign::new(f, cfg, start, op);
+            c.run_until(start + SimDuration::from_days(10));
+            c.power_series().mean()
+        };
+        let fast = run(CampaignConfig::default(), OperatingPoint::AFTER_BIOS);
+        let slow = run(CampaignConfig::default(), OperatingPoint::AFTER_FREQ);
+        let aware = run(grid_aware_config(), OperatingPoint::AFTER_BIOS);
+        assert!(
+            aware < fast && aware > slow,
+            "grid-aware {aware:.0} should sit between {slow:.0} and {fast:.0}"
+        );
+    }
+
+    #[test]
+    fn schedule_follows_the_intensity_signal() {
+        let sched = OperatingSchedule {
+            scenario: IntensityScenario::UkGrid2022,
+            high_ci_threshold: 230.0,
+            normal: OperatingPoint::AFTER_BIOS,
+            shed: OperatingPoint::AFTER_FREQ,
+            tick: SimDuration::from_hours(1),
+        };
+        // December evening: stressed grid -> shed.
+        let evening = SimTime::from_ymd_hms(2022, 12, 12, 18, 0, 0);
+        assert_eq!(sched.at(evening), OperatingPoint::AFTER_FREQ);
+        // July night: relaxed grid -> normal.
+        let night = SimTime::from_ymd_hms(2022, 7, 10, 3, 0, 0);
+        assert_eq!(sched.at(night), OperatingPoint::AFTER_BIOS);
+    }
+
+    #[test]
+    fn campaign_operating_point_actually_switches() {
+        let f = scaled_facility(32, 10);
+        let start = SimTime::from_ymd(2022, 12, 1);
+        let mut c = Campaign::new(f, grid_aware_config(), start, OperatingPoint::AFTER_BIOS);
+        // Run to a December evening: the policy should have shed by then.
+        c.run_until(SimTime::from_ymd_hms(2022, 12, 1, 18, 30, 0));
+        assert_eq!(c.operating_point().setting, FreqSetting::Mid2000);
+        // And restored overnight.
+        c.run_until(SimTime::from_ymd_hms(2022, 12, 2, 4, 30, 0));
+        assert_eq!(c.operating_point().setting, FreqSetting::TurboBoost2250);
+    }
+}

@@ -1,0 +1,250 @@
+//! The assembled ARCHER2 facility: topology, power models, silicon lottery
+//! tickets for every socket, and the calibrated application catalog.
+
+use hpc_power::{
+    CabinetOverheadModel, CduModel, DeterminismMode, FilesystemModel, NodePowerModel, NodeSpec,
+    SiliconLottery, SiliconSample, SwitchPowerModel, SwitchSpec,
+};
+use hpc_topo::{FacilityConfig, FacilityTopology, NodeId};
+use hpc_workload::{Catalog, OperatingPoint};
+use sim_core::rng::Xoshiro256StarStar;
+
+/// The whole system, ready to simulate.
+#[derive(Debug, Clone)]
+pub struct Archer2Facility {
+    topology: FacilityTopology,
+    node_model: NodePowerModel,
+    switch_model: SwitchPowerModel,
+    cdu_model: CduModel,
+    overhead_model: CabinetOverheadModel,
+    filesystem_model: FilesystemModel,
+    lottery: SiliconLottery,
+    /// Two silicon samples per node, indexed by node id.
+    parts: Vec<[SiliconSample; 2]>,
+    catalog: Catalog,
+}
+
+/// A static power budget (the Table 2 decomposition) for one facility state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBudget {
+    /// All compute nodes (kW).
+    pub nodes_kw: f64,
+    /// All switches (kW).
+    pub switches_kw: f64,
+    /// Cabinet overheads (kW).
+    pub overheads_kw: f64,
+    /// CDUs (kW).
+    pub cdus_kw: f64,
+    /// File systems (kW).
+    pub filesystems_kw: f64,
+}
+
+impl PowerBudget {
+    /// Total facility power (kW).
+    pub fn total_kw(&self) -> f64 {
+        self.nodes_kw + self.switches_kw + self.overheads_kw + self.cdus_kw + self.filesystems_kw
+    }
+
+    /// The "compute cabinet" subset the paper's figures measure: nodes +
+    /// switches + cabinet overheads (≈90 % of the facility total).
+    pub fn compute_cabinets_kw(&self) -> f64 {
+        self.nodes_kw + self.switches_kw + self.overheads_kw
+    }
+}
+
+impl Archer2Facility {
+    /// Build the full-size facility with a deterministic silicon lottery.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(FacilityConfig::archer2(), seed)
+    }
+
+    /// Build with a custom topology (scaled-down facilities for fast tests).
+    pub fn with_config(config: FacilityConfig, seed: u64) -> Self {
+        let topology = FacilityTopology::build(config);
+        let node_model = NodePowerModel::new(NodeSpec::default());
+        let lottery = SiliconLottery::default();
+        let root = Xoshiro256StarStar::seeded(seed);
+        let mut silicon_rng = root.substream(0x51C0_DE00);
+        let parts: Vec<[SiliconSample; 2]> = (0..config.nodes)
+            .map(|_| [lottery.sample(&mut silicon_rng), lottery.sample(&mut silicon_rng)])
+            .collect();
+        let catalog = Catalog::calibrated(&node_model, &lottery);
+        Archer2Facility {
+            topology,
+            node_model,
+            switch_model: SwitchPowerModel::new(SwitchSpec::default()),
+            cdu_model: CduModel::default(),
+            overhead_model: CabinetOverheadModel::default(),
+            filesystem_model: FilesystemModel::default(),
+            lottery,
+            parts,
+            catalog,
+        }
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &FacilityTopology {
+        &self.topology
+    }
+
+    /// The node power model.
+    pub fn node_model(&self) -> &NodePowerModel {
+        &self.node_model
+    }
+
+    /// The silicon lottery parameters.
+    pub fn lottery(&self) -> &SiliconLottery {
+        &self.lottery
+    }
+
+    /// The calibrated benchmark catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Silicon tickets of one node.
+    pub fn node_parts(&self, node: NodeId) -> &[SiliconSample; 2] {
+        &self.parts[node.index()]
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> u32 {
+        self.topology.config().nodes
+    }
+
+    /// Mean idle node power across the fleet (kW/node) in a BIOS mode.
+    pub fn mean_idle_node_kw(&self, mode: DeterminismMode) -> f64 {
+        let total: f64 = self
+            .parts
+            .iter()
+            .map(|p| self.node_model.idle_power(mode, p).total_w())
+            .sum();
+        total / self.parts.len() as f64 / 1000.0
+    }
+
+    /// Power budget with every node idle (Table 2's "Idle" column).
+    pub fn idle_budget(&self, mode: DeterminismMode) -> PowerBudget {
+        let nodes_kw = self.mean_idle_node_kw(mode) * self.nodes() as f64;
+        self.budget_from_nodes(nodes_kw, 0.0)
+    }
+
+    /// Power budget with every node running a typical HPC load (Table 2's
+    /// "Loaded" column).
+    pub fn loaded_budget(&self, op: OperatingPoint) -> PowerBudget {
+        let generic = hpc_workload::AppModel::generic(hpc_workload::ResearchArea::MaterialsScience);
+        let per_node_w =
+            generic.node_power_w(op, &self.node_model, &self.lottery);
+        let nodes_kw = per_node_w * self.nodes() as f64 / 1000.0;
+        self.budget_from_nodes(nodes_kw, 1.0)
+    }
+
+    /// Assemble a budget given total node power and a fabric traffic load.
+    pub fn budget_from_nodes(&self, nodes_kw: f64, fabric_load: f64) -> PowerBudget {
+        let cfg = self.topology.config();
+        let switches_kw =
+            cfg.fabric.total_switches() as f64 * self.switch_model.power_w(fabric_load) / 1000.0;
+        let it_per_cabinet_w = (nodes_kw + switches_kw) * 1000.0 / cfg.cabinets as f64;
+        let overheads_kw =
+            cfg.cabinets as f64 * self.overhead_model.power_w(it_per_cabinet_w) / 1000.0;
+        let cdus_kw = cfg.cdus as f64 * self.cdu_model.power_w() / 1000.0;
+        let filesystems_kw = cfg.filesystems as f64 * self.filesystem_model.power_w() / 1000.0;
+        PowerBudget {
+            nodes_kw,
+            switches_kw,
+            overheads_kw,
+            cdus_kw,
+            filesystems_kw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facility() -> Archer2Facility {
+        Archer2Facility::new(2022)
+    }
+
+    #[test]
+    fn idle_budget_matches_table2() {
+        // Table 2 idle: nodes 1,350 kW, switches 100-200 kW, overheads
+        // 100-200 kW, CDUs 96 kW, filesystems 40 kW; total ≈ 1,800 kW.
+        let f = facility();
+        let b = f.idle_budget(DeterminismMode::Power);
+        assert!((1250.0..=1480.0).contains(&b.nodes_kw), "idle nodes {} kW", b.nodes_kw);
+        assert!((100.0..=200.0).contains(&b.switches_kw), "switches {} kW", b.switches_kw);
+        assert!((100.0..=200.0).contains(&b.overheads_kw), "overheads {} kW", b.overheads_kw);
+        assert!((b.cdus_kw - 96.0).abs() < 0.1);
+        assert!((b.filesystems_kw - 40.0).abs() < 0.1);
+        assert!((1650.0..=1950.0).contains(&b.total_kw()), "idle total {} kW", b.total_kw());
+    }
+
+    #[test]
+    fn loaded_budget_matches_table2() {
+        // Table 2 loaded: nodes 3,000 kW, switches 200 kW, overheads
+        // 200 kW, CDUs 96 kW, filesystems 40 kW; total ≈ 3,500 kW.
+        let f = facility();
+        let b = f.loaded_budget(OperatingPoint::ORIGINAL);
+        assert!((2800.0..=3200.0).contains(&b.nodes_kw), "loaded nodes {} kW", b.nodes_kw);
+        assert!((170.0..=210.0).contains(&b.switches_kw), "switches {} kW", b.switches_kw);
+        assert!((150.0..=230.0).contains(&b.overheads_kw), "overheads {} kW", b.overheads_kw);
+        assert!((3300.0..=3700.0).contains(&b.total_kw()), "loaded total {} kW", b.total_kw());
+    }
+
+    #[test]
+    fn nodes_dominate_loaded_power() {
+        // Table 2: compute nodes ≈ 86 % of loaded facility power.
+        let f = facility();
+        let b = f.loaded_budget(OperatingPoint::ORIGINAL);
+        let share = b.nodes_kw / b.total_kw();
+        assert!((0.80..=0.90).contains(&share), "node share {share}");
+    }
+
+    #[test]
+    fn compute_cabinets_are_about_90_percent() {
+        // §3.2: compute cabinets ≈ 90 % of total ARCHER2 power draw.
+        let f = facility();
+        let b = f.loaded_budget(OperatingPoint::ORIGINAL);
+        let share = b.compute_cabinets_kw() / b.total_kw();
+        assert!((0.87..=0.97).contains(&share), "cabinet share {share}");
+    }
+
+    #[test]
+    fn every_node_has_silicon() {
+        let f = facility();
+        assert_eq!(f.nodes(), 5860);
+        let p0 = f.node_parts(NodeId(0));
+        let p1 = f.node_parts(NodeId(5859));
+        assert!(p0[0].v_margin > 0.0 && p1[1].v_margin > 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_facility() {
+        let a = Archer2Facility::new(7);
+        let b = Archer2Facility::new(7);
+        for n in [0u32, 100, 5000] {
+            assert_eq!(a.node_parts(NodeId(n)), b.node_parts(NodeId(n)));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_silicon() {
+        let a = Archer2Facility::new(1);
+        let b = Archer2Facility::new(2);
+        let same = (0..100u32)
+            .filter(|&n| a.node_parts(NodeId(n)) == b.node_parts(NodeId(n)))
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn idle_total_near_half_loaded_total() {
+        // Table 2: idle 1,800 kW vs loaded 3,500 kW.
+        let f = facility();
+        let idle = f.idle_budget(DeterminismMode::Power).total_kw();
+        let loaded = f.loaded_budget(OperatingPoint::ORIGINAL).total_kw();
+        let frac = idle / loaded;
+        assert!((0.45..=0.60).contains(&frac), "idle/loaded {frac}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimal markdown table rendering for experiment output.
+
+/// A simple markdown table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as aligned markdown.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:<w$} |", c, w = width[i]));
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('|');
+        for w in &width {
+            out.push_str(&format!("{:-<w$}|", "", w = w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Format a ratio to the paper's two decimal places.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format kilowatts with thousands separators, as the paper prints them.
+pub fn kw(x: f64) -> String {
+    let v = x.round() as i64;
+    let s = v.abs().to_string();
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    if v < 0 {
+        format!("-{out} kW")
+    } else {
+        format!("{out} kW")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["Benchmark", "Perf", "Energy"]);
+        t.row(["CASTEP Al Slab", "0.93", "0.88"]);
+        t.row(["VASP CdTe", "0.95", "0.88"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Benchmark"));
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[2].contains("CASTEP"));
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(ratio(0.929_9), "0.93");
+        assert_eq!(kw(3220.4), "3,220 kW");
+        assert_eq!(kw(210.0), "210 kW");
+        assert_eq!(kw(1_234_567.0), "1,234,567 kW");
+    }
+}

@@ -1,0 +1,110 @@
+//! Total-cost-of-ownership model.
+//!
+//! §1 of the paper: "Historically, the cost of large scale HPC systems was
+//! dominated by the capital cost with the operational electricity costs a
+//! small component. This is no longer true, with lifetime electricity
+//! costs now matching or even exceeding the capital costs for large scale
+//! HPC systems in many countries." This module quantifies that statement
+//! and prices the paper's 690 kW saving.
+
+use serde::{Deserialize, Serialize};
+use sim_core::time::SimDuration;
+
+/// Facility cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Capital cost: hardware, installation, hosting fit-out (million GBP).
+    pub capital_mgbp: f64,
+    /// Service life.
+    pub service_life: SimDuration,
+    /// Mean facility power draw (kW).
+    pub mean_power_kw: f64,
+    /// Electricity price (GBP per kWh).
+    pub electricity_gbp_per_kwh: f64,
+}
+
+impl CostModel {
+    /// ARCHER2-like figures: ~£79M capital, six-year life, ~3.5 MW facility
+    /// draw at pre-crisis prices.
+    pub fn archer2(electricity_gbp_per_kwh: f64) -> Self {
+        CostModel {
+            capital_mgbp: 79.0,
+            service_life: SimDuration::from_days(6 * 365),
+            mean_power_kw: 3_500.0,
+            electricity_gbp_per_kwh,
+        }
+    }
+
+    /// Lifetime electricity use (kWh).
+    pub fn lifetime_kwh(&self) -> f64 {
+        self.mean_power_kw * self.service_life.as_hours_f64()
+    }
+
+    /// Lifetime electricity cost (million GBP).
+    pub fn lifetime_electricity_mgbp(&self) -> f64 {
+        self.lifetime_kwh() * self.electricity_gbp_per_kwh / 1e6
+    }
+
+    /// Electricity share of total lifetime cost, in `[0, 1]`.
+    pub fn electricity_share(&self) -> f64 {
+        let e = self.lifetime_electricity_mgbp();
+        e / (e + self.capital_mgbp)
+    }
+
+    /// Electricity price (GBP/kWh) at which lifetime electricity equals the
+    /// capital cost — the §1 crossover.
+    pub fn crossover_price_gbp_per_kwh(&self) -> f64 {
+        self.capital_mgbp * 1e6 / self.lifetime_kwh()
+    }
+
+    /// Annual cost (million GBP) of `kw` of continuous power draw.
+    pub fn annual_cost_of_kw(&self, kw: f64) -> f64 {
+        kw * 8_766.0 * self.electricity_gbp_per_kwh / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn historic_prices_capital_dominated() {
+        // ~£0.10/kWh (pre-2021): electricity well under half the TCO.
+        let m = CostModel::archer2(0.10);
+        assert!(m.electricity_share() < 0.30, "share {}", m.electricity_share());
+    }
+
+    #[test]
+    fn crisis_prices_match_or_exceed_capital() {
+        // Winter 2022 non-domestic rates (~£0.30/kWh and above): the
+        // paper's claim — electricity matches or exceeds capital.
+        let m = CostModel::archer2(0.45);
+        assert!(m.electricity_share() > 0.5, "share {}", m.electricity_share());
+        let at_crossover = CostModel::archer2(m.crossover_price_gbp_per_kwh());
+        assert!((at_crossover.electricity_share() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossover_price_is_plausible() {
+        // 184 GWh lifetime, £79M capital: crossover ≈ £0.43/kWh — reached
+        // during the 2022 crisis, exactly the paper's point.
+        let m = CostModel::archer2(0.30);
+        let x = m.crossover_price_gbp_per_kwh();
+        assert!((0.30..=0.60).contains(&x), "crossover {x} GBP/kWh");
+    }
+
+    #[test]
+    fn lifetime_energy_magnitude() {
+        let m = CostModel::archer2(0.30);
+        let gwh = m.lifetime_kwh() / 1e6;
+        assert!((160.0..=200.0).contains(&gwh), "lifetime {gwh} GWh");
+    }
+
+    #[test]
+    fn paper_saving_priced() {
+        // The 690 kW saving at £0.30/kWh ≈ £1.8M/year.
+        let m = CostModel::archer2(0.30);
+        let annual = m.annual_cost_of_kw(690.0);
+        assert!((1.6..=2.1).contains(&annual), "annual saving {annual} M GBP");
+    }
+}

@@ -1,0 +1,30 @@
+//! # hpc-emissions
+//!
+//! Emissions accounting for a large-scale HPC facility, implementing §2 of
+//! the paper:
+//!
+//! * **Scope 2** (operational): electricity use × grid carbon intensity,
+//!   integrated over telemetry ([`scope2`]).
+//! * **Scope 3** (embodied): manufacture, shipping and decommissioning,
+//!   amortised over the service lifetime ([`scope3`]).
+//! * **Regimes** ([`regimes`]): the paper's three-band decision framework —
+//!   below ~30 gCO₂/kWh embodied emissions dominate (optimise application
+//!   performance), above ~100 gCO₂/kWh operational emissions dominate
+//!   (optimise energy efficiency), in between balance the two.
+//! * **Scenarios** ([`scenario`]): lifetime emissions under different grid
+//!   trajectories and operating points — the "future paper" §2 promises,
+//!   built here as an extension experiment.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod regimes;
+pub mod scenario;
+pub mod scope2;
+pub mod scope3;
+
+pub use cost::CostModel;
+pub use regimes::{OperatingChoice, RegimeAnalysis, RegimeRow};
+pub use scenario::{LifetimeScenario, ScenarioOutcome};
+pub use scope2::Scope2Accountant;
+pub use scope3::{EmbodiedBreakdown, EmbodiedEmissions};

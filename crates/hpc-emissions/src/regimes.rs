@@ -1,0 +1,220 @@
+//! The §2 regime analysis: how the scope-2/scope-3 balance — and therefore
+//! the right operating policy — depends on grid carbon intensity.
+//!
+//! For each carbon intensity in a sweep, the analysis computes the share of
+//! lifetime emissions that is embodied vs operational, classifies the
+//! regime, and decides which operating point minimises **emissions per unit
+//! of science output** (a work unit = what one node-hour accomplishes at
+//! the reference operating point):
+//!
+//! ```text
+//! g/work-unit(op) = t_rel(op) · [ P_node(op)·CI + embodied_rate ]
+//! ```
+//!
+//! Slowing the clock reduces the energy term but inflates the amortised
+//! embodied term (the job occupies its nodes longer) — exactly the §2
+//! trade-off: "when scope 3 emissions dominate, optimise for application
+//! performance irrespective of energy efficiency; when scope 2 emissions
+//! dominate, optimise for energy efficiency".
+
+use crate::scope3::EmbodiedEmissions;
+use hpc_grid::intensity::EmissionRegime;
+use hpc_grid::IntensityScenario;
+use serde::{Deserialize, Serialize};
+
+/// An operating point reduced to what the emissions trade-off needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingChoice {
+    /// Label, e.g. `"2.0 GHz"`.
+    pub label: String,
+    /// Mean node power at this point (kW).
+    pub node_power_kw: f64,
+    /// Runtime relative to the reference point (≥ 1 when slower).
+    pub runtime_ratio: f64,
+}
+
+impl OperatingChoice {
+    /// Emissions per work unit (gCO₂e) at carbon intensity `ci` given the
+    /// embodied amortisation rate (g per node-hour).
+    pub fn emissions_per_work_unit(&self, ci_g_per_kwh: f64, embodied_rate_g_per_nodeh: f64) -> f64 {
+        self.runtime_ratio * (self.node_power_kw * ci_g_per_kwh + embodied_rate_g_per_nodeh)
+    }
+
+    /// Energy per work unit (kWh).
+    pub fn energy_per_work_unit_kwh(&self) -> f64 {
+        self.runtime_ratio * self.node_power_kw
+    }
+}
+
+/// One row of the regime table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegimeRow {
+    /// Carbon intensity (gCO₂/kWh).
+    pub ci: f64,
+    /// Paper-band classification at this intensity.
+    pub regime: EmissionRegime,
+    /// Fraction of lifetime emissions that is embodied, in `[0, 1]`.
+    pub embodied_share: f64,
+    /// Label of the operating choice minimising emissions per work unit.
+    pub best_choice: String,
+    /// Emissions per work unit for each choice (g), in input order.
+    pub per_work_unit_g: Vec<f64>,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegimeAnalysis {
+    /// Sweep rows, ascending in carbon intensity.
+    pub rows: Vec<RegimeRow>,
+    /// Intensity at which embodied and operational lifetime emissions are
+    /// equal (the centre of the paper's "balanced" band).
+    pub parity_ci: f64,
+}
+
+impl RegimeAnalysis {
+    /// Run the sweep.
+    ///
+    /// * `embodied` — the facility's scope-3 model;
+    /// * `mean_facility_power_kw` — lifetime-mean facility power draw;
+    /// * `choices` — candidate operating points (first = reference);
+    /// * `ci_values` — intensities to sweep (must be non-empty, ascending).
+    ///
+    /// # Panics
+    /// Panics on an empty sweep or empty choice list.
+    pub fn run(
+        embodied: &EmbodiedEmissions,
+        mean_facility_power_kw: f64,
+        choices: &[OperatingChoice],
+        ci_values: &[f64],
+    ) -> Self {
+        assert!(!choices.is_empty(), "need at least one operating choice");
+        assert!(!ci_values.is_empty(), "need at least one CI value");
+
+        let lifetime_kwh = mean_facility_power_kw * embodied.service_life.as_hours_f64();
+        let embodied_g = embodied.total_t() * 1e6;
+        // Parity: lifetime_kwh · CI = embodied_g.
+        let parity_ci = embodied_g / lifetime_kwh;
+        let rate = embodied.rate_g_per_node_hour();
+
+        let rows = ci_values
+            .iter()
+            .map(|&ci| {
+                let scope2_g = lifetime_kwh * ci;
+                let embodied_share = embodied_g / (embodied_g + scope2_g);
+                let per: Vec<f64> = choices
+                    .iter()
+                    .map(|c| c.emissions_per_work_unit(ci, rate))
+                    .collect();
+                let best = per
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite emissions"))
+                    .map(|(i, _)| choices[i].label.clone())
+                    .expect("non-empty choices");
+                RegimeRow {
+                    ci,
+                    regime: IntensityScenario::regime_of(ci),
+                    embodied_share,
+                    best_choice: best,
+                    per_work_unit_g: per,
+                }
+            })
+            .collect();
+
+        RegimeAnalysis { rows, parity_ci }
+    }
+
+    /// The lowest swept CI at which `label` becomes the best choice, if any.
+    pub fn crossover_to(&self, label: &str) -> Option<f64> {
+        self.rows.iter().find(|r| r.best_choice == label).map(|r| r.ci)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn choices() -> Vec<OperatingChoice> {
+        vec![
+            OperatingChoice {
+                label: "2.25 GHz+turbo".into(),
+                node_power_kw: 0.49,
+                runtime_ratio: 1.0,
+            },
+            OperatingChoice {
+                label: "2.0 GHz".into(),
+                node_power_kw: 0.38,
+                runtime_ratio: 1.12,
+            },
+        ]
+    }
+
+    fn sweep() -> Vec<f64> {
+        (0..=60).map(|i| 5.0 * i as f64).collect() // 0..300
+    }
+
+    #[test]
+    fn parity_lands_in_paper_band() {
+        // The paper: scope 2 ≈ scope 3 when CI is 30-100 g/kWh.
+        let emb = EmbodiedEmissions::archer2_scale();
+        let a = RegimeAnalysis::run(&emb, 3220.0, &choices(), &sweep());
+        assert!(
+            (30.0..=100.0).contains(&a.parity_ci),
+            "parity CI {} outside the paper's balanced band",
+            a.parity_ci
+        );
+    }
+
+    #[test]
+    fn embodied_share_monotonically_falls_with_ci() {
+        let emb = EmbodiedEmissions::archer2_scale();
+        let a = RegimeAnalysis::run(&emb, 3220.0, &choices(), &sweep());
+        for w in a.rows.windows(2) {
+            assert!(w[1].embodied_share <= w[0].embodied_share);
+        }
+        // At zero CI everything is embodied.
+        assert!((a.rows[0].embodied_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn performance_wins_at_low_ci_efficiency_at_high_ci() {
+        // §2's headline: at low CI run fast; at high CI run efficient.
+        let emb = EmbodiedEmissions::archer2_scale();
+        let a = RegimeAnalysis::run(&emb, 3220.0, &choices(), &sweep());
+        assert_eq!(a.rows[0].best_choice, "2.25 GHz+turbo", "zero CI favours performance");
+        assert_eq!(
+            a.rows.last().unwrap().best_choice,
+            "2.0 GHz",
+            "300 g/kWh favours energy efficiency"
+        );
+    }
+
+    #[test]
+    fn crossover_is_in_or_near_balanced_band() {
+        let emb = EmbodiedEmissions::archer2_scale();
+        let a = RegimeAnalysis::run(&emb, 3220.0, &choices(), &sweep());
+        let cross = a.crossover_to("2.0 GHz").expect("2.0 GHz must win somewhere");
+        assert!(
+            (20.0..=120.0).contains(&cross),
+            "frequency-cap crossover at {cross} g/kWh"
+        );
+    }
+
+    #[test]
+    fn per_work_unit_formula() {
+        let c = &choices()[1];
+        // 1.12 × (0.38·100 + 35) = 1.12 × 73 = 81.76.
+        let g = c.emissions_per_work_unit(100.0, 35.0);
+        assert!((g - 81.76).abs() < 1e-9);
+        assert!((c.energy_per_work_unit_kwh() - 0.4256).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regime_labels_follow_bands() {
+        let emb = EmbodiedEmissions::archer2_scale();
+        let a = RegimeAnalysis::run(&emb, 3220.0, &choices(), &[10.0, 65.0, 200.0]);
+        assert_eq!(a.rows[0].regime, EmissionRegime::EmbodiedDominated);
+        assert_eq!(a.rows[1].regime, EmissionRegime::Balanced);
+        assert_eq!(a.rows[2].regime, EmissionRegime::OperationalDominated);
+    }
+}

@@ -1,0 +1,179 @@
+//! Lifetime emissions scenarios.
+//!
+//! §2 (and §5's future-work list) frame the operator's real question: over
+//! the whole service life, under an assumed grid trajectory, what do the
+//! operating choices cost in total emissions and in science output? A
+//! [`LifetimeScenario`] integrates scope 2 over the trajectory, adds the
+//! full scope 3, and reports both totals and per-work-unit figures.
+
+use crate::regimes::OperatingChoice;
+use crate::scope2::Scope2Accountant;
+use crate::scope3::EmbodiedEmissions;
+use hpc_grid::IntensityScenario;
+use serde::{Deserialize, Serialize};
+use sim_core::time::SimTime;
+
+/// A lifetime scenario: grid trajectory × facility shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeScenario {
+    /// Grid carbon-intensity trajectory.
+    pub intensity: IntensityScenario,
+    /// Service start.
+    pub start: SimTime,
+    /// Embodied-emissions model (also fixes the service life and node count).
+    pub embodied: EmbodiedEmissions,
+    /// Mean facility power per *busy node-hour equivalent* is derived from
+    /// the operating choice; this is the non-compute overhead added on top
+    /// (switches, CDUs, cabinet overheads, filesystems), in kW.
+    pub overhead_kw: f64,
+    /// Mean utilisation over the life (ARCHER2: > 0.9).
+    pub utilisation: f64,
+}
+
+/// Outcome of evaluating one operating choice under a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Operating choice label.
+    pub label: String,
+    /// Scope-2 total over the service life (tCO₂e).
+    pub scope2_t: f64,
+    /// Scope-3 total (tCO₂e).
+    pub scope3_t: f64,
+    /// Lifetime science output in reference node-hour work units.
+    pub work_units: f64,
+    /// Total emissions per work unit (gCO₂e).
+    pub g_per_work_unit: f64,
+    /// Lifetime electricity use (GWh).
+    pub energy_gwh: f64,
+}
+
+impl ScenarioOutcome {
+    /// Total lifetime emissions (tCO₂e).
+    pub fn total_t(&self) -> f64 {
+        self.scope2_t + self.scope3_t
+    }
+}
+
+impl LifetimeScenario {
+    /// Evaluate one operating choice.
+    pub fn evaluate(&self, choice: &OperatingChoice) -> ScenarioOutcome {
+        let nodes = self.embodied.nodes as f64;
+        let busy_nodes = nodes * self.utilisation;
+        let facility_kw = busy_nodes * choice.node_power_kw + self.overhead_kw;
+
+        let acc = Scope2Accountant::new(self.intensity);
+        let scope2_t = acc.emissions_constant_t(facility_kw, self.start, self.embodied.service_life);
+        let scope3_t = self.embodied.total_t();
+
+        // Work: busy node-hours ÷ runtime ratio (slower clock ⇒ fewer work
+        // units per node-hour).
+        let life_h = self.embodied.service_life.as_hours_f64();
+        let work_units = busy_nodes * life_h / choice.runtime_ratio;
+        let total_g = (scope2_t + scope3_t) * 1e6;
+
+        ScenarioOutcome {
+            label: choice.label.clone(),
+            scope2_t,
+            scope3_t,
+            work_units,
+            g_per_work_unit: total_g / work_units,
+            energy_gwh: facility_kw * life_h / 1e6,
+        }
+    }
+
+    /// Evaluate a set of choices and return outcomes in input order.
+    pub fn compare(&self, choices: &[OperatingChoice]) -> Vec<ScenarioOutcome> {
+        choices.iter().map(|c| self.evaluate(c)).collect()
+    }
+}
+
+/// Convenience: an ARCHER2-scale scenario starting at service start
+/// (Nov 2021) under the given trajectory.
+pub fn archer2_scenario(intensity: IntensityScenario) -> LifetimeScenario {
+    LifetimeScenario {
+        intensity,
+        start: SimTime::from_ymd(2021, 11, 1),
+        embodied: EmbodiedEmissions::archer2_scale(),
+        overhead_kw: 500.0, // switches + CDUs + cabinet overheads + storage
+        utilisation: 0.92,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn choices() -> Vec<OperatingChoice> {
+        vec![
+            OperatingChoice {
+                label: "reference".into(),
+                node_power_kw: 0.49,
+                runtime_ratio: 1.0,
+            },
+            OperatingChoice {
+                label: "2.0 GHz".into(),
+                node_power_kw: 0.38,
+                runtime_ratio: 1.12,
+            },
+        ]
+    }
+
+    #[test]
+    fn magnitudes_are_archer2_like() {
+        let sc = archer2_scenario(IntensityScenario::Flat(200.0));
+        let out = sc.evaluate(&choices()[0]);
+        // Facility ≈ 3.14 MW → ≈165 GWh over 6 years → ≈33 kt scope 2.
+        assert!((140.0..=200.0).contains(&out.energy_gwh), "energy {} GWh", out.energy_gwh);
+        assert!((25_000.0..=40_000.0).contains(&out.scope2_t), "scope2 {} t", out.scope2_t);
+        assert!((out.scope3_t - 11_000.0).abs() < 1.0);
+        assert!(out.total_t() > out.scope2_t);
+    }
+
+    #[test]
+    fn high_ci_favours_low_frequency() {
+        let sc = archer2_scenario(IntensityScenario::Flat(250.0));
+        let outs = sc.compare(&choices());
+        assert!(
+            outs[1].g_per_work_unit < outs[0].g_per_work_unit,
+            "at 250 g/kWh the 2.0 GHz point should win: {} vs {}",
+            outs[1].g_per_work_unit,
+            outs[0].g_per_work_unit
+        );
+    }
+
+    #[test]
+    fn zero_ci_favours_performance() {
+        let sc = archer2_scenario(IntensityScenario::Flat(0.0));
+        let outs = sc.compare(&choices());
+        assert!(
+            outs[0].g_per_work_unit < outs[1].g_per_work_unit,
+            "with zero-carbon power the fast point should win"
+        );
+        // With zero CI all emissions are embodied.
+        assert!(outs[0].scope2_t.abs() < 1e-9);
+    }
+
+    #[test]
+    fn decarbonising_grid_sits_between_flat_extremes() {
+        let traj = IntensityScenario::Decarbonising {
+            start_g: 200.0,
+            end_g: 20.0,
+            start_year: 2021,
+            end_year: 2027,
+        };
+        let sc = archer2_scenario(traj);
+        let out = sc.evaluate(&choices()[0]);
+        let hi = archer2_scenario(IntensityScenario::Flat(200.0)).evaluate(&choices()[0]);
+        let lo = archer2_scenario(IntensityScenario::Flat(20.0)).evaluate(&choices()[0]);
+        assert!(out.scope2_t < hi.scope2_t && out.scope2_t > lo.scope2_t);
+    }
+
+    #[test]
+    fn work_units_shrink_when_slower() {
+        let sc = archer2_scenario(IntensityScenario::Flat(100.0));
+        let outs = sc.compare(&choices());
+        assert!(outs[1].work_units < outs[0].work_units);
+        let ratio = outs[0].work_units / outs[1].work_units;
+        assert!((ratio - 1.12).abs() < 1e-9);
+    }
+}

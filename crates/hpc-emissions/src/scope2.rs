@@ -1,0 +1,116 @@
+//! Scope-2 (operational) emissions: power × grid carbon intensity,
+//! integrated over time.
+
+use hpc_grid::IntensityScenario;
+use hpc_telemetry::TimeSeries;
+use serde::{Deserialize, Serialize};
+use sim_core::time::{SimDuration, SimTime};
+
+/// Integrates a facility power series against a carbon-intensity signal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scope2Accountant {
+    /// The carbon-intensity scenario to integrate against.
+    pub intensity: IntensityScenario,
+}
+
+impl Scope2Accountant {
+    /// Build for a scenario.
+    pub fn new(intensity: IntensityScenario) -> Self {
+        Scope2Accountant { intensity }
+    }
+
+    /// Emissions (tCO₂e) of a power time series in **kW**.
+    ///
+    /// Each sample contributes `P·dt·CI(t)`; the intensity is evaluated at
+    /// the sample instant (piecewise-constant, like half-hourly settlement
+    /// data).
+    ///
+    /// # Panics
+    /// Panics if the series unit is not `"kW"` — emissions arithmetic is
+    /// too easy to get wrong by a factor of 1,000 to skip the check.
+    pub fn emissions_t(&self, power_kw: &TimeSeries) -> f64 {
+        assert_eq!(power_kw.unit, "kW", "scope-2 accounting expects a kW series");
+        let dt_h = power_kw.interval().as_hours_f64();
+        let mut grams = 0.0;
+        for (i, &p) in power_kw.values().iter().enumerate() {
+            let ci = self.intensity.expected(power_kw.time_at(i));
+            grams += p * dt_h * ci; // kW·h·g/kWh = g
+        }
+        grams / 1e6
+    }
+
+    /// Emissions (tCO₂e) of running at constant `power_kw` from `start` for
+    /// `span`, sampling the intensity hourly.
+    pub fn emissions_constant_t(&self, power_kw: f64, start: SimTime, span: SimDuration) -> f64 {
+        let hours = span.as_hours_f64().ceil() as usize;
+        let mut grams = 0.0;
+        let mut t = start;
+        let mut remaining = span.as_hours_f64();
+        for _ in 0..hours {
+            let step = remaining.min(1.0);
+            grams += power_kw * step * self.intensity.expected(t);
+            remaining -= step;
+            t += SimDuration::from_hours(1);
+        }
+        grams / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_intensity_closed_form() {
+        // 1,000 kW for 1,000 h at 200 g/kWh = 200 tCO₂e.
+        let acc = Scope2Accountant::new(IntensityScenario::Flat(200.0));
+        let t = acc.emissions_constant_t(1000.0, SimTime::from_ymd(2022, 1, 1), SimDuration::from_hours(1000));
+        assert!((t - 200.0).abs() < 1e-9, "emissions {t}");
+    }
+
+    #[test]
+    fn series_and_constant_agree_for_flat_signal() {
+        let acc = Scope2Accountant::new(IntensityScenario::Flat(100.0));
+        let start = SimTime::from_ymd(2022, 3, 1);
+        let mut s = TimeSeries::new(start, SimDuration::from_mins(15), "kW");
+        for _ in 0..(4 * 24) {
+            s.push(2500.0);
+        }
+        let from_series = acc.emissions_t(&s);
+        let from_const = acc.emissions_constant_t(2500.0, start, SimDuration::from_hours(24));
+        assert!((from_series - from_const).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uk_grid_winter_day_costs_more_than_summer_day() {
+        let acc = Scope2Accountant::new(IntensityScenario::UkGrid2022);
+        let winter = acc.emissions_constant_t(3000.0, SimTime::from_ymd(2022, 1, 10), SimDuration::from_days(1));
+        let summer = acc.emissions_constant_t(3000.0, SimTime::from_ymd(2022, 7, 10), SimDuration::from_days(1));
+        assert!(winter > summer * 1.2, "winter {winter} vs summer {summer}");
+    }
+
+    #[test]
+    fn archer2_annual_scope2_magnitude() {
+        // 3,220 kW × 1 year × ~200 g/kWh ≈ 5.6 ktCO₂e — the order of
+        // magnitude that makes the §2 regime arithmetic work.
+        let acc = Scope2Accountant::new(IntensityScenario::UkGrid2022);
+        let t = acc.emissions_constant_t(3220.0, SimTime::from_ymd(2022, 1, 1), SimDuration::from_days(365));
+        assert!((4500.0..=7000.0).contains(&t), "annual scope 2 {t} t");
+    }
+
+    #[test]
+    fn partial_hour_handled() {
+        let acc = Scope2Accountant::new(IntensityScenario::Flat(100.0));
+        let t = acc.emissions_constant_t(1000.0, SimTime::EPOCH, SimDuration::from_mins(90));
+        // 1 MW × 1.5 h × 100 g/kWh = 150 kg.
+        assert!((t - 0.15).abs() < 1e-9, "emissions {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a kW series")]
+    fn wrong_unit_rejected() {
+        let acc = Scope2Accountant::new(IntensityScenario::Flat(100.0));
+        let s = TimeSeries::new(SimTime::EPOCH, SimDuration::from_hours(1), "MW");
+        let _ = acc.emissions_t(&s);
+    }
+}

@@ -1,0 +1,130 @@
+//! Scope-3 (embodied) emissions: manufacture, shipping, decommissioning.
+//!
+//! The paper's detailed ARCHER2 audit was "the subject of a future paper";
+//! what §2 fixes is the *ratio* of embodied to operational emissions — the
+//! two are roughly equal when grid carbon intensity sits in the
+//! 30–100 gCO₂/kWh band. The default total below is therefore chosen to
+//! make that statement true for an ARCHER2-scale facility (≈3.2 MW mean
+//! draw over a six-year service life ⇒ ≈169 GWh lifetime energy ⇒ embodied
+//! ≈ 169 GWh × 65 g/kWh ≈ 11 ktCO₂e), and the breakdown follows the usual
+//! IT-hardware split (compute dominates, then fabric and storage).
+
+use serde::{Deserialize, Serialize};
+use sim_core::time::SimDuration;
+
+/// Component breakdown of embodied emissions, in tCO₂e.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmbodiedBreakdown {
+    /// Compute nodes (boards, CPUs, DIMMs).
+    pub compute_t: f64,
+    /// Interconnect (switches, cables, optics).
+    pub network_t: f64,
+    /// Storage systems.
+    pub storage_t: f64,
+    /// Cabinets, cooling plant, installation.
+    pub facility_t: f64,
+    /// Shipping/transport.
+    pub shipping_t: f64,
+    /// End-of-life decommissioning and disposal.
+    pub decommissioning_t: f64,
+}
+
+impl EmbodiedBreakdown {
+    /// Total embodied emissions (tCO₂e).
+    pub fn total_t(&self) -> f64 {
+        self.compute_t
+            + self.network_t
+            + self.storage_t
+            + self.facility_t
+            + self.shipping_t
+            + self.decommissioning_t
+    }
+}
+
+/// Embodied emissions with an amortisation schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmbodiedEmissions {
+    /// The component breakdown.
+    pub breakdown: EmbodiedBreakdown,
+    /// Planned service life.
+    pub service_life: SimDuration,
+    /// Node count the compute share is amortised over.
+    pub nodes: u32,
+}
+
+impl EmbodiedEmissions {
+    /// ARCHER2-scale defaults (see module docs for the calibration).
+    pub fn archer2_scale() -> Self {
+        EmbodiedEmissions {
+            breakdown: EmbodiedBreakdown {
+                compute_t: 7_700.0,
+                network_t: 1_100.0,
+                storage_t: 1_100.0,
+                facility_t: 550.0,
+                shipping_t: 330.0,
+                decommissioning_t: 220.0,
+            },
+            service_life: SimDuration::from_days(6 * 365),
+            nodes: 5_860,
+        }
+    }
+
+    /// Total embodied emissions (tCO₂e).
+    pub fn total_t(&self) -> f64 {
+        self.breakdown.total_t()
+    }
+
+    /// Straight-line amortisation rate for the whole facility, in
+    /// gCO₂e per hour of service.
+    pub fn facility_rate_g_per_hour(&self) -> f64 {
+        self.total_t() * 1e6 / self.service_life.as_hours_f64()
+    }
+
+    /// Straight-line amortisation per node-hour, in gCO₂e — the quantity
+    /// the §2 trade-off compares against operational gCO₂e per node-hour.
+    pub fn rate_g_per_node_hour(&self) -> f64 {
+        self.facility_rate_g_per_hour() / self.nodes as f64
+    }
+
+    /// Embodied emissions attributed to a span of facility operation (tCO₂e).
+    pub fn amortised_over(&self, span: SimDuration) -> f64 {
+        self.total_t() * span.as_hours_f64() / self.service_life.as_hours_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums() {
+        let e = EmbodiedEmissions::archer2_scale();
+        assert!((e.total_t() - 11_000.0).abs() < 1.0, "total {}", e.total_t());
+        assert!(e.breakdown.compute_t / e.total_t() > 0.6, "compute share dominates");
+    }
+
+    #[test]
+    fn per_node_hour_rate() {
+        let e = EmbodiedEmissions::archer2_scale();
+        let rate = e.rate_g_per_node_hour();
+        // 11,000 t over 5,860 nodes × 6 years ≈ 36 g/node-hour.
+        assert!((30.0..=42.0).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn amortisation_is_linear_and_total_over_life() {
+        let e = EmbodiedEmissions::archer2_scale();
+        let one_year = e.amortised_over(SimDuration::from_days(365));
+        assert!((one_year - e.total_t() / 6.0).abs() < 1.0);
+        let life = e.amortised_over(e.service_life);
+        assert!((life - e.total_t()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn facility_rate_consistent_with_node_rate() {
+        let e = EmbodiedEmissions::archer2_scale();
+        assert!(
+            (e.facility_rate_g_per_hour() - e.rate_g_per_node_hour() * e.nodes as f64).abs() < 1e-6
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Grid capacity and demand-response signals.
+//!
+//! Winter 2022/2023 context (§3): the UK grid operator was concerned about
+//! capacity shortfalls on cold, still evenings. [`GridCapacityModel`]
+//! synthesises a headroom signal with exactly that shape — tight on winter
+//! weekday evenings — and emits [`CurtailmentRequest`]s when headroom falls
+//! below a threshold, which the facility campaign can respond to by
+//! dropping the CPU frequency (the paper's §4.2 change freed 480 kW of grid
+//! capacity precisely for such periods).
+
+use serde::{Deserialize, Serialize};
+use sim_core::rng::{Rng, Xoshiro256StarStar};
+use sim_core::time::{SimDuration, SimTime};
+
+/// A request from the grid operator to shed load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurtailmentRequest {
+    /// When the curtailment window starts.
+    pub start: SimTime,
+    /// Window length.
+    pub duration: SimDuration,
+    /// Severity in `[0, 1]`: 1 = worst headroom observed.
+    pub severity: f64,
+}
+
+/// Synthesises grid headroom and curtailment requests.
+#[derive(Debug, Clone)]
+pub struct GridCapacityModel {
+    /// Mean headroom as a fraction of peak demand (UK margin ≈ 10-15 %).
+    pub mean_headroom: f64,
+    /// Headroom below this fraction triggers a curtailment request.
+    pub alert_threshold: f64,
+    rng: Xoshiro256StarStar,
+}
+
+impl GridCapacityModel {
+    /// UK-winter-like defaults.
+    pub fn new(seed: u64) -> Self {
+        GridCapacityModel {
+            mean_headroom: 0.12,
+            alert_threshold: 0.04,
+            rng: Xoshiro256StarStar::seeded(seed),
+        }
+    }
+
+    /// Deterministic expected headroom fraction at `t`.
+    ///
+    /// Tightest on winter weekday evenings (17:00-20:00), loosest on summer
+    /// nights.
+    pub fn expected_headroom(&self, t: SimTime) -> f64 {
+        let seasonal = 1.0 - 0.45 * (std::f64::consts::TAU * t.day_of_year_f64() / 365.25).cos();
+        // seasonal ∈ [0.55 (New Year) , 1.45 (midsummer)].
+        let h = t.hour_of_day_f64();
+        // Evening demand peak 17:00-20:00 knocks ~50 % off headroom.
+        let evening = if (17.0..20.0).contains(&h) { 0.5 } else { 1.0 };
+        // 1970-01-01 was a Thursday; (days + 4) % 7 gives 0 = Sunday.
+        let dow = (t.days_since_epoch() + 4) % 7;
+        let weekday = if (1..=5).contains(&dow) { 0.9 } else { 1.1 };
+        self.mean_headroom * seasonal * evening * weekday
+    }
+
+    /// Scan `[start, end)` at interval `dt` and return the curtailment
+    /// requests a grid operator would issue (consecutive alert samples are
+    /// merged into one request).
+    pub fn curtailment_requests(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        dt: SimDuration,
+    ) -> Vec<CurtailmentRequest> {
+        let mut requests: Vec<CurtailmentRequest> = Vec::new();
+        let mut open: Option<(SimTime, f64)> = None;
+        let mut t = start;
+        while t < end {
+            // Mild noise on top of the deterministic shape.
+            let noise = 1.0 + 0.25 * (self.rng.next_f64() - 0.5);
+            let headroom = self.expected_headroom(t) * noise;
+            if headroom < self.alert_threshold {
+                let sev = (1.0 - headroom / self.alert_threshold).clamp(0.0, 1.0);
+                open = match open {
+                    None => Some((t, sev)),
+                    Some((s, prev)) => Some((s, prev.max(sev))),
+                };
+            } else if let Some((s, sev)) = open.take() {
+                requests.push(CurtailmentRequest {
+                    start: s,
+                    duration: t.since(s),
+                    severity: sev,
+                });
+            }
+            t += dt;
+        }
+        if let Some((s, sev)) = open {
+            requests.push(CurtailmentRequest {
+                start: s,
+                duration: end.since(s),
+                severity: sev,
+            });
+        }
+        requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winter_evening_tighter_than_summer_night() {
+        let m = GridCapacityModel::new(1);
+        let winter_evening = m.expected_headroom(SimTime::from_ymd_hms(2022, 12, 12, 18, 0, 0));
+        let summer_night = m.expected_headroom(SimTime::from_ymd_hms(2022, 6, 21, 2, 0, 0));
+        assert!(
+            winter_evening < 0.5 * summer_night,
+            "winter evening {winter_evening} vs summer night {summer_night}"
+        );
+    }
+
+    #[test]
+    fn weekends_are_looser() {
+        let m = GridCapacityModel::new(1);
+        // 2022-12-12 is a Monday; 2022-12-17 a Saturday.
+        let monday = m.expected_headroom(SimTime::from_ymd_hms(2022, 12, 12, 18, 0, 0));
+        let saturday = m.expected_headroom(SimTime::from_ymd_hms(2022, 12, 17, 18, 0, 0));
+        assert!(saturday > monday);
+    }
+
+    #[test]
+    fn winter_produces_curtailment_requests_summer_does_not() {
+        let mut m = GridCapacityModel::new(2);
+        let winter = m.curtailment_requests(
+            SimTime::from_ymd(2022, 12, 1),
+            SimTime::from_ymd(2023, 1, 1),
+            SimDuration::from_mins(30),
+        );
+        assert!(!winter.is_empty(), "December should trigger alerts");
+
+        let mut m = GridCapacityModel::new(2);
+        let summer = m.curtailment_requests(
+            SimTime::from_ymd(2022, 6, 1),
+            SimTime::from_ymd(2022, 7, 1),
+            SimDuration::from_mins(30),
+        );
+        assert!(summer.is_empty(), "June should not trigger alerts, got {}", summer.len());
+    }
+
+    #[test]
+    fn requests_are_merged_windows_in_evening_hours() {
+        let mut m = GridCapacityModel::new(3);
+        let reqs = m.curtailment_requests(
+            SimTime::from_ymd(2022, 12, 1),
+            SimTime::from_ymd(2022, 12, 15),
+            SimDuration::from_mins(30),
+        );
+        for r in &reqs {
+            assert!(r.duration.as_secs() >= 1800, "windows are at least one sample long");
+            assert!((0.0..=1.0).contains(&r.severity));
+            let h = r.start.hour_of_day_f64();
+            assert!((16.5..20.0).contains(&h), "alerts cluster in the evening peak, got {h}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = GridCapacityModel::new(42);
+        let mut b = GridCapacityModel::new(42);
+        let (s, e) = (SimTime::from_ymd(2022, 12, 1), SimTime::from_ymd(2022, 12, 8));
+        assert_eq!(
+            a.curtailment_requests(s, e, SimDuration::from_mins(30)),
+            b.curtailment_requests(s, e, SimDuration::from_mins(30))
+        );
+    }
+}

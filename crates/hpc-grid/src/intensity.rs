@@ -1,0 +1,262 @@
+//! Grid carbon-intensity models (gCO₂/kWh).
+//!
+//! §2 of the paper divides the emissions-efficiency question into three
+//! regimes by the carbon intensity (CI) of the electricity supply:
+//!
+//! * CI < 30 gCO₂/kWh — scope-3 (embodied) emissions dominate;
+//! * 30–100 gCO₂/kWh — scope 2 and scope 3 contribute roughly equally;
+//! * CI > 100 gCO₂/kWh — scope-2 (operational) emissions dominate.
+//!
+//! [`IntensityScenario`] provides the deterministic component — flat test
+//! values, a UK-2022-like seasonal/diurnal shape, and multi-year
+//! decarbonisation trajectories for the lifetime scenario modelling the
+//! paper flags as future work. [`CarbonIntensityModel`] adds autocorrelated
+//! wind-driven noise on top to synthesise realistic half-hourly traces.
+
+use serde::{Deserialize, Serialize};
+use sim_core::rng::{Rng, Xoshiro256StarStar};
+use sim_core::time::{SimDuration, SimTime};
+
+/// Deterministic carbon-intensity scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IntensityScenario {
+    /// A constant intensity — used for the §2 regime sweep.
+    Flat(f64),
+    /// UK-2022-like: annual mean ≈ 200 gCO₂/kWh, winter ≈ +25 %, a diurnal
+    /// swing peaking in the evening, minimum in the small hours.
+    UkGrid2022,
+    /// Linear decarbonisation from `start_g` to `end_g` between two years
+    /// (lifetime scenario modelling).
+    Decarbonising {
+        /// Intensity at `start_year` (gCO₂/kWh).
+        start_g: f64,
+        /// Intensity at `end_year` (gCO₂/kWh).
+        end_g: f64,
+        /// First year of the trajectory.
+        start_year: i32,
+        /// Last year of the trajectory.
+        end_year: i32,
+    },
+}
+
+impl IntensityScenario {
+    /// Deterministic expected intensity at an instant (no noise).
+    pub fn expected(&self, t: SimTime) -> f64 {
+        match *self {
+            IntensityScenario::Flat(g) => g,
+            IntensityScenario::UkGrid2022 => {
+                let mean = 200.0;
+                // Seasonal: cosine peaking at New Year (day 0) — winter-high.
+                let seasonal = 1.0 + 0.22 * (std::f64::consts::TAU * t.day_of_year_f64() / 365.25).cos();
+                // Diurnal: evening peak (~18:00), overnight trough (~03:00).
+                let h = t.hour_of_day_f64();
+                let diurnal = 1.0 + 0.15 * (std::f64::consts::TAU * (h - 12.0) / 24.0).sin();
+                mean * seasonal * diurnal
+            }
+            IntensityScenario::Decarbonising {
+                start_g,
+                end_g,
+                start_year,
+                end_year,
+            } => {
+                let y0 = SimTime::from_ymd(start_year, 1, 1).as_unix() as f64;
+                let y1 = SimTime::from_ymd(end_year, 12, 31).as_unix() as f64;
+                let frac = ((t.as_unix() as f64 - y0) / (y1 - y0)).clamp(0.0, 1.0);
+                (start_g + (end_g - start_g) * frac).max(0.0)
+            }
+        }
+    }
+
+    /// The paper's regime classification of an intensity value.
+    pub fn regime_of(ci: f64) -> EmissionRegime {
+        if ci < 30.0 {
+            EmissionRegime::EmbodiedDominated
+        } else if ci <= 100.0 {
+            EmissionRegime::Balanced
+        } else {
+            EmissionRegime::OperationalDominated
+        }
+    }
+}
+
+/// Which emissions source dominates at a given carbon intensity (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmissionRegime {
+    /// CI < 30 gCO₂/kWh: scope 3 dominates — optimise application
+    /// performance irrespective of energy efficiency.
+    EmbodiedDominated,
+    /// 30–100 gCO₂/kWh: scope 2 ≈ scope 3 — balance performance and energy.
+    Balanced,
+    /// CI > 100 gCO₂/kWh: scope 2 dominates — optimise energy efficiency
+    /// even at some performance cost.
+    OperationalDominated,
+}
+
+impl std::fmt::Display for EmissionRegime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmissionRegime::EmbodiedDominated => write!(f, "embodied-dominated (<30 g/kWh)"),
+            EmissionRegime::Balanced => write!(f, "balanced (30-100 g/kWh)"),
+            EmissionRegime::OperationalDominated => write!(f, "operational-dominated (>100 g/kWh)"),
+        }
+    }
+}
+
+/// A stochastic intensity model: scenario shape × AR(1) wind noise.
+#[derive(Debug, Clone)]
+pub struct CarbonIntensityModel {
+    scenario: IntensityScenario,
+    /// AR(1) coefficient per step (wind persistence).
+    rho: f64,
+    /// Noise magnitude as a fraction of the expected value.
+    sigma: f64,
+    state: f64,
+    rng: Xoshiro256StarStar,
+}
+
+impl CarbonIntensityModel {
+    /// Build with UK-like noise defaults.
+    pub fn new(scenario: IntensityScenario, seed: u64) -> Self {
+        CarbonIntensityModel {
+            scenario,
+            rho: 0.97,
+            sigma: 0.20,
+            state: 0.0,
+            rng: Xoshiro256StarStar::seeded(seed),
+        }
+    }
+
+    /// The underlying deterministic scenario.
+    pub fn scenario(&self) -> IntensityScenario {
+        self.scenario
+    }
+
+    /// Generate a half-open trace `[start, start + steps·dt)` sampled every
+    /// `dt`. Values are clamped at a 10 gCO₂/kWh floor (even a windy night
+    /// has residual gas and imports on the UK grid).
+    pub fn trace(&mut self, start: SimTime, dt: SimDuration, steps: usize) -> Vec<(SimTime, f64)> {
+        let mut out = Vec::with_capacity(steps);
+        let mut t = start;
+        for _ in 0..steps {
+            // AR(1): state' = rho·state + N(0, sqrt(1-rho²)) keeps unit var.
+            let innov = standard_normal(&mut self.rng) * (1.0 - self.rho * self.rho).sqrt();
+            self.state = self.rho * self.state + innov;
+            let expected = self.scenario.expected(t);
+            let v = (expected * (1.0 + self.sigma * self.state)).max(10.0);
+            out.push((t, v));
+            t += dt;
+        }
+        out
+    }
+}
+
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1 = 1.0 - rng.next_f64();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_scenario_is_constant() {
+        let s = IntensityScenario::Flat(55.0);
+        assert_eq!(s.expected(SimTime::from_ymd(2022, 1, 1)), 55.0);
+        assert_eq!(s.expected(SimTime::from_ymd(2022, 7, 1)), 55.0);
+    }
+
+    #[test]
+    fn uk_grid_winter_higher_than_summer() {
+        let s = IntensityScenario::UkGrid2022;
+        let winter = s.expected(SimTime::from_ymd_hms(2022, 1, 15, 12, 0, 0));
+        let summer = s.expected(SimTime::from_ymd_hms(2022, 7, 15, 12, 0, 0));
+        assert!(winter > summer * 1.2, "winter {winter} vs summer {summer}");
+    }
+
+    #[test]
+    fn uk_grid_evening_peak() {
+        let s = IntensityScenario::UkGrid2022;
+        let evening = s.expected(SimTime::from_ymd_hms(2022, 3, 1, 18, 0, 0));
+        let night = s.expected(SimTime::from_ymd_hms(2022, 3, 1, 3, 0, 0));
+        assert!(evening > night, "evening {evening} vs night {night}");
+    }
+
+    #[test]
+    fn uk_grid_annual_mean_near_200() {
+        let s = IntensityScenario::UkGrid2022;
+        let mut sum = 0.0;
+        let mut n = 0;
+        let mut t = SimTime::from_ymd(2022, 1, 1);
+        let end = SimTime::from_ymd(2023, 1, 1);
+        while t < end {
+            sum += s.expected(t);
+            n += 1;
+            t += SimDuration::from_hours(3);
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 200.0).abs() < 10.0, "annual mean {mean}");
+    }
+
+    #[test]
+    fn decarbonising_trajectory_interpolates() {
+        let s = IntensityScenario::Decarbonising {
+            start_g: 200.0,
+            end_g: 20.0,
+            start_year: 2022,
+            end_year: 2031,
+        };
+        assert!((s.expected(SimTime::from_ymd(2022, 1, 1)) - 200.0).abs() < 1.0);
+        assert!((s.expected(SimTime::from_ymd(2031, 12, 31)) - 20.0).abs() < 1.0);
+        let mid = s.expected(SimTime::from_ymd(2027, 1, 1));
+        assert!((80.0..=130.0).contains(&mid), "midpoint {mid}");
+        // Clamped outside the trajectory.
+        assert!((s.expected(SimTime::from_ymd(2040, 1, 1)) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regime_boundaries_match_paper() {
+        use EmissionRegime::*;
+        assert_eq!(IntensityScenario::regime_of(10.0), EmbodiedDominated);
+        assert_eq!(IntensityScenario::regime_of(29.9), EmbodiedDominated);
+        assert_eq!(IntensityScenario::regime_of(30.0), Balanced);
+        assert_eq!(IntensityScenario::regime_of(100.0), Balanced);
+        assert_eq!(IntensityScenario::regime_of(100.1), OperationalDominated);
+        assert_eq!(IntensityScenario::regime_of(300.0), OperationalDominated);
+    }
+
+    #[test]
+    fn trace_is_positive_and_tracks_scenario() {
+        let mut m = CarbonIntensityModel::new(IntensityScenario::UkGrid2022, 7);
+        let trace = m.trace(SimTime::from_ymd(2022, 1, 1), SimDuration::from_mins(30), 2000);
+        assert_eq!(trace.len(), 2000);
+        let mean: f64 = trace.iter().map(|(_, v)| v).sum::<f64>() / 2000.0;
+        // January mean should be well above the annual 200 (winter + noise).
+        assert!(mean > 180.0 && mean < 320.0, "january mean {mean}");
+        for (_, v) in &trace {
+            assert!(*v >= 10.0, "floor violated: {v}");
+        }
+    }
+
+    #[test]
+    fn trace_is_autocorrelated() {
+        let mut m = CarbonIntensityModel::new(IntensityScenario::Flat(100.0), 9);
+        let trace = m.trace(SimTime::EPOCH, SimDuration::from_mins(30), 5000);
+        let vals: Vec<f64> = trace.iter().map(|(_, v)| *v).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var: f64 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>();
+        let cov: f64 = vals.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>();
+        let lag1 = cov / var;
+        assert!(lag1 > 0.8, "lag-1 autocorrelation {lag1} should be strong");
+    }
+
+    #[test]
+    fn trace_deterministic_per_seed() {
+        let mut a = CarbonIntensityModel::new(IntensityScenario::UkGrid2022, 42);
+        let mut b = CarbonIntensityModel::new(IntensityScenario::UkGrid2022, 42);
+        let ta = a.trace(SimTime::EPOCH, SimDuration::from_hours(1), 100);
+        let tb = b.trace(SimTime::EPOCH, SimDuration::from_hours(1), 100);
+        assert_eq!(ta, tb);
+    }
+}

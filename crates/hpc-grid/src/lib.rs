@@ -1,0 +1,18 @@
+//! # hpc-grid
+//!
+//! The electricity-grid side of the reproduction: carbon-intensity signals
+//! for scope-2 emissions accounting (§2 of the paper) and capacity/
+//! curtailment signals for the "good grid citizen" narrative (§3, §5 — the
+//! work was done "specifically within the context of reducing the power
+//! draw of ARCHER2 during Winter 2022/2023 when there were concerns about
+//! power shortages on the UK power grid").
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod carbon_aware;
+pub mod intensity;
+
+pub use capacity::{CurtailmentRequest, GridCapacityModel};
+pub use carbon_aware::{optimal_shift, ShiftOutcome};
+pub use intensity::{CarbonIntensityModel, IntensityScenario};

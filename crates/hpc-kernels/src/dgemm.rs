@@ -1,0 +1,168 @@
+//! Blocked, parallel dense matrix multiply — the canonical compute-bound
+//! kernel (the LAMMPS end of the paper's Table 4 spectrum).
+//!
+//! `C = A·B` with 2n³ flops against O(n²) memory traffic: operational
+//! intensity grows linearly with n, so any reasonably sized multiply sits
+//! far above the machine balance and scales almost exactly with core
+//! frequency.
+
+use crate::roofline::{KernelCounts, KernelProfile};
+use rayon::prelude::*;
+use std::time::Instant;
+
+const BLOCK: usize = 64;
+
+/// A square matrix multiply workspace (row-major).
+#[derive(Debug, Clone)]
+pub struct Dgemm {
+    n: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+}
+
+impl Dgemm {
+    /// Allocate `n×n` matrices with deterministic contents.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "dgemm needs n > 0");
+        let a = (0..n * n).map(|i| ((i * 7 + 3) % 13) as f64 * 0.25).collect();
+        let b = (0..n * n).map(|i| ((i * 5 + 1) % 11) as f64 * 0.5).collect();
+        Dgemm {
+            n,
+            a,
+            b,
+            c: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The result matrix.
+    pub fn c(&self) -> &[f64] {
+        &self.c
+    }
+
+    /// Parallel blocked multiply: rows of C are distributed over the Rayon
+    /// pool in `BLOCK`-row panels; the k-loop is blocked for cache reuse.
+    pub fn run(&mut self) {
+        let n = self.n;
+        let a = &self.a;
+        let b = &self.b;
+        self.c
+            .par_chunks_mut(BLOCK * n)
+            .enumerate()
+            .for_each(|(panel, c_panel)| {
+                let i0 = panel * BLOCK;
+                let rows = c_panel.len() / n;
+                c_panel.fill(0.0);
+                for k0 in (0..n).step_by(BLOCK) {
+                    let kmax = (k0 + BLOCK).min(n);
+                    for di in 0..rows {
+                        let i = i0 + di;
+                        let c_row = &mut c_panel[di * n..(di + 1) * n];
+                        for k in k0..kmax {
+                            let aik = a[i * n + k];
+                            let b_row = &b[k * n..(k + 1) * n];
+                            for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                                *cj += aik * bj;
+                            }
+                        }
+                    }
+                }
+            });
+    }
+
+    /// Naive sequential reference (for correctness tests; O(n³), use small n).
+    pub fn run_reference(&mut self) {
+        let n = self.n;
+        for i in 0..n {
+            for j in 0..n {
+                let mut sum = 0.0;
+                for k in 0..n {
+                    sum += self.a[i * n + k] * self.b[k * n + j];
+                }
+                self.c[i * n + j] = sum;
+            }
+        }
+    }
+
+    /// Analytic work counts for one multiply.
+    pub fn counts(&self) -> KernelCounts {
+        let n = self.n as f64;
+        KernelCounts {
+            flops: 2.0 * n * n * n,
+            // Compulsory traffic: read A and B, write C.
+            bytes: 3.0 * n * n * 8.0,
+        }
+    }
+
+    /// Timed parallel run.
+    pub fn profile(&mut self) -> KernelProfile {
+        let t0 = Instant::now();
+        self.run();
+        KernelProfile {
+            counts: self.counts(),
+            seconds: t0.elapsed().as_secs_f64().max(1e-9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocked_matches_reference() {
+        for n in [1, 7, 64, 65, 130] {
+            let mut fast = Dgemm::new(n);
+            let mut slow = fast.clone();
+            fast.run();
+            slow.run_reference();
+            for (i, (x, y)) in fast.c.iter().zip(&slow.c).enumerate() {
+                assert!((x - y).abs() < 1e-9, "n={n} idx={i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_multiply() {
+        let mut g = Dgemm::new(8);
+        // Overwrite A with the identity: C must equal B.
+        g.a.fill(0.0);
+        for i in 0..8 {
+            g.a[i * 8 + i] = 1.0;
+        }
+        g.run();
+        assert_eq!(g.c, g.b);
+    }
+
+    #[test]
+    fn intensity_grows_with_n() {
+        let small = Dgemm::new(64).counts().intensity();
+        let large = Dgemm::new(256).counts().intensity();
+        assert!(large > small * 3.0, "intensity should grow ~linearly: {small} -> {large}");
+    }
+
+    #[test]
+    fn rerun_is_idempotent() {
+        let mut g = Dgemm::new(96);
+        g.run();
+        let first = g.c.clone();
+        g.run();
+        assert_eq!(g.c, first, "run() must reset C, not accumulate");
+    }
+
+    #[test]
+    fn profile_counts_match() {
+        let mut g = Dgemm::new(128);
+        let p = g.profile();
+        assert_eq!(p.counts.flops, 2.0 * 128.0f64.powi(3));
+        assert!(p.gflops() > 0.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Iterative radix-2 FFT — the spectral-transform workhorse of climate and
+//! plasma codes (the paper's ClimateOcean research area), sitting between
+//! the stencil and DGEMM on the intensity spectrum: `O(n log n)` flops over
+//! `O(n)` data.
+//!
+//! Batched transforms are parallelised across rows with Rayon, matching how
+//! spectral models transform many latitude circles at once.
+
+use crate::roofline::{KernelCounts, KernelProfile};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// A complex value as (re, im); kept as a plain tuple-struct for dense
+/// slice storage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `invert = true` computes the inverse transform (including the `1/n`
+/// normalisation).
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft(data: &mut [Complex], invert: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = std::f64::consts::TAU / len as f64 * if invert { 1.0 } else { -1.0 };
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+
+    if invert {
+        let inv_n = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            x.re *= inv_n;
+            x.im *= inv_n;
+        }
+    }
+}
+
+/// A batch of equal-length rows transformed in parallel.
+#[derive(Debug, Clone)]
+pub struct FftBatch {
+    rows: usize,
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl FftBatch {
+    /// Deterministic test signal: each row a distinct mix of two tones.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two or either dimension is zero.
+    pub fn new(rows: usize, n: usize) -> Self {
+        assert!(rows > 0 && n > 0, "empty batch");
+        assert!(n.is_power_of_two(), "row length must be a power of two");
+        let mut data = Vec::with_capacity(rows * n);
+        for r in 0..rows {
+            let f1 = (1 + r % 7) as f64;
+            let f2 = (3 + r % 11) as f64;
+            for i in 0..n {
+                let x = i as f64 / n as f64;
+                data.push(Complex::new(
+                    (std::f64::consts::TAU * f1 * x).sin() + 0.5 * (std::f64::consts::TAU * f2 * x).cos(),
+                    0.0,
+                ));
+            }
+        }
+        FftBatch { rows, n, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// One row's data.
+    pub fn row(&self, r: usize) -> &[Complex] {
+        &self.data[r * self.n..(r + 1) * self.n]
+    }
+
+    /// Transform every row in parallel.
+    pub fn forward(&mut self) {
+        let n = self.n;
+        self.data.par_chunks_mut(n).for_each(|row| fft(row, false));
+    }
+
+    /// Inverse-transform every row in parallel.
+    pub fn inverse(&mut self) {
+        let n = self.n;
+        self.data.par_chunks_mut(n).for_each(|row| fft(row, true));
+    }
+
+    /// Analytic counts for one whole-batch transform: 5 flops per butterfly
+    /// stage element (the classic FFT cost model `5·n·log2(n)`), with each
+    /// complex element read and written once per stage.
+    pub fn counts(&self) -> KernelCounts {
+        let n = self.n as f64;
+        let stages = (self.n as f64).log2();
+        let per_row_flops = 5.0 * n * stages;
+        KernelCounts {
+            flops: per_row_flops * self.rows as f64,
+            bytes: 2.0 * 16.0 * n * self.rows as f64, // one pass in + out of cache
+        }
+    }
+
+    /// Timed forward transforms.
+    pub fn profile(&mut self, iters: usize) -> KernelProfile {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            self.forward();
+        }
+        let one = self.counts();
+        KernelProfile {
+            counts: KernelCounts {
+                flops: one.flops * iters as f64,
+                bytes: one.bytes * iters as f64,
+            },
+            seconds: t0.elapsed().as_secs_f64().max(1e-9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_transforms_to_flat_spectrum() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft(&mut data, false);
+        for x in &data {
+            assert!((x.re - 1.0).abs() < 1e-12 && x.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 64;
+        let k = 5;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|i| {
+                let x = std::f64::consts::TAU * k as f64 * i as f64 / n as f64;
+                Complex::new(x.cos(), x.sin())
+            })
+            .collect();
+        fft(&mut data, false);
+        for (i, v) in data.iter().enumerate() {
+            let mag = v.norm_sq().sqrt();
+            if i == k {
+                assert!((mag - n as f64).abs() < 1e-9, "bin {i}: {mag}");
+            } else {
+                assert!(mag < 1e-9, "bin {i} should be empty: {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let mut b = FftBatch::new(16, 256);
+        let orig = b.data.clone();
+        b.forward();
+        b.inverse();
+        for (a, o) in b.data.iter().zip(&orig) {
+            assert!((a.re - o.re).abs() < 1e-9 && (a.im - o.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let mut b = FftBatch::new(4, 128);
+        let time_energy: f64 = b.row(0).iter().map(|c| c.norm_sq()).sum();
+        b.forward();
+        let freq_energy: f64 = b.row(0).iter().map(|c| c.norm_sq()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_rows() {
+        let mut batch = FftBatch::new(32, 64);
+        let mut reference = batch.clone();
+        batch.forward();
+        for r in 0..32 {
+            let row = &mut reference.data[r * 64..(r + 1) * 64];
+            fft(row, false);
+        }
+        assert_eq!(batch.data, reference.data);
+    }
+
+    #[test]
+    fn intensity_between_stencil_and_gemm() {
+        let b = FftBatch::new(8, 1 << 16);
+        let i = b.counts().intensity();
+        // 5·log2(n)/32 flops per byte: ~2.5 at n = 2^16.
+        assert!((1.0..=4.0).contains(&i), "FFT intensity {i}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![Complex::default(); 12];
+        fft(&mut data, false);
+    }
+}

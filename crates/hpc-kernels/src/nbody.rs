@@ -1,0 +1,193 @@
+//! All-pairs n-body step — compute-bound with O(n²) flops over O(n) data,
+//! the character of the paper's molecular-dynamics benchmarks (GROMACS,
+//! LAMMPS).
+
+use crate::roofline::{KernelCounts, KernelProfile};
+use rayon::prelude::*;
+use std::time::Instant;
+
+const SOFTENING: f64 = 1e-3;
+
+/// Particle state in structure-of-arrays layout.
+#[derive(Debug, Clone)]
+pub struct NBody {
+    px: Vec<f64>,
+    py: Vec<f64>,
+    pz: Vec<f64>,
+    vx: Vec<f64>,
+    vy: Vec<f64>,
+    vz: Vec<f64>,
+    mass: Vec<f64>,
+}
+
+impl NBody {
+    /// A deterministic particle cloud of `n` bodies.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one body");
+        let f = |i: usize, k: u64| {
+            // Cheap deterministic hash to scatter positions in [-1, 1].
+            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ k;
+            (h % 10_000) as f64 / 5_000.0 - 1.0
+        };
+        NBody {
+            px: (0..n).map(|i| f(i, 1)).collect(),
+            py: (0..n).map(|i| f(i, 2)).collect(),
+            pz: (0..n).map(|i| f(i, 3)).collect(),
+            vx: vec![0.0; n],
+            vy: vec![0.0; n],
+            vz: vec![0.0; n],
+            mass: (0..n).map(|i| 1.0 + (i % 5) as f64 * 0.1).collect(),
+        }
+    }
+
+    /// Body count.
+    pub fn len(&self) -> usize {
+        self.px.len()
+    }
+
+    /// Whether the system is empty (never; constructor forbids).
+    pub fn is_empty(&self) -> bool {
+        self.px.is_empty()
+    }
+
+    /// Compute accelerations for all bodies (parallel over targets).
+    fn accelerations(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let n = self.len();
+        let mut ax = vec![0.0; n];
+        let mut ay = vec![0.0; n];
+        let mut az = vec![0.0; n];
+        ax.par_iter_mut()
+            .zip(ay.par_iter_mut().zip(az.par_iter_mut()))
+            .enumerate()
+            .for_each(|(i, (axi, (ayi, azi)))| {
+                let (xi, yi, zi) = (self.px[i], self.py[i], self.pz[i]);
+                let (mut sx, mut sy, mut sz) = (0.0, 0.0, 0.0);
+                for j in 0..n {
+                    let dx = self.px[j] - xi;
+                    let dy = self.py[j] - yi;
+                    let dz = self.pz[j] - zi;
+                    let r2 = dx * dx + dy * dy + dz * dz + SOFTENING;
+                    let inv_r = 1.0 / r2.sqrt();
+                    let w = self.mass[j] * inv_r * inv_r * inv_r;
+                    sx += dx * w;
+                    sy += dy * w;
+                    sz += dz * w;
+                }
+                *axi = sx;
+                *ayi = sy;
+                *azi = sz;
+            });
+        (ax, ay, az)
+    }
+
+    /// One leapfrog step with timestep `dt`.
+    pub fn step(&mut self, dt: f64) {
+        let (ax, ay, az) = self.accelerations();
+        let n = self.len();
+        for i in 0..n {
+            self.vx[i] += ax[i] * dt;
+            self.vy[i] += ay[i] * dt;
+            self.vz[i] += az[i] * dt;
+            self.px[i] += self.vx[i] * dt;
+            self.py[i] += self.vy[i] * dt;
+            self.pz[i] += self.vz[i] * dt;
+        }
+    }
+
+    /// Total momentum magnitude — conserved by symmetric pairwise forces.
+    pub fn momentum(&self) -> (f64, f64, f64) {
+        let mut p = (0.0, 0.0, 0.0);
+        for i in 0..self.len() {
+            p.0 += self.mass[i] * self.vx[i];
+            p.1 += self.mass[i] * self.vy[i];
+            p.2 += self.mass[i] * self.vz[i];
+        }
+        p
+    }
+
+    /// Analytic per-step counts: ~20 flops per pair, SoA positions reread
+    /// per target but cached — compulsory traffic is O(n).
+    pub fn counts(&self) -> KernelCounts {
+        let n = self.len() as f64;
+        KernelCounts {
+            flops: 20.0 * n * n,
+            bytes: 7.0 * 8.0 * n * 2.0, // read state, write state
+        }
+    }
+
+    /// Timed steps.
+    pub fn profile(&mut self, dt: f64, iters: usize) -> KernelProfile {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            self.step(dt);
+        }
+        let one = self.counts();
+        KernelProfile {
+            counts: KernelCounts {
+                flops: one.flops * iters as f64,
+                bytes: one.bytes * iters as f64,
+            },
+            seconds: t0.elapsed().as_secs_f64().max(1e-9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bodies_attract() {
+        let mut nb = NBody::new(2);
+        nb.px = vec![-0.5, 0.5];
+        nb.py = vec![0.0, 0.0];
+        nb.pz = vec![0.0, 0.0];
+        nb.mass = vec![1.0, 1.0];
+        nb.step(0.01);
+        assert!(nb.vx[0] > 0.0, "left body accelerates right");
+        assert!(nb.vx[1] < 0.0, "right body accelerates left");
+        assert!(nb.px[0] > -0.5 && nb.px[1] < 0.5);
+    }
+
+    #[test]
+    fn momentum_approximately_conserved() {
+        let mut nb = NBody::new(200);
+        for _ in 0..10 {
+            nb.step(1e-3);
+        }
+        let (px, py, pz) = nb.momentum();
+        // Softened symmetric forces conserve momentum to FP accumulation error.
+        assert!(px.abs() < 1e-6 && py.abs() < 1e-6 && pz.abs() < 1e-6, "p = ({px}, {py}, {pz})");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = NBody::new(100);
+        let mut b = NBody::new(100);
+        for _ in 0..5 {
+            a.step(1e-3);
+            b.step(1e-3);
+        }
+        assert_eq!(a.px, b.px);
+        assert_eq!(a.vz, b.vz);
+    }
+
+    #[test]
+    fn intensity_is_high_and_grows_with_n() {
+        let small = NBody::new(100).counts().intensity();
+        let large = NBody::new(1000).counts().intensity();
+        assert!(large > small * 5.0);
+        assert!(large > 100.0, "n-body is strongly compute-bound: {large}");
+    }
+
+    #[test]
+    fn profile_counts() {
+        let mut nb = NBody::new(64);
+        let p = nb.profile(1e-3, 2);
+        assert_eq!(p.counts.flops, 2.0 * 20.0 * 64.0 * 64.0);
+        assert!(p.seconds > 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Roofline classification: operational intensity vs machine balance.
+//!
+//! A kernel with operational intensity `I = flops / bytes` is memory-bound
+//! on a machine whose balance point `B = peak_flops / peak_bandwidth`
+//! exceeds `I`, and compute-bound otherwise. The workload models in
+//! `hpc-workload` encode the same physics as the β parameter; this module
+//! is the measurable ground truth for it.
+
+/// Analytic work counts for one kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCounts {
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Bytes moved to/from memory (minimum traffic, ignoring caches).
+    pub bytes: f64,
+}
+
+impl KernelCounts {
+    /// Operational intensity in flops/byte.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is zero.
+    pub fn intensity(&self) -> f64 {
+        assert!(self.bytes > 0.0, "kernel moves no bytes");
+        self.flops / self.bytes
+    }
+}
+
+/// A machine's roofline parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineBalance {
+    /// Peak floating-point rate (GFLOP/s).
+    pub peak_gflops: f64,
+    /// Peak memory bandwidth (GB/s).
+    pub peak_gbs: f64,
+}
+
+impl MachineBalance {
+    /// An ARCHER2 compute node: 2 × 64-core EPYC Rome at 2.25 GHz with
+    /// 2×256-bit FMA per core ≈ 4.6 TFLOP/s, 8 DDR4-3200 channels per
+    /// socket ≈ 410 GB/s.
+    pub fn archer2_node() -> Self {
+        MachineBalance {
+            peak_gflops: 4608.0,
+            peak_gbs: 410.0,
+        }
+    }
+
+    /// Balance point in flops/byte: kernels below it are memory-bound.
+    pub fn balance(&self) -> f64 {
+        self.peak_gflops / self.peak_gbs
+    }
+
+    /// Roofline-attainable rate (GFLOP/s) at operational intensity `i`.
+    pub fn attainable_gflops(&self, i: f64) -> f64 {
+        (self.peak_gbs * i).min(self.peak_gflops)
+    }
+
+    /// Classify a kernel.
+    pub fn classify(&self, counts: &KernelCounts) -> RooflineClass {
+        if counts.intensity() < self.balance() {
+            RooflineClass::MemoryBound
+        } else {
+            RooflineClass::ComputeBound
+        }
+    }
+
+    /// The implied compute-bound runtime fraction β for a kernel: the share
+    /// of the roofline-model runtime spent at the flop limit.
+    ///
+    /// `t = flops/peak_flops + bytes/peak_bw` (serialised transfer model);
+    /// β is the flop term's share. The serialised model over-counts overlap
+    /// but gives the right ordering, which is all the workload calibration
+    /// needs from it.
+    pub fn beta(&self, counts: &KernelCounts) -> f64 {
+        let t_flop = counts.flops / (self.peak_gflops * 1e9);
+        let t_mem = counts.bytes / (self.peak_gbs * 1e9);
+        t_flop / (t_flop + t_mem)
+    }
+}
+
+/// Memory- vs compute-bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RooflineClass {
+    /// Limited by memory bandwidth; clock reduction is nearly free.
+    MemoryBound,
+    /// Limited by instruction throughput; clock reduction hurts linearly.
+    ComputeBound,
+}
+
+/// A measured kernel execution, combining counts with wall time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Analytic counts.
+    pub counts: KernelCounts,
+    /// Wall time (seconds).
+    pub seconds: f64,
+}
+
+impl KernelProfile {
+    /// Achieved GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        self.counts.flops / self.seconds / 1e9
+    }
+
+    /// Achieved GB/s.
+    pub fn gbs(&self) -> f64 {
+        self.counts.bytes / self.seconds / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archer2_balance_point() {
+        let m = MachineBalance::archer2_node();
+        // ≈ 11 flops/byte: the classic "most codes are memory-bound" regime.
+        assert!((10.0..=13.0).contains(&m.balance()), "balance {}", m.balance());
+    }
+
+    #[test]
+    fn triad_is_memory_bound_dgemm_compute_bound() {
+        let m = MachineBalance::archer2_node();
+        // STREAM triad: 2 flops per 24 bytes = 1/12 flops/byte.
+        let triad = KernelCounts {
+            flops: 2.0e9,
+            bytes: 24.0e9,
+        };
+        assert_eq!(m.classify(&triad), RooflineClass::MemoryBound);
+        // 4096³ DGEMM: 2n³ flops over ~4n² ·8 bytes ⇒ intensity ~2048/8·... ≫ balance.
+        let n = 4096.0f64;
+        let dgemm = KernelCounts {
+            flops: 2.0 * n * n * n,
+            bytes: 4.0 * n * n * 8.0,
+        };
+        assert_eq!(m.classify(&dgemm), RooflineClass::ComputeBound);
+    }
+
+    #[test]
+    fn attainable_follows_roofline_shape() {
+        let m = MachineBalance::archer2_node();
+        // Below the ridge: bandwidth-limited.
+        assert!((m.attainable_gflops(1.0) - 410.0).abs() < 1e-9);
+        // Above the ridge: flop-limited.
+        assert!((m.attainable_gflops(100.0) - 4608.0).abs() < 1e-9);
+        // At the ridge both limits agree.
+        let ridge = m.balance();
+        assert!((m.attainable_gflops(ridge) - 4608.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beta_ordering_matches_intensity() {
+        let m = MachineBalance::archer2_node();
+        let triad = KernelCounts {
+            flops: 2.0,
+            bytes: 24.0,
+        };
+        let stencil = KernelCounts {
+            flops: 8.0,
+            bytes: 16.0,
+        };
+        let gemm = KernelCounts {
+            flops: 1e12,
+            bytes: 4e8,
+        };
+        let b_triad = m.beta(&triad);
+        let b_stencil = m.beta(&stencil);
+        let b_gemm = m.beta(&gemm);
+        assert!(b_triad < b_stencil && b_stencil < b_gemm);
+        assert!(b_triad < 0.05, "triad beta {b_triad}");
+        assert!(b_gemm > 0.95, "gemm beta {b_gemm}");
+    }
+
+    #[test]
+    fn profile_rates() {
+        let p = KernelProfile {
+            counts: KernelCounts {
+                flops: 2e9,
+                bytes: 8e9,
+            },
+            seconds: 2.0,
+        };
+        assert!((p.gflops() - 1.0).abs() < 1e-12);
+        assert!((p.gbs() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "moves no bytes")]
+    fn zero_bytes_rejected() {
+        let _ = KernelCounts {
+            flops: 1.0,
+            bytes: 0.0,
+        }
+        .intensity();
+    }
+}

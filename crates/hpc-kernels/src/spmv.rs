@@ -1,0 +1,229 @@
+//! Sparse matrix–vector product (CSR) — bandwidth- and latency-bound, the
+//! character of implicit solvers (CASTEP/ONETEP iterative diagonalisation,
+//! Nektar++ linear systems).
+
+use crate::roofline::{KernelCounts, KernelProfile};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// A compressed-sparse-row matrix.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from triplets (row, col, value). Duplicates are summed.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        for &(r, c, _) in &sorted {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of {rows}x{cols}");
+        }
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        for &(r, c, v) in &sorted {
+            if let (Some(&last_c), true) = (col_idx.last(), row_ptr[r + 1] > 0) {
+                // Merge duplicate (r, c) pairs within the current row.
+                if last_c == c && col_idx.len() > row_ptr[r] && row_ptr[r + 1] == col_idx.len() {
+                    *values.last_mut().expect("non-empty") += v;
+                    continue;
+                }
+            }
+            // Rows are visited in order; fill pointers for skipped rows.
+            col_idx.push(c);
+            values.push(v);
+            row_ptr[r + 1] = col_idx.len();
+        }
+        // Make row_ptr cumulative over empty rows.
+        for r in 1..=rows {
+            if row_ptr[r] < row_ptr[r - 1] {
+                row_ptr[r] = row_ptr[r - 1];
+            }
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// A deterministic 2-D 5-point Laplacian on an `n×n` grid (the classic
+    /// SpMV test matrix; dimension n²).
+    pub fn laplacian_2d(n: usize) -> Self {
+        let idx = |x: usize, y: usize| y * n + x;
+        let mut t = Vec::with_capacity(5 * n * n);
+        for y in 0..n {
+            for x in 0..n {
+                let i = idx(x, y);
+                t.push((i, i, 4.0));
+                if x > 0 {
+                    t.push((i, idx(x - 1, y), -1.0));
+                }
+                if x + 1 < n {
+                    t.push((i, idx(x + 1, y), -1.0));
+                }
+                if y > 0 {
+                    t.push((i, idx(x, y - 1), -1.0));
+                }
+                if y + 1 < n {
+                    t.push((i, idx(x, y + 1), -1.0));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(n * n, n * n, &t)
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored non-zero count.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Parallel `y = A·x` (rows distributed over the pool).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "x length mismatch");
+        assert_eq!(y.len(), self.rows, "y length mismatch");
+        y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+            let mut sum = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                sum += self.values[k] * x[self.col_idx[k]];
+            }
+            *yr = sum;
+        });
+    }
+
+    /// Sequential reference.
+    pub fn spmv_seq(&self, x: &[f64], y: &mut [f64]) {
+        for (r, yr) in y.iter_mut().enumerate().take(self.rows) {
+            let mut sum = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                sum += self.values[k] * x[self.col_idx[k]];
+            }
+            *yr = sum;
+        }
+    }
+
+    /// Analytic counts per SpMV: 2 flops per non-zero; 12 bytes per
+    /// non-zero (8-byte value + 4-byte-equivalent index share) plus the
+    /// vector traffic.
+    pub fn counts(&self) -> KernelCounts {
+        let nnz = self.nnz() as f64;
+        KernelCounts {
+            flops: 2.0 * nnz,
+            bytes: 12.0 * nnz + 8.0 * (self.rows + self.cols) as f64,
+        }
+    }
+
+    /// Timed parallel SpMVs.
+    pub fn profile(&self, x: &[f64], iters: usize) -> KernelProfile {
+        let mut y = vec![0.0; self.rows];
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            self.spmv(x, &mut y);
+        }
+        let one = self.counts();
+        KernelProfile {
+            counts: KernelCounts {
+                flops: one.flops * iters as f64,
+                bytes: one.bytes * iters as f64,
+            },
+            seconds: t0.elapsed().as_secs_f64().max(1e-9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_matrix_known_product() {
+        // [2 0 1; 0 3 0] × [1, 2, 3] = [5, 6].
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0)]);
+        let mut y = vec![0.0; 2];
+        m.spmv(&[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![5.0, 6.0]);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let m = CsrMatrix::laplacian_2d(40);
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i % 17) as f64 * 0.3).collect();
+        let mut yp = vec![0.0; m.rows()];
+        let mut ys = vec![0.0; m.rows()];
+        m.spmv(&x, &mut yp);
+        m.spmv_seq(&x, &mut ys);
+        assert_eq!(yp, ys);
+    }
+
+    #[test]
+    fn laplacian_structure() {
+        let m = CsrMatrix::laplacian_2d(10);
+        assert_eq!(m.rows(), 100);
+        // 5-point stencil: 5·n² − 4·n boundary deficit.
+        assert_eq!(m.nnz(), 5 * 100 - 4 * 10);
+        // Constant vector: interior rows sum to zero (4 - 4 neighbours).
+        let x = vec![1.0; 100];
+        let mut y = vec![0.0; 100];
+        m.spmv(&x, &mut y);
+        let interior = y[5 * 10 + 5];
+        assert_eq!(interior, 0.0);
+        // Corner row: 4 - 2 = 2.
+        assert_eq!(y[0], 2.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        let mut y = vec![0.0];
+        m.spmv(&[2.0], &mut y);
+        assert_eq!(y, vec![7.0]);
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let m = CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (3, 3, 2.0)]);
+        let mut y = vec![9.0; 4];
+        m.spmv(&[1.0; 4], &mut y);
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn spmv_is_memory_bound() {
+        let m = CsrMatrix::laplacian_2d(64);
+        let i = m.counts().intensity();
+        assert!(i < 0.25, "SpMV intensity {i} must be tiny");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_bounds_triplet_rejected() {
+        let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,199 @@
+//! 3-D Jacobi 7-point stencil — the middle of the intensity spectrum, and
+//! the shape of the paper's CFD benchmarks (OpenSBLI, Nektar++ workloads
+//! are grid sweeps of exactly this character).
+//!
+//! 8 flops per point against ~16 bytes of compulsory traffic (read the
+//! centre plane once amortised, write once): intensity ≈ 0.5 flops/byte —
+//! memory-bound, but less extremely than triad.
+
+use crate::roofline::{KernelCounts, KernelProfile};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// A cubic Jacobi workspace with two buffers.
+#[derive(Debug, Clone)]
+pub struct Jacobi3d {
+    n: usize,
+    src: Vec<f64>,
+    dst: Vec<f64>,
+}
+
+impl Jacobi3d {
+    /// Allocate an `n×n×n` grid with a hot centre cell.
+    ///
+    /// # Panics
+    /// Panics if `n < 3` (no interior to sweep).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "stencil needs an interior, n >= 3");
+        let mut src = vec![0.0; n * n * n];
+        let mid = n / 2;
+        src[(mid * n + mid) * n + mid] = 1.0e6;
+        Jacobi3d {
+            n,
+            src,
+            dst: vec![0.0; n * n * n],
+        }
+    }
+
+    /// Grid dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn idx(n: usize, x: usize, y: usize, z: usize) -> usize {
+        (z * n + y) * n + x
+    }
+
+    /// One parallel Jacobi sweep (z-slabs distributed over the pool), then
+    /// swap buffers.
+    pub fn step(&mut self) {
+        let n = self.n;
+        let src = &self.src;
+        self.dst
+            .par_chunks_mut(n * n)
+            .enumerate()
+            .for_each(|(z, slab)| {
+                if z == 0 || z == n - 1 {
+                    // Fixed boundary.
+                    slab.copy_from_slice(&src[z * n * n..(z + 1) * n * n]);
+                    return;
+                }
+                for y in 0..n {
+                    for x in 0..n {
+                        let i = y * n + x;
+                        if y == 0 || y == n - 1 || x == 0 || x == n - 1 {
+                            slab[i] = src[Self::idx(n, x, y, z)];
+                            continue;
+                        }
+                        let c = src[Self::idx(n, x, y, z)];
+                        let sum = src[Self::idx(n, x - 1, y, z)]
+                            + src[Self::idx(n, x + 1, y, z)]
+                            + src[Self::idx(n, x, y - 1, z)]
+                            + src[Self::idx(n, x, y + 1, z)]
+                            + src[Self::idx(n, x, y, z - 1)]
+                            + src[Self::idx(n, x, y, z + 1)];
+                        slab[i] = (1.0 / 7.0) * (c + sum);
+                    }
+                }
+            });
+        std::mem::swap(&mut self.src, &mut self.dst);
+    }
+
+    /// Sequential reference sweep.
+    pub fn step_seq(&mut self) {
+        let n = self.n;
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let i = Self::idx(n, x, y, z);
+                    if z == 0 || z == n - 1 || y == 0 || y == n - 1 || x == 0 || x == n - 1 {
+                        self.dst[i] = self.src[i];
+                        continue;
+                    }
+                    let c = self.src[i];
+                    let sum = self.src[Self::idx(n, x - 1, y, z)]
+                        + self.src[Self::idx(n, x + 1, y, z)]
+                        + self.src[Self::idx(n, x, y - 1, z)]
+                        + self.src[Self::idx(n, x, y + 1, z)]
+                        + self.src[Self::idx(n, x, y, z - 1)]
+                        + self.src[Self::idx(n, x, y, z + 1)];
+                    self.dst[i] = (1.0 / 7.0) * (c + sum);
+                }
+            }
+        }
+        std::mem::swap(&mut self.src, &mut self.dst);
+    }
+
+    /// Total field sum — conserved by the stencil away from boundaries and
+    /// a cheap correctness probe.
+    pub fn total(&self) -> f64 {
+        self.src.iter().sum()
+    }
+
+    /// Analytic per-sweep counts (interior points only).
+    pub fn counts(&self) -> KernelCounts {
+        let interior = (self.n - 2) as f64;
+        let pts = interior * interior * interior;
+        KernelCounts {
+            flops: 8.0 * pts,       // 6 adds + 1 add + 1 mul
+            bytes: 16.0 * pts,      // amortised: one read + one write per point
+        }
+    }
+
+    /// Timed parallel sweeps.
+    pub fn profile(&mut self, iters: usize) -> KernelProfile {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            self.step();
+        }
+        let one = self.counts();
+        KernelProfile {
+            counts: KernelCounts {
+                flops: one.flops * iters as f64,
+                bytes: one.bytes * iters as f64,
+            },
+            seconds: t0.elapsed().as_secs_f64().max(1e-9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut par = Jacobi3d::new(24);
+        let mut seq = par.clone();
+        for _ in 0..5 {
+            par.step();
+            seq.step_seq();
+        }
+        for (i, (a, b)) in par.src.iter().zip(&seq.src).enumerate() {
+            assert!((a - b).abs() < 1e-12, "idx {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn heat_diffuses_from_centre() {
+        let mut j = Jacobi3d::new(17);
+        let before_neighbors = j.src[Jacobi3d::idx(17, 8, 8, 7)];
+        assert_eq!(before_neighbors, 0.0);
+        j.step();
+        let after = j.src[Jacobi3d::idx(17, 8, 8, 7)];
+        assert!(after > 0.0, "heat must spread to neighbours");
+        let centre = j.src[Jacobi3d::idx(17, 8, 8, 8)];
+        assert!(centre < 1.0e6, "centre must cool");
+    }
+
+    #[test]
+    fn total_approximately_conserved_early() {
+        // Before heat reaches the boundary the sweep conserves the sum.
+        let mut j = Jacobi3d::new(33);
+        let t0 = j.total();
+        for _ in 0..3 {
+            j.step();
+        }
+        assert!((j.total() - t0).abs() / t0 < 1e-12, "conservation violated");
+    }
+
+    #[test]
+    fn intensity_is_half_flop_per_byte() {
+        let j = Jacobi3d::new(64);
+        assert!((j.counts().intensity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_counts_scale_with_iters() {
+        let mut j = Jacobi3d::new(16);
+        let p = j.profile(4);
+        assert_eq!(p.counts.flops, 4.0 * 8.0 * 14.0f64.powi(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3")]
+    fn tiny_grid_rejected() {
+        let _ = Jacobi3d::new(2);
+    }
+}

@@ -1,0 +1,143 @@
+//! STREAM triad — the canonical memory-bound kernel.
+//!
+//! `a[i] = b[i] + s·c[i]`: 2 flops per element against 24 bytes of traffic
+//! (read b, read c, write a), operational intensity 1/12 flops/byte — far
+//! below any modern machine balance. This is the regime where the paper's
+//! 2.0 GHz cap is nearly free.
+
+use crate::roofline::{KernelCounts, KernelProfile};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// A triad workspace of three equal-length vectors.
+#[derive(Debug, Clone)]
+pub struct Triad {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+}
+
+impl Triad {
+    /// Allocate for `n` elements with deterministic contents.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "triad needs at least one element");
+        Triad {
+            a: vec![0.0; n],
+            b: (0..n).map(|i| (i % 97) as f64).collect(),
+            c: (0..n).map(|i| (i % 89) as f64 * 0.5).collect(),
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Whether the workspace is empty (never; constructor forbids).
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+
+    /// One parallel triad sweep: `a = b + s·c`.
+    pub fn run(&mut self, s: f64) {
+        self.a
+            .par_iter_mut()
+            .zip(self.b.par_iter().zip(self.c.par_iter()))
+            .for_each(|(a, (b, c))| {
+                *a = b + s * c;
+            });
+    }
+
+    /// Sequential reference sweep (for correctness tests).
+    pub fn run_seq(&mut self, s: f64) {
+        for i in 0..self.a.len() {
+            self.a[i] = self.b[i] + s * self.c[i];
+        }
+    }
+
+    /// Analytic work counts for one sweep.
+    pub fn counts(&self) -> KernelCounts {
+        let n = self.len() as f64;
+        KernelCounts {
+            flops: 2.0 * n,
+            bytes: 24.0 * n,
+        }
+    }
+
+    /// Run `iters` timed parallel sweeps and report the profile.
+    pub fn profile(&mut self, s: f64, iters: usize) -> KernelProfile {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            self.run(s);
+        }
+        let seconds = t0.elapsed().as_secs_f64().max(1e-9);
+        let one = self.counts();
+        KernelProfile {
+            counts: KernelCounts {
+                flops: one.flops * iters as f64,
+                bytes: one.bytes * iters as f64,
+            },
+            seconds,
+        }
+    }
+
+    /// Checksum of the output vector (order-independent validation).
+    pub fn checksum(&self) -> f64 {
+        self.a.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut par = Triad::new(100_000);
+        let mut seq = par.clone();
+        par.run(3.0);
+        seq.run_seq(3.0);
+        assert_eq!(par.a, seq.a);
+    }
+
+    #[test]
+    fn values_are_correct() {
+        let mut t = Triad::new(1000);
+        t.run(2.0);
+        for i in 0..1000 {
+            let expect = (i % 97) as f64 + 2.0 * ((i % 89) as f64 * 0.5);
+            assert_eq!(t.a[i], expect, "element {i}");
+        }
+    }
+
+    #[test]
+    fn counts_scale_with_n() {
+        let t = Triad::new(1 << 20);
+        let c = t.counts();
+        assert_eq!(c.flops, 2.0 * (1 << 20) as f64);
+        assert_eq!(c.bytes, 24.0 * (1 << 20) as f64);
+        assert!((c.intensity() - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_reports_positive_rates() {
+        let mut t = Triad::new(1 << 16);
+        let p = t.profile(1.5, 3);
+        assert!(p.gbs() > 0.0);
+        assert!(p.gflops() > 0.0);
+        assert_eq!(p.counts.flops, 3.0 * 2.0 * (1 << 16) as f64);
+    }
+
+    #[test]
+    fn checksum_changes_with_scalar() {
+        let mut t = Triad::new(10_000);
+        t.run(1.0);
+        let c1 = t.checksum();
+        t.run(2.0);
+        let c2 = t.checksum();
+        assert_ne!(c1, c2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Cooling-plant model: from IT heat to facility overhead (PUE).
+//!
+//! §3 of the paper lists among the practical reasons for energy efficiency:
+//! "Higher power draw by HPC systems lead to higher cooling requirements
+//! increasing the overheads of running an HPC system." This module makes
+//! that quantitative for an ARCHER2-class direct-liquid-cooled system:
+//!
+//! * CDU pumps move coolant against a fixed head — pump power follows the
+//!   cube law in flow, and flow tracks heat load;
+//! * heat is rejected through dry/evaporative coolers whenever the outdoor
+//!   wet-bulb temperature allows (Edinburgh: almost always), with trim
+//!   chillers picking up the rest of the load on warm afternoons;
+//! * facility PUE = (IT + cooling + distribution losses) / IT.
+//!
+//! ARCHER2's published PUE is ~1.1 or better thanks to year-round free
+//! cooling; the defaults below land there.
+
+use serde::{Deserialize, Serialize};
+use sim_core::time::SimTime;
+
+/// Parameters of the cooling plant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingPlant {
+    /// Design IT heat load (W) at which pumps run at full flow.
+    pub design_load_w: f64,
+    /// Pump power at design flow (W), all CDUs and primary loops together.
+    pub pump_design_w: f64,
+    /// Minimum pump turndown (fraction of design flow); loops never stop.
+    pub min_flow_fraction: f64,
+    /// Fan/evaporative-cooler power per watt of heat rejected under free
+    /// cooling.
+    pub free_cooling_w_per_w: f64,
+    /// Chiller power per watt of heat when mechanical cooling must run
+    /// (1/COP; COP ≈ 5 for water-cooled chillers).
+    pub chiller_w_per_w: f64,
+    /// Outdoor wet-bulb temperature (°C) above which trim chillers engage.
+    pub free_cooling_limit_c: f64,
+}
+
+impl Default for CoolingPlant {
+    fn default() -> Self {
+        CoolingPlant {
+            design_load_w: 4.0e6,
+            pump_design_w: 96_000.0, // the 6 CDUs of Table 2 at design flow
+            min_flow_fraction: 0.5,
+            free_cooling_w_per_w: 0.01,
+            chiller_w_per_w: 0.20,
+            free_cooling_limit_c: 14.0,
+        }
+    }
+}
+
+/// Edinburgh-like outdoor wet-bulb temperature (°C): seasonal swing around
+/// ~8 °C with a mild diurnal cycle. Deterministic — weather noise is far
+/// below the power signals being studied.
+pub fn wet_bulb_c(t: SimTime) -> f64 {
+    let seasonal = 8.0 - 6.5 * (std::f64::consts::TAU * t.day_of_year_f64() / 365.25).cos();
+    let diurnal = 2.0 * (std::f64::consts::TAU * (t.hour_of_day_f64() - 9.0) / 24.0).sin();
+    seasonal + diurnal
+}
+
+/// Instantaneous cooling power breakdown (W).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingPower {
+    /// Pump power.
+    pub pumps_w: f64,
+    /// Free-cooling fan/spray power.
+    pub free_cooling_w: f64,
+    /// Trim-chiller compressor power.
+    pub chiller_w: f64,
+}
+
+impl CoolingPower {
+    /// Total cooling power (W).
+    pub fn total_w(&self) -> f64 {
+        self.pumps_w + self.free_cooling_w + self.chiller_w
+    }
+}
+
+impl CoolingPlant {
+    /// Cooling power needed to reject `it_load_w` of heat at instant `t`.
+    ///
+    /// # Panics
+    /// Panics on a negative heat load.
+    pub fn cooling_power(&self, it_load_w: f64, t: SimTime) -> CoolingPower {
+        assert!(it_load_w >= 0.0, "negative heat load");
+        // Cube-law pumps with a turndown floor.
+        let flow = (it_load_w / self.design_load_w).clamp(self.min_flow_fraction, 1.2);
+        let pumps_w = self.pump_design_w * flow.powi(3);
+
+        let wb = wet_bulb_c(t);
+        let (free_fraction, chiller_fraction) = if wb <= self.free_cooling_limit_c {
+            (1.0, 0.0)
+        } else {
+            // Above the limit the chillers trim a share growing with the
+            // excess wet-bulb (fully mechanical 8 °C above the limit).
+            let excess = ((wb - self.free_cooling_limit_c) / 8.0).min(1.0);
+            (1.0 - excess, excess)
+        };
+        CoolingPower {
+            pumps_w,
+            free_cooling_w: it_load_w * free_fraction * self.free_cooling_w_per_w,
+            chiller_w: it_load_w * chiller_fraction * self.chiller_w_per_w,
+        }
+    }
+
+    /// Power usage effectiveness at an instant: `(IT + cooling) / IT`.
+    ///
+    /// # Panics
+    /// Panics if the IT load is not positive.
+    pub fn pue(&self, it_load_w: f64, t: SimTime) -> f64 {
+        assert!(it_load_w > 0.0, "PUE undefined at zero IT load");
+        (it_load_w + self.cooling_power(it_load_w, t).total_w()) / it_load_w
+    }
+
+    /// Annual-mean PUE for a constant IT load, sampled 3-hourly.
+    pub fn annual_mean_pue(&self, it_load_w: f64, year: i32) -> f64 {
+        let start = SimTime::from_ymd(year, 1, 1);
+        let end = SimTime::from_ymd(year + 1, 1, 1);
+        let mut t = start;
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        while t < end {
+            sum += self.pue(it_load_w, t);
+            n += 1;
+            t += sim_core::time::SimDuration::from_hours(3);
+        }
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimDuration;
+
+    fn plant() -> CoolingPlant {
+        CoolingPlant::default()
+    }
+
+    #[test]
+    fn edinburgh_wet_bulb_is_plausible() {
+        // Winter nights well below 5 °C, summer afternoons under ~18 °C.
+        let winter_night = wet_bulb_c(SimTime::from_ymd_hms(2022, 1, 15, 3, 0, 0));
+        let summer_afternoon = wet_bulb_c(SimTime::from_ymd_hms(2022, 7, 15, 15, 0, 0));
+        assert!(winter_night < 4.0, "winter night wet bulb {winter_night}");
+        assert!((12.0..=19.0).contains(&summer_afternoon), "summer {summer_afternoon}");
+        assert!(summer_afternoon > winter_night + 8.0);
+    }
+
+    #[test]
+    fn winter_is_pure_free_cooling() {
+        let p = plant();
+        let c = p.cooling_power(3.2e6, SimTime::from_ymd_hms(2022, 1, 10, 12, 0, 0));
+        assert_eq!(c.chiller_w, 0.0, "no chillers in January");
+        assert!(c.free_cooling_w > 0.0);
+        assert!(c.pumps_w > 0.0);
+    }
+
+    #[test]
+    fn warm_afternoons_engage_chillers() {
+        let p = plant();
+        let c = p.cooling_power(3.2e6, SimTime::from_ymd_hms(2022, 7, 20, 15, 0, 0));
+        assert!(c.chiller_w > 0.0, "summer afternoon should trim with chillers");
+    }
+
+    #[test]
+    fn pue_is_archer2_like() {
+        // ARCHER2 reports PUE ≈ 1.1 or better.
+        let p = plant();
+        let pue = p.annual_mean_pue(3.2e6, 2022);
+        assert!((1.02..=1.12).contains(&pue), "annual PUE {pue}");
+    }
+
+    #[test]
+    fn pue_winter_better_than_summer() {
+        let p = plant();
+        let winter = p.pue(3.2e6, SimTime::from_ymd_hms(2022, 1, 10, 15, 0, 0));
+        let summer = p.pue(3.2e6, SimTime::from_ymd_hms(2022, 7, 20, 15, 0, 0));
+        assert!(winter < summer, "winter {winter} vs summer {summer}");
+    }
+
+    #[test]
+    fn lower_it_load_reduces_cooling_power_but_not_linearly() {
+        // The paper's §3 point in reverse: the 21 % IT saving also saves
+        // cooling power — and the cube-law pumps make the saving in pump
+        // power proportionally larger, until the turndown floor bites.
+        let p = plant();
+        let t = SimTime::from_ymd_hms(2022, 12, 10, 12, 0, 0);
+        let before = p.cooling_power(3.22e6, t);
+        let after = p.cooling_power(2.53e6, t);
+        assert!(after.total_w() < before.total_w());
+        let pump_ratio = after.pumps_w / before.pumps_w;
+        let load_ratio: f64 = 2.53 / 3.22;
+        assert!(pump_ratio < load_ratio, "cube law: {pump_ratio} < {load_ratio}");
+    }
+
+    #[test]
+    fn pump_turndown_floor() {
+        let p = plant();
+        let t = SimTime::from_ymd(2022, 1, 1);
+        let tiny = p.cooling_power(1.0, t);
+        let floor = p.pump_design_w * p.min_flow_fraction.powi(3);
+        assert!((tiny.pumps_w - floor).abs() < 1e-9, "pumps never stop");
+    }
+
+    #[test]
+    fn cooling_overhead_consistent_with_table2_cdus() {
+        // At ARCHER2's baseline load in mild weather, pump power should be
+        // in the neighbourhood of Table 2's 96 kW CDU figure.
+        let p = plant();
+        let mut worst: f64 = 0.0;
+        let mut t = SimTime::from_ymd(2022, 1, 1);
+        let end = SimTime::from_ymd(2023, 1, 1);
+        while t < end {
+            worst = worst.max(p.cooling_power(3.22e6, t).pumps_w);
+            t += SimDuration::from_days(7);
+        }
+        assert!((40_000.0..=100_000.0).contains(&worst), "peak pump power {worst} W");
+    }
+
+    #[test]
+    #[should_panic(expected = "PUE undefined")]
+    fn pue_requires_load() {
+        let _ = plant().pue(0.0, SimTime::EPOCH);
+    }
+}

@@ -1,0 +1,162 @@
+//! Energy integration: turning power samples into kWh and emissions-ready
+//! energy records.
+//!
+//! The meter integrates piecewise-constant power over simulated time — the
+//! same left-rectangle rule a real facility meter applies between telemetry
+//! samples.
+
+use serde::{Deserialize, Serialize};
+use sim_core::time::{SimDuration, SimTime};
+
+/// Integrates a piecewise-constant power signal into cumulative energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    last_update: Option<u64>, // SimTime as unix secs (serde-friendly)
+    current_power_w: f64,
+    energy_j: f64,
+}
+
+impl Default for EnergyMeter {
+    fn default() -> Self {
+        EnergyMeter::new()
+    }
+}
+
+impl EnergyMeter {
+    /// A fresh meter with no accumulated energy.
+    pub fn new() -> Self {
+        EnergyMeter {
+            last_update: None,
+            current_power_w: 0.0,
+            energy_j: 0.0,
+        }
+    }
+
+    /// Record that power changed to `power_w` at instant `now`.
+    ///
+    /// Energy for the elapsed interval is accumulated at the *previous*
+    /// power level (left-rectangle integration of a piecewise-constant
+    /// signal).
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the previous update (meters cannot run
+    /// backwards) or `power_w` is negative/non-finite.
+    pub fn set_power(&mut self, now: SimTime, power_w: f64) {
+        assert!(power_w.is_finite() && power_w >= 0.0, "invalid power {power_w}");
+        self.accumulate_until(now);
+        self.current_power_w = power_w;
+    }
+
+    /// Advance the meter to `now` without changing the power level.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the previous update.
+    pub fn accumulate_until(&mut self, now: SimTime) {
+        let now_s = now.as_unix();
+        if let Some(prev) = self.last_update {
+            assert!(now_s >= prev, "meter driven backwards: {now_s} < {prev}");
+            let dt = (now_s - prev) as f64;
+            self.energy_j += self.current_power_w * dt;
+        }
+        self.last_update = Some(now_s);
+    }
+
+    /// Convenience: accumulate a fixed power level over a duration without
+    /// tracking absolute time (used by per-job energy accounting).
+    pub fn add_energy(&mut self, power_w: f64, dt: SimDuration) {
+        assert!(power_w.is_finite() && power_w >= 0.0, "invalid power {power_w}");
+        self.energy_j += power_w * dt.as_secs() as f64;
+    }
+
+    /// Power level currently being integrated (W).
+    pub fn current_power_w(&self) -> f64 {
+        self.current_power_w
+    }
+
+    /// Total accumulated energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Total accumulated energy in kilowatt-hours.
+    pub fn energy_kwh(&self) -> f64 {
+        self.energy_j / 3.6e6
+    }
+
+    /// Reset accumulated energy to zero, keeping the current power level and
+    /// clock (used at measurement-window boundaries).
+    pub fn reset_energy(&mut self) {
+        self.energy_j = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_power_integrates_linearly() {
+        let mut m = EnergyMeter::new();
+        let t0 = SimTime::from_unix(0);
+        m.set_power(t0, 1000.0); // 1 kW
+        m.accumulate_until(t0 + SimDuration::from_hours(2));
+        assert!((m.energy_kwh() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn left_rectangle_semantics() {
+        let mut m = EnergyMeter::new();
+        let t0 = SimTime::from_unix(0);
+        m.set_power(t0, 100.0);
+        // Power changes to 300 W after one hour: first hour billed at 100 W.
+        m.set_power(t0 + SimDuration::from_hours(1), 300.0);
+        assert!((m.energy_kwh() - 0.1).abs() < 1e-12);
+        m.accumulate_until(t0 + SimDuration::from_hours(2));
+        assert!((m.energy_kwh() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_accumulates_nothing() {
+        let mut m = EnergyMeter::new();
+        let t0 = SimTime::from_unix(50);
+        m.set_power(t0, 500.0);
+        m.set_power(t0, 700.0);
+        assert_eq!(m.energy_j(), 0.0);
+        assert_eq!(m.current_power_w(), 700.0);
+    }
+
+    #[test]
+    fn add_energy_shortcut() {
+        let mut m = EnergyMeter::new();
+        m.add_energy(510.0, SimDuration::from_hours(10));
+        // 510 W × 10 h = 5.1 kWh.
+        assert!((m.energy_kwh() - 5.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_keeps_power_level() {
+        let mut m = EnergyMeter::new();
+        let t0 = SimTime::from_unix(0);
+        m.set_power(t0, 250.0);
+        m.accumulate_until(t0 + SimDuration::from_hours(4));
+        assert!(m.energy_kwh() > 0.0);
+        m.reset_energy();
+        assert_eq!(m.energy_kwh(), 0.0);
+        assert_eq!(m.current_power_w(), 250.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn backwards_time_panics() {
+        let mut m = EnergyMeter::new();
+        m.set_power(SimTime::from_unix(100), 1.0);
+        m.accumulate_until(SimTime::from_unix(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid power")]
+    fn negative_power_panics() {
+        let mut m = EnergyMeter::new();
+        m.set_power(SimTime::from_unix(0), -5.0);
+    }
+}

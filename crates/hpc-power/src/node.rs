@@ -1,0 +1,298 @@
+//! The compute-node power model: two sockets plus DRAM, NICs and board.
+//!
+//! Calibration targets are Table 2 of the paper: an ARCHER2 node draws
+//! ≈ 0.23 kW idle and ≈ 0.51 kW loaded. The non-socket components matter for
+//! the application energy ratios in Tables 3–4 because they do **not** scale
+//! with core frequency — they dilute the CPU-side savings exactly as the
+//! paper's measured ratios show.
+
+use crate::pstate::FreqSetting;
+use crate::silicon::{SiliconLottery, SiliconSample};
+use crate::socket::{DeterminismMode, SocketPowerModel, SocketSpec};
+use serde::{Deserialize, Serialize};
+
+/// What a node is doing, power-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeActivity {
+    /// CPU pipeline activity factor `a` in `[0, 1.2]`.
+    pub cpu: f64,
+    /// Memory-subsystem intensity `m` in `[0, 1]` (fraction of peak DRAM
+    /// bandwidth the workload sustains).
+    pub mem: f64,
+    /// Throughput factor relative to the workload's own reference speed in
+    /// `[0, 1]`; DRAM and NIC activity power scale with it because a slower
+    /// clock moves data more slowly.
+    pub throughput: f64,
+}
+
+impl NodeActivity {
+    /// A fully idle node.
+    pub const IDLE: NodeActivity = NodeActivity {
+        cpu: 0.0,
+        mem: 0.0,
+        throughput: 0.0,
+    };
+
+    /// A generic busy node (typical mixed HPC load).
+    pub fn typical() -> Self {
+        NodeActivity {
+            cpu: 0.7,
+            mem: 0.5,
+            throughput: 1.0,
+        }
+    }
+}
+
+/// Physical constants of one node beyond its two sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Socket spec (node carries two).
+    pub socket: SocketSpec,
+    /// DRAM background power (W): refresh, PHY, idle DIMMs. 256–512 GB DDR4.
+    pub dram_idle_w: f64,
+    /// Extra DRAM power at full memory intensity and full throughput (W).
+    pub dram_active_w: f64,
+    /// Both Slingshot NICs, idle (W).
+    pub nic_idle_w: f64,
+    /// Extra NIC power at full throughput (W).
+    pub nic_active_w: f64,
+    /// Board, VRM losses, BMC (W), constant.
+    pub board_w: f64,
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        NodeSpec {
+            socket: SocketSpec::default(),
+            dram_idle_w: 28.0,
+            dram_active_w: 24.0,
+            nic_idle_w: 12.0,
+            nic_active_w: 8.0,
+            board_w: 15.0,
+        }
+    }
+}
+
+/// Per-component power draw of one node, in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodePowerBreakdown {
+    /// Both sockets.
+    pub sockets_w: f64,
+    /// DRAM.
+    pub dram_w: f64,
+    /// NICs.
+    pub nic_w: f64,
+    /// Board/VRM/BMC.
+    pub board_w: f64,
+}
+
+impl NodePowerBreakdown {
+    /// Total node power (W).
+    pub fn total_w(&self) -> f64 {
+        self.sockets_w + self.dram_w + self.nic_w + self.board_w
+    }
+}
+
+/// Evaluates node power for given settings, activity and silicon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodePowerModel {
+    spec: NodeSpec,
+    socket_model: SocketPowerModel,
+}
+
+impl NodePowerModel {
+    /// Build from a node spec.
+    pub fn new(spec: NodeSpec) -> Self {
+        NodePowerModel {
+            spec,
+            socket_model: SocketPowerModel::new(spec.socket),
+        }
+    }
+
+    /// The node spec.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// The embedded socket model.
+    pub fn socket_model(&self) -> &SocketPowerModel {
+        &self.socket_model
+    }
+
+    /// Power breakdown of a node running a workload.
+    ///
+    /// `parts` are the node's two sockets; activity applies to both (ARCHER2
+    /// allocates whole nodes, and the benchmarks in the paper are
+    /// node-filling MPI codes).
+    pub fn power(
+        &self,
+        setting: FreqSetting,
+        mode: DeterminismMode,
+        activity: NodeActivity,
+        parts: &[SiliconSample; 2],
+        lottery: &SiliconLottery,
+    ) -> NodePowerBreakdown {
+        let sockets_w: f64 = parts
+            .iter()
+            .map(|p| self.socket_model.power_w(setting, mode, activity.cpu, p, lottery))
+            .sum();
+        NodePowerBreakdown {
+            sockets_w,
+            dram_w: self.spec.dram_idle_w + self.spec.dram_active_w * activity.mem * activity.throughput,
+            nic_w: self.spec.nic_idle_w + self.spec.nic_active_w * activity.throughput,
+            board_w: self.spec.board_w,
+        }
+    }
+
+    /// Power breakdown of an idle (powered, scheduled-empty) node.
+    pub fn idle_power(
+        &self,
+        mode: DeterminismMode,
+        parts: &[SiliconSample; 2],
+    ) -> NodePowerBreakdown {
+        let sockets_w: f64 = parts.iter().map(|p| self.socket_model.idle_power_w(mode, p)).sum();
+        NodePowerBreakdown {
+            sockets_w,
+            dram_w: self.spec.dram_idle_w,
+            nic_w: self.spec.nic_idle_w,
+            board_w: self.spec.board_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (NodePowerModel, [SiliconSample; 2], SiliconLottery) {
+        let lot = SiliconLottery::default();
+        let part = SiliconSample::typical(&lot);
+        (NodePowerModel::new(NodeSpec::default()), [part, part], lot)
+    }
+
+    #[test]
+    fn loaded_node_matches_table2() {
+        // Table 2: loaded compute node ≈ 0.51 kW (vendor estimate, ±10 %).
+        let (m, parts, lot) = setup();
+        let p = m
+            .power(
+                FreqSetting::TurboBoost2250,
+                DeterminismMode::Power,
+                NodeActivity::typical(),
+                &parts,
+                &lot,
+            )
+            .total_w();
+        assert!((459.0..=561.0).contains(&p), "loaded node power {p} W");
+    }
+
+    #[test]
+    fn idle_node_matches_table2() {
+        // Table 2: idle compute node ≈ 0.23 kW (±10 %).
+        let (m, parts, _lot) = setup();
+        let p = m.idle_power(DeterminismMode::Power, &parts).total_w();
+        assert!((207.0..=253.0).contains(&p), "idle node power {p} W");
+    }
+
+    #[test]
+    fn idle_is_about_half_of_loaded() {
+        // Paper §5: "When compute nodes are not running user applications,
+        // they draw around 50% of power of a fully loaded compute node."
+        let (m, parts, lot) = setup();
+        let idle = m.idle_power(DeterminismMode::Power, &parts).total_w();
+        let loaded = m
+            .power(
+                FreqSetting::TurboBoost2250,
+                DeterminismMode::Power,
+                NodeActivity::typical(),
+                &parts,
+                &lot,
+            )
+            .total_w();
+        let frac = idle / loaded;
+        assert!((0.40..=0.60).contains(&frac), "idle/loaded = {frac}");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let (m, parts, lot) = setup();
+        let b = m.power(
+            FreqSetting::Mid2000,
+            DeterminismMode::Performance,
+            NodeActivity::typical(),
+            &parts,
+            &lot,
+        );
+        let sum = b.sockets_w + b.dram_w + b.nic_w + b.board_w;
+        assert!((b.total_w() - sum).abs() < 1e-12);
+        assert!(b.sockets_w > 0.0 && b.dram_w > 0.0 && b.nic_w > 0.0 && b.board_w > 0.0);
+    }
+
+    #[test]
+    fn sockets_dominate_node_power() {
+        let (m, parts, lot) = setup();
+        let b = m.power(
+            FreqSetting::TurboBoost2250,
+            DeterminismMode::Power,
+            NodeActivity::typical(),
+            &parts,
+            &lot,
+        );
+        assert!(b.sockets_w / b.total_w() > 0.75, "sockets should dominate");
+    }
+
+    #[test]
+    fn memory_bound_workload_draws_less_cpu_more_dram() {
+        let (m, parts, lot) = setup();
+        let compute = NodeActivity {
+            cpu: 1.0,
+            mem: 0.1,
+            throughput: 1.0,
+        };
+        let memory = NodeActivity {
+            cpu: 0.4,
+            mem: 0.9,
+            throughput: 1.0,
+        };
+        let bc = m.power(FreqSetting::Mid2000, DeterminismMode::Performance, compute, &parts, &lot);
+        let bm = m.power(FreqSetting::Mid2000, DeterminismMode::Performance, memory, &parts, &lot);
+        assert!(bc.sockets_w > bm.sockets_w);
+        assert!(bc.dram_w < bm.dram_w);
+    }
+
+    #[test]
+    fn throughput_scales_dram_and_nic_only() {
+        let (m, parts, lot) = setup();
+        let fast = NodeActivity {
+            cpu: 0.7,
+            mem: 0.5,
+            throughput: 1.0,
+        };
+        let slow = NodeActivity {
+            cpu: 0.7,
+            mem: 0.5,
+            throughput: 0.5,
+        };
+        let bf = m.power(FreqSetting::Mid2000, DeterminismMode::Performance, fast, &parts, &lot);
+        let bs = m.power(FreqSetting::Mid2000, DeterminismMode::Performance, slow, &parts, &lot);
+        assert_eq!(bf.sockets_w, bs.sockets_w);
+        assert_eq!(bf.board_w, bs.board_w);
+        assert!(bf.dram_w > bs.dram_w);
+        assert!(bf.nic_w > bs.nic_w);
+    }
+
+    #[test]
+    fn determinism_change_saves_node_power() {
+        let (m, parts, lot) = setup();
+        let act = NodeActivity::typical();
+        let pd = m
+            .power(FreqSetting::TurboBoost2250, DeterminismMode::Power, act, &parts, &lot)
+            .total_w();
+        let det = m
+            .power(FreqSetting::TurboBoost2250, DeterminismMode::Performance, act, &parts, &lot)
+            .total_w();
+        let ratio = det / pd;
+        // Table 3 band: node energy ratios 0.90-0.94 at ~constant runtime.
+        assert!((0.88..=0.96).contains(&ratio), "node power ratio {ratio}");
+    }
+}

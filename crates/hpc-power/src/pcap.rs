@@ -1,0 +1,237 @@
+//! Facility-level power capping: choosing a frequency mix to meet a kW
+//! target.
+//!
+//! §3's grid-citizen framing implies an operator question the paper leaves
+//! implicit: *given a power cap from the grid operator, which frequency
+//! setting (or mix of settings) meets it at the least throughput cost?*
+//! The planner below answers it with the same node model the rest of the
+//! reproduction uses: the three selectable P-states give three facility
+//! operating levels, and fractional caps between them are met by splitting
+//! the fleet (Slurm lets the operator set per-partition defaults, so a
+//! split is deployable in practice).
+
+use crate::node::{NodeActivity, NodePowerModel};
+use crate::pstate::FreqSetting;
+use crate::silicon::{SiliconLottery, SiliconSample};
+use crate::socket::DeterminismMode;
+use serde::{Deserialize, Serialize};
+
+/// A fleet operating plan meeting a power cap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapPlan {
+    /// Fraction of busy nodes at each setting, ordered as
+    /// `[1.5 GHz, 2.0 GHz, 2.25 GHz+turbo]`; sums to 1.
+    pub fractions: [f64; 3],
+    /// Resulting busy-fleet power (kW).
+    pub power_kw: f64,
+    /// Resulting relative throughput (1.0 = everything at 2.25+turbo).
+    pub throughput: f64,
+    /// Whether the cap was achievable at all.
+    pub feasible: bool,
+}
+
+/// Plans frequency mixes against power caps.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerCapPlanner {
+    /// Power per busy node at each setting (kW), `[1.5, 2.0, 2.25+turbo]`.
+    pub node_kw: [f64; 3],
+    /// Relative throughput per node at each setting.
+    pub node_throughput: [f64; 3],
+    /// Busy nodes the plan covers.
+    pub busy_nodes: u32,
+}
+
+impl PowerCapPlanner {
+    /// Build from the node model for a typical mixed workload (activity as
+    /// in the facility baseline) under performance determinism.
+    ///
+    /// The throughput column uses the DVFS model with a fleet-typical
+    /// compute-bound fraction β = 0.3.
+    pub fn for_fleet(model: &NodePowerModel, lottery: &SiliconLottery, busy_nodes: u32) -> Self {
+        let part = SiliconSample::typical(lottery);
+        let parts = [part, part];
+        let settings = [FreqSetting::Low1500, FreqSetting::Mid2000, FreqSetting::TurboBoost2250];
+        let f_ref = model.socket_model().effective_freq(
+            FreqSetting::TurboBoost2250,
+            DeterminismMode::Performance,
+            0.7,
+            &part,
+            lottery,
+        );
+        let beta = 0.3;
+        let mut node_kw = [0.0; 3];
+        let mut node_throughput = [0.0; 3];
+        for (i, s) in settings.into_iter().enumerate() {
+            let f = model.socket_model().effective_freq(s, DeterminismMode::Performance, 0.7, &part, lottery);
+            let thr = 1.0 / (beta * f_ref / f + (1.0 - beta));
+            let act = NodeActivity {
+                cpu: 0.7,
+                mem: 0.5,
+                throughput: thr,
+            };
+            node_kw[i] = model.power(s, DeterminismMode::Performance, act, &parts, lottery).total_w() / 1000.0;
+            node_throughput[i] = thr;
+        }
+        PowerCapPlanner {
+            node_kw,
+            node_throughput,
+            busy_nodes,
+        }
+    }
+
+    /// Fleet power with every node at setting `i` (kW).
+    pub fn level_kw(&self, i: usize) -> f64 {
+        self.node_kw[i] * self.busy_nodes as f64
+    }
+
+    /// Plan the throughput-optimal mix meeting `cap_kw`.
+    ///
+    /// Since power and throughput are both monotone in the setting, the
+    /// optimal mix under a cap uses at most two *adjacent* settings: the
+    /// planner walks down from full turbo, blending with the next setting
+    /// until the cap is met.
+    pub fn plan(&self, cap_kw: f64) -> CapPlan {
+        let full = self.level_kw(2);
+        if cap_kw >= full {
+            return CapPlan {
+                fractions: [0.0, 0.0, 1.0],
+                power_kw: full,
+                throughput: self.node_throughput[2],
+                feasible: true,
+            };
+        }
+        // Blend between adjacent levels (hi, lo) where the cap falls.
+        for (hi, lo) in [(2usize, 1usize), (1, 0)] {
+            let hi_kw = self.level_kw(hi);
+            let lo_kw = self.level_kw(lo);
+            if cap_kw <= hi_kw && cap_kw >= lo_kw {
+                // x = fraction at `hi`.
+                let x = (cap_kw - lo_kw) / (hi_kw - lo_kw);
+                let mut fractions = [0.0; 3];
+                fractions[hi] = x;
+                fractions[lo] = 1.0 - x;
+                let throughput = x * self.node_throughput[hi] + (1.0 - x) * self.node_throughput[lo];
+                return CapPlan {
+                    fractions,
+                    power_kw: cap_kw,
+                    throughput,
+                    feasible: true,
+                };
+            }
+        }
+        // Below even the all-1.5 GHz floor: infeasible without idling nodes.
+        CapPlan {
+            fractions: [1.0, 0.0, 0.0],
+            power_kw: self.level_kw(0),
+            throughput: self.node_throughput[0],
+            feasible: false,
+        }
+    }
+
+    /// Sweep caps from the 1.5 GHz floor to full turbo in `steps` points.
+    pub fn sweep(&self, steps: usize) -> Vec<CapPlan> {
+        let lo = self.level_kw(0);
+        let hi = self.level_kw(2);
+        (0..=steps)
+            .map(|i| {
+                let cap = lo + (hi - lo) * i as f64 / steps as f64;
+                self.plan(cap)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSpec;
+
+    fn planner() -> PowerCapPlanner {
+        let model = NodePowerModel::new(NodeSpec::default());
+        let lottery = SiliconLottery::default();
+        PowerCapPlanner::for_fleet(&model, &lottery, 5400)
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        let p = planner();
+        assert!(p.level_kw(0) < p.level_kw(1));
+        assert!(p.level_kw(1) < p.level_kw(2));
+        assert!(p.node_throughput[0] < p.node_throughput[1]);
+        assert!(p.node_throughput[1] < p.node_throughput[2]);
+        // The 2.0 GHz level reproduces the paper's ballpark: ~2.1 MW of
+        // busy-node power vs ~2.6 MW at turbo.
+        let ratio = p.level_kw(1) / p.level_kw(2);
+        assert!((0.70..=0.85).contains(&ratio), "level ratio {ratio}");
+    }
+
+    #[test]
+    fn uncapped_runs_full_turbo() {
+        let p = planner();
+        let plan = p.plan(p.level_kw(2) + 500.0);
+        assert!(plan.feasible);
+        assert_eq!(plan.fractions, [0.0, 0.0, 1.0]);
+        assert!((plan.throughput - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blended_cap_meets_target_exactly() {
+        let p = planner();
+        let cap = 0.5 * (p.level_kw(1) + p.level_kw(2));
+        let plan = p.plan(cap);
+        assert!(plan.feasible);
+        assert!((plan.power_kw - cap).abs() < 1e-6);
+        // Half-and-half between adjacent settings.
+        assert!((plan.fractions[2] - 0.5).abs() < 0.01, "{:?}", plan.fractions);
+        assert!(plan.fractions[0].abs() < 1e-12);
+        assert!(plan.throughput < 1.0 && plan.throughput > p.node_throughput[1]);
+    }
+
+    #[test]
+    fn deep_cap_uses_low_p_states() {
+        let p = planner();
+        let cap = 0.5 * (p.level_kw(0) + p.level_kw(1));
+        let plan = p.plan(cap);
+        assert!(plan.feasible);
+        assert!(plan.fractions[2].abs() < 1e-12, "no turbo under a deep cap");
+        assert!(plan.fractions[0] > 0.0 && plan.fractions[1] > 0.0);
+    }
+
+    #[test]
+    fn impossible_cap_reported_infeasible() {
+        let p = planner();
+        let plan = p.plan(p.level_kw(0) * 0.8);
+        assert!(!plan.feasible);
+        assert_eq!(plan.fractions, [1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sweep_throughput_monotone_in_cap() {
+        let p = planner();
+        let plans = p.sweep(20);
+        for w in plans.windows(2) {
+            assert!(w[1].throughput >= w[0].throughput - 1e-12);
+            assert!(w[1].power_kw >= w[0].power_kw - 1e-9);
+        }
+        assert!(plans.iter().all(|pl| pl.feasible));
+    }
+
+    #[test]
+    fn fractions_always_sum_to_one() {
+        let p = planner();
+        for plan in p.sweep(50) {
+            let sum: f64 = plan.fractions.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{:?}", plan.fractions);
+        }
+    }
+
+    #[test]
+    fn the_papers_480kw_shed_is_a_feasible_plan() {
+        // Figure 3's saving as a capping decision: shaving ~16 % off the
+        // busy fleet is comfortably inside the planner's feasible range.
+        let p = planner();
+        let plan = p.plan(p.level_kw(2) * 0.84);
+        assert!(plan.feasible);
+        assert!(plan.throughput > 0.85, "throughput {}", plan.throughput);
+    }
+}

@@ -1,0 +1,172 @@
+//! P-states, frequency settings and the voltage/frequency curve.
+//!
+//! ARCHER2's EPYC parts expose three selectable frequencies — 1.5 GHz,
+//! 2.0 GHz and 2.25 GHz — where the 2.25 GHz setting also enables turbo
+//! boost (§4.2 of the paper). The paper observes that under the boost
+//! setting "most applications typically boost the CPU frequency to closer
+//! to 2.8 GHz in actual operation".
+
+use serde::{Deserialize, Serialize};
+
+/// The user/operator-selectable CPU frequency setting.
+///
+/// Matches the knobs available on ARCHER2 via Slurm's `--cpu-freq` and the
+/// module system: three fixed P-states, with turbo only available at the
+/// highest setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FreqSetting {
+    /// Fixed 1.5 GHz (lowest P-state).
+    Low1500,
+    /// Fixed 2.0 GHz — the new ARCHER2 default after the §4.2 change.
+    Mid2000,
+    /// 2.25 GHz with turbo boost enabled — the original default.
+    TurboBoost2250,
+}
+
+impl FreqSetting {
+    /// The nominal set-point frequency in GHz (before any boost).
+    pub fn nominal_ghz(self) -> f64 {
+        match self {
+            FreqSetting::Low1500 => 1.5,
+            FreqSetting::Mid2000 => 2.0,
+            FreqSetting::TurboBoost2250 => 2.25,
+        }
+    }
+
+    /// Whether turbo boost is enabled at this setting.
+    pub fn boost_enabled(self) -> bool {
+        matches!(self, FreqSetting::TurboBoost2250)
+    }
+
+    /// All selectable settings, lowest first.
+    pub const ALL: [FreqSetting; 3] = [
+        FreqSetting::Low1500,
+        FreqSetting::Mid2000,
+        FreqSetting::TurboBoost2250,
+    ];
+}
+
+impl std::fmt::Display for FreqSetting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FreqSetting::Low1500 => write!(f, "1.5 GHz"),
+            FreqSetting::Mid2000 => write!(f, "2.0 GHz"),
+            FreqSetting::TurboBoost2250 => write!(f, "2.25 GHz+turbo"),
+        }
+    }
+}
+
+/// A single P-state: a frequency and the (worst-case-part) voltage needed to
+/// sustain it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PState {
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Core voltage in volts (worst-case part).
+    pub voltage: f64,
+}
+
+/// Piecewise-linear voltage/frequency curve.
+///
+/// Calibrated so the curve spans the EPYC Rome operating range:
+/// ~0.85 V at the 1.5 GHz floor rising to ~1.12 V at the ~2.95 GHz
+/// single-point turbo ceiling. Only the slope matters for the power *ratios*
+/// the paper reports; the absolute values anchor the watt-level numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageCurve {
+    /// Voltage at `f_lo`.
+    pub v_lo: f64,
+    /// Lowest supported frequency (GHz).
+    pub f_lo: f64,
+    /// Volts per GHz slope above `f_lo`.
+    pub slope: f64,
+}
+
+impl VoltageCurve {
+    /// The EPYC-Rome-like default curve used throughout the reproduction.
+    pub fn epyc_rome() -> Self {
+        VoltageCurve {
+            v_lo: 0.85,
+            f_lo: 1.5,
+            slope: 0.1923, // reaches ~1.10 V at 2.8 GHz
+        }
+    }
+
+    /// Voltage (V) required by the worst-case part at frequency `f` GHz.
+    ///
+    /// Clamps below `f_lo` (parts cannot undervolt below the floor).
+    pub fn voltage(&self, f_ghz: f64) -> f64 {
+        let f = f_ghz.max(self.f_lo);
+        self.v_lo + self.slope * (f - self.f_lo)
+    }
+
+    /// Squared voltage — the quantity dynamic power scales with.
+    pub fn voltage_sq(&self, f_ghz: f64) -> f64 {
+        let v = self.voltage(f_ghz);
+        v * v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settings_have_expected_nominals() {
+        assert_eq!(FreqSetting::Low1500.nominal_ghz(), 1.5);
+        assert_eq!(FreqSetting::Mid2000.nominal_ghz(), 2.0);
+        assert_eq!(FreqSetting::TurboBoost2250.nominal_ghz(), 2.25);
+        assert!(FreqSetting::TurboBoost2250.boost_enabled());
+        assert!(!FreqSetting::Mid2000.boost_enabled());
+        assert!(!FreqSetting::Low1500.boost_enabled());
+    }
+
+    #[test]
+    fn curve_monotone_increasing() {
+        let c = VoltageCurve::epyc_rome();
+        let mut prev = 0.0;
+        let mut f = 1.5;
+        while f <= 3.0 {
+            let v = c.voltage(f);
+            assert!(v > prev, "voltage must increase with frequency");
+            prev = v;
+            f += 0.05;
+        }
+    }
+
+    #[test]
+    fn curve_anchors() {
+        let c = VoltageCurve::epyc_rome();
+        assert!((c.voltage(1.5) - 0.85).abs() < 1e-12);
+        let v28 = c.voltage(2.8);
+        assert!((1.08..=1.12).contains(&v28), "V(2.8) = {v28}");
+    }
+
+    #[test]
+    fn curve_clamps_below_floor() {
+        let c = VoltageCurve::epyc_rome();
+        assert_eq!(c.voltage(0.8), c.voltage(1.5));
+    }
+
+    #[test]
+    fn voltage_sq_consistent() {
+        let c = VoltageCurve::epyc_rome();
+        let v = c.voltage(2.25);
+        assert!((c.voltage_sq(2.25) - v * v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(FreqSetting::TurboBoost2250.to_string(), "2.25 GHz+turbo");
+        assert_eq!(FreqSetting::Mid2000.to_string(), "2.0 GHz");
+        assert_eq!(FreqSetting::Low1500.to_string(), "1.5 GHz");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = FreqSetting::Mid2000;
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FreqSetting = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,164 @@
+//! The silicon lottery: per-part voltage margin and leakage factors.
+//!
+//! AMD's determinism whitepaper (paper ref [4]) is explicit that parts of
+//! the same SKU differ: a typical part reaches a given frequency at lower
+//! voltage than the worst-case part the SKU is specified against, and parts
+//! differ in leakage current. Both axes are sampled per-socket when a
+//! facility is built, deterministically from the campaign seed, so the same
+//! seed always builds the same 11,720-socket fleet.
+
+use serde::{Deserialize, Serialize};
+use sim_core::dist::{Distribution, LogNormal, Normal};
+use sim_core::rng::Rng;
+
+/// Quality factors for one physical part (socket).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiliconSample {
+    /// Required voltage relative to the worst-case part, in `(0, 1]`.
+    ///
+    /// Performance-determinism mode runs the part at this fraction of the
+    /// worst-case voltage; power-determinism mode ignores it (uniform
+    /// worst-case schedule).
+    pub v_margin: f64,
+    /// Leakage factor multiplying core static power; mean 1.0.
+    pub leak: f64,
+}
+
+impl SiliconSample {
+    /// The exact worst-case part: full voltage, high leakage.
+    pub fn worst_case(lottery: &SiliconLottery) -> Self {
+        SiliconSample {
+            v_margin: 1.0,
+            leak: lottery.leak_max,
+        }
+    }
+
+    /// A deterministic "typical" part at the distribution means — used by
+    /// closed-form experiments that don't want sampling noise.
+    pub fn typical(lottery: &SiliconLottery) -> Self {
+        SiliconSample {
+            v_margin: lottery.v_margin_mean,
+            leak: 1.0,
+        }
+    }
+
+    /// Squared voltage margin — the factor by which this part's dynamic and
+    /// static power shrink when run at its own minimum voltage.
+    pub fn v_margin_sq(&self) -> f64 {
+        self.v_margin * self.v_margin
+    }
+}
+
+/// Distribution of part quality across a manufacturing run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiliconLottery {
+    /// Mean of the per-part voltage margin (typical ≈ 0.95: a typical part
+    /// needs ~5 % less voltage than worst case).
+    pub v_margin_mean: f64,
+    /// Standard deviation of the voltage margin.
+    pub v_margin_sd: f64,
+    /// Sigma of the log-normal leakage factor (mean fixed at 1.0).
+    pub leak_sigma: f64,
+    /// Leakage of the worst part the SKU is specified against.
+    pub leak_max: f64,
+}
+
+impl Default for SiliconLottery {
+    fn default() -> Self {
+        SiliconLottery {
+            v_margin_mean: 0.95,
+            v_margin_sd: 0.015,
+            leak_sigma: 0.03,
+            leak_max: 1.08,
+        }
+    }
+}
+
+impl SiliconLottery {
+    /// Draw one part.
+    ///
+    /// The voltage margin is truncated to `(0.88, 1.0]` — no part is better
+    /// than 12 % under worst-case voltage, none needs more than worst case
+    /// (by definition of "worst case"). Leakage is truncated at `leak_max`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> SiliconSample {
+        let vdist = Normal::new(self.v_margin_mean, self.v_margin_sd);
+        let ldist = LogNormal::from_mean(1.0, self.leak_sigma);
+        let v_margin = vdist.sample(rng).clamp(0.88, 1.0);
+        let leak = ldist.sample(rng).min(self.leak_max);
+        SiliconSample { v_margin, leak }
+    }
+
+    /// Draw a whole fleet of parts.
+    pub fn sample_fleet<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<SiliconSample> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::rng::Xoshiro256StarStar;
+    use sim_core::stats::OnlineStats;
+
+    #[test]
+    fn samples_respect_bounds() {
+        let lottery = SiliconLottery::default();
+        let mut rng = Xoshiro256StarStar::seeded(1);
+        for _ in 0..10_000 {
+            let s = lottery.sample(&mut rng);
+            assert!(s.v_margin > 0.0 && s.v_margin <= 1.0, "v_margin {}", s.v_margin);
+            assert!(s.leak > 0.0 && s.leak <= lottery.leak_max, "leak {}", s.leak);
+        }
+    }
+
+    #[test]
+    fn fleet_statistics_match_lottery() {
+        let lottery = SiliconLottery::default();
+        let mut rng = Xoshiro256StarStar::seeded(2);
+        let fleet = lottery.sample_fleet(20_000, &mut rng);
+        let mut v = OnlineStats::new();
+        let mut l = OnlineStats::new();
+        for s in &fleet {
+            v.push(s.v_margin);
+            l.push(s.leak);
+        }
+        assert!((v.mean() - 0.95).abs() < 0.005, "v mean {}", v.mean());
+        // Leakage mean slightly below 1.0 due to upper truncation.
+        assert!((l.mean() - 1.0).abs() < 0.02, "leak mean {}", l.mean());
+    }
+
+    #[test]
+    fn worst_case_dominates_fleet() {
+        let lottery = SiliconLottery::default();
+        let worst = SiliconSample::worst_case(&lottery);
+        let mut rng = Xoshiro256StarStar::seeded(3);
+        for _ in 0..5_000 {
+            let s = lottery.sample(&mut rng);
+            assert!(s.v_margin <= worst.v_margin);
+            assert!(s.leak <= worst.leak);
+        }
+    }
+
+    #[test]
+    fn typical_part_draws_less_power_proxy() {
+        let lottery = SiliconLottery::default();
+        let t = SiliconSample::typical(&lottery);
+        let w = SiliconSample::worst_case(&lottery);
+        assert!(t.v_margin_sq() < w.v_margin_sq());
+        // ~0.95^2 ≈ 0.9: the headline ~10 % voltage-squared margin.
+        assert!((t.v_margin_sq() - 0.9025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let lottery = SiliconLottery::default();
+        let mut a = Xoshiro256StarStar::seeded(42);
+        let mut b = Xoshiro256StarStar::seeded(42);
+        for _ in 0..100 {
+            let sa = lottery.sample(&mut a);
+            let sb = lottery.sample(&mut b);
+            assert_eq!(sa.v_margin.to_bits(), sb.v_margin.to_bits());
+            assert_eq!(sa.leak.to_bits(), sb.leak.to_bits());
+        }
+    }
+}

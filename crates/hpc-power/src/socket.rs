@@ -1,0 +1,349 @@
+//! The socket power model: DVFS, turbo boost and AMD determinism modes.
+//!
+//! See the crate-level docs for the model equation and the determinism-mode
+//! semantics. All constants are per-socket (one EPYC 7742-class 64-core
+//! part); ARCHER2 nodes carry two.
+
+use crate::pstate::{FreqSetting, VoltageCurve};
+use crate::silicon::{SiliconLottery, SiliconSample};
+use serde::{Deserialize, Serialize};
+
+/// AMD BIOS determinism setting (paper §4.1, AMD whitepaper ref [4]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeterminismMode {
+    /// Power determinism: uniform worst-case voltage schedule, every part
+    /// boosts to the package power cap. ARCHER2's original configuration.
+    Power,
+    /// Performance determinism: frequency pinned to the guaranteed
+    /// deterministic level, per-part minimum voltage. ARCHER2's
+    /// configuration after May 2022.
+    Performance,
+}
+
+impl std::fmt::Display for DeterminismMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeterminismMode::Power => write!(f, "power determinism"),
+            DeterminismMode::Performance => write!(f, "performance determinism"),
+        }
+    }
+}
+
+/// Physical constants of one socket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SocketSpec {
+    /// Package power limit (W). EPYC 7742-class TDP.
+    pub p_cap_w: f64,
+    /// Uncore/IO-die power (W), frequency-invariant.
+    pub p_io_w: f64,
+    /// Core static power at worst-case voltage and leak = 1 (W).
+    pub s_core_w: f64,
+    /// Dynamic power coefficient at worst-case voltage (W per GHz at
+    /// activity 1.0).
+    pub k_dyn_w_per_ghz: f64,
+    /// All-core turbo ceiling (GHz) — the paper's observed ~2.8 GHz lives
+    /// just below this.
+    pub f_allcore_ceiling_ghz: f64,
+    /// Frequency the part idles at (lowest P-state).
+    pub f_idle_ghz: f64,
+    /// Residual activity of an idle-but-powered node (OS noise, monitoring).
+    pub idle_activity: f64,
+    /// Voltage/frequency curve.
+    pub curve: VoltageCurve,
+    /// Core count (64 for the 7742-class part).
+    pub cores: u32,
+}
+
+impl Default for SocketSpec {
+    fn default() -> Self {
+        SocketSpec {
+            p_cap_w: 225.0,
+            p_io_w: 65.0,
+            s_core_w: 30.0,
+            k_dyn_w_per_ghz: 52.0,
+            f_allcore_ceiling_ghz: 2.85,
+            f_idle_ghz: 1.5,
+            idle_activity: 0.06,
+            curve: VoltageCurve::epyc_rome(),
+            cores: 64,
+        }
+    }
+}
+
+/// Evaluates power and effective frequency for one socket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SocketPowerModel {
+    spec: SocketSpec,
+}
+
+impl SocketPowerModel {
+    /// Wrap a spec.
+    pub fn new(spec: SocketSpec) -> Self {
+        SocketPowerModel { spec }
+    }
+
+    /// The spec in use.
+    pub fn spec(&self) -> &SocketSpec {
+        &self.spec
+    }
+
+    /// Uncapped power at frequency `f`, activity `a`, voltage factor
+    /// `v_sq` (squared margin; 1.0 = worst-case schedule) and leakage `leak`.
+    fn raw_power(&self, f_ghz: f64, activity: f64, v_sq: f64, leak: f64) -> f64 {
+        let s = &self.spec;
+        s.p_io_w
+            + v_sq
+                * s.curve.voltage_sq(f_ghz)
+                * (s.s_core_w * leak + activity * s.k_dyn_w_per_ghz * f_ghz)
+    }
+
+    /// Highest frequency at which a part with leakage `leak` stays within
+    /// the package power cap at activity `a`, under the worst-case voltage
+    /// schedule (power determinism). Clamped to the all-core ceiling.
+    pub fn boost_solve(&self, activity: f64, leak: f64) -> f64 {
+        let s = &self.spec;
+        let lo_f = s.f_idle_ghz;
+        let hi_f = s.f_allcore_ceiling_ghz;
+        if self.raw_power(hi_f, activity, 1.0, leak) <= s.p_cap_w {
+            return hi_f; // ceiling-limited, not power-limited
+        }
+        // Bisection: raw_power is strictly increasing in f.
+        let (mut lo, mut hi) = (lo_f, hi_f);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.raw_power(mid, activity, 1.0, leak) <= s.p_cap_w {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// The deterministic frequency guaranteed across the fleet in
+    /// performance-determinism mode for a workload of activity `a`: what the
+    /// worst-case part can sustain within the cap.
+    pub fn deterministic_freq(&self, activity: f64, lottery: &SiliconLottery) -> f64 {
+        self.boost_solve(activity, lottery.leak_max)
+    }
+
+    /// Effective sustained core frequency (GHz) for one part.
+    pub fn effective_freq(
+        &self,
+        setting: FreqSetting,
+        mode: DeterminismMode,
+        activity: f64,
+        part: &SiliconSample,
+        lottery: &SiliconLottery,
+    ) -> f64 {
+        if !setting.boost_enabled() {
+            return setting.nominal_ghz();
+        }
+        match mode {
+            DeterminismMode::Power => self.boost_solve(activity, part.leak),
+            DeterminismMode::Performance => self.deterministic_freq(activity, lottery),
+        }
+    }
+
+    /// Power draw (W) of one active part.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `activity` is outside `[0, 1.2]` (a little
+    /// headroom above 1.0 is allowed for power-virus workloads).
+    pub fn power_w(
+        &self,
+        setting: FreqSetting,
+        mode: DeterminismMode,
+        activity: f64,
+        part: &SiliconSample,
+        lottery: &SiliconLottery,
+    ) -> f64 {
+        debug_assert!((0.0..=1.2).contains(&activity), "activity {activity} out of range");
+        let f = self.effective_freq(setting, mode, activity, part, lottery);
+        let v_sq = match mode {
+            // Uniform worst-case voltage schedule.
+            DeterminismMode::Power => 1.0,
+            // Each part at its own minimum stable voltage.
+            DeterminismMode::Performance => part.v_margin_sq(),
+        };
+        self.raw_power(f, activity, v_sq, part.leak).min(self.spec.p_cap_w)
+    }
+
+    /// Power draw (W) of an idle part (cores parked at the idle P-state,
+    /// residual OS activity only).
+    pub fn idle_power_w(&self, mode: DeterminismMode, part: &SiliconSample) -> f64 {
+        let s = &self.spec;
+        let v_sq = match mode {
+            DeterminismMode::Power => 1.0,
+            DeterminismMode::Performance => part.v_margin_sq(),
+        };
+        self.raw_power(s.f_idle_ghz, s.idle_activity, v_sq, part.leak)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SocketPowerModel {
+        SocketPowerModel::new(SocketSpec::default())
+    }
+
+    fn lottery() -> SiliconLottery {
+        SiliconLottery::default()
+    }
+
+    #[test]
+    fn typical_app_boosts_near_2_8_ghz() {
+        // The paper: "most applications typically boost the CPU frequency to
+        // closer to 2.8 GHz in actual operation".
+        let m = model();
+        let part = SiliconSample::typical(&lottery());
+        let f = m.effective_freq(
+            FreqSetting::TurboBoost2250,
+            DeterminismMode::Power,
+            0.7,
+            &part,
+            &lottery(),
+        );
+        assert!((2.7..=2.85).contains(&f), "boost frequency {f}");
+    }
+
+    #[test]
+    fn power_determinism_runs_at_or_near_cap_for_hpc_loads() {
+        let m = model();
+        let part = SiliconSample::typical(&lottery());
+        let p = m.power_w(
+            FreqSetting::TurboBoost2250,
+            DeterminismMode::Power,
+            0.7,
+            &part,
+            &lottery(),
+        );
+        assert!(p <= 225.0 + 1e-9);
+        assert!(p > 215.0, "HPC load should be close to the cap, got {p}");
+    }
+
+    #[test]
+    fn performance_determinism_saves_power_at_small_perf_cost() {
+        // The §4.1 mechanism: ≤1 % performance impact, ~7-10 % power saving.
+        let m = model();
+        let lot = lottery();
+        let part = SiliconSample::typical(&lot);
+        let a = 0.7;
+        let f_pd = m.effective_freq(FreqSetting::TurboBoost2250, DeterminismMode::Power, a, &part, &lot);
+        let f_det = m.effective_freq(FreqSetting::TurboBoost2250, DeterminismMode::Performance, a, &part, &lot);
+        let perf_ratio = f_det / f_pd;
+        assert!((0.97..=1.0).contains(&perf_ratio), "perf ratio {perf_ratio}");
+
+        let p_pd = m.power_w(FreqSetting::TurboBoost2250, DeterminismMode::Power, a, &part, &lot);
+        let p_det = m.power_w(FreqSetting::TurboBoost2250, DeterminismMode::Performance, a, &part, &lot);
+        let power_ratio = p_det / p_pd;
+        assert!((0.85..=0.96).contains(&power_ratio), "power ratio {power_ratio}");
+    }
+
+    #[test]
+    fn frequency_cap_cuts_power_superlinearly() {
+        // Dropping 2.25+turbo (≈2.8 effective) to 2.0 GHz cuts frequency by
+        // ~29 % but socket power by more (voltage drops too).
+        let m = model();
+        let lot = lottery();
+        let part = SiliconSample::typical(&lot);
+        let a = 0.7;
+        let p_hi = m.power_w(FreqSetting::TurboBoost2250, DeterminismMode::Performance, a, &part, &lot);
+        let p_lo = m.power_w(FreqSetting::Mid2000, DeterminismMode::Performance, a, &part, &lot);
+        let f_hi = m.effective_freq(FreqSetting::TurboBoost2250, DeterminismMode::Performance, a, &part, &lot);
+        let freq_ratio = 2.0 / f_hi;
+        let power_ratio = p_lo / p_hi;
+        assert!(power_ratio < freq_ratio, "power {power_ratio} should fall faster than frequency {freq_ratio}");
+    }
+
+    #[test]
+    fn fixed_settings_ignore_boost() {
+        let m = model();
+        let lot = lottery();
+        let part = SiliconSample::typical(&lot);
+        for (setting, f) in [(FreqSetting::Low1500, 1.5), (FreqSetting::Mid2000, 2.0)] {
+            for mode in [DeterminismMode::Power, DeterminismMode::Performance] {
+                assert_eq!(m.effective_freq(setting, mode, 0.9, &part, &lot), f);
+            }
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_activity() {
+        let m = model();
+        let lot = lottery();
+        let part = SiliconSample::typical(&lot);
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let a = i as f64 / 10.0;
+            let p = m.power_w(FreqSetting::Mid2000, DeterminismMode::Performance, a, &part, &lot);
+            assert!(p >= prev, "power must be monotone in activity");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_frequency_setting() {
+        let m = model();
+        let lot = lottery();
+        let part = SiliconSample::typical(&lot);
+        let p15 = m.power_w(FreqSetting::Low1500, DeterminismMode::Performance, 0.7, &part, &lot);
+        let p20 = m.power_w(FreqSetting::Mid2000, DeterminismMode::Performance, 0.7, &part, &lot);
+        let p22 = m.power_w(FreqSetting::TurboBoost2250, DeterminismMode::Performance, 0.7, &part, &lot);
+        assert!(p15 < p20 && p20 < p22, "{p15} < {p20} < {p22}");
+    }
+
+    #[test]
+    fn idle_power_is_large_fraction_of_loaded() {
+        // Paper §5: idle nodes draw around 50 % of a fully loaded node. At
+        // socket level the fraction is a little lower (DRAM/board make up
+        // the difference); assert the socket is in a plausible 30-55 % band.
+        let m = model();
+        let lot = lottery();
+        let part = SiliconSample::typical(&lot);
+        let idle = m.idle_power_w(DeterminismMode::Power, &part);
+        let loaded = m.power_w(FreqSetting::TurboBoost2250, DeterminismMode::Power, 0.7, &part, &lot);
+        let frac = idle / loaded;
+        assert!((0.30..=0.55).contains(&frac), "idle fraction {frac}");
+    }
+
+    #[test]
+    fn boost_solve_monotone_decreasing_in_activity() {
+        let m = model();
+        let mut prev = f64::INFINITY;
+        for i in 1..=10 {
+            let a = i as f64 / 10.0;
+            let f = m.boost_solve(a, 1.0);
+            assert!(f <= prev + 1e-12, "boost freq must not increase with activity");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn boost_solve_respects_cap_exactly() {
+        let m = model();
+        let f = m.boost_solve(0.9, 1.0);
+        if f < m.spec().f_allcore_ceiling_ghz - 1e-9 {
+            let p = m.raw_power(f, 0.9, 1.0, 1.0);
+            assert!((p - m.spec().p_cap_w).abs() < 0.01, "power at solved freq: {p}");
+        }
+    }
+
+    #[test]
+    fn low_activity_hits_ceiling_not_cap() {
+        let m = model();
+        let f = m.boost_solve(0.1, 1.0);
+        assert_eq!(f, m.spec().f_allcore_ceiling_ghz);
+    }
+
+    #[test]
+    fn deterministic_freq_below_typical_boost() {
+        let m = model();
+        let lot = lottery();
+        let f_det = m.deterministic_freq(0.7, &lot);
+        let f_typ = m.boost_solve(0.7, 1.0);
+        assert!(f_det <= f_typ, "worst-case part cannot outboost typical");
+    }
+}

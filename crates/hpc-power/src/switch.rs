@@ -1,0 +1,95 @@
+//! Slingshot switch power model.
+//!
+//! Paper §5: "The power draw of interconnect switches is steady at 200-250 W
+//! irrespective of system load." Table 2 gives 768 switches at 0.10–0.25 kW
+//! idle and ~0.25 kW loaded. The model is therefore a high constant with a
+//! small load-dependent term — the SerDes lanes stay lit whether or not
+//! traffic flows, which is precisely why the paper discounts the fabric as a
+//! savings opportunity.
+
+use serde::{Deserialize, Serialize};
+
+/// Constants for one 64-port Slingshot switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchSpec {
+    /// Power with all lanes lit but no traffic (W).
+    pub base_w: f64,
+    /// Additional power at 100 % traffic load (W) — small by design.
+    pub traffic_w: f64,
+    /// Port count (Slingshot: 64).
+    pub ports: u32,
+}
+
+impl Default for SwitchSpec {
+    fn default() -> Self {
+        SwitchSpec {
+            base_w: 220.0,
+            traffic_w: 30.0,
+            ports: 64,
+        }
+    }
+}
+
+/// Evaluates switch power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchPowerModel {
+    spec: SwitchSpec,
+}
+
+impl SwitchPowerModel {
+    /// Wrap a spec.
+    pub fn new(spec: SwitchSpec) -> Self {
+        SwitchPowerModel { spec }
+    }
+
+    /// The spec in use.
+    pub fn spec(&self) -> &SwitchSpec {
+        &self.spec
+    }
+
+    /// Power (W) at fractional traffic load `load` in `[0, 1]`.
+    pub fn power_w(&self, load: f64) -> f64 {
+        let load = load.clamp(0.0, 1.0);
+        self.spec.base_w + self.spec.traffic_w * load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_in_paper_band_at_all_loads() {
+        // §5: steady at 200-250 W irrespective of load.
+        let m = SwitchPowerModel::new(SwitchSpec::default());
+        for i in 0..=10 {
+            let p = m.power_w(i as f64 / 10.0);
+            assert!((200.0..=250.0).contains(&p), "switch power {p} at load {i}");
+        }
+    }
+
+    #[test]
+    fn load_dependence_is_weak() {
+        let m = SwitchPowerModel::new(SwitchSpec::default());
+        let idle = m.power_w(0.0);
+        let full = m.power_w(1.0);
+        assert!((full - idle) / full < 0.15, "load swing should be under 15 %");
+    }
+
+    #[test]
+    fn load_clamped() {
+        let m = SwitchPowerModel::new(SwitchSpec::default());
+        assert_eq!(m.power_w(-0.5), m.power_w(0.0));
+        assert_eq!(m.power_w(1.5), m.power_w(1.0));
+    }
+
+    #[test]
+    fn fleet_total_matches_table2() {
+        // Table 2: 768 switches ≈ 200 kW loaded, 100-200 kW idle.
+        let m = SwitchPowerModel::new(SwitchSpec::default());
+        let loaded_kw = 768.0 * m.power_w(1.0) / 1000.0;
+        let idle_kw = 768.0 * m.power_w(0.0) / 1000.0;
+        assert!((180.0..=220.0).contains(&loaded_kw), "loaded fleet {loaded_kw} kW");
+        assert!((100.0..=200.0).contains(&idle_kw), "idle fleet {idle_kw} kW");
+    }
+}

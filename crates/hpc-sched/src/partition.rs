@@ -1,0 +1,355 @@
+//! Partitions and QOS limits — the admission-control layer in front of the
+//! batch scheduler.
+//!
+//! ARCHER2 exposes its 5,860 nodes through partitions with per-job and
+//! aggregate limits (the `standard`, `short`, `long` and `highmem` QOS of
+//! the real service). The paper's frequency policy was deployed through
+//! exactly this layer (per-QOS defaults plus the module system), so the
+//! reproduction carries it: a [`QosPolicy`] validates jobs at submission
+//! and enforces aggregate node quotas at start time.
+
+use crate::scheduler::BatchScheduler;
+use hpc_workload::Job;
+use serde::{Deserialize, Serialize};
+use sim_core::time::SimDuration;
+use std::collections::HashMap;
+
+/// One partition/QOS definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Name, e.g. `"standard"`.
+    pub name: String,
+    /// Largest node count a single job may request.
+    pub max_nodes_per_job: u32,
+    /// Smallest node count (capability partitions set this above 1).
+    pub min_nodes_per_job: u32,
+    /// Longest requested walltime allowed.
+    pub max_walltime: SimDuration,
+    /// Cap on the partition's *aggregate* concurrently allocated nodes
+    /// (`None` = whole machine).
+    pub node_quota: Option<u32>,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionError {
+    /// No partition with that name.
+    UnknownPartition(String),
+    /// Job requests more nodes than the partition allows per job.
+    TooManyNodes {
+        /// Requested.
+        requested: u32,
+        /// Allowed maximum.
+        limit: u32,
+    },
+    /// Job requests fewer nodes than the partition minimum.
+    TooFewNodes {
+        /// Requested.
+        requested: u32,
+        /// Required minimum.
+        minimum: u32,
+    },
+    /// Walltime exceeds the partition limit.
+    WalltimeTooLong {
+        /// Requested seconds.
+        requested_s: u64,
+        /// Limit seconds.
+        limit_s: u64,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::UnknownPartition(p) => write!(f, "unknown partition {p:?}"),
+            AdmissionError::TooManyNodes { requested, limit } => {
+                write!(f, "requested {requested} nodes exceeds the per-job limit {limit}")
+            }
+            AdmissionError::TooFewNodes { requested, minimum } => {
+                write!(f, "requested {requested} nodes below the partition minimum {minimum}")
+            }
+            AdmissionError::WalltimeTooLong { requested_s, limit_s } => {
+                write!(f, "walltime {requested_s}s exceeds the limit {limit_s}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// The facility's partition table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QosPolicy {
+    partitions: Vec<Partition>,
+}
+
+impl QosPolicy {
+    /// Build from a partition list.
+    ///
+    /// # Panics
+    /// Panics on duplicate partition names or an empty list.
+    pub fn new(partitions: Vec<Partition>) -> Self {
+        assert!(!partitions.is_empty(), "need at least one partition");
+        let mut seen = std::collections::HashSet::new();
+        for p in &partitions {
+            assert!(seen.insert(p.name.clone()), "duplicate partition {:?}", p.name);
+            assert!(p.min_nodes_per_job >= 1 && p.min_nodes_per_job <= p.max_nodes_per_job);
+        }
+        QosPolicy { partitions }
+    }
+
+    /// The ARCHER2-like partition table.
+    pub fn archer2() -> Self {
+        QosPolicy::new(vec![
+            Partition {
+                name: "standard".into(),
+                max_nodes_per_job: 1024,
+                min_nodes_per_job: 1,
+                max_walltime: SimDuration::from_hours(24),
+                node_quota: None,
+            },
+            Partition {
+                name: "short".into(),
+                max_nodes_per_job: 32,
+                min_nodes_per_job: 1,
+                max_walltime: SimDuration::from_mins(20),
+                node_quota: Some(64),
+            },
+            Partition {
+                name: "long".into(),
+                max_nodes_per_job: 64,
+                min_nodes_per_job: 1,
+                max_walltime: SimDuration::from_hours(96),
+                node_quota: Some(512),
+            },
+            Partition {
+                name: "largescale".into(),
+                max_nodes_per_job: 5860,
+                min_nodes_per_job: 1025,
+                max_walltime: SimDuration::from_hours(12),
+                node_quota: None,
+            },
+        ])
+    }
+
+    /// Look up a partition.
+    pub fn partition(&self, name: &str) -> Option<&Partition> {
+        self.partitions.iter().find(|p| p.name == name)
+    }
+
+    /// All partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Validate a job against a partition's per-job limits.
+    pub fn validate(&self, job: &Job, partition: &str) -> Result<(), AdmissionError> {
+        let p = self
+            .partition(partition)
+            .ok_or_else(|| AdmissionError::UnknownPartition(partition.to_string()))?;
+        if job.nodes > p.max_nodes_per_job {
+            return Err(AdmissionError::TooManyNodes {
+                requested: job.nodes,
+                limit: p.max_nodes_per_job,
+            });
+        }
+        if job.nodes < p.min_nodes_per_job {
+            return Err(AdmissionError::TooFewNodes {
+                requested: job.nodes,
+                minimum: p.min_nodes_per_job,
+            });
+        }
+        if job.requested_walltime.as_secs() > p.max_walltime.as_secs() {
+            return Err(AdmissionError::WalltimeTooLong {
+                requested_s: job.requested_walltime.as_secs(),
+                limit_s: p.max_walltime.as_secs(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The partition a generated job naturally lands in: the first one whose
+    /// per-job limits admit it (in table order — `standard` first).
+    pub fn route(&self, job: &Job) -> Option<&Partition> {
+        self.partitions.iter().find(|p| self.validate(job, &p.name).is_ok())
+    }
+}
+
+/// Tracks aggregate per-partition node usage next to a [`BatchScheduler`].
+///
+/// The scheduler itself stays partition-agnostic (ARCHER2's partitions
+/// overlap on the same nodes); the tracker enforces quotas by telling the
+/// caller whether starting a job would breach its partition's aggregate
+/// cap.
+#[derive(Debug, Clone, Default)]
+pub struct QuotaTracker {
+    in_use: HashMap<String, u32>,
+}
+
+impl QuotaTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        QuotaTracker::default()
+    }
+
+    /// Nodes currently allocated under `partition`.
+    pub fn in_use(&self, partition: &str) -> u32 {
+        self.in_use.get(partition).copied().unwrap_or(0)
+    }
+
+    /// Would starting `nodes` more under `partition` fit its quota?
+    pub fn admits(&self, policy: &QosPolicy, partition: &str, nodes: u32) -> bool {
+        match policy.partition(partition).and_then(|p| p.node_quota) {
+            Some(quota) => self.in_use(partition) + nodes <= quota,
+            None => true,
+        }
+    }
+
+    /// Record a start.
+    pub fn start(&mut self, partition: &str, nodes: u32) {
+        *self.in_use.entry(partition.to_string()).or_insert(0) += nodes;
+    }
+
+    /// Record a completion.
+    ///
+    /// # Panics
+    /// Panics if more nodes are released than were started.
+    pub fn finish(&mut self, partition: &str, nodes: u32) {
+        let entry = self
+            .in_use
+            .get_mut(partition)
+            .unwrap_or_else(|| panic!("no usage recorded for {partition:?}"));
+        assert!(*entry >= nodes, "releasing more nodes than {partition:?} holds");
+        *entry -= nodes;
+    }
+
+    /// Sanity check against the scheduler: total tracked usage never
+    /// exceeds the machine's busy count.
+    pub fn consistent_with(&self, scheduler: &BatchScheduler) -> bool {
+        let tracked: u32 = self.in_use.values().sum();
+        tracked <= scheduler.busy_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_workload::{AppModel, JobId, ResearchArea};
+    use sim_core::time::SimTime;
+
+    fn mk_job(nodes: u32, walltime_h: u64) -> Job {
+        Job::new(
+            JobId(1),
+            AppModel::generic(ResearchArea::Other),
+            nodes,
+            SimDuration::from_hours(walltime_h.max(1)),
+            SimDuration::from_hours(walltime_h.max(1)),
+            SimTime::EPOCH,
+        )
+    }
+
+    #[test]
+    fn archer2_partitions_exist() {
+        let q = QosPolicy::archer2();
+        for name in ["standard", "short", "long", "largescale"] {
+            assert!(q.partition(name).is_some(), "missing {name}");
+        }
+        assert_eq!(q.partitions().len(), 4);
+    }
+
+    #[test]
+    fn standard_admits_typical_jobs() {
+        let q = QosPolicy::archer2();
+        assert!(q.validate(&mk_job(4, 12), "standard").is_ok());
+        assert!(q.validate(&mk_job(1024, 24), "standard").is_ok());
+    }
+
+    #[test]
+    fn per_job_limits_enforced() {
+        let q = QosPolicy::archer2();
+        assert_eq!(
+            q.validate(&mk_job(2000, 12), "standard"),
+            Err(AdmissionError::TooManyNodes {
+                requested: 2000,
+                limit: 1024
+            })
+        );
+        assert_eq!(
+            q.validate(&mk_job(4, 48), "standard"),
+            Err(AdmissionError::WalltimeTooLong {
+                requested_s: 48 * 3600,
+                limit_s: 24 * 3600
+            })
+        );
+        assert_eq!(
+            q.validate(&mk_job(4, 2), "largescale"),
+            Err(AdmissionError::TooFewNodes {
+                requested: 4,
+                minimum: 1025
+            })
+        );
+        assert!(matches!(
+            q.validate(&mk_job(4, 2), "gpu"),
+            Err(AdmissionError::UnknownPartition(_))
+        ));
+    }
+
+    #[test]
+    fn routing_prefers_standard_then_capability() {
+        let q = QosPolicy::archer2();
+        assert_eq!(q.route(&mk_job(16, 10)).unwrap().name, "standard");
+        assert_eq!(q.route(&mk_job(2048, 10)).unwrap().name, "largescale");
+        // 2,048 nodes for 20 h fits nothing (largescale caps at 12 h).
+        assert!(q.route(&mk_job(2048, 20)).is_none());
+    }
+
+    #[test]
+    fn quota_tracker_lifecycle() {
+        let q = QosPolicy::archer2();
+        let mut t = QuotaTracker::new();
+        assert!(t.admits(&q, "short", 40));
+        t.start("short", 40);
+        assert_eq!(t.in_use("short"), 40);
+        // 64-node quota: 40 + 32 would exceed it.
+        assert!(!t.admits(&q, "short", 32));
+        assert!(t.admits(&q, "short", 24));
+        t.finish("short", 40);
+        assert!(t.admits(&q, "short", 64));
+        // Unlimited partitions always admit.
+        assert!(t.admits(&q, "standard", 100_000));
+    }
+
+    #[test]
+    fn quota_tracker_consistency_with_scheduler() {
+        let q = QosPolicy::archer2();
+        let mut sched = BatchScheduler::new(64);
+        let mut t = QuotaTracker::new();
+        let job = mk_job(16, 4);
+        assert!(q.validate(&job, "standard").is_ok());
+        sched.submit(job);
+        let placed = sched.schedule(SimTime::EPOCH);
+        t.start("standard", placed[0].nodes.len() as u32);
+        assert!(t.consistent_with(&sched));
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more nodes")]
+    fn over_release_panics() {
+        let mut t = QuotaTracker::new();
+        t.start("standard", 4);
+        t.finish("standard", 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate partition")]
+    fn duplicate_names_rejected() {
+        let p = Partition {
+            name: "x".into(),
+            max_nodes_per_job: 1,
+            min_nodes_per_job: 1,
+            max_walltime: SimDuration::from_hours(1),
+            node_quota: None,
+        };
+        let _ = QosPolicy::new(vec![p.clone(), p]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Utilisation accounting: integral of busy nodes over time.
+
+use sim_core::time::SimTime;
+
+/// Integrates busy-node count over time to report utilisation.
+#[derive(Debug, Clone)]
+pub struct UtilizationMeter {
+    total_nodes: u32,
+    busy: u32,
+    last_update: Option<u64>,
+    busy_node_seconds: f64,
+    elapsed_seconds: f64,
+}
+
+impl UtilizationMeter {
+    /// A meter over a machine of `total_nodes` nodes, starting idle.
+    pub fn new(total_nodes: u32) -> Self {
+        UtilizationMeter {
+            total_nodes,
+            busy: 0,
+            last_update: None,
+            busy_node_seconds: 0.0,
+            elapsed_seconds: 0.0,
+        }
+    }
+
+    /// Record that the busy count changed to `busy` at `now`.
+    ///
+    /// # Panics
+    /// Panics if time runs backwards or `busy` exceeds the machine size.
+    pub fn set_busy(&mut self, now: SimTime, busy: u32) {
+        assert!(busy <= self.total_nodes, "busy {busy} > machine {}", self.total_nodes);
+        self.advance(now);
+        self.busy = busy;
+    }
+
+    /// Advance the integral to `now` without changing the busy count.
+    pub fn advance(&mut self, now: SimTime) {
+        let now_s = now.as_unix();
+        if let Some(prev) = self.last_update {
+            assert!(now_s >= prev, "utilisation meter driven backwards");
+            let dt = (now_s - prev) as f64;
+            self.busy_node_seconds += self.busy as f64 * dt;
+            self.elapsed_seconds += dt;
+        }
+        self.last_update = Some(now_s);
+    }
+
+    /// Current busy count.
+    pub fn busy(&self) -> u32 {
+        self.busy
+    }
+
+    /// Mean utilisation over the metered span, in `[0, 1]`.
+    pub fn utilisation(&self) -> f64 {
+        if self.elapsed_seconds == 0.0 {
+            return 0.0;
+        }
+        self.busy_node_seconds / (self.total_nodes as f64 * self.elapsed_seconds)
+    }
+
+    /// Accumulated busy node-hours.
+    pub fn busy_node_hours(&self) -> f64 {
+        self.busy_node_seconds / 3600.0
+    }
+
+    /// Reset the integral (e.g. at a measurement-window boundary), keeping
+    /// the current busy level and clock.
+    pub fn reset_window(&mut self) {
+        self.busy_node_seconds = 0.0;
+        self.elapsed_seconds = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimDuration;
+
+    #[test]
+    fn full_machine_is_100_percent() {
+        let mut m = UtilizationMeter::new(10);
+        let t0 = SimTime::from_unix(0);
+        m.set_busy(t0, 10);
+        m.advance(t0 + SimDuration::from_hours(5));
+        assert!((m.utilisation() - 1.0).abs() < 1e-12);
+        assert!((m.busy_node_hours() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_machine_is_50_percent() {
+        let mut m = UtilizationMeter::new(10);
+        let t0 = SimTime::from_unix(0);
+        m.set_busy(t0, 5);
+        m.advance(t0 + SimDuration::from_hours(2));
+        assert!((m.utilisation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stepped_profile_averages() {
+        let mut m = UtilizationMeter::new(4);
+        let t0 = SimTime::from_unix(0);
+        m.set_busy(t0, 4);
+        m.set_busy(t0 + SimDuration::from_hours(1), 0);
+        m.advance(t0 + SimDuration::from_hours(2));
+        assert!((m.utilisation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_meter_reports_zero() {
+        let m = UtilizationMeter::new(4);
+        assert_eq!(m.utilisation(), 0.0);
+    }
+
+    #[test]
+    fn window_reset() {
+        let mut m = UtilizationMeter::new(2);
+        let t0 = SimTime::from_unix(0);
+        m.set_busy(t0, 2);
+        m.advance(t0 + SimDuration::from_hours(1));
+        m.reset_window();
+        m.set_busy(t0 + SimDuration::from_hours(1), 1);
+        m.advance(t0 + SimDuration::from_hours(2));
+        assert!((m.utilisation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy 5 > machine 4")]
+    fn busy_over_capacity_panics() {
+        let mut m = UtilizationMeter::new(4);
+        m.set_busy(SimTime::EPOCH, 5);
+    }
+}

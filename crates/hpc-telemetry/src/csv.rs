@@ -1,0 +1,172 @@
+//! CSV export/import for time series.
+//!
+//! Kept dependency-free (a series is two columns); the format is
+//! `timestamp,value` with an ISO-8601 header row, matching what facility
+//! telemetry exports look like in practice.
+
+use crate::series::TimeSeries;
+use sim_core::time::{SimDuration, SimTime};
+
+/// Render a series to CSV with an ISO-8601 timestamp column.
+pub fn to_csv(series: &TimeSeries) -> String {
+    let mut out = String::with_capacity(series.len() * 32 + 32);
+    out.push_str(&format!("timestamp,{}\n", series.unit));
+    for (i, v) in series.values().iter().enumerate() {
+        out.push_str(&format!("{},{v}\n", series.time_at(i)));
+    }
+    out
+}
+
+/// Errors from [`from_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header row.
+    MissingHeader,
+    /// A row was malformed (line number, content).
+    BadRow(usize, String),
+    /// Timestamps were not evenly spaced.
+    IrregularInterval(usize),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "missing CSV header"),
+            CsvError::BadRow(n, row) => write!(f, "bad CSV row {n}: {row:?}"),
+            CsvError::IrregularInterval(n) => write!(f, "irregular interval at row {n}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parse a two-column CSV produced by [`to_csv`] back into a series.
+///
+/// The unit is taken from the header's second column. Timestamps must be
+/// the `YYYY-MM-DDTHH:MM:SSZ` form and evenly spaced.
+pub fn from_csv(text: &str) -> Result<TimeSeries, CsvError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(CsvError::MissingHeader)?;
+    let unit = header.split(',').nth(1).ok_or(CsvError::MissingHeader)?.to_string();
+
+    let mut times: Vec<u64> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (ts, val) = line.split_once(',').ok_or_else(|| CsvError::BadRow(i + 2, line.to_string()))?;
+        let t = parse_iso8601(ts).ok_or_else(|| CsvError::BadRow(i + 2, line.to_string()))?;
+        let v: f64 = val.trim().parse().map_err(|_| CsvError::BadRow(i + 2, line.to_string()))?;
+        times.push(t.as_unix());
+        values.push(v);
+    }
+
+    let (start, interval) = match times.len() {
+        0 => (SimTime::EPOCH, SimDuration::from_secs(1)),
+        1 => (SimTime::from_unix(times[0]), SimDuration::from_secs(1)),
+        _ => {
+            let dt = times[1] - times[0];
+            for (i, w) in times.windows(2).enumerate() {
+                if w[1] - w[0] != dt {
+                    return Err(CsvError::IrregularInterval(i + 3));
+                }
+            }
+            (SimTime::from_unix(times[0]), SimDuration::from_secs(dt))
+        }
+    };
+
+    let mut s = TimeSeries::new(start, interval, unit);
+    for v in values {
+        s.push(v);
+    }
+    Ok(s)
+}
+
+/// Parse `YYYY-MM-DDTHH:MM:SSZ`.
+fn parse_iso8601(s: &str) -> Option<SimTime> {
+    let s = s.trim();
+    let bytes = s.as_bytes();
+    if bytes.len() != 20 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[10] != b'T'
+        || bytes[13] != b':' || bytes[16] != b':' || bytes[19] != b'Z'
+    {
+        return None;
+    }
+    let year: i32 = s[0..4].parse().ok()?;
+    let month: u32 = s[5..7].parse().ok()?;
+    let day: u32 = s[8..10].parse().ok()?;
+    let hour: u32 = s[11..13].parse().ok()?;
+    let minute: u32 = s[14..16].parse().ok()?;
+    let second: u32 = s[17..19].parse().ok()?;
+    if year < 1970 || !(1..=12).contains(&month) || day == 0 || day > sim_core::time::days_in_month(year, month)
+        || hour > 23 || minute > 59 || second > 59
+    {
+        return None;
+    }
+    Some(SimTime::from_ymd_hms(year, month, day, hour, minute, second))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> TimeSeries {
+        let mut s = TimeSeries::new(
+            SimTime::from_ymd(2021, 12, 1),
+            SimDuration::from_mins(15),
+            "kW",
+        );
+        for v in [3200.0, 3250.5, 3190.25] {
+            s.push(v);
+        }
+        s
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample_series();
+        let csv = to_csv(&s);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back.start(), s.start());
+        assert_eq!(back.interval(), s.interval());
+        assert_eq!(back.values(), s.values());
+        assert_eq!(back.unit, "kW");
+    }
+
+    #[test]
+    fn header_and_timestamps_rendered() {
+        let csv = to_csv(&sample_series());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "timestamp,kW");
+        assert!(lines.next().unwrap().starts_with("2021-12-01T00:00:00Z,"));
+        assert!(lines.next().unwrap().starts_with("2021-12-01T00:15:00Z,"));
+    }
+
+    #[test]
+    fn bad_rows_reported_with_line_numbers() {
+        let err = from_csv("timestamp,kW\nnot-a-time,1.0\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadRow(2, _)));
+        let err = from_csv("timestamp,kW\n2021-12-01T00:00:00Z,abc\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadRow(2, _)));
+    }
+
+    #[test]
+    fn irregular_interval_detected() {
+        let text = "timestamp,kW\n2021-12-01T00:00:00Z,1\n2021-12-01T00:15:00Z,2\n2021-12-01T00:45:00Z,3\n";
+        let err = from_csv(text).unwrap_err();
+        assert!(matches!(err, CsvError::IrregularInterval(_)));
+    }
+
+    #[test]
+    fn empty_body_is_empty_series() {
+        let s = from_csv("timestamp,kW\n").unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.unit, "kW");
+    }
+
+    #[test]
+    fn missing_header_detected() {
+        assert_eq!(from_csv("").unwrap_err(), CsvError::MissingHeader);
+        assert_eq!(from_csv("justonecolumn").unwrap_err(), CsvError::MissingHeader);
+    }
+}

@@ -1,0 +1,19 @@
+//! # hpc-telemetry
+//!
+//! Facility telemetry: regular-interval time series, recorders that sample a
+//! simulated facility, segment statistics (the before/after means drawn as
+//! orange lines in the paper's Figures 1-3), CSV export and ASCII rendering
+//! for terminal-friendly figure output.
+
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod csv;
+pub mod monthly;
+pub mod segment;
+pub mod series;
+
+pub use ascii::AsciiPlot;
+pub use monthly::{monthly_summaries, render_monthly, MonthSummary};
+pub use segment::{ChangePoint, SegmentSummary};
+pub use series::TimeSeries;

@@ -1,0 +1,184 @@
+//! Calendar-month aggregation — the granularity of service reports (and of
+//! the paper's own narrative: "the change was implemented across all
+//! compute nodes during May 2022").
+
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+use sim_core::time::{days_in_month, SimTime};
+
+/// One calendar month of a power series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonthSummary {
+    /// Calendar year.
+    pub year: i32,
+    /// Month `1..=12`.
+    pub month: u32,
+    /// Samples in the month.
+    pub samples: u64,
+    /// Mean of the series over the month.
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Integral over the month in unit-hours (kW series → kWh).
+    pub unit_hours: f64,
+}
+
+impl MonthSummary {
+    /// `"May 2022"`-style label.
+    pub fn label(&self) -> String {
+        let stamp = SimTime::from_ymd(self.year, self.month, 1).stamp();
+        format!("{} {}", stamp.month_abbrev(), self.year)
+    }
+}
+
+/// Split a series into calendar months and summarise each.
+///
+/// Months with no samples are omitted; partial first/last months are
+/// summarised over the samples they have.
+pub fn monthly_summaries(series: &TimeSeries) -> Vec<MonthSummary> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let first = series.start().stamp();
+    let (mut year, mut month) = (first.year, first.month);
+    let end = series.end();
+
+    loop {
+        let month_start = SimTime::from_ymd(year, month, 1);
+        if month_start >= end {
+            break;
+        }
+        let (ny, nm) = if month == 12 { (year + 1, 1) } else { (year, month + 1) };
+        let month_end = SimTime::from_ymd(ny, nm, 1);
+
+        let stats = series.window_stats(month_start, month_end);
+        if stats.count() > 0 {
+            let hours_per_sample = series.interval().as_hours_f64();
+            out.push(MonthSummary {
+                year,
+                month,
+                samples: stats.count(),
+                mean: stats.mean(),
+                min: stats.min(),
+                max: stats.max(),
+                unit_hours: stats.sum() * hours_per_sample,
+            });
+        }
+        year = ny;
+        month = nm;
+    }
+    out
+}
+
+/// Render the monthly table as aligned text.
+pub fn render_monthly(series: &TimeSeries) -> String {
+    let months = monthly_summaries(series);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>9} {:>10} {:>10} {:>10} {:>14}\n",
+        "month", "samples", "mean", "min", "max", "energy"
+    ));
+    for m in months {
+        out.push_str(&format!(
+            "{:<10} {:>9} {:>10.0} {:>10.0} {:>10.0} {:>11.0} {}h\n",
+            m.label(),
+            m.samples,
+            m.mean,
+            m.min,
+            m.max,
+            m.unit_hours,
+            series.unit
+        ));
+    }
+    out
+}
+
+/// Sanity helper: expected sample count for a full month at the series'
+/// cadence.
+pub fn full_month_samples(series: &TimeSeries, year: i32, month: u32) -> u64 {
+    days_in_month(year, month) as u64 * 86_400 / series.interval().as_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimDuration;
+
+    fn three_month_series() -> TimeSeries {
+        // Dec 2021 at 3200, Jan 2022 at 3300, Feb 2022 at 3100; hourly.
+        let mut s = TimeSeries::new(SimTime::from_ymd(2021, 12, 1), SimDuration::from_hours(1), "kW");
+        for _ in 0..(31 * 24) {
+            s.push(3200.0);
+        }
+        for _ in 0..(31 * 24) {
+            s.push(3300.0);
+        }
+        for _ in 0..(28 * 24) {
+            s.push(3100.0);
+        }
+        s
+    }
+
+    #[test]
+    fn months_split_correctly() {
+        let s = three_month_series();
+        let months = monthly_summaries(&s);
+        assert_eq!(months.len(), 3);
+        assert_eq!((months[0].year, months[0].month), (2021, 12));
+        assert_eq!((months[1].year, months[1].month), (2022, 1));
+        assert_eq!((months[2].year, months[2].month), (2022, 2));
+        assert_eq!(months[0].samples, 31 * 24);
+        assert_eq!(months[2].samples, 28 * 24);
+        assert!((months[0].mean - 3200.0).abs() < 1e-9);
+        assert!((months[1].mean - 3300.0).abs() < 1e-9);
+        assert!((months[2].mean - 3100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_integral_per_month() {
+        let s = three_month_series();
+        let months = monthly_summaries(&s);
+        // December: 3,200 kW × 744 h = 2,380,800 kWh.
+        assert!((months[0].unit_hours - 3200.0 * 744.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partial_month_summarised() {
+        let mut s = TimeSeries::new(SimTime::from_ymd(2022, 3, 15), SimDuration::from_hours(1), "kW");
+        for _ in 0..500 {
+            s.push(10.0);
+        }
+        let months = monthly_summaries(&s);
+        assert_eq!(months.len(), 2, "spills into April: {months:?}");
+        assert_eq!(months[0].samples + months[1].samples, 500);
+        // March 15 00:00 to April 1 00:00 is 17 days = 408 hourly samples.
+        assert_eq!(months[0].samples, 408);
+    }
+
+    #[test]
+    fn labels_and_render() {
+        let s = three_month_series();
+        let months = monthly_summaries(&s);
+        assert_eq!(months[0].label(), "Dec 2021");
+        let text = render_monthly(&s);
+        assert!(text.contains("Dec 2021"));
+        assert!(text.contains("Jan 2022"));
+        assert!(text.contains("3300"));
+    }
+
+    #[test]
+    fn empty_series_no_months() {
+        let s = TimeSeries::new(SimTime::EPOCH, SimDuration::from_hours(1), "kW");
+        assert!(monthly_summaries(&s).is_empty());
+    }
+
+    #[test]
+    fn full_month_sample_count() {
+        let s = three_month_series();
+        assert_eq!(full_month_samples(&s, 2021, 12), 744);
+        assert_eq!(full_month_samples(&s, 2022, 2), 672);
+    }
+}

@@ -1,0 +1,181 @@
+//! Segment statistics around operational change points.
+//!
+//! Figures 1–3 of the paper annotate power time series with the mean power
+//! before and after each operational change (the orange lines): 3,220 kW
+//! baseline, 3,010 kW after the BIOS change, 2,530 kW after the frequency
+//! change. [`SegmentSummary`] computes exactly those per-segment means from
+//! a series plus a list of change instants.
+
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+use sim_core::stats::OnlineStats;
+use sim_core::time::SimTime;
+
+/// A labelled operational change instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChangePoint {
+    /// When the change took effect.
+    pub at_unix: u64,
+    /// Human-readable label, e.g. `"BIOS: performance determinism"`.
+    pub label: String,
+}
+
+impl ChangePoint {
+    /// Create a change point.
+    pub fn new(at: SimTime, label: impl Into<String>) -> Self {
+        ChangePoint {
+            at_unix: at.as_unix(),
+            label: label.into(),
+        }
+    }
+
+    /// The instant.
+    pub fn at(&self) -> SimTime {
+        SimTime::from_unix(self.at_unix)
+    }
+}
+
+/// Per-segment summary of a series cut at change points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentSummary {
+    /// Segment labels: `"baseline"` then each change label.
+    pub labels: Vec<String>,
+    /// Mean of each segment.
+    pub means: Vec<f64>,
+    /// Sample count of each segment.
+    pub counts: Vec<u64>,
+    /// Standard deviation of each segment.
+    pub std_devs: Vec<f64>,
+}
+
+impl SegmentSummary {
+    /// Cut `series` at the given change points (must be time-ordered) and
+    /// summarise each resulting segment.
+    ///
+    /// # Panics
+    /// Panics if change points are not strictly increasing in time.
+    pub fn compute(series: &TimeSeries, changes: &[ChangePoint]) -> Self {
+        for w in changes.windows(2) {
+            assert!(w[0].at_unix < w[1].at_unix, "change points must be strictly increasing");
+        }
+        let mut bounds = Vec::with_capacity(changes.len() + 2);
+        bounds.push(series.start());
+        for c in changes {
+            bounds.push(c.at());
+        }
+        bounds.push(series.end());
+
+        let mut labels = Vec::with_capacity(changes.len() + 1);
+        labels.push("baseline".to_string());
+        labels.extend(changes.iter().map(|c| c.label.clone()));
+
+        let mut means = Vec::new();
+        let mut counts = Vec::new();
+        let mut std_devs = Vec::new();
+        for w in bounds.windows(2) {
+            let st: OnlineStats = series.window_stats(w[0], w[1]);
+            means.push(st.mean());
+            counts.push(st.count());
+            std_devs.push(st.std_dev());
+        }
+        SegmentSummary {
+            labels,
+            means,
+            counts,
+            std_devs,
+        }
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.means.len()
+    }
+
+    /// True when the summary has no segments (never happens via `compute`).
+    pub fn is_empty(&self) -> bool {
+        self.means.is_empty()
+    }
+
+    /// Relative drop of segment `i` versus segment `j` (e.g. `drop(2, 0)` =
+    /// total reduction vs. baseline).
+    ///
+    /// # Panics
+    /// Panics if either index is out of range or the reference mean is zero.
+    pub fn drop_vs(&self, i: usize, j: usize) -> f64 {
+        let reference = self.means[j];
+        assert!(reference != 0.0, "reference segment mean is zero");
+        (reference - self.means[i]) / reference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimDuration;
+
+    fn step_series() -> (TimeSeries, Vec<ChangePoint>) {
+        // 100 samples at 3220, then 100 at 3010, then 100 at 2530 — the
+        // paper's three operating regimes in miniature.
+        let mut s = TimeSeries::new(SimTime::from_unix(0), SimDuration::from_hours(1), "kW");
+        for _ in 0..100 {
+            s.push(3220.0);
+        }
+        for _ in 0..100 {
+            s.push(3010.0);
+        }
+        for _ in 0..100 {
+            s.push(2530.0);
+        }
+        let changes = vec![
+            ChangePoint::new(s.time_at(100), "BIOS: performance determinism"),
+            ChangePoint::new(s.time_at(200), "default frequency 2.0 GHz"),
+        ];
+        (s, changes)
+    }
+
+    #[test]
+    fn segments_recover_the_paper_means() {
+        let (s, changes) = step_series();
+        let sum = SegmentSummary::compute(&s, &changes);
+        assert_eq!(sum.len(), 3);
+        assert_eq!(sum.labels[0], "baseline");
+        assert!((sum.means[0] - 3220.0).abs() < 1e-9);
+        assert!((sum.means[1] - 3010.0).abs() < 1e-9);
+        assert!((sum.means[2] - 2530.0).abs() < 1e-9);
+        assert_eq!(sum.counts, vec![100, 100, 100]);
+    }
+
+    #[test]
+    fn drops_match_paper_percentages() {
+        let (s, changes) = step_series();
+        let sum = SegmentSummary::compute(&s, &changes);
+        // BIOS change: 6.5 % vs baseline; both changes: 21 % vs baseline.
+        assert!((sum.drop_vs(1, 0) - 0.0652).abs() < 0.001);
+        assert!((sum.drop_vs(2, 0) - 0.2143).abs() < 0.001);
+    }
+
+    #[test]
+    fn no_changes_is_single_segment() {
+        let (s, _) = step_series();
+        let sum = SegmentSummary::compute(&s, &[]);
+        assert_eq!(sum.len(), 1);
+        assert_eq!(sum.counts[0], 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_changes_rejected() {
+        let (s, mut changes) = step_series();
+        changes.swap(0, 1);
+        let _ = SegmentSummary::compute(&s, &changes);
+    }
+
+    #[test]
+    fn std_dev_zero_for_constant_segments() {
+        let (s, changes) = step_series();
+        let sum = SegmentSummary::compute(&s, &changes);
+        for sd in sum.std_devs {
+            assert!(sd.abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Regular-interval time series.
+//!
+//! The facility's cabinet power telemetry samples on a fixed cadence
+//! (15 minutes in the campaign runner); a series is a start instant, an
+//! interval and a dense sample vector. Dense storage keeps five months of
+//! samples (~14k points) trivially cheap and makes windowed means exact.
+
+use serde::{Deserialize, Serialize};
+use sim_core::stats::OnlineStats;
+use sim_core::time::{SimDuration, SimTime};
+
+/// A dense, regular-interval `f64` time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    start_unix: u64,
+    interval_s: u64,
+    samples: Vec<f64>,
+    /// Unit label carried through to CSV/plots (e.g. `"kW"`).
+    pub unit: String,
+}
+
+impl TimeSeries {
+    /// Create an empty series starting at `start` with the given sampling
+    /// interval.
+    ///
+    /// # Panics
+    /// Panics if the interval is zero.
+    pub fn new(start: SimTime, interval: SimDuration, unit: impl Into<String>) -> Self {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        TimeSeries {
+            start_unix: start.as_unix(),
+            interval_s: interval.as_secs(),
+            samples: Vec::new(),
+            unit: unit.into(),
+        }
+    }
+
+    /// Start instant.
+    pub fn start(&self) -> SimTime {
+        SimTime::from_unix(self.start_unix)
+    }
+
+    /// Sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        SimDuration::from_secs(self.interval_s)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn values(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Append the next sample (implicitly at `start + len·interval`).
+    ///
+    /// # Panics
+    /// Panics on non-finite values.
+    pub fn push(&mut self, value: f64) {
+        assert!(value.is_finite(), "non-finite sample {value}");
+        self.samples.push(value);
+    }
+
+    /// Timestamp of sample `i`.
+    pub fn time_at(&self, i: usize) -> SimTime {
+        SimTime::from_unix(self.start_unix + i as u64 * self.interval_s)
+    }
+
+    /// Timestamp one interval past the final sample (exclusive end).
+    pub fn end(&self) -> SimTime {
+        self.time_at(self.samples.len())
+    }
+
+    /// Index of the first sample at or after `t` (clamped to `len`).
+    pub fn index_at(&self, t: SimTime) -> usize {
+        let t = t.as_unix();
+        if t <= self.start_unix {
+            return 0;
+        }
+        (t - self.start_unix).div_ceil(self.interval_s).min(self.samples.len() as u64) as usize
+    }
+
+    /// Mean of all samples (0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        self.window_stats(self.start(), self.end()).mean()
+    }
+
+    /// Summary statistics over the half-open window `[from, to)`.
+    pub fn window_stats(&self, from: SimTime, to: SimTime) -> OnlineStats {
+        let mut st = OnlineStats::new();
+        let i0 = self.index_at(from);
+        let i1 = self.index_at(to);
+        for &v in &self.samples[i0..i1] {
+            st.push(v);
+        }
+        st
+    }
+
+    /// Mean over the half-open window `[from, to)` (0 when empty).
+    pub fn window_mean(&self, from: SimTime, to: SimTime) -> f64 {
+        self.window_stats(from, to).mean()
+    }
+
+    /// Downsample by averaging consecutive blocks of `k` samples (the tail
+    /// partial block is averaged too). Used to render daily means from
+    /// 15-minute telemetry.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn block_means(&self, k: usize) -> TimeSeries {
+        assert!(k > 0, "block size must be positive");
+        let mut out = TimeSeries::new(
+            self.start(),
+            SimDuration::from_secs(self.interval_s * k as u64),
+            self.unit.clone(),
+        );
+        for chunk in self.samples.chunks(k) {
+            let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            out.push(mean);
+        }
+        out
+    }
+
+    /// Integrate the series as a power signal (in the series' unit) over its
+    /// whole span, returning unit-hours (e.g. kW series → kWh).
+    pub fn integral_unit_hours(&self) -> f64 {
+        let h = self.interval_s as f64 / 3600.0;
+        self.samples.iter().sum::<f64>() * h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_with(vals: &[f64]) -> TimeSeries {
+        let mut s = TimeSeries::new(SimTime::from_unix(0), SimDuration::from_mins(15), "kW");
+        for &v in vals {
+            s.push(v);
+        }
+        s
+    }
+
+    #[test]
+    fn timestamps_follow_interval() {
+        let s = series_with(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.time_at(0).as_unix(), 0);
+        assert_eq!(s.time_at(2).as_unix(), 1800);
+        assert_eq!(s.end().as_unix(), 2700);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn index_at_rounds_up_to_next_sample() {
+        let s = series_with(&[0.0; 10]);
+        assert_eq!(s.index_at(SimTime::from_unix(0)), 0);
+        assert_eq!(s.index_at(SimTime::from_unix(1)), 1);
+        assert_eq!(s.index_at(SimTime::from_unix(900)), 1);
+        assert_eq!(s.index_at(SimTime::from_unix(901)), 2);
+        assert_eq!(s.index_at(SimTime::from_unix(1_000_000)), 10);
+    }
+
+    #[test]
+    fn window_mean_half_open() {
+        let s = series_with(&[10.0, 20.0, 30.0, 40.0]);
+        // [t0, t2) covers samples 0 and 1.
+        let m = s.window_mean(s.time_at(0), s.time_at(2));
+        assert!((m - 15.0).abs() < 1e-12);
+        assert!((s.mean() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_beyond_range_is_empty() {
+        let s = series_with(&[1.0, 2.0]);
+        let st = s.window_stats(SimTime::from_unix(10_000), SimTime::from_unix(20_000));
+        assert_eq!(st.count(), 0);
+    }
+
+    #[test]
+    fn block_means_downsample() {
+        let s = series_with(&[1.0, 3.0, 5.0, 7.0, 9.0]);
+        let d = s.block_means(2);
+        assert_eq!(d.values(), &[2.0, 6.0, 9.0]);
+        assert_eq!(d.interval().as_secs(), 1800);
+    }
+
+    #[test]
+    fn integral_converts_to_unit_hours() {
+        // Four 15-minute samples at 1000 kW = 1 hour at 1000 kW = 1000 kWh.
+        let s = series_with(&[1000.0; 4]);
+        assert!((s.integral_unit_hours() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_sample_panics() {
+        let mut s = series_with(&[]);
+        s.push(f64::NAN);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = series_with(&[1.0, 2.0]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: TimeSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

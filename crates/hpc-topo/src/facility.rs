@@ -1,0 +1,334 @@
+//! The whole facility: nodes in cabinets, cabinets on CDU loops, switches
+//! distributed through the compute cabinets, and file systems alongside.
+//!
+//! Reproduces Table 1's inventory exactly: 5,860 compute nodes (750,080
+//! cores), 768 Slingshot switches, 23 compute cabinets, 6 CDUs and 5 file
+//! systems.
+
+use crate::dragonfly::{DragonflyConfig, DragonflyTopology};
+use crate::ids::{CabinetId, CduId, FilesystemId, NodeId, SwitchId};
+use serde::{Deserialize, Serialize};
+
+/// Facility shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FacilityConfig {
+    /// Compute node count.
+    pub nodes: u32,
+    /// Cores per node (2 × 64 on ARCHER2).
+    pub cores_per_node: u32,
+    /// Compute cabinet count.
+    pub cabinets: u32,
+    /// CDU count.
+    pub cdus: u32,
+    /// File system count.
+    pub filesystems: u32,
+    /// Fabric shape.
+    pub fabric: DragonflyConfig,
+}
+
+impl FacilityConfig {
+    /// ARCHER2 per Table 1.
+    pub fn archer2() -> Self {
+        FacilityConfig {
+            nodes: 5860,
+            cores_per_node: 128,
+            cabinets: 23,
+            cdus: 6,
+            filesystems: 5,
+            fabric: DragonflyConfig::archer2(),
+        }
+    }
+
+    /// Total core count (Table 1: 750,080).
+    pub fn total_cores(&self) -> u64 {
+        self.nodes as u64 * self.cores_per_node as u64
+    }
+}
+
+/// The built facility with containment maps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FacilityTopology {
+    config: FacilityConfig,
+    fabric: DragonflyTopology,
+    node_cabinet: Vec<CabinetId>,
+    switch_cabinet: Vec<CabinetId>,
+    cabinet_cdu: Vec<CduId>,
+    cabinet_nodes: Vec<Vec<NodeId>>,
+    cabinet_switches: Vec<Vec<SwitchId>>,
+}
+
+impl FacilityTopology {
+    /// Build the facility from a config.
+    ///
+    /// Nodes and switches are distributed round-robin-by-block over the
+    /// cabinets (cabinet 0 gets the first `ceil(n/23)` nodes, …), and
+    /// cabinets over CDU loops. This mirrors the physical reality that a
+    /// HPE Cray EX cabinet houses a contiguous block of blades plus its
+    /// share of the fabric.
+    ///
+    /// # Panics
+    /// Panics if any count is zero.
+    pub fn build(config: FacilityConfig) -> Self {
+        assert!(config.nodes > 0 && config.cabinets > 0 && config.cdus > 0, "empty facility");
+        let fabric = DragonflyTopology::build(config.fabric, config.nodes);
+
+        let per_cab_nodes = config.nodes.div_ceil(config.cabinets);
+        let node_cabinet: Vec<CabinetId> = (0..config.nodes)
+            .map(|n| CabinetId((n / per_cab_nodes).min(config.cabinets - 1)))
+            .collect();
+
+        let total_switches = config.fabric.total_switches();
+        let per_cab_switches = total_switches.div_ceil(config.cabinets);
+        let switch_cabinet: Vec<CabinetId> = (0..total_switches)
+            .map(|s| CabinetId((s / per_cab_switches).min(config.cabinets - 1)))
+            .collect();
+
+        let per_cdu = config.cabinets.div_ceil(config.cdus);
+        let cabinet_cdu: Vec<CduId> = (0..config.cabinets)
+            .map(|c| CduId((c / per_cdu).min(config.cdus - 1)))
+            .collect();
+
+        let mut cabinet_nodes = vec![Vec::new(); config.cabinets as usize];
+        for (n, cab) in node_cabinet.iter().enumerate() {
+            cabinet_nodes[cab.index()].push(NodeId(n as u32));
+        }
+        let mut cabinet_switches = vec![Vec::new(); config.cabinets as usize];
+        for (s, cab) in switch_cabinet.iter().enumerate() {
+            cabinet_switches[cab.index()].push(SwitchId(s as u32));
+        }
+
+        FacilityTopology {
+            config,
+            fabric,
+            node_cabinet,
+            switch_cabinet,
+            cabinet_cdu,
+            cabinet_nodes,
+            cabinet_switches,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FacilityConfig {
+        &self.config
+    }
+
+    /// The interconnect fabric.
+    pub fn fabric(&self) -> &DragonflyTopology {
+        &self.fabric
+    }
+
+    /// Cabinet housing a node.
+    pub fn cabinet_of_node(&self, node: NodeId) -> CabinetId {
+        self.node_cabinet[node.index()]
+    }
+
+    /// Cabinet housing a switch.
+    pub fn cabinet_of_switch(&self, sw: SwitchId) -> CabinetId {
+        self.switch_cabinet[sw.index()]
+    }
+
+    /// CDU loop cooling a cabinet.
+    pub fn cdu_of_cabinet(&self, cab: CabinetId) -> CduId {
+        self.cabinet_cdu[cab.index()]
+    }
+
+    /// Nodes in a cabinet.
+    pub fn nodes_in_cabinet(&self, cab: CabinetId) -> &[NodeId] {
+        &self.cabinet_nodes[cab.index()]
+    }
+
+    /// Switches in a cabinet.
+    pub fn switches_in_cabinet(&self, cab: CabinetId) -> &[SwitchId] {
+        &self.cabinet_switches[cab.index()]
+    }
+
+    /// Iterate all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.config.nodes).map(NodeId)
+    }
+
+    /// Iterate all switch ids.
+    pub fn switches(&self) -> impl Iterator<Item = SwitchId> + '_ {
+        (0..self.config.fabric.total_switches()).map(SwitchId)
+    }
+
+    /// Iterate all cabinet ids.
+    pub fn cabinets(&self) -> impl Iterator<Item = CabinetId> + '_ {
+        (0..self.config.cabinets).map(CabinetId)
+    }
+
+    /// Iterate all filesystem ids.
+    pub fn filesystems(&self) -> impl Iterator<Item = FilesystemId> + '_ {
+        (0..self.config.filesystems).map(FilesystemId)
+    }
+
+    /// The Table 1 summary view.
+    pub fn hardware_summary(&self) -> HardwareSummary {
+        HardwareSummary {
+            compute_nodes: self.config.nodes,
+            compute_cores: self.config.total_cores(),
+            processors_per_node: 2,
+            processor_model: "AMD EPYC 7742-class 2.25 GHz 64-core".to_string(),
+            memory_per_node_gb: "256/512".to_string(),
+            interconnect: "Slingshot 10, dragonfly topology".to_string(),
+            slingshot_switches: self.config.fabric.total_switches(),
+            nics_per_node: self.config.fabric.nics_per_node,
+            cabinets: self.config.cabinets,
+            cdus: self.config.cdus,
+            filesystems: self.config.filesystems,
+        }
+    }
+}
+
+/// A rendered Table 1 (hardware summary).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardwareSummary {
+    /// Compute node count.
+    pub compute_nodes: u32,
+    /// Total core count.
+    pub compute_cores: u64,
+    /// Processors per node.
+    pub processors_per_node: u32,
+    /// Processor description.
+    pub processor_model: String,
+    /// Memory per node (GB, the two ARCHER2 variants).
+    pub memory_per_node_gb: String,
+    /// Interconnect description.
+    pub interconnect: String,
+    /// Switch count.
+    pub slingshot_switches: u32,
+    /// NICs per node.
+    pub nics_per_node: u32,
+    /// Compute cabinet count.
+    pub cabinets: u32,
+    /// CDU count.
+    pub cdus: u32,
+    /// File system count.
+    pub filesystems: u32,
+}
+
+impl std::fmt::Display for HardwareSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "| {} compute nodes ({} compute cores) | 2x AMD EPYC 64-core processors |", self.compute_nodes, self.compute_cores)?;
+        writeln!(f, "|   | {} GB DDR4 RAM |", self.memory_per_node_gb)?;
+        writeln!(f, "|   | {} Slingshot interconnect interfaces |", self.nics_per_node)?;
+        writeln!(f, "| Slingshot 10 interconnect | {} Slingshot switches |", self.slingshot_switches)?;
+        writeln!(f, "|   | Dragonfly topology |")?;
+        writeln!(f, "| Cabinets | {} compute cabinets, {} CDUs |", self.cabinets, self.cdus)?;
+        write!(f, "| Storage | {} file systems |", self.filesystems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn archer2() -> FacilityTopology {
+        FacilityTopology::build(FacilityConfig::archer2())
+    }
+
+    #[test]
+    fn table1_counts() {
+        let t = archer2();
+        let s = t.hardware_summary();
+        assert_eq!(s.compute_nodes, 5860);
+        assert_eq!(s.compute_cores, 750_080, "Table 1: 750,080 compute cores");
+        assert_eq!(s.slingshot_switches, 768);
+        assert_eq!(s.cabinets, 23);
+        assert_eq!(s.cdus, 6);
+        assert_eq!(s.filesystems, 5);
+        assert_eq!(s.nics_per_node, 2);
+    }
+
+    #[test]
+    fn every_node_has_exactly_one_cabinet() {
+        let t = archer2();
+        let mut total = 0usize;
+        for cab in t.cabinets() {
+            total += t.nodes_in_cabinet(cab).len();
+        }
+        assert_eq!(total, 5860);
+        // Spot-check the inverse map.
+        for cab in t.cabinets() {
+            for &n in t.nodes_in_cabinet(cab) {
+                assert_eq!(t.cabinet_of_node(n), cab);
+            }
+        }
+    }
+
+    #[test]
+    fn every_switch_has_exactly_one_cabinet() {
+        let t = archer2();
+        let mut total = 0usize;
+        for cab in t.cabinets() {
+            total += t.switches_in_cabinet(cab).len();
+        }
+        assert_eq!(total, 768);
+        for cab in t.cabinets() {
+            for &s in t.switches_in_cabinet(cab) {
+                assert_eq!(t.cabinet_of_switch(s), cab);
+            }
+        }
+    }
+
+    #[test]
+    fn cabinet_occupancy_is_balanced() {
+        let t = archer2();
+        let counts: Vec<usize> = t.cabinets().map(|c| t.nodes_in_cabinet(c).len()).collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        // 5860 / 23 = 254.8 — blocks of 255 with a short tail cabinet.
+        assert!(max <= 256, "cabinet overfull: {max}");
+        assert!(min >= 200, "cabinet underfull: {min}");
+    }
+
+    #[test]
+    fn cdus_cover_all_cabinets() {
+        let t = archer2();
+        let mut loads = vec![0u32; 6];
+        for cab in t.cabinets() {
+            loads[t.cdu_of_cabinet(cab).index()] += 1;
+        }
+        assert_eq!(loads.iter().sum::<u32>(), 23);
+        assert!(loads.iter().all(|&l| l >= 3), "every CDU serves at least 3 cabinets: {loads:?}");
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let t = archer2();
+        assert_eq!(t.nodes().count(), 5860);
+        assert_eq!(t.switches().count(), 768);
+        assert_eq!(t.cabinets().count(), 23);
+        assert_eq!(t.filesystems().count(), 5);
+    }
+
+    #[test]
+    fn summary_renders() {
+        let s = archer2().hardware_summary().to_string();
+        assert!(s.contains("5860 compute nodes (750080 compute cores)"));
+        assert!(s.contains("768 Slingshot switches"));
+    }
+
+    #[test]
+    fn small_test_facility_builds() {
+        // A scaled-down facility for fast scheduler tests.
+        let cfg = FacilityConfig {
+            nodes: 64,
+            cores_per_node: 128,
+            cabinets: 2,
+            cdus: 1,
+            filesystems: 1,
+            fabric: DragonflyConfig {
+                groups: 2,
+                switches_per_group: 4,
+                ports_per_switch: 64,
+                endpoints_per_switch: 16,
+                nics_per_node: 2,
+            },
+        };
+        let t = FacilityTopology::build(cfg);
+        assert_eq!(t.nodes().count(), 64);
+        assert_eq!(t.switches().count(), 8);
+    }
+}

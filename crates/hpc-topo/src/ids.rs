@@ -1,0 +1,99 @@
+//! Typed identifiers for facility components.
+//!
+//! Newtypes over `u32` keep the containment maps compact (the facility has
+//! 5,860 nodes and 768 switches) while preventing a node index from being
+//! used where a switch index is expected.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A compute node (0..5859 on ARCHER2).
+    NodeId,
+    "nid"
+);
+id_type!(
+    /// A compute cabinet (0..22 on ARCHER2).
+    CabinetId,
+    "cab"
+);
+id_type!(
+    /// A Slingshot switch (0..767 on ARCHER2).
+    SwitchId,
+    "sw"
+);
+id_type!(
+    /// A dragonfly group.
+    GroupId,
+    "grp"
+);
+id_type!(
+    /// A coolant distribution unit (0..5 on ARCHER2).
+    CduId,
+    "cdu"
+);
+id_type!(
+    /// A file system (0..4 on ARCHER2).
+    FilesystemId,
+    "fs"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_site_prefixes() {
+        assert_eq!(NodeId(1001).to_string(), "nid1001");
+        assert_eq!(CabinetId(7).to_string(), "cab7");
+        assert_eq!(SwitchId(42).to_string(), "sw42");
+        assert_eq!(CduId(3).to_string(), "cdu3");
+        assert_eq!(FilesystemId(0).to_string(), "fs0");
+        assert_eq!(GroupId(12).to_string(), "grp12");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(NodeId(1));
+        set.insert(NodeId(2));
+        set.insert(NodeId(1));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let id = NodeId::from(5859u32);
+        assert_eq!(id.index(), 5859);
+    }
+}

@@ -1,0 +1,20 @@
+//! # hpc-topo
+//!
+//! Structural model of the ARCHER2 facility: component identities, the
+//! dragonfly interconnect, and the cabinet/CDU/filesystem plumbing that
+//! Table 1 and Table 2 of the paper enumerate.
+//!
+//! The power analysis in the paper is *component-count × per-component
+//! power*; this crate supplies the counts and the containment relations
+//! (node → cabinet → CDU loop, node → switch pair) that the telemetry and
+//! scheduler crates aggregate over.
+
+#![warn(missing_docs)]
+
+pub mod dragonfly;
+pub mod facility;
+pub mod ids;
+
+pub use dragonfly::{DragonflyConfig, DragonflyTopology};
+pub use facility::{FacilityConfig, FacilityTopology, HardwareSummary};
+pub use ids::{CabinetId, CduId, FilesystemId, GroupId, NodeId, SwitchId};

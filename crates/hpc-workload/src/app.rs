@@ -1,0 +1,341 @@
+//! The application model: DVFS performance scaling plus node power.
+//!
+//! ## Performance model
+//!
+//! The classic frequency-scaling decomposition: a fraction β of the
+//! reference runtime scales inversely with core frequency (instruction
+//! throughput bound), the rest is frequency-invariant (DRAM and network
+//! bound):
+//!
+//! ```text
+//! t(f) = t_ref · ( β · f_ref / f  +  (1 − β) )
+//! ```
+//!
+//! `f_ref` is the *effective* frequency at the reference operating point
+//! (2.25 GHz + turbo ≈ 2.8 GHz sustained — §4.2 of the paper), which is why
+//! capping at 2.0 GHz costs some codes 26 % rather than the naive 11 %.
+//!
+//! ## Power model
+//!
+//! Node power comes from [`hpc_power::NodePowerModel`] with this app's CPU
+//! activity and memory intensity. Two small *calibration residuals* absorb
+//! per-application effects outside the first-order model (clock-gating
+//! efficiency, communication wait, library differences); they are fitted in
+//! [`crate::catalog`] and recorded in `EXPERIMENTS.md`.
+
+use crate::mix::ResearchArea;
+use hpc_power::{
+    DeterminismMode, FreqSetting, NodeActivity, NodePowerModel, SiliconLottery, SiliconSample,
+};
+use serde::{Deserialize, Serialize};
+
+/// A facility-wide operating point: frequency setting plus BIOS mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// CPU frequency setting.
+    pub setting: FreqSetting,
+    /// BIOS determinism mode.
+    pub mode: DeterminismMode,
+}
+
+impl OperatingPoint {
+    /// ARCHER2's original configuration (to Apr 2022): power determinism,
+    /// 2.25 GHz + turbo.
+    pub const ORIGINAL: OperatingPoint = OperatingPoint {
+        setting: FreqSetting::TurboBoost2250,
+        mode: DeterminismMode::Power,
+    };
+
+    /// After the §4.1 BIOS change (May 2022): performance determinism,
+    /// 2.25 GHz + turbo. This is the model's *reference* point.
+    pub const AFTER_BIOS: OperatingPoint = OperatingPoint {
+        setting: FreqSetting::TurboBoost2250,
+        mode: DeterminismMode::Performance,
+    };
+
+    /// After the §4.2 frequency change (Dec 2022): performance determinism,
+    /// 2.0 GHz default.
+    pub const AFTER_FREQ: OperatingPoint = OperatingPoint {
+        setting: FreqSetting::Mid2000,
+        mode: DeterminismMode::Performance,
+    };
+}
+
+impl std::fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} / {}", self.setting, self.mode)
+    }
+}
+
+/// One application's performance/power profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppModel {
+    /// Application name, e.g. `"LAMMPS"`.
+    pub name: String,
+    /// Research area the app belongs to.
+    pub area: ResearchArea,
+    /// Compute-bound runtime fraction β ∈ [0, 1].
+    pub beta: f64,
+    /// CPU pipeline activity factor ∈ [0, 1.2].
+    pub cpu_activity: f64,
+    /// Memory-subsystem intensity ∈ [0, 1].
+    pub mem_intensity: f64,
+    /// Multiplicative power residual applied at non-boost frequency
+    /// settings (calibration; 1.0 = pure model).
+    pub power_residual_offref: f64,
+    /// Multiplicative power residual applied in power-determinism mode
+    /// (calibration; 1.0 = pure model).
+    pub power_residual_powerdet: f64,
+    /// Multiplicative runtime residual applied in power-determinism mode
+    /// (calibration; 1.0 = pure model).
+    pub perf_residual_powerdet: f64,
+}
+
+impl AppModel {
+    /// A plain, uncalibrated profile (residuals at 1.0).
+    pub fn raw(
+        name: impl Into<String>,
+        area: ResearchArea,
+        beta: f64,
+        cpu_activity: f64,
+        mem_intensity: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&beta), "beta {beta} out of [0,1]");
+        assert!((0.0..=1.2).contains(&cpu_activity), "activity {cpu_activity} out of range");
+        assert!((0.0..=1.0).contains(&mem_intensity), "mem intensity {mem_intensity} out of range");
+        AppModel {
+            name: name.into(),
+            area,
+            beta,
+            cpu_activity,
+            mem_intensity,
+            power_residual_offref: 1.0,
+            power_residual_powerdet: 1.0,
+            perf_residual_powerdet: 1.0,
+        }
+    }
+
+    /// A generic area-typical workload used as filler in the facility
+    /// simulation for research areas whose codes are not in the paper's
+    /// benchmark suite. β values follow the character of each area's
+    /// dominant codes: spectral/grid climate and seismology codes are
+    /// memory-bandwidth bound; classical-MD-heavy areas are compute-bound
+    /// (cf. GROMACS/LAMMPS in Table 4); PIC plasma codes sit in between.
+    pub fn generic(area: ResearchArea) -> Self {
+        let (beta, cpu, mem) = match area {
+            ResearchArea::MaterialsScience => (0.20, 0.75, 0.60),
+            ResearchArea::ClimateOcean => (0.22, 0.60, 0.70),
+            ResearchArea::Biomolecular => (0.60, 0.90, 0.30),
+            ResearchArea::Engineering => (0.25, 0.65, 0.65),
+            ResearchArea::MineralPhysics => (0.20, 0.70, 0.60),
+            ResearchArea::Seismology => (0.24, 0.60, 0.70),
+            ResearchArea::PlasmaPhysics => (0.28, 0.80, 0.50),
+            ResearchArea::Other => (0.25, 0.70, 0.50),
+        };
+        AppModel::raw(format!("generic-{area}"), area, beta, cpu, mem)
+    }
+
+    /// Effective sustained frequency (GHz) at an operating point, using the
+    /// typical part of the lottery.
+    pub fn effective_freq(
+        &self,
+        op: OperatingPoint,
+        node_model: &NodePowerModel,
+        lottery: &SiliconLottery,
+    ) -> f64 {
+        let part = SiliconSample::typical(lottery);
+        node_model
+            .socket_model()
+            .effective_freq(op.setting, op.mode, self.cpu_activity, &part, lottery)
+    }
+
+    /// Runtime at `op` relative to the reference point
+    /// ([`OperatingPoint::AFTER_BIOS`]): 1.0 at reference, > 1.0 when slower.
+    pub fn runtime_ratio(
+        &self,
+        op: OperatingPoint,
+        node_model: &NodePowerModel,
+        lottery: &SiliconLottery,
+    ) -> f64 {
+        let f_ref = self.effective_freq(OperatingPoint::AFTER_BIOS, node_model, lottery);
+        let f = self.effective_freq(op, node_model, lottery);
+        let mut ratio = self.beta * f_ref / f + (1.0 - self.beta);
+        if op.mode == DeterminismMode::Power {
+            ratio *= self.perf_residual_powerdet;
+        }
+        ratio
+    }
+
+    /// Performance at `op` relative to reference (inverse runtime ratio).
+    pub fn perf_ratio(
+        &self,
+        op: OperatingPoint,
+        node_model: &NodePowerModel,
+        lottery: &SiliconLottery,
+    ) -> f64 {
+        1.0 / self.runtime_ratio(op, node_model, lottery)
+    }
+
+    /// Node power (W) while this app runs at `op`, for the typical part.
+    pub fn node_power_w(
+        &self,
+        op: OperatingPoint,
+        node_model: &NodePowerModel,
+        lottery: &SiliconLottery,
+    ) -> f64 {
+        let part = SiliconSample::typical(lottery);
+        self.node_power_w_for_part(op, node_model, lottery, &[part, part])
+    }
+
+    /// Node power (W) for specific silicon parts (used by the per-node
+    /// facility simulation where every node drew its own lottery ticket).
+    pub fn node_power_w_for_part(
+        &self,
+        op: OperatingPoint,
+        node_model: &NodePowerModel,
+        lottery: &SiliconLottery,
+        parts: &[SiliconSample; 2],
+    ) -> f64 {
+        let throughput = self
+            .perf_ratio(op, node_model, lottery)
+            .min(1.2);
+        let activity = NodeActivity {
+            cpu: self.cpu_activity,
+            mem: self.mem_intensity,
+            throughput,
+        };
+        let mut p = node_model.power(op.setting, op.mode, activity, parts, lottery).total_w();
+        if !op.setting.boost_enabled() {
+            p *= self.power_residual_offref;
+        }
+        if op.mode == DeterminismMode::Power {
+            p *= self.power_residual_powerdet;
+        }
+        p
+    }
+
+    /// Energy-to-solution at `op` relative to reference: `P(op)·t(op) /
+    /// (P(ref)·t(ref))`.
+    pub fn energy_ratio(
+        &self,
+        op: OperatingPoint,
+        node_model: &NodePowerModel,
+        lottery: &SiliconLottery,
+    ) -> f64 {
+        let p_ref = self.node_power_w(OperatingPoint::AFTER_BIOS, node_model, lottery);
+        let p = self.node_power_w(op, node_model, lottery);
+        (p * self.runtime_ratio(op, node_model, lottery)) / p_ref
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_power::NodeSpec;
+
+    fn env() -> (NodePowerModel, SiliconLottery) {
+        (NodePowerModel::new(NodeSpec::default()), SiliconLottery::default())
+    }
+
+    #[test]
+    fn reference_point_is_identity() {
+        let (nm, lot) = env();
+        let app = AppModel::generic(ResearchArea::MaterialsScience);
+        assert!((app.runtime_ratio(OperatingPoint::AFTER_BIOS, &nm, &lot) - 1.0).abs() < 1e-12);
+        assert!((app.energy_ratio(OperatingPoint::AFTER_BIOS, &nm, &lot) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_frequency_is_slower_but_cheaper() {
+        let (nm, lot) = env();
+        let app = AppModel::generic(ResearchArea::Engineering);
+        let rt = app.runtime_ratio(OperatingPoint::AFTER_FREQ, &nm, &lot);
+        assert!(rt > 1.0, "2.0 GHz must be slower than reference, got {rt}");
+        let e = app.energy_ratio(OperatingPoint::AFTER_FREQ, &nm, &lot);
+        assert!(e < 1.0, "2.0 GHz must cost less energy, got {e}");
+    }
+
+    #[test]
+    fn memory_bound_app_barely_slows() {
+        let (nm, lot) = env();
+        let mem_bound = AppModel::raw("stream-like", ResearchArea::Other, 0.05, 0.4, 0.95);
+        let perf = mem_bound.perf_ratio(OperatingPoint::AFTER_FREQ, &nm, &lot);
+        assert!(perf > 0.97, "memory-bound perf ratio {perf}");
+    }
+
+    #[test]
+    fn compute_bound_app_slows_proportionally() {
+        let (nm, lot) = env();
+        let compute = AppModel::raw("dgemm-like", ResearchArea::Other, 1.0, 1.0, 0.1);
+        let f_ref = compute.effective_freq(OperatingPoint::AFTER_BIOS, &nm, &lot);
+        let perf = compute.perf_ratio(OperatingPoint::AFTER_FREQ, &nm, &lot);
+        let expected = 2.0 / f_ref;
+        assert!((perf - expected).abs() < 1e-9, "pure compute perf {perf} vs f ratio {expected}");
+    }
+
+    #[test]
+    fn power_determinism_draws_more_power() {
+        let (nm, lot) = env();
+        let app = AppModel::generic(ResearchArea::MaterialsScience);
+        let p_pd = app.node_power_w(OperatingPoint::ORIGINAL, &nm, &lot);
+        let p_ref = app.node_power_w(OperatingPoint::AFTER_BIOS, &nm, &lot);
+        assert!(p_pd > p_ref, "power determinism should draw more: {p_pd} vs {p_ref}");
+    }
+
+    #[test]
+    fn original_mode_is_slightly_faster() {
+        let (nm, lot) = env();
+        let app = AppModel::generic(ResearchArea::MaterialsScience);
+        let rt = app.runtime_ratio(OperatingPoint::ORIGINAL, &nm, &lot);
+        assert!(rt <= 1.0, "power determinism should not be slower, got {rt}");
+        assert!(rt > 0.96, "the speedup should be small, got {rt}");
+    }
+
+    #[test]
+    fn off_reference_residual_scales_power() {
+        let (nm, lot) = env();
+        let mut app = AppModel::generic(ResearchArea::Other);
+        let base = app.node_power_w(OperatingPoint::AFTER_FREQ, &nm, &lot);
+        app.power_residual_offref = 0.9;
+        let scaled = app.node_power_w(OperatingPoint::AFTER_FREQ, &nm, &lot);
+        assert!((scaled / base - 0.9).abs() < 1e-9);
+        // Reference point is untouched by the off-reference residual.
+        let ref_before = app.node_power_w(OperatingPoint::AFTER_BIOS, &nm, &lot);
+        app.power_residual_offref = 1.0;
+        assert_eq!(ref_before, app.node_power_w(OperatingPoint::AFTER_BIOS, &nm, &lot));
+    }
+
+    #[test]
+    fn energy_ratio_consistency() {
+        // energy_ratio == power_ratio × runtime_ratio by construction.
+        let (nm, lot) = env();
+        let app = AppModel::raw("x", ResearchArea::Other, 0.5, 0.8, 0.4);
+        let op = OperatingPoint::AFTER_FREQ;
+        let e = app.energy_ratio(op, &nm, &lot);
+        let p = app.node_power_w(op, &nm, &lot) / app.node_power_w(OperatingPoint::AFTER_BIOS, &nm, &lot);
+        let t = app.runtime_ratio(op, &nm, &lot);
+        assert!((e - p * t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_1500_even_slower_and_cheaper_power() {
+        let (nm, lot) = env();
+        let app = AppModel::generic(ResearchArea::Engineering);
+        let op15 = OperatingPoint {
+            setting: FreqSetting::Low1500,
+            mode: DeterminismMode::Performance,
+        };
+        let rt20 = app.runtime_ratio(OperatingPoint::AFTER_FREQ, &nm, &lot);
+        let rt15 = app.runtime_ratio(op15, &nm, &lot);
+        assert!(rt15 > rt20);
+        let p20 = app.node_power_w(OperatingPoint::AFTER_FREQ, &nm, &lot);
+        let p15 = app.node_power_w(op15, &nm, &lot);
+        assert!(p15 < p20);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn invalid_beta_rejected() {
+        let _ = AppModel::raw("bad", ResearchArea::Other, 1.5, 0.5, 0.5);
+    }
+}

@@ -1,0 +1,415 @@
+//! The calibrated ARCHER2 application-benchmark catalog.
+//!
+//! One record per benchmark row of the paper's Tables 3 and 4. Calibration
+//! works in three steps, all pure functions of the power model:
+//!
+//! 1. **β from the measured performance ratio** (Table 4): the DVFS runtime
+//!    model inverts analytically — `β = (1/r − 1) / (f_ref/2.0 − 1)` —
+//!    reproducing the paper's own observation that the large performance
+//!    swings (down to 0.74 for LAMMPS) are consistent with an effective
+//!    reference frequency near 2.8 GHz, not 2.25 GHz.
+//! 2. **CPU activity from the measured energy ratio**: a dense scan plus
+//!    local refinement finds the activity factor whose modelled node-power
+//!    ratio best explains the measured energy ratio.
+//! 3. **Residuals**: whatever gap remains (typically a few per cent — e.g.
+//!    Nektar++'s unusually steep 0.80/0.80 row) is recorded as an explicit
+//!    multiplicative residual so the forward model reproduces the paper's
+//!    numbers exactly while staying physical everywhere else.
+//!
+//! The same procedure calibrates the Table 3 (determinism mode) residuals
+//! for the three benchmarks measured there.
+
+use crate::app::{AppModel, OperatingPoint};
+use crate::mix::ResearchArea;
+use hpc_power::{NodePowerModel, SiliconLottery};
+use serde::{Deserialize, Serialize};
+
+/// A (performance ratio, energy ratio) pair as printed in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperRatios {
+    /// Performance ratio (new / old configuration), ≤ 1 means slower.
+    pub perf: f64,
+    /// Energy ratio (new / old configuration), ≤ 1 means less energy.
+    pub energy: f64,
+}
+
+impl PaperRatios {
+    /// Construct a pair.
+    pub const fn new(perf: f64, energy: f64) -> Self {
+        PaperRatios { perf, energy }
+    }
+
+    /// The implied node-power ratio `energy × perf` (since `E = P·t` and
+    /// `perf = t_old/t_new`).
+    pub fn power_ratio(&self) -> f64 {
+        self.energy * self.perf
+    }
+}
+
+/// One benchmark row: the paper's data plus the calibrated model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkRecord {
+    /// Benchmark label as printed in the paper, e.g. `"CASTEP Al Slab"`.
+    pub benchmark: String,
+    /// Node count used in the paper's measurement.
+    pub nodes: u32,
+    /// Table 4 ratios (2.0 GHz vs 2.25 GHz+turbo), if measured.
+    pub table4: Option<PaperRatios>,
+    /// Table 3 ratios (performance vs power determinism), if measured.
+    pub table3: Option<PaperRatios>,
+    /// Node count of the Table 3 measurement (differs from `nodes` for the
+    /// codes measured in both tables).
+    pub table3_nodes: Option<u32>,
+    /// Benchmark label of the Table 3 measurement (the paper pairs some
+    /// codes with a different workload there, e.g. VASP TiO2 vs VASP CdTe).
+    pub table3_label: Option<String>,
+    /// The calibrated application model.
+    pub app: AppModel,
+}
+
+/// The full calibrated catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    records: Vec<BenchmarkRecord>,
+}
+
+/// The paper's Table 4 rows: (benchmark, area, nodes, perf, energy).
+const TABLE4_ROWS: &[(&str, ResearchArea, u32, f64, f64)] = &[
+    ("CASTEP Al Slab", ResearchArea::MaterialsScience, 4, 0.93, 0.88),
+    ("CP2K H2O 2048", ResearchArea::MaterialsScience, 4, 0.91, 0.93),
+    ("GROMACS 1400k", ResearchArea::Biomolecular, 3, 0.83, 0.92),
+    ("LAMMPS Ethanol", ResearchArea::Biomolecular, 4, 0.74, 0.92),
+    ("Nektar++ TGV 128 DoF", ResearchArea::Engineering, 2, 0.80, 0.80),
+    ("ONETEP hBN-BP-hBN", ResearchArea::MaterialsScience, 4, 0.92, 0.82),
+    ("VASP CdTe", ResearchArea::MaterialsScience, 8, 0.95, 0.88),
+];
+
+/// The paper's Table 3 rows: (benchmark, nodes, perf, energy). CASTEP and
+/// VASP reuse the Table 4 profiles (different workloads/node counts but the
+/// same codes); OpenSBLI appears only here.
+const TABLE3_ROWS: &[(&str, u32, f64, f64)] = &[
+    ("CASTEP Al Slab", 16, 0.99, 0.94),
+    ("OpenSBLI TGV 1024^3", 32, 1.00, 0.90),
+    ("VASP TiO2", 32, 0.99, 0.93),
+];
+
+impl Catalog {
+    /// Build the catalog, running the calibration against the supplied
+    /// power model.
+    pub fn calibrated(node_model: &NodePowerModel, lottery: &SiliconLottery) -> Self {
+        let mut records: Vec<BenchmarkRecord> = TABLE4_ROWS
+            .iter()
+            .map(|&(name, area, nodes, perf, energy)| {
+                let paper = PaperRatios::new(perf, energy);
+                let app = fit_table4(name, area, paper, node_model, lottery);
+                BenchmarkRecord {
+                    benchmark: name.to_string(),
+                    nodes,
+                    table4: Some(paper),
+                    table3: None,
+                    table3_nodes: None,
+                    table3_label: None,
+                    app,
+                }
+            })
+            .collect();
+
+        // Table 3 calibration: attach to the matching code, or create the
+        // OpenSBLI-only record.
+        for &(name, nodes, perf, energy) in TABLE3_ROWS {
+            let paper3 = PaperRatios::new(perf, energy);
+            let code = name.split_whitespace().next().expect("non-empty name");
+            if let Some(rec) = records.iter_mut().find(|r| r.benchmark.starts_with(code)) {
+                fit_table3(&mut rec.app, paper3, node_model, lottery);
+                rec.table3 = Some(paper3);
+                rec.table3_nodes = Some(nodes);
+                rec.table3_label = Some(name.to_string());
+            } else {
+                // OpenSBLI: a structured-grid compressible CFD code; largely
+                // memory-bandwidth bound, moderate pipeline activity.
+                let mut app = AppModel::raw(name, ResearchArea::Engineering, 0.25, 0.6, 0.75);
+                fit_table3(&mut app, paper3, node_model, lottery);
+                records.push(BenchmarkRecord {
+                    benchmark: name.to_string(),
+                    nodes,
+                    table4: None,
+                    table3: Some(paper3),
+                    table3_nodes: Some(nodes),
+                    table3_label: Some(name.to_string()),
+                    app,
+                });
+            }
+        }
+        Catalog { records }
+    }
+
+    /// All benchmark records.
+    pub fn records(&self) -> &[BenchmarkRecord] {
+        &self.records
+    }
+
+    /// Records carrying Table 4 data, in paper order.
+    pub fn table4_records(&self) -> impl Iterator<Item = &BenchmarkRecord> {
+        self.records.iter().filter(|r| r.table4.is_some())
+    }
+
+    /// Records carrying Table 3 data, in paper order.
+    pub fn table3_records(&self) -> impl Iterator<Item = &BenchmarkRecord> {
+        self.records.iter().filter(|r| r.table3.is_some())
+    }
+
+    /// Find a record by benchmark name prefix (e.g. `"LAMMPS"`).
+    pub fn find(&self, prefix: &str) -> Option<&BenchmarkRecord> {
+        self.records.iter().find(|r| r.benchmark.starts_with(prefix))
+    }
+
+    /// Applications representative of a research area, used by the job
+    /// generator. Falls back to a generic area profile when the paper's
+    /// benchmark suite has no code for the area.
+    pub fn apps_for_area(&self, area: ResearchArea) -> Vec<AppModel> {
+        let mut apps: Vec<AppModel> = self
+            .records
+            .iter()
+            .filter(|r| r.app.area == area)
+            .map(|r| r.app.clone())
+            .collect();
+        if apps.is_empty() {
+            apps.push(AppModel::generic(area));
+        }
+        apps
+    }
+}
+
+/// Analytic β from a measured Table 4 performance ratio, given the
+/// effective reference frequency.
+fn beta_from_perf(perf_ratio: f64, f_ref: f64) -> f64 {
+    debug_assert!(perf_ratio > 0.0 && perf_ratio <= 1.0);
+    let slowdown = 1.0 / perf_ratio;
+    ((slowdown - 1.0) / (f_ref / 2.0 - 1.0)).clamp(0.0, 1.0)
+}
+
+/// Build a candidate app for activity `a`, deriving β from the measured
+/// perf ratio at that activity's reference frequency.
+fn candidate(
+    name: &str,
+    area: ResearchArea,
+    paper: PaperRatios,
+    a: f64,
+    node_model: &NodePowerModel,
+    lottery: &SiliconLottery,
+) -> AppModel {
+    // f_ref depends on activity (heavier loads boost slightly lower), so β
+    // and a are coupled; this closes the loop.
+    let probe = AppModel::raw("probe", area, 0.5, a, 0.5);
+    let f_ref = probe.effective_freq(OperatingPoint::AFTER_BIOS, node_model, lottery);
+    let beta = beta_from_perf(paper.perf, f_ref);
+    // Memory intensity anti-correlates with compute-boundness.
+    let mem = ((1.0 - beta) * 0.85).clamp(0.05, 0.95);
+    AppModel::raw(name, area, beta, a, mem)
+}
+
+/// Fit CPU activity and the off-reference power residual so the forward
+/// model reproduces the Table 4 row exactly.
+fn fit_table4(
+    name: &str,
+    area: ResearchArea,
+    paper: PaperRatios,
+    node_model: &NodePowerModel,
+    lottery: &SiliconLottery,
+) -> AppModel {
+    // Dense scan over activity for the best unresidualed energy-ratio match.
+    let mut best_a = 0.6;
+    let mut best_err = f64::INFINITY;
+    for i in 0..=160 {
+        let a = 0.25 + 0.75 * i as f64 / 160.0; // [0.25, 1.0]
+        let app = candidate(name, area, paper, a, node_model, lottery);
+        let e = app.energy_ratio(OperatingPoint::AFTER_FREQ, node_model, lottery);
+        let err = (e - paper.energy).abs();
+        if err < best_err {
+            best_err = err;
+            best_a = a;
+        }
+    }
+    let mut app = candidate(name, area, paper, best_a, node_model, lottery);
+
+    // Close the residual gap exactly: the measured power ratio divided by
+    // the modelled one becomes the off-reference power residual.
+    let p_ref = app.node_power_w(OperatingPoint::AFTER_BIOS, node_model, lottery);
+    let p_20 = app.node_power_w(OperatingPoint::AFTER_FREQ, node_model, lottery);
+    let model_power_ratio = p_20 / p_ref;
+    app.power_residual_offref = paper.power_ratio() / model_power_ratio;
+    app
+}
+
+/// Fit the determinism-mode residuals so the forward model reproduces a
+/// Table 3 row exactly.
+fn fit_table3(
+    app: &mut AppModel,
+    paper: PaperRatios,
+    node_model: &NodePowerModel,
+    lottery: &SiliconLottery,
+) {
+    // Table 3's perf ratio is perf(PerfDet)/perf(PowerDet) = t_pd / t_ref,
+    // i.e. exactly the model's runtime_ratio at the ORIGINAL point.
+    app.perf_residual_powerdet = 1.0;
+    let model_rt_pd = app.runtime_ratio(OperatingPoint::ORIGINAL, node_model, lottery);
+    app.perf_residual_powerdet = paper.perf / model_rt_pd;
+
+    // Energy ratio: E_ref/E_pd = P_ref / (P_pd · rt_pd) = paper.energy.
+    app.power_residual_powerdet = 1.0;
+    let p_ref = app.node_power_w(OperatingPoint::AFTER_BIOS, node_model, lottery);
+    let p_pd_model = app.node_power_w(OperatingPoint::ORIGINAL, node_model, lottery);
+    let rt_pd = app.runtime_ratio(OperatingPoint::ORIGINAL, node_model, lottery);
+    let p_pd_required = p_ref / (paper.energy * rt_pd);
+    app.power_residual_powerdet = p_pd_required / p_pd_model;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_power::NodeSpec;
+
+    fn env() -> (NodePowerModel, SiliconLottery) {
+        (NodePowerModel::new(NodeSpec::default()), SiliconLottery::default())
+    }
+
+    #[test]
+    fn catalog_has_all_paper_benchmarks() {
+        let (nm, lot) = env();
+        let cat = Catalog::calibrated(&nm, &lot);
+        assert_eq!(cat.table4_records().count(), 7, "Table 4 has 7 rows");
+        assert_eq!(cat.table3_records().count(), 3, "Table 3 has 3 rows");
+        assert_eq!(cat.records().len(), 8, "7 Table-4 codes + OpenSBLI");
+        for name in ["CASTEP", "CP2K", "GROMACS", "LAMMPS", "Nektar++", "ONETEP", "VASP", "OpenSBLI"] {
+            assert!(cat.find(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn forward_model_reproduces_table4_exactly() {
+        let (nm, lot) = env();
+        let cat = Catalog::calibrated(&nm, &lot);
+        for rec in cat.table4_records() {
+            let paper = rec.table4.unwrap();
+            let perf = rec.app.perf_ratio(OperatingPoint::AFTER_FREQ, &nm, &lot);
+            let energy = rec.app.energy_ratio(OperatingPoint::AFTER_FREQ, &nm, &lot);
+            assert!(
+                (perf - paper.perf).abs() < 0.005,
+                "{}: perf {perf:.3} vs paper {:.2}",
+                rec.benchmark,
+                paper.perf
+            );
+            assert!(
+                (energy - paper.energy).abs() < 0.005,
+                "{}: energy {energy:.3} vs paper {:.2}",
+                rec.benchmark,
+                paper.energy
+            );
+        }
+    }
+
+    #[test]
+    fn forward_model_reproduces_table3_exactly() {
+        let (nm, lot) = env();
+        let cat = Catalog::calibrated(&nm, &lot);
+        for rec in cat.table3_records() {
+            let paper = rec.table3.unwrap();
+            // perf(PerfDet)/perf(PowerDet) = runtime_ratio(ORIGINAL).
+            let perf = rec.app.runtime_ratio(OperatingPoint::ORIGINAL, &nm, &lot);
+            let e_ref = rec.app.energy_ratio(OperatingPoint::AFTER_BIOS, &nm, &lot);
+            let e_pd = rec.app.energy_ratio(OperatingPoint::ORIGINAL, &nm, &lot);
+            let energy = e_ref / e_pd;
+            assert!(
+                (perf - paper.perf).abs() < 0.005,
+                "{}: T3 perf {perf:.3} vs paper {:.2}",
+                rec.benchmark,
+                paper.perf
+            );
+            assert!(
+                (energy - paper.energy).abs() < 0.005,
+                "{}: T3 energy {energy:.3} vs paper {:.2}",
+                rec.benchmark,
+                paper.energy
+            );
+        }
+    }
+
+    #[test]
+    fn residuals_are_modest() {
+        // The physical model should do most of the work; residuals stay
+        // within ±15 %. (Nektar++'s 0.80/0.80 row is the stress case.)
+        let (nm, lot) = env();
+        let cat = Catalog::calibrated(&nm, &lot);
+        for rec in cat.records() {
+            let r = &rec.app;
+            assert!(
+                (0.85..=1.15).contains(&r.power_residual_offref),
+                "{}: off-ref residual {}",
+                rec.benchmark,
+                r.power_residual_offref
+            );
+            assert!(
+                (0.85..=1.15).contains(&r.power_residual_powerdet),
+                "{}: det residual {}",
+                rec.benchmark,
+                r.power_residual_powerdet
+            );
+        }
+    }
+
+    #[test]
+    fn lammps_is_most_compute_bound() {
+        // LAMMPS Ethanol has the deepest perf drop (0.74) and must come out
+        // with the highest β.
+        let (nm, lot) = env();
+        let cat = Catalog::calibrated(&nm, &lot);
+        let lammps = &cat.find("LAMMPS").unwrap().app;
+        for rec in cat.table4_records() {
+            assert!(lammps.beta >= rec.app.beta, "{} beta {} > LAMMPS {}", rec.benchmark, rec.app.beta, lammps.beta);
+        }
+        assert!(lammps.beta > 0.8, "LAMMPS beta {}", lammps.beta);
+    }
+
+    #[test]
+    fn vasp_is_least_compute_bound_in_table4() {
+        let (nm, lot) = env();
+        let cat = Catalog::calibrated(&nm, &lot);
+        let vasp = &cat.find("VASP").unwrap().app;
+        assert!(vasp.beta < 0.25, "VASP beta {}", vasp.beta);
+    }
+
+    #[test]
+    fn apps_for_each_area_nonempty() {
+        let (nm, lot) = env();
+        let cat = Catalog::calibrated(&nm, &lot);
+        for &area in &ResearchArea::ALL {
+            let apps = cat.apps_for_area(area);
+            assert!(!apps.is_empty());
+            for a in &apps {
+                assert_eq!(a.area, area);
+            }
+        }
+    }
+
+    #[test]
+    fn materials_area_has_paper_codes() {
+        let (nm, lot) = env();
+        let cat = Catalog::calibrated(&nm, &lot);
+        let apps = cat.apps_for_area(ResearchArea::MaterialsScience);
+        assert!(apps.len() >= 4, "CASTEP, CP2K, ONETEP, VASP");
+    }
+
+    #[test]
+    fn power_ratio_identity() {
+        let p = PaperRatios::new(0.8, 0.9);
+        assert!((p.power_ratio() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let (nm, lot) = env();
+        let a = Catalog::calibrated(&nm, &lot);
+        let b = Catalog::calibrated(&nm, &lot);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,159 @@
+//! Batch jobs: the unit of work the scheduler places on nodes.
+
+use crate::app::AppModel;
+use hpc_power::FreqSetting;
+use serde::{Deserialize, Serialize};
+use sim_core::time::{SimDuration, SimTime};
+
+/// Unique job identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Pending,
+    /// Running on allocated nodes.
+    Running,
+    /// Finished.
+    Completed,
+}
+
+/// A batch job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Identifier.
+    pub id: JobId,
+    /// The application profile the job runs.
+    pub app: AppModel,
+    /// Number of whole nodes requested (ARCHER2 allocates whole nodes).
+    pub nodes: u32,
+    /// Runtime the job would take at the reference operating point
+    /// (2.25 GHz+turbo, performance determinism).
+    pub reference_runtime: SimDuration,
+    /// Walltime the user requested (affects backfill, not execution).
+    pub requested_walltime: SimDuration,
+    /// Submission instant.
+    pub submitted_at: SimTime,
+    /// Per-job frequency override (the paper: users and the module system
+    /// could reset the CPU frequency per job). `None` = facility default.
+    pub freq_override: Option<FreqSetting>,
+    /// Current state.
+    pub state: JobState,
+}
+
+impl Job {
+    /// Create a pending job.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0` or the reference runtime is zero.
+    pub fn new(
+        id: JobId,
+        app: AppModel,
+        nodes: u32,
+        reference_runtime: SimDuration,
+        requested_walltime: SimDuration,
+        submitted_at: SimTime,
+    ) -> Self {
+        assert!(nodes > 0, "jobs need at least one node");
+        assert!(!reference_runtime.is_zero(), "jobs need a positive runtime");
+        Job {
+            id,
+            app,
+            nodes,
+            reference_runtime,
+            requested_walltime: if requested_walltime.as_secs() >= reference_runtime.as_secs() {
+                requested_walltime
+            } else {
+                reference_runtime
+            },
+            submitted_at,
+            freq_override: None,
+            state: JobState::Pending,
+        }
+    }
+
+    /// Node-hours at the reference operating point.
+    pub fn reference_node_hours(&self) -> f64 {
+        self.nodes as f64 * self.reference_runtime.as_hours_f64()
+    }
+
+    /// Actual runtime when executed with a runtime ratio `rt_ratio`
+    /// (relative to reference; from [`AppModel::runtime_ratio`]).
+    pub fn actual_runtime(&self, rt_ratio: f64) -> SimDuration {
+        debug_assert!(rt_ratio > 0.0, "runtime ratio must be positive");
+        SimDuration::from_secs((self.reference_runtime.as_secs() as f64 * rt_ratio).round().max(1.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::ResearchArea;
+
+    fn job() -> Job {
+        Job::new(
+            JobId(1),
+            AppModel::generic(ResearchArea::Engineering),
+            4,
+            SimDuration::from_hours(2),
+            SimDuration::from_hours(3),
+            SimTime::from_unix(100),
+        )
+    }
+
+    #[test]
+    fn node_hours() {
+        assert!((job().reference_node_hours() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn actual_runtime_scales() {
+        let j = job();
+        assert_eq!(j.actual_runtime(1.0), SimDuration::from_hours(2));
+        assert_eq!(j.actual_runtime(1.25), SimDuration::from_secs(9000));
+        // Never rounds to zero.
+        assert_eq!(j.actual_runtime(1e-9).as_secs(), 1);
+    }
+
+    #[test]
+    fn walltime_clamped_to_runtime() {
+        let j = Job::new(
+            JobId(2),
+            AppModel::generic(ResearchArea::Other),
+            1,
+            SimDuration::from_hours(4),
+            SimDuration::from_hours(1), // shorter than the runtime
+            SimTime::EPOCH,
+        );
+        assert_eq!(j.requested_walltime, SimDuration::from_hours(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Job::new(
+            JobId(3),
+            AppModel::generic(ResearchArea::Other),
+            0,
+            SimDuration::from_hours(1),
+            SimDuration::from_hours(1),
+            SimTime::EPOCH,
+        );
+    }
+
+    #[test]
+    fn display_and_state() {
+        let j = job();
+        assert_eq!(j.id.to_string(), "job1");
+        assert_eq!(j.state, JobState::Pending);
+        assert_eq!(j.freq_override, None);
+    }
+}

@@ -1,0 +1,163 @@
+//! The research-area composition of the ARCHER2 workload.
+//!
+//! §1.1 of the paper: "the major research areas being materials science,
+//! climate/ocean modelling, biomolecular modelling, engineering, mineral
+//! physics, seismology and plasma physics". The weights below follow the
+//! published ARCHER2 usage reports (materials science codes VASP/CASTEP/CP2K
+//! dominate, followed by climate/ocean and biomolecular work) and determine
+//! which application profile each generated job runs.
+
+use serde::{Deserialize, Serialize};
+use sim_core::dist::{Categorical, Distribution};
+use sim_core::rng::Rng;
+
+/// Research areas active on ARCHER2 (§1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResearchArea {
+    /// Materials science (VASP, CASTEP, CP2K, ONETEP) — the largest share.
+    MaterialsScience,
+    /// Climate and ocean modelling.
+    ClimateOcean,
+    /// Biomolecular modelling (GROMACS, NAMD).
+    Biomolecular,
+    /// Engineering / CFD (Nektar++, OpenSBLI).
+    Engineering,
+    /// Mineral physics.
+    MineralPhysics,
+    /// Seismology.
+    Seismology,
+    /// Plasma physics.
+    PlasmaPhysics,
+    /// Everything else (chemistry, astro, data science).
+    Other,
+}
+
+impl ResearchArea {
+    /// All areas in declaration order.
+    pub const ALL: [ResearchArea; 8] = [
+        ResearchArea::MaterialsScience,
+        ResearchArea::ClimateOcean,
+        ResearchArea::Biomolecular,
+        ResearchArea::Engineering,
+        ResearchArea::MineralPhysics,
+        ResearchArea::Seismology,
+        ResearchArea::PlasmaPhysics,
+        ResearchArea::Other,
+    ];
+}
+
+impl std::fmt::Display for ResearchArea {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ResearchArea::MaterialsScience => "materials science",
+            ResearchArea::ClimateOcean => "climate/ocean modelling",
+            ResearchArea::Biomolecular => "biomolecular modelling",
+            ResearchArea::Engineering => "engineering",
+            ResearchArea::MineralPhysics => "mineral physics",
+            ResearchArea::Seismology => "seismology",
+            ResearchArea::PlasmaPhysics => "plasma physics",
+            ResearchArea::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Node-hour weights per research area.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    weights: Vec<f64>,
+    #[serde(skip)]
+    sampler: Option<Categorical>,
+}
+
+impl PartialEq for WorkloadMix {
+    fn eq(&self, other: &Self) -> bool {
+        // The sampler is a pure function of the weights.
+        self.weights == other.weights
+    }
+}
+
+impl WorkloadMix {
+    /// The ARCHER2-like default mix (node-hour shares).
+    pub fn archer2() -> Self {
+        // Shares follow the HPC-JEEP usage reports (paper ref [3]):
+        // materials science ≈ 40 %, climate/ocean ≈ 20 %, bio ≈ 10 %, …
+        WorkloadMix::new(vec![0.40, 0.20, 0.10, 0.10, 0.06, 0.05, 0.05, 0.04])
+    }
+
+    /// Build from explicit weights (one per [`ResearchArea::ALL`] entry).
+    ///
+    /// # Panics
+    /// Panics if the weight count differs from the area count or the
+    /// weights are invalid for a categorical distribution.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), ResearchArea::ALL.len(), "one weight per research area");
+        let sampler = Categorical::new(&weights);
+        WorkloadMix {
+            weights,
+            sampler: Some(sampler),
+        }
+    }
+
+    /// Normalised share of an area.
+    pub fn share(&self, area: ResearchArea) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        let idx = ResearchArea::ALL.iter().position(|a| *a == area).expect("known area");
+        self.weights[idx] / total
+    }
+
+    /// Draw a research area according to the mix.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> ResearchArea {
+        let sampler = self.sampler.as_ref().expect("sampler built in constructor");
+        ResearchArea::ALL[sampler.sample(rng)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn archer2_mix_sums_to_one() {
+        let mix = WorkloadMix::archer2();
+        let total: f64 = ResearchArea::ALL.iter().map(|&a| mix.share(a)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn materials_science_dominates() {
+        // §1.1 lists materials science first among the major areas.
+        let mix = WorkloadMix::archer2();
+        let ms = mix.share(ResearchArea::MaterialsScience);
+        for &a in &ResearchArea::ALL[1..] {
+            assert!(ms > mix.share(a), "materials science should be the largest share");
+        }
+    }
+
+    #[test]
+    fn sampling_matches_shares() {
+        let mix = WorkloadMix::archer2();
+        let mut rng = Xoshiro256StarStar::seeded(5);
+        let n = 100_000;
+        let mut count = 0u32;
+        for _ in 0..n {
+            if mix.sample(&mut rng) == ResearchArea::MaterialsScience {
+                count += 1;
+            }
+        }
+        let frac = count as f64 / n as f64;
+        assert!((frac - 0.40).abs() < 0.01, "materials share {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per research area")]
+    fn wrong_weight_count_rejected() {
+        let _ = WorkloadMix::new(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ResearchArea::ClimateOcean.to_string(), "climate/ocean modelling");
+    }
+}

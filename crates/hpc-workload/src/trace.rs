@@ -1,0 +1,218 @@
+//! Job-trace recording and JSON serialisation.
+//!
+//! The HPC-JEEP work the paper builds on (ref [3]) reports per-application
+//! energy use from job accounting records; this module produces the same
+//! kind of record from the simulation — one entry per completed job with
+//! its shape, timing, operating point and energy — and round-trips it
+//! through JSON so traces can be archived, diffed and replayed.
+
+use crate::app::OperatingPoint;
+use crate::job::JobId;
+use crate::mix::ResearchArea;
+use serde::{Deserialize, Serialize};
+use sim_core::time::{SimDuration, SimTime};
+
+/// One completed-job accounting record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Job identifier.
+    pub job: JobId,
+    /// Application name.
+    pub app: String,
+    /// Research area.
+    pub area: ResearchArea,
+    /// Whole nodes used.
+    pub nodes: u32,
+    /// Submission instant.
+    pub submitted: SimTime,
+    /// Start instant.
+    pub started: SimTime,
+    /// End instant.
+    pub ended: SimTime,
+    /// Operating point the job ran at.
+    pub op: OperatingPoint,
+    /// Mean node power while running (W).
+    pub node_power_w: f64,
+}
+
+impl TraceEntry {
+    /// Queue wait before starting.
+    pub fn wait(&self) -> SimDuration {
+        self.started.saturating_since(self.submitted)
+    }
+
+    /// Execution time.
+    pub fn runtime(&self) -> SimDuration {
+        self.ended.saturating_since(self.started)
+    }
+
+    /// Node-hours consumed.
+    pub fn node_hours(&self) -> f64 {
+        self.nodes as f64 * self.runtime().as_hours_f64()
+    }
+
+    /// Energy consumed on compute nodes (kWh) — the HPC-JEEP metric.
+    pub fn energy_kwh(&self) -> f64 {
+        self.node_power_w * self.nodes as f64 * self.runtime().as_hours_f64() / 1000.0
+    }
+}
+
+/// A whole trace: entries ordered by end time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl JobTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        JobTrace::default()
+    }
+
+    /// Append a completed job (entries must arrive in end-time order, as
+    /// they do from a simulation).
+    ///
+    /// # Panics
+    /// Panics if the entry ends before the previous one (out-of-order
+    /// accounting corrupts downstream windowed statistics).
+    pub fn push(&mut self, entry: TraceEntry) {
+        if let Some(last) = self.entries.last() {
+            assert!(entry.ended >= last.ended, "trace entries must be end-ordered");
+        }
+        self.entries.push(entry);
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total node-hours in the trace.
+    pub fn total_node_hours(&self) -> f64 {
+        self.entries.iter().map(TraceEntry::node_hours).sum()
+    }
+
+    /// Total compute-node energy (kWh).
+    pub fn total_energy_kwh(&self) -> f64 {
+        self.entries.iter().map(TraceEntry::energy_kwh).sum()
+    }
+
+    /// Node-hour share per application name, descending — the HPC-JEEP
+    /// "who uses the machine" table.
+    pub fn node_hours_by_app(&self) -> Vec<(String, f64)> {
+        let mut map: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
+        for e in &self.entries {
+            *map.entry(e.app.as_str()).or_default() += e.node_hours();
+        }
+        let mut v: Vec<(String, f64)> = map.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite node-hours"));
+        v
+    }
+
+    /// Mean energy per node-hour (kWh) — the fleet efficiency figure.
+    pub fn mean_kwh_per_node_hour(&self) -> f64 {
+        let nh = self.total_node_hours();
+        if nh == 0.0 {
+            0.0
+        } else {
+            self.total_energy_kwh() / nh
+        }
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialises")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_power::{DeterminismMode, FreqSetting};
+
+    fn entry(id: u64, end_h: u64) -> TraceEntry {
+        TraceEntry {
+            job: JobId(id),
+            app: if id.is_multiple_of(2) { "VASP CdTe" } else { "LAMMPS Ethanol" }.to_string(),
+            area: ResearchArea::MaterialsScience,
+            nodes: 4,
+            submitted: SimTime::from_unix(0),
+            started: SimTime::from_unix(3600),
+            ended: SimTime::from_unix(3600 + end_h * 3600),
+            op: OperatingPoint {
+                setting: FreqSetting::Mid2000,
+                mode: DeterminismMode::Performance,
+            },
+            node_power_w: 400.0,
+        }
+    }
+
+    #[test]
+    fn entry_derived_quantities() {
+        let e = entry(1, 2);
+        assert_eq!(e.wait().as_secs(), 3600);
+        assert_eq!(e.runtime().as_secs(), 7200);
+        assert!((e.node_hours() - 8.0).abs() < 1e-12);
+        // 400 W × 4 nodes × 2 h = 3.2 kWh.
+        assert!((e.energy_kwh() - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_aggregates() {
+        let mut t = JobTrace::new();
+        t.push(entry(0, 1));
+        t.push(entry(1, 2));
+        t.push(entry(2, 3));
+        assert_eq!(t.len(), 3);
+        assert!((t.total_node_hours() - 24.0).abs() < 1e-12);
+        assert!((t.total_energy_kwh() - 9.6).abs() < 1e-9);
+        assert!((t.mean_kwh_per_node_hour() - 0.4).abs() < 1e-12);
+
+        let by_app = t.node_hours_by_app();
+        assert_eq!(by_app[0].0, "VASP CdTe"); // jobs 0 and 2: 4 + 12 h
+        assert!((by_app[0].1 - 16.0).abs() < 1e-12);
+        assert!((by_app[1].1 - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = JobTrace::new();
+        t.push(entry(0, 1));
+        t.push(entry(1, 5));
+        let json = t.to_json();
+        let back = JobTrace::from_json(&json).unwrap();
+        assert_eq!(t, back);
+        assert!(json.contains("VASP CdTe"));
+    }
+
+    #[test]
+    fn empty_trace_is_sane() {
+        let t = JobTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.mean_kwh_per_node_hour(), 0.0);
+        assert!(JobTrace::from_json(&t.to_json()).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "end-ordered")]
+    fn out_of_order_rejected() {
+        let mut t = JobTrace::new();
+        t.push(entry(0, 5));
+        t.push(entry(1, 1));
+    }
+}

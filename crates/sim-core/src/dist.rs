@@ -1,0 +1,462 @@
+//! Random distributions built on the [`crate::rng`] generators.
+//!
+//! The workload generator draws job sizes, walltimes and inter-arrival gaps
+//! from these; the power model draws per-chip silicon quality. Everything is
+//! implemented by inverse transform or Box–Muller so the stream of raw `u64`
+//! draws (and therefore the whole simulation) is deterministic.
+
+use crate::rng::Rng;
+
+/// A distribution over `f64` values (or indices, for [`Categorical`]).
+pub trait Distribution {
+    /// The sample type.
+    type Output;
+
+    /// Draw one sample.
+    fn sample<R: Rng>(&self, rng: &mut R) -> Self::Output;
+
+    /// The distribution mean, where defined (used by tests and by load
+    /// calculations that need expected values without sampling).
+    fn mean(&self) -> f64;
+}
+
+/// Continuous uniform on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Create a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid uniform bounds [{lo}, {hi})");
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    type Output = f64;
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.next_f64()
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Exponential with rate `lambda` (mean `1/lambda`); inter-arrival gaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Create from rate `lambda > 0`.
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite rate.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "invalid exponential rate {lambda}");
+        Exponential { lambda }
+    }
+
+    /// Create from the mean (`1/lambda`).
+    pub fn from_mean(mean: f64) -> Self {
+        Exponential::new(1.0 / mean)
+    }
+}
+
+impl Distribution for Exponential {
+    type Output = f64;
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Inverse transform; 1 - u avoids ln(0).
+        -(1.0 - rng.next_f64()).ln() / self.lambda
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+}
+
+/// Normal via Box–Muller (both variates used, cached — but statelessly we
+/// draw a fresh pair per sample to stay `&self`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Create from mean `mu` and standard deviation `sigma >= 0`.
+    ///
+    /// # Panics
+    /// Panics on non-finite parameters or negative `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "invalid normal ({mu}, {sigma})");
+        Normal { mu, sigma }
+    }
+
+    /// Standard normal draw used internally by `Normal` and `LogNormal`.
+    fn standard<R: Rng>(rng: &mut R) -> f64 {
+        // Box–Muller, using one variate of the pair.
+        let u1 = 1.0 - rng.next_f64(); // (0, 1]
+        let u2 = rng.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution for Normal {
+    type Output = f64;
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * Normal::standard(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+}
+
+/// Log-normal: `exp(N(mu, sigma))`. Job walltimes and silicon leakage factors
+/// are classically log-normal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create from the parameters of the underlying normal.
+    ///
+    /// # Panics
+    /// Panics on non-finite parameters or negative `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "invalid lognormal ({mu}, {sigma})");
+        LogNormal { mu, sigma }
+    }
+
+    /// Create from the desired *distribution* mean and the sigma of the
+    /// underlying normal — convenient for "mean 1.0, 5% spread" silicon
+    /// quality factors.
+    pub fn from_mean(mean: f64, sigma: f64) -> Self {
+        assert!(mean > 0.0, "lognormal mean must be positive, got {mean}");
+        // E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+        LogNormal::new(mean.ln() - 0.5 * sigma * sigma, sigma)
+    }
+}
+
+impl Distribution for LogNormal {
+    type Output = f64;
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * Normal::standard(rng)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+}
+
+/// Weibull with shape `k` and scale `lambda`; heavy-ish tailed job runtimes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Create from shape `k > 0` and scale `lambda > 0`.
+    ///
+    /// # Panics
+    /// Panics on non-positive or non-finite parameters.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(
+            shape.is_finite() && scale.is_finite() && shape > 0.0 && scale > 0.0,
+            "invalid weibull (k={shape}, lambda={scale})"
+        );
+        Weibull { shape, scale }
+    }
+}
+
+impl Distribution for Weibull {
+    type Output = f64;
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let u = 1.0 - rng.next_f64(); // (0, 1]
+        self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+}
+
+/// Categorical distribution over `0..n` with given weights, using Vose's
+/// alias method for O(1) sampling — the research-area workload mix is drawn
+/// millions of times per campaign.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl Categorical {
+    /// Build the alias table from non-negative weights (at least one positive).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "categorical needs at least one weight");
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid categorical weight {w}");
+        }
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "categorical weights sum to zero");
+
+        let n = weights.len();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut scaled = scaled;
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for &l in &large {
+            prob[l] = 1.0;
+        }
+        for &s in &small {
+            prob[s] = 1.0;
+        }
+        Categorical {
+            prob,
+            alias,
+            weights: weights.to_vec(),
+            total,
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if there is exactly zero categories (never: constructor forbids).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Probability of category `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        self.weights[i] / self.total
+    }
+}
+
+impl Distribution for Categorical {
+    type Output = usize;
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| i as f64 * w / self.total)
+            .sum()
+    }
+}
+
+/// Lanczos approximation of the gamma function, used for the Weibull mean.
+fn gamma(x: f64) -> f64 {
+    // g = 7, n = 9 Lanczos coefficients.
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        std::f64::consts::TAU.sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+    use crate::stats::OnlineStats;
+
+    fn sample_stats<D: Distribution<Output = f64>>(d: &D, n: usize, seed: u64) -> OnlineStats {
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        let mut st = OnlineStats::new();
+        for _ in 0..n {
+            st.push(d.sample(&mut rng));
+        }
+        st
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(3.0) - 2.0).abs() < 1e-9);
+        assert!((gamma(4.0) - 6.0).abs() < 1e-9);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+        assert!((gamma(1.5) - 0.5 * std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Uniform::new(2.0, 6.0);
+        let st = sample_stats(&d, 50_000, 1);
+        assert!(st.min() >= 2.0 && st.max() < 6.0);
+        assert!((st.mean() - d.mean()).abs() < 0.05, "mean {}", st.mean());
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::from_mean(120.0);
+        let st = sample_stats(&d, 100_000, 2);
+        assert!((st.mean() - 120.0).abs() < 2.0, "mean {}", st.mean());
+        assert!(st.min() >= 0.0);
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let d = Normal::new(5.0, 2.0);
+        let st = sample_stats(&d, 200_000, 3);
+        assert!((st.mean() - 5.0).abs() < 0.03, "mean {}", st.mean());
+        assert!((st.std_dev() - 2.0).abs() < 0.03, "sd {}", st.std_dev());
+    }
+
+    #[test]
+    fn lognormal_from_mean_hits_target_mean() {
+        let d = LogNormal::from_mean(1.0, 0.05);
+        let st = sample_stats(&d, 200_000, 4);
+        assert!((st.mean() - 1.0).abs() < 0.002, "mean {}", st.mean());
+        assert!(st.min() > 0.0);
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weibull_mean_matches_analytic() {
+        let d = Weibull::new(1.5, 3600.0);
+        let st = sample_stats(&d, 200_000, 5);
+        let analytic = d.mean();
+        // Gamma(1 + 1/1.5) = Gamma(5/3) ~ 0.902745.
+        assert!((analytic - 3600.0 * 0.902_745).abs() < 1.0, "analytic {analytic}");
+        assert!((st.mean() - analytic).abs() < 0.01 * analytic, "mean {}", st.mean());
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let w = Weibull::new(1.0, 100.0);
+        assert!((w.mean() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn categorical_frequencies_match_weights() {
+        let d = Categorical::new(&[1.0, 2.0, 3.0, 4.0]);
+        let mut rng = Xoshiro256StarStar::seeded(6);
+        let n = 200_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..n {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let p = d.probability(i);
+            let expect = p * n as f64;
+            let sigma = (n as f64 * p * (1.0 - p)).sqrt();
+            assert!((c as f64 - expect).abs() < 5.0 * sigma, "cat {i}: {c} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn categorical_single_category() {
+        let d = Categorical::new(&[3.0]);
+        let mut rng = Xoshiro256StarStar::seeded(7);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 0);
+        }
+        assert_eq!(d.len(), 1);
+        assert!((d.probability(0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn categorical_zero_weight_category_never_drawn() {
+        let d = Categorical::new(&[1.0, 0.0, 1.0]);
+        let mut rng = Xoshiro256StarStar::seeded(8);
+        for _ in 0..50_000 {
+            assert_ne!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn categorical_all_zero_rejected() {
+        let _ = Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform bounds")]
+    fn uniform_reversed_bounds_rejected() {
+        let _ = Uniform::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let d = LogNormal::from_mean(1.0, 0.1);
+        let mut a = Xoshiro256StarStar::seeded(99);
+        let mut b = Xoshiro256StarStar::seeded(99);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a).to_bits(), d.sample(&mut b).to_bits());
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Reproducibility of the experiment campaign is a hard requirement (the
+//! `EXPERIMENTS.md` numbers must regenerate exactly), so the generators are
+//! implemented here from their published reference algorithms rather than
+//! taken from an external crate whose stream might change across versions:
+//!
+//! * [`SplitMix64`] — Steele, Lea & Flood (2014). Used to expand a single
+//!   `u64` seed into generator state and to derive independent per-component
+//!   substreams (one per node, per job source, …).
+//! * [`Xoshiro256StarStar`] — Blackman & Vigna (2018). The workhorse
+//!   generator: fast, 256-bit state, passes BigCrush.
+//!
+//! Both are tested against published reference vectors below.
+
+/// Minimal random-source trait used throughout the workspace.
+///
+/// Deliberately much smaller than `rand::RngCore`: simulation code only ever
+/// needs raw `u64`s and the float helpers built on top.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)`, using the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> [0,1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift rejection
+    /// method (unbiased).
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: only reached with probability < bound / 2^64.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` index in `[0, len)`.
+    fn index(&mut self, len: usize) -> usize {
+        self.next_below(len as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
+    fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// SplitMix64: tiny 64-bit-state generator, primarily used for seeding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the main simulation generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seed via SplitMix64 expansion, per the authors' recommendation.
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // All-zero state is invalid (fixed point); SplitMix64 cannot produce
+        // four consecutive zeros, but guard anyway for from_state parity.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256StarStar { s }
+    }
+
+    /// Construct directly from raw state (must not be all-zero).
+    ///
+    /// # Panics
+    /// Panics if `state` is all zeros.
+    pub fn from_state(state: [u64; 4]) -> Self {
+        assert!(state != [0; 4], "xoshiro256** state must be non-zero");
+        Xoshiro256StarStar { s: state }
+    }
+
+    /// Derive an independent substream for component `tag`.
+    ///
+    /// Substreams are produced by hashing `(root seed material, tag)` through
+    /// SplitMix64, which is how per-node and per-source generators stay
+    /// decorrelated while remaining a pure function of the campaign seed.
+    pub fn substream(&self, tag: u64) -> Self {
+        let mix = self.s[0] ^ self.s[1].rotate_left(17) ^ self.s[2].rotate_left(34) ^ self.s[3].rotate_left(51);
+        Xoshiro256StarStar::seeded(mix ^ tag.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+    }
+
+    /// Equivalent to 2^128 `next_u64` calls; yields non-overlapping sequences.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180E_C6D3_3CFD_0ABA,
+            0xD5A6_1266_F0C9_392C,
+            0xA958_2618_E03F_C9AA,
+            0x39AB_DC45_29B1_661C,
+        ];
+        let mut t = [0u64; 4];
+        for j in JUMP {
+            for b in 0..64 {
+                if (j & (1u64 << b)) != 0 {
+                    for (ti, si) in t.iter_mut().zip(self.s.iter()) {
+                        *ti ^= *si;
+                    }
+                }
+                let _ = self.next_u64();
+            }
+        }
+        self.s = t;
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_reference_vector() {
+        // Reference: output of the C reference implementation for seed 1234567.
+        let mut rng = SplitMix64::new(1234567);
+        let expected = [
+            6_457_827_717_110_365_317u64,
+            3_203_168_211_198_807_973,
+            9_817_491_932_198_370_423,
+            4_593_380_528_125_082_431,
+            16_408_922_859_458_223_821,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // Reference vector from the rand_xoshiro crate's test (state 1,2,3,4).
+        let mut rng = Xoshiro256StarStar::from_state([1, 2, 3, 4]);
+        let expected = [
+            11_520u64,
+            0,
+            1_509_978_240,
+            1_215_971_899_390_074_240,
+            1_216_172_134_540_287_360,
+            607_988_272_756_665_600,
+            16_172_922_978_634_559_625,
+            8_476_171_486_693_032_832,
+            10_595_114_339_597_558_777,
+            2_904_607_092_377_533_576,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Xoshiro256StarStar::seeded(42);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut rng = Xoshiro256StarStar::seeded(7);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = rng.next_below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear in 10k draws");
+    }
+
+    #[test]
+    fn next_below_approximately_uniform() {
+        let mut rng = Xoshiro256StarStar::seeded(99);
+        let n = 100_000;
+        let k = 7u64;
+        let mut counts = [0u32; 7];
+        for _ in 0..n {
+            counts[rng.next_below(k) as usize] += 1;
+        }
+        let expect = n as f64 / k as f64;
+        for c in counts {
+            // 5-sigma band for a binomial with p = 1/7.
+            let sigma = (n as f64 * (1.0 / 7.0) * (6.0 / 7.0)).sqrt();
+            assert!((c as f64 - expect).abs() < 5.0 * sigma, "count {c} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn substreams_are_decorrelated() {
+        let root = Xoshiro256StarStar::seeded(2022);
+        let mut a = root.substream(1);
+        let mut b = root.substream(2);
+        let mut same = 0;
+        for _ in 0..1000 {
+            if a.next_u64() == b.next_u64() {
+                same += 1;
+            }
+        }
+        assert_eq!(same, 0, "distinct substreams should not collide");
+    }
+
+    #[test]
+    fn substreams_are_reproducible() {
+        let root = Xoshiro256StarStar::seeded(2022);
+        let mut a1 = root.substream(77);
+        let mut a2 = root.substream(77);
+        for _ in 0..100 {
+            assert_eq!(a1.next_u64(), a2.next_u64());
+        }
+    }
+
+    #[test]
+    fn jump_produces_disjoint_streams() {
+        let mut a = Xoshiro256StarStar::seeded(5);
+        let mut b = a.clone();
+        b.jump();
+        let head_a: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let head_b: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_ne!(head_a, head_b);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256StarStar::seeded(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle of 100 items should move something");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_state_rejected() {
+        let _ = Xoshiro256StarStar::from_state([0; 4]);
+    }
+}

@@ -1,0 +1,256 @@
+//! The simulation driver: a clock, an event queue and a [`World`] that
+//! handles events.
+//!
+//! The split between driver and world keeps domain crates (`hpc-sched`,
+//! `archer2-core`) free of queue mechanics: they implement [`World::handle`]
+//! and schedule follow-on events through the [`Scheduler`] handle they are
+//! given.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// Handle through which a [`World`] schedules future events during
+/// [`World::handle`]. Wraps the queue so worlds cannot pop or reorder.
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<E> Scheduler<'_, E> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule an event at an absolute instant.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past — causality violations are
+    /// always bugs in the world implementation.
+    pub fn at(&mut self, at: SimTime, payload: E) {
+        assert!(at >= self.now, "cannot schedule into the past: {at:?} < {:?}", self.now);
+        self.queue.schedule(at, payload);
+    }
+
+    /// Schedule an event `delay` after now.
+    pub fn after(&mut self, delay: crate::time::SimDuration, payload: E) {
+        self.queue.schedule(self.now + delay, payload);
+    }
+}
+
+/// A simulated world: consumes events, mutates itself, schedules more.
+pub trait World {
+    /// Event payload type.
+    type Event;
+
+    /// Handle `event` firing at `sched.now()`.
+    fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+}
+
+/// Outcome of driving the simulation one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An event was processed at the contained time.
+    Advanced(SimTime),
+    /// No events remain.
+    Exhausted,
+    /// The next event lies beyond the supplied horizon; nothing was processed.
+    ReachedHorizon,
+}
+
+/// The simulation: owns the clock, the queue and the world.
+#[derive(Debug)]
+pub struct Simulation<W: World> {
+    now: SimTime,
+    queue: EventQueue<W::Event>,
+    world: W,
+    processed: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Create a simulation starting at `start`.
+    pub fn new(start: SimTime, world: W) -> Self {
+        Simulation {
+            now: start,
+            queue: EventQueue::new(),
+            world,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (for between-run reconfiguration such as
+    /// the paper's BIOS and frequency changes).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the simulation and return the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an initial/external event.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current simulation time.
+    pub fn schedule(&mut self, at: SimTime, payload: W::Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule(at, payload);
+    }
+
+    /// Process the single earliest event, if it fires at or before `horizon`.
+    pub fn step(&mut self, horizon: SimTime) -> StepOutcome {
+        match self.queue.peek_time() {
+            None => StepOutcome::Exhausted,
+            Some(t) if t > horizon => StepOutcome::ReachedHorizon,
+            Some(_) => {
+                let ev = self.queue.pop().expect("peeked event vanished");
+                self.now = ev.at;
+                let mut sched = Scheduler {
+                    now: self.now,
+                    queue: &mut self.queue,
+                };
+                self.world.handle(ev.payload, &mut sched);
+                self.processed += 1;
+                StepOutcome::Advanced(self.now)
+            }
+        }
+    }
+
+    /// Run until the queue is exhausted or the next event is beyond
+    /// `horizon`; the clock is then advanced to `horizon`.
+    ///
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let before = self.processed;
+        while let StepOutcome::Advanced(_) = self.step(horizon) {}
+        if horizon > self.now {
+            self.now = horizon;
+        }
+        self.processed - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A toy world: a ping-pong process that counts bounces.
+    struct PingPong {
+        bounces: u32,
+        limit: u32,
+        log: Vec<(SimTime, &'static str)>,
+    }
+
+    #[derive(Debug)]
+    enum PpEvent {
+        Ping,
+        Pong,
+    }
+
+    impl World for PingPong {
+        type Event = PpEvent;
+
+        fn handle(&mut self, event: PpEvent, sched: &mut Scheduler<'_, PpEvent>) {
+            match event {
+                PpEvent::Ping => {
+                    self.log.push((sched.now(), "ping"));
+                    if self.bounces < self.limit {
+                        sched.after(SimDuration::from_secs(1), PpEvent::Pong);
+                    }
+                }
+                PpEvent::Pong => {
+                    self.log.push((sched.now(), "pong"));
+                    self.bounces += 1;
+                    sched.after(SimDuration::from_secs(1), PpEvent::Ping);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_terminates_and_orders() {
+        let world = PingPong {
+            bounces: 0,
+            limit: 3,
+            log: vec![],
+        };
+        let mut sim = Simulation::new(SimTime::EPOCH, world);
+        sim.schedule(SimTime::EPOCH, PpEvent::Ping);
+        let n = sim.run_until(SimTime::from_unix(1000));
+        // ping@0, pong@1, ping@2, pong@3, ping@4, pong@5, ping@6 => 7 events.
+        assert_eq!(n, 7);
+        let w = sim.world();
+        assert_eq!(w.bounces, 3);
+        assert_eq!(w.log.len(), 7);
+        for (i, (t, _)) in w.log.iter().enumerate() {
+            assert_eq!(t.as_unix(), i as u64);
+        }
+    }
+
+    #[test]
+    fn horizon_stops_processing_and_advances_clock() {
+        let world = PingPong {
+            bounces: 0,
+            limit: u32::MAX,
+            log: vec![],
+        };
+        let mut sim = Simulation::new(SimTime::EPOCH, world);
+        sim.schedule(SimTime::EPOCH, PpEvent::Ping);
+        let horizon = SimTime::from_unix(10);
+        sim.run_until(horizon);
+        assert_eq!(sim.now(), horizon);
+        // Events at t=0..=10 processed: 11 of them.
+        assert_eq!(sim.events_processed(), 11);
+        assert!(sim.events_pending() > 0);
+        // Continue: processing resumes where it left off.
+        sim.run_until(SimTime::from_unix(20));
+        assert_eq!(sim.events_processed(), 21);
+    }
+
+    #[test]
+    fn exhausted_queue_reports_and_clock_moves_to_horizon() {
+        let world = PingPong {
+            bounces: 0,
+            limit: 0,
+            log: vec![],
+        };
+        let mut sim = Simulation::new(SimTime::EPOCH, world);
+        assert_eq!(sim.step(SimTime::from_unix(100)), StepOutcome::Exhausted);
+        sim.run_until(SimTime::from_unix(50));
+        assert_eq!(sim.now(), SimTime::from_unix(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let world = PingPong {
+            bounces: 0,
+            limit: 0,
+            log: vec![],
+        };
+        let mut sim = Simulation::new(SimTime::from_unix(100), world);
+        sim.schedule(SimTime::from_unix(50), PpEvent::Ping);
+    }
+}

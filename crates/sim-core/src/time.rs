@@ -1,0 +1,461 @@
+//! Simulation time: integer seconds with calendar helpers.
+//!
+//! The paper's measurement windows are calendar months (Figure 1: Dec 2021 –
+//! Apr 2022; Figure 2: Apr – May 2022; Figure 3: Nov – Dec 2022). To label
+//! simulated series the same way, [`SimTime`] counts whole seconds from the
+//! Unix epoch and converts to/from a proleptic Gregorian [`Stamp`] without
+//! pulling in a date-time dependency. Leap seconds are ignored, exactly as in
+//! Unix time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A span of simulated time, in whole seconds.
+///
+/// Kept separate from [`SimTime`] so that the type system rules out adding
+/// two absolute instants together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// Construct from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60)
+    }
+
+    /// Construct from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3600)
+    }
+
+    /// Construct from whole days.
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * 86_400)
+    }
+
+    /// The span in whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The span in (fractional) hours; convenient for kWh arithmetic.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// The span in (fractional) days.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply the duration by an integer factor.
+    pub const fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+
+    /// True if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        let (d, rem) = (s / 86_400, s % 86_400);
+        let (h, rem) = (rem / 3600, rem % 3600);
+        let (m, sec) = (rem / 60, rem % 60);
+        if d > 0 {
+            write!(f, "{d}d{h:02}h{m:02}m{sec:02}s")
+        } else if h > 0 {
+            write!(f, "{h}h{m:02}m{sec:02}s")
+        } else if m > 0 {
+            write!(f, "{m}m{sec:02}s")
+        } else {
+            write!(f, "{sec}s")
+        }
+    }
+}
+
+/// An absolute simulated instant: whole seconds since 1970-01-01T00:00:00.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The epoch, 1970-01-01T00:00:00.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Construct from seconds since the epoch.
+    pub const fn from_unix(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Seconds since the epoch.
+    pub const fn as_unix(self) -> u64 {
+        self.0
+    }
+
+    /// Construct from a calendar date (midnight UTC).
+    ///
+    /// # Panics
+    /// Panics if the date is invalid or earlier than 1970.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Self {
+        let stamp = Stamp {
+            year,
+            month,
+            day,
+            hour: 0,
+            minute: 0,
+            second: 0,
+        };
+        stamp.to_sim_time()
+    }
+
+    /// Construct from a calendar date and time of day (UTC).
+    pub fn from_ymd_hms(year: i32, month: u32, day: u32, hour: u32, minute: u32, second: u32) -> Self {
+        Stamp {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+        }
+        .to_sim_time()
+    }
+
+    /// Break this instant into calendar components.
+    pub fn stamp(self) -> Stamp {
+        Stamp::from_sim_time(self)
+    }
+
+    /// Duration since an earlier instant.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is after `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier.0 <= self.0, "since() called with a later instant");
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating duration since another instant (zero if `other` is later).
+    pub fn saturating_since(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Fractional hour-of-day in `[0, 24)`; used by diurnal models.
+    pub fn hour_of_day_f64(self) -> f64 {
+        (self.0 % 86_400) as f64 / 3600.0
+    }
+
+    /// Day-of-year in `[0, 365/366)`, fractional; used by seasonal models.
+    pub fn day_of_year_f64(self) -> f64 {
+        let stamp = self.stamp();
+        let jan1 = SimTime::from_ymd(stamp.year, 1, 1);
+        self.since(jan1).as_days_f64()
+    }
+
+    /// Whole days since the epoch.
+    pub const fn days_since_epoch(self) -> u64 {
+        self.0 / 86_400
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<SimDuration> for SimTime {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.stamp())
+    }
+}
+
+/// Broken-down calendar representation of a [`SimTime`] (UTC, proleptic
+/// Gregorian, no leap seconds — i.e. ordinary Unix time semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamp {
+    /// Calendar year, e.g. `2022`.
+    pub year: i32,
+    /// Month `1..=12`.
+    pub month: u32,
+    /// Day of month `1..=31`.
+    pub day: u32,
+    /// Hour `0..=23`.
+    pub hour: u32,
+    /// Minute `0..=59`.
+    pub minute: u32,
+    /// Second `0..=59`.
+    pub second: u32,
+}
+
+/// Is `year` a Gregorian leap year?
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Days in the given month of the given year.
+///
+/// # Panics
+/// Panics if `month` is not in `1..=12`.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+/// Days from 1970-01-01 to `year`-01-01 (years ≥ 1970 only).
+fn days_to_year(year: i32) -> u64 {
+    assert!(year >= 1970, "SimTime only supports years >= 1970, got {year}");
+    let mut days = 0u64;
+    for y in 1970..year {
+        days += if is_leap_year(y) { 366 } else { 365 };
+    }
+    days
+}
+
+impl Stamp {
+    /// Convert to an absolute instant.
+    ///
+    /// # Panics
+    /// Panics if the components do not form a valid date-time in or after 1970.
+    pub fn to_sim_time(self) -> SimTime {
+        assert!((1..=12).contains(&self.month), "invalid month {}", self.month);
+        assert!(
+            self.day >= 1 && self.day <= days_in_month(self.year, self.month),
+            "invalid day {} for {}-{:02}",
+            self.day,
+            self.year,
+            self.month
+        );
+        assert!(self.hour < 24 && self.minute < 60 && self.second < 60, "invalid time of day");
+        let mut days = days_to_year(self.year);
+        for m in 1..self.month {
+            days += days_in_month(self.year, m) as u64;
+        }
+        days += (self.day - 1) as u64;
+        let secs = days * 86_400 + (self.hour as u64) * 3600 + (self.minute as u64) * 60 + self.second as u64;
+        SimTime::from_unix(secs)
+    }
+
+    /// Break an absolute instant into calendar components.
+    pub fn from_sim_time(t: SimTime) -> Stamp {
+        let mut days = t.as_unix() / 86_400;
+        let rem = t.as_unix() % 86_400;
+        let mut year = 1970;
+        loop {
+            let ydays = if is_leap_year(year) { 366 } else { 365 };
+            if days < ydays {
+                break;
+            }
+            days -= ydays;
+            year += 1;
+        }
+        let mut month = 1;
+        loop {
+            let mdays = days_in_month(year, month) as u64;
+            if days < mdays {
+                break;
+            }
+            days -= mdays;
+            month += 1;
+        }
+        Stamp {
+            year,
+            month,
+            day: days as u32 + 1,
+            hour: (rem / 3600) as u32,
+            minute: ((rem % 3600) / 60) as u32,
+            second: (rem % 60) as u32,
+        }
+    }
+
+    /// English month abbreviation ("Jan", …, "Dec").
+    pub fn month_abbrev(&self) -> &'static str {
+        const NAMES: [&str; 12] = [
+            "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+        ];
+        NAMES[(self.month - 1) as usize]
+    }
+}
+
+impl fmt::Display for Stamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
+            self.year, self.month, self.day, self.hour, self.minute, self.second
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_roundtrip() {
+        let t = SimTime::EPOCH;
+        let s = t.stamp();
+        assert_eq!((s.year, s.month, s.day), (1970, 1, 1));
+        assert_eq!(s.to_sim_time(), t);
+    }
+
+    #[test]
+    fn paper_window_dates_roundtrip() {
+        // The measurement windows used in the paper's figures.
+        for (y, m, d) in [
+            (2021, 12, 1),
+            (2022, 4, 1),
+            (2022, 5, 15),
+            (2022, 11, 1),
+            (2022, 12, 31),
+        ] {
+            let t = SimTime::from_ymd(y, m, d);
+            let s = t.stamp();
+            assert_eq!((s.year, s.month, s.day), (y, m, d));
+            assert_eq!((s.hour, s.minute, s.second), (0, 0, 0));
+        }
+    }
+
+    #[test]
+    fn known_unix_timestamps() {
+        // 2021-12-01T00:00:00Z == 1638316800 (independently known value).
+        assert_eq!(SimTime::from_ymd(2021, 12, 1).as_unix(), 1_638_316_800);
+        // 2022-05-01T00:00:00Z == 1651363200.
+        assert_eq!(SimTime::from_ymd(2022, 5, 1).as_unix(), 1_651_363_200);
+        // 2000-02-29 existed (leap year divisible by 400).
+        assert_eq!(SimTime::from_ymd(2000, 3, 1).as_unix() - SimTime::from_ymd(2000, 2, 29).as_unix(), 86_400);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2024));
+        assert!(!is_leap_year(2023));
+        assert_eq!(days_in_month(2024, 2), 29);
+        assert_eq!(days_in_month(2023, 2), 28);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let start = SimTime::from_ymd(2022, 4, 1);
+        let end = start + SimDuration::from_days(30);
+        let s = end.stamp();
+        assert_eq!((s.year, s.month, s.day), (2022, 5, 1));
+        assert_eq!(end.since(start).as_days_f64(), 30.0);
+        assert_eq!(start.saturating_since(end), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_display() {
+        assert_eq!(SimDuration::from_secs(42).to_string(), "42s");
+        assert_eq!(SimDuration::from_mins(5).to_string(), "5m00s");
+        assert_eq!(SimDuration::from_hours(2).to_string(), "2h00m00s");
+        assert_eq!(
+            (SimDuration::from_days(1) + SimDuration::from_hours(1)).to_string(),
+            "1d01h00m00s"
+        );
+    }
+
+    #[test]
+    fn hour_of_day_and_day_of_year() {
+        let t = SimTime::from_ymd_hms(2022, 1, 1, 6, 0, 0);
+        assert!((t.hour_of_day_f64() - 6.0).abs() < 1e-12);
+        assert!((t.day_of_year_f64() - 0.25).abs() < 1e-12);
+        let t2 = SimTime::from_ymd(2022, 2, 1);
+        assert!((t2.day_of_year_f64() - 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::from_ymd_hms(2022, 12, 24, 18, 30, 5);
+        assert_eq!(t.to_string(), "2022-12-24T18:30:05Z");
+        assert_eq!(t.stamp().month_abbrev(), "Dec");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid day")]
+    fn invalid_date_panics() {
+        let _ = SimTime::from_ymd(2022, 2, 30);
+    }
+
+    #[test]
+    fn stamp_roundtrip_dense_sweep() {
+        // Every 8191 seconds across several years, the roundtrip must hold.
+        let start = SimTime::from_ymd(2020, 1, 1).as_unix();
+        let end = SimTime::from_ymd(2025, 1, 1).as_unix();
+        let mut t = start;
+        while t < end {
+            let st = SimTime::from_unix(t);
+            assert_eq!(st.stamp().to_sim_time(), st);
+            t += 8191;
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! §2 of the paper as a runnable analysis: when should a facility trade
+//! application performance for energy efficiency?
+//!
+//! Sweeps grid carbon intensity through the paper's three regimes, prints
+//! the scope-2/scope-3 balance and the emissions-optimal operating point at
+//! each level, then evaluates whole-service-life scenarios under flat and
+//! decarbonising grid trajectories.
+//!
+//! ```text
+//! cargo run --release --example emissions_scenarios
+//! ```
+
+use archer2_repro::core::experiment;
+use archer2_repro::emissions::scenario::archer2_scenario;
+use archer2_repro::emissions::OperatingChoice;
+use archer2_repro::grid::IntensityScenario;
+
+fn main() {
+    let seed = 2022;
+
+    println!("=== Section 2: emissions regimes ===");
+    let analysis = experiment::emissions_regimes(seed);
+    println!("{}", experiment::render_regimes(&analysis));
+    if let Some(ci) = analysis.crossover_to("2.0 GHz") {
+        println!("-> the 2.0 GHz cap becomes emissions-optimal above ~{ci:.0} gCO2/kWh");
+    }
+    println!();
+
+    // --- Lifetime scenarios ----------------------------------------------
+    println!("=== Service-lifetime scenarios (6-year life, 92% utilisation) ===");
+    let choices = [
+        OperatingChoice {
+            label: "2.25 GHz+turbo".into(),
+            node_power_kw: 0.49,
+            runtime_ratio: 1.0,
+        },
+        OperatingChoice {
+            label: "2.0 GHz".into(),
+            node_power_kw: 0.39,
+            runtime_ratio: 1.11,
+        },
+    ];
+    let trajectories = [
+        ("zero-carbon grid (0 g/kWh)", IntensityScenario::Flat(0.0)),
+        ("balanced band (65 g/kWh)", IntensityScenario::Flat(65.0)),
+        ("UK grid 2022 (~200 g/kWh)", IntensityScenario::UkGrid2022),
+        (
+            "decarbonising 200 -> 20 g/kWh over the life",
+            IntensityScenario::Decarbonising {
+                start_g: 200.0,
+                end_g: 20.0,
+                start_year: 2021,
+                end_year: 2027,
+            },
+        ),
+    ];
+
+    for (label, traj) in trajectories {
+        println!("--- {label} ---");
+        let scenario = archer2_scenario(traj);
+        for out in scenario.compare(&choices) {
+            println!(
+                "  {:<16} scope2 {:>7.0} t, scope3 {:>6.0} t, total {:>7.0} tCO2e, \
+                 {:>6.1} g/work-unit, {:>5.0} GWh",
+                out.label,
+                out.scope2_t,
+                out.scope3_t,
+                out.total_t(),
+                out.g_per_work_unit,
+                out.energy_gwh,
+            );
+        }
+        let outs = scenario.compare(&choices);
+        let best = if outs[0].g_per_work_unit <= outs[1].g_per_work_unit {
+            &outs[0]
+        } else {
+            &outs[1]
+        };
+        println!("  => emissions-optimal: {}", best.label);
+        println!();
+    }
+
+    println!("The paper's rule (Section 2): below ~30 g/kWh embodied emissions dominate —");
+    println!("optimise application performance; above ~100 g/kWh operational emissions");
+    println!("dominate — optimise energy efficiency; in between, balance the two.");
+}

@@ -1,0 +1,60 @@
+//! The per-application frequency policy the paper actually deployed (§4.2):
+//! a blanket 2.0 GHz default, with the module system resetting codes whose
+//! expected slowdown exceeds 10 % back to 2.25 GHz+turbo.
+//!
+//! Prints the full frequency sweep for every catalog benchmark (an
+//! extension of Table 4 down to 1.5 GHz), the policy decision per code, and
+//! a campaign-level comparison of blanket vs auto-revert policies.
+//!
+//! ```text
+//! cargo run --release --example frequency_policy
+//! ```
+
+use archer2_repro::core::experiment;
+
+fn main() {
+    let seed = 2022;
+
+    println!("=== Frequency sweep per benchmark (perf / energy vs 2.25 GHz+turbo) ===");
+    println!(
+        "{:<24} {:>7} {:>7} {:>7}   {:>7} {:>7} {:>7}   module policy",
+        "benchmark", "p(1.5)", "p(2.0)", "p(2.25)", "e(1.5)", "e(2.0)", "e(2.25)"
+    );
+    for row in experiment::frequency_sweep(seed) {
+        let policy = if row.perf[1] < 0.90 {
+            "reset to 2.25 GHz+turbo"
+        } else {
+            "default 2.0 GHz"
+        };
+        println!(
+            "{:<24} {:>7.2} {:>7.2} {:>7.2}   {:>7.2} {:>7.2} {:>7.2}   {}",
+            row.benchmark,
+            row.perf[0],
+            row.perf[1],
+            row.perf[2],
+            row.energy[0],
+            row.energy[1],
+            row.energy[2],
+            policy
+        );
+    }
+    println!();
+    println!("(The paper: \"applications where the reduction in frequency is expected to");
+    println!(" have a large negative impact on performance (>10%) had their module setup");
+    println!(" altered to reset the CPU frequency to 2.25 GHz\".)");
+    println!();
+
+    println!("=== Campaign-level policy ablation (14 simulated days at 2.0 GHz default) ===");
+    for row in experiment::policy_ablation(seed, 10) {
+        println!(
+            "  {:<26} mean {:>5.0} kW, {:>4.1}% of jobs reverted to turbo",
+            row.policy,
+            row.mean_kw,
+            row.revert_fraction * 100.0
+        );
+    }
+    println!();
+    println!("Blanket capping saves the most power; the auto-revert deployment gives most");
+    println!("of the saving while shielding the codes that pay heavily for the cap —");
+    println!("exactly the trade-off the service chose.");
+}

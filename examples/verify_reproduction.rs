@@ -1,0 +1,23 @@
+//! Run the complete reproduction contract and print the checklist.
+//!
+//! Exits non-zero if any check fails, so this doubles as a CI gate:
+//!
+//! ```text
+//! cargo run --release --example verify_reproduction [seed] [scale]
+//! ```
+
+use archer2_repro::core::verify;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().map(|s| s.parse().expect("seed")).unwrap_or(2022);
+    let scale: u32 = args.next().map(|s| s.parse().expect("scale")).unwrap_or(10);
+
+    let report = verify::run(seed, scale);
+    println!("{}", report.render());
+
+    if !report.all_pass() {
+        eprintln!("{} checks FAILED", report.failures().len());
+        std::process::exit(1);
+    }
+}

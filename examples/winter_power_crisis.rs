@@ -1,0 +1,81 @@
+//! The paper's narrative end to end: reproduce Figures 1–3 and the §5
+//! conclusions — baseline, the BIOS determinism change (−210 kW), the
+//! 2.0 GHz default (−480 kW), 21 % total — in one run.
+//!
+//! ```text
+//! cargo run --release --example winter_power_crisis [scale]
+//! ```
+//!
+//! `scale` divides the facility (default 10 for speed; 1 = full 5,860
+//! nodes). Reported kilowatts are always full-facility.
+
+use archer2_repro::core::experiment;
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be an integer"))
+        .unwrap_or(10);
+    let seed = 2022;
+
+    println!("Reproducing the ARCHER2 energy-efficiency campaign (seed {seed}, 1/{scale} scale)");
+    println!();
+
+    println!("--- Figure 1: baseline, Dec 2021 - Apr 2022 ---");
+    let fig1 = experiment::figure1(seed, scale);
+    println!("{}", fig1.render());
+    println!(
+        "baseline mean: {:.0} kW (paper: 3,220 kW) at {:.1}% utilisation",
+        fig1.summary.means[0],
+        fig1.utilisation * 100.0
+    );
+    println!();
+
+    println!("--- Figure 2: BIOS power -> performance determinism, May 2022 ---");
+    let fig2 = experiment::figure2(seed, scale);
+    println!("{}", fig2.render());
+    println!(
+        "settled means: {:.0} kW -> {:.0} kW (paper: 3,220 -> 3,010 kW)",
+        fig2.settled_means_kw[0], fig2.settled_means_kw[1]
+    );
+    println!();
+
+    println!("--- Table 3: determinism-mode benchmark impact ---");
+    println!("{}", experiment::table3(seed).render());
+
+    println!("--- Figure 3: default CPU frequency -> 2.0 GHz, Dec 2022 ---");
+    let fig3 = experiment::figure3(seed, scale);
+    println!("{}", fig3.render());
+    println!(
+        "settled means: {:.0} kW -> {:.0} kW (paper: 3,010 -> 2,530 kW)",
+        fig3.settled_means_kw[0], fig3.settled_means_kw[1]
+    );
+    println!();
+
+    println!("--- Table 4: frequency-cap benchmark impact ---");
+    println!("{}", experiment::table4(seed).render());
+
+    println!("--- Section 5 conclusions ---");
+    let c = experiment::conclusions(seed, &fig2, &fig3);
+    println!(
+        "total saving:       {:.0} kW ({:.1}% of baseline; paper: ~690 kW, 21%)",
+        c.total_saving_kw,
+        c.total_drop * 100.0
+    );
+    println!(
+        "BIOS change:        {:.1}% reduction (paper: 6.5%)",
+        c.bios_drop * 100.0
+    );
+    println!(
+        "frequency change:   {:.0} kW reduction (paper: ~480 kW)",
+        c.freq_drop_kw
+    );
+    println!(
+        "idle node draw:     {:.0}% of a loaded node (paper: ~50%)",
+        c.idle_fraction * 100.0
+    );
+    println!(
+        "switch power:       {:.0}-{:.0} W irrespective of load (paper: 200-250 W)",
+        c.switch_band_w.0, c.switch_band_w.1
+    );
+}

@@ -1,0 +1,52 @@
+//! # archer2-repro
+//!
+//! Facade crate for the ARCHER2 energy & emissions reproduction workspace.
+//! Re-exports every member crate and provides a prelude for the examples and
+//! integration tests.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+//!
+//! ## Thirty-second tour
+//!
+//! Reproduce the paper's Table 4 row for LAMMPS (the most compute-bound
+//! benchmark: 0.74 performance, 0.92 energy at 2.0 GHz) straight from the
+//! calibrated model:
+//!
+//! ```
+//! use archer2_repro::core::facility::Archer2Facility;
+//! use archer2_repro::workload::OperatingPoint;
+//!
+//! let facility = Archer2Facility::new(2022);
+//! let lammps = &facility.catalog().find("LAMMPS").unwrap().app;
+//! let (nm, lot) = (facility.node_model(), facility.lottery());
+//!
+//! let perf = lammps.perf_ratio(OperatingPoint::AFTER_FREQ, nm, lot);
+//! let energy = lammps.energy_ratio(OperatingPoint::AFTER_FREQ, nm, lot);
+//! assert!((perf - 0.74).abs() < 0.01);
+//! assert!((energy - 0.92).abs() < 0.01);
+//! ```
+//!
+//! Or run the whole reproduction contract:
+//!
+//! ```no_run
+//! let report = archer2_repro::core::verify::run(2022, 10);
+//! assert!(report.all_pass());
+//! println!("{}", report.render());
+//! ```
+
+pub use archer2_core as core;
+pub use hpc_emissions as emissions;
+pub use hpc_grid as grid;
+pub use hpc_kernels as kernels;
+pub use hpc_power as power;
+pub use hpc_sched as sched;
+pub use hpc_telemetry as telemetry;
+pub use hpc_topo as topo;
+pub use hpc_workload as workload;
+pub use sim_core as sim;
+
+/// Convenience imports for examples and integration tests.
+pub mod prelude {
+    pub use sim_core::{SimDuration, SimTime};
+}

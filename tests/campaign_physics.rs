@@ -1,0 +1,103 @@
+//! Cross-crate physical invariants of the campaign simulation: power
+//! bounds, energy bookkeeping, utilisation accounting, operating-point
+//! ordering.
+
+use archer2_repro::core::campaign::{Campaign, CampaignConfig};
+use archer2_repro::core::experiment::scaled_facility;
+use archer2_repro::power::DeterminismMode;
+use archer2_repro::prelude::*;
+use archer2_repro::workload::OperatingPoint;
+
+const SEED: u64 = 99;
+const SCALE: u32 = 20;
+
+fn run_campaign(op: OperatingPoint, days: u64) -> Campaign {
+    let facility = scaled_facility(SEED, SCALE);
+    let start = SimTime::from_ymd(2022, 3, 1);
+    let mut c = Campaign::new(facility, CampaignConfig::default(), start, op);
+    c.run_until(start + SimDuration::from_days(days));
+    c
+}
+
+#[test]
+fn power_never_below_idle_floor_nor_above_loaded_ceiling() {
+    let c = run_campaign(OperatingPoint::ORIGINAL, 7);
+    let f = c.facility();
+    let idle_floor = f.idle_budget(DeterminismMode::Power).compute_cabinets_kw();
+    let loaded = f.loaded_budget(OperatingPoint::ORIGINAL).compute_cabinets_kw();
+    // Allow headroom for telemetry noise and app-power spread above the
+    // generic profile used by loaded_budget.
+    let ceiling = loaded * 1.10;
+    for &kw in c.power_series().values() {
+        assert!(kw >= idle_floor * 0.95, "sample {kw} below idle floor {idle_floor}");
+        assert!(kw <= ceiling, "sample {kw} above ceiling {ceiling}");
+    }
+}
+
+#[test]
+fn operating_points_are_strictly_ordered_in_power() {
+    let power_at = |op| run_campaign(op, 5).power_series().mean();
+    let original = power_at(OperatingPoint::ORIGINAL);
+    let after_bios = power_at(OperatingPoint::AFTER_BIOS);
+    let after_freq = power_at(OperatingPoint::AFTER_FREQ);
+    assert!(
+        original > after_bios && after_bios > after_freq,
+        "{original:.0} > {after_bios:.0} > {after_freq:.0} violated"
+    );
+}
+
+#[test]
+fn energy_integral_consistent_with_mean_power() {
+    let c = run_campaign(OperatingPoint::AFTER_BIOS, 6);
+    let s = c.power_series();
+    let kwh = s.integral_unit_hours();
+    let span_h = s.len() as f64 * s.interval().as_hours_f64();
+    assert!((kwh - s.mean() * span_h).abs() / kwh < 1e-9);
+}
+
+#[test]
+fn utilisation_is_high_but_below_one() {
+    let c = run_campaign(OperatingPoint::ORIGINAL, 10);
+    let u = c.utilisation();
+    assert!(u > 0.90, "utilisation {u}");
+    assert!(u < 1.0, "utilisation cannot reach 100% (scheduling overheads)");
+}
+
+#[test]
+fn throughput_falls_when_clock_falls() {
+    // At 2.0 GHz jobs run longer, so fewer jobs complete per simulated day
+    // at equal utilisation.
+    let fast = run_campaign(OperatingPoint::AFTER_BIOS, 10);
+    let slow = run_campaign(OperatingPoint::AFTER_FREQ, 10);
+    let (fast_started, _) = fast.job_counts();
+    let (slow_started, _) = slow.job_counts();
+    assert!(
+        slow_started < fast_started,
+        "slower clock should start fewer jobs: {slow_started} vs {fast_started}"
+    );
+}
+
+#[test]
+fn job_stream_is_steady_state() {
+    // After the first day the machine stays near-full: sample variance of
+    // the power series is a small fraction of its mean.
+    let c = run_campaign(OperatingPoint::ORIGINAL, 10);
+    let s = c.power_series();
+    let day = SimDuration::from_days(1);
+    let stats = s.window_stats(s.start() + day, s.end());
+    assert!(
+        stats.std_dev() / stats.mean() < 0.05,
+        "steady-state power should be tight: cv = {}",
+        stats.std_dev() / stats.mean()
+    );
+}
+
+#[test]
+fn events_processed_scales_with_span() {
+    let short = run_campaign(OperatingPoint::ORIGINAL, 3);
+    let long = run_campaign(OperatingPoint::ORIGINAL, 9);
+    assert!(
+        long.events_processed() > 2 * short.events_processed(),
+        "event count must grow with the simulated span"
+    );
+}

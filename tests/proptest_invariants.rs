@@ -1,0 +1,217 @@
+//! Property-based tests (proptest) on the core models and data structures:
+//! the invariants that must hold for *any* parameters, not just the
+//! calibrated ones.
+
+use archer2_repro::power::{
+    DeterminismMode, FreqSetting, NodeActivity, NodePowerModel, NodeSpec, SiliconLottery,
+    SiliconSample, SocketPowerModel, SocketSpec,
+};
+use archer2_repro::sim::dist::{Categorical, Distribution, LogNormal, Weibull};
+use archer2_repro::sim::rng::{Rng, Xoshiro256StarStar};
+use archer2_repro::sim::stats::OnlineStats;
+use archer2_repro::sim::time::{SimDuration, SimTime};
+use archer2_repro::telemetry::TimeSeries;
+use archer2_repro::workload::{AppModel, OperatingPoint, ResearchArea};
+use proptest::prelude::*;
+
+fn arb_part() -> impl Strategy<Value = SiliconSample> {
+    (0.88f64..=1.0, 0.8f64..=1.08).prop_map(|(v_margin, leak)| SiliconSample { v_margin, leak })
+}
+
+fn arb_activity() -> impl Strategy<Value = f64> {
+    0.0f64..=1.2
+}
+
+proptest! {
+    #[test]
+    fn socket_power_within_physical_bounds(
+        part in arb_part(),
+        a in arb_activity(),
+        boost in proptest::bool::ANY,
+        perf_det in proptest::bool::ANY,
+    ) {
+        let m = SocketPowerModel::new(SocketSpec::default());
+        let lot = SiliconLottery::default();
+        let setting = if boost { FreqSetting::TurboBoost2250 } else { FreqSetting::Mid2000 };
+        let mode = if perf_det { DeterminismMode::Performance } else { DeterminismMode::Power };
+        let p = m.power_w(setting, mode, a, &part, &lot);
+        // Never below the IO-die floor, never above the package cap.
+        prop_assert!(p >= m.spec().p_io_w, "power {p} below IO floor");
+        prop_assert!(p <= m.spec().p_cap_w + 1e-9, "power {p} above cap");
+    }
+
+    #[test]
+    fn performance_determinism_never_draws_more_than_power_determinism(
+        part in arb_part(),
+        a in arb_activity(),
+    ) {
+        let m = SocketPowerModel::new(SocketSpec::default());
+        let lot = SiliconLottery::default();
+        let pd = m.power_w(FreqSetting::TurboBoost2250, DeterminismMode::Power, a, &part, &lot);
+        let det = m.power_w(FreqSetting::TurboBoost2250, DeterminismMode::Performance, a, &part, &lot);
+        prop_assert!(det <= pd + 1e-9, "perf det {det} > power det {pd}");
+    }
+
+    #[test]
+    fn effective_freq_between_floor_and_ceiling(
+        part in arb_part(),
+        a in arb_activity(),
+    ) {
+        let m = SocketPowerModel::new(SocketSpec::default());
+        let lot = SiliconLottery::default();
+        for mode in [DeterminismMode::Power, DeterminismMode::Performance] {
+            let f = m.effective_freq(FreqSetting::TurboBoost2250, mode, a, &part, &lot);
+            prop_assert!(f >= 2.25 - 1.0, "boost frequency {f} below any plausible floor");
+            prop_assert!(f <= m.spec().f_allcore_ceiling_ghz + 1e-12);
+        }
+    }
+
+    #[test]
+    fn node_power_monotone_in_every_activity_axis(
+        part in arb_part(),
+        cpu in 0.0f64..=1.0,
+        mem in 0.0f64..=0.9,
+        thr in 0.0f64..=0.9,
+    ) {
+        let m = NodePowerModel::new(NodeSpec::default());
+        let lot = SiliconLottery::default();
+        let parts = [part, part];
+        let base = NodeActivity { cpu, mem, throughput: thr };
+        let p0 = m.power(FreqSetting::Mid2000, DeterminismMode::Performance, base, &parts, &lot).total_w();
+        for bumped in [
+            NodeActivity { cpu: (cpu + 0.1).min(1.2), ..base },
+            NodeActivity { mem: mem + 0.1, ..base },
+            NodeActivity { throughput: thr + 0.1, ..base },
+        ] {
+            let p1 = m.power(FreqSetting::Mid2000, DeterminismMode::Performance, bumped, &parts, &lot).total_w();
+            prop_assert!(p1 >= p0 - 1e-9, "activity bump reduced power: {p0} -> {p1}");
+        }
+    }
+
+    #[test]
+    fn app_energy_identity_holds_for_any_profile(
+        beta in 0.0f64..=1.0,
+        a in 0.05f64..=1.0,
+        mem in 0.0f64..=1.0,
+    ) {
+        let app = AppModel::raw("prop", ResearchArea::Other, beta, a, mem);
+        let nm = NodePowerModel::new(NodeSpec::default());
+        let lot = SiliconLottery::default();
+        for op in [OperatingPoint::ORIGINAL, OperatingPoint::AFTER_FREQ] {
+            let e = app.energy_ratio(op, &nm, &lot);
+            let p = app.node_power_w(op, &nm, &lot)
+                / app.node_power_w(OperatingPoint::AFTER_BIOS, &nm, &lot);
+            let t = app.runtime_ratio(op, &nm, &lot);
+            prop_assert!((e - p * t).abs() < 1e-9, "E = P·t identity violated");
+        }
+    }
+
+    #[test]
+    fn app_slowdown_bounded_by_frequency_ratio(
+        beta in 0.0f64..=1.0,
+        a in 0.05f64..=1.0,
+    ) {
+        // t(2.0)/t(ref) ∈ [1, f_ref/2.0]: β interpolates between the
+        // extremes and can never exceed pure frequency scaling.
+        let app = AppModel::raw("prop", ResearchArea::Other, beta, a, 0.5);
+        let nm = NodePowerModel::new(NodeSpec::default());
+        let lot = SiliconLottery::default();
+        let rt = app.runtime_ratio(OperatingPoint::AFTER_FREQ, &nm, &lot);
+        let f_ref = app.effective_freq(OperatingPoint::AFTER_BIOS, &nm, &lot);
+        prop_assert!(rt >= 1.0 - 1e-12);
+        prop_assert!(rt <= f_ref / 2.0 + 1e-12, "slowdown {rt} exceeds frequency ratio");
+    }
+
+    #[test]
+    fn online_stats_merge_associative(
+        data in proptest::collection::vec(-1e6f64..1e6, 3..200),
+        split in 1usize..100,
+    ) {
+        let split = split.min(data.len() - 1);
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &data[..split] {
+            left.push(x);
+        }
+        for &x in &data[split..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-3 * whole.variance().max(1.0));
+    }
+
+    #[test]
+    fn time_roundtrip_for_any_instant(secs in 0u64..4_102_444_800) {
+        // Any instant up to year 2100 survives the calendar roundtrip.
+        let t = SimTime::from_unix(secs);
+        prop_assert_eq!(t.stamp().to_sim_time(), t);
+    }
+
+    #[test]
+    fn timeseries_window_mean_within_minmax(
+        vals in proptest::collection::vec(0.0f64..5000.0, 1..200),
+        a in 0usize..200,
+        b in 0usize..200,
+    ) {
+        let mut s = TimeSeries::new(SimTime::EPOCH, SimDuration::from_mins(15), "kW");
+        for &v in &vals {
+            s.push(v);
+        }
+        let (lo, hi) = (a.min(b), a.max(b).min(vals.len()));
+        if lo < hi {
+            let mean = s.window_mean(s.time_at(lo), s.time_at(hi));
+            let min = vals[lo..hi].iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = vals[lo..hi].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(mean >= min - 1e-9 && mean <= max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn categorical_always_returns_valid_index(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..20),
+        seed in proptest::num::u64::ANY,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let cat = Categorical::new(&weights);
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        for _ in 0..50 {
+            let i = cat.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "zero-weight category {i} drawn");
+        }
+    }
+
+    #[test]
+    fn distributions_produce_finite_positive_samples(
+        seed in proptest::num::u64::ANY,
+        mean in 0.1f64..1e4,
+        shape in 0.3f64..5.0,
+    ) {
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        let ln = LogNormal::from_mean(mean, 0.5);
+        let wb = Weibull::new(shape, mean);
+        for _ in 0..20 {
+            let a = ln.sample(&mut rng);
+            let b = wb.sample(&mut rng);
+            prop_assert!(a.is_finite() && a > 0.0);
+            prop_assert!(b.is_finite() && b >= 0.0);
+        }
+    }
+
+    #[test]
+    fn rng_next_below_always_in_range(
+        seed in proptest::num::u64::ANY,
+        bound in 1u64..u64::MAX,
+    ) {
+        let mut rng = Xoshiro256StarStar::seeded(seed);
+        for _ in 0..20 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests on the batch scheduler: invariants that must survive
+//! arbitrary job streams, completion orders and failure injections.
+
+use archer2_repro::sched::BatchScheduler;
+use archer2_repro::sim::time::{SimDuration, SimTime};
+use archer2_repro::topo::NodeId;
+use archer2_repro::workload::{AppModel, Job, JobId, ResearchArea};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const MACHINE: u32 = 32;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Submit { nodes: u32, walltime_h: u64 },
+    CompleteEarliest,
+    FailNode(u32),
+    RepairAll,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (1u32..=MACHINE, 1u64..=24).prop_map(|(nodes, walltime_h)| Action::Submit { nodes, walltime_h }),
+        3 => Just(Action::CompleteEarliest),
+        1 => (0u32..MACHINE).prop_map(Action::FailNode),
+        1 => Just(Action::RepairAll),
+    ]
+}
+
+fn mk_job(id: u64, nodes: u32, walltime_h: u64, now: SimTime) -> Job {
+    Job::new(
+        JobId(id),
+        AppModel::generic(ResearchArea::Other),
+        nodes,
+        SimDuration::from_hours(walltime_h),
+        SimDuration::from_hours(walltime_h),
+        now,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scheduler_invariants_hold_under_any_action_sequence(
+        actions in proptest::collection::vec(arb_action(), 1..120)
+    ) {
+        let mut sched = BatchScheduler::new(MACHINE);
+        let mut now = SimTime::EPOCH;
+        let mut next_id = 0u64;
+        let mut offline: HashSet<NodeId> = HashSet::new();
+
+        for action in actions {
+            now += SimDuration::from_mins(7);
+            match action {
+                Action::Submit { nodes, walltime_h } => {
+                    next_id += 1;
+                    sched.submit(mk_job(next_id, nodes, walltime_h, now));
+                }
+                Action::CompleteEarliest => {
+                    if let Some(id) = sched.running_jobs().min_by_key(|r| r.expected_end).map(|r| r.job.id) {
+                        sched.complete(id, now);
+                    }
+                }
+                Action::FailNode(n) => {
+                    let node = NodeId(n);
+                    if !sched.is_node_offline(node) {
+                        sched.fail_node(node, now);
+                        offline.insert(node);
+                    }
+                }
+                Action::RepairAll => {
+                    for node in offline.drain() {
+                        sched.repair_node(node, now);
+                    }
+                }
+            }
+            sched.schedule(now);
+
+            // Invariant 1: conservation of nodes.
+            let busy = sched.busy_nodes();
+            let free = sched.free_nodes();
+            let off = sched.offline_nodes();
+            prop_assert_eq!(busy + free + off, MACHINE, "node conservation");
+
+            // Invariant 2: running jobs' node sets are disjoint and consistent.
+            let mut seen: HashSet<NodeId> = HashSet::new();
+            let mut running_nodes = 0u32;
+            for r in sched.running_jobs() {
+                prop_assert_eq!(r.nodes.len() as u32, r.job.nodes);
+                for &n in &r.nodes {
+                    prop_assert!(seen.insert(n), "node double-allocated");
+                    prop_assert_eq!(sched.job_on_node(n), Some(r.job.id));
+                }
+                running_nodes += r.job.nodes;
+            }
+            prop_assert_eq!(running_nodes, busy, "busy count matches running jobs");
+
+            // Invariant 3: offline bookkeeping matches.
+            prop_assert_eq!(off as usize, offline.len());
+
+            // Invariant 4: stats never go backwards or inconsistent.
+            let stats = sched.stats();
+            prop_assert!(stats.completed + stats.failed <= stats.started + stats.failed);
+            prop_assert!(stats.backfilled <= stats.started);
+        }
+    }
+
+    #[test]
+    fn work_conserving_when_jobs_fit(
+        sizes in proptest::collection::vec(1u32..=8, 1..20)
+    ) {
+        // With only small jobs and a fresh machine, the scheduler must pack
+        // until no pending job fits (work conservation).
+        let mut sched = BatchScheduler::new(MACHINE);
+        let now = SimTime::EPOCH;
+        for (i, &nodes) in sizes.iter().enumerate() {
+            sched.submit(mk_job(i as u64, nodes, 2, now));
+        }
+        sched.schedule(now);
+        // Either everything started, or the free nodes cannot host the
+        // smallest pending job... which for EASY means the *head* was
+        // reserved: free may exceed small pending sizes only if starting
+        // them would delay the head. With uniform walltimes (2 h) backfill
+        // candidates that fit always end by the shadow time, so:
+        if sched.pending_count() > 0 {
+            let smallest_possible = 1u32;
+            prop_assert!(
+                sched.free_nodes() < smallest_possible
+                    || sizes.iter().sum::<u32>() > MACHINE,
+                "machine left idle with startable work: {} free, {} pending",
+                sched.free_nodes(),
+                sched.pending_count()
+            );
+        }
+    }
+}
