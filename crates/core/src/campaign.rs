@@ -25,6 +25,7 @@ use crate::facility::Archer2Facility;
 use hpc_power::FreqSetting;
 use hpc_sched::BatchScheduler;
 use hpc_telemetry::TimeSeries;
+use hpc_tsdb::{SeriesId, SeriesMeta, TsdbStore};
 use hpc_workload::{
     AppModel, GeneratorConfig, Job, JobGenerator, JobId, JobTrace, OperatingPoint, TraceEntry,
     WorkloadMix,
@@ -93,6 +94,10 @@ pub struct CampaignConfig {
     /// Record one power series per compute cabinet (heavier diagnostics:
     /// O(nodes) work per telemetry sample).
     pub per_cabinet_telemetry: bool,
+    /// Record one power series per *node* into the telemetry store —
+    /// per-node scale is exactly what [`hpc_tsdb`] exists for, but it is
+    /// still O(nodes) compressed samples per tick, so it stays opt-in.
+    pub per_node_telemetry: bool,
 }
 
 /// A time-varying operating policy: drop the default frequency whenever
@@ -159,6 +164,7 @@ impl Default for CampaignConfig {
             record_trace: false,
             schedule: None,
             per_cabinet_telemetry: false,
+            per_node_telemetry: false,
         }
     }
 }
@@ -218,6 +224,12 @@ struct FacilityWorld {
     job_op: HashMap<JobId, OperatingPoint>,
     trace: JobTrace,
     cabinet_series: Vec<TimeSeries>,
+    /// Compressed telemetry store: the facility series always, per-cabinet
+    /// and per-node series when the matching config flags are set.
+    store: TsdbStore,
+    facility_sid: SeriesId,
+    cabinet_sids: Vec<SeriesId>,
+    node_sids: Vec<SeriesId>,
     failure_rng: Xoshiro256StarStar,
     node_failures: u64,
     jobs_killed: u64,
@@ -313,17 +325,40 @@ impl FacilityWorld {
         }
     }
 
-    /// Sample per-cabinet power: each cabinet's nodes (busy at their job's
-    /// per-node power, idle at the fleet idle level, offline at zero) plus
-    /// its switches and overhead share.
-    fn sample_cabinets(&mut self) {
+    /// Instantaneous draw of one node (W): busy nodes at their job's
+    /// per-node power, idle (or unavailable) nodes at the fleet idle level,
+    /// offline nodes at zero.
+    fn node_power_w(&self, n: NodeId, per_idle_w: f64) -> f64 {
+        if n.0 >= self.schedulable_nodes {
+            per_idle_w // the unavailable set idles
+        } else if let Some(job) = self.scheduler.job_on_node(n) {
+            let job_w = self.job_power_w.get(&job).expect("running job has power");
+            let nodes = self.scheduler.running_job(job).expect("running").job.nodes;
+            job_w / nodes as f64
+        } else if self.scheduler.is_node_offline(n) {
+            0.0 // powered down for repair
+        } else {
+            per_idle_w
+        }
+    }
+
+    /// Fleet idle node power (W) for the current BIOS mode, cached.
+    fn per_idle_node_w(&mut self) -> f64 {
         let mode = self.op.mode;
         let facility = &self.facility;
-        let per_idle_w = *self
+        *self
             .idle_kw_cache
             .entry(mode)
             .or_insert_with(|| facility.mean_idle_node_kw(mode))
-            * 1000.0;
+            * 1000.0
+    }
+
+    /// Sample per-cabinet power: each cabinet's nodes (busy at their job's
+    /// per-node power, idle at the fleet idle level, offline at zero) plus
+    /// its switches and overhead share. Recorded both in the dense compat
+    /// series and the compressed store.
+    fn sample_cabinets(&mut self, ts: i64) {
+        let per_idle_w = self.per_idle_node_w();
         let util = self.scheduler.busy_nodes() as f64 / self.facility.nodes() as f64;
         let topo = self.facility.topology();
         let sw_model = hpc_power::SwitchPowerModel::new(hpc_power::SwitchSpec::default());
@@ -332,26 +367,29 @@ impl FacilityWorld {
 
         let mut samples = Vec::with_capacity(self.cabinet_series.len());
         for cab in topo.cabinets() {
-            let mut nodes_w = 0.0;
-            for &n in topo.nodes_in_cabinet(cab) {
-                if n.0 >= self.schedulable_nodes {
-                    nodes_w += per_idle_w; // the unavailable set idles
-                } else if let Some(job) = self.scheduler.job_on_node(n) {
-                    let job_w = self.job_power_w.get(&job).expect("running job has power");
-                    let nodes = self.scheduler.running_job(job).expect("running").job.nodes;
-                    nodes_w += job_w / nodes as f64;
-                } else if self.scheduler.is_node_offline(n) {
-                    // powered down for repair
-                } else {
-                    nodes_w += per_idle_w;
-                }
-            }
+            let nodes_w: f64 = topo
+                .nodes_in_cabinet(cab)
+                .iter()
+                .map(|&n| self.node_power_w(n, per_idle_w))
+                .sum();
             let switches_w = topo.switches_in_cabinet(cab).len() as f64 * sw_w;
             let it_w = nodes_w + switches_w;
             samples.push((it_w + overhead.power_w(it_w)) / 1000.0);
         }
-        for (series, kw) in self.cabinet_series.iter_mut().zip(samples) {
+        for ((series, &sid), kw) in
+            self.cabinet_series.iter_mut().zip(&self.cabinet_sids).zip(samples)
+        {
             series.push(kw);
+            self.store.append(sid, ts, kw);
+        }
+    }
+
+    /// Sample every node's power into the compressed store (kW).
+    fn sample_nodes(&mut self, ts: i64) {
+        let per_idle_w = self.per_idle_node_w();
+        for (i, &sid) in self.node_sids.iter().enumerate() {
+            let kw = self.node_power_w(NodeId(i as u32), per_idle_w) / 1000.0;
+            self.store.append(sid, ts, kw);
         }
     }
 
@@ -383,9 +421,15 @@ impl World for FacilityWorld {
             Event::Sample => {
                 let kw = self.compute_cabinet_power_kw();
                 let noise = 1.0 + self.config.telemetry_noise * standard_normal(&mut self.noise_rng);
-                self.series.push(kw * noise.max(0.0));
+                let sampled = kw * noise.max(0.0);
+                let ts = now.as_unix() as i64;
+                self.series.push(sampled);
+                self.store.append(self.facility_sid, ts, sampled);
                 if self.config.per_cabinet_telemetry {
-                    self.sample_cabinets();
+                    self.sample_cabinets(ts);
+                }
+                if self.config.per_node_telemetry {
+                    self.sample_nodes(ts);
                 }
                 sched.after(self.config.sample_interval, Event::Sample);
             }
@@ -490,6 +534,24 @@ impl Campaign {
         let schedulable_nodes = facility.nodes() - unavailable;
         let scheduler = BatchScheduler::new(schedulable_nodes);
         let series = TimeSeries::new(start, config.sample_interval, "kW");
+        let interval_hint = config.sample_interval.as_secs() as i64;
+        let smeta = |name: String| SeriesMeta { name, unit: "kW".into(), interval_hint };
+        let store = TsdbStore::default();
+        let facility_sid = store.register(smeta("facility".into()));
+        let cabinet_sids: Vec<SeriesId> = if config.per_cabinet_telemetry {
+            (0..facility.topology().config().cabinets)
+                .map(|c| store.register(smeta(format!("cabinet.{c}"))))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let node_sids: Vec<SeriesId> = if config.per_node_telemetry {
+            (0..facility.nodes())
+                .map(|n| store.register(smeta(format!("node.{n}"))))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let world = FacilityWorld {
             schedulable_nodes,
             scheduler,
@@ -509,6 +571,10 @@ impl Campaign {
             job_op: HashMap::new(),
             trace: JobTrace::new(),
             cabinet_series: Vec::new(),
+            store,
+            facility_sid,
+            cabinet_sids,
+            node_sids,
             failure_rng: root.substream(3),
             node_failures: 0,
             jobs_killed: 0,
@@ -599,6 +665,28 @@ impl Campaign {
     /// Per-cabinet power series (empty unless `per_cabinet_telemetry`).
     pub fn cabinet_series(&self) -> &[TimeSeries] {
         &self.sim.world().cabinet_series
+    }
+
+    /// The compressed telemetry store. Always holds the `"facility"`
+    /// series; `"cabinet.N"` and `"node.N"` series when the matching
+    /// config flags are set.
+    pub fn telemetry_store(&self) -> &TsdbStore {
+        &self.sim.world().store
+    }
+
+    /// Id of the facility power series in [`Self::telemetry_store`].
+    pub fn facility_series_id(&self) -> SeriesId {
+        self.sim.world().facility_sid
+    }
+
+    /// Ids of the per-cabinet series (empty unless `per_cabinet_telemetry`).
+    pub fn cabinet_series_ids(&self) -> &[SeriesId] {
+        &self.sim.world().cabinet_sids
+    }
+
+    /// Ids of the per-node series (empty unless `per_node_telemetry`).
+    pub fn node_series_ids(&self) -> &[SeriesId] {
+        &self.sim.world().node_sids
     }
 }
 
@@ -884,6 +972,65 @@ mod telemetry_tests {
         c.run_until(start + SimDuration::from_days(1));
         assert!(c.trace().is_empty());
         assert!(c.cabinet_series().is_empty());
+        // The store still carries the facility series, nothing else.
+        assert_eq!(c.telemetry_store().series_count(), 1);
+        assert!(c.node_series_ids().is_empty());
+    }
+
+    #[test]
+    fn store_mirrors_the_facility_series_exactly() {
+        let f = scaled_facility(25, 10);
+        let start = SimTime::from_ymd(2022, 6, 1);
+        let mut c = Campaign::new(f, CampaignConfig::default(), start, OperatingPoint::AFTER_BIOS);
+        c.run_until(start + SimDuration::from_days(2));
+        let stored = c
+            .telemetry_store()
+            .with_series(c.facility_series_id(), |s| s.scan(i64::MIN, i64::MAX))
+            .unwrap();
+        let dense = c.power_series();
+        assert_eq!(stored.len(), dense.len());
+        for (i, &(ts, v)) in stored.iter().enumerate() {
+            assert_eq!(ts, dense.time_at(i).as_unix() as i64);
+            assert_eq!(v.to_bits(), dense.values()[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn per_node_telemetry_lands_in_the_store() {
+        let f = scaled_facility(26, 10);
+        let nodes = f.nodes() as usize;
+        let start = SimTime::from_ymd(2022, 6, 1);
+        let cfg = CampaignConfig {
+            per_node_telemetry: true,
+            per_cabinet_telemetry: true,
+            ..CampaignConfig::default()
+        };
+        let mut c = Campaign::new(f, cfg, start, OperatingPoint::AFTER_BIOS);
+        c.run_until(start + SimDuration::from_days(1));
+        let store = c.telemetry_store();
+        assert_eq!(c.node_series_ids().len(), nodes);
+        assert_eq!(store.series_count(), 1 + c.cabinet_series_ids().len() + nodes);
+
+        // Every node series is sampled on the telemetry cadence.
+        let n_samples = c.power_series().len() as u64;
+        for &sid in c.node_series_ids() {
+            assert_eq!(store.with_series(sid, |s| s.len()).unwrap(), n_samples);
+        }
+
+        // Nodes dominate the facility draw: their summed mean sits below
+        // the (noiseless) cabinet total but makes up most of it.
+        let node_kw: f64 = c
+            .node_series_ids()
+            .iter()
+            .map(|&sid| store.with_series(sid, |s| s.total_aggregate().mean()).unwrap())
+            .sum();
+        let cabinet_kw: f64 = c
+            .cabinet_series_ids()
+            .iter()
+            .map(|&sid| store.with_series(sid, |s| s.total_aggregate().mean()).unwrap())
+            .sum();
+        assert!(node_kw < cabinet_kw, "nodes {node_kw} vs cabinets {cabinet_kw}");
+        assert!(node_kw > 0.8 * cabinet_kw, "nodes {node_kw} vs cabinets {cabinet_kw}");
     }
 }
 

@@ -1,22 +1,41 @@
 //! Regular-interval time series.
 //!
 //! The facility's cabinet power telemetry samples on a fixed cadence
-//! (15 minutes in the campaign runner); a series is a start instant, an
-//! interval and a dense sample vector. Dense storage keeps five months of
-//! samples (~14k points) trivially cheap and makes windowed means exact.
+//! (15 minutes in the campaign runner). Since the `hpc-tsdb` migration a
+//! `TimeSeries` is a thin view over a compressed tsdb series: appends go
+//! into Gorilla-compressed chunks (and the rollup cascade), and windowed
+//! statistics are answered by the tsdb query planner — rollup buckets when
+//! the window is aligned, chunk scans otherwise. A dense `Vec<f64>` mirror
+//! is kept so the original `values()` slice API survives; callers that
+//! need per-node scale use `hpc_tsdb::TsdbStore` directly and skip the
+//! mirror.
 
-use serde::{Deserialize, Serialize};
+use hpc_tsdb::series::{Series, SeriesMeta};
+use serde::{DeError, Deserialize, Serialize, Value};
 use sim_core::stats::OnlineStats;
 use sim_core::time::{SimDuration, SimTime};
 
-/// A dense, regular-interval `f64` time series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A dense, regular-interval `f64` time series backed by compressed
+/// tsdb storage.
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     start_unix: u64,
     interval_s: u64,
+    /// Authoritative compressed storage + rollups.
+    store: Series,
+    /// Dense mirror for the borrowed-slice API (`values()`).
     samples: Vec<f64>,
     /// Unit label carried through to CSV/plots (e.g. `"kW"`).
     pub unit: String,
+}
+
+impl PartialEq for TimeSeries {
+    fn eq(&self, other: &Self) -> bool {
+        self.start_unix == other.start_unix
+            && self.interval_s == other.interval_s
+            && self.samples == other.samples
+            && self.unit == other.unit
+    }
 }
 
 impl TimeSeries {
@@ -27,11 +46,17 @@ impl TimeSeries {
     /// Panics if the interval is zero.
     pub fn new(start: SimTime, interval: SimDuration, unit: impl Into<String>) -> Self {
         assert!(!interval.is_zero(), "sampling interval must be positive");
+        let unit = unit.into();
         TimeSeries {
             start_unix: start.as_unix(),
             interval_s: interval.as_secs(),
+            store: Series::new(SeriesMeta {
+                name: String::new(),
+                unit: unit.clone(),
+                interval_hint: interval.as_secs() as i64,
+            }),
             samples: Vec::new(),
-            unit: unit.into(),
+            unit,
         }
     }
 
@@ -60,12 +85,24 @@ impl TimeSeries {
         &self.samples
     }
 
+    /// The compressed tsdb series behind this view (chunks + rollups).
+    pub fn tsdb(&self) -> &Series {
+        &self.store
+    }
+
+    /// Compressed size of the backing storage in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.store.size_bytes()
+    }
+
     /// Append the next sample (implicitly at `start + len·interval`).
     ///
     /// # Panics
     /// Panics on non-finite values.
     pub fn push(&mut self, value: f64) {
         assert!(value.is_finite(), "non-finite sample {value}");
+        let ts = self.start_unix + self.samples.len() as u64 * self.interval_s;
+        self.store.append(ts as i64, value);
         self.samples.push(value);
     }
 
@@ -93,15 +130,20 @@ impl TimeSeries {
         self.window_stats(self.start(), self.end()).mean()
     }
 
-    /// Summary statistics over the half-open window `[from, to)`.
+    /// Summary statistics over the half-open window `[from, to)`, answered
+    /// by the tsdb query planner (rollup buckets when aligned, compressed
+    /// chunk scans otherwise). The window is first snapped to the sample
+    /// grid exactly as the dense implementation did.
     pub fn window_stats(&self, from: SimTime, to: SimTime) -> OnlineStats {
-        let mut st = OnlineStats::new();
         let i0 = self.index_at(from);
         let i1 = self.index_at(to);
-        for &v in &self.samples[i0..i1] {
-            st.push(v);
+        if i0 >= i1 {
+            return OnlineStats::new();
         }
-        st
+        let from_ts = (self.start_unix + i0 as u64 * self.interval_s) as i64;
+        let to_ts = (self.start_unix + i1 as u64 * self.interval_s) as i64;
+        let agg = hpc_tsdb::window_aggregate(&self.store, from_ts, to_ts);
+        OnlineStats::from_moments(agg.count, agg.mean, agg.m2, agg.min, agg.max)
     }
 
     /// Mean over the half-open window `[from, to)` (0 when empty).
@@ -133,7 +175,47 @@ impl TimeSeries {
     /// whole span, returning unit-hours (e.g. kW series → kWh).
     pub fn integral_unit_hours(&self) -> f64 {
         let h = self.interval_s as f64 / 3600.0;
-        self.samples.iter().sum::<f64>() * h
+        self.store.total_aggregate().sum * h
+    }
+}
+
+// The backing tsdb series is reconstructed from the dense samples, so the
+// serialised form is exactly the pre-migration one: start, interval,
+// samples, unit.
+impl Serialize for TimeSeries {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("start_unix".into(), self.start_unix.to_value()),
+            ("interval_s".into(), self.interval_s.to_value()),
+            ("samples".into(), self.samples.to_value()),
+            ("unit".into(), self.unit.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TimeSeries {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let map = v.as_map().ok_or_else(|| DeError::msg("TimeSeries: expected object"))?;
+        let field = |k: &str| {
+            serde::value::map_get(map, k)
+                .ok_or_else(|| DeError::msg(format!("TimeSeries: missing field {k}")))
+        };
+        let start_unix = u64::from_value(field("start_unix")?)?;
+        let interval_s = u64::from_value(field("interval_s")?)?;
+        let samples = Vec::<f64>::from_value(field("samples")?)?;
+        let unit = String::from_value(field("unit")?)?;
+        if interval_s == 0 {
+            return Err(DeError::msg("TimeSeries: zero interval"));
+        }
+        let mut s = TimeSeries::new(
+            SimTime::from_unix(start_unix),
+            SimDuration::from_secs(interval_s),
+            unit,
+        );
+        for v in samples {
+            s.push(v);
+        }
+        Ok(s)
     }
 }
 
@@ -212,5 +294,48 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: TimeSeries = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn dense_view_and_compressed_store_agree() {
+        // Enough samples to span several tsdb chunks.
+        let vals: Vec<f64> = (0..1500).map(|i| 2800.0 + f64::from(i % 37) * 3.5).collect();
+        let s = series_with(&vals);
+        assert_eq!(s.values(), &vals[..]);
+        let decoded = s.tsdb().scan(i64::MIN, i64::MAX);
+        assert_eq!(decoded.len(), vals.len());
+        for (i, &(ts, v)) in decoded.iter().enumerate() {
+            assert_eq!(ts, i as i64 * 900);
+            assert_eq!(v.to_bits(), vals[i].to_bits());
+        }
+        // Compression actually compresses: 12 bytes/sample raw → well under.
+        assert!(
+            s.compressed_bytes() < vals.len() * 8,
+            "no compression win: {} bytes for {} samples",
+            s.compressed_bytes(),
+            vals.len()
+        );
+    }
+
+    #[test]
+    fn window_stats_match_dense_reference() {
+        // Windows at awkward offsets: compare the tsdb-backed answer
+        // against a straightforward dense computation.
+        let vals: Vec<f64> = (0..700).map(|i| (f64::from(i) * 0.37).cos() * 120.0 + 3000.0).collect();
+        let s = series_with(&vals);
+        for (a, b) in [(0usize, 700usize), (1, 699), (13, 509), (255, 256), (699, 700), (300, 300)] {
+            let st = s.window_stats(s.time_at(a), s.time_at(b));
+            let mut reference = OnlineStats::new();
+            for &v in &vals[a..b] {
+                reference.push(v);
+            }
+            assert_eq!(st.count(), reference.count(), "window [{a}, {b})");
+            if !vals[a..b].is_empty() {
+                assert!((st.mean() - reference.mean()).abs() < 1e-9, "window [{a}, {b})");
+                assert!((st.std_dev() - reference.std_dev()).abs() < 1e-6);
+                assert_eq!(st.min(), reference.min());
+                assert_eq!(st.max(), reference.max());
+            }
+        }
     }
 }

@@ -1,0 +1,402 @@
+//! Gorilla-style compressed chunks: delta-of-delta timestamps plus
+//! XOR-encoded floats over a [`bytes`]-backed bit stream.
+//!
+//! ## Wire format (per chunk)
+//!
+//! The first sample is stored raw: 64-bit timestamp, 64-bit IEEE-754 value.
+//! Every following sample appends two fields:
+//!
+//! **Timestamp** — `dod = (tₙ − tₙ₋₁) − (tₙ₋₁ − tₙ₋₂)` (the first delta is
+//! encoded as its own dod with a previous delta of 0), zig-zagged and
+//! prefix-coded by magnitude class:
+//!
+//! | prefix  | payload          | covers (zig-zag)     |
+//! |---------|------------------|----------------------|
+//! | `0`     | —                | dod = 0 (on cadence) |
+//! | `10`    | 7 bits           | < 2⁷                 |
+//! | `110`   | 10 bits          | < 2¹⁰                |
+//! | `1110`  | 14 bits          | < 2¹⁴                |
+//! | `1111`  | 64 bits          | anything             |
+//!
+//! **Value** — XOR against the previous value's bit pattern:
+//!
+//! | prefix | payload                                 | covers             |
+//! |--------|-----------------------------------------|--------------------|
+//! | `0`    | —                                       | identical bits     |
+//! | `10`   | meaningful bits in the previous window  | window still fits  |
+//! | `11`   | 6-bit leading, 6-bit (length−1), bits   | new window         |
+//!
+//! Operating on raw bit patterns makes the codec lossless for **every**
+//! `f64`, including NaN payloads, ±0.0, infinities and subnormals.
+
+use crate::bitstream::{zigzag, unzigzag, BitReader, BitWriter};
+use crate::rollup::Aggregate;
+use bytes::Bytes;
+
+/// Timestamp-class payload widths, in prefix order.
+const TS_CLASSES: [(u8, u64, u8); 3] = [
+    // (payload width, class bound on zig-zagged dod, prefix length marker)
+    (7, 1 << 7, 2),
+    (10, 1 << 10, 3),
+    (14, 1 << 14, 4),
+];
+
+/// An in-progress chunk accepting appends.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkBuilder {
+    bits: BitWriter,
+    count: u32,
+    first_ts: i64,
+    last_ts: i64,
+    prev_delta: i64,
+    prev_value_bits: u64,
+    /// Current XOR window: (leading zeros, meaningful length).
+    window: Option<(u8, u8)>,
+    agg: Aggregate,
+}
+
+impl ChunkBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of samples appended.
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether no samples have been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Timestamp of the last appended sample (undefined when empty).
+    pub fn last_ts(&self) -> i64 {
+        self.last_ts
+    }
+
+    /// Timestamp of the first appended sample (undefined when empty).
+    pub fn first_ts(&self) -> i64 {
+        self.first_ts
+    }
+
+    /// Running aggregate over the appended samples.
+    pub fn aggregate(&self) -> &Aggregate {
+        &self.agg
+    }
+
+    /// Compressed size so far in bytes (rounded up).
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len_bits().div_ceil(8) as usize
+    }
+
+    /// Append one sample.
+    ///
+    /// # Panics
+    /// Panics if `ts` is not strictly after the previous sample — series
+    /// are append-only with strictly increasing timestamps.
+    pub fn push(&mut self, ts: i64, value: f64) {
+        let value_bits = value.to_bits();
+        if self.count == 0 {
+            self.bits.push_bits(ts as u64, 64);
+            self.bits.push_bits(value_bits, 64);
+            self.first_ts = ts;
+            self.prev_delta = 0;
+        } else {
+            assert!(ts > self.last_ts, "timestamp {ts} not after {}", self.last_ts);
+            let delta = ts - self.last_ts;
+            let dod = delta - self.prev_delta;
+            self.encode_dod(dod);
+            self.encode_xor(value_bits);
+            self.prev_delta = delta;
+        }
+        self.prev_value_bits = value_bits;
+        self.last_ts = ts;
+        self.count += 1;
+        self.agg.push(value);
+    }
+
+    fn encode_dod(&mut self, dod: i64) {
+        if dod == 0 {
+            self.bits.push_bit(false);
+            return;
+        }
+        let z = zigzag(dod);
+        for (i, &(width, bound, _)) in TS_CLASSES.iter().enumerate() {
+            if z < bound {
+                // Prefix: i+1 ones then a zero.
+                for _ in 0..=i {
+                    self.bits.push_bit(true);
+                }
+                self.bits.push_bit(false);
+                self.bits.push_bits(z, width);
+                return;
+            }
+        }
+        // Escape class: '1111' + full 64-bit zig-zag.
+        self.bits.push_bits(0b1111, 4);
+        self.bits.push_bits(z, 64);
+    }
+
+    fn encode_xor(&mut self, value_bits: u64) {
+        let xor = value_bits ^ self.prev_value_bits;
+        if xor == 0 {
+            self.bits.push_bit(false);
+            return;
+        }
+        self.bits.push_bit(true);
+        let leading = (xor.leading_zeros() as u8).min(63);
+        let trailing = xor.trailing_zeros() as u8;
+        let fits_window = self.window.is_some_and(|(wl, wlen)| {
+            leading >= wl && trailing >= 64 - wl - wlen
+        });
+        if fits_window {
+            let (wl, wlen) = self.window.expect("window checked above");
+            self.bits.push_bit(false);
+            self.bits.push_bits(xor >> (64 - wl - wlen), wlen);
+        } else {
+            let len = 64 - leading - trailing; // 1..=64
+            self.bits.push_bit(true);
+            self.bits.push_bits(u64::from(leading), 6);
+            self.bits.push_bits(u64::from(len - 1), 6);
+            self.bits.push_bits(xor >> trailing, len);
+            self.window = Some((leading, len));
+        }
+    }
+
+    /// Decode the samples appended so far (exercises the same read path as
+    /// sealed chunks, so the active chunk is never a special case).
+    pub fn decode(&self) -> Vec<(i64, f64)> {
+        let (bytes, len_bits) = self.bits.snapshot();
+        decode_stream(&bytes, len_bits, self.count)
+    }
+
+    /// Seal into an immutable [`Chunk`].
+    pub fn seal(self) -> Chunk {
+        let (data, len_bits) = self.bits.finish();
+        Chunk {
+            data,
+            len_bits,
+            count: self.count,
+            first_ts: self.first_ts,
+            last_ts: self.last_ts,
+            agg: self.agg,
+        }
+    }
+}
+
+/// A sealed, immutable, compressed chunk. Clones share the underlying
+/// buffer, so handing chunks to readers is O(1).
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    data: Bytes,
+    len_bits: u64,
+    count: u32,
+    first_ts: i64,
+    last_ts: i64,
+    agg: Aggregate,
+}
+
+impl Chunk {
+    /// Number of samples.
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether the chunk holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// First sample timestamp.
+    pub fn first_ts(&self) -> i64 {
+        self.first_ts
+    }
+
+    /// Last sample timestamp.
+    pub fn last_ts(&self) -> i64 {
+        self.last_ts
+    }
+
+    /// Pre-computed aggregate over the whole chunk.
+    pub fn aggregate(&self) -> &Aggregate {
+        &self.agg
+    }
+
+    /// Compressed payload size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether `[from, to)` overlaps this chunk's time span.
+    pub fn overlaps(&self, from: i64, to: i64) -> bool {
+        self.first_ts < to && self.last_ts >= from
+    }
+
+    /// Decode every sample.
+    pub fn decode(&self) -> Vec<(i64, f64)> {
+        decode_stream(&self.data, self.len_bits, self.count)
+    }
+}
+
+fn decode_stream(data: &[u8], len_bits: u64, count: u32) -> Vec<(i64, f64)> {
+    let mut out = Vec::with_capacity(count as usize);
+    if count == 0 {
+        return out;
+    }
+    let mut r = BitReader::new(data, len_bits);
+    let mut ts = r.read_bits(64) as i64;
+    let mut value_bits = r.read_bits(64);
+    let mut delta = 0i64;
+    let mut window: Option<(u8, u8)> = None;
+    out.push((ts, f64::from_bits(value_bits)));
+
+    for _ in 1..count {
+        // Timestamp field.
+        let dod = if !r.read_bit() {
+            0
+        } else {
+            let mut class = 0;
+            while class < TS_CLASSES.len() && r.read_bit() {
+                class += 1;
+            }
+            if class < TS_CLASSES.len() {
+                unzigzag(r.read_bits(TS_CLASSES[class].0))
+            } else {
+                unzigzag(r.read_bits(64))
+            }
+        };
+        delta += dod;
+        ts += delta;
+
+        // Value field.
+        if r.read_bit() {
+            if r.read_bit() {
+                let leading = r.read_bits(6) as u8;
+                let len = r.read_bits(6) as u8 + 1;
+                let payload = r.read_bits(len);
+                value_bits ^= payload << (64 - leading - len);
+                window = Some((leading, len));
+            } else {
+                let (wl, wlen) = window.expect("window reuse before window set");
+                let payload = r.read_bits(wlen);
+                value_bits ^= payload << (64 - wl - wlen);
+            }
+        }
+        out.push((ts, f64::from_bits(value_bits)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(samples: &[(i64, f64)]) {
+        let mut b = ChunkBuilder::new();
+        for &(t, v) in samples {
+            b.push(t, v);
+        }
+        // Active decode and sealed decode must agree bit-for-bit.
+        let active = b.decode();
+        let sealed = b.seal();
+        let decoded = sealed.decode();
+        assert_eq!(active.len(), samples.len());
+        assert_eq!(decoded.len(), samples.len());
+        for (i, &(t, v)) in samples.iter().enumerate() {
+            for got in [&active[i], &decoded[i]] {
+                assert_eq!(got.0, t, "timestamp {i}");
+                assert_eq!(got.1.to_bits(), v.to_bits(), "value bits at {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn regular_cadence_smooth_values() {
+        let samples: Vec<(i64, f64)> = (0..500)
+            .map(|i| (1_640_995_200 + i * 60, 3220.0 + f64::from(i as i32 % 7) * 0.125))
+            .collect();
+        roundtrip(&samples);
+    }
+
+    #[test]
+    fn irregular_cadence() {
+        let gaps = [1i64, 59, 60, 61, 3600, 2, 86_400, 60, 60, 7, 123_456_789];
+        let mut t = 0i64;
+        let mut samples = Vec::new();
+        for (i, g) in gaps.iter().enumerate() {
+            t += g;
+            samples.push((t, i as f64 * 0.1));
+        }
+        roundtrip(&samples);
+    }
+
+    #[test]
+    fn pathological_bit_patterns_are_lossless() {
+        let specials = [
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::from_bits(0x7ff8_0000_dead_beef), // NaN with payload
+            f64::from_bits(0xfff0_0000_0000_0001), // signalling-ish NaN
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1),      // smallest subnormal
+            f64::from_bits(0x000f_ffff_ffff_ffff), // largest subnormal
+            f64::MAX,
+            f64::MIN,
+            1.0,
+            -1.0,
+        ];
+        let samples: Vec<(i64, f64)> =
+            specials.iter().enumerate().map(|(i, &v)| (i as i64 * 60, v)).collect();
+        roundtrip(&samples);
+    }
+
+    #[test]
+    fn constant_run_costs_two_bits_per_sample() {
+        let mut b = ChunkBuilder::new();
+        for i in 0..10_000 {
+            b.push(i64::from(i) * 60, 42.5);
+        }
+        // 128-bit header + ~1 ts bit ('10'-class once, then '0') + 1 value
+        // bit per sample.
+        let bytes_per_sample = b.size_bytes() as f64 / 10_000.0;
+        assert!(bytes_per_sample < 0.3, "constant run at {bytes_per_sample} B/sample");
+        roundtrip(&(0..100).map(|i| (i64::from(i) * 60, 42.5)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn negative_timestamps_and_dod() {
+        // Pre-epoch timestamps and shrinking deltas (negative dod).
+        let samples = vec![
+            (-10_000i64, 1.0),
+            (-9_000, 2.0),
+            (-8_500, 3.0),
+            (-8_400, 4.0),
+            (-8_399, 5.0),
+        ];
+        roundtrip(&samples);
+    }
+
+    #[test]
+    fn aggregate_tracks_all_samples() {
+        let mut b = ChunkBuilder::new();
+        for i in 0..100 {
+            b.push(i64::from(i), f64::from(i));
+        }
+        let agg = b.aggregate();
+        assert_eq!(agg.count, 100);
+        assert_eq!(agg.min, 0.0);
+        assert_eq!(agg.max, 99.0);
+        assert!((agg.mean() - 49.5).abs() < 1e-12);
+        let c = b.seal();
+        assert_eq!(c.aggregate().count, 100);
+        assert!(c.overlaps(99, 1_000));
+        assert!(!c.overlaps(100, 1_000));
+        assert!(!c.overlaps(-50, 0));
+        assert!(c.overlaps(-50, 1));
+    }
+}

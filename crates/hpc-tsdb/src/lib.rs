@@ -1,0 +1,34 @@
+//! # hpc-tsdb
+//!
+//! An embedded, compressed, sharded time-series store sized for facility
+//! telemetry at per-node scale (thousands of series, months of samples).
+//!
+//! Layered bottom-up:
+//!
+//! - [`bitstream`] — MSB-first bit reader/writer over [`bytes`] buffers;
+//! - [`chunk`] — Gorilla-style codec: delta-of-delta timestamps and
+//!   XOR-encoded values, lossless for every `f64` bit pattern;
+//! - [`rollup`] — mergeable aggregates and the raw → 1-min → 1-h
+//!   downsampling cascade (count/sum/min/max + Welford moments, so means
+//!   re-aggregate exactly);
+//! - [`series`] — one series: sealed chunks + active chunk + rollups;
+//! - [`store`] — the sharded store and its channel-fed ingest pipeline
+//!   (writers hashed by series id, one thread per shard);
+//! - [`query`] — range scans, aligned aggregations (mean/max/p95),
+//!   rollup-aware planning and change-point segment means.
+
+#![warn(missing_docs)]
+
+pub mod bitstream;
+pub mod chunk;
+pub mod query;
+pub mod rollup;
+pub mod series;
+pub mod store;
+
+pub use query::{
+    aggregate, aligned_windows, segment_means, window_aggregate, AggOp, Plan, WindowValue,
+};
+pub use rollup::Aggregate;
+pub use series::{Series, SeriesMeta};
+pub use store::{IngestPipeline, SeriesId, StoreConfig, TsdbStore};

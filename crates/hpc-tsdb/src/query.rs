@@ -1,0 +1,314 @@
+//! Query engine: time-range scans, aligned window aggregations and
+//! change-point segment means, with rollup-aware planning.
+//!
+//! Planning rule: an aggregation whose window is aligned to a rollup
+//! level's grid is served from that level's buckets — coarsest level
+//! first — because bucket aggregates compose exactly (they carry
+//! count/sum/min/max/m2, not means). Percentiles need the raw
+//! distribution, so `P95` always plans a raw scan.
+
+use crate::rollup::Aggregate;
+use crate::series::Series;
+use crate::store::{SeriesId, TsdbStore};
+
+/// Aggregation operators over a time window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOp {
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sum.
+    Sum,
+    /// Sample count.
+    Count,
+    /// 95th percentile (nearest-rank); forces a raw scan.
+    P95,
+}
+
+/// Where the planner sourced an answer from (exposed for tests and
+/// instrumentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plan {
+    /// Served by composing 1-hour buckets.
+    HourRollup,
+    /// Served by composing 1-minute buckets.
+    MinuteRollup,
+    /// Served by decoding chunks (with whole-chunk aggregate shortcuts).
+    RawScan,
+}
+
+/// One aligned aggregation window result.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowValue {
+    /// Window start (inclusive).
+    pub start: i64,
+    /// Aggregated value (NaN for an empty window).
+    pub value: f64,
+    /// Samples inside the window.
+    pub count: u64,
+}
+
+/// Pick the cheapest correct source for an aggregate over `[from, to)`.
+pub fn plan_aggregate(series: &Series, from: i64, to: i64, op: AggOp) -> Plan {
+    if op == AggOp::P95 {
+        return Plan::RawScan;
+    }
+    if series.hours().covers_aligned(from, to) {
+        Plan::HourRollup
+    } else if series.minutes().covers_aligned(from, to) {
+        Plan::MinuteRollup
+    } else {
+        Plan::RawScan
+    }
+}
+
+fn rollup_window(series: &Series, from: i64, to: i64, plan: Plan) -> Aggregate {
+    let level = match plan {
+        Plan::HourRollup => series.hours(),
+        Plan::MinuteRollup => series.minutes(),
+        Plan::RawScan => unreachable!("rollup_window called with a raw plan"),
+    };
+    let mut agg = Aggregate::new();
+    for b in level.buckets_in(from, to) {
+        agg.merge(&b.agg);
+    }
+    // The hour level receives minute buckets only when they seal, so the
+    // minute bucket still filling has not cascaded yet — complete the tail
+    // from it. (The minute level itself is fed per raw sample, so it is
+    // always complete.)
+    if plan == Plan::HourRollup {
+        if let Some(open) = series.minutes().open() {
+            if open.start < to && open.start + series.minutes().resolution() > from {
+                agg.merge(&open.agg);
+            }
+        }
+    }
+    agg
+}
+
+fn finish(op: AggOp, agg: &Aggregate) -> f64 {
+    match op {
+        AggOp::Mean => agg.mean(),
+        AggOp::Min => {
+            if agg.count == 0 {
+                f64::NAN
+            } else {
+                agg.min
+            }
+        }
+        AggOp::Max => {
+            if agg.count == 0 {
+                f64::NAN
+            } else {
+                agg.max
+            }
+        }
+        AggOp::Sum => agg.sum,
+        AggOp::Count => agg.count as f64,
+        AggOp::P95 => unreachable!("P95 is not an Aggregate-backed op"),
+    }
+}
+
+/// Nearest-rank p-th percentile of a sample set (p in [0, 100]).
+fn percentile(mut values: Vec<f64>, p: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * values.len() as f64).ceil() as usize;
+    values[rank.clamp(1, values.len()) - 1]
+}
+
+/// Full-moment aggregate over `[from, to)` with rollup-aware planning:
+/// served from the coarsest aligned rollup level, falling back to a raw
+/// scan. This is the primitive `aggregate` and `aligned_windows` build on,
+/// and what `hpc-telemetry` windows map to.
+pub fn window_aggregate(series: &Series, from: i64, to: i64) -> Aggregate {
+    match plan_aggregate(series, from, to, AggOp::Mean) {
+        Plan::RawScan => series.scan_aggregate(from, to),
+        rollup => rollup_window(series, from, to, rollup),
+    }
+}
+
+/// Aggregate one series over `[from, to)` with rollup-aware planning.
+/// Returns the value and the plan that produced it.
+pub fn aggregate(series: &Series, from: i64, to: i64, op: AggOp) -> (f64, Plan) {
+    let plan = plan_aggregate(series, from, to, op);
+    let value = if op == AggOp::P95 {
+        let vals: Vec<f64> = series.scan(from, to).into_iter().map(|(_, v)| v).collect();
+        percentile(vals, 95.0)
+    } else {
+        let agg = match plan {
+            Plan::RawScan => series.scan_aggregate(from, to),
+            rollup => rollup_window(series, from, to, rollup),
+        };
+        finish(op, &agg)
+    };
+    (value, plan)
+}
+
+/// Split `[from, to)` into consecutive `step`-second windows and aggregate
+/// each (windows aligned to `from`).
+///
+/// # Panics
+/// Panics if `step <= 0` or `from > to`.
+pub fn aligned_windows(
+    series: &Series,
+    from: i64,
+    to: i64,
+    step: i64,
+    op: AggOp,
+) -> Vec<WindowValue> {
+    assert!(step > 0, "window step must be positive");
+    assert!(from <= to, "window range reversed");
+    let mut out = Vec::new();
+    let mut start = from;
+    while start < to {
+        let end = (start + step).min(to);
+        let agg = window_aggregate(series, start, end);
+        let value = if op == AggOp::P95 {
+            aggregate(series, start, end, op).0
+        } else {
+            finish(op, &agg)
+        };
+        out.push(WindowValue { start, value, count: agg.count });
+        start = end;
+    }
+    out
+}
+
+/// Mean of each segment between consecutive change points: boundaries
+/// `[b₀, b₁, …, bₙ]` produce n segment means over `[bᵢ, bᵢ₊₁)`.
+///
+/// # Panics
+/// Panics if fewer than two boundaries are given or they are not sorted.
+pub fn segment_means(series: &Series, boundaries: &[i64]) -> Vec<f64> {
+    assert!(boundaries.len() >= 2, "need at least two boundaries");
+    boundaries
+        .windows(2)
+        .map(|w| {
+            assert!(w[0] <= w[1], "boundaries must be sorted");
+            aggregate(series, w[0], w[1], AggOp::Mean).0
+        })
+        .collect()
+}
+
+/// Store-level convenience: aggregate a series by id.
+pub fn store_aggregate(
+    store: &TsdbStore,
+    id: SeriesId,
+    from: i64,
+    to: i64,
+    op: AggOp,
+) -> Option<(f64, Plan)> {
+    store.with_series(id, |s| aggregate(s, from, to, op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::SeriesMeta;
+
+    fn series_with(n: u32, f: impl Fn(u32) -> f64) -> Series {
+        let mut s = Series::new(SeriesMeta {
+            name: "q".into(),
+            unit: "kW".into(),
+            interval_hint: 60,
+        });
+        for i in 0..n {
+            s.append(i64::from(i) * 60, f(i));
+        }
+        s
+    }
+
+    #[test]
+    fn planner_picks_coarsest_aligned_level() {
+        let s = series_with(3 * 24 * 60, |i| f64::from(i % 10)); // 3 days minutely
+        assert_eq!(plan_aggregate(&s, 0, 86_400, AggOp::Mean), Plan::HourRollup);
+        assert_eq!(plan_aggregate(&s, 3600, 7200, AggOp::Sum), Plan::HourRollup);
+        assert_eq!(plan_aggregate(&s, 60, 3660, AggOp::Mean), Plan::MinuteRollup);
+        assert_eq!(plan_aggregate(&s, 30, 3630, AggOp::Mean), Plan::RawScan);
+        // Percentiles always need raw values.
+        assert_eq!(plan_aggregate(&s, 0, 86_400, AggOp::P95), Plan::RawScan);
+    }
+
+    #[test]
+    fn all_plans_agree_on_the_same_window() {
+        let s = series_with(2 * 24 * 60, |i| (f64::from(i) * 0.11).sin() * 300.0 + 2800.0);
+        let from = 6 * 3600;
+        let to = 18 * 3600;
+        let (hourly, plan) = aggregate(&s, from, to, AggOp::Mean);
+        assert_eq!(plan, Plan::HourRollup);
+        let raw = s.scan_aggregate(from, to);
+        assert!((hourly - raw.mean()).abs() < 1e-9, "rollup {hourly} vs raw {}", raw.mean());
+        let mut minutes = Aggregate::new();
+        for b in s.minutes().buckets_in(from, to) {
+            minutes.merge(&b.agg);
+        }
+        assert!((minutes.mean() - raw.mean()).abs() < 1e-9);
+        // Min/max/sum/count too.
+        assert_eq!(aggregate(&s, from, to, AggOp::Min).0, raw.min);
+        assert_eq!(aggregate(&s, from, to, AggOp::Max).0, raw.max);
+        assert!((aggregate(&s, from, to, AggOp::Sum).0 - raw.sum).abs() < 1e-6);
+        assert_eq!(aggregate(&s, from, to, AggOp::Count).0, raw.count as f64);
+    }
+
+    #[test]
+    fn p95_nearest_rank() {
+        let s = series_with(100, f64::from); // 0..99
+        let (p, plan) = aggregate(&s, 0, 100 * 60, AggOp::P95);
+        assert_eq!(plan, Plan::RawScan);
+        assert_eq!(p, 94.0); // ceil(0.95 * 100) = 95th of 1-indexed sorted
+        let exact = percentile((0..5).map(f64::from).collect(), 95.0);
+        assert_eq!(exact, 4.0);
+        assert!(percentile(Vec::new(), 95.0).is_nan());
+    }
+
+    #[test]
+    fn aligned_windows_cover_range() {
+        let s = series_with(24 * 60, |i| f64::from(i / 60)); // value = hour index
+        let windows = aligned_windows(&s, 0, 86_400, 3600, AggOp::Mean);
+        assert_eq!(windows.len(), 24);
+        for (h, w) in windows.iter().enumerate() {
+            assert_eq!(w.start, h as i64 * 3600);
+            assert_eq!(w.count, 60);
+            assert!((w.value - h as f64).abs() < 1e-12, "hour {h} mean {}", w.value);
+        }
+    }
+
+    #[test]
+    fn segment_means_between_change_points() {
+        // Step function: 3220 then 3010 then 2530 (the paper's campaign
+        // shape), 1000 minutes each.
+        let s = series_with(3000, |i| match i / 1000 {
+            0 => 3220.0,
+            1 => 3010.0,
+            _ => 2530.0,
+        });
+        let b = [0i64, 1000 * 60, 2000 * 60, 3000 * 60];
+        let means = segment_means(&s, &b);
+        assert_eq!(means.len(), 3);
+        assert!((means[0] - 3220.0).abs() < 1e-9);
+        assert!((means[1] - 3010.0).abs() < 1e-9);
+        assert!((means[2] - 2530.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn store_level_query() {
+        let store = TsdbStore::default();
+        let id = store.register(SeriesMeta {
+            name: "fac".into(),
+            unit: "kW".into(),
+            interval_hint: 60,
+        });
+        for i in 0..120 {
+            store.append(id, i64::from(i) * 60, 100.0);
+        }
+        let (mean, _) = store_aggregate(&store, id, 0, 7200, AggOp::Mean).unwrap();
+        assert!((mean - 100.0).abs() < 1e-12);
+        assert!(store_aggregate(&store, SeriesId(999), 0, 1, AggOp::Mean).is_none());
+    }
+}

@@ -1,0 +1,263 @@
+//! A single series: an append-only sequence of compressed chunks (sealed +
+//! one active) with a cascade of rollup levels maintained on ingest.
+
+use crate::chunk::{Chunk, ChunkBuilder};
+use crate::rollup::{Aggregate, RollupLevel, HOUR, MINUTE};
+
+/// Samples per chunk before sealing. 512 one-minute samples ≈ 8.5 hours
+/// per chunk, giving scans good locality while bounding the re-decode
+/// cost of the active chunk.
+pub const CHUNK_SAMPLES: u32 = 512;
+
+/// Immutable description of a series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesMeta {
+    /// Dotted path, e.g. `"facility"` or `"cabinet.17"`.
+    pub name: String,
+    /// Unit label, e.g. `"kW"`.
+    pub unit: String,
+    /// Expected cadence in seconds (a hint for readers; irregular appends
+    /// are still accepted and encoded).
+    pub interval_hint: i64,
+}
+
+/// One time series: compressed storage plus raw → 1-min → 1-h rollups.
+#[derive(Debug, Clone)]
+pub struct Series {
+    meta: SeriesMeta,
+    sealed: Vec<Chunk>,
+    active: ChunkBuilder,
+    minutes: RollupLevel,
+    hours: RollupLevel,
+    total: Aggregate,
+    chunk_samples: u32,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new(meta: SeriesMeta) -> Self {
+        Series {
+            meta,
+            sealed: Vec::new(),
+            active: ChunkBuilder::new(),
+            minutes: RollupLevel::new(MINUTE),
+            hours: RollupLevel::new(HOUR),
+            total: Aggregate::new(),
+            chunk_samples: CHUNK_SAMPLES,
+        }
+    }
+
+    /// Series description.
+    pub fn meta(&self) -> &SeriesMeta {
+        &self.meta
+    }
+
+    /// Total samples appended.
+    pub fn len(&self) -> u64 {
+        self.total.count
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.total.count == 0
+    }
+
+    /// Timestamp of the most recent sample.
+    pub fn last_ts(&self) -> Option<i64> {
+        if !self.active.is_empty() {
+            Some(self.active.last_ts())
+        } else {
+            self.sealed.last().map(Chunk::last_ts)
+        }
+    }
+
+    /// Timestamp of the first sample.
+    pub fn first_ts(&self) -> Option<i64> {
+        if let Some(c) = self.sealed.first() {
+            Some(c.first_ts())
+        } else if !self.active.is_empty() {
+            Some(self.active.first_ts())
+        } else {
+            None
+        }
+    }
+
+    /// Aggregate over every sample ever appended.
+    pub fn total_aggregate(&self) -> &Aggregate {
+        &self.total
+    }
+
+    /// Compressed bytes held (sealed chunks + active chunk).
+    pub fn size_bytes(&self) -> usize {
+        self.sealed.iter().map(Chunk::size_bytes).sum::<usize>() + self.active.size_bytes()
+    }
+
+    /// Sealed chunks in time order.
+    pub fn chunks(&self) -> &[Chunk] {
+        &self.sealed
+    }
+
+    /// The 1-minute rollup level.
+    pub fn minutes(&self) -> &RollupLevel {
+        &self.minutes
+    }
+
+    /// The 1-hour rollup level.
+    pub fn hours(&self) -> &RollupLevel {
+        &self.hours
+    }
+
+    /// Append one sample.
+    ///
+    /// # Panics
+    /// Panics if `ts` is not strictly after the last appended timestamp.
+    pub fn append(&mut self, ts: i64, value: f64) {
+        if self.active.len() >= self.chunk_samples {
+            let full = std::mem::take(&mut self.active);
+            self.sealed.push(full.seal());
+        }
+        self.active.push(ts, value);
+        self.total.push(value);
+        if let Some(done) = self.minutes.push(ts, value) {
+            self.hours.fold(done.start, done.agg);
+        }
+    }
+
+    /// Decode all samples with `from <= ts < to`, in time order.
+    pub fn scan(&self, from: i64, to: i64) -> Vec<(i64, f64)> {
+        let mut out = Vec::new();
+        for chunk in &self.sealed {
+            if chunk.overlaps(from, to) {
+                out.extend(
+                    chunk.decode().into_iter().filter(|&(t, _)| t >= from && t < to),
+                );
+            }
+        }
+        if !self.active.is_empty()
+            && self.active.first_ts() < to
+            && self.active.last_ts() >= from
+        {
+            out.extend(
+                self.active.decode().into_iter().filter(|&(t, _)| t >= from && t < to),
+            );
+        }
+        out
+    }
+
+    /// Aggregate of all samples in `[from, to)` computed by raw scan.
+    pub fn scan_aggregate(&self, from: i64, to: i64) -> Aggregate {
+        let mut agg = Aggregate::new();
+        // Whole-chunk fast path: chunks fully inside the window contribute
+        // their pre-computed aggregate without decoding.
+        for chunk in &self.sealed {
+            if !chunk.overlaps(from, to) {
+                continue;
+            }
+            if chunk.first_ts() >= from && chunk.last_ts() < to {
+                agg.merge(chunk.aggregate());
+            } else {
+                for (t, v) in chunk.decode() {
+                    if t >= from && t < to {
+                        agg.push(v);
+                    }
+                }
+            }
+        }
+        if !self.active.is_empty()
+            && self.active.first_ts() < to
+            && self.active.last_ts() >= from
+        {
+            for (t, v) in self.active.decode() {
+                if t >= from && t < to {
+                    agg.push(v);
+                }
+            }
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> SeriesMeta {
+        SeriesMeta { name: "test".into(), unit: "kW".into(), interval_hint: 60 }
+    }
+
+    #[test]
+    fn append_spanning_many_chunks() {
+        let mut s = Series::new(meta());
+        let n = CHUNK_SAMPLES * 3 + 17;
+        for i in 0..n {
+            s.append(i64::from(i) * 60, f64::from(i % 100));
+        }
+        assert_eq!(s.len(), u64::from(n));
+        assert_eq!(s.chunks().len(), 3);
+        assert_eq!(s.first_ts(), Some(0));
+        assert_eq!(s.last_ts(), Some(i64::from(n - 1) * 60));
+
+        let all = s.scan(i64::MIN, i64::MAX);
+        assert_eq!(all.len(), n as usize);
+        for (i, &(t, v)) in all.iter().enumerate() {
+            assert_eq!(t, i as i64 * 60);
+            assert_eq!(v, (i % 100) as f64);
+        }
+    }
+
+    #[test]
+    fn scan_window_is_half_open() {
+        let mut s = Series::new(meta());
+        for i in 0..10 {
+            s.append(i64::from(i) * 60, f64::from(i));
+        }
+        let w = s.scan(60, 240);
+        assert_eq!(w.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![60, 120, 180]);
+    }
+
+    #[test]
+    fn scan_aggregate_matches_naive() {
+        let mut s = Series::new(meta());
+        let n = CHUNK_SAMPLES * 2 + 100;
+        let vals: Vec<f64> = (0..n).map(|i| (f64::from(i) * 0.7).sin() * 50.0 + 400.0).collect();
+        for (i, &v) in vals.iter().enumerate() {
+            s.append(i as i64 * 60, v);
+        }
+        // Window crossing the chunk boundary: includes a full middle chunk.
+        let from = 100i64 * 60;
+        let to = i64::from(CHUNK_SAMPLES * 2 + 50) * 60;
+        let agg = s.scan_aggregate(from, to);
+        let slice = &vals[100..(CHUNK_SAMPLES * 2 + 50) as usize];
+        let naive_mean = slice.iter().sum::<f64>() / slice.len() as f64;
+        assert_eq!(agg.count, slice.len() as u64);
+        assert!((agg.mean() - naive_mean).abs() < 1e-9);
+        assert_eq!(agg.min, slice.iter().copied().fold(f64::INFINITY, f64::min));
+        assert_eq!(agg.max, slice.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn rollups_consistent_with_raw_scan() {
+        let mut s = Series::new(meta());
+        for i in 0..(48 * 60) {
+            // Two days of minutely data.
+            s.append(i64::from(i) * 60, f64::from(i % 977) * 1.5);
+        }
+        // Hour 5 via rollups vs raw.
+        let from = 5 * 3600;
+        let to = 6 * 3600;
+        let raw = s.scan_aggregate(from, to);
+        let mut rolled = Aggregate::new();
+        for b in s.minutes().buckets_in(from, to) {
+            rolled.merge(&b.agg);
+        }
+        assert_eq!(rolled.count, raw.count);
+        assert!((rolled.mean() - raw.mean()).abs() < 1e-9);
+        assert!((rolled.variance() - raw.variance()).abs() < 1e-6);
+        let mut hourly = Aggregate::new();
+        for b in s.hours().buckets_in(from, to) {
+            hourly.merge(&b.agg);
+        }
+        assert_eq!(hourly.count, raw.count);
+        assert!((hourly.mean() - raw.mean()).abs() < 1e-9);
+    }
+}

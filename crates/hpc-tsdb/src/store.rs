@@ -1,0 +1,309 @@
+//! Sharded, concurrent store: series are hashed across shard locks so
+//! independent writers never contend, and an optional channel-fed pipeline
+//! gives one dedicated writer thread per shard.
+
+use crate::rollup::Aggregate;
+use crate::series::{Series, SeriesMeta};
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Opaque series handle. The id embeds nothing; routing is `id % shards`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeriesId(pub u64);
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Number of independently locked shards (and pipeline writer
+    /// threads). Must be at least 1.
+    pub shards: usize,
+    /// Channel capacity, in batches, per pipeline shard.
+    pub channel_capacity: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { shards: 8, channel_capacity: 256 }
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    series: HashMap<u64, Series>,
+}
+
+/// The embedded time-series store. Cheap to share: `TsdbStore` is a handle
+/// over `Arc`ed shards, so clones refer to the same data.
+#[derive(Clone)]
+pub struct TsdbStore {
+    shards: Arc<Vec<RwLock<Shard>>>,
+    registry: Arc<RwLock<HashMap<String, SeriesId>>>,
+    next_id: Arc<RwLock<u64>>,
+    config: StoreConfig,
+}
+
+impl Default for TsdbStore {
+    fn default() -> Self {
+        Self::new(StoreConfig::default())
+    }
+}
+
+impl TsdbStore {
+    /// Create a store with the given sharding.
+    ///
+    /// # Panics
+    /// Panics if `config.shards == 0`.
+    pub fn new(config: StoreConfig) -> Self {
+        assert!(config.shards > 0, "store needs at least one shard");
+        let shards = (0..config.shards).map(|_| RwLock::new(Shard::default())).collect();
+        TsdbStore {
+            shards: Arc::new(shards),
+            registry: Arc::new(RwLock::new(HashMap::new())),
+            next_id: Arc::new(RwLock::new(0)),
+            config,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.config.shards
+    }
+
+    fn shard_of(&self, id: SeriesId) -> usize {
+        (id.0 % self.config.shards as u64) as usize
+    }
+
+    /// Create (or look up) the series named `meta.name` and return its id.
+    /// Re-registering an existing name returns the existing id.
+    pub fn register(&self, meta: SeriesMeta) -> SeriesId {
+        if let Some(&id) = self.registry.read().get(&meta.name) {
+            return id;
+        }
+        let mut registry = self.registry.write();
+        if let Some(&id) = registry.get(&meta.name) {
+            return id; // lost the race to another registrar
+        }
+        let mut next = self.next_id.write();
+        let id = SeriesId(*next);
+        *next += 1;
+        registry.insert(meta.name.clone(), id);
+        self.shards[self.shard_of(id)].write().series.insert(id.0, Series::new(meta));
+        id
+    }
+
+    /// Look a series id up by name.
+    pub fn lookup(&self, name: &str) -> Option<SeriesId> {
+        self.registry.read().get(name).copied()
+    }
+
+    /// Number of registered series.
+    pub fn series_count(&self) -> usize {
+        self.registry.read().len()
+    }
+
+    /// Append one sample to a series.
+    ///
+    /// # Panics
+    /// Panics if the id is unknown or the timestamp is not strictly
+    /// increasing within the series.
+    pub fn append(&self, id: SeriesId, ts: i64, value: f64) {
+        let mut shard = self.shards[self.shard_of(id)].write();
+        shard
+            .series
+            .get_mut(&id.0)
+            .unwrap_or_else(|| panic!("unknown series {id:?}"))
+            .append(ts, value);
+    }
+
+    /// Append a batch of `(ts, value)` samples to one series under a
+    /// single lock acquisition.
+    pub fn append_batch(&self, id: SeriesId, samples: &[(i64, f64)]) {
+        if samples.is_empty() {
+            return;
+        }
+        let mut shard = self.shards[self.shard_of(id)].write();
+        let series = shard
+            .series
+            .get_mut(&id.0)
+            .unwrap_or_else(|| panic!("unknown series {id:?}"));
+        for &(ts, v) in samples {
+            series.append(ts, v);
+        }
+    }
+
+    /// Run `f` with read access to a series; `None` if the id is unknown.
+    pub fn with_series<R>(&self, id: SeriesId, f: impl FnOnce(&Series) -> R) -> Option<R> {
+        let shard = self.shards[self.shard_of(id)].read();
+        shard.series.get(&id.0).map(f)
+    }
+
+    /// Total samples across every series.
+    pub fn total_samples(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().series.values().map(Series::len).sum::<u64>())
+            .sum()
+    }
+
+    /// Total compressed bytes held across every series.
+    pub fn total_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().series.values().map(Series::size_bytes).sum::<usize>())
+            .sum()
+    }
+
+    /// Sum of every series' total aggregate (count/sum/min/max merge).
+    pub fn global_aggregate(&self) -> Aggregate {
+        let mut agg = Aggregate::new();
+        for shard in self.shards.iter() {
+            for series in shard.read().series.values() {
+                agg.merge(series.total_aggregate());
+            }
+        }
+        agg
+    }
+
+    /// Start the concurrent ingest pipeline: one writer thread per shard,
+    /// fed by bounded channels. Returns a cloneable handle for producers.
+    /// Samples for one series always land on the same shard thread, so
+    /// per-series ordering is preserved end to end.
+    pub fn pipeline(&self) -> IngestPipeline {
+        let mut senders = Vec::with_capacity(self.config.shards);
+        let mut workers = Vec::with_capacity(self.config.shards);
+        for shard_idx in 0..self.config.shards {
+            let (tx, rx): (Sender<Batch>, Receiver<Batch>) =
+                channel::bounded(self.config.channel_capacity);
+            let store = self.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tsdb-shard-{shard_idx}"))
+                    .spawn(move || {
+                        for batch in rx.iter() {
+                            store.append_batch(batch.id, &batch.samples);
+                        }
+                    })
+                    .expect("spawn tsdb shard writer"),
+            );
+            senders.push(tx);
+        }
+        IngestPipeline { senders, workers, shards: self.config.shards }
+    }
+}
+
+/// A routed unit of ingest work: samples for one series.
+#[derive(Debug)]
+struct Batch {
+    id: SeriesId,
+    samples: Vec<(i64, f64)>,
+}
+
+/// Handle over the per-shard writer threads. Drop-safe: `close()` (or
+/// drop) disconnects the channels and joins the writers.
+pub struct IngestPipeline {
+    senders: Vec<Sender<Batch>>,
+    workers: Vec<JoinHandle<()>>,
+    shards: usize,
+}
+
+impl IngestPipeline {
+    /// Queue a batch of samples for one series, blocking when the shard's
+    /// channel is full (backpressure).
+    pub fn send(&self, id: SeriesId, samples: Vec<(i64, f64)>) {
+        let shard = (id.0 % self.shards as u64) as usize;
+        self.senders[shard]
+            .send(Batch { id, samples })
+            .expect("tsdb shard writer exited early");
+    }
+
+    /// Disconnect producers and wait for every queued batch to be applied.
+    pub fn close(mut self) {
+        self.senders.clear();
+        for w in self.workers.drain(..) {
+            w.join().expect("tsdb shard writer panicked");
+        }
+    }
+}
+
+impl Drop for IngestPipeline {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &str) -> SeriesMeta {
+        SeriesMeta { name: name.into(), unit: "kW".into(), interval_hint: 60 }
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let store = TsdbStore::default();
+        let a = store.register(meta("facility"));
+        let b = store.register(meta("facility"));
+        assert_eq!(a, b);
+        assert_eq!(store.series_count(), 1);
+        assert_eq!(store.lookup("facility"), Some(a));
+        assert_eq!(store.lookup("nope"), None);
+    }
+
+    #[test]
+    fn series_land_on_distinct_shards() {
+        let store = TsdbStore::new(StoreConfig { shards: 4, channel_capacity: 8 });
+        let ids: Vec<SeriesId> = (0..16).map(|i| store.register(meta(&format!("s{i}")))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            store.append(*id, 0, i as f64);
+            store.append(*id, 60, i as f64 + 1.0);
+        }
+        assert_eq!(store.total_samples(), 32);
+        let agg = store.global_aggregate();
+        assert_eq!(agg.count, 32);
+        assert_eq!(agg.min, 0.0);
+        assert_eq!(agg.max, 16.0);
+    }
+
+    #[test]
+    fn pipeline_preserves_per_series_order() {
+        let store = TsdbStore::new(StoreConfig { shards: 4, channel_capacity: 4 });
+        let ids: Vec<SeriesId> =
+            (0..32).map(|i| store.register(meta(&format!("node{i}")))).collect();
+        let pipeline = store.pipeline();
+
+        // Many producer threads, each feeding disjoint series.
+        std::thread::scope(|s| {
+            for chunk in ids.chunks(8) {
+                let p = &pipeline;
+                let chunk = chunk.to_vec();
+                s.spawn(move || {
+                    for id in chunk {
+                        for start in (0..200i64).step_by(50) {
+                            let batch: Vec<(i64, f64)> =
+                                (start..start + 50).map(|i| (i * 60, i as f64)).collect();
+                            p.send(id, batch);
+                        }
+                    }
+                });
+            }
+        });
+        pipeline.close();
+
+        assert_eq!(store.total_samples(), 32 * 200);
+        for id in ids {
+            let decoded = store.with_series(id, |s| s.scan(i64::MIN, i64::MAX)).unwrap();
+            assert_eq!(decoded.len(), 200);
+            for (i, &(t, v)) in decoded.iter().enumerate() {
+                assert_eq!(t, i as i64 * 60);
+                assert_eq!(v, i as f64);
+            }
+        }
+    }
+}

@@ -28,6 +28,17 @@ impl OnlineStats {
         }
     }
 
+    /// Reconstruct an accumulator from externally computed moments — the
+    /// bridge from pre-aggregated storage (e.g. `hpc-tsdb` rollup buckets,
+    /// which carry the same Welford moments) back into the stats API.
+    /// An `n` of zero ignores the other arguments and yields `new()`.
+    pub fn from_moments(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        if n == 0 {
+            return OnlineStats::new();
+        }
+        OnlineStats { n, mean, m2, min, max }
+    }
+
     /// Add one observation.
     ///
     /// # Panics
@@ -415,6 +426,22 @@ mod tests {
         assert!((a.variance() - whole.variance()).abs() < 1e-9);
         assert_eq!(a.min(), whole.min());
         assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn from_moments_roundtrips_accumulator() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        let rebuilt =
+            OnlineStats::from_moments(s.count(), s.mean(), s.variance() * s.count() as f64, s.min(), s.max());
+        assert_eq!(rebuilt.count(), s.count());
+        assert!((rebuilt.mean() - s.mean()).abs() < 1e-12);
+        assert!((rebuilt.variance() - s.variance()).abs() < 1e-12);
+        assert_eq!(rebuilt.min(), s.min());
+        assert_eq!(rebuilt.max(), s.max());
+        assert_eq!(OnlineStats::from_moments(0, 9.9, 9.9, 9.9, 9.9), OnlineStats::new());
     }
 
     #[test]

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline-safe verification gate for the workspace.
+#
+# Every dependency is either a workspace crate or a vendored shim under
+# shims/ (see DESIGN.md §5), so all three steps must succeed with no
+# network access. --offline makes any accidental registry dependency a
+# hard failure instead of a hang.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --offline --workspace
+
+echo "== cargo test -q =="
+cargo test -q --offline --workspace
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

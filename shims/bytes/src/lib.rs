@@ -1,0 +1,252 @@
+//! Offline shim for `bytes`: the `Bytes` / `BytesMut` / `Buf` / `BufMut`
+//! subset this workspace uses.
+//!
+//! `Bytes` is an `Arc<[u8]>` plus an offset window, so clones and
+//! `slice()` are O(1) and share storage — the property the tsdb chunk
+//! format relies on (sealed chunks are handed to readers without copying).
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Length of the visible window.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// O(1) sub-window sharing the same storage.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes { data: v.into(), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for Bytes {}
+
+/// Growable mutable byte buffer; `freeze()` converts to [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// An empty buffer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { inner: Vec::with_capacity(cap) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drop all contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Convert into an immutable, cheaply cloneable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Write-side extension methods (big-endian, like the real crate).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read-side extension methods consuming from the front (big-endian).
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+    /// View of the unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Drop `n` bytes from the front.
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte.
+    ///
+    /// # Panics
+    /// Panics if the buffer is exhausted (like the real crate).
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(raw)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_slice(b"tsdb");
+        let frozen = w.freeze();
+        assert_eq!(frozen.len(), 1 + 4 + 8 + 4);
+
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), u64::MAX - 1);
+        assert_eq!(r.chunk(), b"tsdb");
+        r.advance(4);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_storage() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = b.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        let inner = mid.slice(1..3);
+        assert_eq!(&inner[..], &[3, 4]);
+        assert_eq!(b.len(), 8);
+    }
+}

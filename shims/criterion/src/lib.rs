@@ -1,0 +1,175 @@
+//! Offline shim for `criterion`: the macro and builder surface the bench
+//! targets use, timing each closure with `std::time::Instant` and printing
+//! a one-line summary (mean time per iteration plus derived throughput).
+//!
+//! No statistics, warm-up or HTML reports — just enough to keep
+//! `cargo bench` runnable and the bench sources unchanged.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements (e.g. FLOPs) processed per iteration.
+    Elements(u64),
+}
+
+/// Times one benchmark body over a fixed number of iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record total wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn report(id: &str, iters: u64, elapsed: Duration, throughput: Option<Throughput>) {
+    let per_iter = elapsed.as_secs_f64() / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:.2} GiB/s", n as f64 / per_iter / (1u64 << 30) as f64)
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.3} Gelem/s", n as f64 / per_iter / 1e9)
+        }
+        None => String::new(),
+    };
+    println!("bench {id:<40} {:>12.3} ms/iter{rate}", per_iter * 1e3);
+}
+
+/// Entry point handed to each benchmark target function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Time a single benchmark body.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.sample_size, elapsed: Duration::ZERO };
+        f(&mut b);
+        report(id, b.iters, b.elapsed, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, throughput: None, _c: self }
+    }
+}
+
+/// A named group sharing a throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration work so the report derives a rate.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Time one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.sample_size, elapsed: Duration::ZERO };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), b.iters, b.elapsed, self.throughput);
+        self
+    }
+
+    /// End the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function from target functions, with either
+/// the positional or the `name =` / `config =` / `targets =` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("smoke", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut g = c.benchmark_group("grouped");
+        g.throughput(Throughput::Bytes(1 << 20));
+        g.bench_function("copy", |b| {
+            let src = vec![1u8; 1 << 20];
+            b.iter(|| src.clone())
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke_benches, target);
+
+    #[test]
+    fn harness_runs_targets() {
+        smoke_benches();
+    }
+
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    #[test]
+    fn configured_form_runs() {
+        configured();
+    }
+}

@@ -1,0 +1,70 @@
+//! Offline shim for `rayon`: the `par_iter` / `par_iter_mut` /
+//! `par_chunks_mut` slice entry points this workspace uses, returning
+//! ordinary sequential `std` iterators.
+//!
+//! Semantics are identical to rayon for order-independent bodies (all the
+//! kernels here write disjoint outputs); only the speedup is absent. Code
+//! stays written in the parallel idiom so a real rayon drop-in restores
+//! multi-core execution with no source change.
+
+/// The rayon-style prelude: import `*` to get the `par_*` methods.
+pub mod prelude {
+    /// Parallel-iterator entry points on slices (sequential fallback).
+    pub trait ParallelSlice<T> {
+        /// Iterate shared references ("parallel" view of `iter`).
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Iterate in fixed-size chunks ("parallel" view of `chunks`).
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    /// Mutable parallel-iterator entry points on slices.
+    pub trait ParallelSliceMut<T> {
+        /// Iterate exclusive references ("parallel" view of `iter_mut`).
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Iterate mutable fixed-size chunks ("parallel" view of
+        /// `chunks_mut`).
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn zip_enumerate_for_each_chain() {
+        let mut a = [0.0f64; 16];
+        let b: Vec<f64> = (0..16).map(f64::from).collect();
+        let c: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.5).collect();
+        a.par_iter_mut()
+            .zip(b.par_iter().zip(c.par_iter()))
+            .for_each(|(ai, (bi, ci))| *ai = bi + 3.0 * ci);
+        assert_eq!(a[4], 4.0 + 3.0 * 2.0);
+
+        let mut grid = [0u32; 12];
+        grid.par_chunks_mut(4).enumerate().for_each(|(row, chunk)| {
+            for v in chunk {
+                *v = row as u32;
+            }
+        });
+        assert_eq!(grid, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+}

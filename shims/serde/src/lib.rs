@@ -1,0 +1,359 @@
+//! Offline shim for `serde`.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! *surface* of serde it actually uses: `#[derive(Serialize, Deserialize)]`
+//! on plain structs and enums, plus `serde_json::{to_string, from_str}`.
+//! Instead of serde's visitor-based data model, everything funnels through a
+//! small self-describing [`value::Value`] tree (adequate for JSON, which is
+//! the only format the workspace serialises to).
+//!
+//! Supported derive shapes — the ones present in this repository:
+//! named-field structs, newtype/tuple structs, unit enum variants, newtype
+//! variants, tuple variants, struct variants, and `#[serde(skip)]` fields
+//! (skipped on serialise, `Default::default()` on deserialise).
+
+// Let the generated `::serde::...` paths resolve inside this crate's own
+// tests as well as in downstream crates.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::{Number, Value};
+
+/// Error produced while converting a [`Value`] back into a typed structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Construct from any message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the self-describing value model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from the self-describing value model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self < 0 {
+                    Value::Num(Number::I(*self as i64))
+                } else {
+                    Value::Num(Number::U(*self as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(Number::U(u)) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::msg(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::Num(Number::I(i)) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::msg(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::Num(Number::F(f)) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(DeError::msg(format!(
+                        "expected integer for {}, got {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(Number::U(u)) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::msg(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::Num(Number::I(i)) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::msg(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::Num(Number::F(f)) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as $t),
+                    other => Err(DeError::msg(format!(
+                        "expected unsigned integer for {}, got {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+impl_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Num(n) => Ok(n.as_f64()),
+            other => Err(DeError::msg(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::msg(format!("expected array of {N}, got {got}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+ ; $n:expr))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v
+                    .as_seq()
+                    .ok_or_else(|| DeError::msg(format!("expected array, got {v:?}")))?;
+                if items.len() != $n {
+                    return Err(DeError::msg(format!(
+                        "expected tuple of {}, got {}", $n, items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0, B.1 ; 2)
+    (A.0, B.1, C.2 ; 3)
+    (A.0, B.1, C.2, D.3 ; 4)
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Named {
+        a: u64,
+        b: f64,
+        label: String,
+        seq: Vec<u32>,
+        opt: Option<i32>,
+        #[serde(skip)]
+        cache: Option<String>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Newtype(u64);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Pair(u32, f64);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mixed {
+        Unit,
+        New(f64),
+        Tup(u32, u32),
+        Struct { x: u64, y: String },
+    }
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(x: T) {
+        let v = x.to_value();
+        let back = T::from_value(&v).expect("roundtrip");
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn named_struct_roundtrip() {
+        roundtrip(Named {
+            a: u64::MAX,
+            b: -0.125,
+            label: "kW \"quoted\" \u{1F600}".into(),
+            seq: vec![1, 2, 3],
+            opt: Some(-5),
+            cache: None,
+        });
+    }
+
+    #[test]
+    fn skip_field_uses_default() {
+        let x = Named {
+            a: 1,
+            b: 2.0,
+            label: String::new(),
+            seq: vec![],
+            opt: None,
+            cache: Some("not serialised".into()),
+        };
+        let v = x.to_value();
+        let back = Named::from_value(&v).unwrap();
+        assert_eq!(back.cache, None);
+        if let Value::Map(m) = &v {
+            assert!(m.iter().all(|(k, _)| k != "cache"));
+        } else {
+            panic!("expected map");
+        }
+    }
+
+    #[test]
+    fn tuple_structs_roundtrip() {
+        roundtrip(Newtype(42));
+        roundtrip(Pair(7, 1.5));
+        // Newtype serialises transparently.
+        assert_eq!(Newtype(9).to_value(), Value::Num(Number::U(9)));
+    }
+
+    #[test]
+    fn enum_shapes_roundtrip() {
+        roundtrip(Mixed::Unit);
+        roundtrip(Mixed::New(2.5));
+        roundtrip(Mixed::Tup(1, 2));
+        roundtrip(Mixed::Struct {
+            x: 3,
+            y: "hi".into(),
+        });
+        assert_eq!(Mixed::Unit.to_value(), Value::Str("Unit".into()));
+    }
+}

@@ -1,0 +1,73 @@
+//! The self-describing value model the shim serialises through.
+
+/// A JSON-shaped number. Integer tokens keep full 64-bit precision so ids
+/// and unix timestamps survive a round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// Lossy view as `f64` (exact for floats and small integers).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Number::U(u) => *u as f64,
+            Number::I(i) => *i as f64,
+            Number::F(f) => *f,
+        }
+    }
+}
+
+/// A JSON-shaped tree. Maps preserve insertion order (a `Vec` of pairs) so
+/// serialised output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object, insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as an object, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Look a key up in an insertion-ordered object.
+pub fn map_get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}

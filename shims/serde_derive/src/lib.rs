@@ -1,0 +1,429 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes this workspace contains, with no dependency on `syn`/`quote`:
+//! the input token stream is walked by hand into a tiny item model, and the
+//! generated impls are emitted as source text and re-parsed.
+//!
+//! Supported: named-field structs, tuple structs (newtype serialises
+//! transparently, wider tuples as arrays), enums with unit / newtype / tuple
+//! / struct variants (externally tagged, like serde's default), and the
+//! `#[serde(skip)]` field attribute. Generic items are intentionally not
+//! supported — the workspace has none.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name (or index) plus whether `#[serde(skip)]` was set.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    /// `struct S { .. }`
+    Named(Vec<Field>),
+    /// `struct S( .. );` with the given arity.
+    Tuple(usize),
+    /// `enum E { .. }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Does an attribute token pair (`#` + `[...]`) spell `serde(skip)`?
+fn attr_is_serde_skip(group: &TokenStream) -> bool {
+    let mut toks = group.clone().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consume leading attributes, reporting whether any was `#[serde(skip)]`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i + 1 < toks.len() {
+        let TokenTree::Punct(p) = &toks[i] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &toks[i + 1] else { break };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        skip |= attr_is_serde_skip(&g.stream());
+        i += 2;
+    }
+    (i, skip)
+}
+
+/// Consume a visibility qualifier (`pub`, `pub(crate)`, …).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past one type, stopping at a top-level `,` (angle-bracket aware).
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, skip) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, j);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("expected field name, got {:?}", toks[i]);
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+        i += 1; // name
+        i += 1; // ':'
+        i = skip_type(&toks, i);
+        i += 1; // ',' (or past the end)
+    }
+    fields
+}
+
+/// Count the fields of a tuple body `(A, B, ...)` (angle-bracket aware).
+fn tuple_arity(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, _) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, j);
+        i = skip_type(&toks, i);
+        arity += 1;
+        i += 1; // ','
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, _) = skip_attrs(&toks, i);
+        i = j;
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("expected variant name, got {:?}", toks[i]);
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        i += 1; // ','
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Item-level attributes and visibility.
+    loop {
+        let (j, _) = skip_attrs(&toks, i);
+        let k = skip_vis(&toks, j);
+        if k == i {
+            break;
+        }
+        i = k;
+    }
+    let TokenTree::Ident(kw) = &toks[i] else {
+        panic!("expected struct/enum keyword, got {:?}", toks[i]);
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("expected item name, got {:?}", toks[i]);
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic item `{name}`");
+        }
+    }
+    // Skip a `where` clause if present (none in this workspace, but cheap).
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace
+                    || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+    let shape = match (kw.as_str(), &toks[i]) {
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(tuple_arity(g.stream()))
+        }
+        ("struct", _) => Shape::Tuple(0),
+        ("enum", TokenTree::Group(g)) => Shape::Enum(parse_variants(g.stream())),
+        other => panic!("unsupported item shape: {other:?}"),
+    };
+    Item { name, shape }
+}
+
+// --------------------------------------------------------------- emission
+
+fn emit_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__m.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(__m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => s.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        s.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Seq(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Map(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}\n"
+    )
+}
+
+fn named_field_reads(fields: &[Field], map_expr: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+        } else {
+            s.push_str(&format!(
+                "{0}: ::serde::Deserialize::from_value(::serde::value::map_get({map_expr}, \"{0}\").unwrap_or(&::serde::Value::Null))?,\n",
+                f.name
+            ));
+        }
+    }
+    s
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => format!(
+            "let __m = __v.as_map().ok_or_else(|| ::serde::DeError::msg(\"expected map for {name}\"))?;\n\
+             ::std::result::Result::Ok({name} {{\n{}\n}})",
+            named_field_reads(fields, "__m")
+        ),
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let reads: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::msg(\"expected array for {name}\"))?;\n\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::msg(\"wrong tuple arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                reads.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Also accept the externally tagged map form.
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(_inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let reads: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __s = _inner.as_seq().ok_or_else(|| ::serde::DeError::msg(\"expected array for {name}::{vn}\"))?;\n\
+                             if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::msg(\"wrong arity for {name}::{vn}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                            reads.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                         let __m = _inner.as_map().ok_or_else(|| ::serde::DeError::msg(\"expected map for {name}::{vn}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vn} {{\n{}\n}})\n}}\n",
+                        named_field_reads(fields, "__m")
+                    )),
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                   return match __s {{\n{unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::msg(::std::format!(\"unknown {name} variant {{__other}}\"))),\n\
+                   }};\n\
+                 }}\n\
+                 let __m = __v.as_map().ok_or_else(|| ::serde::DeError::msg(\"expected string or map for {name}\"))?;\n\
+                 if __m.len() != 1 {{ return ::std::result::Result::Err(::serde::DeError::msg(\"expected single-key map for {name}\")); }}\n\
+                 let (__tag, _inner) = &__m[0];\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                   __other => ::std::result::Result::Err(::serde::DeError::msg(::std::format!(\"unknown {name} variant {{__other}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n {body}\n }}\n}}\n"
+    )
+}

@@ -43,6 +43,7 @@ pub use hpc_power as power;
 pub use hpc_sched as sched;
 pub use hpc_telemetry as telemetry;
 pub use hpc_topo as topo;
+pub use hpc_tsdb as tsdb;
 pub use hpc_workload as workload;
 pub use sim_core as sim;
 

@@ -1,0 +1,136 @@
+//! Reconciliation of the compressed telemetry store against the campaign's
+//! dense series, and the paper's change-point means read back through tsdb
+//! queries.
+//!
+//! The paper's Figures 1–3 are cabinet-PDU measurements aggregated to the
+//! facility level; here we check the same accounting holds inside the
+//! store: per-cabinet series sum to the facility series, and the
+//! 3,220 → 3,010 → 2,530 kW campaign means survive a round trip through
+//! Gorilla compression and the rollup-aware query planner.
+
+use archer2_repro::core::campaign::{Campaign, CampaignConfig};
+use archer2_repro::core::experiment::scaled_facility;
+use archer2_repro::prelude::*;
+use archer2_repro::tsdb::query::{aggregate, segment_means, AggOp};
+use archer2_repro::workload::{GeneratorConfig, OperatingPoint};
+
+const SCALE: u32 = 10;
+
+fn config(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        generator: GeneratorConfig {
+            max_nodes: (1024 / SCALE).max(16),
+            ..GeneratorConfig::default()
+        },
+        backlog_target: (120 / SCALE as usize).max(40),
+        per_cabinet_telemetry: true,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn cabinet_series_sum_to_facility_series_inside_the_store() {
+    let facility = scaled_facility(41, SCALE);
+    let start = SimTime::from_ymd(2022, 6, 1);
+    let mut c = Campaign::new(facility, config(41), start, OperatingPoint::AFTER_BIOS);
+    c.run_until(start + SimDuration::from_days(3));
+
+    let store = c.telemetry_store();
+    let from = start.as_unix() as i64;
+    let to = (start + SimDuration::from_days(3)).as_unix() as i64;
+
+    // Sample-by-sample: decode every cabinet series from its compressed
+    // chunks and reconcile the per-timestamp sum against the facility
+    // series (which carries ±1 % telemetry noise; the cabinets are
+    // noiseless, so allow 5 sigma).
+    let facility_samples = store
+        .with_series(c.facility_series_id(), |s| s.scan(from, to))
+        .unwrap();
+    assert!(facility_samples.len() > 280, "3 days at 15 min cadence");
+    let mut cabinet_sum = vec![0.0f64; facility_samples.len()];
+    for &sid in c.cabinet_series_ids() {
+        let samples = store.with_series(sid, |s| s.scan(from, to)).unwrap();
+        assert_eq!(samples.len(), facility_samples.len());
+        for (acc, &(ts, kw)) in cabinet_sum.iter_mut().zip(&samples) {
+            assert!(ts >= from && ts < to);
+            *acc += kw;
+        }
+    }
+    for (i, (&sum, &(_, fac))) in cabinet_sum.iter().zip(&facility_samples).enumerate() {
+        assert!(
+            (sum - fac).abs() / fac < 0.05,
+            "sample {i}: cabinets {sum} kW vs facility {fac} kW"
+        );
+    }
+
+    // Aggregate-level reconciliation through the query planner: summed
+    // cabinet means equal the facility mean well inside the noise floor.
+    let fac_mean = aggregate(
+        &store.with_series(c.facility_series_id(), Clone::clone).unwrap(),
+        from,
+        to,
+        AggOp::Mean,
+    )
+    .0;
+    let cab_mean: f64 = c
+        .cabinet_series_ids()
+        .iter()
+        .map(|&sid| store.with_series(sid, |s| aggregate(s, from, to, AggOp::Mean).0).unwrap())
+        .sum();
+    assert!(
+        (cab_mean - fac_mean).abs() / fac_mean < 0.01,
+        "cabinet mean sum {cab_mean} kW vs facility mean {fac_mean} kW"
+    );
+}
+
+#[test]
+fn change_point_means_read_back_through_tsdb_queries() {
+    // One campaign across both operational changes, compressed to 12-day
+    // segments (the means settle after ~2 days as running jobs drain).
+    let facility = scaled_facility(2022, SCALE);
+    let k = 5860.0 / facility.nodes() as f64;
+    let start = SimTime::from_ymd(2022, 4, 1);
+    let bios = start + SimDuration::from_days(12);
+    let freq = bios + SimDuration::from_days(12);
+    let end = freq + SimDuration::from_days(12);
+
+    let mut c = Campaign::new(facility, config(2022), start, OperatingPoint::ORIGINAL);
+    c.run_until(bios);
+    c.set_operating_point(OperatingPoint::AFTER_BIOS);
+    c.run_until(freq);
+    c.set_operating_point(OperatingPoint::AFTER_FREQ);
+    c.run_until(end);
+
+    let series = c
+        .telemetry_store()
+        .with_series(c.facility_series_id(), Clone::clone)
+        .unwrap();
+    let settle = SimDuration::from_days(2);
+    let ts = |t: SimTime| t.as_unix() as i64;
+
+    // Settled segment means via the rollup-aware aggregate, scaled back to
+    // full-facility kilowatts. Paper: 3,220 / 3,010 / 2,530 kW, ±2 %.
+    let expectations = [
+        (ts(start), ts(bios), 3220.0),
+        (ts(bios + settle), ts(freq), 3010.0),
+        (ts(freq + settle), ts(end), 2530.0),
+    ];
+    for (from, to, paper_kw) in expectations {
+        let (mean, plan) = aggregate(&series, from, to, AggOp::Mean);
+        let mean_kw = mean * k;
+        assert!(
+            (mean_kw - paper_kw).abs() / paper_kw < 0.02,
+            "segment [{from}, {to}) mean {mean_kw:.0} kW vs paper {paper_kw} kW (plan {plan:?})"
+        );
+    }
+
+    // The change-point segment-means helper sees the same staircase
+    // (boundaries unsettled, so just require strictly decreasing steps).
+    let means = segment_means(&series, &[ts(start), ts(bios), ts(freq), ts(end)]);
+    assert_eq!(means.len(), 3);
+    assert!(
+        means[0] > means[1] && means[1] > means[2],
+        "segment means should step down: {means:?}"
+    );
+}
