@@ -584,8 +584,11 @@ impl Campaign {
         let mut world = world;
         if world.config.per_cabinet_telemetry {
             let n = world.facility.topology().config().cabinets as usize;
+            // Compact (mirror-free) views: at cabinet/node scale the dense
+            // mirror would cost 8 B/sample per series and erase the
+            // compression win; readbacks go through the tsdb store instead.
             world.cabinet_series = (0..n)
-                .map(|_| TimeSeries::new(start, world.config.sample_interval, "kW"))
+                .map(|_| TimeSeries::new_compact(start, world.config.sample_interval, "kW"))
                 .collect();
         }
         let failures_enabled = world.config.failures.is_some();
@@ -687,6 +690,41 @@ impl Campaign {
     /// Ids of the per-node series (empty unless `per_node_telemetry`).
     pub fn node_series_ids(&self) -> &[SeriesId] {
         &self.sim.world().node_sids
+    }
+
+    /// Mean facility power (kW) over `[from, to)`, answered by the store's
+    /// cached, instrumented query engine (rollup-planned when the window is
+    /// aligned). Returns the value and the plan that produced it.
+    pub fn facility_window_kw(&self, from: SimTime, to: SimTime) -> Option<(f64, hpc_tsdb::Plan)> {
+        let w = self.sim.world();
+        hpc_tsdb::store_aggregate(
+            &w.store,
+            w.facility_sid,
+            from.as_unix() as i64,
+            to.as_unix() as i64,
+            hpc_tsdb::AggOp::Mean,
+        )
+    }
+
+    /// Fan-out readback over every cabinet series in `[from, to)`: the
+    /// cabinets are aggregated concurrently and reduced to a
+    /// [`hpc_tsdb::GroupValue`] whose `sum_of_means` is the facility draw
+    /// attributable to compute cabinets. Empty unless
+    /// `per_cabinet_telemetry` was set.
+    pub fn cabinets_window_kw(&self, from: SimTime, to: SimTime) -> hpc_tsdb::GroupValue {
+        let w = self.sim.world();
+        hpc_tsdb::fanout_group(
+            &w.store,
+            &w.cabinet_sids,
+            from.as_unix() as i64,
+            to.as_unix() as i64,
+        )
+    }
+
+    /// Query-engine counters for the campaign's telemetry store (plans
+    /// chosen, chunk cache hits, samples scanned, wall time).
+    pub fn query_stats(&self) -> hpc_tsdb::QueryStats {
+        self.sim.world().store.query_stats()
     }
 }
 
@@ -856,7 +894,7 @@ mod failure_tests {
         // The backlog keeps the healthy fleet saturated despite the churn.
         assert!(c.utilisation() > 0.85, "utilisation {}", c.utilisation());
         // Power stays finite and positive throughout.
-        for &kw in c.power_series().values() {
+        for &kw in c.power_series().values().iter() {
             assert!(kw > 0.0 && kw.is_finite());
         }
     }
@@ -935,10 +973,13 @@ mod telemetry_tests {
 
         let cab = c.cabinet_series();
         assert_eq!(cab.len(), cabinets);
+        // Cabinet views are compact: compressed chunks only, no dense mirror.
+        assert!(cab.iter().all(|s| !s.has_mirror()));
         let total = c.power_series();
         assert_eq!(cab[0].len(), total.len());
+        let cab_vals: Vec<Vec<f64>> = cab.iter().map(|s| s.values().into_owned()).collect();
         for i in 0..total.len() {
-            let sum: f64 = cab.iter().map(|s| s.values()[i]).sum();
+            let sum: f64 = cab_vals.iter().map(|v| v[i]).sum();
             let facility = total.values()[i];
             // The facility series carries ±1 % telemetry noise; the cabinet
             // series are noiseless, so reconcile within 5 sigma.
@@ -947,6 +988,34 @@ mod telemetry_tests {
                 "sample {i}: cabinets {sum} vs facility {facility}"
             );
         }
+
+        // The fan-out readback answers exactly what a sequential pass over
+        // the store gives, and its cabinet sum reconciles with the facility
+        // window mean within the telemetry noise.
+        let (from, to) = (total.start(), total.end());
+        let group = c.cabinets_window_kw(from, to);
+        assert_eq!(group.series, cabinets);
+        assert_eq!(group.missing, 0);
+        let store = c.telemetry_store();
+        let mut sequential = 0.0;
+        for &sid in c.cabinet_series_ids() {
+            sequential += hpc_tsdb::store_aggregate(
+                store,
+                sid,
+                from.as_unix() as i64,
+                to.as_unix() as i64,
+                hpc_tsdb::AggOp::Mean,
+            )
+            .unwrap()
+            .0;
+        }
+        let rel = (group.sum_of_means - sequential).abs() / sequential.abs().max(1.0);
+        assert!(rel <= 1e-9, "fan-out {} vs sequential {sequential}", group.sum_of_means);
+        let (facility_mean, _) = c.facility_window_kw(from, to).unwrap();
+        assert!((group.sum_of_means - facility_mean).abs() / facility_mean < 0.05);
+        // The readbacks above went through the instrumented engine.
+        let stats = c.query_stats();
+        assert!(stats.queries > cabinets as u64, "stats: {stats:?}");
     }
 
     #[test]

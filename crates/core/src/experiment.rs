@@ -324,7 +324,7 @@ impl FigureResult {
 /// full-facility kilowatts).
 fn scale_series(s: &TimeSeries, k: f64) -> TimeSeries {
     let mut out = TimeSeries::new(s.start(), s.interval(), s.unit.clone());
-    for &v in s.values() {
+    for &v in s.values().iter() {
         out.push(v * k);
     }
     out

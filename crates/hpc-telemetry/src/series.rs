@@ -6,14 +6,18 @@
 //! into Gorilla-compressed chunks (and the rollup cascade), and windowed
 //! statistics are answered by the tsdb query planner — rollup buckets when
 //! the window is aligned, chunk scans otherwise. A dense `Vec<f64>` mirror
-//! is kept so the original `values()` slice API survives; callers that
-//! need per-node scale use `hpc_tsdb::TsdbStore` directly and skip the
-//! mirror.
+//! can be kept so the original `values()` slice API stays borrow-cheap —
+//! but it is **opt-out**: per-node-scale callers (the campaign's cabinet
+//! series, anything sized like `hpc_tsdb::TsdbStore` workloads) build with
+//! [`TimeSeries::new_compact`] and hold only the compressed chunks, with
+//! `values()` decoding on demand. Without the opt-out the mirror costs
+//! 8 bytes/sample and silently erases the compression win.
 
 use hpc_tsdb::series::{Series, SeriesMeta};
 use serde::{DeError, Deserialize, Serialize, Value};
 use sim_core::stats::OnlineStats;
 use sim_core::time::{SimDuration, SimTime};
+use std::borrow::Cow;
 
 /// A dense, regular-interval `f64` time series backed by compressed
 /// tsdb storage.
@@ -23,8 +27,9 @@ pub struct TimeSeries {
     interval_s: u64,
     /// Authoritative compressed storage + rollups.
     store: Series,
-    /// Dense mirror for the borrowed-slice API (`values()`).
-    samples: Vec<f64>,
+    /// Optional dense mirror for the borrowed-slice API (`values()`);
+    /// `None` for compact series, which decode on demand.
+    mirror: Option<Vec<f64>>,
     /// Unit label carried through to CSV/plots (e.g. `"kW"`).
     pub unit: String,
 }
@@ -33,20 +38,33 @@ impl PartialEq for TimeSeries {
     fn eq(&self, other: &Self) -> bool {
         self.start_unix == other.start_unix
             && self.interval_s == other.interval_s
-            && self.samples == other.samples
             && self.unit == other.unit
+            && self.values() == other.values()
     }
 }
 
 impl TimeSeries {
     /// Create an empty series starting at `start` with the given sampling
-    /// interval.
+    /// interval, keeping a dense mirror so `values()` borrows.
     ///
     /// # Panics
     /// Panics if the interval is zero.
     pub fn new(start: SimTime, interval: SimDuration, unit: impl Into<String>) -> Self {
+        Self::build(start, interval, unit.into(), true)
+    }
+
+    /// Create an empty **compact** series: only the compressed chunks are
+    /// held (no dense mirror), and `values()` decodes on demand. Use this
+    /// at per-node scale where the mirror would dominate memory.
+    ///
+    /// # Panics
+    /// Panics if the interval is zero.
+    pub fn new_compact(start: SimTime, interval: SimDuration, unit: impl Into<String>) -> Self {
+        Self::build(start, interval, unit.into(), false)
+    }
+
+    fn build(start: SimTime, interval: SimDuration, unit: String, mirrored: bool) -> Self {
         assert!(!interval.is_zero(), "sampling interval must be positive");
-        let unit = unit.into();
         TimeSeries {
             start_unix: start.as_unix(),
             interval_s: interval.as_secs(),
@@ -55,9 +73,15 @@ impl TimeSeries {
                 unit: unit.clone(),
                 interval_hint: interval.as_secs() as i64,
             }),
-            samples: Vec::new(),
+            mirror: mirrored.then(Vec::new),
             unit,
         }
+    }
+
+    /// Whether this series keeps the dense mirror (`false` for
+    /// [`new_compact`](TimeSeries::new_compact) series).
+    pub fn has_mirror(&self) -> bool {
+        self.mirror.is_some()
     }
 
     /// Start instant.
@@ -72,17 +96,25 @@ impl TimeSeries {
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.store.len() as usize
     }
 
     /// True when no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.store.is_empty()
     }
 
-    /// The raw samples.
-    pub fn values(&self) -> &[f64] {
-        &self.samples
+    /// The raw samples: borrowed from the dense mirror when one is kept,
+    /// decoded from the compressed chunks otherwise (lossless either way).
+    pub fn values(&self) -> Cow<'_, [f64]> {
+        match &self.mirror {
+            Some(v) => Cow::Borrowed(v.as_slice()),
+            None => Cow::Owned(self.decoded()),
+        }
+    }
+
+    fn decoded(&self) -> Vec<f64> {
+        self.store.scan(i64::MIN, i64::MAX).into_iter().map(|(_, v)| v).collect()
     }
 
     /// The compressed tsdb series behind this view (chunks + rollups).
@@ -101,9 +133,11 @@ impl TimeSeries {
     /// Panics on non-finite values.
     pub fn push(&mut self, value: f64) {
         assert!(value.is_finite(), "non-finite sample {value}");
-        let ts = self.start_unix + self.samples.len() as u64 * self.interval_s;
+        let ts = self.start_unix + self.store.len() * self.interval_s;
         self.store.append(ts as i64, value);
-        self.samples.push(value);
+        if let Some(mirror) = &mut self.mirror {
+            mirror.push(value);
+        }
     }
 
     /// Timestamp of sample `i`.
@@ -113,7 +147,7 @@ impl TimeSeries {
 
     /// Timestamp one interval past the final sample (exclusive end).
     pub fn end(&self) -> SimTime {
-        self.time_at(self.samples.len())
+        self.time_at(self.len())
     }
 
     /// Index of the first sample at or after `t` (clamped to `len`).
@@ -122,7 +156,7 @@ impl TimeSeries {
         if t <= self.start_unix {
             return 0;
         }
-        (t - self.start_unix).div_ceil(self.interval_s).min(self.samples.len() as u64) as usize
+        (t - self.start_unix).div_ceil(self.interval_s).min(self.store.len()) as usize
     }
 
     /// Mean of all samples (0 for an empty series).
@@ -164,7 +198,8 @@ impl TimeSeries {
             SimDuration::from_secs(self.interval_s * k as u64),
             self.unit.clone(),
         );
-        for chunk in self.samples.chunks(k) {
+        let values = self.values();
+        for chunk in values.chunks(k) {
             let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
             out.push(mean);
         }
@@ -181,13 +216,19 @@ impl TimeSeries {
 
 // The backing tsdb series is reconstructed from the dense samples, so the
 // serialised form is exactly the pre-migration one: start, interval,
-// samples, unit.
+// samples, unit. Compact series decode their samples for serialisation —
+// the codec is bit-lossless, so mirrored and compact series serialise
+// identically.
 impl Serialize for TimeSeries {
     fn to_value(&self) -> Value {
+        let samples = match &self.mirror {
+            Some(v) => v.to_value(),
+            None => self.decoded().to_value(),
+        };
         Value::Map(vec![
             ("start_unix".into(), self.start_unix.to_value()),
             ("interval_s".into(), self.interval_s.to_value()),
-            ("samples".into(), self.samples.to_value()),
+            ("samples".into(), samples),
             ("unit".into(), self.unit.to_value()),
         ])
     }
@@ -270,7 +311,7 @@ mod tests {
     fn block_means_downsample() {
         let s = series_with(&[1.0, 3.0, 5.0, 7.0, 9.0]);
         let d = s.block_means(2);
-        assert_eq!(d.values(), &[2.0, 6.0, 9.0]);
+        assert_eq!(&d.values()[..], &[2.0, 6.0, 9.0]);
         assert_eq!(d.interval().as_secs(), 1800);
     }
 
@@ -315,6 +356,52 @@ mod tests {
             s.compressed_bytes(),
             vals.len()
         );
+    }
+
+    #[test]
+    fn compact_series_agrees_with_mirrored() {
+        let vals: Vec<f64> = (0..1500).map(|i| 2800.0 + f64::from(i % 37) * 3.5).collect();
+        let mirrored = series_with(&vals);
+        let mut compact =
+            TimeSeries::new_compact(SimTime::from_unix(0), SimDuration::from_mins(15), "kW");
+        for &v in &vals {
+            compact.push(v);
+        }
+        assert!(!compact.has_mirror());
+        assert!(mirrored.has_mirror());
+        assert_eq!(compact.len(), vals.len());
+        assert_eq!(compact.end(), mirrored.end());
+        // values() decodes losslessly.
+        let decoded = compact.values();
+        for (d, v) in decoded.iter().zip(&vals) {
+            assert_eq!(d.to_bits(), v.to_bits());
+        }
+        assert_eq!(compact, mirrored);
+        // Window stats flow through the same tsdb planner either way.
+        let a = mirrored.window_stats(mirrored.time_at(13), mirrored.time_at(509));
+        let b = compact.window_stats(compact.time_at(13), compact.time_at(509));
+        assert_eq!(a.count(), b.count());
+        assert!((a.mean() - b.mean()).abs() < 1e-12);
+        // And the memory story is real: no 8 B/sample mirror.
+        assert!(compact.compressed_bytes() < vals.len() * 8);
+        let down = compact.block_means(96);
+        assert_eq!(down.len(), vals.len().div_ceil(96));
+    }
+
+    #[test]
+    fn compact_series_serializes_identically() {
+        let vals = [3220.0, 3010.0, 2530.0, 2530.5];
+        let mirrored = series_with(&vals);
+        let mut compact =
+            TimeSeries::new_compact(SimTime::from_unix(0), SimDuration::from_mins(15), "kW");
+        for &v in &vals {
+            compact.push(v);
+        }
+        let a = serde_json::to_string(&mirrored).unwrap();
+        let b = serde_json::to_string(&compact).unwrap();
+        assert_eq!(a, b, "serialised form must not leak the mirror flag");
+        let back: TimeSeries = serde_json::from_str(&b).unwrap();
+        assert_eq!(back, compact);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Bounded LRU cache of decoded chunks.
+//!
+//! Gorilla decode is the dominant cost of a raw-plan query, and sealed
+//! chunks are **immutable**: a series only ever appends — sealing a new
+//! chunk adds a new index, it never rewrites an old one — so a decoded
+//! chunk keyed by `(series id, chunk index)` can be cached forever without
+//! an invalidation protocol. The only mutable storage is the active
+//! (unsealed) chunk, which is never cached.
+//!
+//! The cache is sharded: keys hash across independent mutexes so parallel
+//! fan-out workers rarely contend, and decode itself always happens
+//! *outside* the lock (two workers may race to decode the same chunk; the
+//! loser's insert is a no-op — wasted work, never wrong answers).
+//! Eviction is least-recently-used per shard, tracked with a monotonic
+//! access stamp.
+
+use crate::chunk::Chunk;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A decoded chunk shared between the cache and its readers.
+pub type DecodedChunk = Arc<Vec<(i64, f64)>>;
+
+/// Internal lock shards. Power of two so the hash mix distributes evenly.
+const CACHE_SHARDS: usize = 8;
+
+#[derive(Debug, Default)]
+struct CacheShard {
+    map: HashMap<(u64, u32), Entry>,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    samples: DecodedChunk,
+    stamp: u64,
+}
+
+impl CacheShard {
+    fn touch(&mut self, key: (u64, u32)) -> Option<DecodedChunk> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|e| {
+            e.stamp = tick;
+            Arc::clone(&e.samples)
+        })
+    }
+
+    fn insert(&mut self, key: (u64, u32), samples: DecodedChunk, capacity: usize) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.entry(key).or_insert(Entry { samples, stamp: tick });
+        while self.map.len() > capacity {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(&k, _)| k)
+                .expect("over-capacity shard is non-empty");
+            self.map.remove(&oldest);
+        }
+    }
+}
+
+/// Bounded LRU cache of decoded chunks, keyed by `(series id, chunk
+/// index)`. Capacity is counted in chunks (a full chunk decodes to
+/// `CHUNK_SAMPLES` `(i64, f64)` pairs ≈ 8 KiB). A capacity of zero
+/// disables caching entirely: every lookup decodes.
+#[derive(Debug)]
+pub struct ChunkCache {
+    shards: Vec<Mutex<CacheShard>>,
+    per_shard_capacity: usize,
+}
+
+impl ChunkCache {
+    /// A cache holding at most `capacity` decoded chunks (rounded up to a
+    /// multiple of the internal shard count; 0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        ChunkCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(CacheShard::default())).collect(),
+            per_shard_capacity: capacity.div_ceil(CACHE_SHARDS),
+        }
+    }
+
+    /// Maximum chunks held (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * CACHE_SHARDS
+    }
+
+    /// Decoded chunks currently held.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached chunk (counters in the query layer are separate).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().map.clear();
+        }
+    }
+
+    fn shard_of(&self, key: (u64, u32)) -> usize {
+        // Fibonacci mix so dense series ids spread across shards.
+        let h = (key.0 ^ u64::from(key.1).rotate_left(32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 56) as usize % CACHE_SHARDS
+    }
+
+    /// Fetch the decoded samples of `chunk` (which must be the sealed chunk
+    /// at `index` within series `series`), decoding on a miss. Returns the
+    /// samples and whether this was a cache hit. Decode runs outside the
+    /// shard lock.
+    pub fn get_or_decode(&self, series: u64, index: u32, chunk: &Chunk) -> (DecodedChunk, bool) {
+        if self.per_shard_capacity == 0 {
+            return (Arc::new(chunk.decode()), false);
+        }
+        let key = (series, index);
+        let shard = &self.shards[self.shard_of(key)];
+        if let Some(samples) = shard.lock().touch(key) {
+            return (samples, true);
+        }
+        let samples: DecodedChunk = Arc::new(chunk.decode());
+        shard.lock().insert(key, Arc::clone(&samples), self.per_shard_capacity);
+        (samples, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkBuilder;
+
+    fn chunk_of(n: u32, offset: f64) -> Chunk {
+        let mut b = ChunkBuilder::new();
+        for i in 0..n {
+            b.push(i64::from(i) * 60, f64::from(i) + offset);
+        }
+        b.seal()
+    }
+
+    #[test]
+    fn hit_after_miss_returns_same_samples() {
+        let cache = ChunkCache::new(16);
+        let c = chunk_of(100, 0.5);
+        let (first, hit) = cache.get_or_decode(7, 0, &c);
+        assert!(!hit);
+        let (second, hit) = cache.get_or_decode(7, 0, &c);
+        assert!(hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(first.len(), 100);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = ChunkCache::new(64);
+        let a = chunk_of(10, 0.0);
+        let b = chunk_of(10, 1000.0);
+        let (da, _) = cache.get_or_decode(1, 0, &a);
+        let (db, _) = cache.get_or_decode(2, 0, &b);
+        assert_eq!(da[0].1, 0.0);
+        assert_eq!(db[0].1, 1000.0);
+        // Same series, different chunk index is a different entry too.
+        let (dc, hit) = cache.get_or_decode(1, 1, &b);
+        assert!(!hit);
+        assert_eq!(dc[0].1, 1000.0);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_capacity() {
+        let cache = ChunkCache::new(8); // 1 per internal shard
+        let c = chunk_of(4, 0.0);
+        // Hammer one shard by reusing one series id with many indexes; the
+        // shard holds one entry, so only the most recent survives.
+        for idx in 0..32u32 {
+            cache.get_or_decode(3, idx, &c);
+        }
+        assert!(cache.len() <= cache.capacity());
+        let before = cache.len();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(before > 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ChunkCache::new(0);
+        let c = chunk_of(4, 0.0);
+        let (_, hit) = cache.get_or_decode(1, 0, &c);
+        assert!(!hit);
+        let (_, hit) = cache.get_or_decode(1, 0, &c);
+        assert!(!hit, "disabled cache never hits");
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.capacity(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_agree() {
+        let cache = std::sync::Arc::new(ChunkCache::new(32));
+        let c = chunk_of(256, 10.0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let (samples, _) = cache.get_or_decode(9, 3, &c);
+                        assert_eq!(samples.len(), 256);
+                        assert_eq!(samples[0].1, 10.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -234,6 +234,13 @@ impl Chunk {
         self.first_ts < to && self.last_ts >= from
     }
 
+    /// Whether every sample of this chunk lies inside `[from, to)` — the
+    /// whole-chunk shortcut: such a chunk contributes its pre-computed
+    /// aggregate without being decoded.
+    pub fn contained_in(&self, from: i64, to: i64) -> bool {
+        self.first_ts >= from && self.last_ts < to
+    }
+
     /// Decode every sample.
     pub fn decode(&self) -> Vec<(i64, f64)> {
         decode_stream(&self.data, self.len_bits, self.count)

@@ -13,22 +13,32 @@
 //!   re-aggregate exactly);
 //! - [`series`] — one series: sealed chunks + active chunk + rollups;
 //! - [`store`] — the sharded store and its channel-fed ingest pipeline
-//!   (writers hashed by series id, one thread per shard);
+//!   (writers hashed by series id, one thread per shard, poisoned batches
+//!   rejected without killing the writer);
+//! - [`cache`] — bounded LRU cache of decoded chunks, shared by all
+//!   store-level queries (sealed chunks are immutable, so entries never
+//!   need invalidation);
 //! - [`query`] — range scans, aligned aggregations (mean/max/p95),
-//!   rollup-aware planning and change-point segment means.
+//!   rollup-aware planning, change-point segment means, and the parallel
+//!   multi-series fan-out layer with per-store [`QueryStats`]
+//!   instrumentation.
 
 #![warn(missing_docs)]
 
 pub mod bitstream;
+pub mod cache;
 pub mod chunk;
 pub mod query;
 pub mod rollup;
 pub mod series;
 pub mod store;
 
+pub use cache::ChunkCache;
 pub use query::{
-    aggregate, aligned_windows, segment_means, window_aggregate, AggOp, Plan, WindowValue,
+    aggregate, aligned_windows, fanout_aggregate, fanout_group, fanout_windows, segment_means,
+    store_aggregate, store_segment_means, store_windows, window_aggregate, AggOp, GroupValue,
+    Plan, QueryStats, WindowValue,
 };
 pub use rollup::Aggregate;
 pub use series::{Series, SeriesMeta};
-pub use store::{IngestPipeline, SeriesId, StoreConfig, TsdbStore};
+pub use store::{IngestError, IngestPipeline, SeriesId, StoreConfig, TsdbStore};

@@ -1,15 +1,31 @@
-//! Query engine: time-range scans, aligned window aggregations and
-//! change-point segment means, with rollup-aware planning.
+//! Query engine: time-range scans, aligned window aggregations,
+//! change-point segment means and multi-series fan-out, with rollup-aware
+//! planning, a decoded-chunk cache and per-store instrumentation.
 //!
 //! Planning rule: an aggregation whose window is aligned to a rollup
 //! level's grid is served from that level's buckets — coarsest level
 //! first — because bucket aggregates compose exactly (they carry
 //! count/sum/min/max/m2, not means). Percentiles need the raw
 //! distribution, so `P95` always plans a raw scan.
+//!
+//! ## Locking discipline (store-level queries)
+//!
+//! Store-level entry points ([`store_aggregate`], [`store_windows`], the
+//! `fanout_*` family) evaluate in two phases. Under a **short shard read
+//! lock** they plan, compose rollup buckets, clone the handles of the
+//! sealed chunks a raw scan needs (an `O(1)` refcount bump per chunk) and
+//! copy out the small active chunk. The lock is then released, and all
+//! Gorilla decode — the expensive part — runs lock-free against immutable
+//! sealed chunks, through the store's [`ChunkCache`](crate::cache::ChunkCache).
+//! A query therefore never holds a shard lock across a decode, and
+//! concurrent writers are stalled only for the snapshot instant.
 
+use crate::chunk::Chunk;
 use crate::rollup::Aggregate;
 use crate::series::Series;
 use crate::store::{SeriesId, TsdbStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Aggregation operators over a time window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,13 +184,18 @@ pub fn aligned_windows(
     let mut start = from;
     while start < to {
         let end = (start + step).min(to);
-        let agg = window_aggregate(series, start, end);
-        let value = if op == AggOp::P95 {
-            aggregate(series, start, end, op).0
+        let (value, count) = if op == AggOp::P95 {
+            // One raw scan yields both the percentile and the count; the
+            // former `window_aggregate` + `aggregate` pair scanned each
+            // window twice.
+            let vals: Vec<f64> = series.scan(start, end).into_iter().map(|(_, v)| v).collect();
+            let count = vals.len() as u64;
+            (percentile(vals, 95.0), count)
         } else {
-            finish(op, &agg)
+            let agg = window_aggregate(series, start, end);
+            (finish(op, &agg), agg.count)
         };
-        out.push(WindowValue { start, value, count: agg.count });
+        out.push(WindowValue { start, value, count });
         start = end;
     }
     out
@@ -196,7 +217,331 @@ pub fn segment_means(series: &Series, boundaries: &[i64]) -> Vec<f64> {
         .collect()
 }
 
-/// Store-level convenience: aggregate a series by id.
+// ---------------------------------------------------------------------------
+// Query observability
+// ---------------------------------------------------------------------------
+
+/// Snapshot of a store's query counters (see [`TsdbStore::query_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Store-level query evaluations (one per series per call; a fan-out
+    /// over N series counts N).
+    pub queries: u64,
+    /// Windows answered from 1-hour rollup buckets.
+    pub plans_hour: u64,
+    /// Windows answered from 1-minute rollup buckets.
+    pub plans_minute: u64,
+    /// Windows answered by raw chunk scans.
+    pub plans_raw: u64,
+    /// Sealed chunks Gorilla-decoded (cache misses + uncached decodes).
+    pub chunks_decoded: u64,
+    /// Sealed-chunk reads served from the decoded-chunk cache.
+    pub chunk_cache_hits: u64,
+    /// Decoded samples iterated by raw scans.
+    pub samples_scanned: u64,
+    /// Wall-clock time spent inside store-level query entry points, in
+    /// nanoseconds (fan-out counts once per call, not per worker).
+    pub wall_nanos: u64,
+}
+
+impl QueryStats {
+    /// Fraction of sealed-chunk reads served from cache (0 when no chunk
+    /// was ever read).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.chunks_decoded + self.chunk_cache_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.chunk_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Wall-clock milliseconds spent in store-level queries.
+    pub fn wall_millis(&self) -> f64 {
+        self.wall_nanos as f64 / 1e6
+    }
+}
+
+/// Lock-free counters behind [`QueryStats`], owned by the store and bumped
+/// by every store-level query path.
+#[derive(Debug, Default)]
+pub(crate) struct QueryCounters {
+    queries: AtomicU64,
+    plans_hour: AtomicU64,
+    plans_minute: AtomicU64,
+    plans_raw: AtomicU64,
+    chunks_decoded: AtomicU64,
+    chunk_cache_hits: AtomicU64,
+    samples_scanned: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+impl QueryCounters {
+    fn record_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_plan(&self, plan: Plan) {
+        let c = match plan {
+            Plan::HourRollup => &self.plans_hour,
+            Plan::MinuteRollup => &self.plans_minute,
+            Plan::RawScan => &self.plans_raw,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_chunk(&self, cache_hit: bool) {
+        let c = if cache_hit { &self.chunk_cache_hits } else { &self.chunks_decoded };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add_samples(&self, n: u64) {
+        self.samples_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn add_wall(&self, since: Instant) {
+        self.wall_nanos.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> QueryStats {
+        QueryStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            plans_hour: self.plans_hour.load(Ordering::Relaxed),
+            plans_minute: self.plans_minute.load(Ordering::Relaxed),
+            plans_raw: self.plans_raw.load(Ordering::Relaxed),
+            chunks_decoded: self.chunks_decoded.load(Ordering::Relaxed),
+            chunk_cache_hits: self.chunk_cache_hits.load(Ordering::Relaxed),
+            samples_scanned: self.samples_scanned.load(Ordering::Relaxed),
+            wall_nanos: self.wall_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.plans_hour.store(0, Ordering::Relaxed);
+        self.plans_minute.store(0, Ordering::Relaxed);
+        self.plans_raw.store(0, Ordering::Relaxed);
+        self.chunks_decoded.store(0, Ordering::Relaxed);
+        self.chunk_cache_hits.store(0, Ordering::Relaxed);
+        self.samples_scanned.store(0, Ordering::Relaxed);
+        self.wall_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store-level cached queries (snapshot under lock, decode outside)
+// ---------------------------------------------------------------------------
+
+/// Raw-scan inputs captured under the shard read lock: cheap clones of the
+/// overlapping sealed chunks (`Bytes` refcount bumps) plus the decoded
+/// active-chunk samples. Everything here is immutable once captured, so
+/// decode can proceed without the lock.
+struct RawSnapshot {
+    chunks: Vec<(u32, Chunk)>,
+    active: Vec<(i64, f64)>,
+}
+
+fn raw_snapshot(series: &Series, from: i64, to: i64) -> RawSnapshot {
+    let chunks = series
+        .chunks()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.overlaps(from, to))
+        .map(|(i, c)| (i as u32, c.clone()))
+        .collect();
+    RawSnapshot { chunks, active: series.active_samples_in(from, to) }
+}
+
+/// Full-moment aggregate of a snapshot restricted to `[from, to)`, going
+/// through the store's decoded-chunk cache. Chunks wholly inside the window
+/// contribute their pre-computed aggregate without decoding.
+fn snapshot_aggregate(
+    store: &TsdbStore,
+    id: SeriesId,
+    snap: &RawSnapshot,
+    from: i64,
+    to: i64,
+) -> Aggregate {
+    let counters = store.query_counters();
+    let cache = store.chunk_cache();
+    let mut agg = Aggregate::new();
+    for (index, chunk) in &snap.chunks {
+        if !chunk.overlaps(from, to) {
+            continue;
+        }
+        if chunk.contained_in(from, to) {
+            agg.merge(chunk.aggregate());
+            continue;
+        }
+        let (samples, hit) = cache.get_or_decode(id.0, *index, chunk);
+        counters.record_chunk(hit);
+        counters.add_samples(samples.len() as u64);
+        for &(t, v) in samples.iter() {
+            if t >= from && t < to {
+                agg.push(v);
+            }
+        }
+    }
+    for &(t, v) in &snap.active {
+        if t >= from && t < to {
+            agg.push(v);
+            counters.add_samples(1);
+        }
+    }
+    agg
+}
+
+/// Raw values of a snapshot restricted to `[from, to)`, in time order,
+/// going through the decoded-chunk cache (for percentiles).
+fn snapshot_values(
+    store: &TsdbStore,
+    id: SeriesId,
+    snap: &RawSnapshot,
+    from: i64,
+    to: i64,
+) -> Vec<f64> {
+    let counters = store.query_counters();
+    let cache = store.chunk_cache();
+    let mut out = Vec::new();
+    for (index, chunk) in &snap.chunks {
+        if !chunk.overlaps(from, to) {
+            continue;
+        }
+        let (samples, hit) = cache.get_or_decode(id.0, *index, chunk);
+        counters.record_chunk(hit);
+        counters.add_samples(samples.len() as u64);
+        out.extend(samples.iter().filter(|&&(t, _)| t >= from && t < to).map(|&(_, v)| v));
+    }
+    for &(t, v) in &snap.active {
+        if t >= from && t < to {
+            out.push(v);
+            counters.add_samples(1);
+        }
+    }
+    out
+}
+
+/// What a store-level query captured under the shard read lock: either a
+/// finished rollup composition, or the raw materials for a lock-free scan.
+enum Prep {
+    Rollup(Aggregate, Plan),
+    Raw(RawSnapshot),
+}
+
+fn prepare_aggregate(series: &Series, from: i64, to: i64, op: AggOp) -> Prep {
+    match plan_aggregate(series, from, to, op) {
+        Plan::RawScan => Prep::Raw(raw_snapshot(series, from, to)),
+        plan => Prep::Rollup(rollup_window(series, from, to, plan), plan),
+    }
+}
+
+fn window_aggregate_inner(
+    store: &TsdbStore,
+    id: SeriesId,
+    from: i64,
+    to: i64,
+) -> Option<(Aggregate, Plan)> {
+    let counters = store.query_counters();
+    counters.record_query();
+    let prep = store.with_series(id, |s| prepare_aggregate(s, from, to, AggOp::Mean))?;
+    Some(match prep {
+        Prep::Rollup(agg, plan) => {
+            counters.record_plan(plan);
+            (agg, plan)
+        }
+        Prep::Raw(snap) => {
+            counters.record_plan(Plan::RawScan);
+            (snapshot_aggregate(store, id, &snap, from, to), Plan::RawScan)
+        }
+    })
+}
+
+fn aggregate_inner(
+    store: &TsdbStore,
+    id: SeriesId,
+    from: i64,
+    to: i64,
+    op: AggOp,
+) -> Option<(f64, Plan)> {
+    if op == AggOp::P95 {
+        let counters = store.query_counters();
+        counters.record_query();
+        let snap = store.with_series(id, |s| raw_snapshot(s, from, to))?;
+        counters.record_plan(Plan::RawScan);
+        let vals = snapshot_values(store, id, &snap, from, to);
+        return Some((percentile(vals, 95.0), Plan::RawScan));
+    }
+    let (agg, plan) = window_aggregate_inner(store, id, from, to)?;
+    Some((finish(op, &agg), plan))
+}
+
+fn windows_inner(
+    store: &TsdbStore,
+    id: SeriesId,
+    from: i64,
+    to: i64,
+    step: i64,
+    op: AggOp,
+) -> Option<Vec<WindowValue>> {
+    assert!(step > 0, "window step must be positive");
+    assert!(from <= to, "window range reversed");
+    let counters = store.query_counters();
+    counters.record_query();
+    // Under the lock: plan every window, finish the rollup-served ones, and
+    // take one snapshot covering the whole range if any window needs raw.
+    struct WindowPrep {
+        start: i64,
+        end: i64,
+        rollup: Option<(Aggregate, Plan)>,
+    }
+    let (windows, snap) = store.with_series(id, |s| {
+        let mut windows = Vec::new();
+        let mut need_raw = false;
+        let mut start = from;
+        while start < to {
+            let end = (start + step).min(to);
+            let rollup = match plan_aggregate(s, start, end, op) {
+                Plan::RawScan => {
+                    need_raw = true;
+                    None
+                }
+                plan => Some((rollup_window(s, start, end, plan), plan)),
+            };
+            windows.push(WindowPrep { start, end, rollup });
+            start = end;
+        }
+        let snap = need_raw.then(|| raw_snapshot(s, from, to));
+        (windows, snap)
+    })?;
+    let mut out = Vec::with_capacity(windows.len());
+    for w in windows {
+        let (value, count) = match w.rollup {
+            Some((agg, plan)) => {
+                counters.record_plan(plan);
+                (finish(op, &agg), agg.count)
+            }
+            None => {
+                counters.record_plan(Plan::RawScan);
+                let snap = snap.as_ref().expect("raw window implies snapshot");
+                if op == AggOp::P95 {
+                    let vals = snapshot_values(store, id, snap, w.start, w.end);
+                    let count = vals.len() as u64;
+                    (percentile(vals, 95.0), count)
+                } else {
+                    let agg = snapshot_aggregate(store, id, snap, w.start, w.end);
+                    (finish(op, &agg), agg.count)
+                }
+            }
+        };
+        out.push(WindowValue { start: w.start, value, count });
+    }
+    Some(out)
+}
+
+/// Store-level aggregate of one series by id, with rollup-aware planning,
+/// the decoded-chunk cache and query instrumentation. The shard read lock
+/// is held only while planning and snapshotting, never across a decode.
+/// Returns `None` for an unknown series.
 pub fn store_aggregate(
     store: &TsdbStore,
     id: SeriesId,
@@ -204,7 +549,185 @@ pub fn store_aggregate(
     to: i64,
     op: AggOp,
 ) -> Option<(f64, Plan)> {
-    store.with_series(id, |s| aggregate(s, from, to, op))
+    let t = Instant::now();
+    let out = aggregate_inner(store, id, from, to, op);
+    store.query_counters().add_wall(t);
+    out
+}
+
+/// Store-level [`aligned_windows`]: split `[from, to)` into `step`-second
+/// windows and aggregate each, planning per window and serving raw windows
+/// from one shared snapshot through the chunk cache.
+///
+/// # Panics
+/// Panics if `step <= 0` or `from > to`.
+pub fn store_windows(
+    store: &TsdbStore,
+    id: SeriesId,
+    from: i64,
+    to: i64,
+    step: i64,
+    op: AggOp,
+) -> Option<Vec<WindowValue>> {
+    let t = Instant::now();
+    let out = windows_inner(store, id, from, to, step, op);
+    store.query_counters().add_wall(t);
+    out
+}
+
+/// Store-level [`segment_means`]: mean of each `[bᵢ, bᵢ₊₁)` segment.
+///
+/// # Panics
+/// Panics if fewer than two boundaries are given or they are not sorted.
+pub fn store_segment_means(
+    store: &TsdbStore,
+    id: SeriesId,
+    boundaries: &[i64],
+) -> Option<Vec<f64>> {
+    assert!(boundaries.len() >= 2, "need at least two boundaries");
+    let t = Instant::now();
+    let mut out = Vec::with_capacity(boundaries.len() - 1);
+    for w in boundaries.windows(2) {
+        assert!(w[0] <= w[1], "boundaries must be sorted");
+        match aggregate_inner(store, id, w[0], w[1], AggOp::Mean) {
+            Some((mean, _)) => out.push(mean),
+            None => {
+                store.query_counters().add_wall(t);
+                return None;
+            }
+        }
+    }
+    store.query_counters().add_wall(t);
+    Some(out)
+}
+
+// ---------------------------------------------------------------------------
+// Multi-series fan-out
+// ---------------------------------------------------------------------------
+
+/// Evaluate `f` for every id, in parallel across rayon worker threads, and
+/// return results in input order. Ids are distributed in contiguous blocks
+/// so adjacent series (which usually live on the same store shard and share
+/// cache locality) stay on one worker.
+fn fanout_map<R, F>(ids: &[SeriesId], f: F) -> Vec<Option<R>>
+where
+    R: Send,
+    F: Fn(SeriesId) -> Option<R> + Sync,
+{
+    let n = ids.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = rayon::current_num_threads().clamp(1, n);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    if workers == 1 {
+        for (slot, &id) in out.iter_mut().zip(ids) {
+            *slot = f(id);
+        }
+        return out;
+    }
+    let block = n.div_ceil(workers);
+    let f = &f;
+    rayon::scope(|s| {
+        for (id_block, out_block) in ids.chunks(block).zip(out.chunks_mut(block)) {
+            s.spawn(move |_| {
+                for (slot, &id) in out_block.iter_mut().zip(id_block) {
+                    *slot = f(id);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Aggregate many series over the same `[from, to)` window concurrently.
+/// Results are in input order; `None` marks an unknown id. Numerically
+/// identical to calling [`store_aggregate`] per id in a loop.
+pub fn fanout_aggregate(
+    store: &TsdbStore,
+    ids: &[SeriesId],
+    from: i64,
+    to: i64,
+    op: AggOp,
+) -> Vec<Option<(f64, Plan)>> {
+    let t = Instant::now();
+    let out = fanout_map(ids, |id| aggregate_inner(store, id, from, to, op));
+    store.query_counters().add_wall(t);
+    out
+}
+
+/// Windowed aggregation of many series concurrently (the fan-out form of
+/// [`store_windows`]). Results are in input order; `None` marks an unknown
+/// id.
+///
+/// # Panics
+/// Panics if `step <= 0` or `from > to`.
+pub fn fanout_windows(
+    store: &TsdbStore,
+    ids: &[SeriesId],
+    from: i64,
+    to: i64,
+    step: i64,
+    op: AggOp,
+) -> Vec<Option<Vec<WindowValue>>> {
+    assert!(step > 0, "window step must be positive");
+    assert!(from <= to, "window range reversed");
+    let t = Instant::now();
+    let out = fanout_map(ids, |id| windows_inner(store, id, from, to, step, op));
+    store.query_counters().add_wall(t);
+    out
+}
+
+/// Group aggregate across many series over one window — the "all cabinets
+/// → facility" reduction.
+#[derive(Debug, Clone)]
+pub struct GroupValue {
+    /// Series that resolved and contributed.
+    pub series: usize,
+    /// Ids that did not resolve to a registered series.
+    pub missing: usize,
+    /// Sum of the per-series window means, skipping empty series. For
+    /// cabinet power this is the facility draw in the window.
+    pub sum_of_means: f64,
+    /// Full-moment aggregate over every sample of every resolved series.
+    pub total: Aggregate,
+}
+
+impl GroupValue {
+    /// Mean of the per-series means (`sum_of_means / series`), NaN when no
+    /// series resolved.
+    pub fn mean_of_means(&self) -> f64 {
+        if self.series == 0 {
+            f64::NAN
+        } else {
+            self.sum_of_means / self.series as f64
+        }
+    }
+}
+
+/// Reduce many series over one `[from, to)` window into a [`GroupValue`]:
+/// per-series aggregation runs concurrently, the reduction is sequential
+/// and deterministic (input order), so repeated calls are bit-identical.
+pub fn fanout_group(store: &TsdbStore, ids: &[SeriesId], from: i64, to: i64) -> GroupValue {
+    let t = Instant::now();
+    let per_series = fanout_map(ids, |id| window_aggregate_inner(store, id, from, to));
+    let mut group =
+        GroupValue { series: 0, missing: 0, sum_of_means: 0.0, total: Aggregate::new() };
+    for entry in per_series {
+        match entry {
+            None => group.missing += 1,
+            Some((agg, _)) => {
+                group.series += 1;
+                if agg.count > 0 {
+                    group.sum_of_means += agg.mean();
+                }
+                group.total.merge(&agg);
+            }
+        }
+    }
+    store.query_counters().add_wall(t);
+    group
 }
 
 #[cfg(test)]
@@ -310,5 +833,159 @@ mod tests {
         let (mean, _) = store_aggregate(&store, id, 0, 7200, AggOp::Mean).unwrap();
         assert!((mean - 100.0).abs() < 1e-12);
         assert!(store_aggregate(&store, SeriesId(999), 0, 1, AggOp::Mean).is_none());
+    }
+
+    fn populated_store(n_series: u32, n_samples: u32) -> (TsdbStore, Vec<SeriesId>) {
+        let store = TsdbStore::default();
+        let ids: Vec<SeriesId> = (0..n_series)
+            .map(|s| {
+                store.register(SeriesMeta {
+                    name: format!("cab.{s}"),
+                    unit: "kW".into(),
+                    interval_hint: 60,
+                })
+            })
+            .collect();
+        for (s, &id) in ids.iter().enumerate() {
+            for i in 0..n_samples {
+                let v = (f64::from(i) * 0.13 + s as f64).sin() * 40.0 + 70.0 + s as f64;
+                store.append(id, i64::from(i) * 60, v);
+            }
+        }
+        (store, ids)
+    }
+
+    #[test]
+    fn fanout_matches_sequential_bit_for_bit() {
+        let (store, ids) = populated_store(9, CHUNK_TEST_LEN);
+        let from = 30; // deliberately unaligned → raw plans
+        let to = i64::from(CHUNK_TEST_LEN) * 60 - 30;
+        for op in [AggOp::Mean, AggOp::Sum, AggOp::Min, AggOp::Max, AggOp::Count, AggOp::P95] {
+            let seq: Vec<_> =
+                ids.iter().map(|&id| store_aggregate(&store, id, from, to, op)).collect();
+            let fan = fanout_aggregate(&store, &ids, from, to, op);
+            assert_eq!(seq.len(), fan.len());
+            for (s, f) in seq.iter().zip(&fan) {
+                let (sv, sp) = s.unwrap();
+                let (fv, fp) = f.unwrap();
+                assert_eq!(sp, fp);
+                assert!(
+                    sv == fv || (sv.is_nan() && fv.is_nan()),
+                    "fan-out {fv} != sequential {sv} for {op:?}"
+                );
+            }
+        }
+        // Windowed form, with a step that straddles chunk boundaries.
+        let seq: Vec<_> =
+            ids.iter().map(|&id| store_windows(&store, id, from, to, 7 * 60, AggOp::P95)).collect();
+        let fan = fanout_windows(&store, &ids, from, to, 7 * 60, AggOp::P95);
+        for (s, f) in seq.iter().zip(&fan) {
+            let (s, f) = (s.as_ref().unwrap(), f.as_ref().unwrap());
+            assert_eq!(s.len(), f.len());
+            for (a, b) in s.iter().zip(f) {
+                assert_eq!(a.start, b.start);
+                assert_eq!(a.count, b.count);
+                assert!(a.value == b.value || (a.value.is_nan() && b.value.is_nan()));
+            }
+        }
+    }
+
+    const CHUNK_TEST_LEN: u32 = crate::series::CHUNK_SAMPLES * 2 + 176;
+
+    #[test]
+    fn fanout_group_sums_cabinet_means() {
+        let (store, mut ids) = populated_store(6, 600);
+        ids.push(SeriesId(4242)); // unknown id is reported, not fatal
+        let group = fanout_group(&store, &ids, 0, 600 * 60);
+        assert_eq!(group.series, 6);
+        assert_eq!(group.missing, 1);
+        let mut expect = 0.0;
+        for &id in &ids[..6] {
+            expect += store_aggregate(&store, id, 0, 600 * 60, AggOp::Mean).unwrap().0;
+        }
+        assert!((group.sum_of_means - expect).abs() < 1e-9);
+        assert_eq!(group.total.count, 6 * 600);
+        assert!((group.mean_of_means() - expect / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_stats_track_plans_and_cache() {
+        let (store, ids) = populated_store(3, CHUNK_TEST_LEN);
+        store.reset_query_stats();
+        // Hour-aligned mean → rollup plan, no decode.
+        let hours = i64::from(CHUNK_TEST_LEN) * 60 / 3600;
+        store_aggregate(&store, ids[0], 0, hours * 3600, AggOp::Mean).unwrap();
+        let s = store.query_stats();
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.plans_hour, 1);
+        assert_eq!(s.chunks_decoded, 0);
+        // P95 over everything → raw scan, all sealed chunks decoded cold...
+        store_aggregate(&store, ids[0], i64::MIN, i64::MAX, AggOp::P95).unwrap();
+        let cold = store.query_stats();
+        assert_eq!(cold.plans_raw, 1);
+        assert_eq!(cold.chunks_decoded, 2);
+        assert_eq!(cold.chunk_cache_hits, 0);
+        // ...and warm on repeat.
+        store_aggregate(&store, ids[0], i64::MIN, i64::MAX, AggOp::P95).unwrap();
+        let warm = store.query_stats();
+        assert_eq!(warm.chunks_decoded, 2, "no new decodes when warm");
+        assert_eq!(warm.chunk_cache_hits, 2);
+        assert!(warm.cache_hit_rate() > 0.49);
+        assert!(warm.samples_scanned > 0);
+        store.reset_query_stats();
+        assert_eq!(store.query_stats(), QueryStats::default());
+    }
+
+    #[test]
+    fn p95_windows_scan_each_chunk_once_per_window() {
+        // Regression for the P95 double-scan: with the cache disabled every
+        // chunk read is a decode, so the decode count must equal the number
+        // of (window, overlapping-chunk) pairs — not twice that.
+        let store = TsdbStore::new(crate::store::StoreConfig {
+            chunk_cache_capacity: 0,
+            ..crate::store::StoreConfig::default()
+        });
+        let id = store.register(SeriesMeta {
+            name: "p95".into(),
+            unit: "kW".into(),
+            interval_hint: 60,
+        });
+        for i in 0..CHUNK_TEST_LEN {
+            store.append(id, i64::from(i) * 60, f64::from(i % 37));
+        }
+        let to = i64::from(CHUNK_TEST_LEN) * 60;
+        let step = 7 * 60;
+        let expected: u64 = store
+            .with_series(id, |s| {
+                let mut pairs = 0u64;
+                let mut start = 0i64;
+                while start < to {
+                    let end = (start + step).min(to);
+                    pairs +=
+                        s.chunks().iter().filter(|c| c.overlaps(start, end)).count() as u64;
+                    start = end;
+                }
+                pairs
+            })
+            .unwrap();
+        store.reset_query_stats();
+        let windows = store_windows(&store, id, 0, to, step, AggOp::P95).unwrap();
+        assert_eq!(windows.len(), ((to + step - 1) / step) as usize);
+        let stats = store.query_stats();
+        assert_eq!(stats.chunks_decoded, expected, "each window scans each chunk exactly once");
+        assert_eq!(stats.chunk_cache_hits, 0);
+    }
+
+    #[test]
+    fn store_segment_means_match_series_level() {
+        let (store, ids) = populated_store(1, 3000);
+        let b = [0i64, 1000 * 60, 2000 * 60, 3000 * 60];
+        let cached = store_segment_means(&store, ids[0], &b).unwrap();
+        let direct = store.with_series(ids[0], |s| segment_means(s, &b)).unwrap();
+        assert_eq!(cached.len(), direct.len());
+        for (c, d) in cached.iter().zip(&direct) {
+            assert!((c - d).abs() <= 1e-9 * d.abs().max(1.0));
+        }
+        assert!(store_segment_means(&store, SeriesId(777), &b).is_none());
     }
 }

@@ -133,15 +133,22 @@ impl Series {
                 );
             }
         }
-        if !self.active.is_empty()
-            && self.active.first_ts() < to
-            && self.active.last_ts() >= from
-        {
-            out.extend(
-                self.active.decode().into_iter().filter(|&(t, _)| t >= from && t < to),
-            );
-        }
+        out.extend(self.active_samples_in(from, to));
         out
+    }
+
+    /// Decode the samples of the **active** (unsealed) chunk that fall in
+    /// `[from, to)`. The active chunk is the only mutable storage in a
+    /// series, so snapshot-based readers copy it out under the shard lock
+    /// and treat the sealed chunks as immutable afterwards.
+    pub fn active_samples_in(&self, from: i64, to: i64) -> Vec<(i64, f64)> {
+        if self.active.is_empty()
+            || self.active.first_ts() >= to
+            || self.active.last_ts() < from
+        {
+            return Vec::new();
+        }
+        self.active.decode().into_iter().filter(|&(t, _)| t >= from && t < to).collect()
     }
 
     /// Aggregate of all samples in `[from, to)` computed by raw scan.
@@ -153,7 +160,7 @@ impl Series {
             if !chunk.overlaps(from, to) {
                 continue;
             }
-            if chunk.first_ts() >= from && chunk.last_ts() < to {
+            if chunk.contained_in(from, to) {
                 agg.merge(chunk.aggregate());
             } else {
                 for (t, v) in chunk.decode() {
@@ -163,15 +170,8 @@ impl Series {
                 }
             }
         }
-        if !self.active.is_empty()
-            && self.active.first_ts() < to
-            && self.active.last_ts() >= from
-        {
-            for (t, v) in self.active.decode() {
-                if t >= from && t < to {
-                    agg.push(v);
-                }
-            }
+        for (_, v) in self.active_samples_in(from, to) {
+            agg.push(v);
         }
         agg
     }

@@ -2,17 +2,50 @@
 //! independent writers never contend, and an optional channel-fed pipeline
 //! gives one dedicated writer thread per shard.
 
+use crate::cache::ChunkCache;
+use crate::query::{QueryCounters, QueryStats};
 use crate::rollup::Aggregate;
 use crate::series::{Series, SeriesMeta};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Opaque series handle. The id embeds nothing; routing is `id % shards`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SeriesId(pub u64);
+
+/// Why the store refused a batch of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestError {
+    /// The series id was never registered.
+    UnknownSeries(SeriesId),
+    /// A timestamp was not strictly after its predecessor (within the
+    /// batch, or relative to the series' last stored sample).
+    OutOfOrder {
+        /// The series the batch targeted.
+        series: SeriesId,
+        /// The offending timestamp.
+        ts: i64,
+        /// The timestamp it failed to advance past.
+        last: i64,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::UnknownSeries(id) => write!(f, "unknown series {id:?}"),
+            IngestError::OutOfOrder { series, ts, last } => {
+                write!(f, "out-of-order sample for {series:?}: {ts} not after {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
 
 /// Store configuration.
 #[derive(Debug, Clone)]
@@ -22,11 +55,14 @@ pub struct StoreConfig {
     pub shards: usize,
     /// Channel capacity, in batches, per pipeline shard.
     pub channel_capacity: usize,
+    /// Decoded-chunk cache size, in chunks (≈ 8 KiB per cached chunk).
+    /// Zero disables the cache.
+    pub chunk_cache_capacity: usize,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { shards: 8, channel_capacity: 256 }
+        StoreConfig { shards: 8, channel_capacity: 256, chunk_cache_capacity: 4096 }
     }
 }
 
@@ -42,6 +78,8 @@ pub struct TsdbStore {
     shards: Arc<Vec<RwLock<Shard>>>,
     registry: Arc<RwLock<HashMap<String, SeriesId>>>,
     next_id: Arc<RwLock<u64>>,
+    cache: Arc<ChunkCache>,
+    counters: Arc<QueryCounters>,
     config: StoreConfig,
 }
 
@@ -63,6 +101,8 @@ impl TsdbStore {
             shards: Arc::new(shards),
             registry: Arc::new(RwLock::new(HashMap::new())),
             next_id: Arc::new(RwLock::new(0)),
+            cache: Arc::new(ChunkCache::new(config.chunk_cache_capacity)),
+            counters: Arc::new(QueryCounters::default()),
             config,
         }
     }
@@ -70,6 +110,28 @@ impl TsdbStore {
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.config.shards
+    }
+
+    /// The store's decoded-chunk cache (shared by every clone of this
+    /// handle).
+    pub fn chunk_cache(&self) -> &ChunkCache {
+        &self.cache
+    }
+
+    /// Snapshot of the query-layer counters: plans chosen, chunks decoded
+    /// vs. served from cache, samples scanned, wall time.
+    pub fn query_stats(&self) -> QueryStats {
+        self.counters.snapshot()
+    }
+
+    /// Zero the query-layer counters (the chunk cache keeps its contents;
+    /// call [`ChunkCache::clear`] separately for a cold-cache experiment).
+    pub fn reset_query_stats(&self) {
+        self.counters.reset();
+    }
+
+    pub(crate) fn query_counters(&self) -> &QueryCounters {
+        &self.counters
     }
 
     fn shard_of(&self, id: SeriesId) -> usize {
@@ -120,18 +182,43 @@ impl TsdbStore {
 
     /// Append a batch of `(ts, value)` samples to one series under a
     /// single lock acquisition.
+    ///
+    /// # Panics
+    /// Panics on an unknown id or non-monotonic timestamps; see
+    /// [`Self::try_append_batch`] for the non-panicking form.
     pub fn append_batch(&self, id: SeriesId, samples: &[(i64, f64)]) {
+        if let Err(e) = self.try_append_batch(id, samples) {
+            panic!("append_batch: {e}");
+        }
+    }
+
+    /// Append a batch of `(ts, value)` samples to one series under a
+    /// single lock acquisition, refusing (with no partial write) batches
+    /// for unregistered series or with non-monotonic timestamps. This is
+    /// what the ingest pipeline's shard writers use, so a poisoned batch
+    /// is counted and dropped instead of killing the writer thread.
+    pub fn try_append_batch(&self, id: SeriesId, samples: &[(i64, f64)]) -> Result<(), IngestError> {
         if samples.is_empty() {
-            return;
+            return Ok(());
         }
         let mut shard = self.shards[self.shard_of(id)].write();
-        let series = shard
-            .series
-            .get_mut(&id.0)
-            .unwrap_or_else(|| panic!("unknown series {id:?}"));
+        let series =
+            shard.series.get_mut(&id.0).ok_or(IngestError::UnknownSeries(id))?;
+        // Validate the whole batch before touching the series: the batch
+        // must be strictly increasing and start after the stored tail.
+        let mut last = series.last_ts();
+        for &(ts, _) in samples {
+            if let Some(l) = last {
+                if ts <= l {
+                    return Err(IngestError::OutOfOrder { series: id, ts, last: l });
+                }
+            }
+            last = Some(ts);
+        }
         for &(ts, v) in samples {
             series.append(ts, v);
         }
+        Ok(())
     }
 
     /// Run `f` with read access to a series; `None` if the id is unknown.
@@ -174,23 +261,31 @@ impl TsdbStore {
     pub fn pipeline(&self) -> IngestPipeline {
         let mut senders = Vec::with_capacity(self.config.shards);
         let mut workers = Vec::with_capacity(self.config.shards);
+        let rejected = Arc::new(AtomicU64::new(0));
         for shard_idx in 0..self.config.shards {
             let (tx, rx): (Sender<Batch>, Receiver<Batch>) =
                 channel::bounded(self.config.channel_capacity);
             let store = self.clone();
+            let rejected = Arc::clone(&rejected);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("tsdb-shard-{shard_idx}"))
                     .spawn(move || {
+                        // A bad batch (unknown series, out-of-order stamps)
+                        // must not kill the writer: every later batch for
+                        // this shard would fail to send and the eventual
+                        // join would re-panic. Count it and keep draining.
                         for batch in rx.iter() {
-                            store.append_batch(batch.id, &batch.samples);
+                            if store.try_append_batch(batch.id, &batch.samples).is_err() {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     })
                     .expect("spawn tsdb shard writer"),
             );
             senders.push(tx);
         }
-        IngestPipeline { senders, workers, shards: self.config.shards }
+        IngestPipeline { senders, workers, shards: self.config.shards, rejected }
     }
 }
 
@@ -207,6 +302,7 @@ pub struct IngestPipeline {
     senders: Vec<Sender<Batch>>,
     workers: Vec<JoinHandle<()>>,
     shards: usize,
+    rejected: Arc<AtomicU64>,
 }
 
 impl IngestPipeline {
@@ -219,12 +315,21 @@ impl IngestPipeline {
             .expect("tsdb shard writer exited early");
     }
 
-    /// Disconnect producers and wait for every queued batch to be applied.
-    pub fn close(mut self) {
+    /// Batches the shard writers refused so far (unknown series,
+    /// out-of-order timestamps). Refused batches are dropped whole; the
+    /// writer keeps draining.
+    pub fn rejected_batches(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Disconnect producers and wait for every queued batch to be applied;
+    /// returns the total number of rejected batches.
+    pub fn close(mut self) -> u64 {
         self.senders.clear();
         for w in self.workers.drain(..) {
             w.join().expect("tsdb shard writer panicked");
         }
+        self.rejected.load(Ordering::Relaxed)
     }
 }
 
@@ -258,7 +363,7 @@ mod tests {
 
     #[test]
     fn series_land_on_distinct_shards() {
-        let store = TsdbStore::new(StoreConfig { shards: 4, channel_capacity: 8 });
+        let store = TsdbStore::new(StoreConfig { shards: 4, channel_capacity: 8, ..StoreConfig::default() });
         let ids: Vec<SeriesId> = (0..16).map(|i| store.register(meta(&format!("s{i}")))).collect();
         for (i, id) in ids.iter().enumerate() {
             store.append(*id, 0, i as f64);
@@ -273,7 +378,7 @@ mod tests {
 
     #[test]
     fn pipeline_preserves_per_series_order() {
-        let store = TsdbStore::new(StoreConfig { shards: 4, channel_capacity: 4 });
+        let store = TsdbStore::new(StoreConfig { shards: 4, channel_capacity: 4, ..StoreConfig::default() });
         let ids: Vec<SeriesId> =
             (0..32).map(|i| store.register(meta(&format!("node{i}")))).collect();
         let pipeline = store.pipeline();
@@ -294,7 +399,7 @@ mod tests {
                 });
             }
         });
-        pipeline.close();
+        assert_eq!(pipeline.close(), 0);
 
         assert_eq!(store.total_samples(), 32 * 200);
         for id in ids {
@@ -305,5 +410,44 @@ mod tests {
                 assert_eq!(v, i as f64);
             }
         }
+    }
+
+    #[test]
+    fn try_append_batch_rejects_without_partial_writes() {
+        let store = TsdbStore::default();
+        let id = store.register(meta("a"));
+        assert_eq!(
+            store.try_append_batch(SeriesId(99), &[(0, 1.0)]),
+            Err(IngestError::UnknownSeries(SeriesId(99)))
+        );
+        store.append_batch(id, &[(0, 1.0), (60, 2.0)]);
+        // Batch with an internal inversion: refused whole, nothing lands.
+        let err = store.try_append_batch(id, &[(120, 3.0), (90, 4.0)]);
+        assert_eq!(err, Err(IngestError::OutOfOrder { series: id, ts: 90, last: 120 }));
+        // Batch that fails to advance past the stored tail.
+        let err = store.try_append_batch(id, &[(60, 5.0)]);
+        assert_eq!(err, Err(IngestError::OutOfOrder { series: id, ts: 60, last: 60 }));
+        assert_eq!(store.total_samples(), 2);
+        let decoded = store.with_series(id, |s| s.scan(i64::MIN, i64::MAX)).unwrap();
+        assert_eq!(decoded, vec![(0, 1.0), (60, 2.0)]);
+    }
+
+    #[test]
+    fn poisoned_batch_does_not_take_down_its_shard() {
+        let store = TsdbStore::new(StoreConfig { shards: 2, channel_capacity: 4, ..StoreConfig::default() });
+        let good = store.register(meta("good")); // id 0 → shard 0
+        let pipeline = store.pipeline();
+        // Unknown id routed to shard 0 — previously this panicked the
+        // writer and every later send to shard 0 panicked too.
+        pipeline.send(SeriesId(2), vec![(0, 1.0)]);
+        pipeline.send(good, vec![(0, 10.0), (60, 11.0)]);
+        // Out-of-order poison for the same shard, then more good data.
+        pipeline.send(good, vec![(50, 12.0)]);
+        pipeline.send(good, vec![(120, 13.0)]);
+        assert!(pipeline.rejected_batches() <= 2); // writer may still be draining
+        let rejected = pipeline.close();
+        assert_eq!(rejected, 2, "unknown-series and out-of-order batches are counted");
+        let decoded = store.with_series(good, |s| s.scan(i64::MIN, i64::MAX)).unwrap();
+        assert_eq!(decoded, vec![(0, 10.0), (60, 11.0), (120, 13.0)]);
     }
 }

@@ -240,15 +240,29 @@ impl Histogram {
         if self.count == 0 {
             return None;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let q = q.clamp(0.0, 1.0);
+        // The target is the 1-indexed rank of the wanted observation, so it
+        // is at least 1: a `ceil(0) = 0` target matched the empty prefix
+        // and reported the centre of bin 0 whether or not it held anything.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut cum = self.underflow;
-        if cum >= target && self.underflow > 0 {
+        if cum >= target {
             return Some(self.lo);
         }
         for (i, &b) in self.bins.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
             cum += b;
             if cum >= target {
-                return Some(self.bin_center(i));
+                // q = 0 asks for the minimum; the bin's low edge is the
+                // tightest bound the histogram can give.
+                let w = (self.hi - self.lo) / self.bins.len() as f64;
+                return Some(if q == 0.0 {
+                    self.lo + i as f64 * w
+                } else {
+                    self.bin_center(i)
+                });
             }
         }
         Some(self.hi)
@@ -507,6 +521,31 @@ mod tests {
     fn histogram_empty_quantile_none() {
         let h = Histogram::new(0.0, 1.0, 4);
         assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantile_extremes() {
+        // All mass in a high bin: q=0 must not report empty bin 0.
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(7.5);
+        h.push(7.6);
+        // q=0 → low edge of the first occupied bin, not bin_center(0)=0.5.
+        assert_eq!(h.quantile(0.0), Some(7.0));
+        // q=1 → the occupied bin's centre, not the histogram's upper bound.
+        assert_eq!(h.quantile(1.0), Some(7.5));
+        // Out-of-range q values clamp.
+        assert_eq!(h.quantile(-3.0), Some(7.0));
+        assert_eq!(h.quantile(2.0), Some(7.5));
+        // Underflow mass clamps to the lower bound for small q...
+        let mut u = Histogram::new(0.0, 10.0, 10);
+        u.push(-5.0);
+        u.push(8.5);
+        assert_eq!(u.quantile(0.0), Some(0.0));
+        // ...and overflow mass clamps to the upper bound for q=1.
+        let mut o = Histogram::new(0.0, 10.0, 10);
+        o.push(2.5);
+        o.push(99.0);
+        assert_eq!(o.quantile(1.0), Some(10.0));
     }
 
     #[test]

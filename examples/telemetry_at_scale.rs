@@ -1,23 +1,32 @@
 //! Telemetry at per-node scale: a simulated month of power samples for the
 //! full 5,860-node ARCHER2 fleet, ingested concurrently into `hpc-tsdb`
-//! through its sharded pipeline, then queried back.
+//! through its sharded pipeline, then queried back — sequentially and
+//! through the parallel fan-out engine, cold-cache and warm.
 //!
 //! Reports what the paper's measurement chapter cares about operationally:
 //! how fast the store ingests, how many bytes a compressed sample costs
-//! (the cabinet PDUs quantize to watts, which the XOR codec exploits), and
-//! that rollup-planned queries agree with raw scans.
+//! (the cabinet PDUs quantize to watts, which the XOR codec exploits), that
+//! rollup-planned queries agree with raw scans, and what the fan-out layer
+//! buys on multi-series readbacks. Query-phase numbers land in
+//! `BENCH_tsdb_query.json`.
 //!
 //! ```text
-//! cargo run --release --example telemetry_at_scale
+//! cargo run --release --example telemetry_at_scale [-- --smoke]
 //! ```
+//!
+//! `--smoke` shrinks the fleet and span so CI can exercise the whole path
+//! (including the benchmark JSON) in a couple of seconds.
 
 use archer2_repro::core::campaign::{Campaign, CampaignConfig};
 use archer2_repro::core::experiment;
 use archer2_repro::prelude::*;
 use archer2_repro::sim::rng::{Rng, Xoshiro256StarStar};
 use archer2_repro::tsdb::query::{aggregate, aligned_windows, AggOp};
-use archer2_repro::tsdb::{SeriesMeta, StoreConfig, TsdbStore};
+use archer2_repro::tsdb::{
+    fanout_aggregate, fanout_group, store_aggregate, SeriesId, SeriesMeta, StoreConfig, TsdbStore,
+};
 use archer2_repro::workload::OperatingPoint;
+use serde::{Serialize, Value};
 use std::time::Instant;
 
 /// Full ARCHER2 fleet (Table 1).
@@ -26,19 +35,18 @@ const NODES: u32 = 5_860;
 /// cadence; 15 minutes matches the campaign telemetry.
 const INTERVAL_S: i64 = 900;
 const DAYS: i64 = 30;
-const SAMPLES_PER_NODE: i64 = DAYS * 86_400 / INTERVAL_S;
 
 /// One node-month of power samples, quantized to 1 W like the PDU readings.
 ///
 /// The shape mirrors production: long busy plateaus at a job-specific draw
 /// (jobs run for hours at a near-constant power), idle valleys between
 /// jobs, and ±1 W measurement jitter.
-fn node_month(node: u32) -> Vec<(i64, f64)> {
+fn node_month(node: u32, samples_per_node: i64) -> Vec<(i64, f64)> {
     let mut rng = Xoshiro256StarStar::seeded(0x7e1e_3e7e ^ u64::from(node));
-    let mut out = Vec::with_capacity(SAMPLES_PER_NODE as usize);
+    let mut out = Vec::with_capacity(samples_per_node as usize);
     let mut remaining = 0i64; // samples left in the current phase
     let mut level_w = 0i64;
-    for i in 0..SAMPLES_PER_NODE {
+    for i in 0..samples_per_node {
         if remaining == 0 {
             // Draw the next phase: ~92 % of time busy (>90 % utilisation).
             if rng.chance(0.92) {
@@ -58,10 +66,24 @@ fn node_month(node: u32) -> Vec<(i64, f64)> {
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Smoke mode keeps ≥2 sealed chunks per series (15 d × 96/d = 1440
+    // samples) so the chunk-cache path is still exercised.
+    let (nodes, days) = if smoke { (128u32, 15i64) } else { (NODES, DAYS) };
+    let samples_per_node = days * 86_400 / INTERVAL_S;
+    let span = days * 86_400;
+
     // --- Part 1: a month of per-node telemetry through the pipeline -----
-    println!("=== hpc-tsdb: one month, {NODES} nodes, {INTERVAL_S}s cadence ===");
-    let store = TsdbStore::new(StoreConfig { shards: 8, channel_capacity: 64 });
-    let ids: Vec<_> = (0..NODES)
+    println!("=== hpc-tsdb: {days} days, {nodes} nodes, {INTERVAL_S}s cadence ===");
+    // Cache sized to hold every sealed chunk of the fleet so the warm pass
+    // of the query benchmark measures pure cache-hit reads.
+    let sealed_per_series = (samples_per_node as usize).div_ceil(512);
+    let store = TsdbStore::new(StoreConfig {
+        shards: 8,
+        channel_capacity: 64,
+        chunk_cache_capacity: (nodes as usize * sealed_per_series).next_power_of_two(),
+    });
+    let ids: Vec<_> = (0..nodes)
         .map(|n| {
             store.register(SeriesMeta {
                 name: format!("node.{n}"),
@@ -81,12 +103,12 @@ fn main() {
                 for &id in producer_ids {
                     // Ids are dense and allocated in node order on this
                     // fresh store, so the id doubles as the node index.
-                    pipeline.send(id, node_month(id.0 as u32));
+                    pipeline.send(id, node_month(id.0 as u32, samples_per_node));
                 }
             });
         }
     });
-    pipeline.close();
+    assert_eq!(pipeline.close(), 0, "no batch should be rejected");
     let elapsed = t0.elapsed();
 
     let samples = store.total_samples();
@@ -101,25 +123,30 @@ fn main() {
 
     // Query back: fleet mean power and one node's daily profile.
     let fleet_mean_w = store.global_aggregate().mean();
-    println!("fleet mean draw:   {:.0} W/node ({:.0} kW over compute nodes)", fleet_mean_w, fleet_mean_w * f64::from(NODES) / 1000.0);
+    println!("fleet mean draw:   {:.0} W/node ({:.0} kW over compute nodes)", fleet_mean_w, fleet_mean_w * f64::from(nodes) / 1000.0);
     let t_q = Instant::now();
     let (p95, plan) = store
-        .with_series(ids[17], |s| aggregate(s, 0, DAYS * 86_400, AggOp::P95))
+        .with_series(ids[17], |s| aggregate(s, 0, span, AggOp::P95))
         .unwrap();
     println!("node.17 month p95: {p95:.0} W (plan: {plan:?}, {:.1} ms)", t_q.elapsed().as_secs_f64() * 1e3);
     let t_q = Instant::now();
-    let days = store
-        .with_series(ids[17], |s| aligned_windows(s, 0, DAYS * 86_400, 86_400, AggOp::Mean))
+    let daily = store
+        .with_series(ids[17], |s| aligned_windows(s, 0, span, 86_400, AggOp::Mean))
         .unwrap();
     println!(
         "node.17 daily means: {:.0}..{:.0} W over {} days (rollup-planned, {:.1} ms)",
-        days.iter().map(|w| w.value).fold(f64::INFINITY, f64::min),
-        days.iter().map(|w| w.value).fold(f64::NEG_INFINITY, f64::max),
-        days.len(),
+        daily.iter().map(|w| w.value).fold(f64::INFINITY, f64::min),
+        daily.iter().map(|w| w.value).fold(f64::NEG_INFINITY, f64::max),
+        daily.len(),
         t_q.elapsed().as_secs_f64() * 1e3,
     );
 
-    // --- Part 2: the campaign records straight into the same store ------
+    // --- Part 2: the query-phase benchmark (sequential vs fan-out) ------
+    println!();
+    println!("=== query benchmark: {} series × {days} days, P95 (raw-scan) ===", ids.len());
+    query_benchmark(&store, &ids, span, smoke);
+
+    // --- Part 3: the campaign records straight into the same store ------
     println!();
     println!("=== campaign with per-node telemetry (1/10-scale facility) ===");
     let facility = experiment::scaled_facility(2022, 10);
@@ -130,7 +157,9 @@ fn main() {
         ..CampaignConfig::default()
     };
     let mut campaign = Campaign::new(facility, cfg, start, OperatingPoint::AFTER_BIOS);
-    campaign.run_until(start + SimDuration::from_days(7));
+    let campaign_days = if smoke { 2 } else { 7 };
+    let end = start + SimDuration::from_days(campaign_days);
+    campaign.run_until(end);
 
     let cstore = campaign.telemetry_store();
     println!(
@@ -145,14 +174,139 @@ fn main() {
         cstore.total_samples(),
         cstore.total_bytes() as f64 / cstore.total_samples() as f64,
     );
-    let week_mean = cstore
-        .with_series(campaign.facility_series_id(), |s| {
-            aggregate(s, start.as_unix() as i64, (start + SimDuration::from_days(7)).as_unix() as i64, AggOp::Mean).0
-        })
-        .unwrap();
+    // Readbacks through the cached fan-out engine: facility mean and the
+    // grouped all-cabinets reduction.
+    let (week_mean, _) = campaign.facility_window_kw(start, end).unwrap();
     println!(
         "facility mean:     {:.0} kW (TimeSeries view agrees: {:.0} kW)",
         week_mean,
         campaign.power_series().mean(),
     );
+    let group = campaign.cabinets_window_kw(start, end);
+    println!(
+        "cabinet fan-out:   {} cabinets sum to {:.0} kW (facility is noisy ±1%)",
+        group.series, group.sum_of_means,
+    );
+    assert!((group.sum_of_means - week_mean).abs() / week_mean < 0.05);
+    let qs = campaign.query_stats();
+    println!(
+        "campaign query stats: {} queries (plans: {} hour / {} minute / {} raw), \
+         {} chunks decoded, {} cache hits, {} samples scanned, {:.2} ms",
+        qs.queries,
+        qs.plans_hour,
+        qs.plans_minute,
+        qs.plans_raw,
+        qs.chunks_decoded,
+        qs.chunk_cache_hits,
+        qs.samples_scanned,
+        qs.wall_millis(),
+    );
+}
+
+/// Sequential-vs-fan-out benchmark over every node series: month-long P95
+/// (always raw-scan, so the chunk cache is what's under test), cold cache
+/// and warm, plus the grouped facility reduction. Emits
+/// `BENCH_tsdb_query.json`.
+fn query_benchmark(store: &TsdbStore, ids: &[SeriesId], span: i64, smoke: bool) {
+    let threads = rayon::current_num_threads();
+
+    // Sequential baseline, cold cache.
+    store.chunk_cache().clear();
+    store.reset_query_stats();
+    let t = Instant::now();
+    let sequential: Vec<f64> = ids
+        .iter()
+        .map(|&id| store_aggregate(store, id, 0, span, AggOp::P95).unwrap().0)
+        .collect();
+    let seq_ms = t.elapsed().as_secs_f64() * 1e3;
+    let seq_stats = store.query_stats();
+
+    // Fan-out, cold cache.
+    store.chunk_cache().clear();
+    store.reset_query_stats();
+    let t = Instant::now();
+    let cold: Vec<_> = fanout_aggregate(store, ids, 0, span, AggOp::P95);
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    let cold_stats = store.query_stats();
+
+    // Fan-out again, cache warm from the cold pass.
+    store.reset_query_stats();
+    let t = Instant::now();
+    let warm: Vec<_> = fanout_aggregate(store, ids, 0, span, AggOp::P95);
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    let warm_stats = store.query_stats();
+
+    // Grouped reduction (the "all cabinets → facility" shape) on the warm
+    // cache.
+    let t = Instant::now();
+    let group = fanout_group(store, ids, 0, span);
+    let group_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Fan-out must answer exactly what the sequential loop answered.
+    for (s, f) in sequential.iter().zip(cold.iter().chain(warm.iter())) {
+        let f = f.unwrap().0;
+        assert!(
+            (s - f).abs() <= 1e-9 * s.abs().max(1.0),
+            "fan-out {f} diverged from sequential {s}"
+        );
+    }
+    assert_eq!(group.series, ids.len());
+    let speedup = seq_ms / cold_ms;
+    let warm_speedup = seq_ms / warm_ms;
+    println!("sequential (cold cache):  {seq_ms:>9.1} ms  ({} chunks decoded)", seq_stats.chunks_decoded);
+    println!("fan-out    (cold cache):  {cold_ms:>9.1} ms  ({speedup:.1}x, {threads} threads)");
+    println!(
+        "fan-out    (warm cache):  {warm_ms:>9.1} ms  ({warm_speedup:.1}x, hit rate {:.0}%)",
+        warm_stats.cache_hit_rate() * 100.0
+    );
+    println!("fan-out group reduction:  {group_ms:>9.1} ms  (sum of means {:.0} W)", group.sum_of_means);
+
+    assert!(
+        warm_stats.cache_hit_rate() > 0.5,
+        "warm pass should be served from cache, hit rate {:.2}",
+        warm_stats.cache_hit_rate()
+    );
+    // The parallel win only shows where there are cores to win with; CI
+    // boxes can be single-core, so gate the hard floor on the pool size.
+    if threads >= 8 {
+        assert!(speedup >= 4.0, "expected ≥4x fan-out speedup on {threads} threads, got {speedup:.1}x");
+    }
+
+    // Benchmark record: written, then parsed back as a well-formedness check.
+    let record = Value::Map(vec![
+        ("bench".into(), "tsdb_query".to_string().to_value()),
+        ("smoke".into(), smoke.to_value()),
+        ("series".into(), (ids.len() as u64).to_value()),
+        ("span_s".into(), (span as u64).to_value()),
+        ("threads".into(), (threads as u64).to_value()),
+        ("sequential_ms".into(), seq_ms.to_value()),
+        ("fanout_cold_ms".into(), cold_ms.to_value()),
+        ("fanout_warm_ms".into(), warm_ms.to_value()),
+        ("group_ms".into(), group_ms.to_value()),
+        ("speedup_cold".into(), speedup.to_value()),
+        ("speedup_warm".into(), warm_speedup.to_value()),
+        ("warm_cache_hit_rate".into(), warm_stats.cache_hit_rate().to_value()),
+        ("chunks_decoded_cold".into(), cold_stats.chunks_decoded.to_value()),
+        ("chunk_cache_hits_warm".into(), warm_stats.chunk_cache_hits.to_value()),
+        ("samples_scanned_cold".into(), cold_stats.samples_scanned.to_value()),
+    ]);
+    // The shim's serialiser is generic over `Serialize`, not `Value`.
+    struct Raw(Value);
+    impl Serialize for Raw {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    let json = serde_json::to_string_pretty(&Raw(record)).expect("bench record serialises");
+    let path = "BENCH_tsdb_query.json";
+    std::fs::write(path, &json).expect("write benchmark json");
+    let parsed = serde_json::parse_value(&json).expect("benchmark json parses back");
+    let map = parsed.as_map().expect("benchmark json is an object");
+    for key in ["sequential_ms", "fanout_cold_ms", "fanout_warm_ms", "warm_cache_hit_rate"] {
+        assert!(
+            serde::value::map_get(map, key).is_some(),
+            "benchmark json missing key {key}"
+        );
+    }
+    println!("benchmark record:         {path}");
 }

@@ -18,4 +18,13 @@ cargo test -q --offline --workspace
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== query benchmark smoke (BENCH_tsdb_query.json) =="
+rm -f BENCH_tsdb_query.json
+cargo run --release --offline --example telemetry_at_scale -- --smoke
+test -s BENCH_tsdb_query.json
+for key in sequential_ms fanout_cold_ms fanout_warm_ms warm_cache_hit_rate; do
+    grep -q "\"$key\"" BENCH_tsdb_query.json \
+        || { echo "BENCH_tsdb_query.json missing key: $key" >&2; exit 1; }
+done
+
 echo "verify: OK"

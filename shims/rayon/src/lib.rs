@@ -1,11 +1,69 @@
-//! Offline shim for `rayon`: the `par_iter` / `par_iter_mut` /
-//! `par_chunks_mut` slice entry points this workspace uses, returning
-//! ordinary sequential `std` iterators.
+//! Offline shim for `rayon` in two tiers:
 //!
-//! Semantics are identical to rayon for order-independent bodies (all the
-//! kernels here write disjoint outputs); only the speedup is absent. Code
-//! stays written in the parallel idiom so a real rayon drop-in restores
-//! multi-core execution with no source change.
+//! * the `par_iter` / `par_iter_mut` / `par_chunks_mut` slice entry points
+//!   this workspace's kernels use, returning ordinary sequential `std`
+//!   iterators (semantics identical to rayon for order-independent bodies;
+//!   only the speedup is absent there);
+//! * the structured-concurrency core — [`scope`], [`join`] and
+//!   [`current_num_threads`] — implemented over `std::thread::scope`, so
+//!   callers that fan work out in coarse chunks (one spawn per worker, not
+//!   per item) get **real** multi-core execution with rayon's API shape.
+//!
+//! Code stays written in the parallel idiom so a real rayon drop-in
+//! changes nothing at call sites.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a fan-out should assume: the host's available
+/// parallelism (rayon reports its pool size here; the shim has no pool, so
+/// the hardware limit is the honest equivalent).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// A scope handle for spawning borrowed tasks, mirroring `rayon::Scope`.
+/// Tasks run on real OS threads; [`scope`] joins them all before returning.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task that may borrow from outside the scope. As in rayon,
+    /// the closure receives the scope so tasks can spawn further tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Structured fork-join over real threads: every task spawned on the scope
+/// completes before `scope` returns (panics in tasks propagate, as rayon's
+/// do).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Run two closures, potentially in parallel, returning both results —
+/// `rayon::join`. The first runs on a scoped thread, the second inline.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let ha = s.spawn(a);
+        let rb = b();
+        (ha.join().expect("rayon::join task panicked"), rb)
+    })
+}
 
 /// The rayon-style prelude: import `*` to get the `par_*` methods.
 pub mod prelude {
@@ -48,6 +106,39 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn scope_runs_borrowed_tasks_on_threads() {
+        let data: Vec<u64> = (0..1000).collect();
+        let mut partials = [0u64; 4];
+        super::scope(|s| {
+            for (chunk, out) in data.chunks(250).zip(partials.iter_mut()) {
+                s.spawn(move |_| {
+                    *out = chunk.iter().sum();
+                });
+            }
+        });
+        assert_eq!(partials.iter().sum::<u64>(), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn scope_spawn_nests() {
+        let mut inner_ran = false;
+        super::scope(|s| {
+            let flag = &mut inner_ran;
+            s.spawn(move |s2| {
+                s2.spawn(move |_| *flag = true);
+            });
+        });
+        assert!(inner_ran);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 6 * 7, || "hi".len());
+        assert_eq!((a, b), (42, 2));
+        assert!(super::current_num_threads() >= 1);
+    }
 
     #[test]
     fn zip_enumerate_for_each_chain() {

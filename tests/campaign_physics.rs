@@ -28,7 +28,7 @@ fn power_never_below_idle_floor_nor_above_loaded_ceiling() {
     // Allow headroom for telemetry noise and app-power spread above the
     // generic profile used by loaded_budget.
     let ceiling = loaded * 1.10;
-    for &kw in c.power_series().values() {
+    for &kw in c.power_series().values().iter() {
         assert!(kw >= idle_floor * 0.95, "sample {kw} below idle floor {idle_floor}");
         assert!(kw <= ceiling, "sample {kw} above ceiling {ceiling}");
     }

@@ -5,7 +5,7 @@
 //! chunk scans on any aligned window.
 
 use archer2_repro::tsdb::query::{aligned_windows, window_aggregate, AggOp};
-use archer2_repro::tsdb::{Series, SeriesMeta};
+use archer2_repro::tsdb::{fanout_aggregate, store_aggregate, Series, SeriesMeta, TsdbStore};
 use proptest::prelude::*;
 
 fn meta() -> SeriesMeta {
@@ -114,6 +114,81 @@ proptest! {
             prop_assert_eq!(planned.min, raw.min);
             prop_assert_eq!(planned.max, raw.max);
             prop_assert!((planned.variance() - raw.variance()).abs() < 1e-6 * raw.variance().max(1.0));
+        }
+    }
+
+    #[test]
+    fn rollup_plans_agree_on_ragged_tail_windows(
+        vals in proptest::collection::vec(-5000.0f64..5000.0, 10..2000),
+        from_units in 0i64..30,
+    ) {
+        // The planner's sore spot: a grid-aligned `to` rounded UP past the
+        // last sample, so the final rollup bucket in range is the one still
+        // filling. The hour level only receives minute buckets when they
+        // seal, so this exercises the open-minute patch-up.
+        let mut s = Series::new(meta());
+        for (i, &v) in vals.iter().enumerate() {
+            s.append(i as i64 * 60, v);
+        }
+        let span = vals.len() as i64 * 60;
+        for unit in [3600i64, 60] {
+            let to = (span + unit - 1) / unit * unit; // ≥ span: past the tail
+            let from = (from_units * unit).min(to);
+            let planned = window_aggregate(&s, from, to);
+            let raw = s.scan_aggregate(from, to);
+            prop_assert_eq!(planned.count, raw.count, "unit {}s: count", unit);
+            if raw.count > 0 {
+                prop_assert!((planned.mean() - raw.mean()).abs() < 1e-9, "unit {}s", unit);
+                prop_assert!((planned.sum - raw.sum).abs() < 1e-6);
+                prop_assert_eq!(planned.min, raw.min);
+                prop_assert_eq!(planned.max, raw.max);
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_matches_sequential_store_queries(
+        per_series in proptest::collection::vec(
+            proptest::collection::vec(-5000.0f64..5000.0, 1..400),
+            1..5,
+        ),
+        a in 0i64..30_000,
+        b in 0i64..30_000,
+    ) {
+        // The parallel fan-out path must answer exactly what a sequential
+        // loop over store_aggregate answers, plan included, for both
+        // rollup-served and raw-scan (P95) operators.
+        let store = TsdbStore::default();
+        let ids: Vec<_> = (0..per_series.len())
+            .map(|i| {
+                store.register(SeriesMeta {
+                    name: format!("s{i}"),
+                    unit: "kW".into(),
+                    interval_hint: 60,
+                })
+            })
+            .collect();
+        for (&id, vals) in ids.iter().zip(&per_series) {
+            for (i, &v) in vals.iter().enumerate() {
+                store.append(id, i as i64 * 60, v);
+            }
+        }
+        let (from, to) = (a.min(b), a.max(b));
+        for op in [AggOp::Mean, AggOp::Sum, AggOp::P95] {
+            let fan = fanout_aggregate(&store, &ids, from, to, op);
+            prop_assert_eq!(fan.len(), ids.len());
+            for (&id, f) in ids.iter().zip(&fan) {
+                let (sv, sp) = store_aggregate(&store, id, from, to, op).unwrap();
+                let (fv, fp) = f.unwrap();
+                prop_assert_eq!(sp, fp, "plan diverged for {:?}", op);
+                prop_assert!(
+                    sv.to_bits() == fv.to_bits() || (sv.is_nan() && fv.is_nan()),
+                    "fan-out {} vs sequential {} for {:?}",
+                    fv,
+                    sv,
+                    op
+                );
+            }
         }
     }
 

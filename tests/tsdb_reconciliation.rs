@@ -12,6 +12,7 @@ use archer2_repro::core::campaign::{Campaign, CampaignConfig};
 use archer2_repro::core::experiment::scaled_facility;
 use archer2_repro::prelude::*;
 use archer2_repro::tsdb::query::{aggregate, segment_means, AggOp};
+use archer2_repro::tsdb::{fanout_aggregate, fanout_group, store_segment_means};
 use archer2_repro::workload::{GeneratorConfig, OperatingPoint};
 
 const SCALE: u32 = 10;
@@ -82,6 +83,30 @@ fn cabinet_series_sum_to_facility_series_inside_the_store() {
         (cab_mean - fac_mean).abs() / fac_mean < 0.01,
         "cabinet mean sum {cab_mean} kW vs facility mean {fac_mean} kW"
     );
+
+    // The parallel fan-out answers the same cabinet means the sequential
+    // planner loop above produced, within 1e-9 relative.
+    let ids = c.cabinet_series_ids();
+    let fanned = fanout_aggregate(store, ids, from, to, AggOp::Mean);
+    for (&sid, f) in ids.iter().zip(&fanned) {
+        let seq = store.with_series(sid, |s| aggregate(s, from, to, AggOp::Mean).0).unwrap();
+        let fan = f.unwrap().0;
+        assert!(
+            (fan - seq).abs() <= 1e-9 * seq.abs().max(1.0),
+            "fan-out {fan} vs sequential {seq}"
+        );
+    }
+    let group = fanout_group(store, ids, from, to);
+    assert_eq!(group.series, ids.len());
+    assert_eq!(group.missing, 0);
+    assert!(
+        (group.sum_of_means - cab_mean).abs() <= 1e-9 * cab_mean,
+        "grouped sum {} vs sequential sum {cab_mean}",
+        group.sum_of_means
+    );
+    // Query instrumentation saw all of the above store-level traffic.
+    let stats = store.query_stats();
+    assert!(stats.queries >= 2 * ids.len() as u64, "stats: {stats:?}");
 }
 
 #[test]
@@ -123,14 +148,40 @@ fn change_point_means_read_back_through_tsdb_queries() {
             (mean_kw - paper_kw).abs() / paper_kw < 0.02,
             "segment [{from}, {to}) mean {mean_kw:.0} kW vs paper {paper_kw} kW (plan {plan:?})"
         );
+        // The cached, instrumented store path reads back the same number
+        // the series-level planner produced, within 1e-9 relative.
+        let (cached, _) = archer2_repro::tsdb::store_aggregate(
+            c.telemetry_store(),
+            c.facility_series_id(),
+            from,
+            to,
+            AggOp::Mean,
+        )
+        .unwrap();
+        assert!(
+            (cached - mean).abs() <= 1e-9 * mean.abs().max(1.0),
+            "cached {cached} vs sequential {mean}"
+        );
     }
 
     // The change-point segment-means helper sees the same staircase
     // (boundaries unsettled, so just require strictly decreasing steps).
-    let means = segment_means(&series, &[ts(start), ts(bios), ts(freq), ts(end)]);
+    let boundaries = [ts(start), ts(bios), ts(freq), ts(end)];
+    let means = segment_means(&series, &boundaries);
     assert_eq!(means.len(), 3);
     assert!(
         means[0] > means[1] && means[1] > means[2],
         "segment means should step down: {means:?}"
     );
+
+    // Same staircase through the cached store path, 1e-9-identical.
+    let cached =
+        store_segment_means(c.telemetry_store(), c.facility_series_id(), &boundaries).unwrap();
+    assert_eq!(cached.len(), means.len());
+    for (cm, sm) in cached.iter().zip(&means) {
+        assert!(
+            (cm - sm).abs() <= 1e-9 * sm.abs().max(1.0),
+            "cached segment mean {cm} vs sequential {sm}"
+        );
+    }
 }
