@@ -25,16 +25,18 @@ use crate::facility::Archer2Facility;
 use hpc_power::FreqSetting;
 use hpc_sched::BatchScheduler;
 use hpc_telemetry::TimeSeries;
-use hpc_tsdb::{SeriesId, SeriesMeta, TsdbStore};
+use hpc_tsdb::{PersistError, SeriesId, SeriesMeta, SnapshotStats, StoreConfig, TsdbStore, WalReplayStats};
 use hpc_workload::{
     AppModel, GeneratorConfig, Job, JobGenerator, JobId, JobTrace, OperatingPoint, TraceEntry,
     WorkloadMix,
 };
 use hpc_topo::NodeId;
+use serde::{Deserialize, Serialize};
 use sim_core::rng::{Rng, Xoshiro256StarStar};
 use sim_core::sim::{Scheduler as EventScheduler, Simulation, World};
 use sim_core::time::{SimDuration, SimTime};
 use std::collections::HashMap;
+use std::path::Path;
 
 /// How jobs respond to a facility default of 2.0 GHz (§4.2's deployment).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -169,6 +171,48 @@ impl Default for CampaignConfig {
     }
 }
 
+/// Telemetry-store health counters for a campaign. Sampling never panics
+/// the simulation: a sample the store refuses (unregistered series,
+/// non-monotonic timestamp) is dropped and *counted* here, so data loss is
+/// visible instead of silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TelemetryStats {
+    /// Samples the telemetry store refused on the sampling path.
+    pub samples_rejected: u64,
+    /// WAL replay outcome when this campaign was resumed from a checkpoint
+    /// directory containing a `wal.twal`; `None` for fresh campaigns and
+    /// snapshot-only resumes.
+    pub wal_replay: Option<WalReplayStats>,
+}
+
+/// `campaign.json` sidecar written next to the snapshot by
+/// [`Campaign::checkpoint`]: the handful of facts needed to rebuild the
+/// dense telemetry views and restart the clock, which the tsdb snapshot
+/// alone does not carry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct CheckpointMeta {
+    format_version: u32,
+    start_unix: u64,
+    interval_s: u64,
+    checkpoint_unix: u64,
+    samples: u64,
+    per_cabinet_telemetry: bool,
+    per_node_telemetry: bool,
+}
+
+/// State recovered from a checkpoint directory, handed to `assemble` in
+/// place of the fresh-start defaults.
+struct ResumePieces {
+    store: TsdbStore,
+    series: TimeSeries,
+    cabinet_series: Vec<TimeSeries>,
+    /// Resume the clock here (the checkpoint instant).
+    now: SimTime,
+    /// First telemetry tick after the recovered history.
+    next_sample: SimTime,
+    wal_replay: Option<WalReplayStats>,
+}
+
 /// Campaign events.
 #[derive(Debug, Clone, Copy)]
 enum Event {
@@ -233,6 +277,7 @@ struct FacilityWorld {
     failure_rng: Xoshiro256StarStar,
     node_failures: u64,
     jobs_killed: u64,
+    telemetry: TelemetryStats,
 }
 
 impl FacilityWorld {
@@ -380,7 +425,9 @@ impl FacilityWorld {
             self.cabinet_series.iter_mut().zip(&self.cabinet_sids).zip(samples)
         {
             series.push(kw);
-            self.store.append(sid, ts, kw);
+            if self.store.try_append_batch(sid, &[(ts, kw)]).is_err() {
+                self.telemetry.samples_rejected += 1;
+            }
         }
     }
 
@@ -389,7 +436,9 @@ impl FacilityWorld {
         let per_idle_w = self.per_idle_node_w();
         for (i, &sid) in self.node_sids.iter().enumerate() {
             let kw = self.node_power_w(NodeId(i as u32), per_idle_w) / 1000.0;
-            self.store.append(sid, ts, kw);
+            if self.store.try_append_batch(sid, &[(ts, kw)]).is_err() {
+                self.telemetry.samples_rejected += 1;
+            }
         }
     }
 
@@ -424,7 +473,9 @@ impl World for FacilityWorld {
                 let sampled = kw * noise.max(0.0);
                 let ts = now.as_unix() as i64;
                 self.series.push(sampled);
-                self.store.append(self.facility_sid, ts, sampled);
+                if self.store.try_append_batch(self.facility_sid, &[(ts, sampled)]).is_err() {
+                    self.telemetry.samples_rejected += 1;
+                }
                 if self.config.per_cabinet_telemetry {
                     self.sample_cabinets(ts);
                 }
@@ -518,6 +569,20 @@ impl Campaign {
     /// Build a campaign over `facility` starting at `start` in operating
     /// point `op`.
     pub fn new(facility: Archer2Facility, config: CampaignConfig, start: SimTime, op: OperatingPoint) -> Self {
+        Self::assemble(facility, config, start, op, None)
+    }
+
+    /// Shared constructor behind [`Self::new`] and [`Self::resume`]: builds
+    /// the world from scratch, or around recovered telemetry when `resume`
+    /// is given (in which case the clock starts at the checkpoint instant
+    /// and sampling continues on the original grid).
+    fn assemble(
+        facility: Archer2Facility,
+        config: CampaignConfig,
+        start: SimTime,
+        op: OperatingPoint,
+        resume: Option<ResumePieces>,
+    ) -> Self {
         let root = Xoshiro256StarStar::seeded(config.seed);
         let mut gen_cfg = config.generator;
         gen_cfg.max_nodes = gen_cfg.max_nodes.min(
@@ -533,10 +598,21 @@ impl Campaign {
             (facility.nodes() as f64 * config.unavailable_fraction).round() as u32;
         let schedulable_nodes = facility.nodes() - unavailable;
         let scheduler = BatchScheduler::new(schedulable_nodes);
-        let series = TimeSeries::new(start, config.sample_interval, "kW");
+        let (store, series, recovered_cabinets, now, next_sample, wal_replay) = match resume {
+            Some(p) => (p.store, p.series, Some(p.cabinet_series), p.now, p.next_sample, p.wal_replay),
+            None => (
+                TsdbStore::default(),
+                TimeSeries::new(start, config.sample_interval, "kW"),
+                None,
+                start,
+                start,
+                None,
+            ),
+        };
         let interval_hint = config.sample_interval.as_secs() as i64;
         let smeta = |name: String| SeriesMeta { name, unit: "kW".into(), interval_hint };
-        let store = TsdbStore::default();
+        // On a recovered store `register` is a by-name lookup, so the ids
+        // below are the persisted ones and history keeps accumulating.
         let facility_sid = store.register(smeta("facility".into()));
         let cabinet_sids: Vec<SeriesId> = if config.per_cabinet_telemetry {
             (0..facility.topology().config().cabinets)
@@ -578,11 +654,14 @@ impl Campaign {
             failure_rng: root.substream(3),
             node_failures: 0,
             jobs_killed: 0,
+            telemetry: TelemetryStats { samples_rejected: 0, wal_replay },
             config,
             facility,
         };
         let mut world = world;
-        if world.config.per_cabinet_telemetry {
+        if let Some(cabinets) = recovered_cabinets {
+            world.cabinet_series = cabinets;
+        } else if world.config.per_cabinet_telemetry {
             let n = world.facility.topology().config().cabinets as usize;
             // Compact (mirror-free) views: at cabinet/node scale the dense
             // mirror would cost 8 B/sample per series and erase the
@@ -592,16 +671,133 @@ impl Campaign {
                 .collect();
         }
         let failures_enabled = world.config.failures.is_some();
-        let mut sim = Simulation::new(start, world);
-        sim.schedule(start, Event::Refill);
-        sim.schedule(start, Event::Sample);
+        let mut sim = Simulation::new(now, world);
+        sim.schedule(now, Event::Refill);
+        sim.schedule(next_sample, Event::Sample);
         if failures_enabled {
-            sim.schedule(start + SimDuration::from_secs(1), Event::NodeFail);
+            sim.schedule(now + SimDuration::from_secs(1), Event::NodeFail);
         }
         if sim.world().config.schedule.is_some() {
-            sim.schedule(start, Event::PolicyTick);
+            sim.schedule(now, Event::PolicyTick);
         }
         Campaign { sim }
+    }
+
+    /// Persist the campaign's telemetry into `dir`: a checksummed store
+    /// snapshot (`store.tsnap`, written atomically) plus a small
+    /// `campaign.json` sidecar recording the sampling grid and clock.
+    ///
+    /// Scheduler and job state are *not* checkpointed — a resumed campaign
+    /// re-seeds its workload from [`CampaignConfig::seed`] and refills the
+    /// backlog immediately, so power telemetry continues realistically but
+    /// the post-resume job stream is not a replay of the lost one.
+    pub fn checkpoint(&self, dir: &Path) -> Result<SnapshotStats, PersistError> {
+        std::fs::create_dir_all(dir)?;
+        let w = self.sim.world();
+        let stats = w.store.snapshot_to_path(&dir.join("store.tsnap"))?;
+        let meta = CheckpointMeta {
+            format_version: 1,
+            start_unix: w.series.start().as_unix(),
+            interval_s: w.config.sample_interval.as_secs(),
+            checkpoint_unix: self.sim.now().as_unix(),
+            samples: w.series.len() as u64,
+            per_cabinet_telemetry: w.config.per_cabinet_telemetry,
+            per_node_telemetry: w.config.per_node_telemetry,
+        };
+        let json = serde_json::to_string_pretty(&meta)
+            .map_err(|e| PersistError::Malformed(format!("campaign.json encode: {e:?}")))?;
+        std::fs::write(dir.join("campaign.json"), json)?;
+        Ok(stats)
+    }
+
+    /// Rebuild a campaign from a [`Self::checkpoint`] directory and carry
+    /// on from the checkpoint instant.
+    ///
+    /// Recovery reads `store.tsnap` and, if present, replays `wal.twal`
+    /// (written by ingest pipelines built with
+    /// [`hpc_tsdb::TsdbStore::pipeline_with_wal`]) on top; the replay
+    /// outcome lands in [`Self::telemetry_stats`]. `config` must describe
+    /// the same sampling grid and telemetry series set the checkpoint was
+    /// taken with, or this returns [`PersistError::Malformed`].
+    pub fn resume(
+        facility: Archer2Facility,
+        config: CampaignConfig,
+        op: OperatingPoint,
+        dir: &Path,
+    ) -> Result<Self, PersistError> {
+        let text = std::fs::read_to_string(dir.join("campaign.json"))?;
+        let meta: CheckpointMeta = serde_json::from_str(&text)
+            .map_err(|e| PersistError::Malformed(format!("campaign.json: {e:?}")))?;
+        if meta.format_version != 1 {
+            return Err(PersistError::Malformed(format!(
+                "campaign.json format_version {} (supported: 1)",
+                meta.format_version
+            )));
+        }
+        if meta.interval_s != config.sample_interval.as_secs() {
+            return Err(PersistError::Malformed(format!(
+                "sample interval mismatch: checkpoint {} s, config {} s",
+                meta.interval_s,
+                config.sample_interval.as_secs()
+            )));
+        }
+        if meta.per_cabinet_telemetry != config.per_cabinet_telemetry
+            || meta.per_node_telemetry != config.per_node_telemetry
+        {
+            return Err(PersistError::Malformed(
+                "telemetry series set mismatch between checkpoint and config".into(),
+            ));
+        }
+
+        let (store, report) = hpc_tsdb::recover(
+            Some(&dir.join("store.tsnap")),
+            Some(&dir.join("wal.twal")),
+            StoreConfig::default(),
+        )?;
+        let start = SimTime::from_unix(meta.start_unix);
+        let interval = config.sample_interval;
+        let scan = |name: &str| -> Result<Vec<(i64, f64)>, PersistError> {
+            let id = store
+                .lookup(name)
+                .ok_or_else(|| PersistError::Malformed(format!("checkpoint has no series {name:?}")))?;
+            Ok(store.with_series(id, |s| s.scan(i64::MIN, i64::MAX)).expect("registered series"))
+        };
+        let samples = scan("facility")?;
+        if (samples.len() as u64) < meta.samples {
+            return Err(PersistError::Malformed(format!(
+                "recovered facility series has {} samples, checkpoint recorded {}",
+                samples.len(),
+                meta.samples
+            )));
+        }
+        let series = TimeSeries::from_tsdb_samples(start, interval, "kW", &samples, true)
+            .map_err(PersistError::Malformed)?;
+        let mut cabinet_series = Vec::new();
+        if config.per_cabinet_telemetry {
+            let n = facility.topology().config().cabinets;
+            for c in 0..n {
+                let cab = scan(&format!("cabinet.{c}"))?;
+                cabinet_series.push(
+                    TimeSeries::from_tsdb_samples(start, interval, "kW", &cab, false)
+                        .map_err(PersistError::Malformed)?,
+                );
+            }
+        }
+        // Resume the clock at the checkpoint and keep sampling on the
+        // original grid: the next tick follows the recovered history (WAL
+        // replay may have extended it past `meta.samples`), clamped forward
+        // so it is never scheduled in the past.
+        let next_unix =
+            (meta.start_unix + series.len() as u64 * meta.interval_s).max(meta.checkpoint_unix);
+        let pieces = ResumePieces {
+            store,
+            series,
+            cabinet_series,
+            now: SimTime::from_unix(meta.checkpoint_unix),
+            next_sample: SimTime::from_unix(next_unix),
+            wal_replay: report.wal,
+        };
+        Ok(Self::assemble(facility, config, start, op, Some(pieces)))
     }
 
     /// Run the campaign up to `until`.
@@ -725,6 +921,13 @@ impl Campaign {
     /// chosen, chunk cache hits, samples scanned, wall time).
     pub fn query_stats(&self) -> hpc_tsdb::QueryStats {
         self.sim.world().store.query_stats()
+    }
+
+    /// Telemetry-store health counters: samples the store refused on the
+    /// sampling path, and the WAL replay outcome if this campaign was
+    /// resumed from a checkpoint.
+    pub fn telemetry_stats(&self) -> TelemetryStats {
+        self.sim.world().telemetry
     }
 }
 
@@ -1100,6 +1303,218 @@ mod telemetry_tests {
             .sum();
         assert!(node_kw < cabinet_kw, "nodes {node_kw} vs cabinets {cabinet_kw}");
         assert!(node_kw > 0.8 * cabinet_kw, "nodes {node_kw} vs cabinets {cabinet_kw}");
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use crate::experiment::scaled_facility;
+    use hpc_tsdb::{WalConfig, WalWriter};
+    use std::path::PathBuf;
+
+    /// A unique scratch directory for one test, removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("archer2-campaign-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn instrumented_config() -> CampaignConfig {
+        CampaignConfig {
+            per_cabinet_telemetry: true,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn checkpoint_then_resume_is_bit_identical_on_history() {
+        let scratch = Scratch::new("roundtrip");
+        let start = SimTime::from_ymd(2022, 6, 1);
+        let mut c = Campaign::new(
+            scaled_facility(41, 10),
+            instrumented_config(),
+            start,
+            OperatingPoint::AFTER_BIOS,
+        );
+        c.run_until(start + SimDuration::from_days(3));
+        let stats = c.checkpoint(&scratch.0).unwrap();
+        assert!(stats.series > 1 && stats.samples > 0);
+
+        let r = Campaign::resume(
+            scaled_facility(41, 10),
+            instrumented_config(),
+            OperatingPoint::AFTER_BIOS,
+            &scratch.0,
+        )
+        .unwrap();
+        // The dense facility view survives to the bit, mirror included.
+        assert_eq!(c.power_series().len(), r.power_series().len());
+        for (a, b) in c.power_series().values().iter().zip(r.power_series().values().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // So do the compact cabinet views and the store contents.
+        assert_eq!(c.cabinet_series().len(), r.cabinet_series().len());
+        for (a, b) in c.cabinet_series().iter().zip(r.cabinet_series()) {
+            assert_eq!(a.values(), b.values());
+        }
+        for &sid in c.cabinet_series_ids() {
+            assert_eq!(
+                c.telemetry_store().with_series(sid, |s| s.scan(i64::MIN, i64::MAX)),
+                r.telemetry_store().with_series(sid, |s| s.scan(i64::MIN, i64::MAX)),
+            );
+        }
+        assert_eq!(r.telemetry_stats().samples_rejected, 0);
+        assert_eq!(r.telemetry_stats().wal_replay, None);
+    }
+
+    #[test]
+    fn resumed_campaign_keeps_sampling_on_the_grid() {
+        let scratch = Scratch::new("continue");
+        let start = SimTime::from_ymd(2022, 6, 1);
+        let cfg = CampaignConfig::default();
+        let mut c = Campaign::new(scaled_facility(42, 10), cfg.clone(), start, OperatingPoint::AFTER_BIOS);
+        c.run_until(start + SimDuration::from_days(2));
+        let len_at_checkpoint = c.power_series().len();
+        c.checkpoint(&scratch.0).unwrap();
+
+        let mut r =
+            Campaign::resume(scaled_facility(42, 10), cfg, OperatingPoint::AFTER_BIOS, &scratch.0)
+                .unwrap();
+        r.run_until(start + SimDuration::from_days(3));
+        let s = r.power_series();
+        // One more day of 15-minute samples landed on the original grid.
+        assert!(s.len() >= len_at_checkpoint + 90, "{} -> {}", len_at_checkpoint, s.len());
+        assert_eq!(s.start(), start);
+        for &kw in s.values().iter() {
+            assert!(kw > 0.0 && kw.is_finite());
+        }
+        // The store mirror also kept growing, rejecting nothing.
+        let stored = r
+            .telemetry_store()
+            .with_series(r.facility_series_id(), |s| s.len())
+            .unwrap();
+        assert_eq!(stored, s.len() as u64);
+        assert_eq!(r.telemetry_stats().samples_rejected, 0);
+        assert!(r.utilisation() > 0.5, "backlog refills after resume");
+    }
+
+    #[test]
+    fn resume_replays_a_wal_and_reports_it() {
+        let scratch = Scratch::new("wal");
+        let start = SimTime::from_ymd(2022, 6, 1);
+        let cfg = CampaignConfig::default();
+        let mut c = Campaign::new(scaled_facility(43, 10), cfg.clone(), start, OperatingPoint::AFTER_BIOS);
+        c.run_until(start + SimDuration::from_days(1));
+        c.checkpoint(&scratch.0).unwrap();
+
+        // An external ingest pipeline appended one more grid-aligned sample
+        // after the snapshot; only its WAL survived the "crash".
+        let n = c.power_series().len() as u64;
+        let interval = cfg.sample_interval.as_secs();
+        let ts = (start.as_unix() + n * interval) as i64;
+        let mut wal = WalWriter::create(&scratch.0.join("wal.twal"), WalConfig::default()).unwrap();
+        wal.append_batch(c.facility_series_id(), &[(ts, 1234.5)]).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let r = Campaign::resume(scaled_facility(43, 10), cfg, OperatingPoint::AFTER_BIOS, &scratch.0)
+            .unwrap();
+        let replay = r.telemetry_stats().wal_replay.expect("wal was replayed");
+        assert_eq!(replay.applied, 1);
+        assert_eq!(replay.rejected, 0);
+        assert!(!replay.torn);
+        // The replayed sample is part of the recovered history.
+        assert_eq!(r.power_series().len() as u64, n + 1);
+        assert_eq!(r.power_series().values().last().unwrap().to_bits(), 1234.5f64.to_bits());
+    }
+
+    #[test]
+    fn resume_refuses_a_mismatched_config() {
+        let scratch = Scratch::new("mismatch");
+        let start = SimTime::from_ymd(2022, 6, 1);
+        let mut c = Campaign::new(
+            scaled_facility(44, 10),
+            CampaignConfig::default(),
+            start,
+            OperatingPoint::AFTER_BIOS,
+        );
+        c.run_until(start + SimDuration::from_days(1));
+        c.checkpoint(&scratch.0).unwrap();
+
+        let wrong_interval = CampaignConfig {
+            sample_interval: SimDuration::from_mins(5),
+            ..CampaignConfig::default()
+        };
+        let err = Campaign::resume(
+            scaled_facility(44, 10),
+            wrong_interval,
+            OperatingPoint::AFTER_BIOS,
+            &scratch.0,
+        )
+        .err()
+        .expect("resume must fail");
+        assert!(matches!(err, PersistError::Malformed(_)), "{err}");
+
+        let wrong_series_set = CampaignConfig {
+            per_cabinet_telemetry: true,
+            ..CampaignConfig::default()
+        };
+        let err = Campaign::resume(
+            scaled_facility(44, 10),
+            wrong_series_set,
+            OperatingPoint::AFTER_BIOS,
+            &scratch.0,
+        )
+        .err()
+        .expect("resume must fail");
+        assert!(matches!(err, PersistError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn resume_detects_a_corrupted_snapshot() {
+        let scratch = Scratch::new("corrupt");
+        let start = SimTime::from_ymd(2022, 6, 1);
+        let mut c = Campaign::new(
+            scaled_facility(45, 10),
+            CampaignConfig::default(),
+            start,
+            OperatingPoint::AFTER_BIOS,
+        );
+        c.run_until(start + SimDuration::from_days(1));
+        c.checkpoint(&scratch.0).unwrap();
+
+        let snap = scratch.0.join("store.tsnap");
+        let len = std::fs::metadata(&snap).unwrap().len();
+        hpc_tsdb::faults::flip_bit(&snap, len / 2, 3).unwrap();
+        let err = Campaign::resume(
+            scaled_facility(45, 10),
+            CampaignConfig::default(),
+            OperatingPoint::AFTER_BIOS,
+            &scratch.0,
+        )
+        .err()
+        .expect("resume must fail");
+        assert!(
+            matches!(
+                err,
+                PersistError::CorruptBlock { .. }
+                    | PersistError::Truncated { .. }
+                    | PersistError::Malformed(_)
+            ),
+            "{err}"
+        );
     }
 }
 

@@ -22,5 +22,5 @@ pub mod facility;
 pub mod report;
 pub mod verify;
 
-pub use campaign::{Campaign, CampaignConfig, FrequencyPolicy};
+pub use campaign::{Campaign, CampaignConfig, FrequencyPolicy, TelemetryStats};
 pub use facility::{Archer2Facility, PowerBudget};

@@ -1,6 +1,6 @@
 //! The silicon lottery: per-part voltage margin and leakage factors.
 //!
-//! AMD's determinism whitepaper (paper ref [4]) is explicit that parts of
+//! AMD's determinism whitepaper (paper ref \[4\]) is explicit that parts of
 //! the same SKU differ: a typical part reaches a given frequency at lower
 //! voltage than the worst-case part the SKU is specified against, and parts
 //! differ in leakage current. Both axes are sampled per-socket when a

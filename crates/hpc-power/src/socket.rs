@@ -8,7 +8,7 @@ use crate::pstate::{FreqSetting, VoltageCurve};
 use crate::silicon::{SiliconLottery, SiliconSample};
 use serde::{Deserialize, Serialize};
 
-/// AMD BIOS determinism setting (paper §4.1, AMD whitepaper ref [4]).
+/// AMD BIOS determinism setting (paper §4.1, AMD whitepaper ref \[4\]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DeterminismMode {
     /// Power determinism: uniform worst-case voltage schedule, every part

@@ -78,6 +78,36 @@ impl TimeSeries {
         }
     }
 
+    /// Rebuild a series from `(unix timestamp, value)` samples recovered
+    /// out of a [`hpc_tsdb::TsdbStore`] snapshot — the resume path of a
+    /// checkpointed campaign. Samples must sit exactly on the
+    /// `start + k·interval` grid with no gaps (the campaign records on a
+    /// fixed cadence, so recovered telemetry always does); values are
+    /// re-encoded through the lossless codec, so the rebuilt series is
+    /// bit-identical to the one that was checkpointed.
+    ///
+    /// # Errors
+    /// Returns a description of the first off-grid timestamp.
+    pub fn from_tsdb_samples(
+        start: SimTime,
+        interval: SimDuration,
+        unit: impl Into<String>,
+        samples: &[(i64, f64)],
+        mirrored: bool,
+    ) -> Result<Self, String> {
+        let mut s = Self::build(start, interval, unit.into(), mirrored);
+        for (i, &(ts, v)) in samples.iter().enumerate() {
+            let expect = (s.start_unix + i as u64 * s.interval_s) as i64;
+            if ts != expect {
+                return Err(format!(
+                    "sample {i} at unix {ts}, expected {expect} (start + {i}·interval)"
+                ));
+            }
+            s.push(v);
+        }
+        Ok(s)
+    }
+
     /// Whether this series keeps the dense mirror (`false` for
     /// [`new_compact`](TimeSeries::new_compact) series).
     pub fn has_mirror(&self) -> bool {
@@ -327,6 +357,31 @@ mod tests {
     fn non_finite_sample_panics() {
         let mut s = series_with(&[]);
         s.push(f64::NAN);
+    }
+
+    #[test]
+    fn rebuild_from_tsdb_samples_is_bit_identical() {
+        let original = series_with(&[3220.0, 3010.5, 2530.25, 2531.0]);
+        let samples = original.tsdb().scan(i64::MIN, i64::MAX);
+        let rebuilt = TimeSeries::from_tsdb_samples(
+            original.start(),
+            original.interval(),
+            "kW",
+            &samples,
+            true,
+        )
+        .unwrap();
+        assert_eq!(rebuilt, original);
+        assert_eq!(rebuilt.compressed_bytes(), original.compressed_bytes());
+        // Off-grid samples are refused, not silently shifted.
+        let err = TimeSeries::from_tsdb_samples(
+            original.start(),
+            original.interval(),
+            "kW",
+            &[(0, 1.0), (901, 2.0)],
+            false,
+        );
+        assert!(err.is_err());
     }
 
     #[test]

@@ -229,6 +229,33 @@ impl Chunk {
         self.data.len()
     }
 
+    /// The raw compressed payload. Together with [`Self::len_bits`] this is
+    /// everything a snapshot needs to persist a sealed chunk verbatim.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Exact number of valid bits in [`Self::data`] (the final byte may be
+    /// zero-padded).
+    pub fn len_bits(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// Reassemble a sealed chunk from persisted parts. The inverse of
+    /// reading [`Self::data`]/[`Self::len_bits`] plus the header fields —
+    /// used by snapshot recovery, which verifies a CRC over the serialised
+    /// bytes before calling this, so no structural validation happens here.
+    pub fn from_parts(
+        data: Bytes,
+        len_bits: u64,
+        count: u32,
+        first_ts: i64,
+        last_ts: i64,
+        agg: Aggregate,
+    ) -> Self {
+        Chunk { data, len_bits, count, first_ts, last_ts, agg }
+    }
+
     /// Whether `[from, to)` overlaps this chunk's time span.
     pub fn overlaps(&self, from: i64, to: i64) -> bool {
         self.first_ts < to && self.last_ts >= from

@@ -1,0 +1,162 @@
+//! Deterministic fault injection for persistence testing.
+//!
+//! Durability claims are only as good as the failures they were tested
+//! against. This module provides the three failure modes the recovery test
+//! suite (`tests/tsdb_recovery.rs`) drives:
+//!
+//! * **truncation** — [`truncate_file`]: the tail of a file vanishes, as
+//!   after a crash before the data reached disk;
+//! * **bit corruption** — [`flip_bit`]: a stored byte decays, as from a
+//!   medium error or a buggy layer below;
+//! * **mid-write crash** — [`CrashWriter`]: the process dies partway
+//!   through writing, leaving a prefix of the intended bytes.
+//!
+//! Injection sites are chosen with [`DetRng`], a tiny deterministic
+//! generator, so every failing case is reproducible from its seed.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Truncate the file at `path` to its first `keep` bytes (no-op when the
+/// file is already shorter).
+pub fn truncate_file(path: &Path, keep: u64) -> io::Result<()> {
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    let len = f.metadata()?.len();
+    if keep < len {
+        f.set_len(keep)?;
+        f.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Flip bit `bit` (0–7) of the byte at `offset` in the file at `path`.
+///
+/// # Panics
+/// Panics if `offset` is past the end of the file or `bit > 7`.
+pub fn flip_bit(path: &Path, offset: u64, bit: u8) -> io::Result<()> {
+    assert!(bit < 8, "bit index {bit} out of range");
+    let mut data = std::fs::read(path)?;
+    let i = usize::try_from(offset).expect("offset fits usize");
+    assert!(i < data.len(), "offset {offset} past end of {} -byte file", data.len());
+    data[i] ^= 1 << bit;
+    std::fs::write(path, &data)?;
+    Ok(())
+}
+
+/// A [`Write`] adaptor that dies after passing through a byte budget —
+/// the classic mid-write crash. Writes up to `budget` bytes to the inner
+/// writer, then fails every further write with an `Other` error, leaving
+/// the inner writer holding exactly the prefix a crashed process would
+/// have produced.
+#[derive(Debug)]
+pub struct CrashWriter<W: Write> {
+    inner: W,
+    remaining: usize,
+}
+
+impl<W: Write> CrashWriter<W> {
+    /// Crash after `budget` bytes have been written.
+    pub fn new(inner: W, budget: usize) -> Self {
+        CrashWriter { inner, remaining: budget }
+    }
+
+    /// The inner writer (holding the pre-crash prefix).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for CrashWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(io::Error::other("injected crash: write budget exhausted"));
+        }
+        let n = buf.len().min(self.remaining);
+        let written = self.inner.write(&buf[..n])?;
+        self.remaining -= written;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Produce the bytes a snapshot interrupted after `budget` bytes would
+/// leave on disk: runs [`crate::TsdbStore::snapshot_to`] into a
+/// [`CrashWriter`] and returns whatever made it through (the snapshot
+/// error, if the budget was hit, is intentionally swallowed — the caller
+/// is constructing a crash artefact, not taking a snapshot).
+pub fn partial_snapshot(store: &crate::TsdbStore, budget: usize) -> Vec<u8> {
+    let mut w = CrashWriter::new(Vec::new(), budget);
+    let _ = store.snapshot_to(&mut w);
+    w.into_inner()
+}
+
+/// Minimal deterministic RNG (SplitMix64) for choosing injection sites.
+/// Not for statistics — for reproducible fault schedules.
+#[derive(Debug, Clone)]
+pub struct DetRng(u64);
+
+impl DetRng {
+    /// Seeded generator; equal seeds give equal schedules.
+    pub fn new(seed: u64) -> Self {
+        DetRng(seed)
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_writer_passes_exactly_the_budget() {
+        let mut w = CrashWriter::new(Vec::new(), 10);
+        assert_eq!(w.write(b"hello").unwrap(), 5);
+        assert_eq!(w.write(b"worlds!").unwrap(), 5); // clipped at the budget
+        assert!(w.write(b"x").is_err());
+        assert_eq!(w.into_inner(), b"helloworld");
+    }
+
+    #[test]
+    fn det_rng_is_deterministic_and_varied() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        let xs: Vec<u64> = (0..16).map(|_| a.below(1000)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.below(1000)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().collect::<std::collections::HashSet<_>>().len() > 8);
+    }
+
+    #[test]
+    fn file_faults_apply() {
+        let path =
+            std::env::temp_dir().join(format!("tsdb-faults-test-{}", std::process::id()));
+        std::fs::write(&path, [0u8; 32]).unwrap();
+        flip_bit(&path, 3, 7).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap()[3], 0x80);
+        truncate_file(&path, 5).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap().len(), 5);
+        truncate_file(&path, 500).unwrap(); // longer than the file: no-op
+        assert_eq!(std::fs::read(&path).unwrap().len(), 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -126,6 +126,17 @@ impl RollupLevel {
         self.resolution
     }
 
+    /// Reassemble a level from persisted parts (sealed buckets in time
+    /// order plus the optional trailing open bucket). Used by snapshot
+    /// recovery after CRC verification.
+    ///
+    /// # Panics
+    /// Panics if `resolution <= 0`.
+    pub fn from_parts(resolution: i64, sealed: Vec<Bucket>, open: Option<Bucket>) -> Self {
+        assert!(resolution > 0, "rollup resolution must be positive");
+        RollupLevel { resolution, sealed, open }
+    }
+
     /// Sealed (complete) buckets in time order.
     pub fn sealed(&self) -> &[Bucket] {
         &self.sealed

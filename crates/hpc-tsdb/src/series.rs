@@ -107,6 +107,40 @@ impl Series {
         &self.hours
     }
 
+    /// Decode the samples of the active (unsealed) chunk — the mutable
+    /// tail a snapshot must persist as raw samples, since only sealed
+    /// chunks are immutable byte blocks.
+    pub fn active_tail(&self) -> Vec<(i64, f64)> {
+        self.active.decode()
+    }
+
+    /// Reassemble a series from persisted parts: sealed chunks verbatim,
+    /// the active tail as raw samples (re-encoded through the deterministic
+    /// codec, so the rebuilt builder is bit-identical to the one that was
+    /// snapshotted), and the rollup/total state as recorded — the tail
+    /// samples are **not** re-folded into rollups, because the persisted
+    /// rollup state already includes them.
+    ///
+    /// Snapshot recovery verifies a CRC over the serialised bytes before
+    /// calling this; no structural validation happens here.
+    ///
+    /// # Panics
+    /// Panics if the active-tail timestamps are not strictly increasing.
+    pub fn from_parts(
+        meta: SeriesMeta,
+        sealed: Vec<Chunk>,
+        active_tail: &[(i64, f64)],
+        minutes: RollupLevel,
+        hours: RollupLevel,
+        total: Aggregate,
+    ) -> Self {
+        let mut active = ChunkBuilder::new();
+        for &(ts, v) in active_tail {
+            active.push(ts, v);
+        }
+        Series { meta, sealed, active, minutes, hours, total, chunk_samples: CHUNK_SAMPLES }
+    }
+
     /// Append one sample.
     ///
     /// # Panics

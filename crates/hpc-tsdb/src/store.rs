@@ -6,8 +6,9 @@ use crate::cache::ChunkCache;
 use crate::query::{QueryCounters, QueryStats};
 use crate::rollup::Aggregate;
 use crate::series::{Series, SeriesMeta};
+use crate::wal::WalWriter;
 use crossbeam::channel::{self, Receiver, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -161,6 +162,46 @@ impl TsdbStore {
         self.registry.read().get(name).copied()
     }
 
+    /// Every registered series as `(id, name)`, sorted by id — the stable
+    /// iteration order used by snapshots.
+    pub(crate) fn series_entries(&self) -> Vec<(SeriesId, String)> {
+        let registry = self.registry.read();
+        let mut entries: Vec<(SeriesId, String)> =
+            registry.iter().map(|(name, &id)| (id, name.clone())).collect();
+        entries.sort();
+        entries
+    }
+
+    /// The id the next [`Self::register`] call would hand out.
+    pub(crate) fn next_series_id(&self) -> u64 {
+        *self.next_id.read()
+    }
+
+    /// Ensure future registrations allocate ids at or past `floor`.
+    pub(crate) fn bump_next_id(&self, floor: u64) {
+        let mut next = self.next_id.write();
+        *next = (*next).max(floor);
+    }
+
+    /// Install a recovered series under its original id, preserving the
+    /// name→id mapping across restarts. Returns `false` (installing
+    /// nothing) when the name or id is already taken.
+    pub(crate) fn install_recovered(&self, id: SeriesId, series: Series) -> bool {
+        let mut registry = self.registry.write();
+        if registry.contains_key(&series.meta().name) {
+            return false;
+        }
+        let mut next = self.next_id.write();
+        let mut shard = self.shards[self.shard_of(id)].write();
+        if shard.series.contains_key(&id.0) {
+            return false;
+        }
+        registry.insert(series.meta().name.clone(), id);
+        shard.series.insert(id.0, series);
+        *next = (*next).max(id.0 + 1);
+        true
+    }
+
     /// Number of registered series.
     pub fn series_count(&self) -> usize {
         self.registry.read().len()
@@ -259,6 +300,26 @@ impl TsdbStore {
     /// Samples for one series always land on the same shard thread, so
     /// per-series ordering is preserved end to end.
     pub fn pipeline(&self) -> IngestPipeline {
+        self.build_pipeline(None)
+    }
+
+    /// Like [`Self::pipeline`], but every batch is appended to `wal`
+    /// *before* it is queued for its shard writer (log-then-apply), so a
+    /// crash between snapshot and shutdown is recoverable by
+    /// [`crate::recover`]. Registration records for every currently
+    /// registered series are written first, making the WAL replayable even
+    /// without a snapshot. The WAL is flushed and fsynced on `close()`.
+    pub fn pipeline_with_wal(&self, mut wal: WalWriter) -> IngestPipeline {
+        for (id, _) in self.series_entries() {
+            let meta = self
+                .with_series(id, |s| s.meta().clone())
+                .expect("registered series exists");
+            wal.append_register(id, &meta).expect("tsdb WAL registration append failed");
+        }
+        self.build_pipeline(Some(wal))
+    }
+
+    fn build_pipeline(&self, wal: Option<WalWriter>) -> IngestPipeline {
         let mut senders = Vec::with_capacity(self.config.shards);
         let mut workers = Vec::with_capacity(self.config.shards);
         let rejected = Arc::new(AtomicU64::new(0));
@@ -285,7 +346,13 @@ impl TsdbStore {
             );
             senders.push(tx);
         }
-        IngestPipeline { senders, workers, shards: self.config.shards, rejected }
+        IngestPipeline {
+            senders,
+            workers,
+            shards: self.config.shards,
+            rejected,
+            wal: wal.map(Mutex::new),
+        }
     }
 }
 
@@ -303,16 +370,30 @@ pub struct IngestPipeline {
     workers: Vec<JoinHandle<()>>,
     shards: usize,
     rejected: Arc<AtomicU64>,
+    /// Optional write-ahead log; batches are logged before they are queued.
+    wal: Option<Mutex<WalWriter>>,
 }
 
 impl IngestPipeline {
     /// Queue a batch of samples for one series, blocking when the shard's
-    /// channel is full (backpressure).
+    /// channel is full (backpressure). With a WAL attached
+    /// ([`TsdbStore::pipeline_with_wal`]) the batch is logged first.
+    ///
+    /// # Panics
+    /// Panics if a shard writer exited early or the WAL append fails.
     pub fn send(&self, id: SeriesId, samples: Vec<(i64, f64)>) {
+        if let Some(wal) = &self.wal {
+            wal.lock().append_batch(id, &samples).expect("tsdb WAL append failed");
+        }
         let shard = (id.0 % self.shards as u64) as usize;
         self.senders[shard]
             .send(Batch { id, samples })
             .expect("tsdb shard writer exited early");
+    }
+
+    /// Records written to the attached WAL so far (0 without a WAL).
+    pub fn wal_records(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.lock().records())
     }
 
     /// Batches the shard writers refused so far (unknown series,
@@ -323,11 +404,15 @@ impl IngestPipeline {
     }
 
     /// Disconnect producers and wait for every queued batch to be applied;
-    /// returns the total number of rejected batches.
+    /// returns the total number of rejected batches. An attached WAL is
+    /// flushed and fsynced so the log is durable through shutdown.
     pub fn close(mut self) -> u64 {
         self.senders.clear();
         for w in self.workers.drain(..) {
             w.join().expect("tsdb shard writer panicked");
+        }
+        if let Some(wal) = self.wal.take() {
+            wal.into_inner().sync().expect("tsdb WAL sync failed");
         }
         self.rejected.load(Ordering::Relaxed)
     }

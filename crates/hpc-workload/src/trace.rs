@@ -1,6 +1,6 @@
 //! Job-trace recording and JSON serialisation.
 //!
-//! The HPC-JEEP work the paper builds on (ref [3]) reports per-application
+//! The HPC-JEEP work the paper builds on (ref \[3\]) reports per-application
 //! energy use from job accounting records; this module produces the same
 //! kind of record from the simulation — one entry per completed job with
 //! its shape, timing, operating point and energy — and round-trips it

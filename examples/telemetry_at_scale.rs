@@ -23,11 +23,35 @@ use archer2_repro::prelude::*;
 use archer2_repro::sim::rng::{Rng, Xoshiro256StarStar};
 use archer2_repro::tsdb::query::{aggregate, aligned_windows, AggOp};
 use archer2_repro::tsdb::{
-    fanout_aggregate, fanout_group, store_aggregate, SeriesId, SeriesMeta, StoreConfig, TsdbStore,
+    fanout_aggregate, fanout_group, recover, store_aggregate, SeriesId, SeriesMeta, StoreConfig,
+    TsdbStore, WalConfig, WalWriter,
 };
 use archer2_repro::workload::OperatingPoint;
 use serde::{Serialize, Value};
 use std::time::Instant;
+
+/// Write a benchmark record, then parse it back and check the keys the
+/// verify script greps for — a malformed record should fail here, not in CI.
+fn write_bench(path: &str, record: Value, required: &[&str]) {
+    // The shim's serialiser is generic over `Serialize`, not `Value`.
+    struct Raw(Value);
+    impl Serialize for Raw {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    let json = serde_json::to_string_pretty(&Raw(record)).expect("bench record serialises");
+    std::fs::write(path, &json).expect("write benchmark json");
+    let parsed = serde_json::parse_value(&json).expect("benchmark json parses back");
+    let map = parsed.as_map().expect("benchmark json is an object");
+    for key in required {
+        assert!(
+            serde::value::map_get(map, key).is_some(),
+            "benchmark json missing key {key}"
+        );
+    }
+    println!("benchmark record:         {path}");
+}
 
 /// Full ARCHER2 fleet (Table 1).
 const NODES: u32 = 5_860;
@@ -201,6 +225,155 @@ fn main() {
         qs.samples_scanned,
         qs.wall_millis(),
     );
+
+    // --- Part 4: durability — snapshot, crash, recover ------------------
+    println!();
+    println!("=== persistence: snapshot + WAL, with injected crashes ===");
+    persist_benchmark(&store, &ids, &campaign, smoke);
+}
+
+/// Durability phase: snapshot the fleet store and reopen it (bit-identical),
+/// refuse a crash-torn snapshot, replay a torn WAL back to its valid prefix,
+/// and checkpoint/resume the campaign. Emits `BENCH_tsdb_persist.json`.
+fn persist_benchmark(store: &TsdbStore, ids: &[SeriesId], campaign: &Campaign, smoke: bool) {
+    let dir = std::env::temp_dir().join(format!("telemetry-at-scale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    // Snapshot the whole fleet store, atomically, and time both directions.
+    let snap = dir.join("fleet.tsnap");
+    let t = Instant::now();
+    let sstats = store.snapshot_to_path(&snap).expect("snapshot");
+    let snapshot_write_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mib = sstats.bytes as f64 / (1 << 20) as f64;
+    println!(
+        "snapshot write:    {:.1} MiB ({} series, {:.1} M samples) in {snapshot_write_ms:.1} ms \
+         ({:.0} MiB/s)",
+        mib,
+        sstats.series,
+        sstats.samples as f64 / 1e6,
+        mib / (snapshot_write_ms / 1e3),
+    );
+
+    let t = Instant::now();
+    let back = TsdbStore::open_snapshot_path(&snap, StoreConfig::default()).expect("reopen");
+    let snapshot_read_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(back.total_samples(), store.total_samples());
+    // Spot-check one series bit-for-bit; the recovery test suite does all.
+    let probe = ids[ids.len() / 2];
+    let back_id = back.lookup(&format!("node.{}", probe.0)).expect("series survives");
+    assert_eq!(
+        store.with_series(probe, |s| s.scan(i64::MIN, i64::MAX)),
+        back.with_series(back_id, |s| s.scan(i64::MIN, i64::MAX)),
+        "recovered series must be bit-identical"
+    );
+    println!(
+        "snapshot reopen:   {:.1} M samples in {snapshot_read_ms:.1} ms, bit-identical",
+        back.total_samples() as f64 / 1e6
+    );
+
+    // A crash mid-write must never be mistaken for a snapshot.
+    let torn = archer2_repro::tsdb::faults::partial_snapshot(store, sstats.bytes as usize / 2);
+    let err = TsdbStore::open_snapshot(&mut torn.as_slice(), StoreConfig::default())
+        .err()
+        .expect("a half-written snapshot must not open");
+    println!("torn snapshot:     refused ({err})");
+
+    // WAL: ingest through a logged pipeline, tear the tail, replay.
+    let wstore = TsdbStore::default();
+    let wid = wstore.register(SeriesMeta {
+        name: "facility".into(),
+        unit: "kW".into(),
+        interval_hint: INTERVAL_S,
+    });
+    let wal_path = dir.join("ingest.twal");
+    let wal = WalWriter::create(&wal_path, WalConfig::default()).expect("create wal");
+    let pipeline = wstore.pipeline_with_wal(wal);
+    let wal_batches = if smoke { 200 } else { 2_000 };
+    for b in 0..wal_batches as i64 {
+        let batch: Vec<(i64, f64)> = (0..8)
+            .map(|i| ((b * 8 + i) * INTERVAL_S, 2_000.0 + (b % 77) as f64 + i as f64 * 0.125))
+            .collect();
+        pipeline.send(wid, batch);
+    }
+    let wal_records = pipeline.wal_records();
+    pipeline.close();
+    let written = wstore.with_series(wid, |s| s.scan(i64::MIN, i64::MAX)).unwrap();
+
+    // The crash tears the final ~10 % of the log off mid-record.
+    let full_len = std::fs::metadata(&wal_path).unwrap().len();
+    archer2_repro::tsdb::faults::truncate_file(&wal_path, full_len - full_len / 10)
+        .expect("tear the log");
+    let t = Instant::now();
+    let (recovered, report) =
+        recover(None, Some(&wal_path), StoreConfig::default()).expect("recover from torn WAL");
+    let wal_replay_ms = t.elapsed().as_secs_f64() * 1e3;
+    let wstats = report.wal.expect("wal replayed");
+    let got = recovered.lookup("facility")
+        .and_then(|id| recovered.with_series(id, |s| s.scan(i64::MIN, i64::MAX)))
+        .unwrap_or_default();
+    assert!(got.len() <= written.len());
+    assert_eq!(got[..], written[..got.len()], "replay must be an exact prefix");
+    println!(
+        "torn-WAL replay:   {}/{} batches applied in {wal_replay_ms:.1} ms \
+         (torn tail: {} bytes discarded, {} of {} samples recovered)",
+        wstats.applied, wal_records, wstats.discarded_bytes, got.len(), written.len(),
+    );
+
+    // Campaign checkpoint → resume round trip on the Part-3 campaign.
+    let ckpt = dir.join("campaign");
+    let t = Instant::now();
+    let cstats = campaign.checkpoint(&ckpt).expect("checkpoint");
+    let checkpoint_ms = t.elapsed().as_secs_f64() * 1e3;
+    let cfg = CampaignConfig {
+        per_cabinet_telemetry: true,
+        per_node_telemetry: true,
+        ..CampaignConfig::default()
+    };
+    let t = Instant::now();
+    let resumed = Campaign::resume(
+        experiment::scaled_facility(2022, 10),
+        cfg,
+        OperatingPoint::AFTER_BIOS,
+        &ckpt,
+    )
+    .expect("resume");
+    let resume_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        campaign.power_series().values(),
+        resumed.power_series().values(),
+        "resumed telemetry history must be identical"
+    );
+    println!(
+        "campaign ckpt:     {} series / {} samples in {checkpoint_ms:.1} ms; \
+         resumed bit-identical in {resume_ms:.1} ms (rejected samples: {})",
+        cstats.series,
+        cstats.samples,
+        resumed.telemetry_stats().samples_rejected,
+    );
+
+    write_bench(
+        "BENCH_tsdb_persist.json",
+        Value::Map(vec![
+            ("bench".into(), "tsdb_persist".to_string().to_value()),
+            ("smoke".into(), smoke.to_value()),
+            ("snapshot_series".into(), sstats.series.to_value()),
+            ("snapshot_samples".into(), sstats.samples.to_value()),
+            ("snapshot_bytes".into(), sstats.bytes.to_value()),
+            ("snapshot_write_ms".into(), snapshot_write_ms.to_value()),
+            ("snapshot_read_ms".into(), snapshot_read_ms.to_value()),
+            ("wal_records".into(), wal_records.to_value()),
+            ("wal_replay_ms".into(), wal_replay_ms.to_value()),
+            ("wal_applied".into(), wstats.applied.to_value()),
+            ("wal_discarded_bytes".into(), wstats.discarded_bytes.to_value()),
+            ("wal_torn".into(), wstats.torn.to_value()),
+            ("campaign_checkpoint_ms".into(), checkpoint_ms.to_value()),
+            ("campaign_resume_ms".into(), resume_ms.to_value()),
+            ("campaign_samples".into(), cstats.samples.to_value()),
+        ]),
+        &["snapshot_write_ms", "snapshot_read_ms", "snapshot_bytes", "wal_replay_ms"],
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Sequential-vs-fan-out benchmark over every node series: month-long P95
@@ -290,23 +463,9 @@ fn query_benchmark(store: &TsdbStore, ids: &[SeriesId], span: i64, smoke: bool) 
         ("chunk_cache_hits_warm".into(), warm_stats.chunk_cache_hits.to_value()),
         ("samples_scanned_cold".into(), cold_stats.samples_scanned.to_value()),
     ]);
-    // The shim's serialiser is generic over `Serialize`, not `Value`.
-    struct Raw(Value);
-    impl Serialize for Raw {
-        fn to_value(&self) -> Value {
-            self.0.clone()
-        }
-    }
-    let json = serde_json::to_string_pretty(&Raw(record)).expect("bench record serialises");
-    let path = "BENCH_tsdb_query.json";
-    std::fs::write(path, &json).expect("write benchmark json");
-    let parsed = serde_json::parse_value(&json).expect("benchmark json parses back");
-    let map = parsed.as_map().expect("benchmark json is an object");
-    for key in ["sequential_ms", "fanout_cold_ms", "fanout_warm_ms", "warm_cache_hit_rate"] {
-        assert!(
-            serde::value::map_get(map, key).is_some(),
-            "benchmark json missing key {key}"
-        );
-    }
-    println!("benchmark record:         {path}");
+    write_bench(
+        "BENCH_tsdb_query.json",
+        record,
+        &["sequential_ms", "fanout_cold_ms", "fanout_warm_ms", "warm_cache_hit_rate"],
+    );
 }

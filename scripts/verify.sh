@@ -18,13 +18,24 @@ cargo test -q --offline --workspace
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== query benchmark smoke (BENCH_tsdb_query.json) =="
-rm -f BENCH_tsdb_query.json
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
+
+echo "== crash-recovery fault injection suite =="
+cargo test -q --offline -p hpc-tsdb --test tsdb_recovery
+
+echo "== benchmark smoke (BENCH_tsdb_query.json, BENCH_tsdb_persist.json) =="
+rm -f BENCH_tsdb_query.json BENCH_tsdb_persist.json
 cargo run --release --offline --example telemetry_at_scale -- --smoke
 test -s BENCH_tsdb_query.json
 for key in sequential_ms fanout_cold_ms fanout_warm_ms warm_cache_hit_rate; do
     grep -q "\"$key\"" BENCH_tsdb_query.json \
         || { echo "BENCH_tsdb_query.json missing key: $key" >&2; exit 1; }
+done
+test -s BENCH_tsdb_persist.json
+for key in snapshot_write_ms snapshot_read_ms snapshot_bytes wal_replay_ms; do
+    grep -q "\"$key\"" BENCH_tsdb_persist.json \
+        || { echo "BENCH_tsdb_persist.json missing key: $key" >&2; exit 1; }
 done
 
 echo "verify: OK"
