@@ -22,15 +22,22 @@
 //!   default themselves.
 
 use crate::facility::Archer2Facility;
+use hpc_faults::{
+    generate_schedule, DomainFaultConfig, FaultDomain, FaultDomains, FaultEvent, FaultKind,
+    FaultSchedule, HealthMonitor, MeterFaultConfig, MeterFaultPlan, MeterReading, MeterState,
+};
 use hpc_power::FreqSetting;
 use hpc_sched::BatchScheduler;
 use hpc_telemetry::TimeSeries;
-use hpc_tsdb::{PersistError, SeriesId, SeriesMeta, SnapshotStats, StoreConfig, TsdbStore, WalReplayStats};
+use hpc_tsdb::{
+    PersistError, SanitizeConfig, SanitizeStats, Sanitizer, SeriesId, SeriesMeta, SnapshotStats,
+    StoreConfig, TsdbStore, WalReplayStats,
+};
 use hpc_workload::{
     AppModel, GeneratorConfig, Job, JobGenerator, JobId, JobTrace, OperatingPoint, TraceEntry,
     WorkloadMix,
 };
-use hpc_topo::NodeId;
+use hpc_topo::{NodeId, SwitchId};
 use serde::{Deserialize, Serialize};
 use sim_core::rng::{Rng, Xoshiro256StarStar};
 use sim_core::sim::{Scheduler as EventScheduler, Simulation, World};
@@ -88,6 +95,10 @@ pub struct CampaignConfig {
     pub unavailable_fraction: f64,
     /// Hardware failure injection, if enabled.
     pub failures: Option<FailureConfig>,
+    /// Correlated, topology-aware fault injection (cabinet PSU trips, CDU
+    /// cooling-loop failures, switch failures, per-meter sensor faults).
+    /// Composes with — and is meant to replace — the flat `failures` model.
+    pub faults: Option<FaultInjectionConfig>,
     /// Record a per-job accounting trace (HPC-JEEP-style).
     pub record_trace: bool,
     /// Dynamic operating schedule; `None` keeps the operating point fixed
@@ -151,6 +162,49 @@ impl Default for FailureConfig {
     }
 }
 
+/// Correlated, topology-aware fault injection (the successor to the flat
+/// [`FailureConfig`] model): a deterministic schedule of node, cabinet-PSU,
+/// CDU-loop and switch failures generated up front from the seed, plus
+/// optional sensor-fault models on the per-cabinet power meters.
+///
+/// The schedule covers `[start, start + horizon)`; a campaign run past the
+/// horizon sees no further injected faults. Meter faults only apply when
+/// [`CampaignConfig::per_cabinet_telemetry`] is set (they model the cabinet
+/// meters, and there is nothing to distort otherwise).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjectionConfig {
+    /// Per-domain-class failure and repair rates.
+    pub domains: DomainFaultConfig,
+    /// How far ahead of the campaign start the fault schedule extends.
+    pub horizon: SimDuration,
+    /// Cabinet power-meter fault model; `None` keeps the meters ideal.
+    pub meters: Option<MeterFaultConfig>,
+    /// Sanitisation rules applied to metered cabinet samples on ingest.
+    pub sanitize: SanitizeConfig,
+}
+
+impl Default for FaultInjectionConfig {
+    fn default() -> Self {
+        FaultInjectionConfig {
+            domains: DomainFaultConfig::default(),
+            horizon: SimDuration::from_days(30),
+            meters: None,
+            sanitize: SanitizeConfig::default(),
+        }
+    }
+}
+
+/// Sensor-path health counters for a campaign with meter faults enabled:
+/// what the meters dropped outright and what the ingest sanitiser did with
+/// everything they reported.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SensorStats {
+    /// Samples the meters never reported (dropout windows): gaps.
+    pub dropped: u64,
+    /// Stored/quarantined breakdown from the ingest sanitiser.
+    pub sanitize: SanitizeStats,
+}
+
 impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
@@ -163,6 +217,7 @@ impl Default for CampaignConfig {
             telemetry_noise: 0.01,
             unavailable_fraction: 0.05,
             failures: None,
+            faults: None,
             record_trace: false,
             schedule: None,
             per_cabinet_telemetry: false,
@@ -229,6 +284,40 @@ enum Event {
     PolicyTick,
     /// A failed node returns to service.
     NodeRepair(NodeId),
+    /// The pre-generated correlated fault schedule fires event `i`.
+    Fault(u32),
+}
+
+/// Live state of the correlated fault injector: the pre-generated schedule,
+/// the domain membership maps, availability accounting, and per-component
+/// down-refcounts (a node can be held down by its own fault *and* its
+/// cabinet's — it returns to service only when the last holder repairs).
+struct FaultRuntime {
+    schedule: FaultSchedule,
+    domains: FaultDomains,
+    health: HealthMonitor,
+    node_down: Vec<u32>,
+    cabinet_down: Vec<u32>,
+    cdu_down: Vec<u32>,
+    switch_down: Vec<u32>,
+    /// Switches currently de-energised (refcount > 0), for the budget.
+    switches_down_now: u32,
+    /// CDU loops currently down, for the budget.
+    cdus_down_now: u32,
+    /// Unavailable-set nodes (outside the scheduler) currently held down:
+    /// only the power model needs to know about these.
+    unavailable_down_now: u32,
+}
+
+/// Live state of the cabinet meter fault models: the pre-generated
+/// per-meter plan, the stuck-at-last hold values, and the ingest sanitiser
+/// that quarantines implausible readings before they reach the store.
+struct MeterRuntime {
+    plan: MeterFaultPlan,
+    states: Vec<MeterState>,
+    sanitizer: Sanitizer,
+    /// Samples lost to dropout windows (never reported at all).
+    dropped: u64,
 }
 
 /// Key for the per-(application, operating point) power/runtime cache.
@@ -278,6 +367,11 @@ struct FacilityWorld {
     node_failures: u64,
     jobs_killed: u64,
     telemetry: TelemetryStats,
+    /// Correlated fault injector state, when `config.faults` is set.
+    faults: Option<FaultRuntime>,
+    /// Meter fault state, when `config.faults.meters` is set alongside
+    /// per-cabinet telemetry.
+    meters: Option<MeterRuntime>,
 }
 
 impl FacilityWorld {
@@ -335,15 +429,23 @@ impl FacilityWorld {
             .entry(mode)
             .or_insert_with(|| facility.mean_idle_node_kw(mode));
         let unavailable = self.facility.nodes() - self.schedulable_nodes;
+        let (unavail_down, sw_down, cdu_down) = match &self.faults {
+            Some(fr) => (fr.unavailable_down_now, fr.switches_down_now, fr.cdus_down_now),
+            None => (0, 0, 0),
+        };
         // Offline (failed) nodes are powered down for repair and draw
         // nothing; unavailable-but-healthy nodes idle.
-        let idle_nodes = (self.scheduler.free_nodes() + unavailable) as f64;
+        let idle_nodes = (self.scheduler.free_nodes() + unavailable - unavail_down) as f64;
         let idle_kw = idle_nodes * per_idle_kw;
-        let nodes_kw = self.busy_power_w / 1000.0 + idle_kw;
+        // The incremental busy counter can drift to ~-1e-10 when a fault
+        // storm empties the fleet; clamp so the budget never sees < 0.
+        let nodes_kw = (self.busy_power_w / 1000.0 + idle_kw).max(0.0);
         // Fabric traffic tracks utilisation loosely; switch power barely
         // cares (§5).
         let util = self.scheduler.busy_nodes() as f64 / self.facility.nodes() as f64;
-        let budget = self.facility.budget_from_nodes(nodes_kw, 0.7 * util);
+        let budget =
+            self.facility
+                .budget_from_nodes_degraded(nodes_kw, 0.7 * util, sw_down, cdu_down);
         budget.compute_cabinets_kw()
     }
 
@@ -374,6 +476,11 @@ impl FacilityWorld {
     /// per-node power, idle (or unavailable) nodes at the fleet idle level,
     /// offline nodes at zero.
     fn node_power_w(&self, n: NodeId, per_idle_w: f64) -> f64 {
+        if let Some(fr) = &self.faults {
+            if fr.node_down[n.index()] > 0 {
+                return 0.0; // de-energised by a correlated fault
+            }
+        }
         if n.0 >= self.schedulable_nodes {
             per_idle_w // the unavailable set idles
         } else if let Some(job) = self.scheduler.job_on_node(n) {
@@ -417,16 +524,50 @@ impl FacilityWorld {
                 .iter()
                 .map(|&n| self.node_power_w(n, per_idle_w))
                 .sum();
-            let switches_w = topo.switches_in_cabinet(cab).len() as f64 * sw_w;
+            // Switches in a fault-tripped state draw nothing.
+            let live_switches = topo
+                .switches_in_cabinet(cab)
+                .iter()
+                .filter(|&&s| match &self.faults {
+                    Some(fr) => fr.switch_down[s.index()] == 0,
+                    None => true,
+                })
+                .count();
+            let switches_w = live_switches as f64 * sw_w;
             let it_w = nodes_w + switches_w;
             samples.push((it_w + overhead.power_w(it_w)) / 1000.0);
         }
-        for ((series, &sid), kw) in
-            self.cabinet_series.iter_mut().zip(&self.cabinet_sids).zip(samples)
+        // The dense cabinet views always record the ground-truth physics;
+        // the store path goes through the meter fault models (if any) and
+        // the ingest sanitiser, so the stored series is what an operator
+        // would actually see.
+        let start_unix = self.series.start().as_unix();
+        for (i, ((series, &sid), kw)) in self
+            .cabinet_series
+            .iter_mut()
+            .zip(&self.cabinet_sids)
+            .zip(samples)
+            .enumerate()
         {
             series.push(kw);
-            if self.store.try_append_batch(sid, &[(ts, kw)]).is_err() {
-                self.telemetry.samples_rejected += 1;
+            match self.meters.as_mut() {
+                Some(mr) => {
+                    let rel_s = (ts as u64).saturating_sub(start_unix);
+                    match mr.plan.apply(i, rel_s, kw, &mut mr.states[i]) {
+                        MeterReading::Missing => mr.dropped += 1,
+                        MeterReading::Value { at_s, value, .. } => {
+                            let skewed_ts = start_unix as i64 + at_s;
+                            if mr.sanitizer.ingest(&self.store, sid, skewed_ts, value).is_none() {
+                                self.telemetry.samples_rejected += 1;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    if self.store.try_append_batch(sid, &[(ts, kw)]).is_err() {
+                        self.telemetry.samples_rejected += 1;
+                    }
+                }
             }
         }
     }
@@ -457,6 +598,150 @@ impl FacilityWorld {
         while self.scheduler.pending_count() < self.config.backlog_target {
             let job = self.generator.next_job(now);
             self.scheduler.submit(job);
+        }
+    }
+
+    /// Strip a failure-killed job out of the incremental power accounting
+    /// and bump its epoch so any in-flight `Finish` event goes stale.
+    fn kill_job_accounting(&mut self, killed: JobId) {
+        let job_w = self.job_power_w.remove(&killed).expect("killed job had power");
+        self.busy_power_w -= job_w;
+        self.job_op.remove(&killed);
+        *self.job_epoch.entry(killed).or_insert(0) += 1;
+        self.jobs_killed += 1;
+    }
+
+    /// One component of `domain` lost power: bump the node's down-refcount
+    /// and, on the 0→1 transition, drain it. Schedulable nodes go through
+    /// the scheduler (killing whatever ran there); unavailable-set nodes
+    /// only exist in the power model.
+    fn fault_node_down(&mut self, fr: &mut FaultRuntime, n: NodeId, now: SimTime) {
+        fr.node_down[n.index()] += 1;
+        if fr.node_down[n.index()] > 1 {
+            return;
+        }
+        if n.0 >= self.schedulable_nodes {
+            fr.unavailable_down_now += 1;
+            return;
+        }
+        self.node_failures += 1;
+        if let Some(killed) = self.scheduler.fail_node(n, now) {
+            self.kill_job_accounting(killed);
+        }
+    }
+
+    /// Reverse of [`Self::fault_node_down`]: on the 1→0 transition the node
+    /// returns to service. Tolerates unmatched `Up` events (a resumed
+    /// campaign only replays the future half of the schedule).
+    fn fault_node_up(&mut self, fr: &mut FaultRuntime, n: NodeId, now: SimTime) {
+        if fr.node_down[n.index()] == 0 {
+            return;
+        }
+        fr.node_down[n.index()] -= 1;
+        if fr.node_down[n.index()] > 0 {
+            return;
+        }
+        if n.0 >= self.schedulable_nodes {
+            fr.unavailable_down_now -= 1;
+            return;
+        }
+        self.scheduler.repair_node(n, now);
+    }
+
+    fn switch_down_transition(fr: &mut FaultRuntime, s: SwitchId) {
+        fr.switch_down[s.index()] += 1;
+        if fr.switch_down[s.index()] == 1 {
+            fr.switches_down_now += 1;
+        }
+    }
+
+    fn switch_up_transition(fr: &mut FaultRuntime, s: SwitchId) {
+        if fr.switch_down[s.index()] == 0 {
+            return;
+        }
+        fr.switch_down[s.index()] -= 1;
+        if fr.switch_down[s.index()] == 0 {
+            fr.switches_down_now -= 1;
+        }
+    }
+
+    /// Apply one event from the pre-generated fault schedule.
+    ///
+    /// * Node: that node drains (its job is killed and requeued).
+    /// * Cabinet: the PSU trips — every node and switch in the cabinet
+    ///   loses power at once.
+    /// * CDU loop: availability accounting only; the thermal-drain cabinet
+    ///   trips were already expanded into explicit `Cabinet` events when
+    ///   the schedule was generated.
+    /// * Switch: the attached endpoint nodes become unreachable, so the
+    ///   scheduler drains them (modelled as powered down until repair).
+    fn apply_fault(&mut self, fr: &mut FaultRuntime, event: FaultEvent, now: SimTime) {
+        fr.health.record(event.kind, event.at_s);
+        match event.kind {
+            FaultKind::Down(domain) => match domain {
+                FaultDomain::Node(n) => self.fault_node_down(fr, n, now),
+                FaultDomain::Cabinet(c) => {
+                    fr.cabinet_down[c.index()] += 1;
+                    if fr.cabinet_down[c.index()] == 1 {
+                        let switches: Vec<SwitchId> =
+                            self.facility.topology().switches_in_cabinet(c).to_vec();
+                        for s in switches {
+                            Self::switch_down_transition(fr, s);
+                        }
+                        let nodes = fr.domains.nodes_of(domain);
+                        for n in nodes {
+                            self.fault_node_down(fr, n, now);
+                        }
+                    }
+                }
+                FaultDomain::CduLoop(d) => {
+                    fr.cdu_down[d.index()] += 1;
+                    if fr.cdu_down[d.index()] == 1 {
+                        fr.cdus_down_now += 1;
+                    }
+                }
+                FaultDomain::Switch(s) => {
+                    Self::switch_down_transition(fr, s);
+                    let nodes = fr.domains.nodes_of(domain);
+                    for n in nodes {
+                        self.fault_node_down(fr, n, now);
+                    }
+                }
+            },
+            FaultKind::Up(domain) => match domain {
+                FaultDomain::Node(n) => self.fault_node_up(fr, n, now),
+                FaultDomain::Cabinet(c) => {
+                    if fr.cabinet_down[c.index()] > 0 {
+                        fr.cabinet_down[c.index()] -= 1;
+                        if fr.cabinet_down[c.index()] == 0 {
+                            let switches: Vec<SwitchId> =
+                                self.facility.topology().switches_in_cabinet(c).to_vec();
+                            for s in switches {
+                                Self::switch_up_transition(fr, s);
+                            }
+                            let nodes = fr.domains.nodes_of(domain);
+                            for n in nodes {
+                                self.fault_node_up(fr, n, now);
+                            }
+                        }
+                    }
+                }
+                FaultDomain::CduLoop(d) => {
+                    if fr.cdu_down[d.index()] > 0 {
+                        fr.cdu_down[d.index()] -= 1;
+                        if fr.cdu_down[d.index()] == 0 {
+                            fr.cdus_down_now -= 1;
+                        }
+                    }
+                }
+                FaultDomain::Switch(s) => {
+                    Self::switch_up_transition(fr, s);
+                    let nodes = fr.domains.nodes_of(domain);
+                    for n in nodes {
+                        self.fault_node_up(fr, n, now);
+                    }
+                }
+            },
         }
     }
 }
@@ -530,18 +815,33 @@ impl World for FacilityWorld {
                 if let Some(killed) = self.scheduler.fail_node(victim, now) {
                     // Remove the dead job's power; it restarts from scratch
                     // when the scheduler re-places it (no checkpointing).
-                    let job_w = self.job_power_w.remove(&killed).expect("killed job had power");
-                    self.busy_power_w -= job_w;
-                    self.job_op.remove(&killed);
-                    *self.job_epoch.entry(killed).or_insert(0) += 1;
-                    self.jobs_killed += 1;
+                    self.kill_job_accounting(killed);
                 }
                 sched.after(cfg.repair, Event::NodeRepair(victim));
                 self.schedule_fail(sched);
                 self.schedule_pass(now, sched);
             }
             Event::NodeRepair(node) => {
-                self.scheduler.repair_node(node, now);
+                // A correlated fault may still hold this node down; if so
+                // its own Up event will bring it back instead.
+                let held_down = self
+                    .faults
+                    .as_ref()
+                    .map(|fr| fr.node_down[node.index()] > 0)
+                    .unwrap_or(false);
+                if !held_down {
+                    self.scheduler.repair_node(node, now);
+                }
+                self.schedule_pass(now, sched);
+            }
+            Event::Fault(i) => {
+                let Some(mut fr) = self.faults.take() else {
+                    return;
+                };
+                if let Some(&event) = fr.schedule.events().get(i as usize) {
+                    self.apply_fault(&mut fr, event, now);
+                }
+                self.faults = Some(fr);
                 self.schedule_pass(now, sched);
             }
             Event::PolicyTick => {
@@ -628,6 +928,45 @@ impl Campaign {
         } else {
             Vec::new()
         };
+        // Correlated fault injection: the whole schedule (and the meter
+        // fault plan) is a pure function of (config, topology, seed), so
+        // two same-seed campaigns inject bit-identical fault timelines.
+        let faults = config.faults.as_ref().map(|fc| {
+            let domains = FaultDomains::from_topology(facility.topology());
+            let schedule =
+                generate_schedule(&fc.domains, &domains, config.seed ^ 0xFA17_5EED, fc.horizon);
+            let health = HealthMonitor::new(
+                domains.node_count(),
+                domains.cabinet_count(),
+                domains.cdu_count(),
+                domains.switch_count(),
+            );
+            FaultRuntime {
+                node_down: vec![0; domains.node_count() as usize],
+                cabinet_down: vec![0; domains.cabinet_count() as usize],
+                cdu_down: vec![0; domains.cdu_count() as usize],
+                switch_down: vec![0; domains.switch_count() as usize],
+                switches_down_now: 0,
+                cdus_down_now: 0,
+                unavailable_down_now: 0,
+                schedule,
+                domains,
+                health,
+            }
+        });
+        let meters = config.faults.as_ref().and_then(|fc| {
+            let mc = fc.meters.as_ref()?;
+            if !config.per_cabinet_telemetry {
+                return None; // nothing to distort without cabinet meters
+            }
+            let n = facility.topology().config().cabinets as usize;
+            Some(MeterRuntime {
+                plan: MeterFaultPlan::generate(mc, n, fc.horizon, config.seed ^ 0x05E7_50FA),
+                states: vec![MeterState::default(); n],
+                sanitizer: Sanitizer::new(fc.sanitize),
+                dropped: 0,
+            })
+        });
         let world = FacilityWorld {
             schedulable_nodes,
             scheduler,
@@ -655,6 +994,8 @@ impl Campaign {
             node_failures: 0,
             jobs_killed: 0,
             telemetry: TelemetryStats { samples_rejected: 0, wal_replay },
+            faults,
+            meters,
             config,
             facility,
         };
@@ -671,9 +1012,28 @@ impl Campaign {
                 .collect();
         }
         let failures_enabled = world.config.failures.is_some();
+        // Arm the whole fault timeline up front. On a resumed campaign only
+        // the future half replays: refcount transitions tolerate the
+        // unmatched `Up` events of faults that opened before the checkpoint.
+        let fault_events: Vec<(u32, SimTime)> = world
+            .faults
+            .as_ref()
+            .map(|fr| {
+                fr.schedule
+                    .events()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (i as u32, start + SimDuration::from_secs(e.at_s)))
+                    .filter(|&(_, t)| t >= now)
+                    .collect()
+            })
+            .unwrap_or_default();
         let mut sim = Simulation::new(now, world);
         sim.schedule(now, Event::Refill);
         sim.schedule(next_sample, Event::Sample);
+        for (i, t) in fault_events {
+            sim.schedule(t, Event::Fault(i));
+        }
         if failures_enabled {
             sim.schedule(now + SimDuration::from_secs(1), Event::NodeFail);
         }
@@ -929,6 +1289,110 @@ impl Campaign {
     pub fn telemetry_stats(&self) -> TelemetryStats {
         self.sim.world().telemetry
     }
+
+    /// Scheduler job accounting: submissions, completions, kills,
+    /// abandonments and backfill counters.
+    pub fn scheduler_stats(&self) -> hpc_sched::SchedulerStats {
+        self.sim.world().scheduler.stats()
+    }
+
+    /// Per-domain availability accounting (failures, repairs, MTBF/MTTR),
+    /// when correlated fault injection is enabled.
+    pub fn health(&self) -> Option<&HealthMonitor> {
+        self.sim.world().faults.as_ref().map(|fr| &fr.health)
+    }
+
+    /// The pre-generated correlated fault schedule, when enabled.
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.sim.world().faults.as_ref().map(|fr| &fr.schedule)
+    }
+
+    /// The per-meter fault plan, when meter faults are enabled.
+    pub fn meter_plan(&self) -> Option<&MeterFaultPlan> {
+        self.sim.world().meters.as_ref().map(|mr| &mr.plan)
+    }
+
+    /// Sensor-path counters (meter dropouts plus the sanitiser's
+    /// stored/quarantined breakdown), when meter faults are enabled.
+    pub fn sensor_stats(&self) -> Option<SensorStats> {
+        self.sim.world().meters.as_ref().map(|mr| SensorStats {
+            dropped: mr.dropped,
+            sanitize: mr.sanitizer.stats(),
+        })
+    }
+
+    /// Gap-aware mean of one cabinet's *stored* power over `[from, to)`:
+    /// the aggregate over present samples plus the coverage fraction
+    /// telemetry actually achieved (dropouts and quarantined samples leave
+    /// gaps). `None` unless per-cabinet telemetry is on and the index is
+    /// valid.
+    pub fn cabinet_window_gap(
+        &self,
+        cabinet: usize,
+        from: SimTime,
+        to: SimTime,
+    ) -> Option<hpc_tsdb::GapAwareValue> {
+        let w = self.sim.world();
+        let &sid = w.cabinet_sids.get(cabinet)?;
+        hpc_tsdb::store_gap_aggregate(&w.store, sid, from.as_unix() as i64, to.as_unix() as i64)
+    }
+
+    /// Check the campaign's cross-layer conservation invariants and return
+    /// a description of every violation (empty = all hold):
+    ///
+    /// 1. **No lost jobs** — every submission is completed, abandoned,
+    ///    running, or pending.
+    /// 2. **Node conservation** — busy + free + offline covers exactly the
+    ///    schedulable fleet.
+    /// 3. **Energy accounting** — the incremental busy-power counter equals
+    ///    the sum over running jobs.
+    /// 4. **Power map consistency** — exactly the running jobs carry power.
+    pub fn verify_invariants(&self) -> Vec<String> {
+        let w = self.sim.world();
+        let mut violations = Vec::new();
+        let stats = w.scheduler.stats();
+        let accounted = stats.completed
+            + stats.abandoned
+            + w.scheduler.running_count() as u64
+            + w.scheduler.pending_count() as u64;
+        if stats.submitted != accounted {
+            violations.push(format!(
+                "job conservation: {} submitted but {} accounted (completed {} + abandoned {} + running {} + pending {})",
+                stats.submitted,
+                accounted,
+                stats.completed,
+                stats.abandoned,
+                w.scheduler.running_count(),
+                w.scheduler.pending_count()
+            ));
+        }
+        let (busy, free, off) = (
+            w.scheduler.busy_nodes(),
+            w.scheduler.free_nodes(),
+            w.scheduler.offline_nodes(),
+        );
+        if busy + free + off != w.schedulable_nodes {
+            violations.push(format!(
+                "node conservation: busy {busy} + free {free} + offline {off} != schedulable {}",
+                w.schedulable_nodes
+            ));
+        }
+        let sum_w: f64 = w.job_power_w.values().sum();
+        if (sum_w - w.busy_power_w).abs() > 1e-6 * w.busy_power_w.abs().max(1.0) {
+            violations.push(format!(
+                "energy accounting: running jobs draw {sum_w} W but busy_power_w is {} W",
+                w.busy_power_w
+            ));
+        }
+        if w.job_power_w.len() != w.scheduler.running_count() {
+            violations.push(format!(
+                "power map: {} jobs carry power but {} are running",
+                w.job_power_w.len(),
+                w.scheduler.running_count()
+            ));
+        }
+        violations
+    }
 }
 
 #[cfg(test)]
@@ -1131,6 +1595,293 @@ mod failure_tests {
         c.run_until(start + SimDuration::from_days(3));
         assert_eq!(c.failure_counts(), (0, 0));
         assert_eq!(c.offline_nodes(), 0);
+    }
+}
+
+#[cfg(test)]
+mod fault_campaign_tests {
+    use super::*;
+    use crate::experiment::scaled_facility;
+    use hpc_faults::{DomainClass, DomainRate};
+
+    /// Aggressive correlated-fault rates so a one-week run sees every
+    /// domain class fail (the test fleet is 1/10 scale).
+    fn storm_domains() -> DomainFaultConfig {
+        DomainFaultConfig {
+            node: DomainRate {
+                mtbf_hours: 400.0,
+                repair_mean_hours: 8.0,
+                repair_sigma: 0.5,
+            },
+            cabinet: DomainRate {
+                mtbf_hours: 300.0,
+                repair_mean_hours: 4.0,
+                repair_sigma: 0.4,
+            },
+            cdu: DomainRate {
+                mtbf_hours: 150.0,
+                repair_mean_hours: 6.0,
+                repair_sigma: 0.4,
+            },
+            switch: DomainRate {
+                mtbf_hours: 2_000.0,
+                repair_mean_hours: 4.0,
+                repair_sigma: 0.4,
+            },
+            ..DomainFaultConfig::default()
+        }
+    }
+
+    fn storm_config() -> CampaignConfig {
+        CampaignConfig {
+            faults: Some(FaultInjectionConfig {
+                domains: storm_domains(),
+                horizon: SimDuration::from_days(14),
+                meters: None,
+                sanitize: SanitizeConfig::default(),
+            }),
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn correlated_faults_fire_and_invariants_hold() {
+        let f = scaled_facility(51, 10);
+        let start = SimTime::from_ymd(2022, 3, 1);
+        let mut c = Campaign::new(f, storm_config(), start, OperatingPoint::ORIGINAL);
+        c.run_until(start + SimDuration::from_days(7));
+
+        let health = c.health().expect("faults enabled");
+        assert!(health.class(DomainClass::Node).failures() > 0, "no node faults fired");
+        assert!(health.class(DomainClass::Cdu).failures() > 0, "no CDU faults fired");
+        // CDU trips drain every cabinet on the loop, so cabinets fail too.
+        assert!(health.class(DomainClass::Cabinet).failures() > 0, "no cabinet trips");
+        let violations = c.verify_invariants();
+        assert!(violations.is_empty(), "invariants violated: {violations:?}");
+        // Power stays physical throughout the storm.
+        for &kw in c.power_series().values().iter() {
+            assert!(kw > 0.0 && kw.is_finite());
+        }
+    }
+
+    #[test]
+    fn cabinet_trip_visibly_dents_facility_power() {
+        // Only cabinet faults, at a rate where trips are common; the mean
+        // power of the faulted run must sit below the healthy run.
+        let start = SimTime::from_ymd(2022, 3, 1);
+        let cfg = CampaignConfig {
+            faults: Some(FaultInjectionConfig {
+                domains: DomainFaultConfig {
+                    node: DomainRate::OFF,
+                    cabinet: DomainRate {
+                        mtbf_hours: 100.0,
+                        repair_mean_hours: 12.0,
+                        repair_sigma: 0.3,
+                    },
+                    cdu: DomainRate::OFF,
+                    switch: DomainRate::OFF,
+                    ..DomainFaultConfig::default()
+                },
+                horizon: SimDuration::from_days(14),
+                meters: None,
+                sanitize: SanitizeConfig::default(),
+            }),
+            ..CampaignConfig::default()
+        };
+        let run = |cfg: CampaignConfig| {
+            let f = scaled_facility(52, 10);
+            let mut c = Campaign::new(f, cfg, start, OperatingPoint::ORIGINAL);
+            c.run_until(start + SimDuration::from_days(7));
+            (c.power_series().mean(), c.health().map(|h| h.class(DomainClass::Cabinet).failures()))
+        };
+        let (healthy_kw, _) = run(CampaignConfig::default());
+        let (faulted_kw, trips) = run(cfg);
+        assert!(trips.unwrap() > 0, "no cabinet trips in 7 days");
+        assert!(
+            faulted_kw < healthy_kw * 0.995,
+            "cabinet trips should dent power: {faulted_kw} vs {healthy_kw}"
+        );
+    }
+
+    #[test]
+    fn fault_campaigns_are_deterministic() {
+        let run = || {
+            let f = scaled_facility(53, 10);
+            let start = SimTime::from_ymd(2022, 3, 1);
+            let mut c = Campaign::new(f, storm_config(), start, OperatingPoint::ORIGINAL);
+            c.run_until(start + SimDuration::from_days(5));
+            (
+                c.fault_schedule().unwrap().digest(),
+                c.power_series().values().to_vec(),
+                c.failure_counts(),
+            )
+        };
+        let (d1, p1, f1) = run();
+        let (d2, p2, f2) = run();
+        assert_eq!(d1, d2, "fault schedule digest must be seed-stable");
+        assert_eq!(f1, f2);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn faults_off_is_bit_identical_to_the_legacy_path() {
+        // Adding the fault machinery must not perturb existing campaigns:
+        // with `faults: None` no extra RNG draws or events occur.
+        let run = |faults: Option<FaultInjectionConfig>| {
+            let f = scaled_facility(54, 10);
+            let start = SimTime::from_ymd(2022, 3, 1);
+            let cfg = CampaignConfig { faults, ..CampaignConfig::default() };
+            let mut c = Campaign::new(f, cfg, start, OperatingPoint::ORIGINAL);
+            c.run_until(start + SimDuration::from_days(3));
+            c.power_series().values().to_vec()
+        };
+        let base = run(None);
+        // A schedule with every rate off generates zero events -> same run.
+        let quiet = run(Some(FaultInjectionConfig {
+            domains: DomainFaultConfig {
+                node: DomainRate::OFF,
+                cabinet: DomainRate::OFF,
+                cdu: DomainRate::OFF,
+                switch: DomainRate::OFF,
+                ..DomainFaultConfig::default()
+            },
+            ..FaultInjectionConfig::default()
+        }));
+        assert_eq!(base.len(), quiet.len());
+        for (a, b) in base.iter().zip(&quiet) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn meter_faults_quarantine_and_coverage_drops() {
+        let f = scaled_facility(55, 10);
+        let start = SimTime::from_ymd(2022, 3, 1);
+        let cfg = CampaignConfig {
+            per_cabinet_telemetry: true,
+            faults: Some(FaultInjectionConfig {
+                domains: DomainFaultConfig {
+                    node: DomainRate::OFF,
+                    cabinet: DomainRate::OFF,
+                    cdu: DomainRate::OFF,
+                    switch: DomainRate::OFF,
+                    ..DomainFaultConfig::default()
+                },
+                horizon: SimDuration::from_days(14),
+                // Aggressive meter faults: every class well-represented.
+                meters: Some(MeterFaultConfig {
+                    dropouts_per_month: 20.0,
+                    stuck_per_month: 10.0,
+                    spikes_per_month: 30.0,
+                    ..MeterFaultConfig::default()
+                }),
+                sanitize: SanitizeConfig {
+                    min_value: 0.0,
+                    max_value: 500.0,
+                    max_stuck_run: 3,
+                },
+            }),
+            ..CampaignConfig::default()
+        };
+        let mut c = Campaign::new(f, cfg, start, OperatingPoint::ORIGINAL);
+        c.run_until(start + SimDuration::from_days(7));
+
+        let stats = c.sensor_stats().expect("meter faults enabled");
+        assert!(stats.dropped > 0, "no dropouts in 7 days: {stats:?}");
+        assert!(stats.sanitize.quarantined() > 0, "nothing quarantined: {stats:?}");
+        assert!(stats.sanitize.stored > 0, "sanitiser stored nothing: {stats:?}");
+
+        // The dense (ground-truth) views are unaffected by meter faults.
+        let total_samples = c.power_series().len() as u64;
+        for s in c.cabinet_series() {
+            assert_eq!(s.len() as u64, total_samples);
+        }
+
+        // Gap-aware readback: summed over cabinets, coverage is below 1
+        // (samples went missing) and the mean stays physical.
+        let (from, to) = (start, start + SimDuration::from_days(7));
+        let mut any_gap = false;
+        for i in 0..c.cabinet_series_ids().len() {
+            let g = c.cabinet_window_gap(i, from, to).expect("cabinet series exists");
+            assert!(g.coverage > 0.5 && g.coverage <= 1.0, "coverage {}", g.coverage);
+            assert!(g.mean() > 0.0);
+            if g.coverage < 1.0 || g.quarantined > 0 {
+                any_gap = true;
+            }
+        }
+        assert!(any_gap, "aggressive meter faults left no gaps at all");
+
+        // Quarantined samples never entered the stored aggregates: every
+        // stored sample sits inside the sanitiser's plausible range.
+        let store = c.telemetry_store();
+        for &sid in c.cabinet_series_ids() {
+            let samples = store.with_series(sid, |s| s.scan(i64::MIN, i64::MAX)).unwrap();
+            for (_, v) in samples {
+                assert!((0.0..=500.0).contains(&v), "implausible stored value {v}");
+            }
+        }
+        assert_eq!(c.telemetry_stats().samples_rejected, 0);
+        let violations = c.verify_invariants();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn switch_faults_drain_attached_nodes() {
+        let f = scaled_facility(56, 10);
+        let start = SimTime::from_ymd(2022, 3, 1);
+        let cfg = CampaignConfig {
+            faults: Some(FaultInjectionConfig {
+                domains: DomainFaultConfig {
+                    node: DomainRate::OFF,
+                    cabinet: DomainRate::OFF,
+                    cdu: DomainRate::OFF,
+                    switch: DomainRate {
+                        mtbf_hours: 500.0,
+                        repair_mean_hours: 6.0,
+                        repair_sigma: 0.4,
+                    },
+                    ..DomainFaultConfig::default()
+                },
+                horizon: SimDuration::from_days(14),
+                meters: None,
+                sanitize: SanitizeConfig::default(),
+            }),
+            ..CampaignConfig::default()
+        };
+        let mut c = Campaign::new(f, cfg, start, OperatingPoint::ORIGINAL);
+        c.run_until(start + SimDuration::from_days(7));
+        let health = c.health().unwrap();
+        assert!(health.class(DomainClass::Switch).failures() > 0, "no switch faults");
+        // Endpoint nodes were drained: node kills happened without any
+        // node-class faults in the schedule.
+        let (node_failures, _) = c.failure_counts();
+        assert!(node_failures > 0, "switch faults must drain endpoints");
+        let violations = c.verify_invariants();
+        assert!(violations.is_empty(), "{violations:?}");
+        // Everything comes back: after a quiet tail the fleet recovers.
+        assert!(c.utilisation() > 0.8, "utilisation {}", c.utilisation());
+    }
+
+    #[test]
+    fn health_monitor_availability_is_sane() {
+        let f = scaled_facility(57, 10);
+        let start = SimTime::from_ymd(2022, 3, 1);
+        let mut c = Campaign::new(f, storm_config(), start, OperatingPoint::ORIGINAL);
+        let days = 7u64;
+        c.run_until(start + SimDuration::from_days(days));
+        let health = c.health().unwrap();
+        let at_s = days * 86_400;
+        for class in [DomainClass::Node, DomainClass::Cabinet, DomainClass::Cdu, DomainClass::Switch] {
+            let tr = health.class(class);
+            let a = tr.availability(at_s);
+            assert!((0.0..=1.0).contains(&a), "{class:?} availability {a}");
+            if tr.failures() > 0 {
+                assert!(a < 1.0, "{class:?} failed yet availability is 1.0");
+                assert!(tr.mtbf_hours(at_s) > 0.0);
+            }
+        }
     }
 }
 

@@ -140,13 +140,29 @@ impl Archer2Facility {
 
     /// Assemble a budget given total node power and a fabric traffic load.
     pub fn budget_from_nodes(&self, nodes_kw: f64, fabric_load: f64) -> PowerBudget {
+        self.budget_from_nodes_degraded(nodes_kw, fabric_load, 0, 0)
+    }
+
+    /// Assemble a budget with some components de-energised: offline
+    /// switches (failed, or inside a tripped cabinet) and offline CDU
+    /// loops draw nothing, and cabinet overhead scales with the surviving
+    /// IT power. `nodes_kw` must already exclude powered-down nodes.
+    pub fn budget_from_nodes_degraded(
+        &self,
+        nodes_kw: f64,
+        fabric_load: f64,
+        offline_switches: u32,
+        offline_cdus: u32,
+    ) -> PowerBudget {
         let cfg = self.topology.config();
+        let online_switches = cfg.fabric.total_switches().saturating_sub(offline_switches);
         let switches_kw =
-            cfg.fabric.total_switches() as f64 * self.switch_model.power_w(fabric_load) / 1000.0;
+            online_switches as f64 * self.switch_model.power_w(fabric_load) / 1000.0;
         let it_per_cabinet_w = (nodes_kw + switches_kw) * 1000.0 / cfg.cabinets as f64;
         let overheads_kw =
             cfg.cabinets as f64 * self.overhead_model.power_w(it_per_cabinet_w) / 1000.0;
-        let cdus_kw = cfg.cdus as f64 * self.cdu_model.power_w() / 1000.0;
+        let online_cdus = cfg.cdus.saturating_sub(offline_cdus);
+        let cdus_kw = online_cdus as f64 * self.cdu_model.power_w() / 1000.0;
         let filesystems_kw = cfg.filesystems as f64 * self.filesystem_model.power_w() / 1000.0;
         PowerBudget {
             nodes_kw,

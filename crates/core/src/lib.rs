@@ -22,5 +22,8 @@ pub mod facility;
 pub mod report;
 pub mod verify;
 
-pub use campaign::{Campaign, CampaignConfig, FrequencyPolicy, TelemetryStats};
+pub use campaign::{
+    Campaign, CampaignConfig, FailureConfig, FaultInjectionConfig, FrequencyPolicy, SensorStats,
+    TelemetryStats,
+};
 pub use facility::{Archer2Facility, PowerBudget};

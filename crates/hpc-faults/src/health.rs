@@ -1,0 +1,271 @@
+//! Per-domain availability accounting for degraded-mode campaigns.
+//!
+//! A campaign running under fault injection needs to *measure* how
+//! degraded it was: per-domain availability (fraction of unit-time in
+//! service), observed MTBF/MTTR, and the instantaneous down-unit count.
+//! [`HealthMonitor`] tracks one [`AvailabilityTracker`] per domain class
+//! and is updated from the same fault events the facility applies, so the
+//! accounting is exact, not sampled.
+
+use crate::domains::{FaultDomain, FaultKind};
+
+/// The four fault-domain classes a facility decomposes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainClass {
+    /// Compute nodes.
+    Node,
+    /// Compute cabinets (PSU domain).
+    Cabinet,
+    /// CDU cooling loops.
+    Cdu,
+    /// Dragonfly switches.
+    Switch,
+}
+
+impl DomainClass {
+    /// The class of a domain.
+    pub fn of(domain: FaultDomain) -> DomainClass {
+        match domain {
+            FaultDomain::Node(_) => DomainClass::Node,
+            FaultDomain::Cabinet(_) => DomainClass::Cabinet,
+            FaultDomain::CduLoop(_) => DomainClass::Cdu,
+            FaultDomain::Switch(_) => DomainClass::Switch,
+        }
+    }
+}
+
+/// Time-weighted availability accounting for one domain class.
+///
+/// `record_down`/`record_up` must be called with non-decreasing times.
+/// Nested failures of one instance (a cabinet tripped by its PSU *and* by
+/// its CDU loop) are reference-counted: the instance counts as down until
+/// every overlapping failure is repaired.
+#[derive(Debug, Clone)]
+pub struct AvailabilityTracker {
+    instances: u32,
+    /// Down-refcount per instance index.
+    down: Vec<u32>,
+    /// Instances currently down (refcount > 0).
+    down_now: u32,
+    /// Accumulated instance-seconds of downtime.
+    down_unit_s: f64,
+    /// Last event time seen.
+    last_s: u64,
+    /// Failure transitions (refcount 0 → 1).
+    failures: u64,
+    /// Repair transitions (refcount 1 → 0).
+    repairs: u64,
+}
+
+impl AvailabilityTracker {
+    /// A tracker over `instances` units, all up, clock at 0.
+    pub fn new(instances: u32) -> Self {
+        AvailabilityTracker {
+            instances,
+            down: vec![0; instances as usize],
+            down_now: 0,
+            down_unit_s: 0.0,
+            last_s: 0,
+            failures: 0,
+            repairs: 0,
+        }
+    }
+
+    fn advance(&mut self, at_s: u64) {
+        let dt = at_s.saturating_sub(self.last_s);
+        self.down_unit_s += dt as f64 * f64::from(self.down_now);
+        self.last_s = self.last_s.max(at_s);
+    }
+
+    /// An instance goes down at `at_s` (idempotent via refcount).
+    pub fn record_down(&mut self, index: usize, at_s: u64) {
+        self.advance(at_s);
+        if self.down[index] == 0 {
+            self.down_now += 1;
+            self.failures += 1;
+        }
+        self.down[index] += 1;
+    }
+
+    /// An instance comes back at `at_s`. Unmatched ups are ignored.
+    pub fn record_up(&mut self, index: usize, at_s: u64) {
+        self.advance(at_s);
+        if self.down[index] == 0 {
+            return; // spurious repair; nothing was down
+        }
+        self.down[index] -= 1;
+        if self.down[index] == 0 {
+            self.down_now -= 1;
+            self.repairs += 1;
+        }
+    }
+
+    /// Instances currently down.
+    pub fn down_now(&self) -> u32 {
+        self.down_now
+    }
+
+    /// Failure transitions observed.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Completed repairs observed.
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Time-weighted availability over `[0, at_s]`: 1 minus the fraction
+    /// of instance-time spent down. 1.0 for an empty class or zero span.
+    pub fn availability(&self, at_s: u64) -> f64 {
+        if self.instances == 0 || at_s == 0 {
+            return 1.0;
+        }
+        let residual = at_s.saturating_sub(self.last_s) as f64 * f64::from(self.down_now);
+        let down = self.down_unit_s + residual;
+        (1.0 - down / (at_s as f64 * f64::from(self.instances))).clamp(0.0, 1.0)
+    }
+
+    /// Observed mean time between failures over `[0, at_s]`, in hours
+    /// (`instance-hours elapsed / failures`); infinite with no failures.
+    pub fn mtbf_hours(&self, at_s: u64) -> f64 {
+        if self.failures == 0 {
+            return f64::INFINITY;
+        }
+        at_s as f64 * f64::from(self.instances) / 3600.0 / self.failures as f64
+    }
+
+    /// Observed mean time to repair over `[0, at_s]`, in hours (downtime /
+    /// completed repairs); NaN with no completed repairs.
+    pub fn mttr_hours(&self, at_s: u64) -> f64 {
+        if self.repairs == 0 {
+            return f64::NAN;
+        }
+        let residual = at_s.saturating_sub(self.last_s) as f64 * f64::from(self.down_now);
+        (self.down_unit_s + residual) / 3600.0 / self.repairs as f64
+    }
+}
+
+/// Availability accounting across every domain class of one facility.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    nodes: AvailabilityTracker,
+    cabinets: AvailabilityTracker,
+    cdus: AvailabilityTracker,
+    switches: AvailabilityTracker,
+}
+
+impl HealthMonitor {
+    /// A monitor for a facility of the given shape, everything up.
+    pub fn new(nodes: u32, cabinets: u32, cdus: u32, switches: u32) -> Self {
+        HealthMonitor {
+            nodes: AvailabilityTracker::new(nodes),
+            cabinets: AvailabilityTracker::new(cabinets),
+            cdus: AvailabilityTracker::new(cdus),
+            switches: AvailabilityTracker::new(switches),
+        }
+    }
+
+    /// Apply one fault transition at `at_s` seconds from the start.
+    pub fn record(&mut self, kind: FaultKind, at_s: u64) {
+        let (domain, down) = match kind {
+            FaultKind::Down(d) => (d, true),
+            FaultKind::Up(d) => (d, false),
+        };
+        let (tracker, index) = match domain {
+            FaultDomain::Node(n) => (&mut self.nodes, n.index()),
+            FaultDomain::Cabinet(c) => (&mut self.cabinets, c.index()),
+            FaultDomain::CduLoop(d) => (&mut self.cdus, d.index()),
+            FaultDomain::Switch(s) => (&mut self.switches, s.index()),
+        };
+        if down {
+            tracker.record_down(index, at_s);
+        } else {
+            tracker.record_up(index, at_s);
+        }
+    }
+
+    /// The tracker for one class.
+    pub fn class(&self, class: DomainClass) -> &AvailabilityTracker {
+        match class {
+            DomainClass::Node => &self.nodes,
+            DomainClass::Cabinet => &self.cabinets,
+            DomainClass::Cdu => &self.cdus,
+            DomainClass::Switch => &self.switches,
+        }
+    }
+
+    /// Total failure transitions across every class.
+    pub fn total_failures(&self) -> u64 {
+        self.nodes.failures()
+            + self.cabinets.failures()
+            + self.cdus.failures()
+            + self.switches.failures()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_topo::{CabinetId, NodeId};
+
+    #[test]
+    fn availability_integrates_downtime() {
+        let mut t = AvailabilityTracker::new(10);
+        t.record_down(3, 100);
+        t.record_up(3, 300);
+        // 200 s down out of 10 × 1000 s.
+        assert!((t.availability(1_000) - (1.0 - 200.0 / 10_000.0)).abs() < 1e-12);
+        assert_eq!(t.failures(), 1);
+        assert_eq!(t.repairs(), 1);
+        assert!((t.mttr_hours(1_000) - 200.0 / 3600.0).abs() < 1e-12);
+        assert!((t.mtbf_hours(1_000) - 10_000.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_failures_are_refcounted() {
+        let mut t = AvailabilityTracker::new(4);
+        t.record_down(0, 0); // PSU trip
+        t.record_down(0, 50); // CDU drain of the same cabinet
+        assert_eq!(t.down_now(), 1, "one instance, two reasons");
+        assert_eq!(t.failures(), 1);
+        t.record_up(0, 100); // PSU repaired, still draining
+        assert_eq!(t.down_now(), 1);
+        assert_eq!(t.repairs(), 0);
+        t.record_up(0, 200);
+        assert_eq!(t.down_now(), 0);
+        assert_eq!(t.repairs(), 1);
+        // Down for the whole [0, 200] span.
+        assert!((t.availability(400) - (1.0 - 200.0 / 1_600.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spurious_repair_is_ignored() {
+        let mut t = AvailabilityTracker::new(2);
+        t.record_up(1, 100);
+        assert_eq!(t.down_now(), 0);
+        assert_eq!(t.repairs(), 0);
+        assert_eq!(t.availability(1_000), 1.0);
+    }
+
+    #[test]
+    fn open_failures_count_in_availability() {
+        let mut t = AvailabilityTracker::new(1);
+        t.record_down(0, 0);
+        // Never repaired: availability at 100 s is 0.
+        assert!(t.availability(100).abs() < 1e-12);
+        assert!(t.mttr_hours(100).is_nan() || t.repairs() == 0);
+    }
+
+    #[test]
+    fn monitor_routes_classes() {
+        let mut m = HealthMonitor::new(8, 2, 1, 4);
+        m.record(FaultKind::Down(FaultDomain::Node(NodeId(3))), 10);
+        m.record(FaultKind::Down(FaultDomain::Cabinet(CabinetId(1))), 20);
+        m.record(FaultKind::Up(FaultDomain::Node(NodeId(3))), 30);
+        assert_eq!(m.class(DomainClass::Node).failures(), 1);
+        assert_eq!(m.class(DomainClass::Node).down_now(), 0);
+        assert_eq!(m.class(DomainClass::Cabinet).down_now(), 1);
+        assert_eq!(m.total_failures(), 2);
+    }
+}

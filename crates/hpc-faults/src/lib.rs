@@ -1,0 +1,39 @@
+//! # hpc-faults
+//!
+//! Facility-scale fault injection: deterministic, seedable schedules of
+//! *correlated* hardware failures derived from the facility topology, plus
+//! sensor-fault models for the cabinet power meters.
+//!
+//! The paper's 14-month measurement campaign visibly survives real
+//! operational events — node failures, cabinet-level power events, and
+//! gaps/glitches in the cabinet meters (Figures 1–3). This crate provides
+//! the machinery to replay such events against the simulated facility:
+//!
+//! - [`domains`] — fault domains (node, cabinet PSU, CDU cooling loop,
+//!   dragonfly switch), domain→node membership maps, and the seeded
+//!   schedule generator ([`generate_schedule`]): Poisson arrivals per
+//!   domain class, log-normal repair times, and CDU thermal-drain grace
+//!   windows that trip every cabinet on the loop;
+//! - [`sensor`] — per-meter fault plans (dropout windows, stuck-at-last
+//!   value, spike outliers, slow drift, constant clock skew) applied
+//!   between the physics and the telemetry store;
+//! - [`health`] — per-domain availability accounting (MTBF/MTTR
+//!   estimates, downtime integrals) for degraded-mode campaigns.
+//!
+//! Everything is deterministic under a fixed seed: two schedules generated
+//! with the same inputs are bit-identical (see [`FaultSchedule::digest`]).
+
+#![warn(missing_docs)]
+
+pub mod domains;
+pub mod health;
+pub mod sensor;
+
+pub use domains::{
+    generate_schedule, DomainFaultConfig, DomainRate, FaultDomain, FaultDomains, FaultEvent,
+    FaultKind, FaultSchedule,
+};
+pub use health::{AvailabilityTracker, DomainClass, HealthMonitor};
+pub use sensor::{
+    MeterFaultConfig, MeterFaultKind, MeterFaultPlan, MeterFaultWindow, MeterReading, MeterState,
+};

@@ -1,0 +1,432 @@
+//! Sensor-fault models for the cabinet power meters.
+//!
+//! The paper's cabinet telemetry (Figures 1–3) is not a perfect sampling
+//! grid: meters drop out for windows, stick at a stale value, emit spike
+//! outliers, drift slowly out of calibration, and individual meter clocks
+//! sit slightly off the facility clock. This module generates a
+//! deterministic *fault plan* per meter — a sorted set of fault windows
+//! plus a constant per-meter clock skew — and applies it between the
+//! physics (the true cabinet power) and the telemetry store.
+//!
+//! The plan is a pure function of `(config, meter count, horizon, seed)`;
+//! applying it is pure given the per-meter [`MeterState`] the caller
+//! threads through, so two identically seeded campaigns produce
+//! bit-identical faulted telemetry.
+
+use sim_core::dist::{Distribution, Exponential};
+use sim_core::rng::{Rng, Xoshiro256StarStar};
+use sim_core::time::SimDuration;
+
+/// The kinds of meter misbehaviour the plan can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeterFaultKind {
+    /// The meter reports nothing for the window (a telemetry gap).
+    Dropout,
+    /// The meter repeats the last value it reported before the window.
+    StuckAtLast,
+    /// One sample is multiplied by a large outlier factor.
+    Spike,
+    /// Readings drift linearly away from truth over the window.
+    Drift,
+}
+
+/// One fault window on one meter. `start_s..=end_s` are offsets from the
+/// campaign start, inclusive on both ends so a single-sample spike is a
+/// window with `start_s == end_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeterFaultWindow {
+    /// Window start (seconds from campaign start, inclusive).
+    pub start_s: u64,
+    /// Window end (seconds from campaign start, inclusive).
+    pub end_s: u64,
+    /// What the meter does inside the window.
+    pub kind: MeterFaultKind,
+    /// Kind-specific magnitude: spike factor for [`MeterFaultKind::Spike`],
+    /// fractional drift per day for [`MeterFaultKind::Drift`], unused
+    /// otherwise.
+    pub magnitude: f64,
+}
+
+/// Meter-fault generation parameters. Rates are per meter per 30-day
+/// month; zero disables that fault kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeterFaultConfig {
+    /// Dropout windows per meter-month.
+    pub dropouts_per_month: f64,
+    /// Mean dropout duration.
+    pub dropout_mean: SimDuration,
+    /// Stuck-at-last windows per meter-month.
+    pub stuck_per_month: f64,
+    /// Mean stuck duration.
+    pub stuck_mean: SimDuration,
+    /// Spike outliers per meter-month.
+    pub spikes_per_month: f64,
+    /// Spike multiplication factor (e.g. 8.0 = reads 8× the true power).
+    pub spike_factor: f64,
+    /// Drift windows per meter-month.
+    pub drifts_per_month: f64,
+    /// Mean drift window duration.
+    pub drift_mean: SimDuration,
+    /// Fractional drift accumulated per day inside a drift window.
+    pub drift_per_day: f64,
+    /// Maximum absolute per-meter clock skew (seconds); each meter draws a
+    /// constant skew uniformly in `[-max, +max]`.
+    pub clock_skew_max_s: i64,
+}
+
+impl Default for MeterFaultConfig {
+    fn default() -> Self {
+        MeterFaultConfig {
+            dropouts_per_month: 1.0,
+            dropout_mean: SimDuration::from_hours(6),
+            stuck_per_month: 0.5,
+            stuck_mean: SimDuration::from_hours(2),
+            spikes_per_month: 2.0,
+            spike_factor: 8.0,
+            drifts_per_month: 0.25,
+            drift_mean: SimDuration::from_hours(48),
+            drift_per_day: 0.02,
+            clock_skew_max_s: 30,
+        }
+    }
+}
+
+impl MeterFaultConfig {
+    /// A config with every fault kind disabled (clean meters).
+    pub fn clean() -> Self {
+        MeterFaultConfig {
+            dropouts_per_month: 0.0,
+            stuck_per_month: 0.0,
+            spikes_per_month: 0.0,
+            drifts_per_month: 0.0,
+            clock_skew_max_s: 0,
+            ..MeterFaultConfig::default()
+        }
+    }
+}
+
+/// What one meter reports for one sampling instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MeterReading {
+    /// The meter reported nothing (dropout window): a gap in the series.
+    Missing,
+    /// The meter reported a value at a (possibly skewed) timestamp.
+    Value {
+        /// Timestamp offset the meter stamps on the sample (true offset
+        /// plus the meter's constant clock skew), seconds.
+        at_s: i64,
+        /// The reported power.
+        value: f64,
+        /// The fault distorting this reading, if any.
+        fault: Option<MeterFaultKind>,
+    },
+}
+
+/// Mutable per-meter state the caller threads through
+/// [`MeterFaultPlan::apply`] (the stuck-at-last hold value).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeterState {
+    last_reported: Option<f64>,
+}
+
+/// A generated per-meter fault plan.
+#[derive(Debug, Clone, Default)]
+pub struct MeterFaultPlan {
+    /// Per meter: fault windows sorted by start.
+    windows: Vec<Vec<MeterFaultWindow>>,
+    /// Per meter: constant clock skew in seconds.
+    skew_s: Vec<i64>,
+}
+
+const MONTH_S: f64 = 30.0 * 86_400.0;
+
+fn windows_for(
+    out: &mut Vec<MeterFaultWindow>,
+    per_month: f64,
+    mean_len_s: f64,
+    kind: MeterFaultKind,
+    magnitude: f64,
+    horizon_s: u64,
+    rng: &mut Xoshiro256StarStar,
+) {
+    if per_month <= 0.0 {
+        return;
+    }
+    let rate_per_s = per_month / MONTH_S;
+    let len = Exponential::from_mean(mean_len_s.max(1.0));
+    let mut t = 0.0f64;
+    loop {
+        t += -(1.0 - rng.next_f64()).ln() / rate_per_s;
+        if t >= horizon_s as f64 {
+            break;
+        }
+        let start = t as u64;
+        let end = if kind == MeterFaultKind::Spike {
+            start // single-sample outlier
+        } else {
+            start + (len.sample(rng) as u64).max(1)
+        };
+        out.push(MeterFaultWindow { start_s: start, end_s: end, kind, magnitude });
+    }
+}
+
+impl MeterFaultPlan {
+    /// Generate the plan for `meters` meters over `[0, horizon)` from a
+    /// seed. Deterministic: same inputs, bit-identical plan.
+    pub fn generate(
+        cfg: &MeterFaultConfig,
+        meters: usize,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Self {
+        let horizon_s = horizon.as_secs();
+        let root = Xoshiro256StarStar::seeded(seed ^ 0x5E_05_0F_AA);
+        let mut windows = Vec::with_capacity(meters);
+        let mut skew_s = Vec::with_capacity(meters);
+        for m in 0..meters {
+            let mut rng = root.substream(m as u64 + 1);
+            let mut w = Vec::new();
+            windows_for(
+                &mut w,
+                cfg.dropouts_per_month,
+                cfg.dropout_mean.as_secs() as f64,
+                MeterFaultKind::Dropout,
+                0.0,
+                horizon_s,
+                &mut rng,
+            );
+            windows_for(
+                &mut w,
+                cfg.stuck_per_month,
+                cfg.stuck_mean.as_secs() as f64,
+                MeterFaultKind::StuckAtLast,
+                0.0,
+                horizon_s,
+                &mut rng,
+            );
+            windows_for(
+                &mut w,
+                cfg.spikes_per_month,
+                1.0,
+                MeterFaultKind::Spike,
+                cfg.spike_factor,
+                horizon_s,
+                &mut rng,
+            );
+            windows_for(
+                &mut w,
+                cfg.drifts_per_month,
+                cfg.drift_mean.as_secs() as f64,
+                MeterFaultKind::Drift,
+                cfg.drift_per_day,
+                horizon_s,
+                &mut rng,
+            );
+            w.sort_by_key(|w| (w.start_s, w.end_s));
+            windows.push(w);
+            let skew = if cfg.clock_skew_max_s > 0 {
+                let span = 2 * cfg.clock_skew_max_s + 1;
+                rng.next_below(span as u64) as i64 - cfg.clock_skew_max_s
+            } else {
+                0
+            };
+            skew_s.push(skew);
+        }
+        MeterFaultPlan { windows, skew_s }
+    }
+
+    /// Number of meters the plan covers.
+    pub fn meters(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The fault windows of one meter (sorted by start).
+    pub fn windows(&self, meter: usize) -> &[MeterFaultWindow] {
+        &self.windows[meter]
+    }
+
+    /// The constant clock skew of one meter, seconds.
+    pub fn skew_s(&self, meter: usize) -> i64 {
+        self.skew_s[meter]
+    }
+
+    /// Total fault windows across every meter.
+    pub fn total_windows(&self) -> usize {
+        self.windows.iter().map(Vec::len).sum()
+    }
+
+    /// The active fault window at `at_s` on `meter`, if any (first match
+    /// in start order).
+    fn active(&self, meter: usize, at_s: u64) -> Option<&MeterFaultWindow> {
+        self.windows[meter].iter().find(|w| w.start_s <= at_s && at_s <= w.end_s)
+    }
+
+    /// Run one true sample through the meter: `at_s` is the true sampling
+    /// offset (seconds from campaign start), `true_value` the physics
+    /// power. Returns what the meter reports; `state` carries the
+    /// stuck-at-last hold value between calls and must be per-meter.
+    pub fn apply(&self, meter: usize, at_s: u64, true_value: f64, state: &mut MeterState) -> MeterReading {
+        let skewed = at_s as i64 + self.skew_s[meter];
+        let reading = match self.active(meter, at_s) {
+            Some(w) => match w.kind {
+                MeterFaultKind::Dropout => return MeterReading::Missing,
+                MeterFaultKind::StuckAtLast => MeterReading::Value {
+                    at_s: skewed,
+                    value: state.last_reported.unwrap_or(true_value),
+                    fault: Some(MeterFaultKind::StuckAtLast),
+                },
+                MeterFaultKind::Spike => MeterReading::Value {
+                    at_s: skewed,
+                    value: true_value * w.magnitude,
+                    fault: Some(MeterFaultKind::Spike),
+                },
+                MeterFaultKind::Drift => {
+                    let days = (at_s - w.start_s) as f64 / 86_400.0;
+                    MeterReading::Value {
+                        at_s: skewed,
+                        value: true_value * (1.0 + w.magnitude * days),
+                        fault: Some(MeterFaultKind::Drift),
+                    }
+                }
+            },
+            None => MeterReading::Value { at_s: skewed, value: true_value, fault: None },
+        };
+        if let MeterReading::Value { value, fault, .. } = reading {
+            // Stuck windows hold the last *reported* value, which under a
+            // stuck window is itself — so the hold only advances outside.
+            if fault != Some(MeterFaultKind::StuckAtLast) {
+                state.last_reported = Some(value);
+            }
+        }
+        reading
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flaky() -> MeterFaultConfig {
+        MeterFaultConfig {
+            dropouts_per_month: 20.0,
+            dropout_mean: SimDuration::from_hours(3),
+            stuck_per_month: 10.0,
+            stuck_mean: SimDuration::from_hours(2),
+            spikes_per_month: 30.0,
+            spike_factor: 8.0,
+            drifts_per_month: 4.0,
+            drift_mean: SimDuration::from_hours(24),
+            drift_per_day: 0.05,
+            clock_skew_max_s: 30,
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let h = SimDuration::from_days(30);
+        let a = MeterFaultPlan::generate(&flaky(), 4, h, 42);
+        let b = MeterFaultPlan::generate(&flaky(), 4, h, 42);
+        assert_eq!(a.total_windows(), b.total_windows());
+        for m in 0..4 {
+            assert_eq!(a.windows(m), b.windows(m));
+            assert_eq!(a.skew_s(m), b.skew_s(m));
+        }
+        let c = MeterFaultPlan::generate(&flaky(), 4, h, 43);
+        assert!(
+            (0..4).any(|m| a.windows(m) != c.windows(m) || a.skew_s(m) != c.skew_s(m)),
+            "different seed should differ"
+        );
+    }
+
+    #[test]
+    fn clean_config_passes_everything_through() {
+        let plan =
+            MeterFaultPlan::generate(&MeterFaultConfig::clean(), 2, SimDuration::from_days(30), 1);
+        assert_eq!(plan.total_windows(), 0);
+        let mut st = MeterState::default();
+        for i in 0..100u64 {
+            match plan.apply(0, i * 900, 400.0 + i as f64, &mut st) {
+                MeterReading::Value { at_s, value, fault } => {
+                    assert_eq!(at_s, (i * 900) as i64);
+                    assert_eq!(value, 400.0 + i as f64);
+                    assert_eq!(fault, None);
+                }
+                MeterReading::Missing => panic!("clean meter dropped a sample"),
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_window_repeats_the_last_reported_value() {
+        let plan = MeterFaultPlan {
+            windows: vec![vec![MeterFaultWindow {
+                start_s: 1_000,
+                end_s: 3_000,
+                kind: MeterFaultKind::StuckAtLast,
+                magnitude: 0.0,
+            }]],
+            skew_s: vec![0],
+        };
+        let mut st = MeterState::default();
+        assert_eq!(
+            plan.apply(0, 0, 500.0, &mut st),
+            MeterReading::Value { at_s: 0, value: 500.0, fault: None }
+        );
+        for at in [1_000, 2_000, 3_000] {
+            assert_eq!(
+                plan.apply(0, at, 600.0, &mut st),
+                MeterReading::Value {
+                    at_s: at as i64,
+                    value: 500.0,
+                    fault: Some(MeterFaultKind::StuckAtLast)
+                }
+            );
+        }
+        // Past the window the meter reads true again.
+        assert_eq!(
+            plan.apply(0, 4_000, 610.0, &mut st),
+            MeterReading::Value { at_s: 4_000, value: 610.0, fault: None }
+        );
+    }
+
+    #[test]
+    fn spike_and_drift_distort_and_dropout_drops() {
+        let plan = MeterFaultPlan {
+            windows: vec![vec![
+                MeterFaultWindow {
+                    start_s: 100,
+                    end_s: 100,
+                    kind: MeterFaultKind::Spike,
+                    magnitude: 8.0,
+                },
+                MeterFaultWindow {
+                    start_s: 1_000,
+                    end_s: 2_000,
+                    kind: MeterFaultKind::Dropout,
+                    magnitude: 0.0,
+                },
+                MeterFaultWindow {
+                    start_s: 86_400,
+                    end_s: 3 * 86_400,
+                    kind: MeterFaultKind::Drift,
+                    magnitude: 0.1,
+                },
+            ]],
+            skew_s: vec![-5],
+        };
+        let mut st = MeterState::default();
+        assert_eq!(
+            plan.apply(0, 100, 400.0, &mut st),
+            MeterReading::Value { at_s: 95, value: 3_200.0, fault: Some(MeterFaultKind::Spike) }
+        );
+        assert_eq!(plan.apply(0, 1_500, 400.0, &mut st), MeterReading::Missing);
+        // One day into the drift window: +10 %.
+        match plan.apply(0, 2 * 86_400, 400.0, &mut st) {
+            MeterReading::Value { value, fault, .. } => {
+                assert!((value - 440.0).abs() < 1e-9);
+                assert_eq!(fault, Some(MeterFaultKind::Drift));
+            }
+            MeterReading::Missing => panic!("drift does not drop"),
+        }
+    }
+}

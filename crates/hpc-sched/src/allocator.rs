@@ -67,6 +67,19 @@ impl NodeAllocator {
         self.free.insert(id);
     }
 
+    /// Bring an offline node back into the free pool; `false` (and no state
+    /// change) if the node was not offline. The form fault-driven repair
+    /// paths use, where overlapping fault domains can emit a repair for a
+    /// node that was never taken down.
+    pub fn try_bring_online(&mut self, id: NodeId) -> bool {
+        if self.offline.remove(&id) {
+            self.free.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Is a specific node offline?
     pub fn is_offline(&self, id: NodeId) -> bool {
         self.offline.contains(&id)

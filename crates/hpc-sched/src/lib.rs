@@ -21,5 +21,7 @@ pub mod util;
 
 pub use allocator::NodeAllocator;
 pub use partition::{AdmissionError, Partition, QosPolicy, QuotaTracker};
-pub use scheduler::{BatchScheduler, Placement, RunningJob, SchedulerStats};
+pub use scheduler::{
+    BatchScheduler, Placement, RunningJob, SchedulerStats, DEFAULT_REQUEUE_BUDGET,
+};
 pub use util::UtilizationMeter;

@@ -44,14 +44,19 @@ pub struct RunningJob {
 /// Aggregate scheduler statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SchedulerStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
     /// Jobs started so far.
     pub started: u64,
     /// Jobs completed so far.
     pub completed: u64,
     /// Jobs backfilled (started out of FCFS order).
     pub backfilled: u64,
-    /// Jobs killed by node failures (and requeued).
-    pub failed: u64,
+    /// Kill events: a running job lost to a node failure. A job killed
+    /// twice counts twice.
+    pub killed: u64,
+    /// Jobs dropped failed-terminal after exhausting the requeue budget.
+    pub abandoned: u64,
     /// Sum of queue wait times (seconds) over started jobs.
     pub total_wait_s: u64,
 }
@@ -64,7 +69,18 @@ impl SchedulerStats {
         }
         self.total_wait_s as f64 / self.started as f64 / 3600.0
     }
+
+    /// Kill events plus terminal abandonments — the old single `failed`
+    /// counter, kept as a derived view.
+    pub fn failed(&self) -> u64 {
+        self.killed + self.abandoned
+    }
 }
+
+/// Default requeue budget: a job killed by faults is retried this many
+/// times before it is dropped failed-terminal (Slurm's `--requeue` with a
+/// bounded `BatchStartTimeout`-style retry policy).
+pub const DEFAULT_REQUEUE_BUDGET: u32 = 3;
 
 /// The batch scheduler.
 #[derive(Debug, Clone)]
@@ -76,12 +92,16 @@ pub struct BatchScheduler {
     ends: BTreeSet<(SimTime, JobId)>,
     /// Which running job occupies each busy node.
     node_job: HashMap<NodeId, JobId>,
+    /// Fault requeues consumed per job (absent = never killed).
+    requeues: HashMap<JobId, u32>,
+    requeue_budget: u32,
     meter: UtilizationMeter,
     stats: SchedulerStats,
 }
 
 impl BatchScheduler {
-    /// A scheduler over `total_nodes` nodes, empty queue.
+    /// A scheduler over `total_nodes` nodes, empty queue, with the
+    /// [`DEFAULT_REQUEUE_BUDGET`].
     pub fn new(total_nodes: u32) -> Self {
         BatchScheduler {
             allocator: NodeAllocator::new(total_nodes),
@@ -89,9 +109,22 @@ impl BatchScheduler {
             running: HashMap::new(),
             ends: BTreeSet::new(),
             node_job: HashMap::new(),
+            requeues: HashMap::new(),
+            requeue_budget: DEFAULT_REQUEUE_BUDGET,
             meter: UtilizationMeter::new(total_nodes),
             stats: SchedulerStats::default(),
         }
+    }
+
+    /// Set how many times a fault-killed job is requeued before it is
+    /// dropped failed-terminal. 0 = abandon on the first kill.
+    pub fn set_requeue_budget(&mut self, budget: u32) {
+        self.requeue_budget = budget;
+    }
+
+    /// The requeue budget in force.
+    pub fn requeue_budget(&self) -> u32 {
+        self.requeue_budget
     }
 
     /// Submit a job to the queue.
@@ -107,6 +140,7 @@ impl BatchScheduler {
             job.nodes,
             self.allocator.total()
         );
+        self.stats.submitted += 1;
         self.pending.push_back(job);
     }
 
@@ -232,19 +266,24 @@ impl BatchScheduler {
         self.allocator.release(&entry.nodes);
         entry.job.state = hpc_workload::JobState::Completed;
         self.stats.completed += 1;
+        self.requeues.remove(&id);
         self.meter.set_busy(now, self.allocator.busy_count());
         entry
     }
 
     /// A hardware failure on `node` at `now`.
     ///
-    /// * If the node was running a job, the job is killed: its other nodes
-    ///   return to the free pool and the job is **requeued at the head** of
-    ///   the pending queue with its submission time preserved (Slurm's
-    ///   `--requeue` behaviour). The killed job's id is returned.
+    /// * If the node was running a job, the job is killed. While the job
+    ///   has requeue budget left it is **requeued at the head** of the
+    ///   pending queue with its submission time preserved (Slurm's
+    ///   `--requeue` behaviour); once the budget is exhausted it is dropped
+    ///   failed-terminal and counted in `stats.abandoned`. The killed
+    ///   job's id is returned either way.
     /// * Either way the node goes offline until [`Self::repair_node`].
     ///
-    /// Returns `None` if the node was idle, or if it was already offline.
+    /// Failing a node that is **already offline** is an explicit no-op
+    /// returning `None` — correlated fault domains (a cabinet PSU trip
+    /// overlapping a CDU drain) routinely fail the same node twice.
     pub fn fail_node(&mut self, node: NodeId, now: SimTime) -> Option<JobId> {
         if self.allocator.is_offline(node) {
             return None;
@@ -260,22 +299,31 @@ impl BatchScheduler {
             let healthy: Vec<NodeId> = entry.nodes.iter().copied().filter(|&n| n != node).collect();
             self.allocator.release(&healthy);
             self.allocator.release(&[node]);
-            self.stats.failed += 1;
-            entry.job.state = hpc_workload::JobState::Pending;
-            self.pending.push_front(entry.job);
+            self.stats.killed += 1;
+            let used = self.requeues.entry(id).or_insert(0);
+            if *used < self.requeue_budget {
+                *used += 1;
+                entry.job.state = hpc_workload::JobState::Pending;
+                self.pending.push_front(entry.job);
+            } else {
+                self.requeues.remove(&id);
+                self.stats.abandoned += 1;
+            }
         }
         assert!(self.allocator.take_offline(node), "node must be free by now");
         self.meter.set_busy(now, self.allocator.busy_count());
         victim
     }
 
-    /// Bring a previously failed node back into service.
-    ///
-    /// # Panics
-    /// Panics if the node was not offline.
-    pub fn repair_node(&mut self, node: NodeId, now: SimTime) {
-        self.allocator.bring_online(node);
+    /// Bring a previously failed node back into service. Repairing a node
+    /// that was never failed (or was already repaired by an overlapping
+    /// fault domain's recovery) is an explicit no-op returning `false`.
+    pub fn repair_node(&mut self, node: NodeId, now: SimTime) -> bool {
+        if !self.allocator.try_bring_online(node) {
+            return false;
+        }
         self.meter.set_busy(now, self.allocator.busy_count());
+        true
     }
 
     /// Nodes currently offline.
@@ -503,7 +551,8 @@ mod tests {
         assert_eq!(s.pending_count(), 1, "job requeued");
         assert_eq!(s.offline_nodes(), 1);
         assert_eq!(s.free_nodes(), 9);
-        assert_eq!(s.stats().failed, 1);
+        assert_eq!(s.stats().killed, 1);
+        assert_eq!(s.stats().abandoned, 0);
 
         // The requeued job restarts on the healthy nodes.
         let placed = s.schedule(t1);
@@ -526,6 +575,86 @@ mod tests {
         // Failing it again is a no-op.
         assert_eq!(s.fail_node(NodeId(3), SimTime::EPOCH), None);
         assert_eq!(s.offline_nodes(), 1);
+    }
+
+    #[test]
+    fn double_fail_and_double_restore_are_noops() {
+        // Overlapping fault domains deliver duplicate transitions; neither
+        // direction may panic or double-count.
+        let mut s = BatchScheduler::new(4);
+        let t0 = SimTime::EPOCH;
+        // Restore of a never-failed node: explicit no-op.
+        assert!(!s.repair_node(NodeId(1), t0));
+        assert_eq!(s.free_nodes(), 4);
+        // Fail twice, restore twice.
+        assert_eq!(s.fail_node(NodeId(1), t0), None);
+        assert_eq!(s.fail_node(NodeId(1), t0), None);
+        assert_eq!(s.offline_nodes(), 1);
+        assert!(s.repair_node(NodeId(1), t0));
+        assert!(!s.repair_node(NodeId(1), t0), "second restore is a no-op");
+        assert_eq!(s.offline_nodes(), 0);
+        assert_eq!(s.free_nodes(), 4);
+    }
+
+    #[test]
+    fn requeue_budget_exhaustion_abandons_the_job() {
+        let mut s = BatchScheduler::new(4);
+        s.set_requeue_budget(2);
+        let t0 = SimTime::EPOCH;
+        s.submit(mk_job(1, 2, 2, t0));
+        let mut now = t0;
+        for round in 0..3u64 {
+            let placed = s.schedule(now);
+            assert_eq!(placed.len(), 1, "round {round}: job restarts");
+            let node = placed[0].nodes[0];
+            now += SimDuration::from_hours(1);
+            assert_eq!(s.fail_node(node, now), Some(JobId(1)));
+            s.repair_node(node, now);
+        }
+        // Two requeues consumed, third kill drops the job terminal.
+        assert_eq!(s.stats().killed, 3);
+        assert_eq!(s.stats().abandoned, 1);
+        assert_eq!(s.pending_count(), 0, "job is gone, not requeued");
+        assert!(s.schedule(now).is_empty());
+        // Accounting closes: submitted = completed + abandoned + in-flight.
+        let st = s.stats();
+        assert_eq!(
+            st.submitted,
+            st.completed + st.abandoned + s.running_count() as u64 + s.pending_count() as u64
+        );
+    }
+
+    #[test]
+    fn zero_budget_abandons_on_first_kill() {
+        let mut s = BatchScheduler::new(4);
+        s.set_requeue_budget(0);
+        let t0 = SimTime::EPOCH;
+        s.submit(mk_job(1, 1, 1, t0));
+        let placed = s.schedule(t0);
+        s.fail_node(placed[0].nodes[0], t0);
+        assert_eq!(s.stats().killed, 1);
+        assert_eq!(s.stats().abandoned, 1);
+        assert_eq!(s.pending_count(), 0);
+    }
+
+    #[test]
+    fn completion_resets_nothing_but_clears_requeue_state() {
+        // A job that survives a kill and then completes must not leak
+        // requeue accounting into stats.
+        let mut s = BatchScheduler::new(4);
+        s.set_requeue_budget(1);
+        let t0 = SimTime::EPOCH;
+        s.submit(mk_job(1, 1, 1, t0));
+        let placed = s.schedule(t0);
+        s.fail_node(placed[0].nodes[0], t0);
+        let placed = s.schedule(t0);
+        let t1 = t0 + SimDuration::from_hours(1);
+        s.complete(JobId(1), t1);
+        let st = s.stats();
+        assert_eq!((st.killed, st.abandoned, st.completed), (1, 0, 1));
+        assert_eq!(st.failed(), 1);
+        assert_eq!(st.submitted, 1);
+        let _ = placed;
     }
 
     #[test]

@@ -31,7 +31,13 @@
 //!   [`recover`] entry point (newest valid snapshot + WAL replay, torn
 //!   tail records skipped and counted);
 //! - [`faults`] — deterministic fault injection (truncation, bit flips,
-//!   mid-write crashes) backing the crash-recovery test suite.
+//!   mid-write crashes) backing the crash-recovery test suite;
+//! - [`quality`] — the ingest sanitisation stage ([`Sanitizer`]) that
+//!   quarantines implausible samples into a per-series quality mask
+//!   instead of storing them, and gap-aware queries
+//!   ([`store_gap_aggregate`] / [`store_gap_windows`]) that aggregate over
+//!   present samples and report a coverage fraction against the series'
+//!   cadence hint.
 //!
 //! ## Durability in one example
 //!
@@ -67,6 +73,7 @@ pub mod cache;
 pub mod chunk;
 pub mod faults;
 pub mod persist;
+pub mod quality;
 pub mod query;
 pub mod rollup;
 pub mod series;
@@ -75,6 +82,10 @@ pub mod wal;
 
 pub use cache::ChunkCache;
 pub use persist::{PersistError, SnapshotStats};
+pub use quality::{
+    store_gap_aggregate, store_gap_windows, GapAwareValue, GapWindow, QuarantineReason,
+    QuarantinedSample, SampleFate, SanitizeConfig, SanitizeStats, Sanitizer,
+};
 pub use query::{
     aggregate, aligned_windows, fanout_aggregate, fanout_group, fanout_windows, segment_means,
     store_aggregate, store_segment_means, store_windows, window_aggregate, AggOp, GroupValue,

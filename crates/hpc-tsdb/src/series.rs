@@ -2,6 +2,7 @@
 //! one active) with a cascade of rollup levels maintained on ingest.
 
 use crate::chunk::{Chunk, ChunkBuilder};
+use crate::quality::QuarantinedSample;
 use crate::rollup::{Aggregate, RollupLevel, HOUR, MINUTE};
 
 /// Samples per chunk before sealing. 512 one-minute samples ≈ 8.5 hours
@@ -31,6 +32,11 @@ pub struct Series {
     hours: RollupLevel,
     total: Aggregate,
     chunk_samples: u32,
+    /// Quality mask: samples refused by sanitisation, in arrival order.
+    /// Never folded into chunks, rollups or `total` — exclusion from every
+    /// aggregate is by construction. In-memory diagnostic state; not part
+    /// of the snapshot format.
+    quarantined: Vec<QuarantinedSample>,
 }
 
 impl Series {
@@ -44,6 +50,7 @@ impl Series {
             hours: RollupLevel::new(HOUR),
             total: Aggregate::new(),
             chunk_samples: CHUNK_SAMPLES,
+            quarantined: Vec::new(),
         }
     }
 
@@ -138,7 +145,37 @@ impl Series {
         for &(ts, v) in active_tail {
             active.push(ts, v);
         }
-        Series { meta, sealed, active, minutes, hours, total, chunk_samples: CHUNK_SAMPLES }
+        Series {
+            meta,
+            sealed,
+            active,
+            minutes,
+            hours,
+            total,
+            chunk_samples: CHUNK_SAMPLES,
+            quarantined: Vec::new(),
+        }
+    }
+
+    /// Record a sample refused by sanitisation into the quality mask. The
+    /// sample is *not* stored and contributes to no aggregate.
+    pub fn quarantine(&mut self, sample: QuarantinedSample) {
+        self.quarantined.push(sample);
+    }
+
+    /// The quality mask: every quarantined sample, in arrival order.
+    pub fn quarantined(&self) -> &[QuarantinedSample] {
+        &self.quarantined
+    }
+
+    /// Quarantined samples so far.
+    pub fn quarantine_count(&self) -> u64 {
+        self.quarantined.len() as u64
+    }
+
+    /// Quarantined samples whose reported timestamp falls in `[from, to)`.
+    pub fn quarantined_in(&self, from: i64, to: i64) -> u64 {
+        self.quarantined.iter().filter(|q| q.ts >= from && q.ts < to).count() as u64
     }
 
     /// Append one sample.

@@ -262,6 +262,15 @@ impl TsdbStore {
         Ok(())
     }
 
+    /// Record a refused sample into a series' quality mask (see
+    /// [`crate::quality`]). Unknown ids are ignored.
+    pub fn quarantine(&self, id: SeriesId, ts: i64, value: f64, reason: crate::quality::QuarantineReason) {
+        let mut shard = self.shards[self.shard_of(id)].write();
+        if let Some(series) = shard.series.get_mut(&id.0) {
+            series.quarantine(crate::quality::QuarantinedSample { ts, value, reason });
+        }
+    }
+
     /// Run `f` with read access to a series; `None` if the id is unknown.
     pub fn with_series<R>(&self, id: SeriesId, f: impl FnOnce(&Series) -> R) -> Option<R> {
         let shard = self.shards[self.shard_of(id)].read();

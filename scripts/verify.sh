@@ -24,6 +24,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 echo "== crash-recovery fault injection suite =="
 cargo test -q --offline -p hpc-tsdb --test tsdb_recovery
 
+echo "== facility fault-injection suite =="
+cargo test -q --offline -p hpc-faults
+cargo test -q --offline -p archer2-core --lib fault_campaign_tests
+
 echo "== benchmark smoke (BENCH_tsdb_query.json, BENCH_tsdb_persist.json) =="
 rm -f BENCH_tsdb_query.json BENCH_tsdb_persist.json
 cargo run --release --offline --example telemetry_at_scale -- --smoke
@@ -37,5 +41,26 @@ for key in snapshot_write_ms snapshot_read_ms snapshot_bytes wal_replay_ms; do
     grep -q "\"$key\"" BENCH_tsdb_persist.json \
         || { echo "BENCH_tsdb_persist.json missing key: $key" >&2; exit 1; }
 done
+
+echo "== fault storm smoke (BENCH_fault_storm.json + determinism gate) =="
+rm -f BENCH_fault_storm.json BENCH_fault_storm.run1.json
+cargo run --release --offline --example fault_storm -- --smoke
+test -s BENCH_fault_storm.json
+for key in schedule_digest telemetry_digest mean_kw emissions_tco2 invariant_violations; do
+    grep -q "\"$key\"" BENCH_fault_storm.json \
+        || { echo "BENCH_fault_storm.json missing key: $key" >&2; exit 1; }
+done
+grep -q '"invariant_violations": 0' BENCH_fault_storm.json \
+    || { echo "fault storm reported invariant violations" >&2; exit 1; }
+# Two same-seed runs must produce bit-identical fault schedules and telemetry.
+mv BENCH_fault_storm.json BENCH_fault_storm.run1.json
+cargo run --release --offline --example fault_storm -- --smoke >/dev/null
+for key in schedule_digest telemetry_digest; do
+    a=$(grep "\"$key\"" BENCH_fault_storm.run1.json)
+    b=$(grep "\"$key\"" BENCH_fault_storm.json)
+    [ "$a" = "$b" ] \
+        || { echo "determinism gate: $key differs between same-seed runs" >&2; exit 1; }
+done
+rm -f BENCH_fault_storm.run1.json
 
 echo "verify: OK"

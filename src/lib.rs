@@ -37,6 +37,7 @@
 
 pub use archer2_core as core;
 pub use hpc_emissions as emissions;
+pub use hpc_faults as faults;
 pub use hpc_grid as grid;
 pub use hpc_kernels as kernels;
 pub use hpc_power as power;

@@ -15,6 +15,8 @@ enum Action {
     Submit { nodes: u32, walltime_h: u64 },
     CompleteEarliest,
     FailNode(u32),
+    /// Repair one specific node — which may never have failed (must no-op).
+    RepairNode(u32),
     RepairAll,
 }
 
@@ -22,7 +24,10 @@ fn arb_action() -> impl Strategy<Value = Action> {
     prop_oneof![
         4 => (1u32..=MACHINE, 1u64..=24).prop_map(|(nodes, walltime_h)| Action::Submit { nodes, walltime_h }),
         3 => Just(Action::CompleteEarliest),
-        1 => (0u32..MACHINE).prop_map(Action::FailNode),
+        // Deliberately overweight fail/repair and reuse a small node range
+        // so double-fail and repair-of-healthy interleavings are common.
+        2 => (0u32..MACHINE).prop_map(Action::FailNode),
+        1 => (0u32..MACHINE).prop_map(Action::RepairNode),
         1 => Just(Action::RepairAll),
     ]
 }
@@ -64,14 +69,24 @@ proptest! {
                 }
                 Action::FailNode(n) => {
                     let node = NodeId(n);
-                    if !sched.is_node_offline(node) {
-                        sched.fail_node(node, now);
-                        offline.insert(node);
+                    let was_offline = sched.is_node_offline(node);
+                    let killed = sched.fail_node(node, now);
+                    if was_offline {
+                        // Double-fail must be a pure no-op.
+                        prop_assert_eq!(killed, None, "double fail killed a job");
                     }
+                    offline.insert(node);
+                }
+                Action::RepairNode(n) => {
+                    let node = NodeId(n);
+                    let repaired = sched.repair_node(node, now);
+                    // Repairing a healthy node must no-op; repairing an
+                    // offline one must succeed exactly once.
+                    prop_assert_eq!(repaired, offline.remove(&node), "repair/no-op mismatch");
                 }
                 Action::RepairAll => {
                     for node in offline.drain() {
-                        sched.repair_node(node, now);
+                        prop_assert!(sched.repair_node(node, now));
                     }
                 }
             }
@@ -99,10 +114,26 @@ proptest! {
             // Invariant 3: offline bookkeeping matches.
             prop_assert_eq!(off as usize, offline.len());
 
-            // Invariant 4: stats never go backwards or inconsistent.
+            // Invariant 4: stats are internally consistent.
             let stats = sched.stats();
-            prop_assert!(stats.completed + stats.failed <= stats.started + stats.failed);
+            prop_assert!(stats.completed <= stats.started);
             prop_assert!(stats.backfilled <= stats.started);
+            prop_assert!(stats.abandoned <= stats.killed, "abandon implies a kill");
+            prop_assert_eq!(stats.failed(), stats.killed + stats.abandoned);
+
+            // Invariant 5: no lost jobs. Every submission is accounted for
+            // as completed, abandoned, running, or still pending.
+            prop_assert_eq!(
+                stats.submitted,
+                stats.completed
+                    + stats.abandoned
+                    + sched.running_count() as u64
+                    + sched.pending_count() as u64,
+                "job conservation broken"
+            );
+
+            // Invariant 6: allocatable capacity reflects offline nodes.
+            prop_assert_eq!(busy + free, MACHINE - off, "offline capacity");
         }
     }
 

@@ -5,7 +5,10 @@
 //! chunk scans on any aligned window.
 
 use archer2_repro::tsdb::query::{aligned_windows, window_aggregate, AggOp};
-use archer2_repro::tsdb::{fanout_aggregate, store_aggregate, Series, SeriesMeta, TsdbStore};
+use archer2_repro::tsdb::{
+    fanout_aggregate, store_aggregate, store_gap_aggregate, store_gap_windows, SampleFate,
+    SanitizeConfig, Sanitizer, Series, SeriesMeta, TsdbStore,
+};
 use proptest::prelude::*;
 
 fn meta() -> SeriesMeta {
@@ -211,6 +214,171 @@ proptest! {
             if w.count > 0 {
                 let agg = s.scan_aggregate(w.start, w.start + step_minutes * 60);
                 prop_assert!(w.value >= agg.min - 1e-9 && w.value <= agg.max + 1e-9);
+            }
+        }
+    }
+}
+
+/// A flaky meter stream: mostly plausible readings, salted with spikes,
+/// negatives, NaNs, a constant that induces stuck runs, and occasional
+/// backwards timestamps. `(delta, value)` pairs; deltas ≤ 0 produce
+/// non-monotonic samples.
+fn arb_meter_stream() -> impl Strategy<Value = Vec<(i64, f64)>> {
+    let delta = prop_oneof![
+        5 => 1i64..180,
+        1 => -120i64..=0,
+    ];
+    let value = prop_oneof![
+        6 => 0.0f64..500.0,
+        1 => 501.0f64..50_000.0,       // spike: above max_value
+        1 => -1_000.0f64..-0.01,       // negative: below min_value
+        1 => Just(f64::NAN),
+        2 => Just(123.456),            // constant: induces stuck runs
+    ];
+    proptest::collection::vec((delta, value), 1..400)
+}
+
+/// Run a stream through the sanitiser, returning the store, series id and
+/// the ledger of what happened to every offered sample.
+#[allow(clippy::type_complexity)]
+fn sanitise_stream(
+    stream: &[(i64, f64)],
+) -> (TsdbStore, archer2_repro::tsdb::SeriesId, Vec<(i64, f64)>, Vec<i64>) {
+    let store = TsdbStore::default();
+    let id = store.register(meta());
+    let mut san = Sanitizer::new(SanitizeConfig::default());
+    let mut kept = Vec::new();
+    let mut quarantined_ts = Vec::new();
+    let mut ts = 0i64;
+    for &(delta, v) in stream {
+        ts += delta;
+        match san.ingest(&store, id, ts, v) {
+            Some(SampleFate::Stored) => kept.push((ts, v)),
+            Some(SampleFate::Quarantined(_)) => quarantined_ts.push(ts),
+            None => unreachable!("series is registered"),
+        }
+    }
+    // The sanitiser's own ledger must reconcile: every offer either stored
+    // or quarantined, nothing lost, nothing double-counted.
+    let stats = san.stats();
+    assert_eq!(stats.stored, kept.len() as u64);
+    assert_eq!(stats.quarantined(), quarantined_ts.len() as u64);
+    assert_eq!(stats.stored + stats.quarantined(), stream.len() as u64);
+    (store, id, kept, quarantined_ts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn quarantined_samples_never_reach_any_aggregate(stream in arb_meter_stream()) {
+        // Quarantine-by-construction: refused samples must be invisible to
+        // every read path — raw scans, the running total, and the
+        // rollup-planned window aggregate — while still being counted in
+        // the quality mask.
+        let (store, id, kept, quarantined_ts) = sanitise_stream(&stream);
+
+        // Raw scan returns exactly the stored samples, bit for bit.
+        let scanned = store.with_series(id, |s| s.scan(i64::MIN, i64::MAX)).unwrap();
+        prop_assert_eq!(scanned.len(), kept.len());
+        for (&(st, sv), &(kt, kv)) in scanned.iter().zip(&kept) {
+            prop_assert_eq!(st, kt);
+            prop_assert_eq!(sv.to_bits(), kv.to_bits());
+        }
+
+        // The running total and the rollup-planned full-range aggregate
+        // agree with a brute-force fold over the kept samples only.
+        let total = store.with_series(id, |s| *s.total_aggregate()).unwrap();
+        let planned = store
+            .with_series(id, |s| window_aggregate(s, i64::MIN / 2, i64::MAX / 2))
+            .unwrap();
+        prop_assert_eq!(total.count, kept.len() as u64);
+        prop_assert_eq!(planned.count, kept.len() as u64);
+        if !kept.is_empty() {
+            let sum: f64 = kept.iter().map(|&(_, v)| v).sum();
+            let min = kept.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+            let max = kept.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((total.sum - sum).abs() < 1e-6 * sum.abs().max(1.0));
+            prop_assert_eq!(total.min, min);
+            prop_assert_eq!(total.max, max);
+            prop_assert!((planned.sum - sum).abs() < 1e-6 * sum.abs().max(1.0));
+            // Every stored value passed the range screen.
+            prop_assert!(min >= 0.0 && max <= 500.0);
+        }
+
+        // The quality mask holds every refusal, and nothing else.
+        let logged = store.with_series(id, |s| s.quarantined().to_vec()).unwrap();
+        prop_assert_eq!(logged.len(), quarantined_ts.len());
+        for (q, &ts) in logged.iter().zip(&quarantined_ts) {
+            prop_assert_eq!(q.ts, ts);
+        }
+    }
+
+    #[test]
+    fn gap_aware_aggregate_agrees_with_brute_force_scan(
+        stream in arb_meter_stream(),
+        a in 0i64..25_000,
+        b in 0i64..25_000,
+    ) {
+        // The gap-aware window answer must equal a brute-force scan over
+        // the stored samples in the window: same moments, coverage =
+        // present / ceil(span / cadence), quarantined = quality-mask hits.
+        let (store, id, kept, quarantined_ts) = sanitise_stream(&stream);
+        let (from, to) = (a.min(b), a.max(b));
+        let g = store_gap_aggregate(&store, id, from, to).unwrap();
+
+        let in_window: Vec<f64> = kept
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, v)| v)
+            .collect();
+        prop_assert_eq!(g.agg.count, in_window.len() as u64);
+        if !in_window.is_empty() {
+            let sum: f64 = in_window.iter().sum();
+            prop_assert!((g.agg.sum - sum).abs() < 1e-6 * sum.abs().max(1.0));
+            prop_assert!((g.mean() - sum / in_window.len() as f64).abs() < 1e-9);
+        }
+
+        let q_in = quarantined_ts.iter().filter(|&&t| t >= from && t < to).count();
+        prop_assert_eq!(g.quarantined, q_in as u64);
+
+        if to > from {
+            let expected = ((to - from) as u64).div_ceil(60);
+            prop_assert_eq!(g.expected, expected);
+            let cov = (in_window.len() as f64 / expected as f64).clamp(0.0, 1.0);
+            prop_assert!((g.coverage - cov).abs() < 1e-12);
+        } else {
+            prop_assert!((g.coverage - 1.0).abs() < 1e-12);
+        }
+        prop_assert!((0.0..=1.0).contains(&g.coverage));
+    }
+
+    #[test]
+    fn gap_windows_partition_and_match_per_window_brute_force(
+        stream in arb_meter_stream(),
+        step_minutes in 1i64..120,
+    ) {
+        // Windowing over [0, span) is a partition of the stored samples at
+        // non-negative timestamps, and each window independently agrees
+        // with the single-window gap aggregate over its own range.
+        let (store, id, kept, _) = sanitise_stream(&stream);
+        let span = kept.iter().map(|&(t, _)| t + 1).max().unwrap_or(0).max(1);
+        let step = step_minutes * 60;
+        let windows = store_gap_windows(&store, id, 0, span, step).unwrap();
+
+        let total: u64 = windows.iter().map(|w| w.count).sum();
+        let stored_nonneg = kept.iter().filter(|&&(t, _)| t >= 0).count() as u64;
+        prop_assert_eq!(total, stored_nonneg);
+
+        for w in &windows {
+            let end = (w.start + step).min(span);
+            let g = store_gap_aggregate(&store, id, w.start, end).unwrap();
+            prop_assert_eq!(w.count, g.agg.count);
+            prop_assert_eq!(w.expected, g.expected);
+            prop_assert_eq!(w.quarantined, g.quarantined);
+            prop_assert!((w.coverage - g.coverage).abs() < 1e-12);
+            if w.count > 0 {
+                prop_assert!((w.mean - g.mean()).abs() < 1e-9);
             }
         }
     }
