@@ -321,11 +321,41 @@ struct MeterRuntime {
 }
 
 /// Key for the per-(application, operating point) power/runtime cache.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// The app is an interned id (see `FacilityWorld::app_ids`) so the cache
+/// hit path — every job start after the first per app — hashes a `Copy`
+/// key instead of cloning the app name `String`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct EvalKey {
-    app: String,
+    app: u32,
     setting: FreqSetting,
     mode: hpc_power::DeterminismMode,
+}
+
+/// Compact per-node power class, updated incrementally at job start/finish
+/// and fault transitions so the sampling paths never chase scheduler
+/// HashMaps. `Dark` covers every zero-draw state: powered down for repair,
+/// or de-energised by a correlated fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    /// Healthy and unoccupied (schedulable or unavailable-set): idles.
+    Idle,
+    /// Running part of a job: draws its entry in `node_watts`.
+    Busy,
+    /// Powered down (failed, drained, or fault-held): draws nothing.
+    Dark,
+}
+
+/// Incremental per-cabinet power aggregate: enough to price a cabinet in
+/// O(1) at sample time. Idle count is derived (`cabinet nodes − busy −
+/// dark`), so only two counters and one power sum need maintaining.
+#[derive(Debug, Clone, Copy, Default)]
+struct CabinetAgg {
+    /// Sum of per-node watts over this cabinet's busy nodes.
+    busy_w: f64,
+    /// Busy nodes in this cabinet.
+    busy: u32,
+    /// Zero-draw (offline / fault-held) nodes in this cabinet.
+    dark: u32,
 }
 
 /// The simulated world.
@@ -344,6 +374,36 @@ struct FacilityWorld {
     job_power_w: HashMap<JobId, f64>,
     /// (power W/node, runtime ratio) cache per app × operating point.
     eval_cache: HashMap<EvalKey, (f64, f64)>,
+    /// App-name interner backing [`EvalKey::app`]: one clone per distinct
+    /// app ever evaluated, allocation-free lookups after that.
+    app_ids: HashMap<String, u32>,
+    /// SoA per-node power class (len = fleet), updated incrementally.
+    node_state: Vec<NodeState>,
+    /// SoA per-node draw of the running job (W); 0.0 unless `Busy`. Holds
+    /// exactly `job_w / job_nodes` as the retired per-sample lookup chain
+    /// computed it, so per-node telemetry stays bit-identical.
+    node_watts: Vec<f64>,
+    /// Cabinet index per node (topology is static).
+    node_cabinet: Vec<u16>,
+    /// Cabinet index per switch; `u16::MAX` for switches outside cabinets.
+    switch_cabinet: Vec<u16>,
+    /// Incremental per-cabinet aggregates mirroring `node_state`.
+    cabinet_agg: Vec<CabinetAgg>,
+    /// Total nodes per cabinet (static).
+    cabinet_node_count: Vec<u32>,
+    /// Energised switches per cabinet, maintained at fault transitions so
+    /// cabinet sampling never filters the switch list.
+    cabinet_live_switches: Vec<u32>,
+    /// Reusable per-tick buffer for the batched node-telemetry append.
+    node_sample_buf: Vec<(SeriesId, f64)>,
+    /// Internal-invariant breaches detected at runtime (accounting slots
+    /// missing where the old code `expect`ed them). A breach degrades the
+    /// affected job's accounting instead of aborting the campaign, and is
+    /// surfaced through `Campaign::verify_invariants`. Capped; see
+    /// `invariant_breach`.
+    runtime_violations: Vec<String>,
+    /// Total runtime breaches, including any dropped past the cap.
+    runtime_violation_count: u64,
     /// Fleet-mean idle node power per BIOS mode (kW), computed lazily.
     idle_kw_cache: HashMap<hpc_power::DeterminismMode, f64>,
     series: TimeSeries,
@@ -377,13 +437,19 @@ struct FacilityWorld {
 impl FacilityWorld {
     /// Evaluate (node power W, runtime ratio) for an app at an operating
     /// point, cached — the catalog is small, so the cache stays tiny while
-    /// eliminating per-job bisection cost.
+    /// eliminating per-job bisection cost. The hit path (every start after
+    /// an app's first) is allocation-free: the key carries an interned app
+    /// id, not a cloned name.
     fn evaluate(&mut self, app: &AppModel, op: OperatingPoint) -> (f64, f64) {
-        let key = EvalKey {
-            app: app.name.clone(),
-            setting: op.setting,
-            mode: op.mode,
+        let app_id = match self.app_ids.get(app.name.as_str()) {
+            Some(&id) => id,
+            None => {
+                let id = self.app_ids.len() as u32;
+                self.app_ids.insert(app.name.clone(), id);
+                id
+            }
         };
+        let key = EvalKey { app: app_id, setting: op.setting, mode: op.mode };
         if let Some(&v) = self.eval_cache.get(&key) {
             return v;
         }
@@ -392,6 +458,54 @@ impl FacilityWorld {
         let v = (app.node_power_w(op, nm, lot), app.runtime_ratio(op, nm, lot));
         self.eval_cache.insert(key, v);
         v
+    }
+
+    /// Record a broken internal accounting invariant. The campaign keeps
+    /// running in a degraded mode; [`Campaign::verify_invariants`] reports
+    /// every breach. Capped so a pathological loop cannot eat memory.
+    fn invariant_breach(&mut self, what: String) {
+        self.runtime_violation_count += 1;
+        if self.runtime_violations.len() < 64 {
+            self.runtime_violations.push(what);
+        }
+    }
+
+    /// Move one node to a new power class, keeping the SoA arrays and the
+    /// per-cabinet aggregates in lockstep. `w` is the node's draw when
+    /// `Busy` (ignored otherwise). Idempotent: re-asserting the current
+    /// state is a no-op.
+    fn set_node(&mut self, n: NodeId, new: NodeState, w: f64) {
+        let i = n.index();
+        let old = self.node_state[i];
+        let new_w = if new == NodeState::Busy { w } else { 0.0 };
+        if old == new && self.node_watts[i] == new_w {
+            return;
+        }
+        let agg = &mut self.cabinet_agg[self.node_cabinet[i] as usize];
+        match old {
+            NodeState::Busy => {
+                agg.busy -= 1;
+                agg.busy_w -= self.node_watts[i];
+                // Re-anchor the float accumulator every time the cabinet
+                // drains: the true sum over zero busy nodes is exactly 0,
+                // so add/subtract round-off cannot build up across epochs.
+                if agg.busy == 0 {
+                    agg.busy_w = 0.0;
+                }
+            }
+            NodeState::Dark => agg.dark -= 1,
+            NodeState::Idle => {}
+        }
+        match new {
+            NodeState::Busy => {
+                agg.busy += 1;
+                agg.busy_w += new_w;
+            }
+            NodeState::Dark => agg.dark += 1,
+            NodeState::Idle => {}
+        }
+        self.node_state[i] = new;
+        self.node_watts[i] = new_w;
     }
 
     /// Apply the frequency policy to a job about to start, returning its
@@ -466,16 +580,23 @@ impl FacilityWorld {
             self.job_power_w.insert(p.job_id, job_w);
             self.job_op.insert(p.job_id, op);
             self.started_jobs += 1;
+            // Same division the retired per-sample lookup performed, so the
+            // SoA watt array carries bit-identical per-node values.
+            let per_node_w = job_w / running.nodes as f64;
+            for &n in &p.nodes {
+                self.set_node(n, NodeState::Busy, per_node_w);
+            }
             let runtime = running.actual_runtime(rt_ratio);
             let epoch = *self.job_epoch.entry(p.job_id).or_insert(0);
             sched.after(runtime, Event::Finish(p.job_id, epoch));
         }
     }
 
-    /// Instantaneous draw of one node (W): busy nodes at their job's
-    /// per-node power, idle (or unavailable) nodes at the fleet idle level,
-    /// offline nodes at zero.
-    fn node_power_w(&self, n: NodeId, per_idle_w: f64) -> f64 {
+    /// From-scratch recompute of one node's draw (W) out of scheduler and
+    /// fault state — the retired per-sample lookup chain, kept as the
+    /// reference the incremental SoA state is audited against (see
+    /// [`Self::audit_power_accounting`]). Never on the sampling hot path.
+    fn expected_node_w(&self, n: NodeId, per_idle_w: f64) -> f64 {
         if let Some(fr) = &self.faults {
             if fr.node_down[n.index()] > 0 {
                 return 0.0; // de-energised by a correlated fault
@@ -484,14 +605,96 @@ impl FacilityWorld {
         if n.0 >= self.schedulable_nodes {
             per_idle_w // the unavailable set idles
         } else if let Some(job) = self.scheduler.job_on_node(n) {
-            let job_w = self.job_power_w.get(&job).expect("running job has power");
-            let nodes = self.scheduler.running_job(job).expect("running").job.nodes;
+            let job_w = self.job_power_w.get(&job).copied().unwrap_or(0.0);
+            let nodes = self.scheduler.running_job(job).map_or(1, |r| r.job.nodes);
             job_w / nodes as f64
         } else if self.scheduler.is_node_offline(n) {
             0.0 // powered down for repair
         } else {
             per_idle_w
         }
+    }
+
+    /// Audit the incremental power accounting against a brute-force
+    /// recompute from scheduler + fault state: per-node states and watts,
+    /// per-cabinet busy/dark counts and busy-power sums, and the fleet
+    /// totals. Returns a description of every mismatch (empty = all hold).
+    fn audit_power_accounting(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let n_cabs = self.cabinet_agg.len();
+        let mut busy = vec![0u32; n_cabs];
+        let mut dark = vec![0u32; n_cabs];
+        let mut busy_w = vec![0.0f64; n_cabs];
+        let mut fleet_busy_w = 0.0;
+        // Any positive reference level distinguishes Idle from Dark.
+        let per_idle_w = 1.0;
+        for i in 0..self.node_state.len() {
+            let n = NodeId(i as u32);
+            let cab = self.node_cabinet[i] as usize;
+            let expect_w = self.expected_node_w(n, per_idle_w);
+            let expect_state = if self.scheduler.job_on_node(n).is_some()
+                && n.0 < self.schedulable_nodes
+                && expect_w > 0.0
+            {
+                NodeState::Busy
+            } else if expect_w == 0.0 {
+                NodeState::Dark
+            } else {
+                NodeState::Idle
+            };
+            if self.node_state[i] != expect_state {
+                if violations.len() < 8 {
+                    violations.push(format!(
+                        "node {i}: incremental state {:?} but recompute says {expect_state:?}",
+                        self.node_state[i]
+                    ));
+                }
+                continue;
+            }
+            match expect_state {
+                NodeState::Busy => {
+                    busy[cab] += 1;
+                    busy_w[cab] += expect_w;
+                    fleet_busy_w += expect_w;
+                    if self.node_watts[i].to_bits() != expect_w.to_bits() {
+                        violations.push(format!(
+                            "node {i}: incremental watts {} != recomputed {expect_w}",
+                            self.node_watts[i]
+                        ));
+                    }
+                }
+                NodeState::Dark => dark[cab] += 1,
+                NodeState::Idle => {}
+            }
+        }
+        for c in 0..n_cabs {
+            let agg = &self.cabinet_agg[c];
+            if (agg.busy, agg.dark) != (busy[c], dark[c]) {
+                violations.push(format!(
+                    "cabinet {c}: incremental busy/dark {}/{} but recompute says {}/{}",
+                    agg.busy, agg.dark, busy[c], dark[c]
+                ));
+            }
+            // The incremental sum accumulates in event order, the recompute
+            // in node order: equal as real numbers, so require agreement to
+            // float round-off only (relative, with a microwatt floor for
+            // near-empty cabinets against kW-scale per-node terms).
+            let tol = 1e-9 * busy_w[c].abs() + 1e-6;
+            if (agg.busy_w - busy_w[c]).abs() > tol {
+                violations.push(format!(
+                    "cabinet {c}: incremental busy power {} W but recompute says {} W",
+                    agg.busy_w, busy_w[c]
+                ));
+            }
+        }
+        let tol = 1e-9 * fleet_busy_w.abs() + 1e-6;
+        if (self.busy_power_w - fleet_busy_w).abs() > tol {
+            violations.push(format!(
+                "fleet: incremental busy power {} W but recompute says {fleet_busy_w} W",
+                self.busy_power_w
+            ));
+        }
+        violations
     }
 
     /// Fleet idle node power (W) for the current BIOS mode, cached.
@@ -505,35 +708,29 @@ impl FacilityWorld {
             * 1000.0
     }
 
-    /// Sample per-cabinet power: each cabinet's nodes (busy at their job's
-    /// per-node power, idle at the fleet idle level, offline at zero) plus
-    /// its switches and overhead share. Recorded both in the dense compat
-    /// series and the compressed store.
+    /// Sample per-cabinet power in O(cabinets): each cabinet is priced from
+    /// its incremental aggregate (busy power sum, busy/dark counts, live
+    /// switch count) — no per-node rescan, no per-tick model construction.
+    /// Recorded both in the dense compat series and the compressed store.
     fn sample_cabinets(&mut self, ts: i64) {
+        debug_assert!(
+            self.audit_power_accounting().is_empty(),
+            "incremental power accounting drifted from recompute: {:?}",
+            self.audit_power_accounting()
+        );
         let per_idle_w = self.per_idle_node_w();
         let util = self.scheduler.busy_nodes() as f64 / self.facility.nodes() as f64;
-        let topo = self.facility.topology();
-        let sw_model = hpc_power::SwitchPowerModel::new(hpc_power::SwitchSpec::default());
-        let sw_w = sw_model.power_w(0.7 * util);
-        let overhead = hpc_power::CabinetOverheadModel::default();
+        // Models are built once with the facility; only the load varies.
+        let sw_w = self.facility.switch_model().power_w(0.7 * util);
+        let overhead = self.facility.overhead_model();
 
         let mut samples = Vec::with_capacity(self.cabinet_series.len());
-        for cab in topo.cabinets() {
-            let nodes_w: f64 = topo
-                .nodes_in_cabinet(cab)
-                .iter()
-                .map(|&n| self.node_power_w(n, per_idle_w))
-                .sum();
-            // Switches in a fault-tripped state draw nothing.
-            let live_switches = topo
-                .switches_in_cabinet(cab)
-                .iter()
-                .filter(|&&s| match &self.faults {
-                    Some(fr) => fr.switch_down[s.index()] == 0,
-                    None => true,
-                })
-                .count();
-            let switches_w = live_switches as f64 * sw_w;
+        for (c, agg) in self.cabinet_agg.iter().enumerate() {
+            let idle_nodes = self.cabinet_node_count[c] - agg.busy - agg.dark;
+            // Like the fleet counter, the incremental cabinet sum can drift
+            // to ~-1e-10 when a fault storm empties the cabinet; clamp.
+            let nodes_w = (agg.busy_w + idle_nodes as f64 * per_idle_w).max(0.0);
+            let switches_w = self.cabinet_live_switches[c] as f64 * sw_w;
             let it_w = nodes_w + switches_w;
             samples.push((it_w + overhead.power_w(it_w)) / 1000.0);
         }
@@ -572,15 +769,27 @@ impl FacilityWorld {
         }
     }
 
-    /// Sample every node's power into the compressed store (kW).
+    /// Sample every node's power into the compressed store (kW): one
+    /// branch-light linear scan over the SoA state arrays, then a single
+    /// batched multi-series append (one lock per store shard, shards fanned
+    /// out over rayon) instead of 5,860 one-sample appends.
     fn sample_nodes(&mut self, ts: i64) {
         let per_idle_w = self.per_idle_node_w();
-        for (i, &sid) in self.node_sids.iter().enumerate() {
-            let kw = self.node_power_w(NodeId(i as u32), per_idle_w) / 1000.0;
-            if self.store.try_append_batch(sid, &[(ts, kw)]).is_err() {
-                self.telemetry.samples_rejected += 1;
-            }
+        let mut batch = std::mem::take(&mut self.node_sample_buf);
+        batch.clear();
+        batch.reserve(self.node_sids.len());
+        for ((&sid, &state), &w) in
+            self.node_sids.iter().zip(&self.node_state).zip(&self.node_watts)
+        {
+            let node_w = match state {
+                NodeState::Busy => w,
+                NodeState::Idle => per_idle_w,
+                NodeState::Dark => 0.0,
+            };
+            batch.push((sid, node_w / 1000.0));
         }
+        self.telemetry.samples_rejected += self.store.append_tick(ts, &batch);
+        self.node_sample_buf = batch;
     }
 
     /// Draw the next fleet-level failure arrival.
@@ -602,13 +811,43 @@ impl FacilityWorld {
     }
 
     /// Strip a failure-killed job out of the incremental power accounting
-    /// and bump its epoch so any in-flight `Finish` event goes stale.
+    /// and bump its epoch so any in-flight `Finish` event goes stale. A
+    /// missing power slot is an internal-invariant breach: reported, and
+    /// the kill proceeds with zero power instead of aborting the campaign.
     fn kill_job_accounting(&mut self, killed: JobId) {
-        let job_w = self.job_power_w.remove(&killed).expect("killed job had power");
-        self.busy_power_w -= job_w;
+        match self.job_power_w.remove(&killed) {
+            Some(job_w) => self.busy_power_w -= job_w,
+            None => self.invariant_breach(format!(
+                "kill: job {killed:?} was running but carried no power"
+            )),
+        }
         self.job_op.remove(&killed);
         *self.job_epoch.entry(killed).or_insert(0) += 1;
         self.jobs_killed += 1;
+    }
+
+    /// Fail `victim` through the scheduler, keeping the SoA node state in
+    /// lockstep: the victim goes dark, and every other node of a killed
+    /// job is released back to idle. Returns the killed job, if any.
+    fn fail_node_tracked(&mut self, victim: NodeId, now: SimTime) -> Option<JobId> {
+        // The scheduler releases the killed job's node list; capture it
+        // first so the SoA state can follow without an API change.
+        let job_nodes: Option<Vec<NodeId>> = self
+            .scheduler
+            .job_on_node(victim)
+            .and_then(|id| self.scheduler.running_job(id).map(|r| r.nodes.clone()));
+        let killed = self.scheduler.fail_node(victim, now);
+        if killed.is_some() {
+            for n in job_nodes.unwrap_or_default() {
+                if n != victim {
+                    self.set_node(n, NodeState::Idle, 0.0);
+                }
+            }
+        }
+        // Offline either way (fail_node on an already-offline node is a
+        // no-op, and Dark is already recorded then).
+        self.set_node(victim, NodeState::Dark, 0.0);
+        killed
     }
 
     /// One component of `domain` lost power: bump the node's down-refcount
@@ -622,10 +861,11 @@ impl FacilityWorld {
         }
         if n.0 >= self.schedulable_nodes {
             fr.unavailable_down_now += 1;
+            self.set_node(n, NodeState::Dark, 0.0);
             return;
         }
         self.node_failures += 1;
-        if let Some(killed) = self.scheduler.fail_node(n, now) {
+        if let Some(killed) = self.fail_node_tracked(n, now) {
             self.kill_job_accounting(killed);
         }
     }
@@ -643,25 +883,36 @@ impl FacilityWorld {
         }
         if n.0 >= self.schedulable_nodes {
             fr.unavailable_down_now -= 1;
+            self.set_node(n, NodeState::Idle, 0.0);
             return;
         }
-        self.scheduler.repair_node(n, now);
+        if self.scheduler.repair_node(n, now) {
+            self.set_node(n, NodeState::Idle, 0.0);
+        }
     }
 
-    fn switch_down_transition(fr: &mut FaultRuntime, s: SwitchId) {
+    fn switch_down_transition(&mut self, fr: &mut FaultRuntime, s: SwitchId) {
         fr.switch_down[s.index()] += 1;
         if fr.switch_down[s.index()] == 1 {
             fr.switches_down_now += 1;
+            let cab = self.switch_cabinet[s.index()];
+            if cab != u16::MAX {
+                self.cabinet_live_switches[cab as usize] -= 1;
+            }
         }
     }
 
-    fn switch_up_transition(fr: &mut FaultRuntime, s: SwitchId) {
+    fn switch_up_transition(&mut self, fr: &mut FaultRuntime, s: SwitchId) {
         if fr.switch_down[s.index()] == 0 {
             return;
         }
         fr.switch_down[s.index()] -= 1;
         if fr.switch_down[s.index()] == 0 {
             fr.switches_down_now -= 1;
+            let cab = self.switch_cabinet[s.index()];
+            if cab != u16::MAX {
+                self.cabinet_live_switches[cab as usize] += 1;
+            }
         }
     }
 
@@ -686,7 +937,7 @@ impl FacilityWorld {
                         let switches: Vec<SwitchId> =
                             self.facility.topology().switches_in_cabinet(c).to_vec();
                         for s in switches {
-                            Self::switch_down_transition(fr, s);
+                            self.switch_down_transition(fr, s);
                         }
                         let nodes = fr.domains.nodes_of(domain);
                         for n in nodes {
@@ -701,7 +952,7 @@ impl FacilityWorld {
                     }
                 }
                 FaultDomain::Switch(s) => {
-                    Self::switch_down_transition(fr, s);
+                    self.switch_down_transition(fr, s);
                     let nodes = fr.domains.nodes_of(domain);
                     for n in nodes {
                         self.fault_node_down(fr, n, now);
@@ -717,7 +968,7 @@ impl FacilityWorld {
                             let switches: Vec<SwitchId> =
                                 self.facility.topology().switches_in_cabinet(c).to_vec();
                             for s in switches {
-                                Self::switch_up_transition(fr, s);
+                                self.switch_up_transition(fr, s);
                             }
                             let nodes = fr.domains.nodes_of(domain);
                             for n in nodes {
@@ -735,7 +986,7 @@ impl FacilityWorld {
                     }
                 }
                 FaultDomain::Switch(s) => {
-                    Self::switch_up_transition(fr, s);
+                    self.switch_up_transition(fr, s);
                     let nodes = fr.domains.nodes_of(domain);
                     for n in nodes {
                         self.fault_node_up(fr, n, now);
@@ -775,11 +1026,35 @@ impl World for FacilityWorld {
                     // restarted (or is waiting to restart) under a new epoch.
                     return;
                 }
-                let job_w = self.job_power_w.remove(&id).expect("job had power registered");
-                self.busy_power_w -= job_w;
+                // Missing accounting slots are internal-invariant breaches:
+                // report and degrade (zero power, current operating point)
+                // instead of aborting the campaign mid-flight.
+                let job_w = match self.job_power_w.remove(&id) {
+                    Some(w) => {
+                        self.busy_power_w -= w;
+                        w
+                    }
+                    None => {
+                        self.invariant_breach(format!(
+                            "finish: job {id:?} completed but carried no power"
+                        ));
+                        0.0
+                    }
+                };
                 self.job_epoch.remove(&id);
-                let op = self.job_op.remove(&id).expect("job had an operating point");
+                let op = match self.job_op.remove(&id) {
+                    Some(op) => op,
+                    None => {
+                        self.invariant_breach(format!(
+                            "finish: job {id:?} completed but carried no operating point"
+                        ));
+                        self.op
+                    }
+                };
                 let done = self.scheduler.complete(id, now);
+                for &n in &done.nodes {
+                    self.set_node(n, NodeState::Idle, 0.0);
+                }
                 if self.config.record_trace {
                     self.trace.push(TraceEntry {
                         job: id,
@@ -812,7 +1087,7 @@ impl World for FacilityWorld {
                     return;
                 }
                 self.node_failures += 1;
-                if let Some(killed) = self.scheduler.fail_node(victim, now) {
+                if let Some(killed) = self.fail_node_tracked(victim, now) {
                     // Remove the dead job's power; it restarts from scratch
                     // when the scheduler re-places it (no checkpointing).
                     self.kill_job_accounting(killed);
@@ -829,8 +1104,8 @@ impl World for FacilityWorld {
                     .as_ref()
                     .map(|fr| fr.node_down[node.index()] > 0)
                     .unwrap_or(false);
-                if !held_down {
-                    self.scheduler.repair_node(node, now);
+                if !held_down && self.scheduler.repair_node(node, now) {
+                    self.set_node(node, NodeState::Idle, 0.0);
                 }
                 self.schedule_pass(now, sched);
             }
@@ -967,6 +1242,29 @@ impl Campaign {
                 dropped: 0,
             })
         });
+        // Static topology maps for the incremental accounting: cabinet of
+        // every node and switch, per-cabinet node and switch totals.
+        let topo = facility.topology();
+        let n_nodes = facility.nodes() as usize;
+        let n_cabs = topo.config().cabinets as usize;
+        let mut node_cabinet = vec![0u16; n_nodes];
+        let mut switch_cabinet = Vec::new();
+        let mut cabinet_node_count = vec![0u32; n_cabs];
+        let mut cabinet_live_switches = vec![0u32; n_cabs];
+        for cab in topo.cabinets() {
+            let c = cab.index();
+            for &n in topo.nodes_in_cabinet(cab) {
+                node_cabinet[n.index()] = c as u16;
+                cabinet_node_count[c] += 1;
+            }
+            for &s in topo.switches_in_cabinet(cab) {
+                if switch_cabinet.len() <= s.index() {
+                    switch_cabinet.resize(s.index() + 1, u16::MAX);
+                }
+                switch_cabinet[s.index()] = c as u16;
+                cabinet_live_switches[c] += 1;
+            }
+        }
         let world = FacilityWorld {
             schedulable_nodes,
             scheduler,
@@ -976,6 +1274,17 @@ impl Campaign {
             busy_power_w: 0.0,
             job_power_w: HashMap::new(),
             eval_cache: HashMap::new(),
+            app_ids: HashMap::new(),
+            node_state: vec![NodeState::Idle; n_nodes],
+            node_watts: vec![0.0; n_nodes],
+            node_cabinet,
+            switch_cabinet,
+            cabinet_agg: vec![CabinetAgg::default(); n_cabs],
+            cabinet_node_count,
+            cabinet_live_switches,
+            node_sample_buf: Vec::new(),
+            runtime_violations: Vec::new(),
+            runtime_violation_count: 0,
             series,
             idle_kw_cache: HashMap::new(),
             noise_rng: root.substream(1),
@@ -1391,7 +1700,28 @@ impl Campaign {
                 w.scheduler.running_count()
             ));
         }
+        // 5. Incremental accounting — the SoA node state and per-cabinet /
+        //    fleet power aggregates equal a from-scratch recompute out of
+        //    scheduler + fault state.
+        violations.extend(w.audit_power_accounting());
+        // 6. Runtime breaches — accounting slots found missing mid-flight
+        //    (the campaign degraded instead of aborting; see
+        //    [`Self::runtime_violations`]).
+        violations.extend(w.runtime_violations.iter().cloned());
+        if w.runtime_violation_count > w.runtime_violations.len() as u64 {
+            violations.push(format!(
+                "…and {} further runtime breaches past the reporting cap",
+                w.runtime_violation_count - w.runtime_violations.len() as u64
+            ));
+        }
         violations
+    }
+
+    /// Internal-invariant breaches the campaign detected and survived at
+    /// runtime (missing accounting slots that would previously have
+    /// panicked). Also folded into [`Self::verify_invariants`].
+    pub fn runtime_violations(&self) -> &[String] {
+        &self.sim.world().runtime_violations
     }
 }
 

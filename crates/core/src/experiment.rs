@@ -9,9 +9,10 @@
 //! reported kilowatts are multiplied back up — the composition, not the
 //! absolute node count, is what fixes the means.
 
-use crate::campaign::{Campaign, CampaignConfig, FrequencyPolicy};
+use crate::campaign::{CampaignConfig, FrequencyPolicy};
 use crate::facility::Archer2Facility;
 use crate::report::{ratio, Table};
+use crate::scenarios::{run_scenarios, ScenarioSpec};
 use hpc_emissions::{EmbodiedEmissions, OperatingChoice, RegimeAnalysis};
 use hpc_power::{DeterminismMode, FreqSetting};
 use hpc_telemetry::{ChangePoint, SegmentSummary, TimeSeries};
@@ -339,17 +340,15 @@ fn run_window(
     changes: &[(SimTime, OperatingPoint, &'static str)],
     label: &'static str,
 ) -> FigureResult {
-    let facility = scaled_facility(seed, scale);
-    let full_nodes = 5860.0;
-    let k = full_nodes / facility.nodes() as f64;
-    let mut campaign = Campaign::new(facility, campaign_config(seed, scale), start, initial);
-    for &(at, op, _) in changes {
-        campaign.run_until(at);
-        campaign.set_operating_point(op);
-    }
-    campaign.run_until(end);
+    let mut spec = ScenarioSpec::new(label, campaign_config(seed, scale), scale, start, end, initial);
+    spec.changes = changes.iter().map(|&(at, op, _)| (at, op)).collect();
+    let (series, utilisation) = run_scenarios(std::slice::from_ref(&spec), |_, campaign| {
+        let k = 5860.0 / campaign.facility().nodes() as f64;
+        (scale_series(campaign.power_series(), k), campaign.utilisation())
+    })
+    .pop()
+    .expect("one scenario in, one result out");
 
-    let series = scale_series(campaign.power_series(), k);
     let change_points: Vec<ChangePoint> = changes
         .iter()
         .map(|&(at, _, label)| ChangePoint::new(at, label))
@@ -375,7 +374,7 @@ fn run_window(
         changes: change_points,
         summary,
         settled_means_kw,
-        utilisation: campaign.utilisation(),
+        utilisation,
     }
 }
 
@@ -650,23 +649,23 @@ pub fn policy_ablation(seed: u64, scale: u32) -> Vec<PolicyRow> {
             },
         ),
     ];
-    policies
+    let specs: Vec<ScenarioSpec> = policies
         .into_iter()
         .map(|(label, policy)| {
-            let facility = scaled_facility(seed, scale);
-            let k = 5860.0 / facility.nodes() as f64;
             let mut cfg = campaign_config(seed, scale);
             cfg.policy = policy;
-            let mut c = Campaign::new(facility, cfg, start, OperatingPoint::AFTER_FREQ);
-            c.run_until(end);
-            let (started, reverted) = c.job_counts();
-            PolicyRow {
-                policy: label,
-                mean_kw: c.power_series().mean() * k,
-                revert_fraction: reverted as f64 / started.max(1) as f64,
-            }
+            ScenarioSpec::new(label, cfg, scale, start, end, OperatingPoint::AFTER_FREQ)
         })
-        .collect()
+        .collect();
+    run_scenarios(&specs, |spec, c| {
+        let k = 5860.0 / c.facility().nodes() as f64;
+        let (started, reverted) = c.job_counts();
+        PolicyRow {
+            policy: spec.label.clone(),
+            mean_kw: c.power_series().mean() * k,
+            revert_fraction: reverted as f64 / started.max(1) as f64,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -1089,27 +1088,6 @@ pub fn grid_aware_december(seed: u64, scale: u32) -> GridAwareResult {
     let scenario = hpc_grid::IntensityScenario::UkGrid2022;
     let threshold = 230.0;
 
-    let run = |schedule: Option<OperatingSchedule>, op: OperatingPoint| {
-        let facility = scaled_facility(seed, scale);
-        let k = 5860.0 / facility.nodes() as f64;
-        let mut cfg = campaign_config(seed, scale);
-        cfg.schedule = schedule;
-        let mut c = Campaign::new(facility, cfg, start, op);
-        c.run_until(end);
-        let mean = c.power_series().mean() * k;
-        let acc = hpc_emissions::Scope2Accountant::new(scenario);
-        // Integrate the (scaled) series against the hourly CI signal.
-        let mut series = c.power_series().clone();
-        let scaled: Vec<f64> = series.values().iter().map(|v| v * k).collect();
-        series = hpc_telemetry::TimeSeries::new(start, c.power_series().interval(), "kW");
-        for v in scaled {
-            series.push(v);
-        }
-        (mean, acc.emissions_t(&series))
-    };
-
-    let (static_fast_kw, e_fast) = run(None, OperatingPoint::AFTER_BIOS);
-    let (static_slow_kw, e_slow) = run(None, OperatingPoint::AFTER_FREQ);
     let schedule = OperatingSchedule {
         scenario,
         high_ci_threshold: threshold,
@@ -1117,7 +1095,30 @@ pub fn grid_aware_december(seed: u64, scale: u32) -> GridAwareResult {
         shed: OperatingPoint::AFTER_FREQ,
         tick: SimDuration::from_hours(1),
     };
-    let (grid_aware_kw, e_aware) = run(Some(schedule), OperatingPoint::AFTER_BIOS);
+    let mk = |label: &str, sched: Option<OperatingSchedule>, op: OperatingPoint| {
+        let mut cfg = campaign_config(seed, scale);
+        cfg.schedule = sched;
+        ScenarioSpec::new(label, cfg, scale, start, end, op)
+    };
+    let specs = [
+        mk("static 2.25+turbo", None, OperatingPoint::AFTER_BIOS),
+        mk("static 2.0 GHz", None, OperatingPoint::AFTER_FREQ),
+        mk("grid-aware", Some(schedule), OperatingPoint::AFTER_BIOS),
+    ];
+    let results = run_scenarios(&specs, |_, c| {
+        let k = 5860.0 / c.facility().nodes() as f64;
+        let mean = c.power_series().mean() * k;
+        let acc = hpc_emissions::Scope2Accountant::new(scenario);
+        // Integrate the (scaled) series against the hourly CI signal.
+        let mut series = hpc_telemetry::TimeSeries::new(start, c.power_series().interval(), "kW");
+        for &v in c.power_series().values().iter() {
+            series.push(v * k);
+        }
+        (mean, acc.emissions_t(&series))
+    });
+    let (static_fast_kw, e_fast) = results[0];
+    let (static_slow_kw, e_slow) = results[1];
+    let (grid_aware_kw, e_aware) = results[2];
 
     // Shed fraction from the deterministic signal.
     let mut shed_hours = 0u32;

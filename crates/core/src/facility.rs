@@ -92,6 +92,18 @@ impl Archer2Facility {
         &self.node_model
     }
 
+    /// The switch power model — built once with the facility, shared by the
+    /// budget and telemetry-sampling paths so hot loops never reconstruct it.
+    pub fn switch_model(&self) -> &SwitchPowerModel {
+        &self.switch_model
+    }
+
+    /// The cabinet overhead model (rectifier/fan losses as a function of IT
+    /// load); built once with the facility, like [`Self::switch_model`].
+    pub fn overhead_model(&self) -> &CabinetOverheadModel {
+        &self.overhead_model
+    }
+
     /// The silicon lottery parameters.
     pub fn lottery(&self) -> &SiliconLottery {
         &self.lottery

@@ -12,6 +12,9 @@
 //!   the frequency change of Dec 2022).
 //! * [`experiment`] — `table1` … `figure3`, the §2 regime analysis, the §5
 //!   conclusions check, and the ablation sweeps.
+//! * [`scenarios`] — parallel fan-out runner for independent campaign
+//!   scenarios (seed × operating point × policy sweeps), one isolated
+//!   facility and telemetry store per scenario.
 //! * [`report`] — plain-text/markdown rendering of experiment results.
 
 #![warn(missing_docs)]
@@ -20,6 +23,7 @@ pub mod campaign;
 pub mod experiment;
 pub mod facility;
 pub mod report;
+pub mod scenarios;
 pub mod verify;
 
 pub use campaign::{
@@ -27,3 +31,4 @@ pub use campaign::{
     TelemetryStats,
 };
 pub use facility::{Archer2Facility, PowerBudget};
+pub use scenarios::{run_scenarios, ScenarioSpec};

@@ -262,6 +262,85 @@ impl TsdbStore {
         Ok(())
     }
 
+    /// Append one tick's worth of samples across many series — one
+    /// `(id, value)` pair per series, all stamped `ts`. This is the shape
+    /// of a per-node telemetry tick (thousands of series, one sample
+    /// each): samples are grouped by shard, each shard's write lock is
+    /// taken **once**, and the shards are fanned out over rayon.
+    ///
+    /// Returns the number of samples refused (unknown series, or `ts` not
+    /// strictly after that series' stored tail). Refusals are per-sample:
+    /// one bad series never blocks the rest of the tick.
+    pub fn append_tick(&self, ts: i64, samples: &[(SeriesId, f64)]) -> u64 {
+        self.append_multi_impl(samples.iter().map(|&(id, v)| (id, ts, v)), samples.len())
+    }
+
+    /// Append samples spanning many series under one lock acquisition per
+    /// shard, fanning the shards out over rayon. Samples for one series
+    /// must appear in (strictly increasing) timestamp order within the
+    /// slice; per-series order is preserved because a series maps to
+    /// exactly one shard bucket, which is appended sequentially.
+    ///
+    /// Returns the number of refused samples (unknown series,
+    /// non-monotonic timestamps). See [`Self::append_tick`] for the
+    /// common single-timestamp form.
+    pub fn append_batch_multi(&self, samples: &[(SeriesId, i64, f64)]) -> u64 {
+        self.append_multi_impl(samples.iter().copied(), samples.len())
+    }
+
+    fn append_multi_impl(
+        &self,
+        samples: impl Iterator<Item = (SeriesId, i64, f64)>,
+        len_hint: usize,
+    ) -> u64 {
+        let n_shards = self.config.shards;
+        // Bucket by shard, preserving input order within each bucket so
+        // per-series monotonicity survives the regrouping.
+        let mut buckets: Vec<Vec<(u64, i64, f64)>> = vec![Vec::new(); n_shards];
+        let per_shard_hint = len_hint / n_shards + 1;
+        for b in &mut buckets {
+            b.reserve(per_shard_hint);
+        }
+        for (id, ts, v) in samples {
+            buckets[(id.0 % n_shards as u64) as usize].push((id.0, ts, v));
+        }
+        let occupied = buckets.iter().filter(|b| !b.is_empty()).count();
+        let rejected = AtomicU64::new(0);
+        let apply = |shard_idx: usize, bucket: &[(u64, i64, f64)]| {
+            let mut shard = self.shards[shard_idx].write();
+            let mut bad = 0u64;
+            for &(id, ts, v) in bucket {
+                match shard.series.get_mut(&id) {
+                    Some(series) if series.last_ts().is_none_or(|l| ts > l) => {
+                        series.append(ts, v);
+                    }
+                    _ => bad += 1,
+                }
+            }
+            if bad > 0 {
+                rejected.fetch_add(bad, Ordering::Relaxed);
+            }
+        };
+        if occupied <= 1 {
+            // One shard touched (or nothing to do): skip the fork-join.
+            for (shard_idx, bucket) in buckets.iter().enumerate() {
+                if !bucket.is_empty() {
+                    apply(shard_idx, bucket);
+                }
+            }
+        } else {
+            let apply = &apply;
+            rayon::scope(|s| {
+                for (shard_idx, bucket) in buckets.iter().enumerate() {
+                    if !bucket.is_empty() {
+                        s.spawn(move |_| apply(shard_idx, bucket));
+                    }
+                }
+            });
+        }
+        rejected.load(Ordering::Relaxed)
+    }
+
     /// Record a refused sample into a series' quality mask (see
     /// [`crate::quality`]). Unknown ids are ignored.
     pub fn quarantine(&self, id: SeriesId, ts: i64, value: f64, reason: crate::quality::QuarantineReason) {
@@ -524,6 +603,73 @@ mod tests {
         assert_eq!(store.total_samples(), 2);
         let decoded = store.with_series(id, |s| s.scan(i64::MIN, i64::MAX)).unwrap();
         assert_eq!(decoded, vec![(0, 1.0), (60, 2.0)]);
+    }
+
+    #[test]
+    fn append_tick_matches_per_series_appends() {
+        let a = TsdbStore::new(StoreConfig { shards: 4, ..StoreConfig::default() });
+        let b = TsdbStore::new(StoreConfig { shards: 4, ..StoreConfig::default() });
+        let ids_a: Vec<SeriesId> = (0..37).map(|i| a.register(meta(&format!("n{i}")))).collect();
+        let ids_b: Vec<SeriesId> = (0..37).map(|i| b.register(meta(&format!("n{i}")))).collect();
+        for tick in 0..10i64 {
+            let ts = tick * 60;
+            let batch: Vec<(SeriesId, f64)> =
+                ids_a.iter().enumerate().map(|(i, &id)| (id, (i as f64) + tick as f64)).collect();
+            assert_eq!(a.append_tick(ts, &batch), 0);
+            for (i, &id) in ids_b.iter().enumerate() {
+                b.append(id, ts, (i as f64) + tick as f64);
+            }
+        }
+        assert_eq!(a.total_samples(), b.total_samples());
+        for (&ia, &ib) in ids_a.iter().zip(&ids_b) {
+            let da = a.with_series(ia, |s| s.scan(i64::MIN, i64::MAX)).unwrap();
+            let db = b.with_series(ib, |s| s.scan(i64::MIN, i64::MAX)).unwrap();
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn append_tick_counts_per_sample_rejections() {
+        let store = TsdbStore::new(StoreConfig { shards: 2, ..StoreConfig::default() });
+        let a = store.register(meta("a"));
+        let b = store.register(meta("b"));
+        assert_eq!(store.append_tick(60, &[(a, 1.0), (b, 2.0)]), 0);
+        // Stale tick for `a`, unknown series, good sample for `b`: the two
+        // bad samples are counted, the good one still lands.
+        let rejected = store.append_tick(60, &[(a, 9.0), (SeriesId(99), 9.0)]);
+        assert_eq!(rejected, 2);
+        assert_eq!(store.append_tick(120, &[(a, 3.0), (b, 4.0)]), 0);
+        assert_eq!(
+            store.with_series(a, |s| s.scan(i64::MIN, i64::MAX)).unwrap(),
+            vec![(60, 1.0), (120, 3.0)]
+        );
+        assert_eq!(
+            store.with_series(b, |s| s.scan(i64::MIN, i64::MAX)).unwrap(),
+            vec![(60, 2.0), (120, 4.0)]
+        );
+    }
+
+    #[test]
+    fn append_batch_multi_preserves_per_series_order() {
+        let store = TsdbStore::new(StoreConfig { shards: 3, ..StoreConfig::default() });
+        let ids: Vec<SeriesId> = (0..9).map(|i| store.register(meta(&format!("m{i}")))).collect();
+        // Interleave series arbitrarily; per-series timestamps ascend.
+        let mut flat = Vec::new();
+        for t in 0..20i64 {
+            for (i, &id) in ids.iter().enumerate() {
+                flat.push((id, t * 30, (i * 1000) as f64 + t as f64));
+            }
+        }
+        assert_eq!(store.append_batch_multi(&flat), 0);
+        assert_eq!(store.total_samples(), 9 * 20);
+        for (i, &id) in ids.iter().enumerate() {
+            let decoded = store.with_series(id, |s| s.scan(i64::MIN, i64::MAX)).unwrap();
+            assert_eq!(decoded.len(), 20);
+            for (t, &(ts, v)) in decoded.iter().enumerate() {
+                assert_eq!(ts, t as i64 * 30);
+                assert_eq!(v, (i * 1000) as f64 + t as f64);
+            }
+        }
     }
 
     #[test]

@@ -63,4 +63,29 @@ for key in schedule_digest telemetry_digest; do
 done
 rm -f BENCH_fault_storm.run1.json
 
+echo "== campaign throughput smoke (BENCH_campaign.json + determinism gate) =="
+rm -f BENCH_campaign.json BENCH_campaign.run1.json
+cargo run --release --offline --example campaign_throughput -- --smoke
+test -s BENCH_campaign.json
+for key in sim_days_per_s samples_per_s events_per_s digest_faults_on digest_faults_off digests_match invariant_violations; do
+    grep -q "\"$key\"" BENCH_campaign.json \
+        || { echo "BENCH_campaign.json missing key: $key" >&2; exit 1; }
+done
+# The example already asserts cold == warm digests per scenario; the record
+# must confirm it and report a clean invariant audit.
+grep -q '"digests_match": true' BENCH_campaign.json \
+    || { echo "campaign throughput: cold/warm digests differ" >&2; exit 1; }
+grep -q '"invariant_violations": 0' BENCH_campaign.json \
+    || { echo "campaign throughput reported invariant violations" >&2; exit 1; }
+# Two same-seed sweeps must produce bit-identical telemetry, faults on and off.
+mv BENCH_campaign.json BENCH_campaign.run1.json
+cargo run --release --offline --example campaign_throughput -- --smoke >/dev/null
+for key in digest_faults_on digest_faults_off; do
+    a=$(grep "\"$key\"" BENCH_campaign.run1.json)
+    b=$(grep "\"$key\"" BENCH_campaign.json)
+    [ "$a" = "$b" ] \
+        || { echo "determinism gate: $key differs between same-seed sweeps" >&2; exit 1; }
+done
+rm -f BENCH_campaign.run1.json
+
 echo "verify: OK"

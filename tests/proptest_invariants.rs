@@ -2,6 +2,9 @@
 //! the invariants that must hold for *any* parameters, not just the
 //! calibrated ones.
 
+use archer2_repro::core::campaign::{Campaign, CampaignConfig, FaultInjectionConfig};
+use archer2_repro::core::experiment::scaled_facility;
+use archer2_repro::faults::{DomainFaultConfig, DomainRate};
 use archer2_repro::power::{
     DeterminismMode, FreqSetting, NodeActivity, NodePowerModel, NodeSpec, SiliconLottery,
     SiliconSample, SocketPowerModel, SocketSpec,
@@ -212,6 +215,79 @@ proptest! {
         let mut rng = Xoshiro256StarStar::seeded(seed);
         for _ in 0..20 {
             prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental power accounting vs brute-force recompute
+// ---------------------------------------------------------------------------
+
+/// Fault rates hot enough that a day or two of simulation sees node kills,
+/// cabinet/CDU trips (taking whole node groups down at once) and repairs.
+fn storm(node_mtbf: f64, cabinet_mtbf: f64, horizon_h: u64) -> FaultInjectionConfig {
+    FaultInjectionConfig {
+        domains: DomainFaultConfig {
+            node: DomainRate { mtbf_hours: node_mtbf, repair_mean_hours: 3.0, repair_sigma: 0.5 },
+            cabinet: DomainRate {
+                mtbf_hours: cabinet_mtbf,
+                repair_mean_hours: 2.0,
+                repair_sigma: 0.4,
+            },
+            cdu: DomainRate { mtbf_hours: 90.0, repair_mean_hours: 2.0, repair_sigma: 0.4 },
+            switch: DomainRate { mtbf_hours: 700.0, repair_mean_hours: 2.0, repair_sigma: 0.4 },
+            ..DomainFaultConfig::default()
+        },
+        horizon: SimDuration::from_hours(horizon_h),
+        ..FaultInjectionConfig::default()
+    }
+}
+
+// Campaign-scale cases are much heavier than the model-level ones above, so
+// this block runs fewer of them; each case still drives hundreds of
+// submit/start/finish/fail/repair transitions through the accounting.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole invariant of the incremental power accounting: after
+    /// *any* interleaving of job starts, finishes, fault kills and repairs
+    /// (faults on), the per-cabinet and fleet busy-power/busy-count
+    /// aggregates must exactly match a brute-force recompute from the
+    /// scheduler and fault state. `verify_invariants` runs that recompute
+    /// (`audit_power_accounting`), and in debug builds every telemetry tick
+    /// re-asserts it via `debug_assert!` inside `sample_cabinets`.
+    #[test]
+    fn incremental_power_accounting_matches_recompute(
+        seed in proptest::num::u64::ANY,
+        step_hours in proptest::collection::vec(2u64..16, 2..5),
+        op_picks in proptest::collection::vec(0usize..3, 2..5),
+        node_mtbf in 60.0f64..400.0,
+        cabinet_mtbf in 100.0f64..400.0,
+    ) {
+        let horizon: u64 = step_hours.iter().sum();
+        let cfg = CampaignConfig {
+            seed,
+            per_cabinet_telemetry: true,
+            faults: Some(storm(node_mtbf, cabinet_mtbf, horizon)),
+            backlog_target: 40,
+            ..CampaignConfig::default()
+        };
+        let start = SimTime::from_ymd(2022, 3, 1);
+        let ops = [OperatingPoint::ORIGINAL, OperatingPoint::AFTER_BIOS, OperatingPoint::AFTER_FREQ];
+        let mut campaign =
+            Campaign::new(scaled_facility(seed, 10), cfg, start, OperatingPoint::AFTER_BIOS);
+        let mut t = start;
+        for (i, &h) in step_hours.iter().enumerate() {
+            t += SimDuration::from_hours(h);
+            campaign.run_until(t);
+            let violations = campaign.verify_invariants();
+            prop_assert!(
+                violations.is_empty(),
+                "accounting diverged after step {i} ({h} h): {violations:?}"
+            );
+            // Changing the operating point mid-stream re-prices every
+            // running job at its next touch point.
+            campaign.set_operating_point(ops[op_picks[i % op_picks.len()]]);
         }
     }
 }
