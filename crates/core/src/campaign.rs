@@ -1542,6 +1542,36 @@ impl Campaign {
         &self.sim.world().store
     }
 
+    /// A shared handle to the campaign's telemetry store, for a query
+    /// service running alongside the simulation. [`TsdbStore`] handles
+    /// clone by sharing the underlying shards, so queries through the
+    /// returned handle observe every sample the campaign keeps ingesting —
+    /// this is the hook `hpc-serve` binds its server to.
+    pub fn serve_store(&self) -> TsdbStore {
+        self.sim.world().store.clone()
+    }
+
+    /// Serve-mode run loop: advance the simulation to `until` in `step`
+    /// increments, calling `observe` after each increment. Between calls
+    /// the campaign has ingested one more step of telemetry, so an
+    /// observer that drives (or measures) a live query service sees the
+    /// store genuinely growing under its queries instead of a finished
+    /// corpus. `step` must be positive.
+    pub fn run_serve(
+        &mut self,
+        until: SimTime,
+        step: SimDuration,
+        mut observe: impl FnMut(&Campaign),
+    ) {
+        assert!(step.as_secs() > 0, "serve step must be positive");
+        let mut now = self.sim.now();
+        while now < until {
+            now = (now + step).min(until);
+            self.sim.run_until(now);
+            observe(self);
+        }
+    }
+
     /// Id of the facility power series in [`Self::telemetry_store`].
     pub fn facility_series_id(&self) -> SeriesId {
         self.sim.world().facility_sid

@@ -1,0 +1,69 @@
+//! A small blocking client: connect, handshake, then request/response.
+//!
+//! The client is deliberately thin — one socket, one outstanding request —
+//! because the concurrency story lives server-side. Load generators open
+//! many `Client`s, one per simulated session.
+
+use crate::protocol::{
+    recv_message, send_message, FrameError, Request, Response, WireWindow, PROTOCOL_VERSION,
+};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected, handshaken session.
+pub struct Client {
+    stream: TcpStream,
+    server: String,
+}
+
+impl Client {
+    /// Connect to `addr` and complete the version handshake as `tenant`.
+    ///
+    /// A typed server-side refusal (wrong version, session caps) surfaces
+    /// as [`FrameError::Malformed`] carrying the server's message.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: &str) -> Result<Client, FrameError> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| FrameError::Io(e.to_string()))?;
+        stream.set_nodelay(true).map_err(|e| FrameError::Io(e.to_string()))?;
+        send_message(
+            &mut stream,
+            &Request::Hello { version: PROTOCOL_VERSION, tenant: tenant.to_string() },
+        )?;
+        match recv_message::<Response>(&mut stream)? {
+            Response::HelloAck { server, .. } => Ok(Client { stream, server }),
+            Response::Error { kind, message } => {
+                Err(FrameError::Malformed(format!("handshake refused ({kind:?}): {message}")))
+            }
+            other => Err(FrameError::Malformed(format!("unexpected handshake reply: {other:?}"))),
+        }
+    }
+
+    /// The server name reported during the handshake.
+    pub fn server_name(&self) -> &str {
+        &self.server
+    }
+
+    /// Send one request and wait for its reply.
+    pub fn request(&mut self, request: &Request) -> Result<Response, FrameError> {
+        send_message(&mut self.stream, request)?;
+        recv_message(&mut self.stream)
+    }
+
+    /// `Windows` convenience: returns the window list, or the reply that
+    /// was not one (typed errors included) as the `Err` side.
+    pub fn windows(
+        &mut self,
+        series: &str,
+        from: i64,
+        to: i64,
+        step: i64,
+        op: crate::protocol::WireOp,
+    ) -> Result<Vec<WireWindow>, Box<Response>> {
+        match self.request(&Request::Windows { series: series.to_string(), from, to, step, op }) {
+            Ok(Response::Windows { windows }) => Ok(windows),
+            Ok(other) => Err(Box::new(other)),
+            Err(e) => Err(Box::new(Response::Error {
+                kind: crate::protocol::ErrorKind::Protocol,
+                message: e.to_string(),
+            })),
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # hpc-serve
+//!
+//! A concurrent telemetry query service over a live [`hpc_tsdb`] store:
+//! the serving tier that turns the embedded TSDB into something many
+//! operators can query *while the facility campaign is still ingesting*.
+//!
+//! Three layers:
+//!
+//! - [`protocol`] — length-prefixed JSON frames over TCP, a
+//!   version-checked handshake, the request/response catalogue and typed
+//!   error frames. `f64` results travel as IEEE-754 bit patterns so
+//!   served answers are comparable bit-for-bit with in-process queries.
+//! - [`session`] — admission control: global and per-tenant session caps,
+//!   in-flight query caps and per-query scan budgets. Overload is met
+//!   with a typed `Overloaded` rejection, never an unbounded queue.
+//! - [`server`] / [`client`] — the thread-per-connection serving loop
+//!   over a shared [`hpc_tsdb::TsdbStore`] handle (clones share shards,
+//!   so reads run against live ingest), and a thin blocking client.
+//!
+//! Observability is first-class: every tenant accumulates served/rejected
+//! counters, latency percentiles from [`sim_core::stats::Histogram`], and
+//! store-work attribution ([`hpc_tsdb::QueryStats`] deltas folded with
+//! saturating arithmetic), all served back over the wire by `Introspect`.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::Client;
+pub use protocol::{
+    ErrorKind, FrameError, Introspection, Request, Response, TenantSnapshot, WireGap, WireGroup,
+    WireOp, WireQueryStats, WireSeries, WireWindow, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+pub use server::{IngestProbe, Server, ServerConfig};
+pub use session::{AdmissionConfig, Reject, TenantBudget};

@@ -1,0 +1,532 @@
+//! The wire protocol: length-prefixed JSON frames, the request/response
+//! catalogue, typed error frames and the version handshake.
+//!
+//! ## Frame layout
+//!
+//! Every message in either direction is one frame:
+//!
+//! ```text
+//! ┌────────────────┬──────────────────────────────┐
+//! │ length: u32 BE │ payload: `length` bytes JSON │
+//! └────────────────┴──────────────────────────────┘
+//! ```
+//!
+//! The length counts payload bytes only and must not exceed
+//! [`MAX_FRAME_LEN`]; a larger prefix is refused *before* any payload is
+//! read, so a hostile length cannot make the server allocate. The payload
+//! is the externally-tagged JSON encoding of [`Request`] or [`Response`].
+//!
+//! ## Handshake
+//!
+//! The first client frame must be [`Request::Hello`] carrying
+//! [`PROTOCOL_VERSION`] and a tenant name; the server answers
+//! [`Response::HelloAck`] or a typed [`Response::Error`] and closes. Any
+//! other first frame is a [`ErrorKind::BadRequest`].
+//!
+//! ## Value encoding
+//!
+//! Query results carry `f64` values as their IEEE-754 bit patterns in
+//! `u64` fields (`*_bits`). JSON has no NaN/Inf and decimal round trips
+//! invite drift; bit patterns make every served answer comparable
+//! bit-for-bit against an in-process evaluation — the identity the
+//! concurrency suite asserts.
+
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Protocol version spoken by this build; bumped on any wire change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard ceiling on a frame's payload length, in bytes. A length prefix
+/// above this is a protocol error and the frame is never read.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Why a frame could not be read or written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// EOF arrived inside a frame (torn length prefix or short payload).
+    Truncated {
+        /// Bytes the frame still owed.
+        expected: usize,
+        /// Bytes that actually arrived.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    TooLarge {
+        /// The declared payload length.
+        len: u32,
+    },
+    /// The payload was not valid JSON, or not a valid message shape.
+    Malformed(String),
+    /// An underlying socket error.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated { expected, got } => {
+                write!(f, "frame truncated: wanted {expected} more bytes, got {got}")
+            }
+            FrameError::TooLarge { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit")
+            }
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            FrameError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Read exactly `buf.len()` bytes, distinguishing a clean EOF at a frame
+/// boundary (`Closed` when `at_boundary`) from a torn frame (`Truncated`).
+fn read_full(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if at_boundary && got == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated { expected: buf.len() - got, got }
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Read one raw frame payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    read_full(r, &mut prefix, true)?;
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_full(r, &mut payload, false)?;
+    Ok(payload)
+}
+
+/// Write one raw frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() as u64 > u64::from(MAX_FRAME_LEN) {
+        return Err(FrameError::TooLarge { len: payload.len() as u32 });
+    }
+    let len = (payload.len() as u32).to_be_bytes();
+    w.write_all(&len).map_err(|e| FrameError::Io(e.to_string()))?;
+    w.write_all(payload).map_err(|e| FrameError::Io(e.to_string()))?;
+    w.flush().map_err(|e| FrameError::Io(e.to_string()))?;
+    Ok(())
+}
+
+/// Serialise a message into a frame and write it.
+pub fn send_message<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), FrameError> {
+    let json = serde_json::to_string(msg).map_err(|e| FrameError::Malformed(e.to_string()))?;
+    write_frame(w, json.as_bytes())
+}
+
+/// Read a frame and deserialise it as `T`.
+pub fn recv_message<T: Deserialize>(r: &mut impl Read) -> Result<T, FrameError> {
+    let payload = read_frame(r)?;
+    let text =
+        std::str::from_utf8(&payload).map_err(|e| FrameError::Malformed(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+/// Aggregation operator on the wire, mirroring [`hpc_tsdb::AggOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireOp {
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sum.
+    Sum,
+    /// Sample count.
+    Count,
+    /// 95th percentile (forces a raw scan server-side).
+    P95,
+}
+
+impl From<WireOp> for hpc_tsdb::AggOp {
+    fn from(op: WireOp) -> Self {
+        match op {
+            WireOp::Mean => hpc_tsdb::AggOp::Mean,
+            WireOp::Min => hpc_tsdb::AggOp::Min,
+            WireOp::Max => hpc_tsdb::AggOp::Max,
+            WireOp::Sum => hpc_tsdb::AggOp::Sum,
+            WireOp::Count => hpc_tsdb::AggOp::Count,
+            WireOp::P95 => hpc_tsdb::AggOp::P95,
+        }
+    }
+}
+
+/// A client request. The first request on a session must be `Hello`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Version handshake; `tenant` names the budget bucket this session
+    /// draws from.
+    Hello {
+        /// Client's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Tenant the session belongs to.
+        tenant: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// One aggregate of one series over `[from, to)`.
+    Aggregate {
+        /// Series name (e.g. `"facility"`, `"cabinet.3"`).
+        series: String,
+        /// Window start (inclusive), unix seconds.
+        from: i64,
+        /// Window end (exclusive), unix seconds.
+        to: i64,
+        /// Operator.
+        op: WireOp,
+    },
+    /// Aligned `step`-second windows over `[from, to)`.
+    Windows {
+        /// Series name.
+        series: String,
+        /// Range start (inclusive).
+        from: i64,
+        /// Range end (exclusive).
+        to: i64,
+        /// Window width, seconds (must be positive).
+        step: i64,
+        /// Operator.
+        op: WireOp,
+    },
+    /// Grouped reduction across many series over one window (the
+    /// "all cabinets → facility" shape).
+    Group {
+        /// Series names to reduce.
+        series: Vec<String>,
+        /// Window start (inclusive).
+        from: i64,
+        /// Window end (exclusive).
+        to: i64,
+    },
+    /// Gap-aware aggregate: moments over present samples plus the
+    /// coverage fraction against the series' cadence hint.
+    Gap {
+        /// Series name.
+        series: String,
+        /// Window start (inclusive).
+        from: i64,
+        /// Window end (exclusive).
+        to: i64,
+    },
+    /// Enumerate registered series.
+    ListSeries,
+    /// Server-side observability: per-tenant counters, latency
+    /// percentiles, store query stats, live ingest rejection count.
+    Introspect,
+}
+
+/// One aligned window on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireWindow {
+    /// Window start (inclusive).
+    pub start: i64,
+    /// Aggregated value as IEEE-754 bits (NaN-safe).
+    pub value_bits: u64,
+    /// Samples inside the window.
+    pub count: u64,
+}
+
+/// Grouped-reduction result on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireGroup {
+    /// Series that resolved and contributed.
+    pub series: u64,
+    /// Names that did not resolve.
+    pub missing: u64,
+    /// Sum of per-series window means, as bits.
+    pub sum_of_means_bits: u64,
+    /// Mean of per-series means, as bits (NaN when nothing resolved).
+    pub mean_of_means_bits: u64,
+    /// Total samples across every resolved series.
+    pub total_count: u64,
+}
+
+/// Gap-aware aggregate on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireGap {
+    /// Present samples in the window.
+    pub count: u64,
+    /// Mean over present samples, as bits (NaN when all gap).
+    pub mean_bits: u64,
+    /// Samples the cadence hint expected.
+    pub expected: u64,
+    /// `count / expected` clamped to `[0, 1]`, as bits.
+    pub coverage_bits: u64,
+    /// Quarantined samples in the window.
+    pub quarantined: u64,
+}
+
+/// One catalog entry from `ListSeries`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireSeries {
+    /// Store-assigned series id.
+    pub id: u64,
+    /// Series name.
+    pub name: String,
+    /// Unit label.
+    pub unit: String,
+    /// Expected cadence, seconds (0 = unknown).
+    pub interval_hint: i64,
+    /// Stored samples at catalog time.
+    pub samples: u64,
+}
+
+/// [`hpc_tsdb::QueryStats`] on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireQueryStats {
+    /// Store-level query evaluations.
+    pub queries: u64,
+    /// Windows served from 1-hour rollups.
+    pub plans_hour: u64,
+    /// Windows served from 1-minute rollups.
+    pub plans_minute: u64,
+    /// Windows served by raw chunk scans.
+    pub plans_raw: u64,
+    /// Sealed chunks Gorilla-decoded.
+    pub chunks_decoded: u64,
+    /// Sealed-chunk reads served from the decoded-chunk cache.
+    pub chunk_cache_hits: u64,
+    /// Decoded samples iterated by raw scans.
+    pub samples_scanned: u64,
+    /// Wall nanoseconds inside store-level query entry points.
+    pub wall_nanos: u64,
+}
+
+impl From<hpc_tsdb::QueryStats> for WireQueryStats {
+    fn from(s: hpc_tsdb::QueryStats) -> Self {
+        WireQueryStats {
+            queries: s.queries,
+            plans_hour: s.plans_hour,
+            plans_minute: s.plans_minute,
+            plans_raw: s.plans_raw,
+            chunks_decoded: s.chunks_decoded,
+            chunk_cache_hits: s.chunk_cache_hits,
+            samples_scanned: s.samples_scanned,
+            wall_nanos: s.wall_nanos,
+        }
+    }
+}
+
+/// Per-tenant counters in an [`Introspection`] reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantSnapshot {
+    /// Tenant name.
+    pub tenant: String,
+    /// Sessions currently open.
+    pub sessions: u64,
+    /// Queries currently executing.
+    pub in_flight: u64,
+    /// Queries answered successfully.
+    pub served: u64,
+    /// Queries refused because an in-flight limit was hit.
+    pub rejected_overloaded: u64,
+    /// Queries refused by the per-query scan budget.
+    pub rejected_budget: u64,
+    /// Frames from this tenant that failed to parse.
+    pub protocol_errors: u64,
+    /// Median served-query latency, microseconds (0 when none served).
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Store work attributed to this tenant (chunks decoded vs cache
+    /// hits, samples scanned), folded total-order-safely from per-query
+    /// deltas.
+    pub query: WireQueryStats,
+}
+
+/// The `Introspect` reply: a self-describing snapshot of the server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Introspection {
+    /// Server name from its config.
+    pub server: String,
+    /// Protocol version the server speaks.
+    pub protocol_version: u32,
+    /// Sessions currently open, across all tenants.
+    pub sessions_active: u64,
+    /// Connections refused at admission (session caps).
+    pub sessions_rejected: u64,
+    /// Live rejected-ingest count from the attached probe (0 without one).
+    pub ingest_rejected: u64,
+    /// Store-wide query counters since server start.
+    pub store: WireQueryStats,
+    /// Per-tenant breakdown, sorted by tenant name.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+/// Machine-readable error category carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// Handshake version is not [`PROTOCOL_VERSION`].
+    UnsupportedVersion,
+    /// The request was well-framed but invalid (bad params, missing
+    /// handshake, repeated handshake).
+    BadRequest,
+    /// The named series is not registered.
+    UnknownSeries,
+    /// Admission control refused the work: a session/in-flight cap or the
+    /// per-query scan budget. Back off and retry.
+    Overloaded,
+    /// The frame could not be parsed (bad length, bad JSON, bad shape).
+    Protocol,
+}
+
+/// A server reply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Successful handshake.
+    HelloAck {
+        /// Server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Server name from its config.
+        server: String,
+    },
+    /// Reply to `Ping`.
+    Pong,
+    /// Reply to `Aggregate`.
+    Aggregate {
+        /// The value as IEEE-754 bits.
+        value_bits: u64,
+        /// Which plan served it (`"HourRollup"`, `"MinuteRollup"`,
+        /// `"RawScan"`).
+        plan: String,
+    },
+    /// Reply to `Windows`.
+    Windows {
+        /// One entry per aligned window, in time order.
+        windows: Vec<WireWindow>,
+    },
+    /// Reply to `Group`.
+    Group(WireGroup),
+    /// Reply to `Gap`.
+    Gap(WireGap),
+    /// Reply to `ListSeries`.
+    Series {
+        /// Catalog entries sorted by id.
+        entries: Vec<WireSeries>,
+    },
+    /// Reply to `Introspect`.
+    Stats(Introspection),
+    /// Typed failure; the session stays open except for handshake and
+    /// protocol errors.
+    Error {
+        /// Category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"x\":1}").unwrap();
+        assert_eq!(&buf[..4], &7u32.to_be_bytes());
+        let got = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(got, b"{\"x\":1}");
+    }
+
+    #[test]
+    fn eof_between_frames_is_closed_inside_is_truncated() {
+        let empty: &[u8] = &[];
+        assert_eq!(read_frame(&mut { empty }), Err(FrameError::Closed));
+        // Torn length prefix.
+        let torn: &[u8] = &[0, 0];
+        assert!(matches!(read_frame(&mut { torn }), Err(FrameError::Truncated { .. })));
+        // Full prefix, short payload.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        buf.truncate(7);
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(FrameError::Truncated { .. })));
+    }
+
+    #[test]
+    fn oversized_prefix_is_refused_before_payload() {
+        let mut buf = Vec::from((MAX_FRAME_LEN + 1).to_be_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        assert_eq!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::TooLarge { len: MAX_FRAME_LEN + 1 })
+        );
+    }
+
+    #[test]
+    fn messages_round_trip_including_nan_bits() {
+        let mut buf = Vec::new();
+        let req = Request::Windows {
+            series: "cabinet.7".into(),
+            from: -60,
+            to: 86_400,
+            step: 900,
+            op: WireOp::P95,
+        };
+        send_message(&mut buf, &req).unwrap();
+        let back: Request = recv_message(&mut buf.as_slice()).unwrap();
+        match back {
+            Request::Windows { series, from, to, step, op } => {
+                assert_eq!(series, "cabinet.7");
+                assert_eq!((from, to, step), (-60, 86_400, 900));
+                assert_eq!(op, WireOp::P95);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        // NaN survives as bits where JSON floats could not.
+        let resp = Response::Aggregate {
+            value_bits: f64::NAN.to_bits(),
+            plan: "RawScan".into(),
+        };
+        let mut buf = Vec::new();
+        send_message(&mut buf, &resp).unwrap();
+        let back: Response = recv_message(&mut buf.as_slice()).unwrap();
+        match back {
+            Response::Aggregate { value_bits, .. } => {
+                assert!(f64::from_bits(value_bits).is_nan());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_json_is_malformed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"not json at all").unwrap();
+        assert!(matches!(
+            recv_message::<Request>(&mut buf.as_slice()),
+            Err(FrameError::Malformed(_))
+        ));
+        // Valid JSON, wrong shape.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"NoSuchVariant\":{}}").unwrap();
+        assert!(matches!(
+            recv_message::<Request>(&mut buf.as_slice()),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

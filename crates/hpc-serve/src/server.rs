@@ -1,0 +1,468 @@
+//! The serving loop: a TCP listener, one handler thread per connection,
+//! handshake-first dispatch and admission-checked query execution against
+//! a shared [`TsdbStore`] handle.
+//!
+//! The server owns a *clone* of the store handle, not the store — clones
+//! share the underlying shards, so a campaign keeps ingesting through its
+//! own handle while every session reads through this one. Store-level
+//! queries are snapshot-isolated (shard locks are never held across chunk
+//! decode), which is what makes many readers against a live writer safe.
+//!
+//! Dispatch order per request: frame decode → (handshake state) →
+//! in-flight admission → parameter validation → series resolution →
+//! scan-budget check → execution. Everything before execution is O(1), so
+//! a rejected request costs the server almost nothing — that is the point
+//! of admission control.
+
+use crate::protocol::{
+    recv_message, send_message, ErrorKind, FrameError, Introspection, Request, Response,
+    WireGap, WireGroup, WireQueryStats, WireSeries, WireWindow, PROTOCOL_VERSION,
+};
+use crate::session::{AdmissionConfig, GlobalAdmission, Reject, TenantState};
+use hpc_tsdb::{
+    fanout_group, store_aggregate, store_gap_aggregate, store_windows, SeriesId, TsdbStore,
+};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Live ingest-rejection probe: the server calls this on `Introspect` to
+/// report the campaign-side rejected count without owning the pipeline.
+pub type IngestProbe = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Name echoed in `HelloAck` and `Introspect` replies.
+    pub name: String,
+    /// Admission caps and tenant budgets.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { name: "hpc-serve".into(), admission: AdmissionConfig::default() }
+    }
+}
+
+/// Shared server state, referenced by the accept loop and every handler.
+struct Inner {
+    store: TsdbStore,
+    name: String,
+    admission: AdmissionConfig,
+    global: GlobalAdmission,
+    tenants: Mutex<BTreeMap<String, Arc<TenantState>>>,
+    ingest_probe: Mutex<Option<IngestProbe>>,
+    shutting_down: AtomicBool,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl Inner {
+    fn tenant(&self, name: &str) -> Arc<TenantState> {
+        let mut tenants = self.tenants.lock();
+        if let Some(t) = tenants.get(name) {
+            return Arc::clone(t);
+        }
+        let budget = self
+            .admission
+            .tenant_budgets
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, b)| b)
+            .unwrap_or(self.admission.default_budget);
+        let t = Arc::new(TenantState::new(name.to_string(), budget));
+        tenants.insert(name.to_string(), Arc::clone(&t));
+        t
+    }
+
+    fn introspection(&self) -> Introspection {
+        let ingest_rejected = self.ingest_probe.lock().as_ref().map_or(0, |p| p());
+        Introspection {
+            server: self.name.clone(),
+            protocol_version: PROTOCOL_VERSION,
+            sessions_active: self.global.sessions_active(),
+            sessions_rejected: self.global.sessions_rejected.load(Ordering::Relaxed),
+            ingest_rejected,
+            store: WireQueryStats::from(self.store.query_stats()),
+            tenants: self.tenants.lock().values().map(|t| t.snapshot()).collect(),
+        }
+    }
+}
+
+/// A running query service bound to a local TCP port.
+///
+/// Dropping the server shuts it down: the listener stops accepting, every
+/// open connection is closed, and all handler threads are joined.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `127.0.0.1:0` and start accepting sessions against `store`.
+    ///
+    /// `store` should be a [`TsdbStore::clone`] of the handle the ingest
+    /// side keeps — the clone shares the shards, so queries see live data.
+    pub fn start(store: TsdbStore, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            store,
+            name: config.name,
+            global: GlobalAdmission::new(&config.admission),
+            admission: config.admission,
+            tenants: Mutex::new(BTreeMap::new()),
+            ingest_probe: Mutex::new(None),
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let inner = Arc::clone(&inner);
+            let handlers = Arc::clone(&handlers);
+            std::thread::spawn(move || {
+                let mut next_conn = 0u64;
+                for stream in listener.incoming() {
+                    if inner.shutting_down.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let stream = match stream {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    // Replies are single small frames; without this, Nagle
+                    // vs. delayed-ACK adds ~40 ms to every round trip.
+                    let _ = stream.set_nodelay(true);
+                    let conn_id = next_conn;
+                    next_conn += 1;
+                    if let Ok(clone) = stream.try_clone() {
+                        inner.conns.lock().insert(conn_id, clone);
+                    }
+                    let inner2 = Arc::clone(&inner);
+                    let handle = std::thread::spawn(move || {
+                        handle_conn(&inner2, stream);
+                        inner2.conns.lock().remove(&conn_id);
+                    });
+                    let mut handlers = handlers.lock();
+                    handlers.retain(|h| !h.is_finished());
+                    handlers.push(handle);
+                }
+            })
+        };
+        Ok(Server { inner, addr, accept: Some(accept), handlers })
+    }
+
+    /// The bound address clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Attach the live ingest-rejection probe reported by `Introspect`.
+    pub fn set_ingest_probe(&self, probe: IngestProbe) {
+        *self.inner.ingest_probe.lock() = Some(probe);
+    }
+
+    /// In-process observability snapshot (same data `Introspect` serves).
+    pub fn introspect(&self) -> Introspection {
+        self.inner.introspection()
+    }
+
+    /// Stop accepting, close every open session and join all threads.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.inner.shutting_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking `accept` so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for (_, conn) in self.inner.conns.lock().drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock());
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
+    Response::Error { kind, message: message.into() }
+}
+
+/// One connection, handshake to close. Runs on its own thread.
+fn handle_conn(inner: &Inner, mut stream: TcpStream) {
+    // Handshake first: nothing else is admitted on a virgin session.
+    let tenant_name = match recv_message::<Request>(&mut stream) {
+        Ok(Request::Hello { version, tenant }) => {
+            if version != PROTOCOL_VERSION {
+                let _ = send_message(
+                    &mut stream,
+                    &error(
+                        ErrorKind::UnsupportedVersion,
+                        format!("server speaks v{PROTOCOL_VERSION}, client sent v{version}"),
+                    ),
+                );
+                return;
+            }
+            tenant
+        }
+        Ok(_) => {
+            let _ = send_message(
+                &mut stream,
+                &error(ErrorKind::BadRequest, "first frame must be Hello"),
+            );
+            return;
+        }
+        Err(FrameError::Closed) => return,
+        Err(e) => {
+            let _ = send_message(&mut stream, &error(ErrorKind::Protocol, e.to_string()));
+            return;
+        }
+    };
+
+    let tenant = inner.tenant(&tenant_name);
+    if !inner.global.try_open_session() {
+        inner.global.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = send_message(
+            &mut stream,
+            &error(ErrorKind::Overloaded, "server session limit reached"),
+        );
+        return;
+    }
+    if !tenant.try_open_session() {
+        inner.global.close_session();
+        inner.global.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = send_message(
+            &mut stream,
+            &error(ErrorKind::Overloaded, format!("tenant {tenant_name:?} session limit reached")),
+        );
+        return;
+    }
+
+    serve_session(inner, &tenant, &mut stream);
+
+    tenant.close_session();
+    inner.global.close_session();
+}
+
+/// The post-handshake request loop. Returns when the peer closes, a
+/// protocol error poisons the framing, or a write fails.
+fn serve_session(inner: &Inner, tenant: &TenantState, stream: &mut TcpStream) {
+    let ack =
+        Response::HelloAck { version: PROTOCOL_VERSION, server: inner.name.clone() };
+    if send_message(stream, &ack).is_err() {
+        return;
+    }
+    loop {
+        let request = match recv_message::<Request>(stream) {
+            Ok(r) => r,
+            Err(FrameError::Closed) => return,
+            Err(e) => {
+                // After a framing error the byte stream can no longer be
+                // trusted to be frame-aligned: answer typed, then close.
+                tenant.record_protocol_error();
+                let _ = send_message(stream, &error(ErrorKind::Protocol, e.to_string()));
+                return;
+            }
+        };
+        let response = dispatch(inner, tenant, request);
+        if send_message(stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Route one post-handshake request. `Ping`, `ListSeries` and `Introspect`
+/// bypass query admission — observability must keep answering precisely
+/// when the server is saturated enough to reject real queries.
+fn dispatch(inner: &Inner, tenant: &TenantState, request: Request) -> Response {
+    match request {
+        Request::Hello { .. } => {
+            error(ErrorKind::BadRequest, "session already completed its handshake")
+        }
+        Request::Ping => Response::Pong,
+        Request::ListSeries => {
+            let entries = inner
+                .store
+                .series_catalog()
+                .into_iter()
+                .map(|(id, meta, samples)| WireSeries {
+                    id: id.0,
+                    name: meta.name,
+                    unit: meta.unit,
+                    interval_hint: meta.interval_hint,
+                    samples,
+                })
+                .collect();
+            Response::Series { entries }
+        }
+        Request::Introspect => Response::Stats(inner.introspection()),
+        query => admit_and_run(inner, tenant, query),
+    }
+}
+
+/// Take both in-flight slots, run the query, release in reverse order.
+fn admit_and_run(inner: &Inner, tenant: &TenantState, query: Request) -> Response {
+    if !inner.global.try_begin_query() {
+        tenant.record_rejected(Reject::InFlight);
+        return error(ErrorKind::Overloaded, "server in-flight query limit reached");
+    }
+    if !tenant.try_begin_query() {
+        inner.global.end_query();
+        tenant.record_rejected(Reject::InFlight);
+        return error(ErrorKind::Overloaded, "tenant in-flight query limit reached");
+    }
+    let response = run_query(inner, tenant, query);
+    tenant.end_query();
+    inner.global.end_query();
+    response
+}
+
+/// Estimated samples a `[from, to)` scan of `id` will touch: the cadence
+/// hint bounds it from the window span, the series length bounds it from
+/// the data. Cheap (one shard-map probe), deliberately conservative.
+fn estimate_scan(store: &TsdbStore, id: SeriesId, from: i64, to: i64) -> u64 {
+    let Some((len, hint)) = store.with_series(id, |s| (s.len(), s.meta().interval_hint)) else {
+        return 0;
+    };
+    let span = if to > from { (to as i128 - from as i128).min(u64::MAX as i128) as u64 } else { 0 };
+    let hinted = if hint > 0 { span / hint as u64 } else { u64::MAX };
+    hinted.min(len)
+}
+
+/// Run one admitted query end to end: validate, resolve, budget-check,
+/// execute under latency + `QueryStats` delta measurement, and fold the
+/// delta into the tenant (saturating — see `QueryStats::delta_since`).
+fn run_query(inner: &Inner, tenant: &TenantState, query: Request) -> Response {
+    let store = &inner.store;
+    // Validation first: `store_windows` panics on a bad step/range by
+    // contract, so the server must refuse those shapes as `BadRequest`
+    // before they reach the store.
+    let (resolved, estimate) = match &query {
+        Request::Aggregate { series, from, to, .. } | Request::Gap { series, from, to } => {
+            if from > to {
+                return error(ErrorKind::BadRequest, "window range reversed (from > to)");
+            }
+            match store.lookup(series) {
+                Some(id) => (vec![id], estimate_scan(store, id, *from, *to)),
+                None => return error(ErrorKind::UnknownSeries, format!("no series {series:?}")),
+            }
+        }
+        Request::Windows { series, from, to, step, .. } => {
+            if *step <= 0 {
+                return error(ErrorKind::BadRequest, "window step must be positive");
+            }
+            if from > to {
+                return error(ErrorKind::BadRequest, "window range reversed (from > to)");
+            }
+            match store.lookup(series) {
+                Some(id) => {
+                    let windows = ((to - from) as u64).div_ceil(*step as u64);
+                    (vec![id], estimate_scan(store, id, *from, *to).saturating_add(windows))
+                }
+                None => return error(ErrorKind::UnknownSeries, format!("no series {series:?}")),
+            }
+        }
+        Request::Group { series, from, to } => {
+            if from > to {
+                return error(ErrorKind::BadRequest, "window range reversed (from > to)");
+            }
+            // Unresolved names keep a sentinel id so the reply's `missing`
+            // count matches an in-process evaluation of the same names.
+            let ids: Vec<SeriesId> = series
+                .iter()
+                .map(|n| store.lookup(n).unwrap_or(SeriesId(u64::MAX)))
+                .collect();
+            let est = ids
+                .iter()
+                .fold(0u64, |acc, &id| acc.saturating_add(estimate_scan(store, id, *from, *to)));
+            (ids, est)
+        }
+        _ => unreachable!("non-query requests are dispatched before admission"),
+    };
+    if let Err(reject) = tenant.check_scan_budget(estimate) {
+        tenant.record_rejected(reject);
+        let Reject::ScanBudget { estimated, limit } = reject else { unreachable!() };
+        return error(
+            ErrorKind::Overloaded,
+            format!("estimated scan of {estimated} samples exceeds per-query budget {limit}"),
+        );
+    }
+
+    let before = store.query_stats();
+    let started = Instant::now();
+    let response = execute(store, &resolved, query);
+    let latency_us = started.elapsed().as_secs_f64() * 1e6;
+    let delta = store.query_stats().delta_since(&before);
+    tenant.record_served(latency_us, &delta);
+    response
+}
+
+/// The store calls themselves. `ids` came from `run_query`'s resolution.
+fn execute(store: &TsdbStore, ids: &[SeriesId], query: Request) -> Response {
+    match query {
+        Request::Aggregate { from, to, op, series } => {
+            match store_aggregate(store, ids[0], from, to, op.into()) {
+                Some((value, plan)) => Response::Aggregate {
+                    value_bits: value.to_bits(),
+                    plan: format!("{plan:?}"),
+                },
+                None => error(ErrorKind::UnknownSeries, format!("no series {series:?}")),
+            }
+        }
+        Request::Windows { from, to, step, op, series } => {
+            match store_windows(store, ids[0], from, to, step, op.into()) {
+                Some(windows) => Response::Windows {
+                    windows: windows
+                        .into_iter()
+                        .map(|w| WireWindow {
+                            start: w.start,
+                            value_bits: w.value.to_bits(),
+                            count: w.count,
+                        })
+                        .collect(),
+                },
+                None => error(ErrorKind::UnknownSeries, format!("no series {series:?}")),
+            }
+        }
+        Request::Group { from, to, .. } => {
+            let g = fanout_group(store, ids, from, to);
+            Response::Group(WireGroup {
+                series: g.series as u64,
+                missing: g.missing as u64,
+                sum_of_means_bits: g.sum_of_means.to_bits(),
+                mean_of_means_bits: g.mean_of_means().to_bits(),
+                total_count: g.total.count,
+            })
+        }
+        Request::Gap { from, to, series } => {
+            match store_gap_aggregate(store, ids[0], from, to) {
+                Some(v) => Response::Gap(WireGap {
+                    count: v.agg.count,
+                    mean_bits: v.agg.mean().to_bits(),
+                    expected: v.expected,
+                    coverage_bits: v.coverage.to_bits(),
+                    quarantined: v.quarantined,
+                }),
+                None => error(ErrorKind::UnknownSeries, format!("no series {series:?}")),
+            }
+        }
+        _ => unreachable!("non-query requests are dispatched before admission"),
+    }
+}

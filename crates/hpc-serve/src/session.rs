@@ -1,0 +1,298 @@
+//! Session admission and per-tenant budgets.
+//!
+//! Admission happens at two points. **Session admission** runs once per
+//! connection after the handshake: the global and per-tenant session caps
+//! are checked, and a refused connection gets one typed
+//! [`ErrorKind::Overloaded`](crate::protocol::ErrorKind::Overloaded) frame
+//! and a close. **Query admission** runs per request: the global and
+//! per-tenant in-flight caps bound concurrency (backpressure by rejection,
+//! never by unbounded queueing — a client that wants to queue holds its own
+//! queue), and the per-query scan budget rejects requests whose estimated
+//! sample cost exceeds the tenant's ceiling *before* any chunk is decoded.
+//!
+//! Every rejection is graceful: a typed `Overloaded` response on an
+//! otherwise healthy session, which stays open for cheaper queries.
+
+use crate::protocol::{TenantSnapshot, WireQueryStats};
+use hpc_tsdb::QueryStats;
+use parking_lot::Mutex;
+use sim_core::stats::Histogram;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Per-tenant resource ceilings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantBudget {
+    /// Concurrent sessions (connections) the tenant may hold.
+    pub max_sessions: u32,
+    /// Concurrent queries the tenant may have executing.
+    pub max_in_flight: u32,
+    /// Estimated samples one query may scan; a request estimated above
+    /// this is rejected `Overloaded` before any decode happens.
+    pub max_samples_per_query: u64,
+}
+
+impl Default for TenantBudget {
+    fn default() -> Self {
+        TenantBudget { max_sessions: 64, max_in_flight: 16, max_samples_per_query: 50_000_000 }
+    }
+}
+
+/// Server-wide admission configuration.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Concurrent sessions across every tenant.
+    pub max_sessions: u32,
+    /// Concurrent queries across every tenant.
+    pub max_in_flight: u32,
+    /// Budget for tenants without an explicit entry.
+    pub default_budget: TenantBudget,
+    /// Per-tenant overrides as `(tenant, budget)` pairs.
+    pub tenant_budgets: Vec<(String, TenantBudget)>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_sessions: 256,
+            max_in_flight: 64,
+            default_budget: TenantBudget::default(),
+            tenant_budgets: Vec::new(),
+        }
+    }
+}
+
+/// Latency histogram shape: 5 µs bins to 100 ms, overflow clamped above.
+/// Percentiles come from [`Histogram::quantile`], so a tenant's replies
+/// cost O(1) memory no matter how many queries it issues.
+const LATENCY_HI_US: f64 = 100_000.0;
+const LATENCY_BINS: usize = 20_000;
+
+/// Why query admission refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reject {
+    /// The global or tenant in-flight cap is saturated.
+    InFlight,
+    /// The estimated scan cost exceeds the tenant's per-query budget.
+    ScanBudget {
+        /// The estimate that tripped the ceiling.
+        estimated: u64,
+        /// The tenant's ceiling.
+        limit: u64,
+    },
+}
+
+/// Mutable per-tenant state: admission counters, served/rejected totals,
+/// the latency histogram and the folded per-tenant [`QueryStats`].
+pub(crate) struct TenantState {
+    name: String,
+    budget: TenantBudget,
+    sessions: AtomicU32,
+    in_flight: AtomicU32,
+    served: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_budget: AtomicU64,
+    protocol_errors: AtomicU64,
+    latency_us: Mutex<Histogram>,
+    query: Mutex<QueryStats>,
+}
+
+impl TenantState {
+    pub(crate) fn new(name: String, budget: TenantBudget) -> Self {
+        TenantState {
+            name,
+            budget,
+            sessions: AtomicU32::new(0),
+            in_flight: AtomicU32::new(0),
+            served: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            rejected_budget: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            latency_us: Mutex::new(Histogram::new(0.0, LATENCY_HI_US, LATENCY_BINS)),
+            query: Mutex::new(QueryStats::default()),
+        }
+    }
+
+    /// Try to open a session; `false` leaves no state to undo.
+    pub(crate) fn try_open_session(&self) -> bool {
+        bounded_increment(&self.sessions, self.budget.max_sessions)
+    }
+
+    pub(crate) fn close_session(&self) {
+        self.sessions.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Try to start a query under the tenant's in-flight cap.
+    pub(crate) fn try_begin_query(&self) -> bool {
+        bounded_increment(&self.in_flight, self.budget.max_in_flight)
+    }
+
+    pub(crate) fn end_query(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Check an estimated scan cost against the per-query budget.
+    pub(crate) fn check_scan_budget(&self, estimated: u64) -> Result<(), Reject> {
+        let limit = self.budget.max_samples_per_query;
+        if estimated > limit {
+            Err(Reject::ScanBudget { estimated, limit })
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn record_served(&self, latency_us: f64, delta: &QueryStats) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.latency_us.lock().push(latency_us);
+        // Saturating merge: deltas computed from relaxed store counters are
+        // not a consistent cut under concurrency (see
+        // `QueryStats::delta_since`), so the fold must never wrap.
+        self.query.lock().merge(delta);
+    }
+
+    pub(crate) fn record_rejected(&self, reject: Reject) {
+        match reject {
+            Reject::InFlight => self.rejected_overloaded.fetch_add(1, Ordering::Relaxed),
+            Reject::ScanBudget { .. } => self.rejected_budget.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    pub(crate) fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> TenantSnapshot {
+        let (p50, p95, p99) = {
+            let h = self.latency_us.lock();
+            (
+                h.quantile(0.50).unwrap_or(0.0) as u64,
+                h.quantile(0.95).unwrap_or(0.0) as u64,
+                h.quantile(0.99).unwrap_or(0.0) as u64,
+            )
+        };
+        TenantSnapshot {
+            tenant: self.name.clone(),
+            sessions: u64::from(self.sessions.load(Ordering::Acquire)),
+            in_flight: u64::from(self.in_flight.load(Ordering::Acquire)),
+            served: self.served.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_budget: self.rejected_budget.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            p50_us: p50,
+            p95_us: p95,
+            p99_us: p99,
+            query: WireQueryStats::from(*self.query.lock()),
+        }
+    }
+}
+
+/// CAS-increment `counter` only while it is below `cap`; `false` when
+/// saturated. This is the lock-free "try-acquire" both admission layers
+/// use — there is deliberately no blocking acquire, because backpressure
+/// here means *reject*, not *queue*.
+fn bounded_increment(counter: &AtomicU32, cap: u32) -> bool {
+    let mut current = counter.load(Ordering::Acquire);
+    loop {
+        if current >= cap {
+            return false;
+        }
+        match counter.compare_exchange_weak(
+            current,
+            current + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return true,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// Global (cross-tenant) admission counters.
+pub(crate) struct GlobalAdmission {
+    max_sessions: u32,
+    max_in_flight: u32,
+    sessions: AtomicU32,
+    in_flight: AtomicU32,
+    pub(crate) sessions_rejected: AtomicU64,
+}
+
+impl GlobalAdmission {
+    pub(crate) fn new(config: &AdmissionConfig) -> Self {
+        GlobalAdmission {
+            max_sessions: config.max_sessions,
+            max_in_flight: config.max_in_flight,
+            sessions: AtomicU32::new(0),
+            in_flight: AtomicU32::new(0),
+            sessions_rejected: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn try_open_session(&self) -> bool {
+        bounded_increment(&self.sessions, self.max_sessions)
+    }
+
+    pub(crate) fn close_session(&self) {
+        self.sessions.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn try_begin_query(&self) -> bool {
+        bounded_increment(&self.in_flight, self.max_in_flight)
+    }
+
+    pub(crate) fn end_query(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn sessions_active(&self) -> u64 {
+        u64::from(self.sessions.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_increment_stops_at_cap() {
+        let c = AtomicU32::new(0);
+        assert!(bounded_increment(&c, 2));
+        assert!(bounded_increment(&c, 2));
+        assert!(!bounded_increment(&c, 2));
+        c.fetch_sub(1, Ordering::AcqRel);
+        assert!(bounded_increment(&c, 2));
+    }
+
+    #[test]
+    fn tenant_admission_and_counters() {
+        let t = TenantState::new(
+            "acme".into(),
+            TenantBudget { max_sessions: 1, max_in_flight: 2, max_samples_per_query: 100 },
+        );
+        assert!(t.try_open_session());
+        assert!(!t.try_open_session(), "session cap is 1");
+        assert!(t.try_begin_query());
+        assert!(t.try_begin_query());
+        assert!(!t.try_begin_query(), "in-flight cap is 2");
+        t.end_query();
+        assert!(t.try_begin_query());
+
+        assert_eq!(t.check_scan_budget(100), Ok(()));
+        let rej = t.check_scan_budget(101).unwrap_err();
+        assert_eq!(rej, Reject::ScanBudget { estimated: 101, limit: 100 });
+        t.record_rejected(rej);
+        t.record_rejected(Reject::InFlight);
+        t.record_served(250.0, &QueryStats { queries: 1, samples_scanned: 40, ..QueryStats::default() });
+        t.record_served(750.0, &QueryStats { queries: 1, samples_scanned: 60, ..QueryStats::default() });
+
+        let snap = t.snapshot();
+        assert_eq!(snap.served, 2);
+        assert_eq!(snap.rejected_budget, 1);
+        assert_eq!(snap.rejected_overloaded, 1);
+        assert_eq!(snap.query.queries, 2);
+        assert_eq!(snap.query.samples_scanned, 100);
+        assert!(snap.p50_us >= 250 && snap.p50_us <= 255, "p50 {}", snap.p50_us);
+        assert!(snap.p95_us >= 750, "p95 {}", snap.p95_us);
+        t.close_session();
+        assert!(t.try_open_session());
+    }
+}

@@ -260,6 +260,43 @@ impl QueryStats {
     pub fn wall_millis(&self) -> f64 {
         self.wall_nanos as f64 / 1e6
     }
+
+    /// Merge another snapshot into this one, saturating on overflow. This
+    /// is the reduction a multi-worker server uses to fold per-query
+    /// deltas into one per-tenant aggregate; saturating arithmetic keeps
+    /// the fold safe no matter how many worker threads contribute.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.queries = self.queries.saturating_add(other.queries);
+        self.plans_hour = self.plans_hour.saturating_add(other.plans_hour);
+        self.plans_minute = self.plans_minute.saturating_add(other.plans_minute);
+        self.plans_raw = self.plans_raw.saturating_add(other.plans_raw);
+        self.chunks_decoded = self.chunks_decoded.saturating_add(other.chunks_decoded);
+        self.chunk_cache_hits = self.chunk_cache_hits.saturating_add(other.chunk_cache_hits);
+        self.samples_scanned = self.samples_scanned.saturating_add(other.samples_scanned);
+        self.wall_nanos = self.wall_nanos.saturating_add(other.wall_nanos);
+    }
+
+    /// Field-wise difference `self − earlier`, saturating at zero.
+    ///
+    /// The store's counters are independent relaxed atomics, so two
+    /// [`TsdbStore::query_stats`] snapshots taken around a query on one
+    /// thread are **not** a consistent cut while other threads also query:
+    /// a field can appear to run backwards between the two reads. A raw
+    /// subtraction would wrap to ~`u64::MAX` and poison every aggregate it
+    /// is merged into; saturation makes the attribution total-order safe —
+    /// a racing delta may under-report, but it can never explode.
+    pub fn delta_since(&self, earlier: &QueryStats) -> QueryStats {
+        QueryStats {
+            queries: self.queries.saturating_sub(earlier.queries),
+            plans_hour: self.plans_hour.saturating_sub(earlier.plans_hour),
+            plans_minute: self.plans_minute.saturating_sub(earlier.plans_minute),
+            plans_raw: self.plans_raw.saturating_sub(earlier.plans_raw),
+            chunks_decoded: self.chunks_decoded.saturating_sub(earlier.chunks_decoded),
+            chunk_cache_hits: self.chunk_cache_hits.saturating_sub(earlier.chunk_cache_hits),
+            samples_scanned: self.samples_scanned.saturating_sub(earlier.samples_scanned),
+            wall_nanos: self.wall_nanos.saturating_sub(earlier.wall_nanos),
+        }
+    }
 }
 
 /// Lock-free counters behind [`QueryStats`], owned by the store and bumped
@@ -974,6 +1011,27 @@ mod tests {
         let stats = store.query_stats();
         assert_eq!(stats.chunks_decoded, expected, "each window scans each chunk exactly once");
         assert_eq!(stats.chunk_cache_hits, 0);
+    }
+
+    #[test]
+    fn stats_delta_saturates_and_merges() {
+        let a = QueryStats { queries: 10, samples_scanned: 500, wall_nanos: 900, ..QueryStats::default() };
+        let b = QueryStats { queries: 7, samples_scanned: 800, wall_nanos: 400, ..QueryStats::default() };
+        // An inconsistent cut: `b` is "later" on some fields, "earlier" on
+        // others. The delta must clamp the backwards fields to 0 instead of
+        // wrapping to ~u64::MAX.
+        let d = b.delta_since(&a);
+        assert_eq!(d.queries, 0);
+        assert_eq!(d.samples_scanned, 300);
+        assert_eq!(d.wall_nanos, 0);
+        let mut agg = a;
+        agg.merge(&d);
+        assert_eq!(agg.queries, 10);
+        assert_eq!(agg.samples_scanned, 800);
+        // Merging near-overflow values saturates instead of wrapping.
+        let mut big = QueryStats { queries: u64::MAX - 1, ..QueryStats::default() };
+        big.merge(&QueryStats { queries: 5, ..QueryStats::default() });
+        assert_eq!(big.queries, u64::MAX);
     }
 
     #[test]

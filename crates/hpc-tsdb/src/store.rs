@@ -207,6 +207,23 @@ impl TsdbStore {
         self.registry.read().len()
     }
 
+    /// Every registered series as `(id, metadata, stored samples)`, sorted
+    /// by id — the discovery surface a query service's `ListSeries`
+    /// request answers from. Sample counts are read per shard under short
+    /// read locks, so the catalog is safe to take during live ingest (a
+    /// count may trail concurrent appends by a tick).
+    pub fn series_catalog(&self) -> Vec<(SeriesId, SeriesMeta, u64)> {
+        let mut out: Vec<(SeriesId, SeriesMeta, u64)> = Vec::with_capacity(self.series_count());
+        for shard in self.shards.iter() {
+            let shard = shard.read();
+            for (&id, series) in shard.series.iter() {
+                out.push((SeriesId(id), series.meta().clone(), series.len()));
+            }
+        }
+        out.sort_by_key(|&(id, _, _)| id);
+        out
+    }
+
     /// Append one sample to a series.
     ///
     /// # Panics
@@ -488,6 +505,16 @@ impl IngestPipeline {
     /// out-of-order timestamps). Refused batches are dropped whole; the
     /// writer keeps draining.
     pub fn rejected_batches(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Live view of the rejected-batch counter, safe to poll from another
+    /// thread while ingest is running — what a query service's
+    /// introspection endpoint reports without stopping the pipeline. The
+    /// count is monotonic; a batch in flight to its shard writer is counted
+    /// once the writer refuses it, so a reading may trail sends by the
+    /// channel depth but never overcounts.
+    pub fn rejected_so_far(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
     }
 

@@ -1,0 +1,296 @@
+//! `hpc-serve` under load: a campaign ingests telemetry while concurrent
+//! client sessions hammer the query service over TCP.
+//!
+//! Two phases. A **baseline** campaign runs with nobody watching, timing
+//! pure ingest. Then an identical campaign runs in serve mode
+//! ([`Campaign::run_serve`]) with a server bound to its live store and
+//! 8 client sessions (2 tenants) issuing a mixed aggregate / windows /
+//! group / gap-coverage / introspection workload the whole time. The
+//! load generator measures client-side: every reply is timed, percentiles
+//! are exact (full sorted latency vector, not histogram bins), and any
+//! typed error or rejection fails the run — admission budgets are
+//! deliberately generous here, so every frame must be served.
+//!
+//! Results land in `BENCH_tsdb_serve.json`: QPS, p50/p95/p99 latency,
+//! and how much the serving load degraded ingest throughput.
+//!
+//! ```text
+//! cargo run --release --example tsdb_serve [-- --smoke]
+//! ```
+
+use archer2_repro::core::campaign::{Campaign, CampaignConfig};
+use archer2_repro::core::experiment;
+use archer2_repro::prelude::*;
+use archer2_repro::serve::{Client, Request, Response, Server, ServerConfig, WireOp};
+use archer2_repro::sim::rng::{Rng, Xoshiro256StarStar};
+use archer2_repro::workload::OperatingPoint;
+use serde::{Serialize, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Concurrent client sessions (split across two tenants).
+const SESSIONS: usize = 8;
+/// Telemetry cadence of the campaign (the default 15 min).
+const INTERVAL_S: i64 = 900;
+
+/// Write a benchmark record, then parse it back and check the keys the
+/// verify script greps for — a malformed record should fail here, not in CI.
+fn write_bench(path: &str, record: Value, required: &[&str]) {
+    struct Raw(Value);
+    impl Serialize for Raw {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    let json = serde_json::to_string_pretty(&Raw(record)).expect("bench record serialises");
+    std::fs::write(path, &json).expect("write benchmark json");
+    let parsed = serde_json::parse_value(&json).expect("benchmark json parses back");
+    let map = parsed.as_map().expect("benchmark json is an object");
+    for key in required {
+        assert!(
+            serde::value::map_get(map, key).is_some(),
+            "benchmark json missing key {key}"
+        );
+    }
+    println!("benchmark record:         {path}");
+}
+
+fn campaign(start: SimTime) -> Campaign {
+    // Per-node telemetry makes ingest heavy enough that the degradation
+    // measurement means something; past day ~5 the 15-min series spill
+    // over the 512-sample chunk seal, so queries hit sealed chunks and
+    // the per-tenant decode/cache attribution shows real work.
+    let cfg = CampaignConfig {
+        per_cabinet_telemetry: true,
+        per_node_telemetry: true,
+        ..CampaignConfig::default()
+    };
+    Campaign::new(
+        experiment::scaled_facility(2022, 10),
+        cfg,
+        start,
+        OperatingPoint::AFTER_BIOS,
+    )
+}
+
+/// Exact nearest-rank percentile over sorted microsecond latencies.
+fn pct(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+/// What one client session brings home.
+struct SessionReport {
+    latencies_us: Vec<f64>,
+    errors: u64,
+}
+
+/// One client session: mixed queries against the live server until the
+/// campaign finishes *and* this session has done its minimum share.
+fn run_session(
+    addr: std::net::SocketAddr,
+    tenant: &str,
+    seed: u64,
+    window: (i64, i64),
+    cabinets: Vec<String>,
+    stop: Arc<AtomicBool>,
+    min_queries: usize,
+) -> SessionReport {
+    let mut client = Client::connect(addr, tenant).expect("session connect");
+    let mut rng = Xoshiro256StarStar::seeded(seed);
+    let (lo, hi) = window;
+    let slots = ((hi - lo) / INTERVAL_S) as u64;
+    let mut latencies_us = Vec::new();
+    let mut errors = 0u64;
+    let mut n = 0usize;
+    while !stop.load(Ordering::Acquire) || n < min_queries {
+        // Interval-aligned bounds resolve from rollups alone; unaligned
+        // bounds (every other query) force raw scans over sealed chunks,
+        // so both planner paths show up in the per-tenant attribution.
+        let align = if n.is_multiple_of(2) { INTERVAL_S } else { 1 };
+        let span = slots * INTERVAL_S as u64;
+        let a = lo + (rng.next_below(span + 1) as i64 / align) * align;
+        let b = lo + (rng.next_below(span + 1) as i64 / align) * align;
+        let (from, to) = if a <= b { (a, b) } else { (b, a) };
+        let cab = cabinets[rng.next_below(cabinets.len() as u64) as usize].clone();
+        let req = match n % 5 {
+            0 => Request::Aggregate { series: "facility".into(), from, to, op: WireOp::Mean },
+            1 => Request::Windows {
+                series: "facility".into(),
+                from,
+                to,
+                step: 3_600,
+                op: WireOp::Max,
+            },
+            2 => Request::Group { series: cabinets.clone(), from, to },
+            3 => Request::Gap { series: cab, from, to },
+            _ => Request::Introspect,
+        };
+        let t = Instant::now();
+        let reply = client.request(&req).expect("request during load");
+        latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+        if let Response::Error { kind, message } = reply {
+            eprintln!("unexpected {kind:?}: {message}");
+            errors += 1;
+        }
+        n += 1;
+    }
+    SessionReport { latencies_us, errors }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let days = if smoke { 6 } else { 14 };
+    let min_queries = if smoke { 150 } else { 400 };
+    let start = SimTime::from_ymd(2022, 6, 1);
+    let end = start + SimDuration::from_days(days);
+    let step = SimDuration::from_hours(6);
+
+    // --- Phase 1: baseline — identical campaign, nobody querying --------
+    println!("=== tsdb-serve: {days}-day campaign, 1/10-scale facility ===");
+    let mut baseline = campaign(start);
+    let t = Instant::now();
+    baseline.run_until(end);
+    let baseline_s = t.elapsed().as_secs_f64();
+    let ingested = baseline.telemetry_store().total_samples();
+    println!(
+        "baseline ingest:          {ingested} samples in {:.2} s ({:.0} samples/s)",
+        baseline_s,
+        ingested as f64 / baseline_s,
+    );
+
+    // --- Phase 2: the same campaign, served live -------------------------
+    let mut serving = campaign(start);
+    let server = Server::start(serving.serve_store(), ServerConfig::default())
+        .expect("bind server");
+    let addr = server.local_addr();
+    // Live ingest-rejection probe: the serve loop publishes the campaign's
+    // rejected-sample counter after every step; `Introspect` reports it.
+    let rejected_live = Arc::new(AtomicU64::new(0));
+    {
+        let rejected_live = Arc::clone(&rejected_live);
+        server.set_ingest_probe(Arc::new(move || rejected_live.load(Ordering::Relaxed)));
+    }
+
+    let cabinets: Vec<String> = (0..serving.cabinet_series_ids().len())
+        .map(|c| format!("cabinet.{c}"))
+        .collect();
+    assert!(!cabinets.is_empty(), "per-cabinet telemetry must be on");
+    let window = (start.as_unix() as i64, end.as_unix() as i64);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    println!("server:                   {addr} ({SESSIONS} sessions, 2 tenants)");
+    let t_load = Instant::now();
+    let sessions: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            let tenant = if i % 2 == 0 { "ops" } else { "science" };
+            let cabinets = cabinets.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                run_session(
+                    addr,
+                    tenant,
+                    0x5E27E ^ i as u64,
+                    window,
+                    cabinets,
+                    stop,
+                    min_queries,
+                )
+            })
+        })
+        .collect();
+
+    // The campaign ingests in 6-hour steps while the sessions hammer away;
+    // after each step the serve loop publishes live ingest health.
+    let t_ingest = Instant::now();
+    serving.run_serve(end, step, |c| {
+        rejected_live.store(c.telemetry_stats().samples_rejected, Ordering::Relaxed);
+    });
+    let serving_s = t_ingest.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Release);
+
+    let mut latencies_us = Vec::new();
+    let mut client_errors = 0u64;
+    for s in sessions {
+        let report = s.join().expect("session thread");
+        latencies_us.extend(report.latencies_us);
+        client_errors += report.errors;
+    }
+    let load_s = t_load.elapsed().as_secs_f64();
+    latencies_us.sort_by(f64::total_cmp);
+
+    let queries = latencies_us.len() as u64;
+    let qps = queries as f64 / load_s;
+    let (p50, p95, p99) = (pct(&latencies_us, 50.0), pct(&latencies_us, 95.0), pct(&latencies_us, 99.0));
+    let degradation_pct = (serving_s - baseline_s) / baseline_s * 100.0;
+    println!(
+        "served:                   {queries} queries in {load_s:.2} s ({qps:.0} qps)",
+    );
+    println!(
+        "latency (client-exact):   p50 {p50:.0} µs   p95 {p95:.0} µs   p99 {p99:.0} µs",
+    );
+    println!(
+        "ingest under load:        {:.2} s vs {:.2} s baseline ({degradation_pct:+.1} %)",
+        serving_s, baseline_s,
+    );
+
+    // Server-side observability must agree that everything was served.
+    let intro = server.introspect();
+    let mut served = 0u64;
+    let mut rejected_frames = client_errors + intro.sessions_rejected;
+    println!("server introspection:     {} (protocol v{})", intro.server, intro.protocol_version);
+    for t in &intro.tenants {
+        println!(
+            "  tenant {:<8} served {:>6}  p50/p95/p99 {:>5}/{:>5}/{:>5} µs  \
+             chunks {} decoded / {} cached,  {} samples scanned",
+            t.tenant,
+            t.served,
+            t.p50_us,
+            t.p95_us,
+            t.p99_us,
+            t.query.chunks_decoded,
+            t.query.chunk_cache_hits,
+            t.query.samples_scanned,
+        );
+        served += t.served;
+        rejected_frames += t.rejected_overloaded + t.rejected_budget + t.protocol_errors;
+    }
+    println!(
+        "  store totals: {} queries, ingest rejected {} (live probe)",
+        intro.store.queries, intro.ingest_rejected,
+    );
+    // Introspect requests bypass query admission, so `served` counts only
+    // the four data-query shapes. Every client frame must have succeeded.
+    assert!(served > 0, "server served nothing");
+    assert_eq!(rejected_frames, 0, "no frame may be rejected under generous budgets");
+    assert_eq!(intro.ingest_rejected, serving.telemetry_stats().samples_rejected);
+    assert!(
+        queries >= (SESSIONS * min_queries) as u64,
+        "every session must reach its minimum share"
+    );
+
+    write_bench(
+        "BENCH_tsdb_serve.json",
+        Value::Map(vec![
+            ("bench".into(), "tsdb_serve".to_string().to_value()),
+            ("smoke".into(), smoke.to_value()),
+            ("sessions".into(), (SESSIONS as u64).to_value()),
+            ("days".into(), (days as u64).to_value()),
+            ("queries".into(), queries.to_value()),
+            ("qps".into(), qps.to_value()),
+            ("p50_us".into(), p50.to_value()),
+            ("p95_us".into(), p95.to_value()),
+            ("p99_us".into(), p99.to_value()),
+            ("baseline_ingest_s".into(), baseline_s.to_value()),
+            ("serving_ingest_s".into(), serving_s.to_value()),
+            ("ingest_degradation_pct".into(), degradation_pct.to_value()),
+            ("rejected_frames".into(), rejected_frames.to_value()),
+            ("ingest_rejected".into(), intro.ingest_rejected.to_value()),
+        ]),
+        &["qps", "p50_us", "p95_us", "p99_us", "ingest_degradation_pct", "rejected_frames"],
+    );
+}

@@ -88,4 +88,20 @@ for key in digest_faults_on digest_faults_off; do
 done
 rm -f BENCH_campaign.run1.json
 
+echo "== serve protocol + concurrency suites =="
+cargo test -q --offline -p hpc-serve
+
+echo "== serve smoke (BENCH_tsdb_serve.json) =="
+rm -f BENCH_tsdb_serve.json
+cargo run --release --offline --example tsdb_serve -- --smoke
+test -s BENCH_tsdb_serve.json
+for key in qps p50_us p95_us p99_us ingest_degradation_pct rejected_frames; do
+    grep -q "\"$key\"" BENCH_tsdb_serve.json \
+        || { echo "BENCH_tsdb_serve.json missing key: $key" >&2; exit 1; }
+done
+# Under the generous default budgets every frame must have been served:
+# no admission rejections, no protocol errors, no error responses.
+grep -q '"rejected_frames": 0' BENCH_tsdb_serve.json \
+    || { echo "serve smoke rejected frames" >&2; exit 1; }
+
 echo "verify: OK"

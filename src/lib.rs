@@ -42,6 +42,7 @@ pub use hpc_grid as grid;
 pub use hpc_kernels as kernels;
 pub use hpc_power as power;
 pub use hpc_sched as sched;
+pub use hpc_serve as serve;
 pub use hpc_telemetry as telemetry;
 pub use hpc_topo as topo;
 pub use hpc_tsdb as tsdb;
