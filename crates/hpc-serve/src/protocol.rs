@@ -309,6 +309,10 @@ pub struct WireQueryStats {
     pub chunk_cache_hits: u64,
     /// Decoded samples iterated by raw scans.
     pub samples_scanned: u64,
+    /// Zone-map blocks answered without decoding sample data.
+    pub blocks_pruned: u64,
+    /// Sealed chunks rewritten by compaction passes.
+    pub chunks_compacted: u64,
     /// Wall nanoseconds inside store-level query entry points.
     pub wall_nanos: u64,
 }
@@ -323,6 +327,8 @@ impl From<hpc_tsdb::QueryStats> for WireQueryStats {
             chunks_decoded: s.chunks_decoded,
             chunk_cache_hits: s.chunk_cache_hits,
             samples_scanned: s.samples_scanned,
+            blocks_pruned: s.blocks_pruned,
+            chunks_compacted: s.chunks_compacted,
             wall_nanos: s.wall_nanos,
         }
     }

@@ -334,16 +334,24 @@ fn admit_and_run(inner: &Inner, tenant: &TenantState, query: Request) -> Respons
     response
 }
 
-/// Estimated samples a `[from, to)` scan of `id` will touch: the cadence
-/// hint bounds it from the window span, the series length bounds it from
-/// the data. Cheap (one shard-map probe), deliberately conservative.
-fn estimate_scan(store: &TsdbStore, id: SeriesId, from: i64, to: i64) -> u64 {
-    let Some((len, hint)) = store.with_series(id, |s| (s.len(), s.meta().interval_hint)) else {
-        return 0;
-    };
-    let span = if to > from { (to as i128 - from as i128).min(u64::MAX as i128) as u64 } else { 0 };
-    let hinted = if hint > 0 { span / hint as u64 } else { u64::MAX };
-    hinted.min(len)
+/// Estimated samples a `[from, to)` scan of `id` will touch, mirroring
+/// the query planner ([`hpc_tsdb::estimate_scan`]): a rollup-served
+/// window is costed in buckets, and a zone-map-covered raw aggregate is
+/// costed at the chunks it will actually decode — not the full span. The
+/// old cadence-hint heuristic billed a fully zone-pruned query as a raw
+/// scan of every sample in the window, rejecting queries that would have
+/// decoded nothing.
+fn estimate_scan(
+    store: &TsdbStore,
+    id: SeriesId,
+    from: i64,
+    to: i64,
+    op: hpc_tsdb::AggOp,
+    allow_rollup: bool,
+) -> u64 {
+    store
+        .with_series(id, |s| hpc_tsdb::estimate_scan(s, from, to, op, allow_rollup))
+        .unwrap_or(0)
 }
 
 /// Run one admitted query end to end: validate, resolve, budget-check,
@@ -355,16 +363,29 @@ fn run_query(inner: &Inner, tenant: &TenantState, query: Request) -> Response {
     // contract, so the server must refuse those shapes as `BadRequest`
     // before they reach the store.
     let (resolved, estimate) = match &query {
-        Request::Aggregate { series, from, to, .. } | Request::Gap { series, from, to } => {
+        Request::Aggregate { series, from, to, op } => {
             if from > to {
                 return error(ErrorKind::BadRequest, "window range reversed (from > to)");
             }
             match store.lookup(series) {
-                Some(id) => (vec![id], estimate_scan(store, id, *from, *to)),
+                Some(id) => (vec![id], estimate_scan(store, id, *from, *to, (*op).into(), true)),
                 None => return error(ErrorKind::UnknownSeries, format!("no series {series:?}")),
             }
         }
-        Request::Windows { series, from, to, step, .. } => {
+        Request::Gap { series, from, to } => {
+            if from > to {
+                return error(ErrorKind::BadRequest, "window range reversed (from > to)");
+            }
+            // Gap queries need individual samples for coverage, so rollup
+            // short-cuts (and zone pruning) never apply to them.
+            match store.lookup(series) {
+                Some(id) => {
+                    (vec![id], estimate_scan(store, id, *from, *to, hpc_tsdb::AggOp::Mean, false))
+                }
+                None => return error(ErrorKind::UnknownSeries, format!("no series {series:?}")),
+            }
+        }
+        Request::Windows { series, from, to, step, op } => {
             if *step <= 0 {
                 return error(ErrorKind::BadRequest, "window step must be positive");
             }
@@ -374,7 +395,8 @@ fn run_query(inner: &Inner, tenant: &TenantState, query: Request) -> Response {
             match store.lookup(series) {
                 Some(id) => {
                     let windows = ((to - from) as u64).div_ceil(*step as u64);
-                    (vec![id], estimate_scan(store, id, *from, *to).saturating_add(windows))
+                    let est = estimate_scan(store, id, *from, *to, (*op).into(), true);
+                    (vec![id], est.saturating_add(windows))
                 }
                 None => return error(ErrorKind::UnknownSeries, format!("no series {series:?}")),
             }
@@ -389,9 +411,9 @@ fn run_query(inner: &Inner, tenant: &TenantState, query: Request) -> Response {
                 .iter()
                 .map(|n| store.lookup(n).unwrap_or(SeriesId(u64::MAX)))
                 .collect();
-            let est = ids
-                .iter()
-                .fold(0u64, |acc, &id| acc.saturating_add(estimate_scan(store, id, *from, *to)));
+            let est = ids.iter().fold(0u64, |acc, &id| {
+                acc.saturating_add(estimate_scan(store, id, *from, *to, hpc_tsdb::AggOp::Mean, true))
+            });
             (ids, est)
         }
         _ => unreachable!("non-query requests are dispatched before admission"),

@@ -1,56 +1,71 @@
 //! Bounded LRU cache of decoded chunks.
 //!
 //! Gorilla decode is the dominant cost of a raw-plan query, and sealed
-//! chunks are **immutable**: a series only ever appends — sealing a new
-//! chunk adds a new index, it never rewrites an old one — so a decoded
-//! chunk keyed by `(series id, chunk index)` can be cached forever without
-//! an invalidation protocol. The only mutable storage is the active
+//! chunks are **immutable**: once sealed a payload never changes, and
+//! every sealed payload carries a process-unique uid minted at
+//! construction ([`Chunk::uid`]). The cache keys on that uid, so even a
+//! compaction pass that *replaces* chunks needs no invalidation
+//! protocol — the replacement chunk has a fresh uid and the orphaned
+//! entries age out of the LRU. The only mutable storage is the active
 //! (unsealed) chunk, which is never cached.
+//!
+//! Decoded chunks are held in columnar form ([`ColumnBlock`]): flat
+//! timestamp and value vectors that aggregation kernels scan as tight
+//! loops with binary-searched bounds.
 //!
 //! The cache is sharded: keys hash across independent mutexes so parallel
 //! fan-out workers rarely contend, and decode itself always happens
-//! *outside* the lock (two workers may race to decode the same chunk; the
-//! loser's insert is a no-op — wasted work, never wrong answers).
+//! *outside* the lock. Two workers may race to decode the same chunk; the
+//! loser's insert keeps the winner's block but still refreshes its LRU
+//! stamp — a racing duplicate insert is proof the entry is hot, and an
+//! unrefreshed stamp would let the hot chunk be evicted as "oldest".
 //! Eviction is least-recently-used per shard, tracked with a monotonic
 //! access stamp.
 
-use crate::chunk::Chunk;
+use crate::chunk::{Chunk, ColumnBlock};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A decoded chunk shared between the cache and its readers.
-pub type DecodedChunk = Arc<Vec<(i64, f64)>>;
+/// A decoded chunk in columnar form, shared between the cache and its
+/// readers.
+pub type DecodedChunk = Arc<ColumnBlock>;
 
 /// Internal lock shards. Power of two so the hash mix distributes evenly.
 const CACHE_SHARDS: usize = 8;
 
 #[derive(Debug, Default)]
 struct CacheShard {
-    map: HashMap<(u64, u32), Entry>,
+    map: HashMap<u64, Entry>,
     tick: u64,
 }
 
 #[derive(Debug)]
 struct Entry {
-    samples: DecodedChunk,
+    block: DecodedChunk,
     stamp: u64,
 }
 
 impl CacheShard {
-    fn touch(&mut self, key: (u64, u32)) -> Option<DecodedChunk> {
+    fn touch(&mut self, key: u64) -> Option<DecodedChunk> {
         self.tick += 1;
         let tick = self.tick;
         self.map.get_mut(&key).map(|e| {
             e.stamp = tick;
-            Arc::clone(&e.samples)
+            Arc::clone(&e.block)
         })
     }
 
-    fn insert(&mut self, key: (u64, u32), samples: DecodedChunk, capacity: usize) {
+    fn insert(&mut self, key: u64, block: DecodedChunk, capacity: usize) {
         self.tick += 1;
         let tick = self.tick;
-        self.map.entry(key).or_insert(Entry { samples, stamp: tick });
+        // A duplicate insert (decode race lost) keeps the winner's block
+        // but must still refresh the stamp: the entry was just accessed,
+        // and leaving it stale gets hot chunks evicted as "oldest".
+        self.map
+            .entry(key)
+            .and_modify(|e| e.stamp = tick)
+            .or_insert(Entry { block, stamp: tick });
         while self.map.len() > capacity {
             let oldest = self
                 .map
@@ -63,29 +78,37 @@ impl CacheShard {
     }
 }
 
-/// Bounded LRU cache of decoded chunks, keyed by `(series id, chunk
-/// index)`. Capacity is counted in chunks (a full chunk decodes to
-/// `CHUNK_SAMPLES` `(i64, f64)` pairs ≈ 8 KiB). A capacity of zero
-/// disables caching entirely: every lookup decodes.
+/// Bounded LRU cache of decoded chunks, keyed by chunk uid. Capacity is
+/// counted in chunks (a full chunk decodes to `CHUNK_SAMPLES` timestamp +
+/// value pairs ≈ 8 KiB of columns). A capacity of zero disables caching
+/// entirely: every lookup decodes.
 #[derive(Debug)]
 pub struct ChunkCache {
     shards: Vec<Mutex<CacheShard>>,
-    per_shard_capacity: usize,
+    /// Per-shard bounds summing exactly to the requested capacity (the
+    /// remainder spreads over the first shards), so `capacity()` reports
+    /// the number the caller asked for, not a rounded-up multiple.
+    shard_capacity: Vec<usize>,
+    capacity: usize,
 }
 
 impl ChunkCache {
-    /// A cache holding at most `capacity` decoded chunks (rounded up to a
-    /// multiple of the internal shard count; 0 disables caching).
+    /// A cache holding at most `capacity` decoded chunks (0 disables
+    /// caching).
     pub fn new(capacity: usize) -> Self {
+        let base = capacity / CACHE_SHARDS;
+        let extra = capacity % CACHE_SHARDS;
         ChunkCache {
             shards: (0..CACHE_SHARDS).map(|_| Mutex::new(CacheShard::default())).collect(),
-            per_shard_capacity: capacity.div_ceil(CACHE_SHARDS),
+            shard_capacity: (0..CACHE_SHARDS).map(|i| base + usize::from(i < extra)).collect(),
+            capacity,
         }
     }
 
-    /// Maximum chunks held (0 when disabled).
+    /// Maximum chunks held (0 when disabled) — exactly the capacity
+    /// requested at construction.
     pub fn capacity(&self) -> usize {
-        self.per_shard_capacity * CACHE_SHARDS
+        self.capacity
     }
 
     /// Decoded chunks currently held.
@@ -105,28 +128,28 @@ impl ChunkCache {
         }
     }
 
-    fn shard_of(&self, key: (u64, u32)) -> usize {
-        // Fibonacci mix so dense series ids spread across shards.
-        let h = (key.0 ^ u64::from(key.1).rotate_left(32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    fn shard_of(&self, key: u64) -> usize {
+        // Fibonacci mix so sequentially-minted uids spread across shards.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         (h >> 56) as usize % CACHE_SHARDS
     }
 
-    /// Fetch the decoded samples of `chunk` (which must be the sealed chunk
-    /// at `index` within series `series`), decoding on a miss. Returns the
-    /// samples and whether this was a cache hit. Decode runs outside the
+    /// Fetch the decoded columns of `chunk`, decoding on a miss. Returns
+    /// the block and whether this was a cache hit. Decode runs outside the
     /// shard lock.
-    pub fn get_or_decode(&self, series: u64, index: u32, chunk: &Chunk) -> (DecodedChunk, bool) {
-        if self.per_shard_capacity == 0 {
-            return (Arc::new(chunk.decode()), false);
+    pub fn get_or_decode(&self, chunk: &Chunk) -> (DecodedChunk, bool) {
+        let key = chunk.uid();
+        let shard_idx = self.shard_of(key);
+        if self.shard_capacity[shard_idx] == 0 {
+            return (Arc::new(chunk.decode_columns()), false);
         }
-        let key = (series, index);
-        let shard = &self.shards[self.shard_of(key)];
-        if let Some(samples) = shard.lock().touch(key) {
-            return (samples, true);
+        let shard = &self.shards[shard_idx];
+        if let Some(block) = shard.lock().touch(key) {
+            return (block, true);
         }
-        let samples: DecodedChunk = Arc::new(chunk.decode());
-        shard.lock().insert(key, Arc::clone(&samples), self.per_shard_capacity);
-        (samples, false)
+        let block: DecodedChunk = Arc::new(chunk.decode_columns());
+        shard.lock().insert(key, Arc::clone(&block), self.shard_capacity[shard_idx]);
+        (block, false)
     }
 }
 
@@ -147,9 +170,9 @@ mod tests {
     fn hit_after_miss_returns_same_samples() {
         let cache = ChunkCache::new(16);
         let c = chunk_of(100, 0.5);
-        let (first, hit) = cache.get_or_decode(7, 0, &c);
+        let (first, hit) = cache.get_or_decode(&c);
         assert!(!hit);
-        let (second, hit) = cache.get_or_decode(7, 0, &c);
+        let (second, hit) = cache.get_or_decode(&c);
         assert!(hit);
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(first.len(), 100);
@@ -157,29 +180,27 @@ mod tests {
     }
 
     #[test]
-    fn distinct_keys_do_not_collide() {
+    fn distinct_chunks_do_not_collide() {
         let cache = ChunkCache::new(64);
         let a = chunk_of(10, 0.0);
         let b = chunk_of(10, 1000.0);
-        let (da, _) = cache.get_or_decode(1, 0, &a);
-        let (db, _) = cache.get_or_decode(2, 0, &b);
-        assert_eq!(da[0].1, 0.0);
-        assert_eq!(db[0].1, 1000.0);
-        // Same series, different chunk index is a different entry too.
-        let (dc, hit) = cache.get_or_decode(1, 1, &b);
-        assert!(!hit);
-        assert_eq!(dc[0].1, 1000.0);
-        assert_eq!(cache.len(), 3);
+        let (da, _) = cache.get_or_decode(&a);
+        let (db, _) = cache.get_or_decode(&b);
+        assert_eq!(da.values()[0], 0.0);
+        assert_eq!(db.values()[0], 1000.0);
+        // A clone shares the uid, so it is the *same* entry.
+        let (dc, hit) = cache.get_or_decode(&b.clone());
+        assert!(hit);
+        assert_eq!(dc.values()[0], 1000.0);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]
     fn lru_evicts_oldest_within_capacity() {
-        let cache = ChunkCache::new(8); // 1 per internal shard
-        let c = chunk_of(4, 0.0);
-        // Hammer one shard by reusing one series id with many indexes; the
-        // shard holds one entry, so only the most recent survives.
-        for idx in 0..32u32 {
-            cache.get_or_decode(3, idx, &c);
+        let cache = ChunkCache::new(8); // at most 1 per internal shard
+        let chunks: Vec<Chunk> = (0..32).map(|i| chunk_of(4, f64::from(i))).collect();
+        for c in &chunks {
+            cache.get_or_decode(c);
         }
         assert!(cache.len() <= cache.capacity());
         let before = cache.len();
@@ -189,12 +210,50 @@ mod tests {
     }
 
     #[test]
+    fn capacity_reports_exactly_what_was_requested() {
+        // Regression: div_ceil rounding made new(1) report (and hold)
+        // CACHE_SHARDS chunks — an 8x memory-bound overshoot for small
+        // caches.
+        for requested in [0usize, 1, 3, 7, 8, 9, 100] {
+            let cache = ChunkCache::new(requested);
+            assert_eq!(cache.capacity(), requested, "requested {requested}");
+        }
+        // And the bound is enforced globally, not just reported: however
+        // many distinct chunks stream through a capacity-1 cache, at most
+        // one survives.
+        let cache = ChunkCache::new(1);
+        let chunks: Vec<Chunk> = (0..64).map(|i| chunk_of(4, f64::from(i))).collect();
+        for c in &chunks {
+            cache.get_or_decode(c);
+        }
+        assert!(cache.len() <= 1, "capacity-1 cache holds {}", cache.len());
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes_lru_stamp() {
+        // Regression: `or_insert` skipped the stamp refresh when a decode
+        // race lost, so a chunk being hammered by many workers could
+        // still look "oldest" and be evicted first. Model the race at the
+        // shard level: insert A, then B, then re-insert A (the losing
+        // racer), then overflow — B, not A, must be the eviction victim.
+        let mut shard = CacheShard::default();
+        let block = |v: f64| Arc::new(ColumnBlock::new(vec![0], vec![v]));
+        shard.insert(1, block(1.0), 2);
+        shard.insert(2, block(2.0), 2);
+        shard.insert(1, block(1.0), 2); // duplicate: must refresh key 1
+        shard.insert(3, block(3.0), 2); // overflow: evicts the true LRU
+        assert!(shard.map.contains_key(&1), "hot entry evicted after duplicate insert");
+        assert!(!shard.map.contains_key(&2), "stale entry survived eviction");
+        assert!(shard.map.contains_key(&3));
+    }
+
+    #[test]
     fn zero_capacity_disables_caching() {
         let cache = ChunkCache::new(0);
         let c = chunk_of(4, 0.0);
-        let (_, hit) = cache.get_or_decode(1, 0, &c);
+        let (_, hit) = cache.get_or_decode(&c);
         assert!(!hit);
-        let (_, hit) = cache.get_or_decode(1, 0, &c);
+        let (_, hit) = cache.get_or_decode(&c);
         assert!(!hit, "disabled cache never hits");
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.capacity(), 0);
@@ -210,9 +269,9 @@ mod tests {
                 let c = c.clone();
                 s.spawn(move || {
                     for _ in 0..50 {
-                        let (samples, _) = cache.get_or_decode(9, 3, &c);
-                        assert_eq!(samples.len(), 256);
-                        assert_eq!(samples[0].1, 10.0);
+                        let (block, _) = cache.get_or_decode(&c);
+                        assert_eq!(block.len(), 256);
+                        assert_eq!(block.values()[0], 10.0);
                     }
                 });
             }

@@ -32,6 +32,21 @@
 use crate::bitstream::{zigzag, unzigzag, BitReader, BitWriter};
 use crate::rollup::Aggregate;
 use bytes::Bytes;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide chunk identity counter. Every sealed chunk gets a fresh
+/// uid at construction; clones share it (they share the payload). The uid
+/// is the decoded-chunk cache key, so compaction — which replaces many
+/// sealed chunks with one re-encoded chunk — needs no cache invalidation
+/// protocol: the new chunk has a new uid and the orphaned entries simply
+/// age out of the LRU.
+static NEXT_CHUNK_UID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_uid() -> u64 {
+    NEXT_CHUNK_UID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Timestamp-class payload widths, in prefix order.
 const TS_CLASSES: [(u8, u64, u8); 3] = [
@@ -182,12 +197,98 @@ impl ChunkBuilder {
             first_ts: self.first_ts,
             last_ts: self.last_ts,
             agg: self.agg,
+            uid: fresh_uid(),
+            zones: None,
         }
     }
 }
 
+/// A block-level zone map entry: the time bounds and pre-computed
+/// aggregate of one zone of a compacted chunk. Zones correspond exactly
+/// to the original sealed chunks the compaction pass rewrote, and each
+/// zone's [`Aggregate`] is carried over verbatim from its source chunk,
+/// so zone-served answers are bit-identical to the pre-compaction
+/// chunk-level answers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zone {
+    /// Timestamp of the first sample in the zone.
+    pub first_ts: i64,
+    /// Timestamp of the last sample in the zone.
+    pub last_ts: i64,
+    /// Pre-computed aggregate over every sample in the zone.
+    pub agg: Aggregate,
+}
+
+impl Zone {
+    /// Whether `[from, to)` overlaps this zone's time span.
+    pub fn overlaps(&self, from: i64, to: i64) -> bool {
+        self.first_ts < to && self.last_ts >= from
+    }
+
+    /// Whether every sample of this zone lies inside `[from, to)` — such
+    /// a zone contributes its pre-computed aggregate without any decode.
+    pub fn contained_in(&self, from: i64, to: i64) -> bool {
+        self.first_ts >= from && self.last_ts < to
+    }
+}
+
+/// A decoded chunk in columnar form: parallel flat vectors of timestamps
+/// and values. Aggregation kernels run as tight loops over `values`
+/// slices with time bounds found by binary search on `ts`, instead of
+/// filtering `(i64, f64)` tuples sample by sample.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnBlock {
+    ts: Vec<i64>,
+    values: Vec<f64>,
+}
+
+impl ColumnBlock {
+    /// Build a block from parallel columns.
+    ///
+    /// # Panics
+    /// Panics if the columns differ in length.
+    pub fn new(ts: Vec<i64>, values: Vec<f64>) -> Self {
+        assert_eq!(ts.len(), values.len(), "column length mismatch");
+        ColumnBlock { ts, values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Whether the block holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// The timestamp column.
+    pub fn timestamps(&self) -> &[i64] {
+        &self.ts
+    }
+
+    /// The value column.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Index range of the samples with timestamps in `[from, to)`, found
+    /// by binary search (timestamps are strictly increasing).
+    pub fn range(&self, from: i64, to: i64) -> Range<usize> {
+        let lo = self.ts.partition_point(|&t| t < from);
+        let hi = lo + self.ts[lo..].partition_point(|&t| t < to);
+        lo..hi
+    }
+
+    /// Iterate `(timestamp, value)` pairs — the row-oriented view for
+    /// callers that still need interleaved samples.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, f64)> + '_ {
+        self.ts.iter().copied().zip(self.values.iter().copied())
+    }
+}
+
 /// A sealed, immutable, compressed chunk. Clones share the underlying
-/// buffer, so handing chunks to readers is O(1).
+/// buffer (and identity uid), so handing chunks to readers is O(1).
 #[derive(Debug, Clone)]
 pub struct Chunk {
     data: Bytes,
@@ -196,6 +297,8 @@ pub struct Chunk {
     first_ts: i64,
     last_ts: i64,
     agg: Aggregate,
+    uid: u64,
+    zones: Option<Arc<Vec<Zone>>>,
 }
 
 impl Chunk {
@@ -253,7 +356,30 @@ impl Chunk {
         last_ts: i64,
         agg: Aggregate,
     ) -> Self {
-        Chunk { data, len_bits, count, first_ts, last_ts, agg }
+        Chunk { data, len_bits, count, first_ts, last_ts, agg, uid: fresh_uid(), zones: None }
+    }
+
+    /// Process-unique identity of this sealed payload (shared by clones).
+    /// The decoded-chunk cache keys on this, so a compaction pass that
+    /// replaces chunks needs no explicit invalidation.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Attach a block-level zone map (compaction output or snapshot
+    /// recovery). Zones must partition the chunk's samples in timestamp
+    /// order; this is the builder's/recovery's contract, not validated
+    /// here.
+    pub fn with_zones(mut self, zones: Vec<Zone>) -> Self {
+        self.zones = if zones.is_empty() { None } else { Some(Arc::new(zones)) };
+        self
+    }
+
+    /// The chunk's zone map, if compaction attached one. `None` for
+    /// ordinary sealed chunks (their whole-chunk aggregate plays the same
+    /// role at chunk granularity).
+    pub fn zones(&self) -> Option<&[Zone]> {
+        self.zones.as_deref().map(Vec::as_slice)
     }
 
     /// Whether `[from, to)` overlaps this chunk's time span.
@@ -268,23 +394,44 @@ impl Chunk {
         self.first_ts >= from && self.last_ts < to
     }
 
-    /// Decode every sample.
+    /// Decode every sample into interleaved `(timestamp, value)` rows.
     pub fn decode(&self) -> Vec<(i64, f64)> {
         decode_stream(&self.data, self.len_bits, self.count)
+    }
+
+    /// Decode every sample into a columnar block (flat timestamp and
+    /// value vectors) — the form the query layer caches and aggregates
+    /// over.
+    pub fn decode_columns(&self) -> ColumnBlock {
+        let mut ts = Vec::with_capacity(self.count as usize);
+        let mut values = Vec::with_capacity(self.count as usize);
+        decode_each(&self.data, self.len_bits, self.count, |t, v| {
+            ts.push(t);
+            values.push(v);
+        });
+        ColumnBlock { ts, values }
     }
 }
 
 fn decode_stream(data: &[u8], len_bits: u64, count: u32) -> Vec<(i64, f64)> {
     let mut out = Vec::with_capacity(count as usize);
+    decode_each(data, len_bits, count, |t, v| out.push((t, v)));
+    out
+}
+
+/// The single Gorilla decode loop: feeds every `(timestamp, value)` pair
+/// to `sink` in stream order. Row- and column-oriented decodes are thin
+/// adapters over this, so there is exactly one read path to get right.
+fn decode_each(data: &[u8], len_bits: u64, count: u32, mut sink: impl FnMut(i64, f64)) {
     if count == 0 {
-        return out;
+        return;
     }
     let mut r = BitReader::new(data, len_bits);
     let mut ts = r.read_bits(64) as i64;
     let mut value_bits = r.read_bits(64);
     let mut delta = 0i64;
     let mut window: Option<(u8, u8)> = None;
-    out.push((ts, f64::from_bits(value_bits)));
+    sink(ts, f64::from_bits(value_bits));
 
     for _ in 1..count {
         // Timestamp field.
@@ -318,9 +465,8 @@ fn decode_stream(data: &[u8], len_bits: u64, count: u32) -> Vec<(i64, f64)> {
                 value_bits ^= payload << (64 - wl - wlen);
             }
         }
-        out.push((ts, f64::from_bits(value_bits)));
+        sink(ts, f64::from_bits(value_bits));
     }
-    out
 }
 
 #[cfg(test)]
@@ -413,6 +559,96 @@ mod tests {
             (-8_399, 5.0),
         ];
         roundtrip(&samples);
+    }
+
+    #[test]
+    fn columnar_decode_matches_row_decode_bit_for_bit() {
+        let mut b = ChunkBuilder::new();
+        let specials = [1.0, f64::NAN, -0.0, f64::from_bits(0x7ff8_0000_dead_beef), 5e-324];
+        for i in 0..400 {
+            b.push(i64::from(i) * 7 + 3, specials[i as usize % specials.len()] + f64::from(i % 5));
+        }
+        let c = b.seal();
+        let rows = c.decode();
+        let cols = c.decode_columns();
+        assert_eq!(cols.len(), rows.len());
+        for (i, &(t, v)) in rows.iter().enumerate() {
+            assert_eq!(cols.timestamps()[i], t);
+            assert_eq!(cols.values()[i].to_bits(), v.to_bits());
+        }
+        // Row view reconstructed from the columns agrees too.
+        for ((ct, cv), &(t, v)) in cols.iter().zip(&rows) {
+            assert_eq!(ct, t);
+            assert_eq!(cv.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn column_block_range_binary_search() {
+        let mut b = ChunkBuilder::new();
+        for i in 0..100 {
+            b.push(i64::from(i) * 10, f64::from(i));
+        }
+        let cols = b.seal().decode_columns();
+        assert_eq!(cols.range(0, 1000), 0..100);
+        assert_eq!(cols.range(i64::MIN, i64::MAX), 0..100);
+        assert_eq!(cols.range(0, 1), 0..1); // [0, 1) holds only ts 0
+        assert_eq!(cols.range(995, 2000), 100..100);
+        assert_eq!(cols.range(-50, 0), 0..0); // to is exclusive
+        assert_eq!(cols.range(35, 75), 4..8); // ts 40, 50, 60, 70
+        assert_eq!(cols.range(40, 71), 4..8); // inclusive from, exclusive to
+        let empty = ColumnBlock::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.range(0, 100), 0..0);
+    }
+
+    #[test]
+    fn uids_are_unique_and_shared_by_clones() {
+        let a = chunk_from(&[(0, 1.0), (60, 2.0)]);
+        let b = chunk_from(&[(0, 1.0), (60, 2.0)]);
+        assert_ne!(a.uid(), b.uid(), "identical payloads still have distinct identities");
+        assert_eq!(a.uid(), a.clone().uid());
+        // from_parts mints a fresh identity: recovery must not collide
+        // with any live chunk.
+        let rebuilt = Chunk::from_parts(
+            bytes::Bytes::from(a.data().to_vec()),
+            a.len_bits(),
+            a.len(),
+            a.first_ts(),
+            a.last_ts(),
+            *a.aggregate(),
+        );
+        assert_ne!(rebuilt.uid(), a.uid());
+    }
+
+    #[test]
+    fn zones_attach_and_answer_containment() {
+        let c = chunk_from(&(0..20).map(|i| (i64::from(i) * 60, 1.0)).collect::<Vec<_>>());
+        assert!(c.zones().is_none());
+        let mut z0 = Aggregate::default();
+        let mut z1 = Aggregate::default();
+        (0..10).for_each(|_| z0.push(1.0));
+        (10..20).for_each(|_| z1.push(1.0));
+        let zoned = c.clone().with_zones(vec![
+            Zone { first_ts: 0, last_ts: 540, agg: z0 },
+            Zone { first_ts: 600, last_ts: 1140, agg: z1 },
+        ]);
+        let zones = zoned.zones().expect("zones attached");
+        assert_eq!(zones.len(), 2);
+        assert!(zones[0].contained_in(0, 600));
+        assert!(!zones[0].contained_in(0, 540)); // last sample at 540 excluded
+        assert!(zones[1].overlaps(1140, 2000));
+        assert!(!zones[1].overlaps(1141, 2000));
+        // Empty zone list normalises to None.
+        assert!(c.clone().with_zones(Vec::new()).zones().is_none());
+    }
+
+    fn chunk_from(samples: &[(i64, f64)]) -> Chunk {
+        let mut b = ChunkBuilder::new();
+        for &(t, v) in samples {
+            b.push(t, v);
+        }
+        b.seal()
     }
 
     #[test]

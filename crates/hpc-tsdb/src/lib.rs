@@ -7,19 +7,25 @@
 //!
 //! - [`bitstream`] — MSB-first bit reader/writer over [`bytes`] buffers;
 //! - [`chunk`] — Gorilla-style codec: delta-of-delta timestamps and
-//!   XOR-encoded values, lossless for every `f64` bit pattern;
+//!   XOR-encoded values, lossless for every `f64` bit pattern; decoding
+//!   yields columnar blocks ([`ColumnBlock`]) and compacted chunks carry
+//!   block-level zone maps ([`Zone`]);
 //! - [`rollup`] — mergeable aggregates and the raw → 1-min → 1-h
 //!   downsampling cascade (count/sum/min/max + Welford moments, so means
 //!   re-aggregate exactly);
 //! - [`series`] — one series: sealed chunks + active chunk + rollups;
-//! - [`store`] — the sharded store and its channel-fed ingest pipeline
+//! - [`store`] — the sharded store, its channel-fed ingest pipeline
 //!   (writers hashed by series id, one thread per shard, poisoned batches
-//!   rejected without killing the writer);
-//! - [`cache`] — bounded LRU cache of decoded chunks, shared by all
-//!   store-level queries (sealed chunks are immutable, so entries never
+//!   rejected without killing the writer), and the on-demand compaction
+//!   pass ([`TsdbStore::compact`]) that rewrites runs of small sealed
+//!   chunks into large zone-mapped ones;
+//! - [`cache`] — bounded LRU cache of decoded columnar blocks, keyed by
+//!   chunk uid and shared by all store-level queries (sealed chunks are
+//!   immutable and replacement chunks get fresh uids, so entries never
 //!   need invalidation);
 //! - [`query`] — range scans, aligned aggregations (mean/max/p95),
-//!   rollup-aware planning, change-point segment means, and the parallel
+//!   rollup-aware planning, zone-map pruning, scan-cost estimation
+//!   ([`estimate_scan`]), change-point segment means, and the parallel
 //!   multi-series fan-out layer with per-store [`QueryStats`]
 //!   instrumentation;
 //! - [`persist`] — the versioned, checksummed snapshot format
@@ -81,17 +87,21 @@ pub mod store;
 pub mod wal;
 
 pub use cache::ChunkCache;
+pub use chunk::{ColumnBlock, Zone};
 pub use persist::{PersistError, SnapshotStats};
 pub use quality::{
     store_gap_aggregate, store_gap_windows, GapAwareValue, GapWindow, QuarantineReason,
     QuarantinedSample, SampleFate, SanitizeConfig, SanitizeStats, Sanitizer,
 };
 pub use query::{
-    aggregate, aligned_windows, fanout_aggregate, fanout_group, fanout_windows, segment_means,
-    store_aggregate, store_segment_means, store_windows, window_aggregate, AggOp, GroupValue,
-    Plan, QueryStats, WindowValue,
+    aggregate, aligned_windows, estimate_scan, fanout_aggregate, fanout_group, fanout_windows,
+    segment_means, store_aggregate, store_segment_means, store_windows, window_aggregate, AggOp,
+    GroupValue, Plan, QueryStats, WindowValue,
 };
 pub use rollup::Aggregate;
 pub use series::{Series, SeriesMeta};
-pub use store::{IngestError, IngestPipeline, SeriesId, StoreConfig, TsdbStore};
+pub use store::{
+    CompactionStats, IngestError, IngestPipeline, SeriesId, StoreConfig, TsdbStore,
+    COMPACT_TARGET_SAMPLES,
+};
 pub use wal::{recover, RecoveryReport, WalConfig, WalReplayStats, WalWriter};

@@ -22,7 +22,7 @@
 
 use crate::chunk::Chunk;
 use crate::rollup::Aggregate;
-use crate::series::Series;
+use crate::series::{fold_chunk_aggregate, Series};
 use crate::store::{SeriesId, TsdbStore};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -61,7 +61,10 @@ pub enum Plan {
 pub struct WindowValue {
     /// Window start (inclusive).
     pub start: i64,
-    /// Aggregated value (NaN for an empty window).
+    /// Aggregated value. NaN for an empty window under every operator
+    /// except [`AggOp::Count`], which reports `0.0` — an empty window
+    /// genuinely holds zero samples, while "the sum of no samples" is
+    /// undefined and must stay distinguishable from an all-zero window.
     pub value: f64,
     /// Samples inside the window.
     pub count: u64,
@@ -105,23 +108,19 @@ fn rollup_window(series: &Series, from: i64, to: i64, plan: Plan) -> Aggregate {
     agg
 }
 
+/// Project an [`Aggregate`] onto one operator. Empty-window contract:
+/// every value-typed operator (`Mean`/`Min`/`Max`/`Sum`) answers NaN when
+/// the window holds no samples — `Sum` included, so an empty window is
+/// never mistaken for an all-zero one — while `Count` answers `0.0`,
+/// which *is* the true count.
 fn finish(op: AggOp, agg: &Aggregate) -> f64 {
+    if agg.count == 0 && op != AggOp::Count {
+        return f64::NAN;
+    }
     match op {
         AggOp::Mean => agg.mean(),
-        AggOp::Min => {
-            if agg.count == 0 {
-                f64::NAN
-            } else {
-                agg.min
-            }
-        }
-        AggOp::Max => {
-            if agg.count == 0 {
-                f64::NAN
-            } else {
-                agg.max
-            }
-        }
+        AggOp::Min => agg.min,
+        AggOp::Max => agg.max,
         AggOp::Sum => agg.sum,
         AggOp::Count => agg.count as f64,
         AggOp::P95 => unreachable!("P95 is not an Aggregate-backed op"),
@@ -239,6 +238,13 @@ pub struct QueryStats {
     pub chunk_cache_hits: u64,
     /// Decoded samples iterated by raw scans.
     pub samples_scanned: u64,
+    /// Blocks answered without touching sample data during raw-plan
+    /// aggregates: zone-map entries of compacted chunks (and whole
+    /// zone-less chunks, counted as one block each) that were either
+    /// outside the window or served from their pre-computed aggregate.
+    pub blocks_pruned: u64,
+    /// Source chunks rewritten by compaction passes ([`TsdbStore::compact`]).
+    pub chunks_compacted: u64,
     /// Wall-clock time spent inside store-level query entry points, in
     /// nanoseconds (fan-out counts once per call, not per worker).
     pub wall_nanos: u64,
@@ -273,6 +279,8 @@ impl QueryStats {
         self.chunks_decoded = self.chunks_decoded.saturating_add(other.chunks_decoded);
         self.chunk_cache_hits = self.chunk_cache_hits.saturating_add(other.chunk_cache_hits);
         self.samples_scanned = self.samples_scanned.saturating_add(other.samples_scanned);
+        self.blocks_pruned = self.blocks_pruned.saturating_add(other.blocks_pruned);
+        self.chunks_compacted = self.chunks_compacted.saturating_add(other.chunks_compacted);
         self.wall_nanos = self.wall_nanos.saturating_add(other.wall_nanos);
     }
 
@@ -294,6 +302,8 @@ impl QueryStats {
             chunks_decoded: self.chunks_decoded.saturating_sub(earlier.chunks_decoded),
             chunk_cache_hits: self.chunk_cache_hits.saturating_sub(earlier.chunk_cache_hits),
             samples_scanned: self.samples_scanned.saturating_sub(earlier.samples_scanned),
+            blocks_pruned: self.blocks_pruned.saturating_sub(earlier.blocks_pruned),
+            chunks_compacted: self.chunks_compacted.saturating_sub(earlier.chunks_compacted),
             wall_nanos: self.wall_nanos.saturating_sub(earlier.wall_nanos),
         }
     }
@@ -310,6 +320,8 @@ pub(crate) struct QueryCounters {
     chunks_decoded: AtomicU64,
     chunk_cache_hits: AtomicU64,
     samples_scanned: AtomicU64,
+    blocks_pruned: AtomicU64,
+    chunks_compacted: AtomicU64,
     wall_nanos: AtomicU64,
 }
 
@@ -336,6 +348,14 @@ impl QueryCounters {
         self.samples_scanned.fetch_add(n, Ordering::Relaxed);
     }
 
+    fn add_blocks_pruned(&self, n: u64) {
+        self.blocks_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_chunks_compacted(&self, n: u64) {
+        self.chunks_compacted.fetch_add(n, Ordering::Relaxed);
+    }
+
     fn add_wall(&self, since: Instant) {
         self.wall_nanos.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
@@ -349,6 +369,8 @@ impl QueryCounters {
             chunks_decoded: self.chunks_decoded.load(Ordering::Relaxed),
             chunk_cache_hits: self.chunk_cache_hits.load(Ordering::Relaxed),
             samples_scanned: self.samples_scanned.load(Ordering::Relaxed),
+            blocks_pruned: self.blocks_pruned.load(Ordering::Relaxed),
+            chunks_compacted: self.chunks_compacted.load(Ordering::Relaxed),
             wall_nanos: self.wall_nanos.load(Ordering::Relaxed),
         }
     }
@@ -361,6 +383,8 @@ impl QueryCounters {
         self.chunks_decoded.store(0, Ordering::Relaxed);
         self.chunk_cache_hits.store(0, Ordering::Relaxed);
         self.samples_scanned.store(0, Ordering::Relaxed);
+        self.blocks_pruned.store(0, Ordering::Relaxed);
+        self.chunks_compacted.store(0, Ordering::Relaxed);
         self.wall_nanos.store(0, Ordering::Relaxed);
     }
 }
@@ -374,27 +398,21 @@ impl QueryCounters {
 /// active-chunk samples. Everything here is immutable once captured, so
 /// decode can proceed without the lock.
 struct RawSnapshot {
-    chunks: Vec<(u32, Chunk)>,
+    chunks: Vec<Chunk>,
     active: Vec<(i64, f64)>,
 }
 
 fn raw_snapshot(series: &Series, from: i64, to: i64) -> RawSnapshot {
-    let chunks = series
-        .chunks()
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| c.overlaps(from, to))
-        .map(|(i, c)| (i as u32, c.clone()))
-        .collect();
+    let chunks = series.chunks().iter().filter(|c| c.overlaps(from, to)).cloned().collect();
     RawSnapshot { chunks, active: series.active_samples_in(from, to) }
 }
 
-/// Full-moment aggregate of a snapshot restricted to `[from, to)`, going
-/// through the store's decoded-chunk cache. Chunks wholly inside the window
-/// contribute their pre-computed aggregate without decoding.
+/// Full-moment aggregate of a snapshot restricted to `[from, to)`. The
+/// zone-aware fold prunes blocks whose aggregate answers for them; the
+/// remainder decodes to columnar blocks through the store's chunk cache
+/// and aggregates as tight loops over binary-searched value slices.
 fn snapshot_aggregate(
     store: &TsdbStore,
-    id: SeriesId,
     snap: &RawSnapshot,
     from: i64,
     to: i64,
@@ -402,23 +420,20 @@ fn snapshot_aggregate(
     let counters = store.query_counters();
     let cache = store.chunk_cache();
     let mut agg = Aggregate::new();
-    for (index, chunk) in &snap.chunks {
+    let mut fetch = |chunk: &Chunk| {
+        let (block, hit) = cache.get_or_decode(chunk);
+        counters.record_chunk(hit);
+        counters.add_samples(block.len() as u64);
+        block
+    };
+    let mut pruned = 0u64;
+    for chunk in &snap.chunks {
         if !chunk.overlaps(from, to) {
             continue;
         }
-        if chunk.contained_in(from, to) {
-            agg.merge(chunk.aggregate());
-            continue;
-        }
-        let (samples, hit) = cache.get_or_decode(id.0, *index, chunk);
-        counters.record_chunk(hit);
-        counters.add_samples(samples.len() as u64);
-        for &(t, v) in samples.iter() {
-            if t >= from && t < to {
-                agg.push(v);
-            }
-        }
+        pruned += fold_chunk_aggregate(chunk, from, to, &mut fetch, &mut agg);
     }
+    counters.add_blocks_pruned(pruned);
     for &(t, v) in &snap.active {
         if t >= from && t < to {
             agg.push(v);
@@ -429,25 +444,20 @@ fn snapshot_aggregate(
 }
 
 /// Raw values of a snapshot restricted to `[from, to)`, in time order,
-/// going through the decoded-chunk cache (for percentiles).
-fn snapshot_values(
-    store: &TsdbStore,
-    id: SeriesId,
-    snap: &RawSnapshot,
-    from: i64,
-    to: i64,
-) -> Vec<f64> {
+/// going through the decoded-chunk cache (for percentiles — these need
+/// the full distribution, so zone maps cannot prune anything here).
+fn snapshot_values(store: &TsdbStore, snap: &RawSnapshot, from: i64, to: i64) -> Vec<f64> {
     let counters = store.query_counters();
     let cache = store.chunk_cache();
     let mut out = Vec::new();
-    for (index, chunk) in &snap.chunks {
+    for chunk in &snap.chunks {
         if !chunk.overlaps(from, to) {
             continue;
         }
-        let (samples, hit) = cache.get_or_decode(id.0, *index, chunk);
+        let (block, hit) = cache.get_or_decode(chunk);
         counters.record_chunk(hit);
-        counters.add_samples(samples.len() as u64);
-        out.extend(samples.iter().filter(|&&(t, _)| t >= from && t < to).map(|&(_, v)| v));
+        counters.add_samples(block.len() as u64);
+        out.extend_from_slice(&block.values()[block.range(from, to)]);
     }
     for &(t, v) in &snap.active {
         if t >= from && t < to {
@@ -488,7 +498,7 @@ fn window_aggregate_inner(
         }
         Prep::Raw(snap) => {
             counters.record_plan(Plan::RawScan);
-            (snapshot_aggregate(store, id, &snap, from, to), Plan::RawScan)
+            (snapshot_aggregate(store, &snap, from, to), Plan::RawScan)
         }
     })
 }
@@ -505,7 +515,7 @@ fn aggregate_inner(
         counters.record_query();
         let snap = store.with_series(id, |s| raw_snapshot(s, from, to))?;
         counters.record_plan(Plan::RawScan);
-        let vals = snapshot_values(store, id, &snap, from, to);
+        let vals = snapshot_values(store, &snap, from, to);
         return Some((percentile(vals, 95.0), Plan::RawScan));
     }
     let (agg, plan) = window_aggregate_inner(store, id, from, to)?;
@@ -561,11 +571,11 @@ fn windows_inner(
                 counters.record_plan(Plan::RawScan);
                 let snap = snap.as_ref().expect("raw window implies snapshot");
                 if op == AggOp::P95 {
-                    let vals = snapshot_values(store, id, snap, w.start, w.end);
+                    let vals = snapshot_values(store, snap, w.start, w.end);
                     let count = vals.len() as u64;
                     (percentile(vals, 95.0), count)
                 } else {
-                    let agg = snapshot_aggregate(store, id, snap, w.start, w.end);
+                    let agg = snapshot_aggregate(store, snap, w.start, w.end);
                     (finish(op, &agg), agg.count)
                 }
             }
@@ -765,6 +775,68 @@ pub fn fanout_group(store: &TsdbStore, ids: &[SeriesId], from: i64, to: i64) -> 
     }
     store.query_counters().add_wall(t);
     group
+}
+
+// ---------------------------------------------------------------------------
+// Scan cost estimation
+// ---------------------------------------------------------------------------
+
+/// Estimate how many stored samples answering `op` over `[from, to)` will
+/// touch, **without decoding anything** — the admission-control cost model
+/// a serving tier checks against per-query budgets before running the
+/// query.
+///
+/// The estimate mirrors the planner: a rollup-served window costs its
+/// bucket count (when `allow_rollup`; pass `false` for paths that always
+/// raw-scan, like gap/coverage queries); `P95` pays full decode of every
+/// overlapping chunk; any other raw-planned aggregate pays only for the
+/// chunks the zone-aware fold will actually decode — fully-covered
+/// chunks and fully-covered/outside zones are free, so a zone-map-pruned
+/// query is no longer costed as a full raw scan. Estimates use chunk
+/// headers and zone bounds only; they are upper bounds on
+/// `samples_scanned`, not exact predictions.
+pub fn estimate_scan(series: &Series, from: i64, to: i64, op: AggOp, allow_rollup: bool) -> u64 {
+    if from >= to || series.is_empty() {
+        return 0;
+    }
+    let plan =
+        if allow_rollup { plan_aggregate(series, from, to, op) } else { Plan::RawScan };
+    match plan {
+        Plan::HourRollup => {
+            let buckets = series.hours().buckets_in(from, to).count() as u64;
+            // The open-minute patch-up adds at most one more bucket.
+            buckets.saturating_add(1)
+        }
+        Plan::MinuteRollup => series.minutes().buckets_in(from, to).count() as u64,
+        Plan::RawScan => {
+            let mut cost = 0u64;
+            for chunk in series.chunks() {
+                if !chunk.overlaps(from, to) {
+                    continue;
+                }
+                let decodes = if op == AggOp::P95 {
+                    // Percentiles need every in-window value.
+                    true
+                } else {
+                    match chunk.zones() {
+                        None => !chunk.contained_in(from, to),
+                        Some(zones) => zones
+                            .iter()
+                            .any(|z| z.overlaps(from, to) && !z.contained_in(from, to)),
+                    }
+                };
+                if decodes {
+                    cost = cost.saturating_add(u64::from(chunk.len()));
+                }
+            }
+            if let Some((first, last)) = series.active_bounds() {
+                if first < to && last >= from {
+                    cost = cost.saturating_add(u64::from(series.active_len()));
+                }
+            }
+            cost
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1032,6 +1104,130 @@ mod tests {
         let mut big = QueryStats { queries: u64::MAX - 1, ..QueryStats::default() };
         big.merge(&QueryStats { queries: 5, ..QueryStats::default() });
         assert_eq!(big.queries, u64::MAX);
+    }
+
+    #[test]
+    fn empty_window_contract_for_every_op() {
+        // Regression: Sum answered 0.0 on an empty window, making "no
+        // samples" indistinguishable from "all zeros". The contract is
+        // now NaN for every value-typed operator and 0 for Count — at
+        // series level, store level, and in windowed form.
+        let s = series_with(100, |_| 0.0); // all-zero values, ts 0..6000
+        let empty = (50_000i64, 60_000i64); // far past the data
+        for op in [AggOp::Mean, AggOp::Min, AggOp::Max, AggOp::Sum, AggOp::P95] {
+            let (v, _) = aggregate(&s, empty.0, empty.1, op);
+            assert!(v.is_nan(), "{op:?} on empty window answered {v}");
+        }
+        let (c, _) = aggregate(&s, empty.0, empty.1, AggOp::Count);
+        assert_eq!(c, 0.0, "Count on empty window is genuinely zero");
+        // An all-zero window must stay distinguishable: Sum answers 0.0
+        // with a non-zero count.
+        let (zero_sum, _) = aggregate(&s, 0, 6000, AggOp::Sum);
+        assert_eq!(zero_sum, 0.0);
+
+        let store = TsdbStore::default();
+        let id = store.register(SeriesMeta {
+            name: "e".into(),
+            unit: "kW".into(),
+            interval_hint: 60,
+        });
+        for i in 0..100 {
+            store.append(id, i64::from(i) * 60, 0.0);
+        }
+        for op in [AggOp::Mean, AggOp::Min, AggOp::Max, AggOp::Sum, AggOp::P95] {
+            let (v, _) = store_aggregate(&store, id, empty.0, empty.1, op).unwrap();
+            assert!(v.is_nan(), "store-level {op:?} on empty window answered {v}");
+        }
+        let (c, _) = store_aggregate(&store, id, empty.0, empty.1, AggOp::Count).unwrap();
+        assert_eq!(c, 0.0);
+        // Windowed form: the windows past the data are empty.
+        for op in [AggOp::Mean, AggOp::Min, AggOp::Max, AggOp::Sum, AggOp::P95, AggOp::Count] {
+            let ws = store_windows(&store, id, 0, 12_000, 6000, op).unwrap();
+            assert_eq!(ws.len(), 2);
+            assert_eq!(ws[1].count, 0);
+            if op == AggOp::Count {
+                assert_eq!(ws[1].value, 0.0);
+            } else {
+                assert!(ws[1].value.is_nan(), "windowed {op:?} on empty window");
+            }
+        }
+    }
+
+    #[test]
+    fn compacted_store_queries_prune_blocks_and_skip_decode() {
+        let (store, ids) = populated_store(2, CHUNK_TEST_LEN);
+        let mirror_ids = ids.clone();
+        let stats = store.compact();
+        assert_eq!(stats.series, 2);
+        assert_eq!(stats.chunks_compacted, 4, "two 2-chunk runs rewritten");
+        assert_eq!(stats.chunks_before, 4);
+        assert_eq!(stats.chunks_after, 2);
+        assert_eq!(store.query_stats().chunks_compacted, 4);
+        store.reset_query_stats();
+        // A window aligned to the zoned chunk's zone boundaries but NOT
+        // rollup-aligned: force the raw plan by an unaligned end inside
+        // the active tail. Zones cover the sealed samples → only the
+        // active tail is touched, zero chunk decodes.
+        let zone_end = store
+            .with_series(mirror_ids[0], |s| {
+                let z = s.chunks()[0].zones().unwrap();
+                z[z.len() - 1].last_ts + 1
+            })
+            .unwrap();
+        let (v, plan) =
+            store_aggregate(&store, ids[0], 0, zone_end, AggOp::Sum).unwrap();
+        assert!(v.is_finite());
+        assert_eq!(plan, Plan::RawScan, "zone-boundary window is rollup-unaligned");
+        let s = store.query_stats();
+        assert_eq!(s.chunks_decoded, 0, "zone-covered window must not decode");
+        assert!(s.blocks_pruned >= 2, "both zones served from aggregates");
+        // A ragged window forces a partial zone: exactly one decode, and
+        // the untouched zone is still pruned.
+        store.reset_query_stats();
+        store_aggregate(&store, ids[0], 30, zone_end, AggOp::Sum).unwrap();
+        let s = store.query_stats();
+        assert_eq!(s.plans_raw, 1);
+        assert_eq!(s.chunks_decoded, 1, "one compacted chunk decodes once");
+        assert!(s.blocks_pruned >= 1, "the fully-covered zone is still pruned");
+    }
+
+    #[test]
+    fn estimate_scan_mirrors_the_planner() {
+        let (store, ids) = populated_store(1, CHUNK_TEST_LEN);
+        let id = ids[0];
+        let span = i64::from(CHUNK_TEST_LEN) * 60;
+        store
+            .with_series(id, |s| {
+                // Hour-aligned → bucket-count estimate, tiny.
+                let hours_est = estimate_scan(s, 0, 3600 * 4, AggOp::Mean, true);
+                assert!(hours_est <= 5, "rollup estimate {hours_est}");
+                // Same window with rollups forbidden → chunk-scale cost.
+                let raw_est = estimate_scan(s, 0, 3600 * 4, AggOp::Mean, false);
+                assert!(raw_est >= u64::from(crate::series::CHUNK_SAMPLES) / 2);
+                // P95 pays full decode of everything it overlaps.
+                let p95_est = estimate_scan(s, 0, span, AggOp::P95, true);
+                assert_eq!(p95_est, u64::from(CHUNK_TEST_LEN));
+                // Empty and reversed windows cost nothing.
+                assert_eq!(estimate_scan(s, 10, 10, AggOp::Mean, true), 0);
+                assert_eq!(estimate_scan(s, span * 2, span * 3, AggOp::P95, true), 0);
+            })
+            .unwrap();
+        // After compaction, a zone-covered aggregate estimates (near) zero
+        // while P95 still pays in full.
+        store.compact();
+        store
+            .with_series(id, |s| {
+                let z = s.chunks()[0].zones().unwrap();
+                let zone_end = z[z.len() - 1].last_ts + 1;
+                let agg_est = estimate_scan(s, 0, zone_end, AggOp::Sum, false);
+                assert_eq!(agg_est, 0, "zone-covered sealed samples cost nothing");
+                let p95_est = estimate_scan(s, 0, zone_end, AggOp::P95, false);
+                assert!(p95_est >= u64::from(crate::series::CHUNK_SAMPLES) * 2);
+                // A ragged start forces one compacted-chunk decode.
+                let ragged = estimate_scan(s, 30, zone_end, AggOp::Sum, false);
+                assert_eq!(ragged, u64::from(s.chunks()[0].len()));
+            })
+            .unwrap();
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! A single series: an append-only sequence of compressed chunks (sealed +
 //! one active) with a cascade of rollup levels maintained on ingest.
 
-use crate::chunk::{Chunk, ChunkBuilder};
+use crate::chunk::{Chunk, ChunkBuilder, ColumnBlock, Zone};
 use crate::quality::QuarantinedSample;
 use crate::rollup::{Aggregate, RollupLevel, HOUR, MINUTE};
 
@@ -222,8 +222,36 @@ impl Series {
         self.active.decode().into_iter().filter(|&(t, _)| t >= from && t < to).collect()
     }
 
-    /// Aggregate of all samples in `[from, to)` computed by raw scan.
+    /// Aggregate of all samples in `[from, to)` computed by raw scan,
+    /// using columnar decode and zone maps where available.
+    ///
+    /// For a zone-mapped (compacted) chunk the fold walks the zones in
+    /// order, merging the pre-computed aggregate of every zone fully
+    /// inside the window and pushing the in-window values of partial
+    /// zones — exactly the chunk-level sequence the pre-compaction store
+    /// performed over the source chunks, so answers stay bit-identical
+    /// (see [`Self::scan_aggregate_reference`]).
     pub fn scan_aggregate(&self, from: i64, to: i64) -> Aggregate {
+        let mut agg = Aggregate::new();
+        let mut fetch = |c: &Chunk| std::sync::Arc::new(c.decode_columns());
+        for chunk in &self.sealed {
+            if !chunk.overlaps(from, to) {
+                continue;
+            }
+            fold_chunk_aggregate(chunk, from, to, &mut fetch, &mut agg);
+        }
+        for (_, v) in self.active_samples_in(from, to) {
+            agg.push(v);
+        }
+        agg
+    }
+
+    /// The pre-columnar scalar reference kernel: sample-by-sample row
+    /// decode with a per-sample window filter, no zone maps, no columnar
+    /// blocks. Kept verbatim as (a) the bit-identity oracle the columnar
+    /// path is property-tested against and (b) the in-run "before" timing
+    /// baseline for the query benchmark.
+    pub fn scan_aggregate_reference(&self, from: i64, to: i64) -> Aggregate {
         let mut agg = Aggregate::new();
         // Whole-chunk fast path: chunks fully inside the window contribute
         // their pre-computed aggregate without decoding.
@@ -246,6 +274,136 @@ impl Series {
         }
         agg
     }
+
+    /// Number of samples in the active (unsealed) chunk.
+    pub fn active_len(&self) -> u32 {
+        self.active.len()
+    }
+
+    /// Time bounds `(first_ts, last_ts)` of the active chunk, `None` when
+    /// empty. Lets cost estimators reason about the mutable tail without
+    /// decoding it.
+    pub fn active_bounds(&self) -> Option<(i64, i64)> {
+        (!self.active.is_empty()).then(|| (self.active.first_ts(), self.active.last_ts()))
+    }
+
+    /// Rewrite runs of small sealed chunks into large compacted chunks
+    /// carrying block-level zone maps, and return how many source chunks
+    /// were rewritten.
+    ///
+    /// Consecutive zone-less sealed chunks are grouped greedily into runs
+    /// of at most `target_samples` samples; each run of two or more
+    /// chunks is re-encoded through one [`ChunkBuilder`] (the codec is
+    /// deterministic, so the payload is exactly what a single builder
+    /// would have produced) and annotated with one [`Zone`] per source
+    /// chunk, the zone's aggregate carried over verbatim. Queries over
+    /// the compacted series therefore answer bit-identically to the
+    /// pre-compaction series while touching far fewer chunk headers, and
+    /// zone-covered windows skip decode entirely. Already-compacted
+    /// chunks are left alone. The active chunk and rollups are untouched.
+    pub fn compact(&mut self, target_samples: u32) -> u32 {
+        let mut out: Vec<Chunk> = Vec::with_capacity(self.sealed.len());
+        let mut run: Vec<Chunk> = Vec::new();
+        let mut run_samples: u32 = 0;
+        let mut rewritten: u32 = 0;
+
+        fn flush(run: &mut Vec<Chunk>, out: &mut Vec<Chunk>, rewritten: &mut u32) {
+            if run.len() < 2 {
+                out.append(run);
+                return;
+            }
+            let mut b = ChunkBuilder::new();
+            let mut zones = Vec::with_capacity(run.len());
+            for c in run.drain(..) {
+                for (t, v) in c.decode() {
+                    b.push(t, v);
+                }
+                zones.push(Zone {
+                    first_ts: c.first_ts(),
+                    last_ts: c.last_ts(),
+                    agg: *c.aggregate(),
+                });
+                *rewritten += 1;
+            }
+            out.push(b.seal().with_zones(zones));
+        }
+
+        for chunk in self.sealed.drain(..) {
+            let fits = run_samples.saturating_add(chunk.len()) <= target_samples;
+            if chunk.zones().is_some() || chunk.len() > target_samples {
+                // Already compacted (or oversized): ends any open run and
+                // passes through untouched.
+                flush(&mut run, &mut out, &mut rewritten);
+                run_samples = 0;
+                out.push(chunk);
+            } else if fits {
+                run_samples += chunk.len();
+                run.push(chunk);
+            } else {
+                flush(&mut run, &mut out, &mut rewritten);
+                run_samples = chunk.len();
+                run.push(chunk);
+            }
+        }
+        flush(&mut run, &mut out, &mut rewritten);
+        self.sealed = out;
+        rewritten
+    }
+}
+
+/// Fold one sealed chunk's contribution to `[from, to)` into `agg`, zone
+/// maps honoured, decode deferred until a partial zone or partial
+/// zone-less chunk forces it. `fetch` supplies the decoded columns (the
+/// query layer routes it through the store's chunk cache; the series
+/// level decodes directly) and is called **at most once** per chunk.
+/// Returns the number of blocks pruned — zones (or, for a zone-less
+/// chunk, the whole chunk as one block) answered without touching sample
+/// data, either skipped outright or served from their pre-computed
+/// aggregate.
+pub(crate) fn fold_chunk_aggregate(
+    chunk: &Chunk,
+    from: i64,
+    to: i64,
+    fetch: &mut dyn FnMut(&Chunk) -> std::sync::Arc<ColumnBlock>,
+    agg: &mut Aggregate,
+) -> u64 {
+    let mut block: Option<std::sync::Arc<ColumnBlock>> = None;
+    let mut pruned = 0u64;
+    // Push the in-window values of `[lo, hi)` from the chunk's columns.
+    let mut push_range = |lo: i64, hi: i64, agg: &mut Aggregate| {
+        let cols = block.get_or_insert_with(|| fetch(chunk));
+        let r = cols.range(lo, hi);
+        for &v in &cols.values()[r] {
+            agg.push(v);
+        }
+    };
+    match chunk.zones() {
+        None => {
+            if chunk.contained_in(from, to) {
+                agg.merge(chunk.aggregate());
+                pruned += 1;
+            } else {
+                push_range(from, to, agg);
+            }
+        }
+        Some(zones) => {
+            for z in zones {
+                if !z.overlaps(from, to) {
+                    pruned += 1;
+                } else if z.contained_in(from, to) {
+                    // Same bits as merging the source chunk's aggregate:
+                    // the zone carries it verbatim.
+                    agg.merge(&z.agg);
+                    pruned += 1;
+                } else {
+                    // Partial zone: push exactly the samples the source
+                    // chunk's decode-filter would have pushed.
+                    push_range(z.first_ts.max(from), z.last_ts.saturating_add(1).min(to), agg);
+                }
+            }
+        }
+    }
+    pruned
 }
 
 #[cfg(test)]
@@ -304,6 +462,77 @@ mod tests {
         assert!((agg.mean() - naive_mean).abs() < 1e-9);
         assert_eq!(agg.min, slice.iter().copied().fold(f64::INFINITY, f64::min));
         assert_eq!(agg.max, slice.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn compact_rewrites_runs_and_preserves_answers_bit_for_bit() {
+        let mut s = Series::new(meta());
+        let n = CHUNK_SAMPLES * 5 + 123; // 5 sealed chunks + active tail
+        for i in 0..n {
+            s.append(i64::from(i) * 60, (f64::from(i) * 0.37).sin() * 900.0 + 2500.0);
+        }
+        let mut reference = s.clone();
+        assert_eq!(s.chunks().len(), 5);
+        let rewritten = s.compact(CHUNK_SAMPLES * 4);
+        assert_eq!(rewritten, 4, "a 4-chunk run plus a leftover single");
+        assert_eq!(s.chunks().len(), 2);
+        let zoned = &s.chunks()[0];
+        assert_eq!(zoned.len(), CHUNK_SAMPLES * 4);
+        assert_eq!(zoned.zones().map(<[_]>::len), Some(4));
+        assert!(s.chunks()[1].zones().is_none(), "leftover single stays plain");
+        // Zone aggregates are the source chunk aggregates, verbatim.
+        for (z, src) in zoned.zones().unwrap().iter().zip(reference.chunks()) {
+            assert_eq!(z.first_ts, src.first_ts());
+            assert_eq!(z.last_ts, src.last_ts());
+            assert_eq!(z.agg.sum.to_bits(), src.aggregate().sum.to_bits());
+            assert_eq!(z.agg.count, src.aggregate().count);
+        }
+        // Every read path agrees with the uncompacted clone, bit for bit:
+        // full range, chunk-interior windows, zone-straddling windows,
+        // ragged tails into the active chunk.
+        let span = i64::from(n) * 60;
+        let windows = [
+            (i64::MIN, i64::MAX),
+            (0, span),
+            (37 * 60, 1000 * 60),
+            (i64::from(CHUNK_SAMPLES) * 60, i64::from(CHUNK_SAMPLES * 3) * 60),
+            (500 * 60 + 30, span - 7919),
+            (i64::from(CHUNK_SAMPLES * 5) * 60 - 60, span + 3600),
+        ];
+        for &(from, to) in &windows {
+            let a = s.scan_aggregate(from, to);
+            let b = reference.scan_aggregate_reference(from, to);
+            assert_eq!(a.count, b.count, "window [{from}, {to})");
+            assert_eq!(a.sum.to_bits(), b.sum.to_bits(), "window [{from}, {to})");
+            assert_eq!(a.min.to_bits(), b.min.to_bits());
+            assert_eq!(a.max.to_bits(), b.max.to_bits());
+            assert_eq!(a.m2.to_bits(), b.m2.to_bits(), "window [{from}, {to})");
+            assert_eq!(s.scan(from, to), reference.scan(from, to));
+        }
+        // Compacting again is a no-op: zoned chunks pass through.
+        assert_eq!(s.compact(CHUNK_SAMPLES * 4), 0);
+        assert_eq!(s.chunks().len(), 2);
+        // Appends continue normally after compaction.
+        for i in n..n + CHUNK_SAMPLES {
+            s.append(i64::from(i) * 60, 1.0);
+            reference.append(i64::from(i) * 60, 1.0);
+        }
+        let a = s.scan_aggregate(i64::MIN, i64::MAX);
+        let b = reference.scan_aggregate_reference(i64::MIN, i64::MAX);
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+    }
+
+    #[test]
+    fn compact_single_chunk_and_empty_are_no_ops() {
+        let mut s = Series::new(meta());
+        assert_eq!(s.compact(4096), 0);
+        for i in 0..CHUNK_SAMPLES + 10 {
+            s.append(i64::from(i) * 60, 1.0);
+        }
+        assert_eq!(s.chunks().len(), 1);
+        assert_eq!(s.compact(4096), 0, "a lone chunk has nothing to merge with");
+        assert!(s.chunks()[0].zones().is_none());
     }
 
     #[test]

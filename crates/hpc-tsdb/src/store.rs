@@ -48,6 +48,26 @@ impl std::fmt::Display for IngestError {
 
 impl std::error::Error for IngestError {}
 
+/// Default compaction target, in samples per rewritten chunk: eight
+/// standard 512-sample chunks. Large enough that a month-scale scan
+/// touches ~8x fewer chunk headers, small enough that a partial window
+/// re-decodes at most ~4096 samples.
+pub const COMPACT_TARGET_SAMPLES: u32 = crate::series::CHUNK_SAMPLES * 8;
+
+/// What a [`TsdbStore::compact`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Series that had at least one chunk run rewritten.
+    pub series: u64,
+    /// Sealed chunks across the store before the pass.
+    pub chunks_before: u64,
+    /// Sealed chunks across the store after the pass.
+    pub chunks_after: u64,
+    /// Source chunks rewritten into zone-mapped chunks (also added to
+    /// [`crate::QueryStats::chunks_compacted`]).
+    pub chunks_compacted: u64,
+}
+
 /// Store configuration.
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
@@ -387,6 +407,40 @@ impl TsdbStore {
             .iter()
             .map(|s| s.read().series.values().map(Series::size_bytes).sum::<usize>())
             .sum()
+    }
+
+    /// Compact every series with the default target chunk size
+    /// ([`COMPACT_TARGET_SAMPLES`]). See [`Self::compact_with`].
+    pub fn compact(&self) -> CompactionStats {
+        self.compact_with(COMPACT_TARGET_SAMPLES)
+    }
+
+    /// Rewrite runs of small sealed chunks into large zone-mapped chunks,
+    /// series by series (see [`Series::compact`]). Each shard is held
+    /// under its write lock only while its own series re-encode, so
+    /// ingest and queries on other shards proceed throughout; queries on
+    /// the same shard see either the old or the new chunk list, both of
+    /// which answer identically. Decoded-chunk cache entries for the
+    /// replaced chunks need no invalidation: the cache keys on chunk
+    /// uids, the compacted chunk has a fresh uid, and orphaned entries
+    /// age out of the LRU.
+    pub fn compact_with(&self, target_samples: u32) -> CompactionStats {
+        let mut stats = CompactionStats::default();
+        for shard in self.shards.iter() {
+            let mut shard = shard.write();
+            for series in shard.series.values_mut() {
+                let before = series.chunks().len() as u64;
+                let rewritten = series.compact(target_samples);
+                stats.chunks_before += before;
+                stats.chunks_after += series.chunks().len() as u64;
+                stats.chunks_compacted += u64::from(rewritten);
+                if rewritten > 0 {
+                    stats.series += 1;
+                }
+            }
+        }
+        self.counters.add_chunks_compacted(stats.chunks_compacted);
+        stats
     }
 
     /// Sum of every series' total aggregate (count/sum/min/max merge).

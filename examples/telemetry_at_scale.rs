@@ -445,6 +445,84 @@ fn query_benchmark(store: &TsdbStore, ids: &[SeriesId], span: i64, smoke: bool) 
         assert!(speedup >= 4.0, "expected ≥4x fan-out speedup on {threads} threads, got {speedup:.1}x");
     }
 
+    // --- Columnar + zone-map phase: compact, then raw-plan aggregates ----
+    //
+    // The window ends at an *interior* zone boundary (plus one second, so
+    // the planner cannot route it to a rollup level): the pre-columnar
+    // reference kernel sees one big partially-overlapping compacted chunk
+    // and must row-decode and filter all of it, while the zone-mapped path
+    // merges the covered zones' pre-computed aggregates, skips the rest,
+    // and never touches sample data.
+    let sealed_per_series = (span / INTERVAL_S - 1) / 512;
+    assert!(sealed_per_series >= 2, "need ≥2 sealed chunks per series for an interior zone cut");
+    let zone_cut = ((sealed_per_series - 1) * 512 - 1) * INTERVAL_S + 1;
+
+    let t = Instant::now();
+    let cstats = store.compact();
+    let compact_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cstats.series, ids.len() as u64, "every node series compacts");
+    println!(
+        "compaction:               {compact_ms:>9.1} ms  ({} chunks -> {}, {} rewritten)",
+        cstats.chunks_before, cstats.chunks_after, cstats.chunks_compacted
+    );
+
+    // "Before": the retained row-iterator kernel over the exact same
+    // windows on the exact same (compacted) store, timed in this run on
+    // this machine — what every query would cost without zone maps.
+    let t = Instant::now();
+    let reference: Vec<f64> = ids
+        .iter()
+        .map(|&id| store.with_series(id, |s| s.scan_aggregate_reference(0, zone_cut)).unwrap())
+        .map(|agg| agg.mean())
+        .collect();
+    let reference_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // First columnar pass absorbs any one-time effects; the second is the
+    // reported warm number (zone-covered queries have no decode to cache,
+    // so the two should hardly differ).
+    for &id in ids {
+        store_aggregate(store, id, 0, zone_cut, AggOp::Mean).unwrap();
+    }
+    store.reset_query_stats();
+    let t = Instant::now();
+    let mut columnar_us: Vec<f64> = Vec::with_capacity(ids.len());
+    let mut columnar = Vec::with_capacity(ids.len());
+    for &id in ids {
+        let tq = Instant::now();
+        let (v, _plan) = store_aggregate(store, id, 0, zone_cut, AggOp::Mean).unwrap();
+        columnar_us.push(tq.elapsed().as_secs_f64() * 1e6);
+        columnar.push(v);
+    }
+    let columnar_ms = t.elapsed().as_secs_f64() * 1e3;
+    let col_stats = store.query_stats();
+    columnar_us.sort_by(|a, b| a.total_cmp(b));
+    let warm_columnar_p95_us = columnar_us[(columnar_us.len() * 95 / 100).min(columnar_us.len() - 1)];
+
+    for (r, c) in reference.iter().zip(&columnar) {
+        assert!(
+            (r - c).abs() <= 1e-9 * r.abs().max(1.0),
+            "zone-served mean {c} diverged from reference {r}"
+        );
+    }
+    assert_eq!(col_stats.plans_raw, ids.len() as u64, "zone-cut windows must plan raw");
+    assert_eq!(
+        col_stats.chunks_decoded + col_stats.chunk_cache_hits,
+        0,
+        "zone-covered aggregates must not touch sample data"
+    );
+    assert!(col_stats.blocks_pruned >= ids.len() as u64 * sealed_per_series as u64);
+    let speedup_columnar = reference_ms / columnar_ms;
+    println!("reference scan kernel:    {reference_ms:>9.1} ms  (row decode + filter)");
+    println!(
+        "zone-map aggregates:      {columnar_ms:>9.1} ms  ({speedup_columnar:.1}x, 0 chunks decoded, \
+         {} blocks pruned, p95 {warm_columnar_p95_us:.0} us)",
+        col_stats.blocks_pruned
+    );
+    assert!(
+        speedup_columnar >= 2.0,
+        "expected ≥2x zone-map speedup over the row kernel, got {speedup_columnar:.1}x"
+    );
+
     // Benchmark record: written, then parsed back as a well-formedness check.
     let record = Value::Map(vec![
         ("bench".into(), "tsdb_query".to_string().to_value()),
@@ -462,10 +540,25 @@ fn query_benchmark(store: &TsdbStore, ids: &[SeriesId], span: i64, smoke: bool) 
         ("chunks_decoded_cold".into(), cold_stats.chunks_decoded.to_value()),
         ("chunk_cache_hits_warm".into(), warm_stats.chunk_cache_hits.to_value()),
         ("samples_scanned_cold".into(), cold_stats.samples_scanned.to_value()),
+        ("compact_ms".into(), compact_ms.to_value()),
+        ("chunks_compacted".into(), cstats.chunks_compacted.to_value()),
+        ("reference_scan_ms".into(), reference_ms.to_value()),
+        ("columnar_scan_ms".into(), columnar_ms.to_value()),
+        ("warm_columnar_p95_us".into(), warm_columnar_p95_us.to_value()),
+        ("speedup_columnar".into(), speedup_columnar.to_value()),
+        ("blocks_pruned".into(), col_stats.blocks_pruned.to_value()),
     ]);
     write_bench(
         "BENCH_tsdb_query.json",
         record,
-        &["sequential_ms", "fanout_cold_ms", "fanout_warm_ms", "warm_cache_hit_rate"],
+        &[
+            "sequential_ms",
+            "fanout_cold_ms",
+            "fanout_warm_ms",
+            "warm_cache_hit_rate",
+            "speedup_columnar",
+            "warm_columnar_p95_us",
+            "blocks_pruned",
+        ],
     );
 }

@@ -29,13 +29,28 @@ cargo test -q --offline -p hpc-faults
 cargo test -q --offline -p archer2-core --lib fault_campaign_tests
 
 echo "== benchmark smoke (BENCH_tsdb_query.json, BENCH_tsdb_persist.json) =="
+# Keep the previous record (full-scale or prior smoke run) around as the
+# regression reference before the smoke run overwrites it.
+if [ -s BENCH_tsdb_query.json ]; then
+    cp BENCH_tsdb_query.json BENCH_tsdb_query.ref.json
+fi
 rm -f BENCH_tsdb_query.json BENCH_tsdb_persist.json
 cargo run --release --offline --example telemetry_at_scale -- --smoke
 test -s BENCH_tsdb_query.json
-for key in sequential_ms fanout_cold_ms fanout_warm_ms warm_cache_hit_rate; do
+for key in sequential_ms fanout_cold_ms fanout_warm_ms warm_cache_hit_rate \
+           speedup_columnar warm_columnar_p95_us blocks_pruned; do
     grep -q "\"$key\"" BENCH_tsdb_query.json \
         || { echo "BENCH_tsdb_query.json missing key: $key" >&2; exit 1; }
 done
+# Columnar zone-map regression gate: the fresh speedup must stay within 10%
+# of the previous record (the example itself already asserts >= 2x).
+if [ -s BENCH_tsdb_query.ref.json ]; then
+    ref=$(sed -n 's/.*"speedup_columnar": \([0-9.eE+-]*\).*/\1/p' BENCH_tsdb_query.ref.json)
+    fresh=$(sed -n 's/.*"speedup_columnar": \([0-9.eE+-]*\).*/\1/p' BENCH_tsdb_query.json)
+    awk -v r="$ref" -v f="$fresh" 'BEGIN { exit !(f >= 0.9 * r) }' \
+        || { echo "speedup_columnar regressed >10%: $fresh vs reference $ref" >&2; exit 1; }
+    rm -f BENCH_tsdb_query.ref.json
+fi
 test -s BENCH_tsdb_persist.json
 for key in snapshot_write_ms snapshot_read_ms snapshot_bytes wal_replay_ms; do
     grep -q "\"$key\"" BENCH_tsdb_persist.json \

@@ -6,8 +6,8 @@
 
 use archer2_repro::tsdb::query::{aligned_windows, window_aggregate, AggOp};
 use archer2_repro::tsdb::{
-    fanout_aggregate, store_aggregate, store_gap_aggregate, store_gap_windows, SampleFate,
-    SanitizeConfig, Sanitizer, Series, SeriesMeta, TsdbStore,
+    fanout_aggregate, store_aggregate, store_gap_aggregate, store_gap_windows, Aggregate,
+    SampleFate, SanitizeConfig, Sanitizer, Series, SeriesMeta, TsdbStore,
 };
 use proptest::prelude::*;
 
@@ -216,6 +216,154 @@ proptest! {
                 prop_assert!(w.value >= agg.min - 1e-9 && w.value <= agg.max + 1e-9);
             }
         }
+    }
+}
+
+/// Every field of an [`Aggregate`] as raw bits, so "bit-identical" is a
+/// single equality over NaN-bearing moments too. NaNs canonicalise to one
+/// pattern first: which *payload* survives `a + b` when both inputs carry
+/// NaNs is left to the instruction selector (optimised builds may commute
+/// the operands), so payload bits are the one thing two correct folds may
+/// legitimately disagree on.
+fn agg_bits(a: &Aggregate) -> (u64, u64, u64, u64, u64, u64) {
+    let canon = |v: f64| if v.is_nan() { f64::NAN.to_bits() } else { v.to_bits() };
+    (a.count, canon(a.sum), canon(a.min), canon(a.max), canon(a.mean), canon(a.m2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compacted_series_answers_bit_identically_to_pre_compaction(
+        samples in proptest::collection::vec(
+            (1i64..200, prop_oneof![
+                8 => -5000.0f64..5000.0,
+                1 => Just(f64::NAN),
+                1 => Just(f64::from_bits(0x7FF8_0000_0000_0042)), // NaN with payload
+                1 => Just(-0.0f64),
+                1 => Just(f64::INFINITY),
+            ]),
+            1..2200,
+        ),
+        windows in proptest::collection::vec((0i64..400_000, 0i64..400_000), 1..6),
+    ) {
+        // Three-way bit-identity over random shapes, ragged-tail windows
+        // and NaN-adjacent values: the columnar fold must equal the
+        // retained row-iterator reference, and compaction must change
+        // neither aggregates nor row scans in a single bit.
+        let mut s = Series::new(meta());
+        let mut ts = 0i64;
+        for &(delta, v) in &samples {
+            ts += delta;
+            s.append(ts, v);
+        }
+        let mut wins: Vec<(i64, i64)> =
+            windows.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        wins.push((0, ts + 1)); // ragged tail: just past the last sample
+        wins.push((ts / 2, i64::MAX)); // half-open into the far future
+        for &(from, to) in &wins {
+            prop_assert_eq!(
+                agg_bits(&s.scan_aggregate(from, to)),
+                agg_bits(&s.scan_aggregate_reference(from, to)),
+                "columnar vs reference diverged on [{}, {})", from, to
+            );
+        }
+        let before: Vec<_> = wins.iter().map(|&(f, t)| agg_bits(&s.scan_aggregate(f, t))).collect();
+        let rows_before = s.scan(i64::MIN, i64::MAX);
+        let rewritten = s.compact(1024);
+        if s.chunks().iter().any(|c| c.zones().is_some()) {
+            prop_assert!(rewritten > 0);
+        }
+        for (&(from, to), bits) in wins.iter().zip(&before) {
+            prop_assert_eq!(
+                &agg_bits(&s.scan_aggregate(from, to)), bits,
+                "compaction changed the answer on [{}, {})", from, to
+            );
+        }
+        let rows_after = s.scan(i64::MIN, i64::MAX);
+        prop_assert_eq!(rows_before.len(), rows_after.len());
+        for (&(t0, v0), &(t1, v1)) in rows_before.iter().zip(&rows_after) {
+            prop_assert_eq!(t0, t1);
+            prop_assert_eq!(v0.to_bits(), v1.to_bits());
+        }
+    }
+
+    #[test]
+    fn compacted_store_matches_plain_store_for_every_op(
+        vals in proptest::collection::vec(-5000.0f64..5000.0, 600..1500),
+        a in 0i64..100_000,
+        b in 0i64..100_000,
+    ) {
+        // Identical data through a compacted and an untouched store must
+        // answer every operator identically — plan included — on aligned,
+        // unaligned and ragged-tail windows alike.
+        let plain = TsdbStore::default();
+        let compacted = TsdbStore::default();
+        let pid = plain.register(meta());
+        let cid = compacted.register(meta());
+        for (i, &v) in vals.iter().enumerate() {
+            plain.append(pid, i as i64 * 60, v);
+            compacted.append(cid, i as i64 * 60, v);
+        }
+        compacted.compact();
+        let span = vals.len() as i64 * 60;
+        let wins =
+            [(a.min(b), a.max(b)), (0, span + 60), (31, (span - 29).max(31)), (0, span / 2 + 1)];
+        for (from, to) in wins {
+            for op in [AggOp::Mean, AggOp::Min, AggOp::Max, AggOp::Sum, AggOp::Count, AggOp::P95] {
+                let (pv, pp) = store_aggregate(&plain, pid, from, to, op).unwrap();
+                let (cv, cp) = store_aggregate(&compacted, cid, from, to, op).unwrap();
+                prop_assert_eq!(pp, cp, "plan diverged for {:?} on [{}, {})", op, from, to);
+                prop_assert!(
+                    pv.to_bits() == cv.to_bits() || (pv.is_nan() && cv.is_nan()),
+                    "{:?} on [{}, {}): plain {} vs compacted {}", op, from, to, pv, cv
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zone_pruned_raw_aggregates_agree_with_brute_force(
+        vals in proptest::collection::vec(-5000.0f64..5000.0, 2049..2149),
+    ) {
+        // Four full sealed chunks compact into one zone-mapped chunk; a
+        // raw-plan window covering every zone must answer the brute-force
+        // fold while decoding nothing, and a zone-straddling window must
+        // decode exactly the one chunk it needs.
+        let store = TsdbStore::default();
+        let id = store.register(meta());
+        for (i, &v) in vals.iter().enumerate() {
+            store.append(id, i as i64 * 60, v);
+        }
+        let stats = store.compact();
+        prop_assert_eq!(stats.chunks_compacted, 4);
+        let sealed = &vals[..2048];
+        let to = 2047 * 60 + 30; // past the last sealed sample, rollup-unaligned
+
+        let before = store.query_stats();
+        let (sum, _) = store_aggregate(&store, id, 0, to, AggOp::Sum).unwrap();
+        let (count, _) = store_aggregate(&store, id, 0, to, AggOp::Count).unwrap();
+        let (min, _) = store_aggregate(&store, id, 0, to, AggOp::Min).unwrap();
+        let (max, _) = store_aggregate(&store, id, 0, to, AggOp::Max).unwrap();
+        let d = store.query_stats().delta_since(&before);
+        prop_assert_eq!(d.plans_raw, 4, "unaligned windows must plan raw");
+        prop_assert_eq!(d.chunks_decoded + d.chunk_cache_hits, 0, "fully zone-covered: no decode");
+        prop_assert_eq!(d.blocks_pruned, 16, "4 zones pruned by each of 4 queries");
+
+        let brute_sum: f64 = sealed.iter().sum();
+        prop_assert!((sum - brute_sum).abs() < 1e-6 * brute_sum.abs().max(1.0));
+        prop_assert_eq!(count, 2048.0);
+        prop_assert_eq!(min, sealed.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(max, sealed.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+
+        // Straddle the first zone: one decode, three prunes.
+        let before = store.query_stats();
+        let (psum, _) = store_aggregate(&store, id, 30, to, AggOp::Sum).unwrap();
+        let d = store.query_stats().delta_since(&before);
+        prop_assert_eq!(d.chunks_decoded + d.chunk_cache_hits, 1);
+        prop_assert_eq!(d.blocks_pruned, 3);
+        let brute_psum: f64 = sealed[1..].iter().sum();
+        prop_assert!((psum - brute_psum).abs() < 1e-6 * brute_psum.abs().max(1.0));
     }
 }
 
