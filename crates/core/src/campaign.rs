@@ -46,7 +46,7 @@ use std::collections::HashMap;
 use std::path::Path;
 
 /// How jobs respond to a facility default of 2.0 GHz (§4.2's deployment).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FrequencyPolicy {
     /// Every job runs at the facility default.
     Blanket,
@@ -71,7 +71,11 @@ impl Default for FrequencyPolicy {
 }
 
 /// Campaign parameters.
-#[derive(Debug, Clone)]
+///
+/// Serialisable: a config round-trips through JSON bit-exactly (floats use
+/// shortest round-trip formatting), which is what lets [`crate::sweep`]
+/// ship full scenario grids to worker processes inside shard manifests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Master seed (silicon lottery, job stream, telemetry noise).
     pub seed: u64,
@@ -117,7 +121,7 @@ pub struct CampaignConfig {
 /// the grid's carbon intensity (or stress) is above a threshold, restore it
 /// when the grid relaxes — the §2 decision rule applied hour by hour
 /// instead of once per year.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OperatingSchedule {
     /// Carbon-intensity signal driving the policy.
     pub scenario: hpc_grid::IntensityScenario,
@@ -143,7 +147,7 @@ impl OperatingSchedule {
 }
 
 /// Node hardware failure model.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FailureConfig {
     /// Mean time between failures of one node (hours). Fleet-level failure
     /// arrivals are exponential with rate `nodes / mtbf`.
@@ -171,7 +175,7 @@ impl Default for FailureConfig {
 /// horizon sees no further injected faults. Meter faults only apply when
 /// [`CampaignConfig::per_cabinet_telemetry`] is set (they model the cabinet
 /// meters, and there is nothing to distort otherwise).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultInjectionConfig {
     /// Per-domain-class failure and repair rates.
     pub domains: DomainFaultConfig,

@@ -15,6 +15,9 @@
 //! * [`scenarios`] — parallel fan-out runner for independent campaign
 //!   scenarios (seed × operating point × policy sweeps), one isolated
 //!   facility and telemetry store per scenario.
+//! * [`sweep`] — distributed sweep orchestration on top of [`scenarios`]:
+//!   checksummed shard manifests, resumable worker *processes*,
+//!   work-stealing, and a bit-identical merge (`docs/SWEEP.md`).
 //! * [`report`] — plain-text/markdown rendering of experiment results.
 
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@ pub mod experiment;
 pub mod facility;
 pub mod report;
 pub mod scenarios;
+pub mod sweep;
 pub mod verify;
 
 pub use campaign::{

@@ -17,12 +17,17 @@
 use crate::campaign::{Campaign, CampaignConfig};
 use crate::experiment::scaled_facility;
 use hpc_workload::OperatingPoint;
+use serde::{Deserialize, Serialize};
 use sim_core::time::SimTime;
 
 /// One self-contained campaign scenario: a `(seed, operating point,
 /// policy)` tuple plus the window to simulate. The seed and frequency
 /// policy travel inside [`CampaignConfig`].
-#[derive(Debug, Clone)]
+///
+/// Serialisable: specs round-trip through JSON bit-exactly, which is how
+/// [`crate::sweep`] ships whole scenario grids to worker processes inside
+/// checksummed shard manifests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioSpec {
     /// Human-readable label carried through to the results.
     pub label: String,
@@ -64,7 +69,7 @@ impl ScenarioSpec {
 }
 
 /// Build, run and reduce one scenario (the sequential unit of work).
-fn run_one<T, F>(spec: &ScenarioSpec, reduce: &F) -> T
+pub(crate) fn run_one<T, F>(spec: &ScenarioSpec, reduce: &F) -> T
 where
     F: Fn(&ScenarioSpec, &mut Campaign) -> T,
 {

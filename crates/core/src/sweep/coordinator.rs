@@ -1,0 +1,427 @@
+//! The sweep coordinator: partition, launch, watch, steal, retry, merge.
+//!
+//! The coordinator owns the control loop of a distributed sweep. It writes
+//! the checksummed manifest, keeps up to `max_workers` worker processes
+//! alive, and reacts to three kinds of trouble:
+//!
+//! - **death** — a worker that exits non-zero (or whose output fails
+//!   validation) is retried until the shard's retry budget is exhausted,
+//!   each attempt recorded as a typed [`ShardFailure`];
+//! - **straggling** — a shard still running past `steal_after` is
+//!   *stolen*: a duplicate attempt is launched on a free slot, whichever
+//!   finishes first wins, and the loser is killed (bit-identity makes the
+//!   race benign — both attempts would write identical bytes);
+//! - **history** — shards already completed by a previous (killed) run are
+//!   detected via footer-validated snapshots and checksummed summaries,
+//!   counted as `resumed_shards`, and never re-run.
+
+use super::manifest::SweepManifest;
+use super::merge::{merge, MergedSweep};
+use super::worker::{validate_shard, ENV_ABORT_AFTER, ENV_MANIFEST, ENV_OUT, ENV_SHARD, ENV_STALL_MS};
+use super::SweepError;
+use crate::scenarios::ScenarioSpec;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How to launch a worker process. The default is self-exec: re-run the
+/// current binary (whose `main` must call
+/// [`worker_from_env`](super::worker_from_env) first) with no extra
+/// arguments. Test harnesses add filter arguments so the re-exec lands in
+/// the worker entry test.
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    /// Program to execute.
+    pub program: PathBuf,
+    /// Arguments passed verbatim before the `ARCHER2_SWEEP_*` environment
+    /// takes over.
+    pub args: Vec<String>,
+}
+
+impl WorkerCommand {
+    /// Re-exec the current executable with no arguments.
+    pub fn self_exec() -> std::io::Result<WorkerCommand> {
+        Ok(WorkerCommand { program: std::env::current_exe()?, args: Vec::new() })
+    }
+
+    /// Re-exec the current executable with the given arguments (e.g. a
+    /// libtest filter selecting the worker-entry test).
+    pub fn self_exec_with(args: &[&str]) -> std::io::Result<WorkerCommand> {
+        Ok(WorkerCommand {
+            program: std::env::current_exe()?,
+            args: args.iter().map(|s| s.to_string()).collect(),
+        })
+    }
+}
+
+/// Deterministic worker-fault injection for tests and demos: applied to
+/// the **first** attempt of the designated shard only, so retries and
+/// resumes heal the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerFault {
+    /// Shard whose first attempt is sabotaged.
+    pub shard: u32,
+    /// Abort the process after this many newly executed scenarios,
+    /// leaving a torn snapshot behind (a SIGKILL mid-write, replayed
+    /// deterministically).
+    pub abort_after: Option<u32>,
+    /// Stall this long before starting, turning the attempt into a
+    /// straggler for the work-stealing deadline to catch.
+    pub stall_ms: Option<u64>,
+}
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Number of shards to partition the grid into.
+    pub shards: usize,
+    /// Maximum concurrently running worker processes.
+    pub max_workers: usize,
+    /// Extra attempts a shard gets after its first failure (0 = one
+    /// attempt only).
+    pub retry_budget: u32,
+    /// Straggler deadline: a shard running longer than this with a free
+    /// worker slot available gets a duplicate (stolen) attempt. `None`
+    /// disables stealing.
+    pub steal_after: Option<Duration>,
+    /// How to launch workers.
+    pub worker: WorkerCommand,
+    /// Deterministic fault injection (tests/demos); `None` in production.
+    pub fault: Option<WorkerFault>,
+    /// Seed-derivation provenance recorded in the manifest.
+    pub seed_derivation: String,
+}
+
+impl SweepConfig {
+    /// A production config: `shards` shards over `max_workers` processes,
+    /// 2 retries per shard, stealing after 5 minutes.
+    pub fn new(shards: usize, max_workers: usize, worker: WorkerCommand) -> SweepConfig {
+        SweepConfig {
+            shards,
+            max_workers,
+            retry_budget: 2,
+            steal_after: Some(Duration::from_secs(300)),
+            worker,
+            fault: None,
+            seed_derivation: "explicit".to_string(),
+        }
+    }
+}
+
+/// Why one shard attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum ShardFailureKind {
+    /// The worker process could not be spawned.
+    Spawn(String),
+    /// The worker exited with this non-zero code (`None` = killed by a
+    /// signal, e.g. the injected mid-shard abort).
+    Exit(Option<i32>),
+    /// The worker exited zero but its persisted output failed validation.
+    InvalidOutput(String),
+}
+
+impl std::fmt::Display for ShardFailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardFailureKind::Spawn(e) => write!(f, "spawn failed: {e}"),
+            ShardFailureKind::Exit(Some(code)) => write!(f, "exited with code {code}"),
+            ShardFailureKind::Exit(None) => write!(f, "killed by signal"),
+            ShardFailureKind::InvalidOutput(e) => write!(f, "output invalid: {e}"),
+        }
+    }
+}
+
+/// One failed shard attempt, recorded in the [`SweepReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ShardFailure {
+    /// Which shard.
+    pub shard: u32,
+    /// Which attempt (1-based).
+    pub attempt: u32,
+    /// What went wrong.
+    pub kind: ShardFailureKind,
+}
+
+/// Orchestration accounting for one coordinator run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SweepReport {
+    /// Shards in the manifest.
+    pub shards: u32,
+    /// Scenarios in the grid.
+    pub scenarios: u32,
+    /// Worker attempts actually launched (excludes resumed shards).
+    pub attempts: u32,
+    /// Attempts that failed and were re-queued (or exhausted the budget).
+    pub retries: u32,
+    /// Straggler shards that received a duplicate (stolen) attempt.
+    pub stolen_shards: u32,
+    /// Shards found complete on disk from a previous run and skipped.
+    pub resumed_shards: u32,
+    /// Every failed attempt, in the order observed.
+    pub failures: Vec<ShardFailure>,
+    /// Coordinator wall-clock, milliseconds.
+    pub wall_ms: u64,
+}
+
+/// A finished distributed sweep: the merged result set plus the
+/// orchestration report.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The merged, digest-verified result set.
+    pub merged: MergedSweep,
+    /// What it took to get there.
+    pub report: SweepReport,
+}
+
+/// Partition `specs`, write `out_dir/manifest.json`, and drive the sweep
+/// to a merged, digest-verified result set.
+///
+/// Re-running after a crash is safe and cheap: shards whose outputs
+/// validate are skipped. For explicit resume (e.g. after
+/// [`SweepError::ShardExhausted`]) use [`resume_distributed`], which reuses
+/// the existing manifest instead of re-partitioning.
+pub fn run_distributed(
+    specs: Vec<ScenarioSpec>,
+    config: &SweepConfig,
+    out_dir: &Path,
+) -> Result<SweepOutcome, SweepError> {
+    std::fs::create_dir_all(out_dir)?;
+    let manifest = SweepManifest::partition(specs, config.shards, config.seed_derivation.clone());
+    let manifest_path = out_dir.join("manifest.json");
+    manifest.write(&manifest_path)?;
+    drive(&manifest, &manifest_path, config, out_dir)
+}
+
+/// Resume a sweep from its on-disk manifest: completed shards are
+/// validated and skipped, incomplete or torn ones re-run, and the merge is
+/// digest-verified exactly as in [`run_distributed`]. The `shards` and
+/// `seed_derivation` fields of `config` are ignored (the manifest wins).
+pub fn resume_distributed(
+    manifest_path: &Path,
+    config: &SweepConfig,
+    out_dir: &Path,
+) -> Result<SweepOutcome, SweepError> {
+    let manifest = SweepManifest::load(manifest_path)?;
+    drive(&manifest, manifest_path, config, out_dir)
+}
+
+/// One live worker process.
+struct Running {
+    shard: u32,
+    attempt: u32,
+    child: Child,
+    started: Instant,
+}
+
+fn drive(
+    manifest: &SweepManifest,
+    manifest_path: &Path,
+    config: &SweepConfig,
+    out_dir: &Path,
+) -> Result<SweepOutcome, SweepError> {
+    let t0 = Instant::now();
+    let mut report = SweepReport {
+        shards: manifest.shards.len() as u32,
+        scenarios: manifest.specs.len() as u32,
+        ..SweepReport::default()
+    };
+
+    // Resume: shards whose persisted output validates are already done.
+    let mut done: HashMap<u32, ()> = HashMap::new();
+    let mut pending: Vec<u32> = Vec::new();
+    for shard in &manifest.shards {
+        if validate_shard(out_dir, manifest, shard.shard_id).is_ok() {
+            done.insert(shard.shard_id, ());
+            report.resumed_shards += 1;
+        } else {
+            pending.push(shard.shard_id);
+        }
+    }
+    pending.reverse(); // pop() serves lowest shard id first
+
+    let mut running: Vec<Running> = Vec::new();
+    let outcome = drive_loop(
+        manifest,
+        manifest_path,
+        config,
+        out_dir,
+        &mut report,
+        &mut done,
+        &mut pending,
+        &mut running,
+    );
+    // Whatever happened, leave no orphans: kill and reap every still-live
+    // worker (budget-exhaustion error paths, losing stolen duplicates).
+    for worker in running.iter_mut() {
+        let _ = worker.child.kill();
+        let _ = worker.child.wait();
+    }
+    outcome?;
+
+    let merged = merge(manifest, out_dir)?;
+    report.wall_ms = t0.elapsed().as_millis() as u64;
+    Ok(SweepOutcome { merged, report })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_loop(
+    manifest: &SweepManifest,
+    manifest_path: &Path,
+    config: &SweepConfig,
+    out_dir: &Path,
+    report: &mut SweepReport,
+    done: &mut HashMap<u32, ()>,
+    pending: &mut Vec<u32>,
+    running: &mut Vec<Running>,
+) -> Result<(), SweepError> {
+    let mut attempts_used: HashMap<u32, u32> = HashMap::new();
+    let mut stolen_once: HashMap<u32, ()> = HashMap::new();
+
+    while done.len() < manifest.shards.len() {
+        // Fill free slots with pending shards.
+        while running.len() < config.max_workers {
+            let Some(shard) = pending.pop() else { break };
+            let attempt = attempts_used.get(&shard).copied().unwrap_or(0) + 1;
+            match spawn_worker(manifest_path, shard, attempt, config, out_dir) {
+                Ok(r) => {
+                    report.attempts += 1;
+                    running.push(r);
+                }
+                Err(kind) => {
+                    attempts_used.insert(shard, attempt);
+                    record_failure(report, pending, &attempts_used, shard, attempt, kind, config)?;
+                }
+            }
+        }
+
+        // Work stealing: duplicate one straggler onto a free slot.
+        if let Some(deadline) = config.steal_after {
+            if running.len() < config.max_workers {
+                let victim = running
+                    .iter()
+                    .filter(|r| {
+                        r.started.elapsed() > deadline
+                            && !stolen_once.contains_key(&r.shard)
+                            && running.iter().filter(|o| o.shard == r.shard).count() == 1
+                    })
+                    .map(|r| (r.shard, r.attempt))
+                    .next();
+                if let Some((shard, prev_attempt)) = victim {
+                    let attempt = prev_attempt + 1;
+                    if let Ok(r) = spawn_worker(manifest_path, shard, attempt, config, out_dir) {
+                        stolen_once.insert(shard, ());
+                        report.attempts += 1;
+                        report.stolen_shards += 1;
+                        running.push(r);
+                    }
+                }
+            }
+        }
+
+        // Poll the fleet.
+        let mut i = 0;
+        while i < running.len() {
+            let status = running[i].child.try_wait()?;
+            let Some(status) = status else {
+                i += 1;
+                continue;
+            };
+            let mut worker = running.swap_remove(i);
+            let shard = worker.shard;
+            if done.contains_key(&shard) {
+                continue; // the other attempt of a stolen shard already won
+            }
+            let outcome = if status.success() {
+                validate_shard(out_dir, manifest, shard)
+                    .map(|_| ())
+                    .map_err(ShardFailureKind::InvalidOutput)
+            } else {
+                Err(ShardFailureKind::Exit(status.code()))
+            };
+            match outcome {
+                Ok(()) => {
+                    done.insert(shard, ());
+                    // Kill the losing duplicate of a stolen shard.
+                    for other in running.iter_mut().filter(|r| r.shard == shard) {
+                        let _ = other.child.kill();
+                        let _ = other.child.wait();
+                    }
+                    running.retain(|r| r.shard != shard);
+                }
+                Err(kind) => {
+                    let attempt = worker.attempt;
+                    let used = attempts_used.entry(shard).or_insert(0);
+                    *used = (*used).max(attempt);
+                    // A stolen duplicate may still be running; only
+                    // re-queue if no other attempt is live.
+                    let still_live = running.iter().any(|r| r.shard == shard);
+                    if !still_live {
+                        record_failure(report, pending, &attempts_used, shard, attempt, kind, config)?;
+                    } else {
+                        report.retries += 1;
+                        report.failures.push(ShardFailure { shard, attempt, kind });
+                    }
+                }
+            }
+            let _ = worker.child.wait(); // reap
+        }
+
+        if done.len() < manifest.shards.len() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    Ok(())
+}
+
+/// Record a failed attempt; re-queue the shard or exhaust its budget.
+fn record_failure(
+    report: &mut SweepReport,
+    pending: &mut Vec<u32>,
+    attempts_used: &HashMap<u32, u32>,
+    shard: u32,
+    attempt: u32,
+    kind: ShardFailureKind,
+    config: &SweepConfig,
+) -> Result<(), SweepError> {
+    report.failures.push(ShardFailure { shard, attempt, kind: kind.clone() });
+    let used = attempts_used.get(&shard).copied().unwrap_or(attempt);
+    if used > config.retry_budget {
+        return Err(SweepError::ShardExhausted { shard, attempts: used, last: kind });
+    }
+    report.retries += 1;
+    pending.push(shard);
+    Ok(())
+}
+
+/// Launch one worker attempt. Fault-injection env vars are attached only
+/// to the first attempt of the configured shard.
+fn spawn_worker(
+    manifest_path: &Path,
+    shard: u32,
+    attempt: u32,
+    config: &SweepConfig,
+    out_dir: &Path,
+) -> Result<Running, ShardFailureKind> {
+    let mut cmd = Command::new(&config.worker.program);
+    cmd.args(&config.worker.args)
+        .env(ENV_MANIFEST, manifest_path)
+        .env(ENV_SHARD, shard.to_string())
+        .env(ENV_OUT, out_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .stdin(Stdio::null());
+    if let Some(fault) = &config.fault {
+        if fault.shard == shard && attempt == 1 {
+            if let Some(n) = fault.abort_after {
+                cmd.env(ENV_ABORT_AFTER, n.to_string());
+            }
+            if let Some(ms) = fault.stall_ms {
+                cmd.env(ENV_STALL_MS, ms.to_string());
+            }
+        }
+    }
+    let child = cmd.spawn().map_err(|e| ShardFailureKind::Spawn(e.to_string()))?;
+    Ok(Running { shard, attempt, child, started: Instant::now() })
+}

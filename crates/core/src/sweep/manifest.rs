@@ -1,0 +1,311 @@
+//! Shard manifests: the checksummed JSON contract between the sweep
+//! coordinator and its worker processes.
+//!
+//! A manifest is self-contained: it carries the *full* scenario grid (every
+//! [`ScenarioSpec`] serialised field-by-field), the grid digest, the seed
+//! derivation provenance, and the shard → scenario-index partition. A
+//! worker needs nothing else to run its shard; a resumed coordinator needs
+//! nothing else to finish a half-dead sweep. `docs/SWEEP.md` specifies the
+//! format field by field.
+
+use super::{hex, Fnv, SweepError};
+use crate::scenarios::ScenarioSpec;
+use serde::{Deserialize, Serialize, Value};
+use std::path::Path;
+
+/// Manifest format version. Bumped on any incompatible layout change;
+/// loaders refuse versions they do not understand.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// One shard: a dense id and the grid indices it owns, ascending.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Dense shard id, `0..shards.len()`.
+    pub shard_id: u32,
+    /// Grid indices this shard runs, strictly ascending.
+    pub scenarios: Vec<u32>,
+}
+
+/// The sweep manifest: everything a worker or a resumed coordinator needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepManifest {
+    /// Format version ([`MANIFEST_VERSION`]).
+    pub version: u32,
+    /// How per-scenario seeds were derived from the sweep's base seed —
+    /// provenance for reproducers (e.g. `"splitmix64(2022, index)"`, or
+    /// `"explicit"` when the grid builder assigned seeds by hand).
+    pub seed_derivation: String,
+    /// FNV-1a over the canonical JSON of every spec, in grid order;
+    /// 16 hex digits. Workers refuse a manifest whose recomputed grid
+    /// digest differs — the grid they run is provably the grid that was
+    /// partitioned.
+    pub grid_digest: String,
+    /// The full scenario grid, input order. Index into this is the
+    /// scenario identity used everywhere else in the sweep layer.
+    pub specs: Vec<ScenarioSpec>,
+    /// The partition. Every grid index appears in exactly one shard.
+    pub shards: Vec<ShardSpec>,
+}
+
+impl SweepManifest {
+    /// Partition a grid into `shard_count` shards of near-equal size
+    /// (sizes differ by at most one; earlier shards take the extra).
+    ///
+    /// The partition is a bijection: every scenario index lands in exactly
+    /// one shard, for any `shard_count >= 1` — property-tested in
+    /// `tests/sweep_distributed.rs`.
+    ///
+    /// # Panics
+    /// Panics if `shard_count` is zero.
+    pub fn partition(
+        specs: Vec<ScenarioSpec>,
+        shard_count: usize,
+        seed_derivation: impl Into<String>,
+    ) -> SweepManifest {
+        assert!(shard_count >= 1, "a sweep needs at least one shard");
+        let n = specs.len();
+        let base = n / shard_count;
+        let extra = n % shard_count;
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut next = 0u32;
+        for shard_id in 0..shard_count as u32 {
+            let take = base + usize::from((shard_id as usize) < extra);
+            let scenarios: Vec<u32> = (next..next + take as u32).collect();
+            next += take as u32;
+            shards.push(ShardSpec { shard_id, scenarios });
+        }
+        let grid_digest = hex(grid_digest(&specs));
+        SweepManifest {
+            version: MANIFEST_VERSION,
+            seed_derivation: seed_derivation.into(),
+            grid_digest,
+            specs,
+            shards,
+        }
+    }
+
+    /// Write the manifest as checksummed JSON, atomically (tmp + rename).
+    pub fn write(&self, path: &Path) -> Result<(), SweepError> {
+        write_checksummed(path, self.to_value())
+    }
+
+    /// Load and fully validate a manifest: checksum, version, recomputed
+    /// grid digest, and partition well-formedness (every grid index in
+    /// exactly one shard, shard ids dense and ascending).
+    pub fn load(path: &Path) -> Result<SweepManifest, SweepError> {
+        let value = load_checksummed(path)?;
+        let manifest = SweepManifest::from_value(&value)
+            .map_err(|e| SweepError::Manifest(format!("{}: {e}", path.display())))?;
+        if manifest.version != MANIFEST_VERSION {
+            return Err(SweepError::Manifest(format!(
+                "{}: unsupported manifest version {} (this build reads {})",
+                path.display(),
+                manifest.version,
+                MANIFEST_VERSION
+            )));
+        }
+        let recomputed = hex(grid_digest(&manifest.specs));
+        if recomputed != manifest.grid_digest {
+            return Err(SweepError::Manifest(format!(
+                "{}: grid digest mismatch: recorded {}, recomputed {recomputed}",
+                path.display(),
+                manifest.grid_digest
+            )));
+        }
+        manifest.validate_partition().map_err(|e| {
+            SweepError::Manifest(format!("{}: {e}", path.display()))
+        })?;
+        Ok(manifest)
+    }
+
+    /// Check the shards form a partition of `0..specs.len()`.
+    fn validate_partition(&self) -> Result<(), String> {
+        let n = self.specs.len();
+        let mut seen = vec![false; n];
+        for (pos, shard) in self.shards.iter().enumerate() {
+            if shard.shard_id as usize != pos {
+                return Err(format!(
+                    "shard ids must be dense and ascending: position {pos} holds id {}",
+                    shard.shard_id
+                ));
+            }
+            let mut prev: Option<u32> = None;
+            for &idx in &shard.scenarios {
+                if let Some(p) = prev {
+                    if idx <= p {
+                        return Err(format!(
+                            "shard {}: scenario indices must be strictly ascending",
+                            shard.shard_id
+                        ));
+                    }
+                }
+                prev = Some(idx);
+                let slot = seen.get_mut(idx as usize).ok_or_else(|| {
+                    format!("shard {}: scenario index {idx} out of range (grid has {n})", shard.shard_id)
+                })?;
+                if *slot {
+                    return Err(format!(
+                        "scenario index {idx} appears in more than one shard"
+                    ));
+                }
+                *slot = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|s| !s) {
+            return Err(format!("scenario index {missing} is in no shard"));
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over the canonical (compact) JSON of every spec, in grid order.
+pub(crate) fn grid_digest(specs: &[ScenarioSpec]) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(specs.len() as u64);
+    for spec in specs {
+        let json = serde_json::to_string(spec).expect("spec serialises");
+        h.str(&json);
+    }
+    h.0
+}
+
+/// Serialise `value` (a JSON object) with a `checksum` field appended —
+/// FNV-1a over the compact JSON of the object *without* the checksum —
+/// and write it atomically via tmp + rename.
+pub(crate) fn write_checksummed(path: &Path, value: Value) -> Result<(), SweepError> {
+    let Value::Map(mut entries) = value else {
+        return Err(SweepError::Manifest(format!(
+            "{}: checksummed records must be JSON objects",
+            path.display()
+        )));
+    };
+    entries.retain(|(k, _)| k != "checksum");
+    let body = serde_json::to_string(&Value::Map(entries.clone()))
+        .map_err(|e| SweepError::Manifest(format!("{}: {e:?}", path.display())))?;
+    let mut h = Fnv::new();
+    h.bytes(body.as_bytes());
+    entries.push(("checksum".to_string(), Value::Str(hex(h.0))));
+    let json = serde_json::to_string_pretty(&Value::Map(entries))
+        .map_err(|e| SweepError::Manifest(format!("{}: {e:?}", path.display())))?;
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, &json)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Load a checksummed JSON object, verify its checksum, and return the
+/// object with the `checksum` field removed.
+pub(crate) fn load_checksummed(path: &Path) -> Result<Value, SweepError> {
+    let text = std::fs::read_to_string(path)?;
+    let parsed = serde_json::parse_value(&text)
+        .map_err(|e| SweepError::Manifest(format!("{}: unparseable JSON: {e:?}", path.display())))?;
+    let Value::Map(mut entries) = parsed else {
+        return Err(SweepError::Manifest(format!(
+            "{}: expected a JSON object",
+            path.display()
+        )));
+    };
+    let pos = entries.iter().position(|(k, _)| k == "checksum").ok_or_else(|| {
+        SweepError::Manifest(format!("{}: missing checksum field", path.display()))
+    })?;
+    let (_, recorded) = entries.remove(pos);
+    let Value::Str(recorded) = recorded else {
+        return Err(SweepError::Manifest(format!(
+            "{}: checksum must be a string",
+            path.display()
+        )));
+    };
+    let body = serde_json::to_string(&Value::Map(entries.clone()))
+        .map_err(|e| SweepError::Manifest(format!("{}: {e:?}", path.display())))?;
+    let mut h = Fnv::new();
+    h.bytes(body.as_bytes());
+    if hex(h.0) != recorded {
+        return Err(SweepError::Manifest(format!(
+            "{}: checksum mismatch: recorded {recorded}, recomputed {}",
+            path.display(),
+            hex(h.0)
+        )));
+    }
+    Ok(Value::Map(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::tiny_specs;
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sweep-manifest-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn partition_covers_every_scenario_exactly_once() {
+        for (n, k) in [(0usize, 1usize), (1, 1), (5, 2), (8, 8), (3, 7), (10, 3)] {
+            let m = SweepManifest::partition(tiny_specs(n), k, "explicit");
+            assert_eq!(m.shards.len(), k);
+            let mut seen: Vec<u32> =
+                m.shards.iter().flat_map(|s| s.scenarios.clone()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..n as u32).collect::<Vec<_>>(), "n={n} k={k}");
+            let sizes: Vec<usize> = m.shards.iter().map(|s| s.scenarios.len()).collect();
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1, "balanced partition: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_and_validates() {
+        let dir = scratch("roundtrip");
+        let m = SweepManifest::partition(tiny_specs(5), 3, "splitmix64(2022, index)");
+        let path = dir.join("manifest.json");
+        m.write(&path).unwrap();
+        let back = SweepManifest::load(&path).unwrap();
+        assert_eq!(back.grid_digest, m.grid_digest);
+        assert_eq!(back.shards, m.shards);
+        assert_eq!(back.seed_derivation, "splitmix64(2022, index)");
+        assert_eq!(back.specs.len(), 5);
+    }
+
+    #[test]
+    fn tampered_manifest_is_refused() {
+        let dir = scratch("tamper");
+        let m = SweepManifest::partition(tiny_specs(3), 2, "explicit");
+        let path = dir.join("manifest.json");
+        m.write(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip a scenario label inside the signed body.
+        let tampered = text.replacen("tiny0", "evil0", 1);
+        assert_ne!(text, tampered);
+        std::fs::write(&path, tampered).unwrap();
+        let err = SweepManifest::load(&path).unwrap_err();
+        assert!(matches!(err, SweepError::Manifest(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_manifest_is_refused() {
+        let dir = scratch("truncate");
+        let m = SweepManifest::partition(tiny_specs(2), 1, "explicit");
+        let path = dir.join("manifest.json");
+        m.write(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(SweepManifest::load(&path).is_err());
+    }
+
+    #[test]
+    fn overlapping_partition_is_refused() {
+        let mut m = SweepManifest::partition(tiny_specs(4), 2, "explicit");
+        m.shards[1].scenarios = vec![1, 3]; // index 1 now in both shards
+        let dir = scratch("overlap");
+        let path = dir.join("manifest.json");
+        m.write(&path).unwrap();
+        let err = SweepManifest::load(&path).unwrap_err();
+        assert!(err.to_string().contains("more than one shard"), "{err}");
+    }
+}

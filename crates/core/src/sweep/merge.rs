@@ -1,0 +1,198 @@
+//! Bit-identical merge of per-shard sweep output.
+//!
+//! The merge step is the sweep's verdict: it refuses anything less than a
+//! provably complete, provably uncorrupted result set. Every shard summary
+//! is revalidated (checksums, footers, recomputed digests), the per-shard
+//! result lists are reassembled into grid order with every scenario present
+//! exactly once, the per-scenario stores are folded into one merged
+//! snapshot with namespaced series, and finally the merged snapshot is
+//! *reopened* and re-digested per scenario to prove the merge itself did
+//! not diverge — a failed self-check is [`SweepError::DigestMismatch`], not
+//! a warning.
+
+use super::manifest::{write_checksummed, SweepManifest};
+use super::worker::{scenario_snapshot_path, validate_shard};
+use super::{
+    fold_store_digests, fold_summaries, hex, store_digest_stripped, ScenarioResult, SweepError,
+};
+use hpc_tsdb::{SeriesMeta, StoreConfig, TsdbStore};
+use serde::{Serialize, Value};
+use std::path::{Path, PathBuf};
+
+/// A completed, digest-verified merge of a distributed sweep.
+#[derive(Debug, Clone)]
+pub struct MergedSweep {
+    /// The manifest's grid digest, for provenance.
+    pub grid_digest: String,
+    /// Fold of per-scenario store digests in grid order — must equal
+    /// [`run_in_process`](super::run_in_process)'s `store_digest` for the
+    /// same grid.
+    pub store_digest: String,
+    /// Fold of per-scenario deterministic summaries in grid order.
+    pub summary_digest: String,
+    /// Canonical per-scenario results, grid order, every index once.
+    pub results: Vec<ScenarioResult>,
+    /// Path of the merged snapshot (`merged/store.tsnap`).
+    pub merged_snapshot: PathBuf,
+    /// Path of the merged checksummed summary (`merged/summary.json`).
+    pub merged_summary: PathBuf,
+    /// Scenario count, for convenience.
+    pub scenarios: u32,
+}
+
+/// Prefix under which scenario `index`'s series live in the merged store.
+fn scenario_prefix(index: u32) -> String {
+    format!("s{index:05}/")
+}
+
+/// Merge every shard's persisted output under `out_dir` into one snapshot
+/// and one checksummed summary, verifying completeness and bit-identity
+/// along the way. See the module docs for the exact guarantees.
+pub fn merge(manifest: &SweepManifest, out_dir: &Path) -> Result<MergedSweep, SweepError> {
+    // 1. Every shard must validate end to end.
+    let mut summaries = Vec::with_capacity(manifest.shards.len());
+    for shard in &manifest.shards {
+        let summary = validate_shard(out_dir, manifest, shard.shard_id)
+            .map_err(|e| SweepError::Manifest(format!("shard {}: {e}", shard.shard_id)))?;
+        summaries.push(summary);
+    }
+
+    // 2. Reassemble grid order: every scenario exactly once.
+    let n = manifest.specs.len();
+    let mut slots: Vec<Option<ScenarioResult>> = vec![None; n];
+    for summary in summaries {
+        for result in summary.results {
+            let slot = slots.get_mut(result.index as usize).ok_or_else(|| {
+                SweepError::Manifest(format!(
+                    "merge: scenario index {} out of range (grid has {n})",
+                    result.index
+                ))
+            })?;
+            if slot.is_some() {
+                return Err(SweepError::Manifest(format!(
+                    "merge: scenario index {} delivered by more than one shard",
+                    result.index
+                )));
+            }
+            *slot = Some(result);
+        }
+    }
+    let results: Vec<ScenarioResult> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.ok_or_else(|| SweepError::Manifest(format!("merge: scenario {i} missing")))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // 3. Fold the per-scenario stores into one namespaced merged store.
+    let merged_dir = out_dir.join("merged");
+    std::fs::create_dir_all(&merged_dir)?;
+    let merged = TsdbStore::new(StoreConfig::default());
+    for result in &results {
+        let prefix = scenario_prefix(result.index);
+        let snap = scenario_snapshot_path(out_dir, result.index);
+        let store = TsdbStore::open_snapshot_path(&snap, StoreConfig::default())?;
+        let mut catalog = store.series_catalog();
+        catalog.sort_by(|a, b| a.1.name.cmp(&b.1.name));
+        for (sid, meta, _) in catalog {
+            let merged_id = merged.register(SeriesMeta {
+                name: format!("{prefix}{}", meta.name),
+                unit: meta.unit.clone(),
+                interval_hint: meta.interval_hint,
+            });
+            let samples = store
+                .with_series(sid, |s| s.scan(i64::MIN, i64::MAX))
+                .expect("catalogued series exists");
+            merged.append_batch(merged_id, &samples);
+        }
+    }
+    let merged_snapshot = merged_dir.join("store.tsnap");
+    merged.snapshot_to_path(&merged_snapshot)?;
+
+    // 4. Self-check: reopen the merged snapshot and prove each scenario's
+    //    namespaced slice digests exactly as its original store did.
+    let reopened = TsdbStore::open_snapshot_path(&merged_snapshot, StoreConfig::default())?;
+    for result in &results {
+        let actual = hex(store_digest_stripped(&reopened, &scenario_prefix(result.index)));
+        if actual != result.store_digest {
+            return Err(SweepError::DigestMismatch {
+                scenario: result.index,
+                expected: result.store_digest.clone(),
+                actual,
+            });
+        }
+    }
+
+    // 5. Write the merged summary (checksummed, atomic).
+    let store_digest = hex(fold_store_digests(&results));
+    let summary_digest = hex(fold_summaries(&results));
+    let merged_summary = merged_dir.join("summary.json");
+    let record = Value::Map(vec![
+        ("grid_digest".to_string(), Value::Str(manifest.grid_digest.clone())),
+        ("store_digest".to_string(), Value::Str(store_digest.clone())),
+        ("summary_digest".to_string(), Value::Str(summary_digest.clone())),
+        ("scenarios".to_string(), (n as u64).to_value()),
+        ("results".to_string(), results.to_value()),
+    ]);
+    write_checksummed(&merged_summary, record)?;
+
+    Ok(MergedSweep {
+        grid_digest: manifest.grid_digest.clone(),
+        store_digest,
+        summary_digest,
+        results,
+        merged_snapshot,
+        merged_summary,
+        scenarios: n as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::tiny_specs;
+    use super::super::worker::run_worker;
+    use super::super::run_in_process;
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sweep-merge-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn merge_matches_in_process_reference() {
+        let dir = scratch("match");
+        let specs = tiny_specs(3);
+        let reference = run_in_process(&specs);
+        let manifest = SweepManifest::partition(specs, 2, "explicit");
+        let mpath = dir.join("manifest.json");
+        manifest.write(&mpath).unwrap();
+        run_worker(&mpath, 0, &dir).unwrap();
+        run_worker(&mpath, 1, &dir).unwrap();
+
+        let merged = merge(&manifest, &dir).unwrap();
+        assert_eq!(merged.store_digest, reference.store_digest);
+        assert_eq!(merged.summary_digest, reference.summary_digest);
+        assert_eq!(merged.scenarios, 3);
+        assert!(merged.merged_snapshot.is_file());
+        assert!(merged.merged_summary.is_file());
+
+        // The merged summary is itself a valid checksummed record.
+        super::super::manifest::load_checksummed(&merged.merged_summary).unwrap();
+    }
+
+    #[test]
+    fn merge_refuses_missing_shard() {
+        let dir = scratch("missing");
+        let manifest = SweepManifest::partition(tiny_specs(2), 2, "explicit");
+        let mpath = dir.join("manifest.json");
+        manifest.write(&mpath).unwrap();
+        run_worker(&mpath, 0, &dir).unwrap(); // shard 1 never runs
+        let err = merge(&manifest, &dir).unwrap_err();
+        assert!(matches!(err, SweepError::Manifest(_)), "{err}");
+    }
+}

@@ -1,0 +1,393 @@
+//! The sweep worker: one process, one shard, resumable at scenario
+//! granularity.
+//!
+//! Workers are plain re-executions of the host binary: the coordinator
+//! spawns `current_exe()` (or any command the caller configures) with the
+//! `ARCHER2_SWEEP_*` environment variables set, and the host's `main` calls
+//! [`worker_from_env`] before doing anything else. A process in which the
+//! variables are unset gets `None` back and proceeds as the coordinator;
+//! one in which they are set runs its shard and exits with a documented
+//! code (`docs/SWEEP.md` §worker lifecycle).
+//!
+//! Every finished scenario is persisted as an atomic, footer-validated
+//! `.tsnap` snapshot plus a checksummed JSON sidecar carrying the canonical
+//! [`ScenarioResult`]. On (re)start a worker revalidates both — sidecar
+//! checksum, snapshot footer, and the *recomputed* store digest against the
+//! recorded one — and skips scenarios that pass, so a worker killed
+//! mid-shard loses at most the scenario it was running.
+
+use super::manifest::{load_checksummed, write_checksummed, SweepManifest};
+use super::{hex, store_digest, summarize, ScenarioResult, SweepError};
+use hpc_tsdb::{StoreConfig, TsdbStore};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Worker exited cleanly: shard complete, summary written.
+pub const EXIT_OK: i32 = 0;
+/// The `ARCHER2_SWEEP_*` environment was malformed (unparseable shard id,
+/// missing manifest path, …).
+pub const EXIT_ENV: i32 = 10;
+/// The manifest failed to load or validate (checksum, version, partition).
+pub const EXIT_MANIFEST: i32 = 11;
+/// The requested shard id is not in the manifest.
+pub const EXIT_SHARD: i32 = 12;
+/// A scenario run, snapshot write or summary write failed.
+pub const EXIT_RUN: i32 = 13;
+
+/// Path of the manifest the worker must load.
+pub(crate) const ENV_MANIFEST: &str = "ARCHER2_SWEEP_MANIFEST";
+/// Shard id (decimal) the worker must run.
+pub(crate) const ENV_SHARD: &str = "ARCHER2_SWEEP_SHARD";
+/// Output directory shared by every worker of the sweep.
+pub(crate) const ENV_OUT: &str = "ARCHER2_SWEEP_OUT";
+/// Fault injection: abort the process after this many *newly executed*
+/// scenarios, leaving a torn snapshot for the next one (test/demo only).
+pub(crate) const ENV_ABORT_AFTER: &str = "ARCHER2_SWEEP_ABORT_AFTER";
+/// Fault injection: sleep this many milliseconds before starting, turning
+/// the worker into a deterministic straggler (test/demo only).
+pub(crate) const ENV_STALL_MS: &str = "ARCHER2_SWEEP_STALL_MS";
+
+/// The per-shard summary a worker writes last (checksummed, atomic): the
+/// shard's canonical results plus provenance tying it to the manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardSummary {
+    /// Which shard this summarises.
+    pub shard_id: u32,
+    /// The manifest's grid digest, copied so a summary can never be merged
+    /// against a different grid.
+    pub grid_digest: String,
+    /// Canonical results, one per owned scenario, ascending by index.
+    pub results: Vec<ScenarioResult>,
+    /// How many of those were validated leftovers of an earlier attempt
+    /// (resume) rather than executed by this process.
+    pub skipped: u64,
+    /// Wall-clock time of this attempt, milliseconds.
+    pub wall_ms: u64,
+}
+
+/// Snapshot path of a scenario (shared by all shards and attempts:
+/// scenario identity is grid-global, writes are atomic and bit-identical).
+pub(crate) fn scenario_snapshot_path(out_dir: &Path, index: u32) -> PathBuf {
+    out_dir.join(format!("scenario-{index:05}.tsnap"))
+}
+
+/// Sidecar path of a scenario's canonical result.
+pub(crate) fn scenario_sidecar_path(out_dir: &Path, index: u32) -> PathBuf {
+    out_dir.join(format!("scenario-{index:05}.json"))
+}
+
+/// Summary path of a shard.
+pub(crate) fn shard_summary_path(out_dir: &Path, shard_id: u32) -> PathBuf {
+    out_dir.join(format!("shard-{shard_id:04}.summary.json"))
+}
+
+/// Validate one persisted scenario: sidecar parses and passes its
+/// checksum, identity matches the manifest, the snapshot opens (footer,
+/// per-block CRCs), and the store digest recomputed from the *reopened*
+/// store equals the recorded one. Returns the result on success, or a
+/// reason the scenario must be re-run.
+pub(crate) fn validate_scenario(
+    out_dir: &Path,
+    index: u32,
+    expected_label: &str,
+) -> Result<ScenarioResult, String> {
+    let sidecar = scenario_sidecar_path(out_dir, index);
+    let value = load_checksummed(&sidecar).map_err(|e| format!("sidecar: {e}"))?;
+    let result =
+        ScenarioResult::from_value(&value).map_err(|e| format!("sidecar shape: {e}"))?;
+    if result.index != index {
+        return Err(format!("sidecar index {} != {index}", result.index));
+    }
+    if result.label != expected_label {
+        return Err(format!(
+            "sidecar label {:?} != manifest label {expected_label:?}",
+            result.label
+        ));
+    }
+    let snap = scenario_snapshot_path(out_dir, index);
+    let store = TsdbStore::open_snapshot_path(&snap, StoreConfig::default())
+        .map_err(|e| format!("snapshot: {e:?}"))?;
+    let recomputed = hex(store_digest(&store));
+    if recomputed != result.store_digest {
+        return Err(format!(
+            "store digest mismatch: recorded {}, recomputed {recomputed}",
+            result.store_digest
+        ));
+    }
+    Ok(result)
+}
+
+/// Validate a whole shard's persisted output against the manifest:
+/// summary checksum and identity, result set exactly the shard's scenario
+/// list, and every scenario individually valid per [`validate_scenario`].
+pub(crate) fn validate_shard(
+    out_dir: &Path,
+    manifest: &SweepManifest,
+    shard_id: u32,
+) -> Result<ShardSummary, String> {
+    let shard = manifest
+        .shards
+        .get(shard_id as usize)
+        .ok_or_else(|| format!("shard {shard_id} not in manifest"))?;
+    let path = shard_summary_path(out_dir, shard_id);
+    let value = load_checksummed(&path).map_err(|e| format!("summary: {e}"))?;
+    let summary =
+        ShardSummary::from_value(&value).map_err(|e| format!("summary shape: {e}"))?;
+    if summary.shard_id != shard_id {
+        return Err(format!("summary shard id {} != {shard_id}", summary.shard_id));
+    }
+    if summary.grid_digest != manifest.grid_digest {
+        return Err(format!(
+            "summary grid digest {} != manifest {}",
+            summary.grid_digest, manifest.grid_digest
+        ));
+    }
+    let got: Vec<u32> = summary.results.iter().map(|r| r.index).collect();
+    if got != shard.scenarios {
+        return Err(format!(
+            "summary covers scenarios {got:?}, shard owns {:?}",
+            shard.scenarios
+        ));
+    }
+    for result in &summary.results {
+        let spec = &manifest.specs[result.index as usize];
+        let validated = validate_scenario(out_dir, result.index, &spec.label)
+            .map_err(|e| format!("scenario {}: {e}", result.index))?;
+        if validated != *result {
+            return Err(format!(
+                "scenario {}: sidecar result differs from summary",
+                result.index
+            ));
+        }
+    }
+    Ok(summary)
+}
+
+/// Fault-injection knobs a worker reads from its environment (set by the
+/// coordinator's [`super::WorkerFault`]; absent in production sweeps).
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerFaultEnv {
+    abort_after: Option<u32>,
+    stall_ms: Option<u64>,
+}
+
+/// Run one shard to completion: execute (or, on resume, validate and skip)
+/// every owned scenario, persist each as snapshot + sidecar, then write the
+/// shard summary. This is the in-process body of the worker; the
+/// process-level wrapper is [`worker_from_env`].
+pub fn run_worker(
+    manifest_path: &Path,
+    shard_id: u32,
+    out_dir: &Path,
+) -> Result<ShardSummary, SweepError> {
+    run_worker_inner(manifest_path, shard_id, out_dir, WorkerFaultEnv::default())
+}
+
+fn run_worker_inner(
+    manifest_path: &Path,
+    shard_id: u32,
+    out_dir: &Path,
+    fault: WorkerFaultEnv,
+) -> Result<ShardSummary, SweepError> {
+    let t0 = Instant::now();
+    if let Some(ms) = fault.stall_ms {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    let manifest = SweepManifest::load(manifest_path)?;
+    let shard = manifest
+        .shards
+        .get(shard_id as usize)
+        .ok_or_else(|| {
+            SweepError::Worker(format!(
+                "shard id {shard_id} out of range: manifest has {} shards",
+                manifest.shards.len()
+            ))
+        })?
+        .clone();
+    std::fs::create_dir_all(out_dir)?;
+
+    let mut results = Vec::with_capacity(shard.scenarios.len());
+    let mut skipped = 0u64;
+    let mut executed = 0u32;
+    for &index in &shard.scenarios {
+        let spec = &manifest.specs[index as usize];
+        if let Ok(prev) = validate_scenario(out_dir, index, &spec.label) {
+            skipped += 1;
+            results.push(prev);
+            continue;
+        }
+        if fault.abort_after.is_some_and(|n| executed >= n) {
+            die_mid_shard(out_dir, index, results.last());
+        }
+        let snap = scenario_snapshot_path(out_dir, index);
+        let started = Instant::now();
+        let result = crate::scenarios::run_one(spec, &|spec, campaign| {
+            let mut r = summarize(index, &spec.label, campaign, 0);
+            campaign
+                .telemetry_store()
+                .snapshot_to_path(&snap)
+                .map(|_| {
+                    r.wall_ms = started.elapsed().as_millis() as u64;
+                    r
+                })
+        })?;
+        write_checksummed(&scenario_sidecar_path(out_dir, index), result.to_value())?;
+        executed += 1;
+        results.push(result);
+    }
+    if fault.abort_after.is_some_and(|n| executed >= n) {
+        // The budget ran out exactly at the shard boundary: still die
+        // before the summary, so the shard reads as incomplete.
+        std::process::abort();
+    }
+
+    let summary = ShardSummary {
+        shard_id,
+        grid_digest: manifest.grid_digest.clone(),
+        results,
+        skipped,
+        wall_ms: t0.elapsed().as_millis() as u64,
+    };
+    write_checksummed(&shard_summary_path(out_dir, shard_id), summary.to_value())?;
+    Ok(summary)
+}
+
+/// Injected mid-shard death: leave a *torn* snapshot for the scenario that
+/// was "in flight" (so resume has to exercise footer validation, not just
+/// absence), then abort the process without unwinding — exactly what a
+/// SIGKILL mid-write looks like to the next attempt.
+fn die_mid_shard(out_dir: &Path, index: u32, last_done: Option<&ScenarioResult>) -> ! {
+    let torn = scenario_snapshot_path(out_dir, index);
+    let bytes = last_done
+        .map(|r| scenario_snapshot_path(out_dir, r.index))
+        .and_then(|p| std::fs::read(p).ok())
+        .unwrap_or_else(|| vec![0u8; 256]);
+    let _ = std::fs::write(&torn, &bytes[..bytes.len() / 2]);
+    std::process::abort();
+}
+
+/// Process-level worker entry point. Call this first thing in `main` (and
+/// in any test binary the coordinator may re-exec): when the
+/// `ARCHER2_SWEEP_*` environment is absent it returns `None` and the
+/// process proceeds normally; when present it runs the designated shard
+/// and returns `Some(exit_code)` for the caller to pass to
+/// `std::process::exit`.
+///
+/// ```no_run
+/// if let Some(code) = archer2_core::sweep::worker_from_env() {
+///     std::process::exit(code);
+/// }
+/// // ... coordinator / example / test logic ...
+/// ```
+pub fn worker_from_env() -> Option<i32> {
+    let shard = std::env::var(ENV_SHARD).ok()?;
+    let code = worker_env_main(&shard);
+    Some(code)
+}
+
+fn worker_env_main(shard: &str) -> i32 {
+    let Ok(shard_id) = shard.parse::<u32>() else {
+        eprintln!("sweep worker: unparseable {ENV_SHARD}={shard:?}");
+        return EXIT_ENV;
+    };
+    let (Ok(manifest), Ok(out)) = (std::env::var(ENV_MANIFEST), std::env::var(ENV_OUT)) else {
+        eprintln!("sweep worker: {ENV_MANIFEST} and {ENV_OUT} must both be set");
+        return EXIT_ENV;
+    };
+    let fault = WorkerFaultEnv {
+        abort_after: std::env::var(ENV_ABORT_AFTER).ok().and_then(|v| v.parse().ok()),
+        stall_ms: std::env::var(ENV_STALL_MS).ok().and_then(|v| v.parse().ok()),
+    };
+    match run_worker_inner(Path::new(&manifest), shard_id, Path::new(&out), fault) {
+        Ok(_) => EXIT_OK,
+        Err(e) => {
+            eprintln!("sweep worker (shard {shard_id}): {e}");
+            match &e {
+                SweepError::Manifest(_) => EXIT_MANIFEST,
+                SweepError::Worker(_) => EXIT_SHARD,
+                _ => EXIT_RUN,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::tiny_specs;
+    use super::super::{fold_store_digests, run_in_process};
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sweep-worker-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn worker_runs_its_shard_and_matches_in_process() {
+        let dir = scratch("runs");
+        let specs = tiny_specs(3);
+        let reference = run_in_process(&specs);
+        let manifest = SweepManifest::partition(specs, 2, "explicit");
+        let mpath = dir.join("manifest.json");
+        manifest.write(&mpath).unwrap();
+
+        let s0 = run_worker(&mpath, 0, &dir).unwrap();
+        let s1 = run_worker(&mpath, 1, &dir).unwrap();
+        assert_eq!(s0.skipped, 0);
+        let mut all = [s0.results.clone(), s1.results.clone()].concat();
+        all.sort_by_key(|r| r.index);
+        assert_eq!(
+            hex(fold_store_digests(&all)),
+            reference.store_digest,
+            "worker-run shards must fold to the in-process store digest"
+        );
+        // Shard outputs validate end to end.
+        validate_shard(&dir, &manifest, 0).unwrap();
+        validate_shard(&dir, &manifest, 1).unwrap();
+    }
+
+    #[test]
+    fn rerun_skips_validated_scenarios() {
+        let dir = scratch("skip");
+        let manifest = SweepManifest::partition(tiny_specs(2), 1, "explicit");
+        let mpath = dir.join("manifest.json");
+        manifest.write(&mpath).unwrap();
+        let first = run_worker(&mpath, 0, &dir).unwrap();
+        assert_eq!(first.skipped, 0);
+        let second = run_worker(&mpath, 0, &dir).unwrap();
+        assert_eq!(second.skipped, 2, "second run must validate and skip both");
+        assert_eq!(first.results, second.results);
+    }
+
+    #[test]
+    fn corrupted_snapshot_forces_rerun_and_heals() {
+        let dir = scratch("heal");
+        let manifest = SweepManifest::partition(tiny_specs(2), 1, "explicit");
+        let mpath = dir.join("manifest.json");
+        manifest.write(&mpath).unwrap();
+        let first = run_worker(&mpath, 0, &dir).unwrap();
+        // Tear scenario 1's snapshot: footer validation must reject it.
+        let snap = scenario_snapshot_path(&dir, 1);
+        let bytes = std::fs::read(&snap).unwrap();
+        std::fs::write(&snap, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(validate_scenario(&dir, 1, &manifest.specs[1].label).is_err());
+        let second = run_worker(&mpath, 0, &dir).unwrap();
+        assert_eq!(second.skipped, 1, "only the intact scenario is skipped");
+        assert_eq!(first.results, second.results, "healed rerun is bit-identical");
+        validate_shard(&dir, &manifest, 0).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_shard_is_a_typed_error() {
+        let dir = scratch("range");
+        let manifest = SweepManifest::partition(tiny_specs(1), 1, "explicit");
+        let mpath = dir.join("manifest.json");
+        manifest.write(&mpath).unwrap();
+        let err = run_worker(&mpath, 5, &dir).unwrap_err();
+        assert!(matches!(err, SweepError::Worker(_)), "{err}");
+    }
+}

@@ -17,6 +17,7 @@
 use hpc_topo::{CabinetId, CduId, FacilityTopology, NodeId, SwitchId};
 use sim_core::dist::{Distribution, LogNormal};
 use sim_core::rng::{Rng, Xoshiro256StarStar};
+use serde::{Deserialize, Serialize};
 use sim_core::time::SimDuration;
 
 /// A set of nodes that fail together.
@@ -51,7 +52,7 @@ pub enum FaultKind {
 }
 
 /// Failure/repair parameters for one domain class.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DomainRate {
     /// Mean time between failures of one domain instance, in hours.
     /// Fleet-level arrivals are Poisson with rate `instances / mtbf`.
@@ -69,7 +70,7 @@ impl DomainRate {
 }
 
 /// Configuration of the correlated-fault schedule generator.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DomainFaultConfig {
     /// Per-node hardware failures (the uncorrelated baseline).
     pub node: DomainRate,

@@ -13,6 +13,7 @@
 //! threads through, so two identically seeded campaigns produce
 //! bit-identical faulted telemetry.
 
+use serde::{Deserialize, Serialize};
 use sim_core::dist::{Distribution, Exponential};
 use sim_core::rng::{Rng, Xoshiro256StarStar};
 use sim_core::time::SimDuration;
@@ -49,7 +50,7 @@ pub struct MeterFaultWindow {
 
 /// Meter-fault generation parameters. Rates are per meter per 30-day
 /// month; zero disables that fault kind.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MeterFaultConfig {
     /// Dropout windows per meter-month.
     pub dropouts_per_month: f64,

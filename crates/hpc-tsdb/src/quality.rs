@@ -23,6 +23,7 @@
 //! state, deliberately not part of the snapshot format).
 
 use crate::rollup::Aggregate;
+use serde::{Deserialize, Serialize};
 use crate::series::Series;
 use crate::store::{SeriesId, TsdbStore};
 use std::collections::HashMap;
@@ -50,7 +51,7 @@ pub struct QuarantinedSample {
 }
 
 /// Sanitisation thresholds.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SanitizeConfig {
     /// Minimum plausible value (inclusive).
     pub min_value: f64,

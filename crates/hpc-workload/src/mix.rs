@@ -107,9 +107,16 @@ impl WorkloadMix {
     }
 
     /// Draw a research area according to the mix.
+    ///
+    /// A mix that arrived over serde has no cached sampler (the sampler is
+    /// `#[serde(skip)]` — it is a pure function of the weights); in that
+    /// case one is rebuilt on the fly, so a deserialised mix samples the
+    /// identical sequence a constructed one does.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> ResearchArea {
-        let sampler = self.sampler.as_ref().expect("sampler built in constructor");
-        ResearchArea::ALL[sampler.sample(rng)]
+        match self.sampler.as_ref() {
+            Some(sampler) => ResearchArea::ALL[sampler.sample(rng)],
+            None => ResearchArea::ALL[Categorical::new(&self.weights).sample(rng)],
+        }
     }
 }
 

@@ -234,6 +234,22 @@ impl_tuple! {
     (A.0, B.1, C.2, D.3 ; 4)
 }
 
+// A `Value` is already the data model: serialising is identity. This lets
+// code that assembles records as raw `Value` trees (benchmark writers, the
+// sweep layer's checksummed JSON helpers) pass them straight to
+// `serde_json::to_string` without a newtype wrapper.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {

@@ -1,0 +1,162 @@
+//! Integration tests for the distributed sweep layer: real worker
+//! *processes* (re-execs of this test binary), a worker killed mid-shard,
+//! and the bit-identity contract against the in-process runner.
+//!
+//! The coordinator spawns `current_exe()` with a libtest filter selecting
+//! [`sweep_worker_entry`], whose only job is to hand control to
+//! [`worker_from_env`]. When the `ARCHER2_SWEEP_*` environment is absent
+//! (a normal `cargo test` run) the entry test is a no-op pass.
+
+use archer2_repro::core::campaign::CampaignConfig;
+use archer2_repro::core::scenarios::ScenarioSpec;
+use archer2_repro::core::sweep::{
+    derive_seed, resume_distributed, run_distributed, run_in_process, SweepConfig, SweepError,
+    SweepManifest, WorkerCommand, WorkerFault,
+};
+use archer2_repro::prelude::*;
+use archer2_repro::workload::{GeneratorConfig, OperatingPoint};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// Worker-mode trampoline: the coordinator re-execs this test binary with
+/// `["sweep_worker_entry", "--exact"]` and the sweep environment set; the
+/// worker runs its shard and exits the process with its documented code
+/// before libtest gets a say. Without the environment this is a no-op.
+#[test]
+fn sweep_worker_entry() {
+    if let Some(code) = archer2_repro::core::sweep::worker_from_env() {
+        std::process::exit(code);
+    }
+}
+
+fn worker() -> WorkerCommand {
+    WorkerCommand::self_exec_with(&["sweep_worker_entry", "--exact"]).expect("current_exe")
+}
+
+fn grid(n: usize) -> Vec<ScenarioSpec> {
+    let start = SimTime::from_ymd(2022, 3, 1);
+    (0..n)
+        .map(|i| {
+            let config = CampaignConfig {
+                seed: derive_seed(2022, i as u64),
+                backlog_target: 30,
+                generator: GeneratorConfig { max_nodes: 32, ..GeneratorConfig::default() },
+                per_cabinet_telemetry: true,
+                ..CampaignConfig::default()
+            };
+            ScenarioSpec::new(
+                format!("grid{i:02}"),
+                config,
+                40,
+                start,
+                start + SimDuration::from_hours(6),
+                OperatingPoint::AFTER_BIOS,
+            )
+        })
+        .collect()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sweep-itest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(shards: usize, workers: usize) -> SweepConfig {
+    SweepConfig {
+        shards,
+        max_workers: workers,
+        retry_budget: 2,
+        steal_after: None,
+        worker: worker(),
+        fault: None,
+        seed_derivation: "splitmix64(2022, index)".to_string(),
+    }
+}
+
+#[test]
+fn distributed_sweep_is_bit_identical_to_in_process() {
+    let specs = grid(5);
+    let reference = run_in_process(&specs);
+    // Two different shardings must both land on the reference digests.
+    for (shards, workers, tag) in [(3usize, 2usize, "a"), (5, 3, "b")] {
+        let out = scratch(&format!("match-{tag}"));
+        let outcome = run_distributed(specs.clone(), &config(shards, workers), &out)
+            .expect("distributed sweep");
+        assert_eq!(outcome.merged.store_digest, reference.store_digest, "{shards} shards");
+        assert_eq!(outcome.merged.summary_digest, reference.summary_digest, "{shards} shards");
+        assert_eq!(outcome.report.resumed_shards, 0);
+        let _ = std::fs::remove_dir_all(out);
+    }
+}
+
+#[test]
+fn killed_worker_then_resume_is_bit_identical() {
+    let specs = grid(6);
+    let reference = run_in_process(&specs);
+    let out = scratch("kill");
+
+    // First run: shard 1's worker stalls (letting its siblings finish),
+    // then aborts mid-shard leaving a torn snapshot; no retry budget, so
+    // the sweep fails typed.
+    let mut killed = config(3, 3);
+    killed.retry_budget = 0;
+    killed.fault = Some(WorkerFault { shard: 1, abort_after: Some(1), stall_ms: Some(1_000) });
+    let err = run_distributed(specs.clone(), &killed, &out).expect_err("budget 0 must fail");
+    assert!(matches!(err, SweepError::ShardExhausted { shard: 1, .. }), "{err}");
+
+    // Resume from the manifest: completed shards are skipped, the dead one
+    // re-runs, and the merged digests equal the in-process reference.
+    let outcome = resume_distributed(&out.join("manifest.json"), &config(3, 3), &out)
+        .expect("resume after kill");
+    assert_eq!(outcome.merged.store_digest, reference.store_digest);
+    assert_eq!(outcome.merged.summary_digest, reference.summary_digest);
+    assert!(
+        outcome.report.resumed_shards >= 2,
+        "stalled-then-killed shard lets both siblings finish: {:?}",
+        outcome.report
+    );
+    let _ = std::fs::remove_dir_all(out);
+}
+
+#[test]
+fn retry_budget_absorbs_a_worker_death() {
+    let specs = grid(4);
+    let reference = run_in_process(&specs);
+    let out = scratch("retry");
+    // Shard 0's first attempt aborts immediately; the budget retries it in
+    // the same run, so the sweep still succeeds end to end.
+    let mut cfg = config(2, 2);
+    cfg.retry_budget = 1;
+    cfg.fault = Some(WorkerFault { shard: 0, abort_after: Some(0), stall_ms: None });
+    let outcome = run_distributed(specs, &cfg, &out).expect("retry must absorb the death");
+    assert_eq!(outcome.merged.store_digest, reference.store_digest);
+    assert_eq!(outcome.report.retries, 1, "{:?}", outcome.report);
+    assert_eq!(outcome.report.failures.len(), 1);
+    assert_eq!(outcome.report.failures[0].shard, 0);
+    let _ = std::fs::remove_dir_all(out);
+}
+
+proptest! {
+    /// The manifest partition is a bijection for any grid size and shard
+    /// count: every scenario index lands in exactly one shard, shard ids
+    /// are dense, and shard sizes are balanced to within one.
+    #[test]
+    fn partition_is_a_bijection(n in 0usize..40, k in 1usize..12) {
+        let manifest = SweepManifest::partition(grid(n), k, "splitmix64(2022, index)");
+        prop_assert_eq!(manifest.shards.len(), k);
+        let mut seen: Vec<u32> =
+            manifest.shards.iter().flat_map(|s| s.scenarios.clone()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n as u32).collect::<Vec<_>>());
+        for shard in &manifest.shards {
+            for w in shard.scenarios.windows(2) {
+                prop_assert!(w[0] < w[1], "indices strictly ascending");
+            }
+        }
+        let sizes: Vec<usize> = manifest.shards.iter().map(|s| s.scenarios.len()).collect();
+        let lo = sizes.iter().min().copied().unwrap_or(0);
+        let hi = sizes.iter().max().copied().unwrap_or(0);
+        prop_assert!(hi - lo <= 1, "balanced: {:?}", sizes);
+    }
+}
