@@ -1576,6 +1576,28 @@ impl Campaign {
         }
     }
 
+    /// [`Self::run_serve`] followed by a graceful drain of the query
+    /// service once the campaign ends: the server stops accepting, idle
+    /// sessions are told to go away with a typed `Draining` frame, and
+    /// in-flight requests get up to `drain_deadline` to finish before
+    /// being force-closed. This is the campaign-owned shutdown ordering —
+    /// telemetry stops growing first, *then* the serving tier winds down,
+    /// so no session is severed while the store is still moving.
+    ///
+    /// Returns the drain accounting so callers (benches, the verify gate)
+    /// can assert nothing had to be force-closed.
+    pub fn run_serve_drained(
+        &mut self,
+        until: SimTime,
+        step: SimDuration,
+        mut server: hpc_serve::Server,
+        drain_deadline: std::time::Duration,
+        observe: impl FnMut(&Campaign),
+    ) -> hpc_serve::DrainStats {
+        self.run_serve(until, step, observe);
+        server.drain(drain_deadline)
+    }
+
     /// Id of the facility power series in [`Self::telemetry_store`].
     pub fn facility_series_id(&self) -> SeriesId {
         self.sim.world().facility_sid

@@ -1,0 +1,506 @@
+//! A deterministic chaos proxy: a TCP man-in-the-middle that injects
+//! network weather — latency, mid-frame stalls, partial frames followed
+//! by silence, byte truncation and mid-request disconnects — between a
+//! client and an `hpc-serve` server.
+//!
+//! Every fault decision is drawn from a seeded
+//! [`hpc_tsdb::faults::DetRng`] keyed by the connection's accept
+//! index: equal `(plan, connection order)` gives equal fault schedules,
+//! so a failing chaos interleaving replays exactly. No wall-clock
+//! randomness anywhere — the only real time in the proxy is the injected
+//! delays themselves.
+//!
+//! The proxy is a *test harness*, but a production-shaped one: it speaks
+//! raw TCP, never inspects payloads, and forwards byte streams through
+//! two pump threads per connection. Faults are applied to one direction
+//! of one connection:
+//!
+//! | fault | what the victim sees |
+//! |---|---|
+//! | `Delay` | every forwarded chunk arrives late |
+//! | `Stall` | a frame freezes mid-byte for a while, then completes |
+//! | `Truncate` | a frame's tail never arrives (silence, not close) |
+//! | `Disconnect` | the connection dies mid-request |
+//!
+//! `Truncate` is the cruellest: the receiver holds a partial frame and an
+//! open, silent socket — exactly the shape the server's idle deadline and
+//! the client's read timeout exist to kill.
+
+use hpc_tsdb::faults::DetRng;
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Granularity of stop-flag polling in pumps and injected sleeps.
+const TICK: Duration = Duration::from_millis(20);
+
+/// A seeded description of the network weather to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seed for every fault decision.
+    pub seed: u64,
+    /// Percent of connections that receive a fault (0 = a clean proxy).
+    pub fault_pct: u64,
+    /// Relative weight of latency faults.
+    pub delay_weight: u64,
+    /// Relative weight of mid-frame stall faults.
+    pub stall_weight: u64,
+    /// Relative weight of partial-frame-then-silence faults.
+    pub truncate_weight: u64,
+    /// Relative weight of mid-request disconnect faults.
+    pub disconnect_weight: u64,
+    /// Injected latency per forwarded chunk, `[lo, hi]` ms.
+    pub delay_ms: (u64, u64),
+    /// Mid-frame stall duration, `[lo, hi]` ms.
+    pub stall_ms: (u64, u64),
+    /// Byte offset at which a stall/truncate/disconnect triggers,
+    /// `[lo, hi]` — small values hit handshakes, larger ones requests.
+    pub fault_after_bytes: (u64, u64),
+}
+
+impl ChaosPlan {
+    /// The default storm: just under half of all connections faulted,
+    /// all four fault kinds equally likely, stalls short enough that a
+    /// patient client survives them and truncates/disconnects that force
+    /// a retry.
+    pub fn storm(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            fault_pct: 45,
+            delay_weight: 1,
+            stall_weight: 1,
+            truncate_weight: 1,
+            disconnect_weight: 1,
+            delay_ms: (5, 40),
+            stall_ms: (120, 350),
+            fault_after_bytes: (1, 160),
+        }
+    }
+
+    /// A transparent proxy: no faults at all (the control arm).
+    pub fn clean(seed: u64) -> ChaosPlan {
+        ChaosPlan { fault_pct: 0, ..ChaosPlan::storm(seed) }
+    }
+
+    /// Every connection dies mid-request.
+    pub fn disconnect_storm(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            fault_pct: 100,
+            delay_weight: 0,
+            stall_weight: 0,
+            truncate_weight: 0,
+            disconnect_weight: 1,
+            ..ChaosPlan::storm(seed)
+        }
+    }
+
+    /// Every connection loses a frame tail to silence.
+    pub fn truncate_storm(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            fault_pct: 100,
+            delay_weight: 0,
+            stall_weight: 0,
+            truncate_weight: 1,
+            disconnect_weight: 0,
+            ..ChaosPlan::storm(seed)
+        }
+    }
+
+    /// Every connection stalls mid-frame for `stall_ms`.
+    pub fn stall_storm(seed: u64, stall_ms: (u64, u64)) -> ChaosPlan {
+        ChaosPlan {
+            fault_pct: 100,
+            delay_weight: 0,
+            stall_weight: 1,
+            truncate_weight: 0,
+            disconnect_weight: 0,
+            stall_ms,
+            ..ChaosPlan::storm(seed)
+        }
+    }
+
+    /// The deterministic fault decision for connection `conn` (by accept
+    /// order): which fault, with what parameters, in which direction.
+    fn draw(&self, conn: u64) -> (Fault, Direction) {
+        let mut rng = DetRng::derive(self.seed, conn);
+        // Fixed draw order keeps schedules aligned across plan tweaks.
+        let faulted = rng.chance_pct(self.fault_pct);
+        let total = self.delay_weight
+            + self.stall_weight
+            + self.truncate_weight
+            + self.disconnect_weight;
+        if !faulted || total == 0 {
+            return (Fault::None, Direction::ClientToServer);
+        }
+        let pick = rng.below(total);
+        let after = rng.range(self.fault_after_bytes.0, self.fault_after_bytes.1);
+        let delay = rng.range(self.delay_ms.0, self.delay_ms.1);
+        let stall = rng.range(self.stall_ms.0, self.stall_ms.1);
+        let dir = if rng.below(2) == 0 {
+            Direction::ClientToServer
+        } else {
+            Direction::ServerToClient
+        };
+        let fault = if pick < self.delay_weight {
+            Fault::Delay { ms: delay }
+        } else if pick < self.delay_weight + self.stall_weight {
+            Fault::Stall { after_bytes: after, ms: stall }
+        } else if pick < self.delay_weight + self.stall_weight + self.truncate_weight {
+            Fault::Truncate { after_bytes: after }
+        } else {
+            Fault::Disconnect { after_bytes: after }
+        };
+        (fault, dir)
+    }
+}
+
+/// One injected fault, fully parameterised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    None,
+    Delay { ms: u64 },
+    Stall { after_bytes: u64, ms: u64 },
+    Truncate { after_bytes: u64 },
+    Disconnect { after_bytes: u64 },
+}
+
+/// Which byte stream of a proxied connection carries the fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    ClientToServer,
+    ServerToClient,
+}
+
+/// Counters the proxy accumulates; faults are counted when *assigned*
+/// (deterministic), bytes when forwarded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Connections proxied.
+    pub connections: u64,
+    /// Connections assigned no fault.
+    pub clean: u64,
+    /// Connections assigned a latency fault.
+    pub delayed: u64,
+    /// Connections assigned a mid-frame stall.
+    pub stalled: u64,
+    /// Connections assigned a partial-frame truncation.
+    pub truncated: u64,
+    /// Connections assigned a mid-request disconnect.
+    pub disconnected: u64,
+    /// Total payload bytes forwarded (both directions).
+    pub bytes_forwarded: u64,
+}
+
+impl ChaosStats {
+    /// Connections that carried any fault.
+    pub fn faults_injected(&self) -> u64 {
+        self.delayed + self.stalled + self.truncated + self.disconnected
+    }
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    connections: AtomicU64,
+    clean: AtomicU64,
+    delayed: AtomicU64,
+    stalled: AtomicU64,
+    truncated: AtomicU64,
+    disconnected: AtomicU64,
+    bytes_forwarded: AtomicU64,
+}
+
+struct ProxyInner {
+    upstream: SocketAddr,
+    plan: ChaosPlan,
+    stopping: AtomicBool,
+    stats: AtomicStats,
+    /// Socket clones for force-close at shutdown (client and upstream
+    /// halves of every live connection).
+    socks: Mutex<Vec<TcpStream>>,
+    pumps: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running chaos proxy bound to a local TCP port.
+///
+/// Dropping it closes every proxied connection and joins all threads.
+pub struct ChaosProxy {
+    inner: Arc<ProxyInner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Bind `127.0.0.1:0` and start proxying to `upstream` under `plan`.
+    pub fn start(upstream: SocketAddr, plan: ChaosPlan) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(ProxyInner {
+            upstream,
+            plan,
+            stopping: AtomicBool::new(false),
+            stats: AtomicStats::default(),
+            socks: Mutex::new(Vec::new()),
+            pumps: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || {
+                let mut conn = 0u64;
+                for stream in listener.incoming() {
+                    if inner.stopping.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let client = match stream {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let id = conn;
+                    conn += 1;
+                    proxy_conn(&inner, client, id);
+                }
+            })
+        };
+        Ok(ChaosProxy { inner, addr, accept: Some(accept) })
+    }
+
+    /// The address clients should connect to instead of the server.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ChaosStats {
+        let s = &self.inner.stats;
+        ChaosStats {
+            connections: s.connections.load(Ordering::Relaxed),
+            clean: s.clean.load(Ordering::Relaxed),
+            delayed: s.delayed.load(Ordering::Relaxed),
+            stalled: s.stalled.load(Ordering::Relaxed),
+            truncated: s.truncated.load(Ordering::Relaxed),
+            disconnected: s.disconnected.load(Ordering::Relaxed),
+            bytes_forwarded: s.bytes_forwarded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, sever every proxied connection, join all threads.
+    /// Idempotent; runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.inner.stopping.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for sock in self.inner.socks.lock().drain(..) {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+        let pumps = std::mem::take(&mut *self.inner.pumps.lock());
+        for p in pumps {
+            let _ = p.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accept-side setup for one proxied connection: dial upstream, draw the
+/// fault, spawn the two pumps.
+fn proxy_conn(inner: &Arc<ProxyInner>, client: TcpStream, id: u64) {
+    inner.stats.connections.fetch_add(1, Ordering::Relaxed);
+    let (fault, dir) = inner.plan.draw(id);
+    match fault {
+        Fault::None => inner.stats.clean.fetch_add(1, Ordering::Relaxed),
+        Fault::Delay { .. } => inner.stats.delayed.fetch_add(1, Ordering::Relaxed),
+        Fault::Stall { .. } => inner.stats.stalled.fetch_add(1, Ordering::Relaxed),
+        Fault::Truncate { .. } => inner.stats.truncated.fetch_add(1, Ordering::Relaxed),
+        Fault::Disconnect { .. } => inner.stats.disconnected.fetch_add(1, Ordering::Relaxed),
+    };
+    let upstream = match TcpStream::connect_timeout(&inner.upstream, Duration::from_secs(5)) {
+        Ok(s) => s,
+        Err(_) => {
+            // Upstream gone (drained/stopped): sever the client side so it
+            // sees a clean close, not a hang.
+            let _ = client.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let _ = client.set_nodelay(true);
+    let _ = upstream.set_nodelay(true);
+    for s in [&client, &upstream] {
+        let _ = s.set_read_timeout(Some(TICK));
+        let _ = s.set_write_timeout(Some(Duration::from_secs(5)));
+    }
+    {
+        let mut socks = inner.socks.lock();
+        if let Ok(c) = client.try_clone() {
+            socks.push(c);
+        }
+        if let Ok(u) = upstream.try_clone() {
+            socks.push(u);
+        }
+    }
+    let (c2s_fault, s2c_fault) = match dir {
+        Direction::ClientToServer => (fault, Fault::None),
+        Direction::ServerToClient => (Fault::None, fault),
+    };
+    let mut pumps = inner.pumps.lock();
+    for (src, dst, fault) in [
+        (client.try_clone(), upstream.try_clone(), c2s_fault),
+        (upstream.try_clone(), client.try_clone(), s2c_fault),
+    ] {
+        let (Ok(src), Ok(dst)) = (src, dst) else {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = upstream.shutdown(Shutdown::Both);
+            return;
+        };
+        let inner = Arc::clone(inner);
+        pumps.push(std::thread::spawn(move || pump(&inner, src, dst, fault)));
+    }
+}
+
+/// Sleep `ms` in stop-aware ticks.
+fn chaos_sleep(inner: &ProxyInner, ms: u64) {
+    let mut left = Duration::from_millis(ms);
+    while !left.is_zero() && !inner.stopping.load(Ordering::Acquire) {
+        let step = left.min(TICK);
+        std::thread::sleep(step);
+        left -= step;
+    }
+}
+
+/// Forward `src` → `dst` applying `fault`. Exits when either side closes,
+/// the proxy stops, or the fault severs the stream.
+fn pump(inner: &ProxyInner, mut src: TcpStream, mut dst: TcpStream, fault: Fault) {
+    let mut buf = [0u8; 4096];
+    let mut sent = 0u64;
+    let mut stalled = false;
+    let mut blackhole = false;
+    loop {
+        if inner.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        let chunk = &buf[..n];
+        if blackhole {
+            // Partial-frame silence: keep reading so the sender never
+            // blocks, deliver nothing.
+            continue;
+        }
+        match fault {
+            Fault::None => {
+                if forward(inner, &mut dst, chunk).is_err() {
+                    break;
+                }
+            }
+            Fault::Delay { ms } => {
+                chaos_sleep(inner, ms);
+                if forward(inner, &mut dst, chunk).is_err() {
+                    break;
+                }
+            }
+            Fault::Stall { after_bytes, ms } => {
+                if !stalled && sent + n as u64 > after_bytes {
+                    // Deliver up to the stall point, freeze mid-frame,
+                    // then complete.
+                    let split = (after_bytes.saturating_sub(sent)) as usize;
+                    if forward(inner, &mut dst, &chunk[..split]).is_err() {
+                        break;
+                    }
+                    chaos_sleep(inner, ms);
+                    stalled = true;
+                    if forward(inner, &mut dst, &chunk[split..]).is_err() {
+                        break;
+                    }
+                } else if forward(inner, &mut dst, chunk).is_err() {
+                    break;
+                }
+            }
+            Fault::Truncate { after_bytes } => {
+                let allow = (after_bytes.saturating_sub(sent)) as usize;
+                if allow > 0 && forward(inner, &mut dst, &chunk[..allow.min(n)]).is_err() {
+                    break;
+                }
+                if sent + n as u64 >= after_bytes {
+                    blackhole = true;
+                }
+            }
+            Fault::Disconnect { after_bytes } => {
+                let allow = (after_bytes.saturating_sub(sent)) as usize;
+                if allow > 0 && forward(inner, &mut dst, &chunk[..allow.min(n)]).is_err() {
+                    break;
+                }
+                if sent + n as u64 >= after_bytes {
+                    let _ = src.shutdown(Shutdown::Both);
+                    let _ = dst.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+        }
+        sent += n as u64;
+    }
+    // One side is done: sever both so the peer pump exits too.
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+/// Write a chunk counting forwarded bytes.
+fn forward(inner: &ProxyInner, dst: &mut TcpStream, chunk: &[u8]) -> std::io::Result<()> {
+    if chunk.is_empty() {
+        return Ok(());
+    }
+    dst.write_all(chunk)?;
+    inner.stats.bytes_forwarded.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_draws_are_deterministic_and_respect_weights() {
+        let plan = ChaosPlan::storm(0xC4A0_5EED);
+        for conn in 0..64 {
+            assert_eq!(plan.draw(conn), plan.draw(conn), "conn {conn} draw must be stable");
+        }
+        let clean = ChaosPlan::clean(1);
+        assert!((0..64).all(|c| matches!(clean.draw(c).0, Fault::None)));
+        let disco = ChaosPlan::disconnect_storm(2);
+        assert!((0..64).all(|c| matches!(disco.draw(c).0, Fault::Disconnect { .. })));
+        let trunc = ChaosPlan::truncate_storm(3);
+        assert!((0..64).all(|c| matches!(trunc.draw(c).0, Fault::Truncate { .. })));
+        let stall = ChaosPlan::stall_storm(4, (10, 20));
+        assert!((0..64).all(|c| match stall.draw(c).0 {
+            Fault::Stall { ms, .. } => (10..=20).contains(&ms),
+            _ => false,
+        }));
+        // The storm actually mixes kinds.
+        let storm = ChaosPlan::storm(5);
+        let kinds: std::collections::HashSet<_> = (0..256)
+            .map(|c| std::mem::discriminant(&storm.draw(c).0))
+            .collect();
+        assert!(kinds.len() >= 4, "a 256-connection storm should show >= 4 fault kinds");
+    }
+}

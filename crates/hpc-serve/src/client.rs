@@ -3,11 +3,81 @@
 //! The client is deliberately thin — one socket, one outstanding request —
 //! because the concurrency story lives server-side. Load generators open
 //! many `Client`s, one per simulated session.
+//!
+//! Every socket operation is bounded: [`ClientConfig`] carries connect,
+//! read and write timeouts (defaulted — a raw `Client` can no longer hang
+//! forever on a dead or stalled server), and an expired deadline surfaces
+//! as a typed [`FrameError::Timeout`]. Callers that genuinely want an
+//! unbounded wait must opt in explicitly via [`ClientConfig::unbounded`].
+//! Retry/backoff policy deliberately does *not* live here — that is
+//! [`ResilientClient`](crate::resilient::ResilientClient)'s job.
 
 use crate::protocol::{
-    recv_message, send_message, FrameError, Request, Response, WireWindow, PROTOCOL_VERSION,
+    recv_message, send_message, ErrorKind, FrameError, Request, Response, WireWindow,
+    PROTOCOL_VERSION,
 };
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Socket deadlines for one client connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// TCP connect deadline. `None` = OS default (minutes — opt-in only).
+    pub connect_timeout: Option<Duration>,
+    /// Deadline for one reply frame to *begin* arriving. `None` = forever.
+    pub read_timeout: Option<Duration>,
+    /// Deadline for a request frame write to drain. `None` = forever.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// The pre-timeout behaviour: block forever on connect, read and
+    /// write. The escape hatch for debuggers and soak tests.
+    pub fn unbounded() -> Self {
+        ClientConfig { connect_timeout: None, read_timeout: None, write_timeout: None }
+    }
+}
+
+/// Why [`Client::try_connect`] failed: the transport broke, or the server
+/// answered the handshake with a typed refusal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectError {
+    /// The socket or framing layer failed before a typed reply arrived.
+    Transport(FrameError),
+    /// The server refused the handshake with a typed error frame
+    /// (wrong version, session caps, draining, …).
+    Refused {
+        /// The server's error category.
+        kind: ErrorKind,
+        /// The server's message.
+        message: String,
+        /// Back-off hint for transient refusals.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectError::Transport(e) => write!(f, "connect failed: {e}"),
+            ConnectError::Refused { kind, message, .. } => {
+                write!(f, "handshake refused ({kind:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
 
 /// A connected, handshaken session.
 pub struct Client {
@@ -15,24 +85,88 @@ pub struct Client {
     server: String,
 }
 
+fn io_err(e: std::io::Error) -> FrameError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            FrameError::Timeout { waited_ms: 0 }
+        }
+        _ => FrameError::Io(e.to_string()),
+    }
+}
+
+/// Open a TCP connection under `config.connect_timeout`, trying every
+/// resolved address in order.
+fn open_stream(addr: impl ToSocketAddrs, config: &ClientConfig) -> Result<TcpStream, FrameError> {
+    let addrs: Vec<SocketAddr> =
+        addr.to_socket_addrs().map_err(|e| FrameError::Io(e.to_string()))?.collect();
+    if addrs.is_empty() {
+        return Err(FrameError::Io("address resolved to nothing".into()));
+    }
+    let mut last = FrameError::Io("unreachable".into());
+    for a in addrs {
+        let attempt = match config.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(&a, t),
+            None => TcpStream::connect(a),
+        };
+        match attempt {
+            Ok(stream) => {
+                stream.set_nodelay(true).map_err(io_err)?;
+                stream.set_read_timeout(config.read_timeout).map_err(io_err)?;
+                stream.set_write_timeout(config.write_timeout).map_err(io_err)?;
+                return Ok(stream);
+            }
+            Err(e) => last = io_err(e),
+        }
+    }
+    Err(last)
+}
+
 impl Client {
-    /// Connect to `addr` and complete the version handshake as `tenant`.
+    /// Connect to `addr` under [`ClientConfig::default`] deadlines and
+    /// complete the version handshake as `tenant`.
     ///
     /// A typed server-side refusal (wrong version, session caps) surfaces
-    /// as [`FrameError::Malformed`] carrying the server's message.
+    /// as [`FrameError::Malformed`] carrying the server's message; use
+    /// [`Client::try_connect`] to receive the refusal typed.
     pub fn connect(addr: impl ToSocketAddrs, tenant: &str) -> Result<Client, FrameError> {
-        let mut stream = TcpStream::connect(addr).map_err(|e| FrameError::Io(e.to_string()))?;
-        stream.set_nodelay(true).map_err(|e| FrameError::Io(e.to_string()))?;
+        Self::connect_with(addr, tenant, &ClientConfig::default())
+    }
+
+    /// [`Client::connect`] with explicit deadlines.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        tenant: &str,
+        config: &ClientConfig,
+    ) -> Result<Client, FrameError> {
+        Self::try_connect(addr, tenant, config).map_err(|e| match e {
+            ConnectError::Transport(e) => e,
+            ConnectError::Refused { kind, message, .. } => {
+                FrameError::Malformed(format!("handshake refused ({kind:?}): {message}"))
+            }
+        })
+    }
+
+    /// Connect and handshake, keeping a typed refusal distinguishable
+    /// from a transport failure — the entry point retry layers need.
+    pub fn try_connect(
+        addr: impl ToSocketAddrs,
+        tenant: &str,
+        config: &ClientConfig,
+    ) -> Result<Client, ConnectError> {
+        let mut stream = open_stream(addr, config).map_err(ConnectError::Transport)?;
         send_message(
             &mut stream,
             &Request::Hello { version: PROTOCOL_VERSION, tenant: tenant.to_string() },
-        )?;
-        match recv_message::<Response>(&mut stream)? {
+        )
+        .map_err(ConnectError::Transport)?;
+        match recv_message::<Response>(&mut stream).map_err(ConnectError::Transport)? {
             Response::HelloAck { server, .. } => Ok(Client { stream, server }),
-            Response::Error { kind, message } => {
-                Err(FrameError::Malformed(format!("handshake refused ({kind:?}): {message}")))
+            Response::Error { kind, message, retry_after_ms } => {
+                Err(ConnectError::Refused { kind, message, retry_after_ms })
             }
-            other => Err(FrameError::Malformed(format!("unexpected handshake reply: {other:?}"))),
+            other => Err(ConnectError::Transport(FrameError::Malformed(format!(
+                "unexpected handshake reply: {other:?}"
+            )))),
         }
     }
 
@@ -41,7 +175,8 @@ impl Client {
         &self.server
     }
 
-    /// Send one request and wait for its reply.
+    /// Send one request and wait for its reply. A stalled server surfaces
+    /// as [`FrameError::Timeout`] once the read deadline expires.
     pub fn request(&mut self, request: &Request) -> Result<Response, FrameError> {
         send_message(&mut self.stream, request)?;
         recv_message(&mut self.stream)
@@ -60,10 +195,10 @@ impl Client {
         match self.request(&Request::Windows { series: series.to_string(), from, to, step, op }) {
             Ok(Response::Windows { windows }) => Ok(windows),
             Ok(other) => Err(Box::new(other)),
-            Err(e) => Err(Box::new(Response::Error {
-                kind: crate::protocol::ErrorKind::Protocol,
-                message: e.to_string(),
-            })),
+            Err(e) => Err(Box::new(Response::error(
+                crate::protocol::ErrorKind::Protocol,
+                e.to_string(),
+            ))),
         }
     }
 }

@@ -21,18 +21,37 @@
 //! counters, latency percentiles from [`sim_core::stats::Histogram`], and
 //! store-work attribution ([`hpc_tsdb::QueryStats`] deltas folded with
 //! saturating arithmetic), all served back over the wire by `Introspect`.
+//!
+//! Resilience is layered on top (protocol v2):
+//!
+//! - [`session::TimeoutConfig`] — server-side handshake/idle deadlines with
+//!   slow-client eviction (slow-loris defence) and polling reads, plus a
+//!   graceful [`server::Server::drain`] that lets in-flight work finish
+//!   before force-closing stragglers.
+//! - [`resilient`] — a deadline-aware retrying client: bounded attempts,
+//!   exponential backoff with deterministic seeded jitter, automatic
+//!   reconnect, and a retry-safety matrix that refuses to retry what
+//!   retrying cannot fix.
+//! - [`chaos`] — a deterministic TCP man-in-the-middle injecting latency,
+//!   stalls, partial frames and disconnects from a seeded fault plan, so
+//!   the resilience claims above are *tested*, not asserted.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
+pub mod resilient;
 pub mod server;
 pub mod session;
 
-pub use client::Client;
+pub use chaos::{ChaosPlan, ChaosProxy, ChaosStats};
+pub use client::{Client, ClientConfig, ConnectError};
 pub use protocol::{
-    ErrorKind, FrameError, Introspection, Request, Response, TenantSnapshot, WireGap, WireGroup,
-    WireOp, WireQueryStats, WireSeries, WireWindow, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    DeadlineRead, ErrorKind, FrameError, Introspection, Request, Response, TenantSnapshot,
+    WireGap, WireGroup, WireOp, WireQueryStats, WireSeries, WireWindow, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
 };
-pub use server::{IngestProbe, Server, ServerConfig};
-pub use session::{AdmissionConfig, Reject, TenantBudget};
+pub use resilient::{ResilientClient, ResilientError, RetryPolicy, RetryStats};
+pub use server::{DrainStats, IngestProbe, Server, ServerConfig};
+pub use session::{AdmissionConfig, Reject, TenantBudget, TimeoutConfig};

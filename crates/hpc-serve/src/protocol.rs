@@ -33,9 +33,14 @@
 
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// Protocol version spoken by this build; bumped on any wire change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2 added `retry_after_ms` to error frames and the `Timeout` /
+/// `Draining` error kinds.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard ceiling on a frame's payload length, in bytes. A length prefix
 /// above this is a protocol error and the frame is never read.
@@ -62,6 +67,13 @@ pub enum FrameError {
     Malformed(String),
     /// An underlying socket error.
     Io(String),
+    /// An i/o deadline expired: connect, whole-frame read, or write.
+    /// `waited_ms` is how long the caller waited before giving up (0 when
+    /// a socket-level timeout fired and the exact wait is unknown).
+    Timeout {
+        /// Milliseconds waited before the deadline fired.
+        waited_ms: u64,
+    },
 }
 
 impl std::fmt::Display for FrameError {
@@ -76,11 +88,28 @@ impl std::fmt::Display for FrameError {
             }
             FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
             FrameError::Io(m) => write!(f, "i/o error: {m}"),
+            FrameError::Timeout { waited_ms: 0 } => write!(f, "i/o deadline expired"),
+            FrameError::Timeout { waited_ms } => {
+                write!(f, "i/o deadline expired after {waited_ms} ms")
+            }
         }
     }
 }
 
 impl std::error::Error for FrameError {}
+
+/// Map an [`std::io::Error`] to the frame-error taxonomy: a socket-level
+/// timeout (`TimedOut` on Unix, `WouldBlock` where `SO_RCVTIMEO` reports
+/// it that way) becomes [`FrameError::Timeout`], everything else
+/// [`FrameError::Io`].
+fn io_error(e: std::io::Error) -> FrameError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            FrameError::Timeout { waited_ms: 0 }
+        }
+        _ => FrameError::Io(e.to_string()),
+    }
+}
 
 /// Read exactly `buf.len()` bytes, distinguishing a clean EOF at a frame
 /// boundary (`Closed` when `at_boundary`) from a torn frame (`Truncated`).
@@ -97,7 +126,7 @@ fn read_full(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(),
             }
             Ok(n) => got += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(FrameError::Io(e.to_string())),
+            Err(e) => return Err(io_error(e)),
         }
     }
     Ok(())
@@ -122,9 +151,9 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError>
         return Err(FrameError::TooLarge { len: payload.len() as u32 });
     }
     let len = (payload.len() as u32).to_be_bytes();
-    w.write_all(&len).map_err(|e| FrameError::Io(e.to_string()))?;
-    w.write_all(payload).map_err(|e| FrameError::Io(e.to_string()))?;
-    w.flush().map_err(|e| FrameError::Io(e.to_string()))?;
+    w.write_all(&len).map_err(io_error)?;
+    w.write_all(payload).map_err(io_error)?;
+    w.flush().map_err(io_error)?;
     Ok(())
 }
 
@@ -134,12 +163,107 @@ pub fn send_message<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), Fra
     write_frame(w, json.as_bytes())
 }
 
+/// Deserialise one frame payload as `T`.
+pub fn decode_message<T: Deserialize>(payload: &[u8]) -> Result<T, FrameError> {
+    let text = std::str::from_utf8(payload).map_err(|e| FrameError::Malformed(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
 /// Read a frame and deserialise it as `T`.
 pub fn recv_message<T: Deserialize>(r: &mut impl Read) -> Result<T, FrameError> {
     let payload = read_frame(r)?;
-    let text =
-        std::str::from_utf8(&payload).map_err(|e| FrameError::Malformed(e.to_string()))?;
-    serde_json::from_str(text).map_err(|e| FrameError::Malformed(e.to_string()))
+    decode_message(&payload)
+}
+
+/// Outcome of a deadline-bounded frame read.
+#[derive(Debug)]
+pub enum DeadlineRead {
+    /// A complete frame arrived within the deadline.
+    Frame(Vec<u8>),
+    /// The abort flag was observed while waiting *between* frames (no byte
+    /// of the next frame had arrived), so the caller can end the session
+    /// gracefully without tearing a request in half.
+    Aborted,
+}
+
+/// Read one frame with a hard total deadline, polling the socket at `tick`
+/// granularity.
+///
+/// The clock starts at call time: the wait for the frame to begin and the
+/// frame's completion (prefix and payload) share the one deadline. A peer
+/// that dribbles one byte per interval therefore cannot hold the session
+/// open indefinitely: partial progress never resets the deadline (the
+/// slow-loris defense).
+///
+/// `abort`, when set, is sampled once per tick. Observing it between
+/// frames yields [`DeadlineRead::Aborted`]; observing it mid-frame lets
+/// the frame finish under the remaining deadline, so an in-flight request
+/// is either served whole or timed out — never half-read.
+///
+/// The socket's read timeout is set to `tick` and left that way.
+pub fn read_frame_deadline(
+    stream: &mut TcpStream,
+    deadline: Duration,
+    tick: Duration,
+    abort: Option<&AtomicBool>,
+) -> Result<DeadlineRead, FrameError> {
+    stream
+        .set_read_timeout(Some(tick.max(Duration::from_millis(1))))
+        .map_err(io_error)?;
+    let start = Instant::now();
+    let mut prefix = [0u8; 4];
+    let mut payload: Option<Vec<u8>> = None;
+    let mut got = 0usize;
+    loop {
+        let (buf, at_boundary): (&mut [u8], bool) = match payload {
+            None => (&mut prefix, true),
+            Some(ref mut p) => (p.as_mut_slice(), false),
+        };
+        while got < buf.len() {
+            // Checked only while bytes are still owed, so a frame whose
+            // last byte lands exactly at the deadline is still returned.
+            if start.elapsed() >= deadline {
+                return Err(FrameError::Timeout {
+                    waited_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+            match stream.read(&mut buf[got..]) {
+                Ok(0) => {
+                    return Err(if at_boundary && got == 0 {
+                        FrameError::Closed
+                    } else {
+                        FrameError::Truncated { expected: buf.len() - got, got }
+                    });
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    if let Some(flag) = abort {
+                        if flag.load(Ordering::Acquire) && at_boundary && got == 0 {
+                            return Ok(DeadlineRead::Aborted);
+                        }
+                    }
+                }
+                Err(e) => return Err(io_error(e)),
+            }
+        }
+        match payload {
+            None => {
+                let len = u32::from_be_bytes(prefix);
+                if len > MAX_FRAME_LEN {
+                    return Err(FrameError::TooLarge { len });
+                }
+                payload = Some(vec![0u8; len as usize]);
+                got = 0;
+            }
+            Some(p) => return Ok(DeadlineRead::Frame(p)),
+        }
+    }
 }
 
 /// Aggregation operator on the wire, mirroring [`hpc_tsdb::AggOp`].
@@ -374,6 +498,11 @@ pub struct Introspection {
     pub sessions_active: u64,
     /// Connections refused at admission (session caps).
     pub sessions_rejected: u64,
+    /// Sessions evicted for blowing an i/o deadline: handshake or idle
+    /// frame deadlines (slow-loris) and reply-write timeouts.
+    pub sessions_evicted: u64,
+    /// Whether the server is draining for shutdown.
+    pub draining: bool,
     /// Live rejected-ingest count from the attached probe (0 without one).
     pub ingest_rejected: u64,
     /// Store-wide query counters since server start.
@@ -393,10 +522,21 @@ pub enum ErrorKind {
     /// The named series is not registered.
     UnknownSeries,
     /// Admission control refused the work: a session/in-flight cap or the
-    /// per-query scan budget. Back off and retry.
+    /// per-query scan budget. When the refusal is transient the error
+    /// frame carries a `retry_after_ms` hint; without one, retrying the
+    /// same request cannot succeed (e.g. a scan-budget breach).
     Overloaded,
     /// The frame could not be parsed (bad length, bad JSON, bad shape).
     Protocol,
+    /// The server evicted this session for blowing an i/o deadline: the
+    /// handshake or a request frame did not complete within the idle
+    /// deadline (slow-loris defense), or the session stopped draining its
+    /// replies. Reconnect to continue.
+    Timeout,
+    /// The server is draining for shutdown and refuses new sessions and
+    /// new requests; in-flight requests were allowed to finish. Retry
+    /// against the replacement instance after `retry_after_ms`.
+    Draining,
 }
 
 /// A server reply.
@@ -435,14 +575,34 @@ pub enum Response {
     },
     /// Reply to `Introspect`.
     Stats(Introspection),
-    /// Typed failure; the session stays open except for handshake and
-    /// protocol errors.
+    /// Typed failure; the session stays open except for handshake,
+    /// protocol, timeout-eviction and draining errors.
     Error {
         /// Category.
         kind: ErrorKind,
         /// Human-readable detail.
         message: String,
+        /// For transient refusals (`Overloaded`, `Draining`): how long a
+        /// well-behaved client should back off before retrying. `None`
+        /// means a retry of the identical request cannot succeed.
+        retry_after_ms: Option<u64>,
     },
+}
+
+impl Response {
+    /// Build an error reply with no retry hint.
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
+        Response::Error { kind, message: message.into(), retry_after_ms: None }
+    }
+
+    /// Build a transient error reply carrying a retry hint.
+    pub fn retryable_error(
+        kind: ErrorKind,
+        message: impl Into<String>,
+        retry_after_ms: u64,
+    ) -> Response {
+        Response::Error { kind, message: message.into(), retry_after_ms: Some(retry_after_ms) }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,425 @@
+//! Deadline-aware retrying client: the raw [`Client`] wrapped in
+//! per-request deadlines, bounded retries with exponential backoff and
+//! deterministic jitter, and automatic reconnect-and-rehandshake.
+//!
+//! ## Retry safety
+//!
+//! Every request in the serve catalogue is an idempotent read — replaying
+//! one after an indeterminate transport failure (the reply may or may not
+//! have been computed) cannot corrupt anything, so transport faults are
+//! always retriable. Typed server refusals split by whether a retry *can*
+//! succeed:
+//!
+//! | reply | retried? | why |
+//! |---|---|---|
+//! | transport fault (`Io`, `Closed`, `Truncated`, `Timeout`) | yes, on a fresh connection | queries are idempotent |
+//! | `Overloaded` with `retry_after_ms` | yes, after the hint | the cap frees as other work completes |
+//! | `Overloaded` without a hint | no | a scan-budget breach costs the same forever |
+//! | `Draining` | yes, reconnecting | the drain hint says when |
+//! | `Timeout` (server evicted us) | yes, reconnecting | the session is gone, not the server |
+//! | `BadRequest`, `UnknownSeries`, `UnsupportedVersion`, `Protocol` | no | deterministic refusals |
+//!
+//! ## Determinism
+//!
+//! Backoff jitter comes from [`hpc_tsdb::faults::DetRng`], never from
+//! wall-clock entropy: a [`RetryPolicy`] seed fixes the entire backoff
+//! schedule, so a failing retry interleaving replays exactly. (Elapsed
+//! *time* is still real — deadlines are measured with [`Instant`] — but
+//! every *decision* is seed-derived.)
+
+use crate::client::{Client, ClientConfig, ConnectError};
+use crate::protocol::{ErrorKind, Request, Response};
+use hpc_tsdb::faults::DetRng;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Retry and deadline policy for a [`ResilientClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per request (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` grows as `base_backoff * 2^(n-1)`…
+    pub base_backoff: Duration,
+    /// …capped here. Jitter picks uniformly from the upper half of the
+    /// capped interval, so consecutive retries never synchronise.
+    pub max_backoff: Duration,
+    /// Hard wall-clock ceiling for one `request` call, connects, backoff
+    /// sleeps and all. Expiry returns [`ResilientError::DeadlineExceeded`].
+    pub request_deadline: Duration,
+    /// Seed for the deterministic jitter generator.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+            request_deadline: Duration::from_secs(10),
+            seed: 0x5E11_D34D,
+        }
+    }
+}
+
+/// Why a [`ResilientClient::request`] gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResilientError {
+    /// The per-request deadline expired before a reply was obtained.
+    DeadlineExceeded {
+        /// Milliseconds elapsed when the deadline fired.
+        waited_ms: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last transport/refusal error observed.
+        last: String,
+    },
+    /// Every attempt failed with a retriable error.
+    AttemptsExhausted {
+        /// Attempts made (= the policy's `max_attempts`).
+        attempts: u32,
+        /// The last error observed.
+        last: String,
+    },
+    /// The server refused with a typed error a retry cannot fix.
+    Refused {
+        /// The server's error category.
+        kind: ErrorKind,
+        /// The server's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ResilientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilientError::DeadlineExceeded { waited_ms, attempts, last } => write!(
+                f,
+                "request deadline expired after {waited_ms} ms ({attempts} attempts; last: {last})"
+            ),
+            ResilientError::AttemptsExhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed (last: {last})")
+            }
+            ResilientError::Refused { kind, message } => {
+                write!(f, "refused ({kind:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResilientError {}
+
+/// Counters a [`ResilientClient`] accumulates across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// `request` calls made.
+    pub requests: u64,
+    /// Calls that returned a successful (non-`Refused`) reply.
+    pub succeeded: u64,
+    /// Extra attempts beyond each call's first (i.e. actual retries).
+    pub retries: u64,
+    /// Reconnect-and-rehandshake cycles performed.
+    pub reconnects: u64,
+    /// Total milliseconds spent in backoff sleeps.
+    pub backoff_ms: u64,
+    /// Calls that honoured a server `retry_after_ms` hint at least once.
+    pub honoured_retry_after: u64,
+    /// Calls that ended `DeadlineExceeded`.
+    pub deadline_exceeded: u64,
+    /// Calls that ended `AttemptsExhausted`.
+    pub exhausted: u64,
+    /// Calls that ended `Refused` (typed, non-retriable).
+    pub refused: u64,
+}
+
+/// What one attempt produced, in retry-decision terms.
+enum Attempt {
+    /// Boxed so the error paths (`Retry`/`Fatal`) stay small — `Attempt`
+    /// rides in `Result::Err` through `ensure_conn`.
+    Done(Box<Response>),
+    /// Retriable; `reconnect` says whether the connection must be
+    /// discarded, `hint_ms` carries a server backoff hint.
+    Retry { why: String, reconnect: bool, hint_ms: Option<u64> },
+    Fatal { kind: ErrorKind, message: String },
+}
+
+/// A [`Client`] with a second life: deadlines, retries and reconnects.
+///
+/// Single-threaded like the raw client — one socket, one outstanding
+/// request. Load generators hold one per session.
+pub struct ResilientClient {
+    addr: SocketAddr,
+    tenant: String,
+    config: ClientConfig,
+    policy: RetryPolicy,
+    rng: DetRng,
+    conn: Option<Client>,
+    stats: RetryStats,
+}
+
+impl ResilientClient {
+    /// Wrap `addr` with default socket deadlines and retry policy.
+    pub fn new(addr: SocketAddr, tenant: &str) -> ResilientClient {
+        Self::with_policy(addr, tenant, ClientConfig::default(), RetryPolicy::default())
+    }
+
+    /// Full-control constructor. The connection is opened lazily on the
+    /// first request (and re-opened whenever a fault kills it).
+    pub fn with_policy(
+        addr: SocketAddr,
+        tenant: &str,
+        config: ClientConfig,
+        policy: RetryPolicy,
+    ) -> ResilientClient {
+        assert!(policy.max_attempts >= 1, "max_attempts must be at least 1");
+        ResilientClient {
+            addr,
+            tenant: tenant.to_string(),
+            config,
+            policy,
+            rng: DetRng::derive(policy.seed, 0),
+            conn: None,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// Whether a live (last known good) connection is held.
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// Drop the held connection (if any); the next request redials and
+    /// rehandshakes. Useful for connection cycling — rebalancing across a
+    /// restarted server, or resampling a chaos plan that draws per
+    /// connection.
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    /// Backoff before retry `attempt` (1-based): exponential growth capped
+    /// at `max_backoff`, jittered into the upper half of the interval by
+    /// the deterministic generator.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.policy.base_backoff.as_millis() as u64;
+        let cap = self.policy.max_backoff.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(20)).min(cap).max(1);
+        Duration::from_millis(self.rng.range(exp.div_ceil(2), exp))
+    }
+
+    /// Sleep `want` clipped to the remaining deadline; `false` when the
+    /// deadline has no room left and the caller should give up.
+    fn backoff_sleep(&mut self, want: Duration, started: Instant) -> bool {
+        let elapsed = started.elapsed();
+        if elapsed >= self.policy.request_deadline {
+            return false;
+        }
+        let slept = want.min(self.policy.request_deadline - elapsed);
+        self.stats.backoff_ms += slept.as_millis() as u64;
+        std::thread::sleep(slept);
+        started.elapsed() < self.policy.request_deadline
+    }
+
+    /// A connection, reusing the held one or dialing fresh under the
+    /// remaining deadline.
+    fn ensure_conn(&mut self, remaining: Duration) -> Result<&mut Client, Attempt> {
+        if self.conn.is_none() {
+            let mut config = self.config;
+            config.connect_timeout =
+                Some(config.connect_timeout.unwrap_or(remaining).min(remaining));
+            config.read_timeout = Some(config.read_timeout.unwrap_or(remaining).min(remaining));
+            match Client::try_connect(self.addr, &self.tenant, &config) {
+                Ok(client) => {
+                    self.stats.reconnects += 1;
+                    self.conn = Some(client);
+                }
+                Err(ConnectError::Transport(e)) => {
+                    return Err(Attempt::Retry {
+                        why: format!("connect: {e}"),
+                        reconnect: true,
+                        hint_ms: None,
+                    });
+                }
+                Err(ConnectError::Refused { kind, message, retry_after_ms }) => {
+                    return Err(classify_refusal(kind, message, retry_after_ms));
+                }
+            }
+        }
+        Ok(self.conn.as_mut().expect("just ensured"))
+    }
+
+    /// Issue `request`, retrying per policy until a reply, a fatal typed
+    /// refusal, attempt exhaustion, or the request deadline.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ResilientError> {
+        self.stats.requests += 1;
+        let started = Instant::now();
+        let deadline = self.policy.request_deadline;
+        let mut attempts = 0u32;
+        let mut last = String::from("never attempted");
+        loop {
+            let elapsed = started.elapsed();
+            if elapsed >= deadline {
+                self.stats.deadline_exceeded += 1;
+                return Err(ResilientError::DeadlineExceeded {
+                    waited_ms: elapsed.as_millis() as u64,
+                    attempts,
+                    last,
+                });
+            }
+            if attempts >= self.policy.max_attempts {
+                self.stats.exhausted += 1;
+                return Err(ResilientError::AttemptsExhausted { attempts, last });
+            }
+            attempts += 1;
+            if attempts > 1 {
+                self.stats.retries += 1;
+            }
+
+            let outcome = match self.ensure_conn(deadline - elapsed) {
+                Ok(client) => match client.request(request) {
+                    Ok(Response::Error { kind, message, retry_after_ms }) => {
+                        classify_refusal(kind, message, retry_after_ms)
+                    }
+                    Ok(reply) => Attempt::Done(Box::new(reply)),
+                    Err(e) => Attempt::Retry {
+                        why: e.to_string(),
+                        reconnect: true,
+                        hint_ms: None,
+                    },
+                },
+                Err(attempt) => attempt,
+            };
+
+            match outcome {
+                Attempt::Done(reply) => {
+                    self.stats.succeeded += 1;
+                    return Ok(*reply);
+                }
+                Attempt::Fatal { kind, message } => {
+                    self.stats.refused += 1;
+                    return Err(ResilientError::Refused { kind, message });
+                }
+                Attempt::Retry { why, reconnect, hint_ms } => {
+                    last = why;
+                    if reconnect {
+                        // The connection (or its framing) is unusable:
+                        // drop it so the next attempt rehandshakes.
+                        self.conn = None;
+                    }
+                    let mut wait = self.backoff(attempts);
+                    if let Some(hint) = hint_ms {
+                        self.stats.honoured_retry_after += 1;
+                        wait = wait.max(Duration::from_millis(hint));
+                    }
+                    if !self.backoff_sleep(wait, started) {
+                        self.stats.deadline_exceeded += 1;
+                        return Err(ResilientError::DeadlineExceeded {
+                            waited_ms: started.elapsed().as_millis() as u64,
+                            attempts,
+                            last,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sort one typed server refusal into the retry-safety matrix.
+fn classify_refusal(kind: ErrorKind, message: String, retry_after_ms: Option<u64>) -> Attempt {
+    match kind {
+        // Transient: the session cap / in-flight cap / drain frees up.
+        // Overloaded *without* a hint is a scan-budget breach — permanent
+        // for this request shape.
+        ErrorKind::Overloaded => match retry_after_ms {
+            Some(hint) => Attempt::Retry {
+                why: format!("overloaded: {message}"),
+                reconnect: false,
+                hint_ms: Some(hint),
+            },
+            None => Attempt::Fatal { kind, message },
+        },
+        ErrorKind::Draining => Attempt::Retry {
+            why: format!("draining: {message}"),
+            reconnect: true,
+            hint_ms: retry_after_ms,
+        },
+        // The server evicted this session for slowness; the server itself
+        // is alive, so reconnect and try again.
+        ErrorKind::Timeout => Attempt::Retry {
+            why: format!("evicted: {message}"),
+            reconnect: true,
+            hint_ms: retry_after_ms,
+        },
+        ErrorKind::BadRequest
+        | ErrorKind::UnknownSeries
+        | ErrorKind::UnsupportedVersion
+        | ErrorKind::Protocol => Attempt::Fatal { kind, message },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let mk = || ResilientClient::new(addr, "t");
+        let (mut a, mut b) = (mk(), mk());
+        for attempt in 1..8 {
+            let (x, y) = (a.backoff(attempt), b.backoff(attempt));
+            assert_eq!(x, y, "same seed, same schedule");
+            let cap = a.policy.max_backoff;
+            assert!(x <= cap, "attempt {attempt}: {x:?} over cap");
+            assert!(x >= Duration::from_millis(1));
+        }
+        // A different seed gives a different schedule.
+        let mut c = ResilientClient::with_policy(
+            addr,
+            "t",
+            ClientConfig::default(),
+            RetryPolicy { seed: 99, ..RetryPolicy::default() },
+        );
+        let mut a2 = mk();
+        assert!(
+            (1..8).any(|n| c.backoff(n) != a2.backoff(n)),
+            "distinct seeds should decorrelate jitter"
+        );
+    }
+
+    #[test]
+    fn refusal_classification_matches_the_matrix() {
+        assert!(matches!(
+            classify_refusal(ErrorKind::Overloaded, "caps".into(), Some(10)),
+            Attempt::Retry { reconnect: false, hint_ms: Some(10), .. }
+        ));
+        assert!(matches!(
+            classify_refusal(ErrorKind::Overloaded, "budget".into(), None),
+            Attempt::Fatal { .. }
+        ));
+        assert!(matches!(
+            classify_refusal(ErrorKind::Draining, "bye".into(), Some(50)),
+            Attempt::Retry { reconnect: true, .. }
+        ));
+        assert!(matches!(
+            classify_refusal(ErrorKind::Timeout, "slow".into(), None),
+            Attempt::Retry { reconnect: true, .. }
+        ));
+        for kind in [
+            ErrorKind::BadRequest,
+            ErrorKind::UnknownSeries,
+            ErrorKind::UnsupportedVersion,
+            ErrorKind::Protocol,
+        ] {
+            assert!(matches!(
+                classify_refusal(kind, "no".into(), Some(1)),
+                Attempt::Fatal { .. }
+            ));
+        }
+    }
+}

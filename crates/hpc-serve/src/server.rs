@@ -13,12 +13,27 @@
 //! scan-budget check → execution. Everything before execution is O(1), so
 //! a rejected request costs the server almost nothing — that is the point
 //! of admission control.
+//!
+//! ## Time-based defenses
+//!
+//! Every session read runs under [`TimeoutConfig`] deadlines via
+//! [`read_frame_deadline`]: the handshake must complete within
+//! `handshake_deadline`, each request frame within `idle_deadline`, and
+//! partial progress never resets the clock — a slow-loris client
+//! dribbling one byte per tick is evicted exactly like a silent one, with
+//! a best-effort typed `Timeout` frame and a `sessions_evicted` count.
+//! Reply writes carry a socket write timeout, so a session that stops
+//! draining its replies is evicted too. Shutdown is a *drain*
+//! ([`Server::drain`]): stop accepting, notify idle sessions with a typed
+//! `Draining` frame, let in-flight requests finish up to a deadline, then
+//! force-close the stragglers.
 
 use crate::protocol::{
-    recv_message, send_message, ErrorKind, FrameError, Introspection, Request, Response,
-    WireGap, WireGroup, WireQueryStats, WireSeries, WireWindow, PROTOCOL_VERSION,
+    decode_message, read_frame_deadline, send_message, DeadlineRead, ErrorKind, FrameError,
+    Introspection, Request, Response, WireGap, WireGroup, WireQueryStats, WireSeries, WireWindow,
+    PROTOCOL_VERSION,
 };
-use crate::session::{AdmissionConfig, GlobalAdmission, Reject, TenantState};
+use crate::session::{AdmissionConfig, GlobalAdmission, Reject, TenantState, TimeoutConfig};
 use hpc_tsdb::{
     fanout_group, store_aggregate, store_gap_aggregate, store_windows, SeriesId, TsdbStore,
 };
@@ -26,10 +41,10 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Live ingest-rejection probe: the server calls this on `Introspect` to
 /// report the campaign-side rejected count without owning the pipeline.
@@ -42,12 +57,30 @@ pub struct ServerConfig {
     pub name: String,
     /// Admission caps and tenant budgets.
     pub admission: AdmissionConfig,
+    /// Idle/handshake/write deadlines and drain behaviour.
+    pub timeouts: TimeoutConfig,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { name: "hpc-serve".into(), admission: AdmissionConfig::default() }
+        ServerConfig {
+            name: "hpc-serve".into(),
+            admission: AdmissionConfig::default(),
+            timeouts: TimeoutConfig::default(),
+        }
     }
+}
+
+/// What [`Server::drain`] accomplished before returning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Sessions open when the drain began.
+    pub sessions_at_drain: u64,
+    /// Sessions that finished (or noticed the drain and left) within the
+    /// deadline.
+    pub drained: u64,
+    /// Sessions force-closed at the deadline.
+    pub force_closed: u64,
 }
 
 /// Shared server state, referenced by the accept loop and every handler.
@@ -55,11 +88,19 @@ struct Inner {
     store: TsdbStore,
     name: String,
     admission: AdmissionConfig,
+    timeouts: TimeoutConfig,
     global: GlobalAdmission,
     tenants: Mutex<BTreeMap<String, Arc<TenantState>>>,
     ingest_probe: Mutex<Option<IngestProbe>>,
-    shutting_down: AtomicBool,
+    /// Drain flag: stops the accept loop and is observed once per poll
+    /// tick by every session waiting between frames.
+    draining: AtomicBool,
+    sessions_evicted: AtomicU64,
     conns: Mutex<HashMap<u64, TcpStream>>,
+    handlers: Mutex<HashMap<u64, JoinHandle<()>>>,
+    /// Conn ids whose handler thread has finished and can be joined
+    /// without blocking — the reap queue.
+    finished: Mutex<Vec<u64>>,
 }
 
 impl Inner {
@@ -87,22 +128,69 @@ impl Inner {
             protocol_version: PROTOCOL_VERSION,
             sessions_active: self.global.sessions_active(),
             sessions_rejected: self.global.sessions_rejected.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::Acquire),
             ingest_rejected,
             store: WireQueryStats::from(self.store.query_stats()),
             tenants: self.tenants.lock().values().map(|t| t.snapshot()).collect(),
+        }
+    }
+
+    fn evict(&self, stream: &mut TcpStream, why: String) {
+        self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+        // Best-effort: a slow-loris peer may not even drain this frame.
+        let _ = send_message(stream, &Response::error(ErrorKind::Timeout, why));
+    }
+
+    fn drain_notice(&self, stream: &mut TcpStream) {
+        let _ = send_message(
+            stream,
+            &Response::retryable_error(
+                ErrorKind::Draining,
+                "server draining; reconnect to a live instance",
+                self.timeouts.drain_deadline.as_millis() as u64,
+            ),
+        );
+    }
+
+    /// Join every handler thread whose session has already ended. Joining
+    /// a finished thread is O(1); ids whose handle has not been registered
+    /// yet (the spawn/finish race) are requeued for the next pass.
+    fn reap_finished(&self) {
+        let ids = std::mem::take(&mut *self.finished.lock());
+        if ids.is_empty() {
+            return;
+        }
+        let mut requeue = Vec::new();
+        for id in ids {
+            let handle = self.handlers.lock().remove(&id);
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => requeue.push(id),
+            }
+        }
+        if !requeue.is_empty() {
+            self.finished.lock().extend(requeue);
         }
     }
 }
 
 /// A running query service bound to a local TCP port.
 ///
-/// Dropping the server shuts it down: the listener stops accepting, every
-/// open connection is closed, and all handler threads are joined.
+/// Dropping the server shuts it down immediately (a zero-deadline
+/// [`Server::drain`]): the listener stops accepting, every open connection
+/// is closed, and all handler threads are joined. Handler threads do not
+/// otherwise accumulate: each session pushes itself onto a reap queue as
+/// it closes and the accept loop joins finished handles on every
+/// iteration, so a long-running service holds O(live sessions) handles,
+/// not O(all sessions ever).
 pub struct Server {
     inner: Arc<Inner>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stopped: bool,
 }
 
 impl Server {
@@ -118,21 +206,24 @@ impl Server {
             name: config.name,
             global: GlobalAdmission::new(&config.admission),
             admission: config.admission,
+            timeouts: config.timeouts,
             tenants: Mutex::new(BTreeMap::new()),
             ingest_probe: Mutex::new(None),
-            shutting_down: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            sessions_evicted: AtomicU64::new(0),
             conns: Mutex::new(HashMap::new()),
+            handlers: Mutex::new(HashMap::new()),
+            finished: Mutex::new(Vec::new()),
         });
-        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
             let inner = Arc::clone(&inner);
-            let handlers = Arc::clone(&handlers);
             std::thread::spawn(move || {
                 let mut next_conn = 0u64;
                 for stream in listener.incoming() {
-                    if inner.shutting_down.load(Ordering::Acquire) {
+                    if inner.draining.load(Ordering::Acquire) {
                         break;
                     }
+                    inner.reap_finished();
                     let stream = match stream {
                         Ok(s) => s,
                         Err(_) => continue,
@@ -140,6 +231,7 @@ impl Server {
                     // Replies are single small frames; without this, Nagle
                     // vs. delayed-ACK adds ~40 ms to every round trip.
                     let _ = stream.set_nodelay(true);
+                    let _ = stream.set_write_timeout(Some(inner.timeouts.write_timeout));
                     let conn_id = next_conn;
                     next_conn += 1;
                     if let Ok(clone) = stream.try_clone() {
@@ -149,14 +241,13 @@ impl Server {
                     let handle = std::thread::spawn(move || {
                         handle_conn(&inner2, stream);
                         inner2.conns.lock().remove(&conn_id);
+                        inner2.finished.lock().push(conn_id);
                     });
-                    let mut handlers = handlers.lock();
-                    handlers.retain(|h| !h.is_finished());
-                    handlers.push(handle);
+                    inner.handlers.lock().insert(conn_id, handle);
                 }
             })
         };
-        Ok(Server { inner, addr, accept: Some(accept), handlers })
+        Ok(Server { inner, addr, accept: Some(accept), stopped: false })
     }
 
     /// The bound address clients connect to.
@@ -174,24 +265,52 @@ impl Server {
         self.inner.introspection()
     }
 
-    /// Stop accepting, close every open session and join all threads.
-    /// Idempotent; also runs on drop.
-    pub fn shutdown(&mut self) {
-        if self.inner.shutting_down.swap(true, Ordering::AcqRel) {
-            return;
+    /// Gracefully drain the server: stop accepting, tell idle sessions to
+    /// reconnect elsewhere (a typed `Draining` frame with a retry hint),
+    /// let in-flight requests finish for up to `deadline`, then
+    /// force-close whatever remains and join every handler thread.
+    /// Idempotent; [`Server::shutdown`] is a zero-deadline drain.
+    pub fn drain(&mut self, deadline: Duration) -> DrainStats {
+        if self.stopped {
+            return DrainStats::default();
         }
+        self.stopped = true;
+        self.inner.draining.store(true, Ordering::Release);
         // Wake the blocking `accept` so the loop observes the flag.
         let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        let sessions_at_drain = self.inner.conns.lock().len() as u64;
+        let started = Instant::now();
+        let tick = self.inner.timeouts.poll_tick.max(Duration::from_millis(1));
+        while started.elapsed() < deadline {
+            if self.inner.conns.lock().is_empty() {
+                break;
+            }
+            std::thread::sleep(tick.min(deadline - started.elapsed()));
+        }
+        let mut force_closed = 0u64;
         for (_, conn) in self.inner.conns.lock().drain() {
             let _ = conn.shutdown(Shutdown::Both);
+            force_closed += 1;
         }
-        let handlers = std::mem::take(&mut *self.handlers.lock());
-        for h in handlers {
+        let handlers = std::mem::take(&mut *self.inner.handlers.lock());
+        for (_, h) in handlers {
             let _ = h.join();
         }
+        self.inner.finished.lock().clear();
+        DrainStats {
+            sessions_at_drain,
+            drained: sessions_at_drain - force_closed,
+            force_closed,
+        }
+    }
+
+    /// Stop accepting, close every open session and join all threads —
+    /// a [`Server::drain`] with no grace period. Idempotent; runs on drop.
+    pub fn shutdown(&mut self) {
+        self.drain(Duration::ZERO);
     }
 }
 
@@ -202,46 +321,96 @@ impl Drop for Server {
 }
 
 fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
-    Response::Error { kind, message: message.into() }
+    Response::error(kind, message)
+}
+
+/// Receive one request frame under `deadline`, or decide the session's
+/// fate: `Ok(None)` means the session should end (the peer closed, was
+/// evicted, was told to drain, or poisoned the framing — any owed error
+/// frame has already been sent).
+fn recv_request(
+    inner: &Inner,
+    tenant: Option<&TenantState>,
+    stream: &mut TcpStream,
+    deadline: Duration,
+) -> Option<Request> {
+    let read = read_frame_deadline(stream, deadline, inner.timeouts.poll_tick, Some(&inner.draining));
+    match read {
+        Ok(DeadlineRead::Frame(payload)) => match decode_message::<Request>(&payload) {
+            Ok(request) => Some(request),
+            Err(e) => {
+                // After a framing error the byte stream can no longer be
+                // trusted to be frame-aligned: answer typed, then close.
+                if let Some(t) = tenant {
+                    t.record_protocol_error();
+                }
+                let _ = send_message(stream, &error(ErrorKind::Protocol, e.to_string()));
+                None
+            }
+        },
+        Ok(DeadlineRead::Aborted) => {
+            inner.drain_notice(stream);
+            None
+        }
+        Err(FrameError::Closed) => None,
+        Err(FrameError::Timeout { waited_ms }) => {
+            inner.evict(
+                stream,
+                format!(
+                    "no complete frame within the {waited_ms} ms idle deadline; session evicted"
+                ),
+            );
+            None
+        }
+        Err(e) => {
+            if let Some(t) = tenant {
+                t.record_protocol_error();
+            }
+            let _ = send_message(stream, &error(ErrorKind::Protocol, e.to_string()));
+            None
+        }
+    }
 }
 
 /// One connection, handshake to close. Runs on its own thread.
 fn handle_conn(inner: &Inner, mut stream: TcpStream) {
-    // Handshake first: nothing else is admitted on a virgin session.
-    let tenant_name = match recv_message::<Request>(&mut stream) {
-        Ok(Request::Hello { version, tenant }) => {
-            if version != PROTOCOL_VERSION {
+    // Handshake first: nothing else is admitted on a virgin session, and
+    // a virgin session gets only `handshake_deadline` to speak.
+    let tenant_name =
+        match recv_request(inner, None, &mut stream, inner.timeouts.handshake_deadline) {
+            Some(Request::Hello { version, tenant }) => {
+                if version != PROTOCOL_VERSION {
+                    let _ = send_message(
+                        &mut stream,
+                        &error(
+                            ErrorKind::UnsupportedVersion,
+                            format!("server speaks v{PROTOCOL_VERSION}, client sent v{version}"),
+                        ),
+                    );
+                    return;
+                }
+                tenant
+            }
+            Some(_) => {
                 let _ = send_message(
                     &mut stream,
-                    &error(
-                        ErrorKind::UnsupportedVersion,
-                        format!("server speaks v{PROTOCOL_VERSION}, client sent v{version}"),
-                    ),
+                    &error(ErrorKind::BadRequest, "first frame must be Hello"),
                 );
                 return;
             }
-            tenant
-        }
-        Ok(_) => {
-            let _ = send_message(
-                &mut stream,
-                &error(ErrorKind::BadRequest, "first frame must be Hello"),
-            );
-            return;
-        }
-        Err(FrameError::Closed) => return,
-        Err(e) => {
-            let _ = send_message(&mut stream, &error(ErrorKind::Protocol, e.to_string()));
-            return;
-        }
-    };
+            None => return,
+        };
 
     let tenant = inner.tenant(&tenant_name);
     if !inner.global.try_open_session() {
         inner.global.sessions_rejected.fetch_add(1, Ordering::Relaxed);
         let _ = send_message(
             &mut stream,
-            &error(ErrorKind::Overloaded, "server session limit reached"),
+            &Response::retryable_error(
+                ErrorKind::Overloaded,
+                "server session limit reached",
+                inner.admission.retry_after_ms,
+            ),
         );
         return;
     }
@@ -250,7 +419,11 @@ fn handle_conn(inner: &Inner, mut stream: TcpStream) {
         inner.global.sessions_rejected.fetch_add(1, Ordering::Relaxed);
         let _ = send_message(
             &mut stream,
-            &error(ErrorKind::Overloaded, format!("tenant {tenant_name:?} session limit reached")),
+            &Response::retryable_error(
+                ErrorKind::Overloaded,
+                format!("tenant {tenant_name:?} session limit reached"),
+                inner.admission.retry_after_ms,
+            ),
         );
         return;
     }
@@ -262,7 +435,8 @@ fn handle_conn(inner: &Inner, mut stream: TcpStream) {
 }
 
 /// The post-handshake request loop. Returns when the peer closes, a
-/// protocol error poisons the framing, or a write fails.
+/// deadline evicts it, a drain ends it, a protocol error poisons the
+/// framing, or a write fails.
 fn serve_session(inner: &Inner, tenant: &TenantState, stream: &mut TcpStream) {
     let ack =
         Response::HelloAck { version: PROTOCOL_VERSION, server: inner.name.clone() };
@@ -270,20 +444,21 @@ fn serve_session(inner: &Inner, tenant: &TenantState, stream: &mut TcpStream) {
         return;
     }
     loop {
-        let request = match recv_message::<Request>(stream) {
-            Ok(r) => r,
-            Err(FrameError::Closed) => return,
-            Err(e) => {
-                // After a framing error the byte stream can no longer be
-                // trusted to be frame-aligned: answer typed, then close.
-                tenant.record_protocol_error();
-                let _ = send_message(stream, &error(ErrorKind::Protocol, e.to_string()));
-                return;
-            }
+        let Some(request) =
+            recv_request(inner, Some(tenant), stream, inner.timeouts.idle_deadline)
+        else {
+            return;
         };
         let response = dispatch(inner, tenant, request);
-        if send_message(stream, &response).is_err() {
-            return;
+        match send_message(stream, &response) {
+            Ok(()) => {}
+            Err(FrameError::Timeout { .. }) => {
+                // The peer stopped draining replies — a write-side
+                // slow-loris. Count the eviction; nothing more can be sent.
+                inner.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(_) => return,
         }
     }
 }
@@ -321,12 +496,20 @@ fn dispatch(inner: &Inner, tenant: &TenantState, request: Request) -> Response {
 fn admit_and_run(inner: &Inner, tenant: &TenantState, query: Request) -> Response {
     if !inner.global.try_begin_query() {
         tenant.record_rejected(Reject::InFlight);
-        return error(ErrorKind::Overloaded, "server in-flight query limit reached");
+        return Response::retryable_error(
+            ErrorKind::Overloaded,
+            "server in-flight query limit reached",
+            inner.admission.retry_after_ms,
+        );
     }
     if !tenant.try_begin_query() {
         inner.global.end_query();
         tenant.record_rejected(Reject::InFlight);
-        return error(ErrorKind::Overloaded, "tenant in-flight query limit reached");
+        return Response::retryable_error(
+            ErrorKind::Overloaded,
+            "tenant in-flight query limit reached",
+            inner.admission.retry_after_ms,
+        );
     }
     let response = run_query(inner, tenant, query);
     tenant.end_query();
@@ -421,6 +604,8 @@ fn run_query(inner: &Inner, tenant: &TenantState, query: Request) -> Response {
     if let Err(reject) = tenant.check_scan_budget(estimate) {
         tenant.record_rejected(reject);
         let Reject::ScanBudget { estimated, limit } = reject else { unreachable!() };
+        // Deliberately no retry hint: the same query will cost the same
+        // scan tomorrow — retrying cannot help.
         return error(
             ErrorKind::Overloaded,
             format!("estimated scan of {estimated} samples exceeds per-query budget {limit}"),

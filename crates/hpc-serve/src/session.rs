@@ -18,6 +18,47 @@ use hpc_tsdb::QueryStats;
 use parking_lot::Mutex;
 use sim_core::stats::Histogram;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Time-based defenses for one server: how long a session may sit idle,
+/// how long a frame may take to arrive, and how shutdown drains.
+///
+/// All deadlines are enforced with a polling read whose granularity is
+/// [`TimeoutConfig::poll_tick`] — a deadline is therefore honoured to
+/// within one tick, and partial frame progress never resets it (the
+/// slow-loris defense: a client dribbling one byte per interval is
+/// evicted just like a silent one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeoutConfig {
+    /// A virgin connection must complete its `Hello` within this.
+    pub handshake_deadline: Duration,
+    /// A handshaken session must deliver each complete request frame
+    /// within this, measured from when the server starts waiting for it.
+    /// Sessions over the deadline are evicted with a typed `Timeout`
+    /// error frame (best-effort) and counted in `sessions_evicted`.
+    pub idle_deadline: Duration,
+    /// Socket write deadline for reply frames; a session that stops
+    /// draining its replies is evicted when a write blocks this long.
+    pub write_timeout: Duration,
+    /// Granularity of the deadline polling read (and of drain checks).
+    pub poll_tick: Duration,
+    /// Grace period [`Server::drain`](crate::server::Server::drain) waits
+    /// for in-flight sessions before force-closing them; also the
+    /// `retry_after_ms` hint carried by `Draining` error frames.
+    pub drain_deadline: Duration,
+}
+
+impl Default for TimeoutConfig {
+    fn default() -> Self {
+        TimeoutConfig {
+            handshake_deadline: Duration::from_secs(10),
+            idle_deadline: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+            poll_tick: Duration::from_millis(25),
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
 
 /// Per-tenant resource ceilings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +89,11 @@ pub struct AdmissionConfig {
     pub default_budget: TenantBudget,
     /// Per-tenant overrides as `(tenant, budget)` pairs.
     pub tenant_budgets: Vec<(String, TenantBudget)>,
+    /// Back-off hint (`retry_after_ms`) carried by *transient*
+    /// `Overloaded` rejections — session and in-flight caps, which free up
+    /// as other work completes. Scan-budget rejections carry no hint:
+    /// retrying the identical query can never succeed.
+    pub retry_after_ms: u64,
 }
 
 impl Default for AdmissionConfig {
@@ -57,6 +103,7 @@ impl Default for AdmissionConfig {
             max_in_flight: 64,
             default_budget: TenantBudget::default(),
             tenant_budgets: Vec::new(),
+            retry_after_ms: 25,
         }
     }
 }

@@ -1,0 +1,323 @@
+//! Chaos-path correctness: every fault the deterministic proxy injects
+//! must surface as a typed error or a successful retry — never a hang,
+//! never silent corruption. The strongest claim is bit-identity: replies
+//! that survive the default storm are byte-for-byte the replies a clean
+//! connection gets from the same frozen store.
+//!
+//! All fault schedules and retry jitter come from seeded generators
+//! (`hpc_tsdb::faults::DetRng`); a failing seed replays exactly.
+
+use hpc_serve::{
+    AdmissionConfig, ChaosPlan, ChaosProxy, Client, ClientConfig, ErrorKind, Request, ResilientClient,
+    ResilientError, Response, RetryPolicy, Server, ServerConfig, TimeoutConfig, WireOp,
+    PROTOCOL_VERSION,
+};
+use hpc_tsdb::{SeriesMeta, TsdbStore};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// A frozen store: 300 minutes of facility power plus two cabinets.
+fn frozen_store() -> TsdbStore {
+    let store = TsdbStore::default();
+    let fac = store.register(SeriesMeta {
+        name: "facility".into(),
+        unit: "kW".into(),
+        interval_hint: 60,
+    });
+    for i in 0..300i64 {
+        store.append(fac, i * 60, 1500.0 + (i % 7) as f64);
+    }
+    for cab in 0..2 {
+        let id = store.register(SeriesMeta {
+            name: format!("cabinet.{cab}"),
+            unit: "kW".into(),
+            interval_hint: 60,
+        });
+        for i in 0..300i64 {
+            store.append(id, i * 60, 55.0 + (cab as f64) + (i % 5) as f64);
+        }
+    }
+    store
+}
+
+/// Server with deadlines short enough that chaos-abandoned half-open
+/// sessions are evicted quickly instead of pooling for a minute.
+fn server() -> (Server, SocketAddr) {
+    let config = ServerConfig {
+        timeouts: TimeoutConfig {
+            handshake_deadline: Duration::from_millis(800),
+            idle_deadline: Duration::from_millis(800),
+            write_timeout: Duration::from_secs(2),
+            poll_tick: Duration::from_millis(10),
+            drain_deadline: Duration::from_secs(1),
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start(frozen_store(), config).unwrap();
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+/// The query mix both arms of the bit-identity test run. Everything here
+/// is a pure function of the frozen store, so replies are deterministic.
+fn query_mix() -> Vec<Request> {
+    (0..24)
+        .map(|n| {
+            let from = (n % 4) * 1800;
+            let to = from + 7200;
+            match n % 4 {
+                0 => Request::Aggregate { series: "facility".into(), from, to, op: WireOp::Mean },
+                1 => Request::Windows {
+                    series: "facility".into(),
+                    from,
+                    to,
+                    step: 3_600,
+                    op: WireOp::Max,
+                },
+                2 => Request::Group {
+                    series: vec!["cabinet.0".into(), "cabinet.1".into()],
+                    from,
+                    to,
+                },
+                _ => Request::Gap { series: "cabinet.1".into(), from, to },
+            }
+        })
+        .collect()
+}
+
+/// Client socket deadlines tuned for chaos: long enough to sit out any
+/// injected stall, short enough that truncation silence fails fast.
+fn chaos_client_config() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Some(Duration::from_secs(2)),
+        read_timeout: Some(Duration::from_secs(1)),
+        write_timeout: Some(Duration::from_secs(2)),
+    }
+}
+
+#[test]
+fn storm_replies_are_bit_identical_to_the_clean_path() {
+    let (server, addr) = server();
+    let mix = query_mix();
+
+    // Clean arm: a direct, unfaulted connection.
+    let mut clean = Client::connect(addr, "clean").unwrap();
+    let clean_replies: Vec<String> = mix
+        .iter()
+        .map(|req| serde_json::to_string(&clean.request(req).unwrap()).unwrap())
+        .collect();
+
+    // Chaos arm: the same mix through the default storm.
+    let mut proxy = ChaosProxy::start(addr, ChaosPlan::storm(0xA2C4_E057)).unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(200),
+        request_deadline: Duration::from_secs(20),
+        seed: 0xD15EA5E,
+    };
+    let mut chaotic =
+        ResilientClient::with_policy(proxy.local_addr(), "chaos", chaos_client_config(), policy);
+    for (req, want) in mix.iter().zip(&clean_replies) {
+        let reply = chaotic
+            .request(req)
+            .unwrap_or_else(|e| panic!("storm request must succeed within policy: {e}"));
+        let got = serde_json::to_string(&reply).unwrap();
+        assert_eq!(&got, want, "chaos-path reply must be bit-identical to clean path");
+    }
+
+    let stats = chaotic.stats();
+    assert_eq!(stats.succeeded, mix.len() as u64, "every request must succeed");
+    let injected = proxy.stats().faults_injected();
+    assert!(injected > 0, "the storm must actually have injected faults");
+    proxy.shutdown();
+    drop(server);
+}
+
+#[test]
+fn disconnect_storm_yields_typed_errors_or_retried_success_never_hangs() {
+    let (server, addr) = server();
+    let mut proxy = ChaosProxy::start(addr, ChaosPlan::disconnect_storm(7)).unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(50),
+        request_deadline: Duration::from_secs(4),
+        seed: 11,
+    };
+    let mut client =
+        ResilientClient::with_policy(proxy.local_addr(), "doomed", chaos_client_config(), policy);
+
+    for req in query_mix().into_iter().take(8) {
+        let t = Instant::now();
+        let result = client.request(&req);
+        let elapsed = t.elapsed();
+        assert!(
+            elapsed < policy.request_deadline + Duration::from_secs(2),
+            "request must resolve within its deadline (+slack), took {elapsed:?}"
+        );
+        match result {
+            Ok(_) => {} // a retry slipped through before the cut — fine
+            Err(
+                ResilientError::AttemptsExhausted { .. } | ResilientError::DeadlineExceeded { .. },
+            ) => {}
+            Err(other) => panic!("expected a retriable-exhaustion error, got {other}"),
+        }
+    }
+    assert!(proxy.stats().disconnected > 0, "the storm must have cut connections");
+
+    // The server itself must be unscathed: a clean direct session works.
+    let mut probe = Client::connect(addr, "probe").unwrap();
+    assert!(matches!(probe.request(&Request::Ping).unwrap(), Response::Pong));
+    proxy.shutdown();
+    drop(server);
+}
+
+#[test]
+fn truncation_silence_is_broken_by_deadlines_not_hangs() {
+    let (server, addr) = server();
+    let mut proxy = ChaosProxy::start(addr, ChaosPlan::truncate_storm(13)).unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(50),
+        request_deadline: Duration::from_secs(5),
+        seed: 13,
+    };
+    let config = ClientConfig {
+        read_timeout: Some(Duration::from_millis(400)),
+        ..chaos_client_config()
+    };
+    let mut client = ResilientClient::with_policy(proxy.local_addr(), "trunc", config, policy);
+
+    let t = Instant::now();
+    for req in query_mix().into_iter().take(6) {
+        match client.request(&req) {
+            Ok(_) => {}
+            Err(
+                ResilientError::AttemptsExhausted { .. } | ResilientError::DeadlineExceeded { .. },
+            ) => {}
+            Err(other) => panic!("expected typed exhaustion, got {other}"),
+        }
+    }
+    assert!(
+        t.elapsed() < Duration::from_secs(40),
+        "six truncated requests must resolve in bounded time"
+    );
+    assert!(proxy.stats().truncated > 0);
+
+    let mut probe = Client::connect(addr, "probe").unwrap();
+    assert!(matches!(probe.request(&Request::Ping).unwrap(), Response::Pong));
+    proxy.shutdown();
+    drop(server);
+}
+
+#[test]
+fn stalls_shorter_than_client_patience_are_transparent() {
+    let (server, addr) = server();
+    let mut proxy = ChaosProxy::start(addr, ChaosPlan::stall_storm(17, (50, 150))).unwrap();
+    let mut client = ResilientClient::with_policy(
+        proxy.local_addr(),
+        "patient",
+        chaos_client_config(),
+        RetryPolicy { seed: 17, ..RetryPolicy::default() },
+    );
+    for req in query_mix().into_iter().take(6) {
+        client.request(&req).expect("a stall inside the read timeout must be invisible");
+    }
+    assert_eq!(client.stats().succeeded, 6);
+    assert!(proxy.stats().stalled > 0, "the storm must have stalled connections");
+    proxy.shutdown();
+    drop(server);
+}
+
+#[test]
+fn overloaded_hint_is_honoured_and_the_retry_wins_the_freed_slot() {
+    let store = frozen_store();
+    let config = ServerConfig {
+        admission: AdmissionConfig {
+            max_sessions: 1,
+            retry_after_ms: 20,
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start(store, config).unwrap();
+    let addr = server.local_addr();
+
+    // One raw client squats on the only session slot, then leaves.
+    let holder = Client::connect(addr, "holder").unwrap();
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(250));
+        drop(holder);
+    });
+
+    let policy = RetryPolicy {
+        max_attempts: 12,
+        base_backoff: Duration::from_millis(15),
+        max_backoff: Duration::from_millis(120),
+        request_deadline: Duration::from_secs(8),
+        seed: 23,
+    };
+    let mut client =
+        ResilientClient::with_policy(addr, "queued", ClientConfig::default(), policy);
+    let reply = client
+        .request(&Request::Ping)
+        .expect("the retry after the hint must win the freed session slot");
+    assert!(matches!(reply, Response::Pong));
+    let stats = client.stats();
+    assert!(stats.honoured_retry_after >= 1, "the Overloaded hint must have been honoured");
+    assert!(stats.retries >= 1, "at least one retry must have been needed");
+    release.join().unwrap();
+    drop(server);
+}
+
+#[test]
+fn drain_tells_idle_sessions_with_a_typed_frame_and_counts_them() {
+    let (mut server, addr) = server();
+
+    // An idle, handshaken session awaiting its Draining notice.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    hpc_serve::protocol::send_message(
+        &mut stream,
+        &Request::Hello { version: PROTOCOL_VERSION, tenant: "idler".into() },
+    )
+    .unwrap();
+    let payload = hpc_serve::protocol::read_frame(&mut stream).unwrap();
+    let ack: Response = serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert!(matches!(ack, Response::HelloAck { .. }));
+
+    let stats = server.drain(Duration::from_secs(2));
+    assert_eq!(stats.sessions_at_drain, 1);
+    assert_eq!(stats.drained, 1, "the idle session must drain, not be force-closed");
+    assert_eq!(stats.force_closed, 0);
+
+    stream.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let payload = hpc_serve::protocol::read_frame(&mut stream).unwrap();
+    let notice: Response = serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    match notice {
+        Response::Error { kind: ErrorKind::Draining, retry_after_ms, .. } => {
+            assert!(retry_after_ms.is_some(), "Draining must carry a reconnect hint");
+        }
+        other => panic!("expected a typed Draining frame, got {other:?}"),
+    }
+
+    // A resilient client against the dead server fails typed and bounded.
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(20),
+        request_deadline: Duration::from_secs(3),
+        seed: 29,
+    };
+    let mut late = ResilientClient::with_policy(addr, "late", ClientConfig::default(), policy);
+    let t = Instant::now();
+    match late.request(&Request::Ping) {
+        Err(
+            ResilientError::AttemptsExhausted { .. } | ResilientError::DeadlineExceeded { .. },
+        ) => {}
+        Ok(r) => panic!("drained server must not answer, got {r:?}"),
+        Err(other) => panic!("expected typed exhaustion, got {other}"),
+    }
+    assert!(t.elapsed() < Duration::from_secs(5), "failure must be bounded, not a hang");
+}

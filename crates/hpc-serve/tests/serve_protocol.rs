@@ -8,7 +8,8 @@
 //! reproduces exactly.
 
 use hpc_serve::{
-    Client, ErrorKind, Request, Response, Server, ServerConfig, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    Client, ErrorKind, Request, Response, Server, ServerConfig, TimeoutConfig, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
 };
 use hpc_tsdb::faults::DetRng;
 use hpc_tsdb::{SeriesMeta, TsdbStore};
@@ -85,7 +86,7 @@ fn oversized_length_prefix_is_refused_without_allocation() {
     stream.write_all(&(MAX_FRAME_LEN + 1).to_be_bytes()).unwrap();
     stream.flush().unwrap();
     match read_response(&mut stream) {
-        Response::Error { kind: ErrorKind::Protocol, message } => {
+        Response::Error { kind: ErrorKind::Protocol, message, .. } => {
             assert!(message.contains("exceeds"), "unexpected message: {message}");
         }
         other => panic!("expected Protocol error, got {other:?}"),
@@ -203,6 +204,113 @@ fn bad_query_shapes_are_rejected_and_session_survives() {
         Response::Pong => {}
         other => panic!("expected Pong, got {other:?}"),
     }
+    drop(server);
+}
+
+/// A server whose deadlines are short enough to test eviction quickly.
+fn impatient_server() -> (Server, SocketAddr) {
+    let store = TsdbStore::default();
+    let id = store.register(SeriesMeta {
+        name: "facility".into(),
+        unit: "kW".into(),
+        interval_hint: 60,
+    });
+    for i in 0..300i64 {
+        store.append(id, i * 60, 1500.0 + (i % 7) as f64);
+    }
+    let config = ServerConfig {
+        timeouts: TimeoutConfig {
+            handshake_deadline: Duration::from_millis(400),
+            idle_deadline: Duration::from_millis(400),
+            write_timeout: Duration::from_secs(2),
+            poll_tick: Duration::from_millis(10),
+            drain_deadline: Duration::from_secs(1),
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start(store, config).unwrap();
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+/// Evictions counted by the server, read over the wire.
+fn evicted(addr: SocketAddr) -> u64 {
+    let mut client = Client::connect(addr, "probe").unwrap();
+    match client.request(&Request::Introspect).unwrap() {
+        Response::Stats(intro) => intro.sessions_evicted,
+        other => panic!("expected Stats, got {other:?}"),
+    }
+}
+
+#[test]
+fn half_open_silent_clients_are_evicted_within_the_idle_deadline() {
+    let (server, addr) = impatient_server();
+
+    // Handshake, then go completely silent: the classic half-open session.
+    let mut stream = handshake_raw(addr, "silent");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    match read_response(&mut stream) {
+        Response::Error { kind: ErrorKind::Timeout, message, .. } => {
+            assert!(message.contains("evicted"), "unexpected message: {message}");
+        }
+        other => panic!("expected Timeout eviction, got {other:?}"),
+    }
+
+    // Connect and never even say Hello: the handshake deadline case.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    match read_response(&mut stream) {
+        Response::Error { kind: ErrorKind::Timeout, .. } => {}
+        other => panic!("expected handshake Timeout eviction, got {other:?}"),
+    }
+
+    assert_eq!(evicted(addr), 2, "both half-open sessions must be counted");
+    assert_alive(addr);
+    drop(server);
+}
+
+#[test]
+fn one_byte_dribbler_cannot_hold_a_session_open() {
+    let (server, addr) = impatient_server();
+    let mut stream = handshake_raw(addr, "dribble");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // A valid Ping frame fed one byte per 100 ms: partial progress must
+    // not reset the total-frame deadline (the slow-loris defence), so the
+    // server evicts long before the frame completes.
+    let payload = serde_json::to_string(&Request::Ping).unwrap().into_bytes();
+    let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    let mut evicted_frame = None;
+    for byte in frame {
+        if stream.write_all(&[byte]).is_err() {
+            break; // already evicted and closed
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        // Peek for the eviction frame without blocking the dribble.
+        stream.set_read_timeout(Some(Duration::from_millis(1))).unwrap();
+        let mut prefix = [0u8; 1];
+        match stream.peek(&mut prefix) {
+            Ok(0) => break,
+            Ok(_) => {
+                stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+                evicted_frame = Some(read_response(&mut stream));
+                break;
+            }
+            Err(_) => {}
+        }
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    }
+    match evicted_frame {
+        Some(Response::Error { kind: ErrorKind::Timeout, .. }) => {}
+        // A closed socket (write error / EOF before the frame arrived) is
+        // also a valid eviction outcome — the frame is best-effort.
+        None => {}
+        Some(other) => panic!("expected Timeout eviction, got {other:?}"),
+    }
+
+    assert_eq!(evicted(addr), 1, "the dribbler must be counted as evicted");
+    assert_alive(addr);
     drop(server);
 }
 

@@ -121,6 +121,32 @@ impl DetRng {
         assert!(n > 0, "below(0)");
         self.next_u64() % n
     }
+
+    /// Uniform value in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range({lo}, {hi})");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// `true` with probability `pct`/100 (clamped to 100). One draw is
+    /// consumed either way, so interleaved decisions stay aligned across
+    /// plans that differ only in probabilities.
+    pub fn chance_pct(&mut self, pct: u64) -> bool {
+        self.below(100) < pct.min(100)
+    }
+
+    /// An independent generator derived from this one's seed and `stream`:
+    /// equal `(seed, stream)` pairs give equal sequences, distinct streams
+    /// are decorrelated. Lets one plan seed many per-connection or
+    /// per-attempt generators without sharing mutable state.
+    pub fn derive(seed: u64, stream: u64) -> DetRng {
+        let mut rng = DetRng::new(seed ^ stream.wrapping_mul(0xA24B_AED4_963E_E407));
+        rng.next_u64(); // decouple from the raw seed value
+        rng
+    }
 }
 
 #[cfg(test)]

@@ -133,7 +133,7 @@ fn run_session(
         let t = Instant::now();
         let reply = client.request(&req).expect("request during load");
         latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
-        if let Response::Error { kind, message } = reply {
+        if let Response::Error { kind, message, .. } = reply {
             eprintln!("unexpected {kind:?}: {message}");
             errors += 1;
         }

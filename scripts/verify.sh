@@ -129,6 +129,30 @@ done
 grep -q '"rejected_frames": 0' BENCH_tsdb_serve.json \
     || { echo "serve smoke rejected frames" >&2; exit 1; }
 
+echo "== serve chaos suite (deterministic fault storm) =="
+cargo test -q --offline -p hpc-serve --test serve_chaos
+
+echo "== serve chaos smoke (BENCH_serve_chaos.json) =="
+rm -f BENCH_serve_chaos.json
+cargo run --release --offline --example serve_chaos -- --smoke
+test -s BENCH_serve_chaos.json
+for key in requests success_rate retries reconnects honoured_retry_after \
+           faults_injected evictions hung_requests p50_us_clean p99_us_clean \
+           p50_us_chaos p99_us_chaos replies_bit_identical drained_sessions \
+           force_closed; do
+    grep -q "\"$key\"" BENCH_serve_chaos.json \
+        || { echo "BENCH_serve_chaos.json missing key: $key" >&2; exit 1; }
+done
+# The resilience contract under the default storm: every request succeeds
+# (retries absorb the faults), nothing hangs past its deadline, and the
+# replies that survive chaos are byte-identical to the clean path.
+grep -q '"success_rate": 1.0' BENCH_serve_chaos.json \
+    || { echo "serve chaos: success_rate must be exactly 1.0 under the default plan" >&2; exit 1; }
+grep -q '"hung_requests": 0' BENCH_serve_chaos.json \
+    || { echo "serve chaos: a request outlived its deadline" >&2; exit 1; }
+grep -q '"replies_bit_identical": true' BENCH_serve_chaos.json \
+    || { echo "serve chaos: chaos-path replies diverged from the clean path" >&2; exit 1; }
+
 echo "== distributed sweep suite (worker processes, kill + resume) =="
 cargo test -q --offline --test sweep_distributed
 
