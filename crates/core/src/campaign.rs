@@ -1561,6 +1561,12 @@ impl Campaign {
     /// observer that drives (or measures) a live query service sees the
     /// store genuinely growing under its queries instead of a finished
     /// corpus. `step` must be positive.
+    ///
+    /// After each ingest increment (and before `observe`) the store's
+    /// immutable read view is republished
+    /// ([`TsdbStore::publish_view`]), so concurrent query sessions spend
+    /// the whole next step evaluating lock-free against a fresh epoch
+    /// snapshot instead of contending for shard locks with the writer.
     pub fn run_serve(
         &mut self,
         until: SimTime,
@@ -1572,6 +1578,7 @@ impl Campaign {
         while now < until {
             now = (now + step).min(until);
             self.sim.run_until(now);
+            self.sim.world().store.publish_view();
             observe(self);
         }
     }

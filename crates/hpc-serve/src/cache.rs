@@ -1,0 +1,246 @@
+//! Generation-keyed query result cache with single-flight coalescing.
+//!
+//! One cache per tenant (see [`crate::session::TenantState`]): the key is
+//! the canonical serialisation of a validated data-query request, the
+//! value the finished reply, and the whole cache is stamped with the store
+//! generation it was filled at. Any store mutation bumps the generation
+//! ([`hpc_tsdb::TsdbStore::generation`]), so the first lookup after a bump
+//! clears the map — cached replies can never outlive the data they were
+//! computed from. A reply is stored as its exact serialized frame payload:
+//! a single-query hit writes those bytes to the socket verbatim and a
+//! batch entry splices them into the batch frame, so a cached reply is
+//! byte-identical to a fresh one *by construction*, and a warm hit never
+//! pays serialisation again.
+//!
+//! **Single-flight**: the first session to miss on a key becomes the
+//! *leader* and executes; identical concurrent requests *join* the
+//! leader's [`Flight`] and wait (bounded) for its reply instead of
+//! re-executing — the dashboard thundering herd costs one execution. A
+//! follower whose wait expires, or whose leader declined to share (error
+//! replies are never cached), simply executes for itself: coalescing is an
+//! optimisation, never a correctness dependency. Caches are per-tenant by
+//! construction, so a reply can never cross tenants — a tenant only ever
+//! sees entries its own (identically-budgeted) queries created.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long a follower waits on a leader before executing for itself.
+/// Generous against real query latencies (milliseconds); tight enough
+/// that a stalled leader cannot wedge followers.
+pub(crate) const FLIGHT_WAIT: Duration = Duration::from_secs(2);
+
+/// A finished reply: the serialized `Response` frame payload, written
+/// verbatim on a hit (and spliced verbatim into batch reply frames).
+pub(crate) struct CachedReply {
+    pub(crate) bytes: Arc<Vec<u8>>,
+}
+
+enum FlightState {
+    Pending,
+    /// Leader finished. `None` means it has nothing to share (the reply
+    /// was an error, or the leader bailed) — followers execute themselves.
+    Done(Option<Arc<CachedReply>>),
+}
+
+/// A single-flight slot: the leader executes and publishes, followers
+/// wait here.
+pub(crate) struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight { state: Mutex::new(FlightState::Pending), cv: Condvar::new() }
+    }
+
+    fn publish(&self, reply: Option<Arc<CachedReply>>) {
+        *self.state.lock().expect("flight lock") = FlightState::Done(reply);
+        self.cv.notify_all();
+    }
+
+    /// Wait for the leader's reply up to `timeout`; `None` on timeout or
+    /// when the leader had nothing to share.
+    pub(crate) fn wait(&self, timeout: Duration) -> Option<Arc<CachedReply>> {
+        let guard = self.state.lock().expect("flight lock");
+        let (guard, _) = self
+            .cv
+            .wait_timeout_while(guard, timeout, |s| matches!(s, FlightState::Pending))
+            .expect("flight lock");
+        match &*guard {
+            FlightState::Pending => None,
+            FlightState::Done(reply) => reply.clone(),
+        }
+    }
+}
+
+enum Slot {
+    Done(Arc<CachedReply>),
+    Pending(Arc<Flight>),
+}
+
+struct CacheInner {
+    generation: u64,
+    entries: HashMap<String, Slot>,
+}
+
+/// What a cache lookup decided for this request.
+pub(crate) enum Lookup {
+    /// A finished reply at the current generation: serve it, execute
+    /// nothing, estimate nothing.
+    Hit(Arc<CachedReply>),
+    /// An identical query is executing right now: wait on its flight.
+    Join(Arc<Flight>),
+    /// This caller leads: execute, then [`ResultCache::complete`].
+    Lead(Arc<Flight>),
+    /// Cache disabled or full: execute without caching.
+    Bypass,
+}
+
+/// The per-tenant cache. All state behind one mutex held only for map
+/// operations — never across an execution.
+pub(crate) struct ResultCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl ResultCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            inner: Mutex::new(CacheInner { generation: 0, entries: HashMap::new() }),
+        }
+    }
+
+    /// Look `key` up at `generation`. The first lookup after a generation
+    /// bump clears every entry (they were computed against retired data).
+    pub(crate) fn begin(&self, generation: u64, key: &str) -> Lookup {
+        if self.capacity == 0 {
+            return Lookup::Bypass;
+        }
+        let mut inner = self.inner.lock().expect("result cache lock");
+        if inner.generation != generation {
+            inner.entries.clear();
+            inner.generation = generation;
+        }
+        match inner.entries.get(key) {
+            Some(Slot::Done(reply)) => Lookup::Hit(Arc::clone(reply)),
+            Some(Slot::Pending(flight)) => Lookup::Join(Arc::clone(flight)),
+            None => {
+                if inner.entries.len() >= self.capacity {
+                    return Lookup::Bypass;
+                }
+                let flight = Arc::new(Flight::new());
+                inner.entries.insert(key.to_string(), Slot::Pending(Arc::clone(&flight)));
+                Lookup::Lead(flight)
+            }
+        }
+    }
+
+    /// Leader completion: hand `reply` to waiting followers, and persist
+    /// it only while the generation it was computed at is still current
+    /// (otherwise the entry was already cleared — let it go). `None`
+    /// un-publishes the pending slot: error replies are shared with
+    /// nobody and cached nowhere.
+    pub(crate) fn complete(
+        &self,
+        generation: u64,
+        key: &str,
+        flight: &Flight,
+        reply: Option<Arc<CachedReply>>,
+    ) {
+        flight.publish(reply.clone());
+        let mut inner = self.inner.lock().expect("result cache lock");
+        if inner.generation == generation {
+            match reply {
+                Some(r) => inner.entries.insert(key.to_string(), Slot::Done(r)),
+                None => inner.entries.remove(key),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reply(tag: u64) -> Arc<CachedReply> {
+        Arc::new(CachedReply { bytes: Arc::new(vec![tag as u8]) })
+    }
+
+    #[test]
+    fn hit_after_lead_and_complete() {
+        let cache = ResultCache::new(8);
+        let flight = match cache.begin(1, "q") {
+            Lookup::Lead(f) => f,
+            _ => panic!("first lookup must lead"),
+        };
+        // A concurrent identical request joins the pending flight.
+        assert!(matches!(cache.begin(1, "q"), Lookup::Join(_)));
+        cache.complete(1, "q", &flight, Some(reply(7)));
+        match cache.begin(1, "q") {
+            Lookup::Hit(r) => assert_eq!(*r.bytes, vec![7u8]),
+            _ => panic!("completed entry must hit"),
+        }
+        // The flight now answers followers instantly.
+        assert!(flight.wait(Duration::from_millis(1)).is_some());
+    }
+
+    #[test]
+    fn generation_bump_clears_everything() {
+        let cache = ResultCache::new(8);
+        let flight = match cache.begin(1, "q") {
+            Lookup::Lead(f) => f,
+            _ => panic!(),
+        };
+        cache.complete(1, "q", &flight, Some(reply(1)));
+        assert!(matches!(cache.begin(1, "q"), Lookup::Hit(_)));
+        // New generation: the entry is gone, the caller leads again.
+        assert!(matches!(cache.begin(2, "q"), Lookup::Lead(_)));
+    }
+
+    #[test]
+    fn stale_completion_is_not_persisted() {
+        let cache = ResultCache::new(8);
+        let flight = match cache.begin(1, "q") {
+            Lookup::Lead(f) => f,
+            _ => panic!(),
+        };
+        // The store moved on while the leader executed…
+        assert!(matches!(cache.begin(2, "other"), Lookup::Lead(_)));
+        cache.complete(1, "q", &flight, Some(reply(1)));
+        // …followers still got the reply, but nothing was cached under
+        // the retired generation.
+        assert!(flight.wait(Duration::from_millis(1)).is_some());
+        assert!(matches!(cache.begin(2, "q"), Lookup::Lead(_)));
+    }
+
+    #[test]
+    fn error_replies_are_shared_with_nobody() {
+        let cache = ResultCache::new(8);
+        let flight = match cache.begin(1, "q") {
+            Lookup::Lead(f) => f,
+            _ => panic!(),
+        };
+        cache.complete(1, "q", &flight, None);
+        assert!(flight.wait(Duration::from_millis(1)).is_none());
+        assert!(matches!(cache.begin(1, "q"), Lookup::Lead(_)));
+    }
+
+    #[test]
+    fn capacity_zero_disables_and_full_bypasses() {
+        let cache = ResultCache::new(0);
+        assert!(matches!(cache.begin(1, "q"), Lookup::Bypass));
+
+        let cache = ResultCache::new(1);
+        let flight = match cache.begin(1, "a") {
+            Lookup::Lead(f) => f,
+            _ => panic!(),
+        };
+        assert!(matches!(cache.begin(1, "b"), Lookup::Bypass));
+        cache.complete(1, "a", &flight, Some(reply(1)));
+        assert!(matches!(cache.begin(1, "a"), Lookup::Hit(_)));
+    }
+}

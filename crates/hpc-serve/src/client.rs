@@ -182,6 +182,44 @@ impl Client {
         recv_message(&mut self.stream)
     }
 
+    /// Pipeline `requests` on this session: write every frame
+    /// back-to-back, then collect the replies in order. The server
+    /// processes a session's frames sequentially, so pipelining changes
+    /// *when* frames travel (one write burst, one read burst — a single
+    /// round trip of latency for N requests) but not what they return.
+    ///
+    /// Any transport error abandons the remaining replies: after a torn
+    /// read the stream is no longer frame-aligned and the session should
+    /// be dropped, exactly as for [`Client::request`].
+    pub fn request_pipelined(
+        &mut self,
+        requests: &[Request],
+    ) -> Result<Vec<Response>, FrameError> {
+        for request in requests {
+            send_message(&mut self.stream, request)?;
+        }
+        let mut replies = Vec::with_capacity(requests.len());
+        for _ in requests {
+            replies.push(recv_message(&mut self.stream)?);
+        }
+        Ok(replies)
+    }
+
+    /// Run `entries` as one [`Request::Batch`] frame and unwrap the
+    /// per-entry replies. The outer reply is an `Err` when it was not a
+    /// `Batch` — a whole-frame refusal (`Overloaded`, `BadRequest` for an
+    /// empty or oversized batch) or a protocol failure.
+    pub fn request_batch(&mut self, entries: Vec<Request>) -> Result<Vec<Response>, Box<Response>> {
+        match self.request(&Request::Batch { entries }) {
+            Ok(Response::Batch { entries }) => Ok(entries),
+            Ok(other) => Err(Box::new(other)),
+            Err(e) => Err(Box::new(Response::error(
+                crate::protocol::ErrorKind::Protocol,
+                e.to_string(),
+            ))),
+        }
+    }
+
     /// `Windows` convenience: returns the window list, or the reply that
     /// was not one (typed errors included) as the `Err` side.
     pub fn windows(

@@ -35,9 +35,29 @@
 //! - [`chaos`] — a deterministic TCP man-in-the-middle injecting latency,
 //!   stalls, partial frames and disconnects from a seeded fault plan, so
 //!   the resilience claims above are *tested*, not asserted.
+//!
+//! Read-path scale-out (protocol v3):
+//!
+//! - **Epoch-published snapshots** — query evaluation goes through the
+//!   store's immutable [`hpc_tsdb::ReadView`] whenever it is current, so
+//!   a query storm takes no shard locks against the live writer.
+//! - **Generation-keyed result cache with single-flight** — per-tenant
+//!   reply caching invalidated by every store mutation, with identical
+//!   concurrent queries coalescing behind one execution (see
+//!   `server`-internal machinery; counters surface per tenant in
+//!   [`TenantSnapshot`] and in aggregate in [`Introspection`]).
+//! - **Pipelined batches** — [`Request::Batch`] runs many data queries
+//!   under one admission slot and one round trip;
+//!   [`Client::request_pipelined`] overlaps whole frames on one session.
+//!
+//! Every cached, coalesced or batched reply is byte-identical to what the
+//! uncached sequential path would have produced — caches store the exact
+//! serialized frame payload, and the proptests in `tests/serve_cache.rs`
+//! hold that equivalence as the oracle.
 
 #![warn(missing_docs)]
 
+mod cache;
 pub mod chaos;
 pub mod client;
 pub mod protocol;
@@ -49,8 +69,8 @@ pub use chaos::{ChaosPlan, ChaosProxy, ChaosStats};
 pub use client::{Client, ClientConfig, ConnectError};
 pub use protocol::{
     DeadlineRead, ErrorKind, FrameError, Introspection, Request, Response, TenantSnapshot,
-    WireGap, WireGroup, WireOp, WireQueryStats, WireSeries, WireWindow, MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    WireGap, WireGroup, WireOp, WireQueryStats, WireSeries, WireWindow, MAX_BATCH_LEN,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 pub use resilient::{ResilientClient, ResilientError, RetryPolicy, RetryStats};
 pub use server::{DrainStats, IngestProbe, Server, ServerConfig};

@@ -39,12 +39,19 @@ use std::time::{Duration, Instant};
 
 /// Protocol version spoken by this build; bumped on any wire change.
 /// v2 added `retry_after_ms` to error frames and the `Timeout` /
-/// `Draining` error kinds.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// `Draining` error kinds. v3 added the [`Request::Batch`] /
+/// [`Response::Batch`] pipelined frames and the per-tenant result-cache
+/// counters in [`TenantSnapshot`] / [`Introspection`].
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Hard ceiling on a frame's payload length, in bytes. A length prefix
 /// above this is a protocol error and the frame is never read.
 pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Hard ceiling on sub-queries in one [`Request::Batch`] frame. Keeps a
+/// single frame from monopolising its in-flight admission slot and bounds
+/// the reply frame against [`MAX_FRAME_LEN`].
+pub const MAX_BATCH_LEN: usize = 256;
 
 /// Why a frame could not be read or written.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -358,6 +365,19 @@ pub enum Request {
     /// Server-side observability: per-tenant counters, latency
     /// percentiles, store query stats, live ingest rejection count.
     Introspect,
+    /// v3: several data queries in one frame. Entries must be data-query
+    /// shapes (`Aggregate`, `Windows`, `Group`, `Gap`) — control frames
+    /// and nested batches are refused per entry with a typed error, never
+    /// by killing the whole frame. The batch occupies **one** in-flight
+    /// admission slot (it executes sequentially server-side) while every
+    /// entry is billed individually: per-entry scan-budget checks,
+    /// per-entry served/latency accounting, per-entry typed errors in the
+    /// matching [`Response::Batch`] slot. At most [`MAX_BATCH_LEN`]
+    /// entries; an empty batch is a `BadRequest`.
+    Batch {
+        /// Sub-queries, answered in order.
+        entries: Vec<Request>,
+    },
 }
 
 /// One aligned window on the wire.
@@ -481,6 +501,14 @@ pub struct TenantSnapshot {
     pub p95_us: u64,
     /// 99th-percentile latency, microseconds.
     pub p99_us: u64,
+    /// Queries answered from this tenant's generation-keyed result cache
+    /// (no execution, no scan-budget estimate).
+    pub result_cache_hits: u64,
+    /// Queries that executed and (where cacheable) populated the cache.
+    pub result_cache_misses: u64,
+    /// Queries that joined an identical in-flight execution and shared
+    /// its reply (single-flight coalescing).
+    pub coalesced: u64,
     /// Store work attributed to this tenant (chunks decoded vs cache
     /// hits, samples scanned), folded total-order-safely from per-query
     /// deltas.
@@ -505,6 +533,12 @@ pub struct Introspection {
     pub draining: bool,
     /// Live rejected-ingest count from the attached probe (0 without one).
     pub ingest_rejected: u64,
+    /// Result-cache hits summed across every tenant.
+    pub result_cache_hits: u64,
+    /// Result-cache misses summed across every tenant.
+    pub result_cache_misses: u64,
+    /// Single-flight coalesced queries summed across every tenant.
+    pub coalesced_queries: u64,
     /// Store-wide query counters since server start.
     pub store: WireQueryStats,
     /// Per-tenant breakdown, sorted by tenant name.
@@ -575,6 +609,13 @@ pub enum Response {
     },
     /// Reply to `Introspect`.
     Stats(Introspection),
+    /// Reply to `Batch`: one entry per sub-query, in request order. A
+    /// failed entry is a [`Response::Error`] in its slot; the other
+    /// entries still carry their answers.
+    Batch {
+        /// Per-entry replies, aligned with the request's entries.
+        entries: Vec<Response>,
+    },
     /// Typed failure; the session stays open except for handshake,
     /// protocol, timeout-eviction and draining errors.
     Error {
@@ -674,6 +715,45 @@ mod tests {
         match back {
             Response::Aggregate { value_bits, .. } => {
                 assert!(f64::from_bits(value_bits).is_nan());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_frames_round_trip() {
+        let req = Request::Batch {
+            entries: vec![
+                Request::Aggregate { series: "facility".into(), from: 0, to: 3600, op: WireOp::Mean },
+                Request::Gap { series: "cabinet.3".into(), from: 0, to: 900 },
+            ],
+        };
+        let mut buf = Vec::new();
+        send_message(&mut buf, &req).unwrap();
+        match recv_message::<Request>(&mut buf.as_slice()).unwrap() {
+            Request::Batch { entries } => {
+                assert_eq!(entries.len(), 2);
+                assert!(matches!(entries[0], Request::Aggregate { .. }));
+                assert!(matches!(entries[1], Request::Gap { .. }));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let resp = Response::Batch {
+            entries: vec![
+                Response::Aggregate { value_bits: 42u64, plan: "HourRollup".into() },
+                Response::error(ErrorKind::UnknownSeries, "unknown series \"nope\""),
+            ],
+        };
+        let mut buf = Vec::new();
+        send_message(&mut buf, &resp).unwrap();
+        match recv_message::<Response>(&mut buf.as_slice()).unwrap() {
+            Response::Batch { entries } => {
+                assert!(matches!(entries[0], Response::Aggregate { value_bits: 42, .. }));
+                assert!(matches!(
+                    entries[1],
+                    Response::Error { kind: ErrorKind::UnknownSeries, .. }
+                ));
             }
             other => panic!("wrong variant: {other:?}"),
         }

@@ -327,6 +327,28 @@ impl ResilientClient {
             }
         }
     }
+
+    /// Run `entries` as one pipelined [`Request::Batch`] frame under the
+    /// full retry machinery, unwrapping the per-entry replies.
+    ///
+    /// Retry safety: every batchable entry is a read-only data query, so
+    /// re-sending the whole frame is as safe as re-sending one query.
+    /// Whole-frame refusals (`Overloaded` with a hint, `Draining`,
+    /// eviction) retry exactly like single requests; *per-entry* typed
+    /// errors are results, not refusals — they come back in their slot
+    /// and are never retried here.
+    pub fn request_batch(
+        &mut self,
+        entries: Vec<Request>,
+    ) -> Result<Vec<Response>, ResilientError> {
+        match self.request(&Request::Batch { entries })? {
+            Response::Batch { entries } => Ok(entries),
+            other => Err(ResilientError::Refused {
+                kind: ErrorKind::Protocol,
+                message: format!("expected a Batch reply, got {other:?}"),
+            }),
+        }
+    }
 }
 
 /// Sort one typed server refusal into the retry-safety matrix.

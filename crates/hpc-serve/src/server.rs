@@ -10,9 +10,33 @@
 //!
 //! Dispatch order per request: frame decode → (handshake state) →
 //! in-flight admission → parameter validation → series resolution →
-//! scan-budget check → execution. Everything before execution is O(1), so
-//! a rejected request costs the server almost nothing — that is the point
-//! of admission control.
+//! result-cache lookup → scan-budget check → execution. Everything before
+//! execution is O(1), so a rejected request costs the server almost
+//! nothing — that is the point of admission control.
+//!
+//! ## Read-path scale-out
+//!
+//! Three mechanisms keep a query storm off the ingest path:
+//!
+//! * **Epoch-published snapshots** — store reads go through
+//!   [`TsdbStore::with_series_read`], which evaluates against the last
+//!   published immutable [`hpc_tsdb::ReadView`] whenever it is still at
+//!   the current store generation, taking no shard lock at all. The
+//!   serving campaign republishes the view each ingest step.
+//! * **Generation-keyed result cache with single-flight** — each tenant
+//!   caches finished data-query replies keyed by the request's canonical
+//!   serialisation and stamped with the store generation; any mutation
+//!   bumps the generation and the next lookup drops the lot. Identical
+//!   concurrent queries coalesce behind one execution. A cache hit is
+//!   answered from the *stored reply bytes*, so it is byte-identical to a
+//!   fresh execution, skips the scan-budget estimate entirely (the same
+//!   tenant already paid that check for the same bytes at the same
+//!   generation), and costs the tenant no scan budget.
+//! * **Pipelined batches** — a v3 [`Request::Batch`] carries up to
+//!   [`MAX_BATCH_LEN`] data queries in one frame under a *single*
+//!   in-flight admission slot; every entry is still billed (budget,
+//!   served/rejected counters, cache) individually, and a failed entry is
+//!   a typed [`Response::Error`] in its slot without poisoning the rest.
 //!
 //! ## Time-based defenses
 //!
@@ -28,14 +52,16 @@
 //! `Draining` frame, let in-flight requests finish up to a deadline, then
 //! force-close the stragglers.
 
+use crate::cache::{CachedReply, Lookup, FLIGHT_WAIT};
 use crate::protocol::{
-    decode_message, read_frame_deadline, send_message, DeadlineRead, ErrorKind, FrameError,
-    Introspection, Request, Response, WireGap, WireGroup, WireQueryStats, WireSeries, WireWindow,
-    PROTOCOL_VERSION,
+    decode_message, read_frame_deadline, send_message, write_frame, DeadlineRead, ErrorKind,
+    FrameError, Introspection, Request, Response, WireGap, WireGroup, WireQueryStats, WireSeries,
+    WireWindow, MAX_BATCH_LEN, PROTOCOL_VERSION,
 };
 use crate::session::{AdmissionConfig, GlobalAdmission, Reject, TenantState, TimeoutConfig};
 use hpc_tsdb::{
-    fanout_group, store_aggregate, store_gap_aggregate, store_windows, SeriesId, TsdbStore,
+    fanout_group, store_aggregate, store_gap_aggregate, store_windows, QueryStats, SeriesId,
+    TsdbStore,
 };
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
@@ -116,13 +142,18 @@ impl Inner {
             .find(|(n, _)| n == name)
             .map(|&(_, b)| b)
             .unwrap_or(self.admission.default_budget);
-        let t = Arc::new(TenantState::new(name.to_string(), budget));
+        let t = Arc::new(TenantState::new(
+            name.to_string(),
+            budget,
+            self.admission.result_cache_capacity,
+        ));
         tenants.insert(name.to_string(), Arc::clone(&t));
         t
     }
 
     fn introspection(&self) -> Introspection {
         let ingest_rejected = self.ingest_probe.lock().as_ref().map_or(0, |p| p());
+        let tenants: Vec<_> = self.tenants.lock().values().map(|t| t.snapshot()).collect();
         Introspection {
             server: self.name.clone(),
             protocol_version: PROTOCOL_VERSION,
@@ -131,8 +162,11 @@ impl Inner {
             sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
             draining: self.draining.load(Ordering::Acquire),
             ingest_rejected,
+            result_cache_hits: tenants.iter().map(|t| t.result_cache_hits).sum(),
+            result_cache_misses: tenants.iter().map(|t| t.result_cache_misses).sum(),
+            coalesced_queries: tenants.iter().map(|t| t.coalesced).sum(),
             store: WireQueryStats::from(self.store.query_stats()),
-            tenants: self.tenants.lock().values().map(|t| t.snapshot()).collect(),
+            tenants,
         }
     }
 
@@ -324,6 +358,28 @@ fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
     Response::error(kind, message)
 }
 
+/// A reply ready to go back to the peer. `Raw` carries the exact frame
+/// payload a previous execution serialized — cache hits and coalesced
+/// joins send it verbatim, which is what makes a cached reply
+/// byte-identical to a fresh one *by construction* rather than by
+/// re-serialisation luck. `Frame` is an already-assembled payload (a
+/// batch reply spliced together from its entries' serialized bytes).
+enum Reply {
+    Msg(Response),
+    Raw(Arc<CachedReply>),
+    Frame(Vec<u8>),
+}
+
+impl Reply {
+    fn write(&self, stream: &mut TcpStream) -> Result<(), FrameError> {
+        match self {
+            Reply::Msg(response) => send_message(stream, response),
+            Reply::Raw(cached) => write_frame(stream, &cached.bytes),
+            Reply::Frame(payload) => write_frame(stream, payload),
+        }
+    }
+}
+
 /// Receive one request frame under `deadline`, or decide the session's
 /// fate: `Ok(None)` means the session should end (the peer closed, was
 /// evicted, was told to drain, or poisoned the framing — any owed error
@@ -449,8 +505,8 @@ fn serve_session(inner: &Inner, tenant: &TenantState, stream: &mut TcpStream) {
         else {
             return;
         };
-        let response = dispatch(inner, tenant, request);
-        match send_message(stream, &response) {
+        let reply = dispatch(inner, tenant, request);
+        match reply.write(stream) {
             Ok(()) => {}
             Err(FrameError::Timeout { .. }) => {
                 // The peer stopped draining replies — a write-side
@@ -466,12 +522,12 @@ fn serve_session(inner: &Inner, tenant: &TenantState, stream: &mut TcpStream) {
 /// Route one post-handshake request. `Ping`, `ListSeries` and `Introspect`
 /// bypass query admission — observability must keep answering precisely
 /// when the server is saturated enough to reject real queries.
-fn dispatch(inner: &Inner, tenant: &TenantState, request: Request) -> Response {
+fn dispatch(inner: &Inner, tenant: &TenantState, request: Request) -> Reply {
     match request {
         Request::Hello { .. } => {
-            error(ErrorKind::BadRequest, "session already completed its handshake")
+            Reply::Msg(error(ErrorKind::BadRequest, "session already completed its handshake"))
         }
-        Request::Ping => Response::Pong,
+        Request::Ping => Reply::Msg(Response::Pong),
         Request::ListSeries => {
             let entries = inner
                 .store
@@ -485,36 +541,99 @@ fn dispatch(inner: &Inner, tenant: &TenantState, request: Request) -> Response {
                     samples,
                 })
                 .collect();
-            Response::Series { entries }
+            Reply::Msg(Response::Series { entries })
         }
-        Request::Introspect => Response::Stats(inner.introspection()),
+        Request::Introspect => Reply::Msg(Response::Stats(inner.introspection())),
         query => admit_and_run(inner, tenant, query),
     }
 }
 
-/// Take both in-flight slots, run the query, release in reverse order.
-fn admit_and_run(inner: &Inner, tenant: &TenantState, query: Request) -> Response {
+/// Take both in-flight slots, run the query (or the whole batch — a batch
+/// frame occupies exactly one slot), release in reverse order.
+fn admit_and_run(inner: &Inner, tenant: &TenantState, query: Request) -> Reply {
     if !inner.global.try_begin_query() {
         tenant.record_rejected(Reject::InFlight);
-        return Response::retryable_error(
+        return Reply::Msg(Response::retryable_error(
             ErrorKind::Overloaded,
             "server in-flight query limit reached",
             inner.admission.retry_after_ms,
-        );
+        ));
     }
     if !tenant.try_begin_query() {
         inner.global.end_query();
         tenant.record_rejected(Reject::InFlight);
-        return Response::retryable_error(
+        return Reply::Msg(Response::retryable_error(
             ErrorKind::Overloaded,
             "tenant in-flight query limit reached",
             inner.admission.retry_after_ms,
-        );
+        ));
     }
-    let response = run_query(inner, tenant, query);
+    let reply = match query {
+        Request::Batch { entries } => run_batch(inner, tenant, entries),
+        query => run_query(inner, tenant, query),
+    };
     tenant.end_query();
     inner.global.end_query();
-    response
+    reply
+}
+
+/// Run one admitted batch. The frame as a whole was admitted under one
+/// in-flight slot; each entry is still billed individually — its own
+/// scan-budget check, its own cache lookup, its own served/rejected
+/// counters. Per-entry failures are typed errors in their slot; the
+/// other entries still answer.
+fn run_batch(inner: &Inner, tenant: &TenantState, entries: Vec<Request>) -> Reply {
+    if entries.is_empty() {
+        return Reply::Msg(error(ErrorKind::BadRequest, "batch must carry at least one query"));
+    }
+    if entries.len() > MAX_BATCH_LEN {
+        return Reply::Msg(error(
+            ErrorKind::BadRequest,
+            format!("batch of {} entries exceeds the {MAX_BATCH_LEN}-entry limit", entries.len()),
+        ));
+    }
+    let replies: Vec<Reply> = entries
+        .into_iter()
+        .map(|entry| match entry {
+            Request::Aggregate { .. }
+            | Request::Windows { .. }
+            | Request::Group { .. }
+            | Request::Gap { .. } => run_query(inner, tenant, entry),
+            _ => Reply::Msg(error(
+                ErrorKind::BadRequest,
+                "batch entries must be data queries (Aggregate, Windows, Group or Gap)",
+            )),
+        })
+        .collect();
+
+    // Splice the reply frame straight from the entries' serialized bytes
+    // (`serde_json::to_string` is compact and externally tagged, so
+    // `{"Batch":{"entries":[a,b,…]}}` around entry payloads is exactly
+    // what serialising `Response::Batch` would emit — asserted by the
+    // batch-vs-singles byte-identity tests). A warm batch therefore never
+    // re-serialises its cached entries.
+    let mut payload = String::from("{\"Batch\":{\"entries\":[");
+    for (i, reply) in replies.iter().enumerate() {
+        if i > 0 {
+            payload.push(',');
+        }
+        let entry_json = match reply {
+            Reply::Raw(cached) => std::str::from_utf8(&cached.bytes).ok().map(String::from),
+            Reply::Msg(response) => serde_json::to_string(response).ok(),
+            Reply::Frame(_) => None, // nested batches are rejected above
+        };
+        match entry_json {
+            Some(json) => payload.push_str(&json),
+            // Unspliceable entries cannot occur (every payload came from
+            // the serializer); if one does, surface it typed in its slot.
+            None => payload.push_str(
+                "{\"Error\":{\"kind\":\"Protocol\",\"message\":\
+                 \"entry reply could not be serialised\",\"retry_after_ms\":null}}",
+            ),
+        }
+    }
+    payload.push_str("]}}");
+    Reply::Frame(payload.into_bytes())
 }
 
 /// Estimated samples a `[from, to)` scan of `id` will touch, mirroring
@@ -533,92 +652,183 @@ fn estimate_scan(
     allow_rollup: bool,
 ) -> u64 {
     store
-        .with_series(id, |s| hpc_tsdb::estimate_scan(s, from, to, op, allow_rollup))
+        .with_series_read(id, |s| hpc_tsdb::estimate_scan(s, from, to, op, allow_rollup))
         .unwrap_or(0)
 }
 
-/// Run one admitted query end to end: validate, resolve, budget-check,
-/// execute under latency + `QueryStats` delta measurement, and fold the
-/// delta into the tenant (saturating — see `QueryStats::delta_since`).
-fn run_query(inner: &Inner, tenant: &TenantState, query: Request) -> Response {
-    let store = &inner.store;
+/// Validate one data query's shape and resolve its series names, with the
+/// exact error replies the pre-cache dispatch produced. No cost is
+/// estimated here — estimation belongs to execution, which a cache hit
+/// skips entirely.
+fn validate_resolve(store: &TsdbStore, query: &Request) -> Result<Vec<SeriesId>, Box<Response>> {
     // Validation first: `store_windows` panics on a bad step/range by
     // contract, so the server must refuse those shapes as `BadRequest`
     // before they reach the store.
-    let (resolved, estimate) = match &query {
-        Request::Aggregate { series, from, to, op } => {
+    match query {
+        Request::Aggregate { series, from, to, .. } | Request::Gap { series, from, to } => {
             if from > to {
-                return error(ErrorKind::BadRequest, "window range reversed (from > to)");
+                return Err(Box::new(error(ErrorKind::BadRequest, "window range reversed (from > to)")));
             }
             match store.lookup(series) {
-                Some(id) => (vec![id], estimate_scan(store, id, *from, *to, (*op).into(), true)),
-                None => return error(ErrorKind::UnknownSeries, format!("no series {series:?}")),
+                Some(id) => Ok(vec![id]),
+                None => Err(Box::new(error(ErrorKind::UnknownSeries, format!("no series {series:?}")))),
             }
         }
-        Request::Gap { series, from, to } => {
-            if from > to {
-                return error(ErrorKind::BadRequest, "window range reversed (from > to)");
-            }
-            // Gap queries need individual samples for coverage, so rollup
-            // short-cuts (and zone pruning) never apply to them.
-            match store.lookup(series) {
-                Some(id) => {
-                    (vec![id], estimate_scan(store, id, *from, *to, hpc_tsdb::AggOp::Mean, false))
-                }
-                None => return error(ErrorKind::UnknownSeries, format!("no series {series:?}")),
-            }
-        }
-        Request::Windows { series, from, to, step, op } => {
+        Request::Windows { series, from, to, step, .. } => {
             if *step <= 0 {
-                return error(ErrorKind::BadRequest, "window step must be positive");
+                return Err(Box::new(error(ErrorKind::BadRequest, "window step must be positive")));
             }
             if from > to {
-                return error(ErrorKind::BadRequest, "window range reversed (from > to)");
+                return Err(Box::new(error(ErrorKind::BadRequest, "window range reversed (from > to)")));
             }
             match store.lookup(series) {
-                Some(id) => {
-                    let windows = ((to - from) as u64).div_ceil(*step as u64);
-                    let est = estimate_scan(store, id, *from, *to, (*op).into(), true);
-                    (vec![id], est.saturating_add(windows))
-                }
-                None => return error(ErrorKind::UnknownSeries, format!("no series {series:?}")),
+                Some(id) => Ok(vec![id]),
+                None => Err(Box::new(error(ErrorKind::UnknownSeries, format!("no series {series:?}")))),
             }
         }
         Request::Group { series, from, to } => {
             if from > to {
-                return error(ErrorKind::BadRequest, "window range reversed (from > to)");
+                return Err(Box::new(error(ErrorKind::BadRequest, "window range reversed (from > to)")));
             }
             // Unresolved names keep a sentinel id so the reply's `missing`
             // count matches an in-process evaluation of the same names.
-            let ids: Vec<SeriesId> = series
-                .iter()
-                .map(|n| store.lookup(n).unwrap_or(SeriesId(u64::MAX)))
-                .collect();
-            let est = ids.iter().fold(0u64, |acc, &id| {
-                acc.saturating_add(estimate_scan(store, id, *from, *to, hpc_tsdb::AggOp::Mean, true))
-            });
-            (ids, est)
+            Ok(series.iter().map(|n| store.lookup(n).unwrap_or(SeriesId(u64::MAX))).collect())
         }
         _ => unreachable!("non-query requests are dispatched before admission"),
+    }
+}
+
+/// Estimated samples an already-validated query will touch, mirroring the
+/// query planner ([`hpc_tsdb::estimate_scan`]).
+fn estimate_request(store: &TsdbStore, query: &Request, ids: &[SeriesId]) -> u64 {
+    match query {
+        Request::Aggregate { from, to, op, .. } => {
+            estimate_scan(store, ids[0], *from, *to, (*op).into(), true)
+        }
+        // Gap queries need individual samples for coverage, so rollup
+        // short-cuts (and zone pruning) never apply to them.
+        Request::Gap { from, to, .. } => {
+            estimate_scan(store, ids[0], *from, *to, hpc_tsdb::AggOp::Mean, false)
+        }
+        Request::Windows { from, to, step, op, .. } => {
+            let windows = ((to - from) as u64).div_ceil(*step as u64);
+            estimate_scan(store, ids[0], *from, *to, (*op).into(), true).saturating_add(windows)
+        }
+        Request::Group { from, to, .. } => ids.iter().fold(0u64, |acc, &id| {
+            acc.saturating_add(estimate_scan(store, id, *from, *to, hpc_tsdb::AggOp::Mean, true))
+        }),
+        _ => unreachable!("non-query requests are dispatched before admission"),
+    }
+}
+
+/// Run one admitted query end to end: validate, resolve, consult the
+/// tenant's result cache, and — on a miss — budget-check, execute under
+/// latency + `QueryStats` delta measurement, and fold the delta into the
+/// tenant (saturating — see `QueryStats::delta_since`).
+///
+/// The cache lookup sits *after* validation and resolution (so malformed
+/// requests keep their exact error replies and are never cached) and
+/// *before* the scan-budget estimate (a hit executes nothing, so it
+/// should cost nothing — the tenant already paid the budget check for
+/// these bytes at this generation). Per-tenant caches make that sound:
+/// a tenant can only ever hit entries its own budget admitted.
+fn run_query(inner: &Inner, tenant: &TenantState, query: Request) -> Reply {
+    let store = &inner.store;
+    let started = Instant::now();
+    let resolved = match validate_resolve(store, &query) {
+        Ok(ids) => ids,
+        Err(response) => return Reply::Msg(*response),
     };
+
+    // The cache key is the request's canonical serialisation — the same
+    // struct-shaped JSON the wire uses, so two requests share a key iff
+    // they are the same query. The generation is sampled *before* the
+    // lookup: if the store mutates after this point the bump makes the
+    // entry we are about to read or write unreachable, never wrong.
+    let generation = store.generation();
+    let Ok(key) = serde_json::to_string(&query) else {
+        // Unserialisable requests cannot exist (they just arrived as
+        // JSON); if one does, serve it uncached.
+        return execute_measured(inner, tenant, &resolved, query, started).0;
+    };
+    match tenant.cache.begin(generation, &key) {
+        Lookup::Hit(reply) => {
+            tenant.record_cache_hit();
+            tenant.record_served(elapsed_us(started), &QueryStats::default());
+            Reply::Raw(reply)
+        }
+        Lookup::Join(flight) => match flight.wait(FLIGHT_WAIT) {
+            Some(reply) => {
+                tenant.record_coalesced();
+                tenant.record_served(elapsed_us(started), &QueryStats::default());
+                Reply::Raw(reply)
+            }
+            // The leader timed out or had nothing shareable: execute for
+            // ourselves, uncached. Coalescing is an optimisation, never a
+            // correctness dependency.
+            None => {
+                tenant.record_cache_miss();
+                execute_measured(inner, tenant, &resolved, query, started).0
+            }
+        },
+        Lookup::Lead(flight) => {
+            tenant.record_cache_miss();
+            let (reply, shareable) = execute_measured(inner, tenant, &resolved, query, started);
+            tenant.cache.complete(generation, &key, &flight, shareable);
+            reply
+        }
+        Lookup::Bypass => {
+            tenant.record_cache_miss();
+            execute_measured(inner, tenant, &resolved, query, started).0
+        }
+    }
+}
+
+fn elapsed_us(started: Instant) -> f64 {
+    started.elapsed().as_secs_f64() * 1e6
+}
+
+/// The uncached tail of `run_query`: scan-budget check, execution,
+/// latency + stats accounting. Also returns the reply in shareable form
+/// (`None` for budget rejections and error replies — those are never
+/// cached and never handed to coalesced followers).
+fn execute_measured(
+    inner: &Inner,
+    tenant: &TenantState,
+    resolved: &[SeriesId],
+    query: Request,
+    started: Instant,
+) -> (Reply, Option<Arc<CachedReply>>) {
+    let store = &inner.store;
+    let estimate = estimate_request(store, &query, resolved);
     if let Err(reject) = tenant.check_scan_budget(estimate) {
         tenant.record_rejected(reject);
         let Reject::ScanBudget { estimated, limit } = reject else { unreachable!() };
         // Deliberately no retry hint: the same query will cost the same
         // scan tomorrow — retrying cannot help.
-        return error(
+        let response = error(
             ErrorKind::Overloaded,
             format!("estimated scan of {estimated} samples exceeds per-query budget {limit}"),
         );
+        return (Reply::Msg(response), None);
     }
 
     let before = store.query_stats();
-    let started = Instant::now();
-    let response = execute(store, &resolved, query);
-    let latency_us = started.elapsed().as_secs_f64() * 1e6;
+    let response = execute(store, resolved, query);
     let delta = store.query_stats().delta_since(&before);
-    tenant.record_served(latency_us, &delta);
-    response
+    tenant.record_served(elapsed_us(started), &delta);
+    if matches!(response, Response::Error { .. }) {
+        return (Reply::Msg(response), None);
+    }
+    // Serialize once: these bytes are both this reply's frame payload and
+    // the cached payload every later hit sends verbatim.
+    match serde_json::to_string(&response) {
+        Ok(json) => {
+            let cached = Arc::new(CachedReply { bytes: Arc::new(json.into_bytes()) });
+            (Reply::Raw(Arc::clone(&cached)), Some(cached))
+        }
+        Err(_) => (Reply::Msg(response), None),
+    }
 }
 
 /// The store calls themselves. `ids` came from `run_query`'s resolution.

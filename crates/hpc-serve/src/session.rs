@@ -13,6 +13,7 @@
 //! Every rejection is graceful: a typed `Overloaded` response on an
 //! otherwise healthy session, which stays open for cheaper queries.
 
+use crate::cache::ResultCache;
 use crate::protocol::{TenantSnapshot, WireQueryStats};
 use hpc_tsdb::QueryStats;
 use parking_lot::Mutex;
@@ -94,6 +95,10 @@ pub struct AdmissionConfig {
     /// as other work completes. Scan-budget rejections carry no hint:
     /// retrying the identical query can never succeed.
     pub retry_after_ms: u64,
+    /// Distinct data-query results each tenant's result cache may hold at
+    /// one generation. `0` disables result caching (and with it
+    /// single-flight coalescing) entirely.
+    pub result_cache_capacity: usize,
 }
 
 impl Default for AdmissionConfig {
@@ -104,6 +109,7 @@ impl Default for AdmissionConfig {
             default_budget: TenantBudget::default(),
             tenant_budgets: Vec::new(),
             retry_after_ms: 25,
+            result_cache_capacity: 256,
         }
     }
 }
@@ -139,12 +145,18 @@ pub(crate) struct TenantState {
     rejected_overloaded: AtomicU64,
     rejected_budget: AtomicU64,
     protocol_errors: AtomicU64,
+    result_cache_hits: AtomicU64,
+    result_cache_misses: AtomicU64,
+    coalesced: AtomicU64,
     latency_us: Mutex<Histogram>,
     query: Mutex<QueryStats>,
+    /// Generation-keyed result cache; per-tenant, so cached replies can
+    /// never cross tenant (and therefore budget) boundaries.
+    pub(crate) cache: ResultCache,
 }
 
 impl TenantState {
-    pub(crate) fn new(name: String, budget: TenantBudget) -> Self {
+    pub(crate) fn new(name: String, budget: TenantBudget, cache_capacity: usize) -> Self {
         TenantState {
             name,
             budget,
@@ -154,8 +166,12 @@ impl TenantState {
             rejected_overloaded: AtomicU64::new(0),
             rejected_budget: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            result_cache_hits: AtomicU64::new(0),
+            result_cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             latency_us: Mutex::new(Histogram::new(0.0, LATENCY_HI_US, LATENCY_BINS)),
             query: Mutex::new(QueryStats::default()),
+            cache: ResultCache::new(cache_capacity),
         }
     }
 
@@ -207,6 +223,24 @@ impl TenantState {
         self.protocol_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A data query answered from the result cache (no execution, no
+    /// scan-budget charge).
+    pub(crate) fn record_cache_hit(&self) {
+        self.result_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A data query that had to execute (cache miss, bypass, or a join
+    /// whose leader had nothing to share).
+    pub(crate) fn record_cache_miss(&self) {
+        self.result_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A data query that joined an in-flight identical execution and was
+    /// served the leader's reply.
+    pub(crate) fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> TenantSnapshot {
         let (p50, p95, p99) = {
             let h = self.latency_us.lock();
@@ -224,6 +258,9 @@ impl TenantState {
             rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
             rejected_budget: self.rejected_budget.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            result_cache_hits: self.result_cache_hits.load(Ordering::Relaxed),
+            result_cache_misses: self.result_cache_misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             p50_us: p50,
             p95_us: p95,
             p99_us: p99,
@@ -314,6 +351,7 @@ mod tests {
         let t = TenantState::new(
             "acme".into(),
             TenantBudget { max_sessions: 1, max_in_flight: 2, max_samples_per_query: 100 },
+            8,
         );
         assert!(t.try_open_session());
         assert!(!t.try_open_session(), "session cap is 1");

@@ -1,0 +1,508 @@
+//! Read-path scale-out invariants: the generation-keyed result cache,
+//! single-flight coalescing, and the v3 `Batch` frame.
+//!
+//! The load-bearing claims, each tested here:
+//!
+//! - **Caching is invisible.** A cached reply is byte-identical to a
+//!   fresh sequential replay, and a generation bump (ingest, seal,
+//!   compaction) always invalidates — a client can never read retired
+//!   data out of the cache (property test over interleaved mutations).
+//! - **Tenant isolation.** Caches are per-tenant: a small-budget tenant
+//!   asking the exact query a big-budget tenant just cached gets its own
+//!   budget rejection, never the big tenant's reply.
+//! - **Coalescing shares bytes, not errors.** Concurrent identical
+//!   queries collapse onto one execution and all receive the same bytes.
+//! - **Batch framing is exact.** A `Batch` reply is, at the raw-frame
+//!   level, the single-query reply payloads spliced into the batch
+//!   envelope — warm or cold — with typed per-entry errors for control
+//!   frames and per-entry scan-budget billing.
+
+use hpc_serve::protocol::{read_frame, send_message};
+use hpc_serve::{
+    Client, ErrorKind, Request, Response, Server, ServerConfig, TenantBudget, WireOp,
+    MAX_BATCH_LEN, PROTOCOL_VERSION,
+};
+use hpc_tsdb::faults::DetRng;
+use hpc_tsdb::{
+    fanout_group, store_aggregate, store_gap_aggregate, store_windows, SeriesId, SeriesMeta,
+    TsdbStore,
+};
+use proptest::prelude::*;
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+
+const INTERVAL: i64 = 60;
+
+fn meta(i: usize) -> SeriesMeta {
+    SeriesMeta { name: format!("cab.{i}"), unit: "kW".into(), interval_hint: INTERVAL }
+}
+
+/// Deterministic sample value for (stream, index), NaN payloads included
+/// so bit-identity is tested on values JSON cannot carry.
+fn value(rng: &mut DetRng, i: usize) -> f64 {
+    if i % 89 == 7 {
+        f64::from_bits(0xFFF8_0000_0000_0001)
+    } else {
+        140.0 + rng.below(100_000) as f64 * 0.001
+    }
+}
+
+/// Ingest `count` samples per series starting at sample index `from_idx`;
+/// the rng is re-seeded and fast-forwarded so any prefix/suffix split
+/// reproduces the same stream.
+fn ingest(store: &TsdbStore, ids: &[SeriesId], seed: u64, from_idx: usize, count: usize) {
+    for (s, &id) in ids.iter().enumerate() {
+        let mut rng = DetRng::new(seed ^ (s as u64).wrapping_mul(0x5851_F42D_4C95_7F2D));
+        for i in 0..from_idx {
+            let _ = value(&mut rng, i);
+        }
+        for i in from_idx..from_idx + count {
+            store.append(id, i as i64 * INTERVAL, value(&mut rng, i));
+        }
+    }
+}
+
+/// Sequential oracle: the reply the server is specified to send for
+/// `req`, computed in-process against a private store.
+fn oracle(store: &TsdbStore, ids: &[SeriesId], req: &Request) -> Response {
+    match req {
+        Request::Aggregate { series, from, to, op } => {
+            let id = store.lookup(series).expect("oracle series");
+            let (value, plan) =
+                store_aggregate(store, id, *from, *to, (*op).into()).expect("oracle aggregate");
+            Response::Aggregate { value_bits: value.to_bits(), plan: format!("{plan:?}") }
+        }
+        Request::Windows { series, from, to, step, op } => {
+            let id = store.lookup(series).expect("oracle series");
+            let windows =
+                store_windows(store, id, *from, *to, *step, (*op).into()).expect("oracle windows");
+            Response::Windows {
+                windows: windows
+                    .into_iter()
+                    .map(|w| hpc_serve::WireWindow {
+                        start: w.start,
+                        value_bits: w.value.to_bits(),
+                        count: w.count,
+                    })
+                    .collect(),
+            }
+        }
+        Request::Group { from, to, .. } => {
+            let g = fanout_group(store, ids, *from, *to);
+            Response::Group(hpc_serve::WireGroup {
+                series: g.series as u64,
+                missing: g.missing as u64,
+                sum_of_means_bits: g.sum_of_means.to_bits(),
+                mean_of_means_bits: g.mean_of_means().to_bits(),
+                total_count: g.total.count,
+            })
+        }
+        Request::Gap { series, from, to } => {
+            let id = store.lookup(series).expect("oracle series");
+            let v = store_gap_aggregate(store, id, *from, *to).expect("oracle gap");
+            Response::Gap(hpc_serve::WireGap {
+                count: v.agg.count,
+                mean_bits: v.agg.mean().to_bits(),
+                expected: v.expected,
+                coverage_bits: v.coverage.to_bits(),
+                quarantined: v.quarantined,
+            })
+        }
+        other => panic!("oracle cannot evaluate {other:?}"),
+    }
+}
+
+/// A small mixed workload over `[0, horizon)`.
+fn build_queries(n_series: usize, horizon: i64) -> Vec<Request> {
+    let all: Vec<String> = (0..n_series).map(|i| format!("cab.{i}")).collect();
+    vec![
+        Request::Aggregate { series: "cab.0".into(), from: 0, to: horizon, op: WireOp::Mean },
+        Request::Windows {
+            series: "cab.1".into(),
+            from: 0,
+            to: horizon,
+            step: 3600,
+            op: WireOp::Max,
+        },
+        Request::Group { series: all, from: 0, to: horizon },
+        Request::Gap { series: "cab.0".into(), from: 0, to: horizon },
+        Request::Aggregate { series: "cab.1".into(), from: 60, to: horizon - 60, op: WireOp::P95 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Rounds of mutation (ingest growing the series, seals as chunks
+    /// fill, one compaction round) interleaved with repeated queries:
+    /// after every mutation the served replies must equal a fresh
+    /// sequential replay of the *current* data — i.e. a generation bump
+    /// always invalidates the cache — while repeats within a quiet round
+    /// must be served from cache (hits observed via introspection).
+    #[test]
+    fn generation_bump_always_invalidates(
+        seed in 0u64..1_000_000,
+        n_series in 2usize..5,
+        prefix_len in 150usize..400,
+        growth in 40usize..160,
+    ) {
+        let live = TsdbStore::default();
+        let ids: Vec<SeriesId> = (0..n_series).map(|i| live.register(meta(i))).collect();
+        ingest(&live, &ids, seed, 0, prefix_len);
+        live.publish_view();
+
+        let mut server = Server::start(live.clone(), ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr(), "prop").expect("connect");
+
+        let mut len = prefix_len;
+        for round in 0..3usize {
+            // Fresh replay of exactly the live store's current content.
+            let frozen = TsdbStore::default();
+            let frozen_ids: Vec<SeriesId> =
+                (0..n_series).map(|i| frozen.register(meta(i))).collect();
+            ingest(&frozen, &frozen_ids, seed, 0, len);
+
+            let horizon = len as i64 * INTERVAL;
+            for query in build_queries(n_series, horizon) {
+                let want = serde_json::to_string(&oracle(&frozen, &frozen_ids, &query)).unwrap();
+                // Twice: the first answer populates the cache, the second
+                // must come out of it — both must match the fresh replay.
+                for pass in 0..2 {
+                    let reply = client.request(&query).expect("request");
+                    let got = serde_json::to_string(&reply).unwrap();
+                    prop_assert_eq!(
+                        &got, &want,
+                        "round {} pass {} diverged from fresh replay: {:?}",
+                        round, pass, query
+                    );
+                }
+            }
+
+            // Mutate for the next round: more samples (sealing chunks as
+            // they fill), and a compaction pass on the middle round.
+            ingest(&live, &ids, seed, len, growth);
+            len += growth;
+            if round == 1 {
+                live.compact();
+            }
+            live.publish_view();
+        }
+
+        // The repeats above were real cache hits, not re-executions.
+        let intro = server.introspect();
+        prop_assert!(intro.result_cache_hits > 0, "no cache hit was ever served");
+        let t = intro.tenants.iter().find(|t| t.tenant == "prop").expect("tenant");
+        prop_assert_eq!(t.rejected_overloaded + t.rejected_budget, 0);
+        prop_assert_eq!(t.protocol_errors, 0);
+        server.shutdown();
+    }
+
+    /// A tenant with a tiny scan budget issues the exact query a
+    /// big-budget tenant just executed and cached. Caches are per-tenant:
+    /// the small tenant must be billed against *its* budget and refused
+    /// `Overloaded`, never handed the big tenant's cached bytes.
+    #[test]
+    fn cache_never_leaks_across_tenant_budgets(
+        seed in 0u64..1_000_000,
+        n_series in 2usize..4,
+    ) {
+        let len = 600usize;
+        let live = TsdbStore::default();
+        let ids: Vec<SeriesId> = (0..n_series).map(|i| live.register(meta(i))).collect();
+        ingest(&live, &ids, seed, 0, len);
+        live.publish_view();
+
+        let mut config = ServerConfig::default();
+        config.admission.tenant_budgets.push((
+            "starved".into(),
+            TenantBudget { max_samples_per_query: 8, ..TenantBudget::default() },
+        ));
+        let mut server = Server::start(live.clone(), config).unwrap();
+        let addr = server.local_addr();
+
+        // Unaligned bounds force a raw scan estimated far above 8 samples.
+        let query = Request::Aggregate {
+            series: "cab.0".into(),
+            from: 1,
+            to: len as i64 * INTERVAL - 1,
+            op: WireOp::Mean,
+        };
+
+        let mut rich = Client::connect(addr, "rich").expect("connect rich");
+        let first = rich.request(&query).expect("rich request");
+        prop_assert!(matches!(first, Response::Aggregate { .. }), "rich got {first:?}");
+        // Same query again: now served from rich's cache.
+        let again = rich.request(&query).expect("rich repeat");
+        prop_assert_eq!(
+            serde_json::to_string(&again).unwrap(),
+            serde_json::to_string(&first).unwrap()
+        );
+
+        let mut starved = Client::connect(addr, "starved").expect("connect starved");
+        let refused = starved.request(&query).expect("starved request");
+        match refused {
+            Response::Error { kind: ErrorKind::Overloaded, retry_after_ms: None, .. } => {}
+            other => prop_assert!(false, "starved tenant got {other:?} instead of a budget rejection"),
+        }
+
+        let intro = server.introspect();
+        let rich_t = intro.tenants.iter().find(|t| t.tenant == "rich").expect("rich tenant");
+        let starved_t =
+            intro.tenants.iter().find(|t| t.tenant == "starved").expect("starved tenant");
+        prop_assert_eq!(rich_t.served, 2);
+        prop_assert_eq!(rich_t.result_cache_hits, 1);
+        prop_assert_eq!(starved_t.served, 0);
+        prop_assert_eq!(starved_t.rejected_budget, 1);
+        prop_assert_eq!(starved_t.result_cache_hits, 0);
+        server.shutdown();
+    }
+}
+
+/// Concurrent identical queries on a cold key collapse onto one
+/// execution (single-flight) and every session receives the same bytes.
+/// Each round appends a sample first, bumping the generation so the key
+/// is cold again; with several sessions racing a multi-series query on
+/// the same key, coalescing fires within a few rounds.
+#[test]
+fn coalesced_followers_get_the_leaders_bytes() {
+    const SESSIONS: usize = 6;
+    let len = 2_000usize;
+    let live = TsdbStore::default();
+    let ids: Vec<SeriesId> = (0..4).map(|i| live.register(meta(i))).collect();
+    ingest(&live, &ids, 42, 0, len);
+    live.publish_view();
+
+    let mut server = Server::start(live.clone(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let query = Request::Group {
+        series: (0..4).map(|i| format!("cab.{i}")).collect(),
+        from: 1,
+        to: len as i64 * INTERVAL,
+    };
+
+    let mut rounds = 0usize;
+    while server.introspect().coalesced_queries == 0 {
+        rounds += 1;
+        assert!(rounds <= 60, "coalescing never observed in {rounds} rounds");
+        // Bump the generation: the next lookups are cold and must race.
+        live.append(ids[0], (len + rounds) as i64 * INTERVAL, 1.0);
+        let barrier = Arc::new(Barrier::new(SESSIONS));
+        let replies: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..SESSIONS)
+                .map(|_| {
+                    let barrier = Arc::clone(&barrier);
+                    let query = query.clone();
+                    s.spawn(move || {
+                        let mut client = Client::connect(addr, "herd").expect("connect");
+                        barrier.wait();
+                        let reply = client.request(&query).expect("request");
+                        serde_json::to_string(&reply).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("session panicked")).collect()
+        });
+        for r in &replies {
+            assert_eq!(r, &replies[0], "concurrent identical queries diverged");
+        }
+    }
+
+    let intro = server.introspect();
+    assert!(intro.coalesced_queries > 0);
+    // Every query was answered exactly once, whichever path served it.
+    let t = intro.tenants.iter().find(|t| t.tenant == "herd").expect("tenant");
+    assert_eq!(
+        t.result_cache_hits + t.result_cache_misses + t.coalesced,
+        t.served,
+        "cache counters must partition served queries"
+    );
+    server.shutdown();
+}
+
+/// Raw-frame handshake helper for the splice tests: `Client` would parse
+/// replies, and these tests must see the exact payload bytes.
+fn raw_session(addr: std::net::SocketAddr, tenant: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    send_message(&mut stream, &Request::Hello { version: PROTOCOL_VERSION, tenant: tenant.into() })
+        .expect("hello");
+    let ack = read_frame(&mut stream).expect("hello ack");
+    assert!(
+        std::str::from_utf8(&ack).unwrap().contains("HelloAck"),
+        "handshake refused: {}",
+        String::from_utf8_lossy(&ack)
+    );
+    stream
+}
+
+fn raw_request(stream: &mut TcpStream, req: &Request) -> Vec<u8> {
+    send_message(stream, req).expect("send");
+    read_frame(stream).expect("reply frame")
+}
+
+/// The batch envelope is exact splicing: a `Batch` reply payload must be
+/// byte-for-byte the single-query reply payloads joined inside
+/// `{"Batch":{"entries":[…]}}` — cold (every entry executes) and warm
+/// (every entry comes out of the cache) alike. This pins the envelope the
+/// server splices cached bytes into; if the serialized shape of
+/// `Response::Batch` ever drifts, this test fails before a client does.
+#[test]
+fn batch_reply_is_exact_splice_of_single_replies() {
+    let len = 500usize;
+    let live = TsdbStore::default();
+    let ids: Vec<SeriesId> = (0..3).map(|i| live.register(meta(i))).collect();
+    ingest(&live, &ids, 7, 0, len);
+    live.publish_view();
+
+    let mut server = Server::start(live.clone(), ServerConfig::default()).unwrap();
+    let queries = build_queries(3, len as i64 * INTERVAL);
+
+    // Singles first on one tenant: these replies populate nothing the
+    // batch tenant can see, so the batch below is a cold execution.
+    let mut single = raw_session(server.local_addr(), "single");
+    let singles: Vec<Vec<u8>> = queries.iter().map(|q| raw_request(&mut single, q)).collect();
+
+    let mut spliced = b"{\"Batch\":{\"entries\":[".to_vec();
+    for (i, payload) in singles.iter().enumerate() {
+        if i > 0 {
+            spliced.push(b',');
+        }
+        spliced.extend_from_slice(payload);
+    }
+    spliced.extend_from_slice(b"]}}");
+
+    let mut batcher = raw_session(server.local_addr(), "batcher");
+    let batch = Request::Batch { entries: queries.clone() };
+    let cold = raw_request(&mut batcher, &batch);
+    assert_eq!(
+        cold,
+        spliced,
+        "cold batch frame is not the spliced singles:\n got {}\nwant {}",
+        String::from_utf8_lossy(&cold),
+        String::from_utf8_lossy(&spliced)
+    );
+    // Again on the now-warm cache: every entry is served as stored bytes.
+    let warm = raw_request(&mut batcher, &batch);
+    assert_eq!(warm, spliced, "warm batch frame diverged from the cold one");
+
+    let intro = server.introspect();
+    let t = intro.tenants.iter().find(|t| t.tenant == "batcher").expect("tenant");
+    assert_eq!(t.result_cache_hits, queries.len() as u64);
+    server.shutdown();
+}
+
+/// Control frames and nested batches inside a batch are refused per
+/// entry with a typed `BadRequest` — the other entries still answer.
+/// Empty and oversized batches are refused as a whole.
+#[test]
+fn batch_entry_errors_are_typed_and_isolated() {
+    let len = 300usize;
+    let live = TsdbStore::default();
+    let ids: Vec<SeriesId> = (0..2).map(|i| live.register(meta(i))).collect();
+    ingest(&live, &ids, 3, 0, len);
+    live.publish_view();
+
+    let mut server = Server::start(live.clone(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr(), "mixed").expect("connect");
+
+    let good = Request::Aggregate {
+        series: "cab.0".into(),
+        from: 0,
+        to: len as i64 * INTERVAL,
+        op: WireOp::Mean,
+    };
+    let entries = client
+        .request_batch(vec![
+            good.clone(),
+            Request::Ping,
+            Request::Batch { entries: vec![good.clone()] },
+            Request::ListSeries,
+            good.clone(),
+        ])
+        .expect("batch reply");
+    assert_eq!(entries.len(), 5);
+    assert!(matches!(entries[0], Response::Aggregate { .. }));
+    for bad in [&entries[1], &entries[2], &entries[3]] {
+        match bad {
+            Response::Error { kind: ErrorKind::BadRequest, .. } => {}
+            other => panic!("control entry answered {other:?} instead of BadRequest"),
+        }
+    }
+    // The two good entries are the same query: the second is a hit and
+    // both carry identical bytes.
+    assert_eq!(
+        serde_json::to_string(&entries[0]).unwrap(),
+        serde_json::to_string(&entries[4]).unwrap()
+    );
+
+    // Whole-frame refusals: empty and oversized.
+    match client.request_batch(Vec::new()) {
+        Err(boxed) => {
+            assert!(matches!(*boxed, Response::Error { kind: ErrorKind::BadRequest, .. }))
+        }
+        Ok(entries) => panic!("empty batch answered {entries:?}"),
+    }
+    let oversized = vec![good; MAX_BATCH_LEN + 1];
+    match client.request_batch(oversized) {
+        Err(boxed) => {
+            assert!(matches!(*boxed, Response::Error { kind: ErrorKind::BadRequest, .. }))
+        }
+        Ok(entries) => panic!("oversized batch answered {} entries", entries.len()),
+    }
+    server.shutdown();
+}
+
+/// Scan budgets are billed per batch entry: an entry estimated over the
+/// tenant's budget is refused `Overloaded` in its slot while its
+/// neighbours answer, and the tenant is billed one served per answered
+/// entry and one budget rejection for the refused one.
+#[test]
+fn batch_entries_are_billed_individually() {
+    let len = 2_000usize;
+    let live = TsdbStore::default();
+    let ids: Vec<SeriesId> = (0..2).map(|i| live.register(meta(i))).collect();
+    ingest(&live, &ids, 11, 0, len);
+    live.publish_view();
+
+    let mut config = ServerConfig::default();
+    // Enough for a short unaligned scan (estimates round up to chunk
+    // granularity, ~512 here), nowhere near the full 2 000-sample range.
+    config.admission.default_budget.max_samples_per_query = 1_000;
+    let mut server = Server::start(live.clone(), config).unwrap();
+    let mut client = Client::connect(server.local_addr(), "billed").expect("connect");
+
+    let small = Request::Aggregate {
+        series: "cab.0".into(),
+        from: 1,
+        to: 90 * INTERVAL + 1,
+        op: WireOp::Mean,
+    };
+    // Per-minute windows over the whole range: the estimate is billed
+    // the scan *plus* one slot per window, far past any rollup shortcut.
+    let huge = Request::Windows {
+        series: "cab.0".into(),
+        from: 1,
+        to: len as i64 * INTERVAL - 1,
+        step: INTERVAL,
+        op: WireOp::Mean,
+    };
+    let small2 = Request::Gap { series: "cab.1".into(), from: 1, to: 90 * INTERVAL + 1 };
+
+    let entries = client
+        .request_batch(vec![small, huge, small2])
+        .expect("batch reply");
+    assert!(matches!(entries[0], Response::Aggregate { .. }), "got {:?}", entries[0]);
+    match &entries[1] {
+        Response::Error { kind: ErrorKind::Overloaded, retry_after_ms: None, .. } => {}
+        other => panic!("over-budget entry answered {other:?}"),
+    }
+    assert!(matches!(entries[2], Response::Gap(_)), "got {:?}", entries[2]);
+
+    let intro = server.introspect();
+    let t = intro.tenants.iter().find(|t| t.tenant == "billed").expect("tenant");
+    assert_eq!(t.served, 2);
+    assert_eq!(t.rejected_budget, 1);
+    // All three entries were cold lookups (misses); the refused one was
+    // then stopped by the budget check, so it counts a miss but no serve.
+    assert_eq!(t.result_cache_misses, 3);
+    server.shutdown();
+}

@@ -95,13 +95,13 @@ pub use quality::{
 };
 pub use query::{
     aggregate, aligned_windows, estimate_scan, fanout_aggregate, fanout_group, fanout_windows,
-    segment_means, store_aggregate, store_segment_means, store_windows, window_aggregate, AggOp,
-    GroupValue, Plan, QueryStats, WindowValue,
+    fanout_workers, segment_means, store_aggregate, store_segment_means, store_windows,
+    window_aggregate, AggOp, GroupValue, Plan, QueryStats, WindowValue,
 };
 pub use rollup::Aggregate;
 pub use series::{Series, SeriesMeta};
 pub use store::{
-    CompactionStats, IngestError, IngestPipeline, SeriesId, StoreConfig, TsdbStore,
+    CompactionStats, IngestError, IngestPipeline, ReadView, SeriesId, StoreConfig, TsdbStore,
     COMPACT_TARGET_SAMPLES,
 };
 pub use wal::{recover, RecoveryReport, WalConfig, WalReplayStats, WalWriter};

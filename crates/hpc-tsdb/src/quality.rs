@@ -269,14 +269,16 @@ fn gap_value(series: &Series, from: i64, to: i64) -> GapAwareValue {
 
 /// Gap-aware aggregate of one series over `[from, to)`: moments over the
 /// present samples plus coverage against the series' cadence hint and the
-/// quarantined count. `None` for an unknown id.
+/// quarantined count. `None` for an unknown id. Reads through the
+/// published view when fresh (quarantines bump the store generation, so a
+/// fresh view's quality mask is current), shard lock otherwise.
 pub fn store_gap_aggregate(
     store: &TsdbStore,
     id: SeriesId,
     from: i64,
     to: i64,
 ) -> Option<GapAwareValue> {
-    store.with_series(id, |s| gap_value(s, from, to))
+    store.with_series_read(id, |s| gap_value(s, from, to))
 }
 
 /// Gap-aware aligned windows of width `step` covering `[from, to)`.
@@ -293,7 +295,7 @@ pub fn store_gap_windows(
 ) -> Option<Vec<GapWindow>> {
     assert!(step > 0, "window step must be positive");
     assert!(from <= to, "window range reversed");
-    store.with_series(id, |s| {
+    store.with_series_read(id, |s| {
         let mut out = Vec::new();
         let mut start = from;
         while start < to {

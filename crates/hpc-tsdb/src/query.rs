@@ -11,14 +11,19 @@
 //! ## Locking discipline (store-level queries)
 //!
 //! Store-level entry points ([`store_aggregate`], [`store_windows`], the
-//! `fanout_*` family) evaluate in two phases. Under a **short shard read
-//! lock** they plan, compose rollup buckets, clone the handles of the
-//! sealed chunks a raw scan needs (an `O(1)` refcount bump per chunk) and
-//! copy out the small active chunk. The lock is then released, and all
-//! Gorilla decode — the expensive part — runs lock-free against immutable
-//! sealed chunks, through the store's [`ChunkCache`](crate::cache::ChunkCache).
-//! A query therefore never holds a shard lock across a decode, and
-//! concurrent writers are stalled only for the snapshot instant.
+//! `fanout_*` family) evaluate in two phases. The planning/snapshot phase
+//! reads the series through [`TsdbStore::with_series_read`]: when the
+//! store's published [`ReadView`](crate::ReadView) is still at the current
+//! generation, it runs against the frozen series with **no shard lock at
+//! all**; otherwise it falls back to a **short shard read lock** to plan,
+//! compose rollup buckets, clone the handles of the sealed chunks a raw
+//! scan needs (an `O(1)` refcount bump per chunk) and copy out the small
+//! active chunk. Either way the second phase — all Gorilla decode, the
+//! expensive part — runs lock-free against immutable sealed chunks,
+//! through the store's [`ChunkCache`](crate::cache::ChunkCache). A query
+//! therefore never holds a shard lock across a decode; against a fresh
+//! view it never takes one, and against a stale view concurrent writers
+//! are stalled only for the snapshot instant.
 
 use crate::chunk::Chunk;
 use crate::rollup::Aggregate;
@@ -490,7 +495,7 @@ fn window_aggregate_inner(
 ) -> Option<(Aggregate, Plan)> {
     let counters = store.query_counters();
     counters.record_query();
-    let prep = store.with_series(id, |s| prepare_aggregate(s, from, to, AggOp::Mean))?;
+    let prep = store.with_series_read(id, |s| prepare_aggregate(s, from, to, AggOp::Mean))?;
     Some(match prep {
         Prep::Rollup(agg, plan) => {
             counters.record_plan(plan);
@@ -513,7 +518,7 @@ fn aggregate_inner(
     if op == AggOp::P95 {
         let counters = store.query_counters();
         counters.record_query();
-        let snap = store.with_series(id, |s| raw_snapshot(s, from, to))?;
+        let snap = store.with_series_read(id, |s| raw_snapshot(s, from, to))?;
         counters.record_plan(Plan::RawScan);
         let vals = snapshot_values(store, &snap, from, to);
         return Some((percentile(vals, 95.0), Plan::RawScan));
@@ -541,7 +546,7 @@ fn windows_inner(
         end: i64,
         rollup: Option<(Aggregate, Plan)>,
     }
-    let (windows, snap) = store.with_series(id, |s| {
+    let (windows, snap) = store.with_series_read(id, |s| {
         let mut windows = Vec::new();
         let mut need_raw = false;
         let mut start = from;
@@ -652,6 +657,20 @@ pub fn store_segment_means(
 // Multi-series fan-out
 // ---------------------------------------------------------------------------
 
+/// Number of worker threads the fan-out entry points will actually use
+/// for a fan-out over `n` series: the rayon pool size clamped to the
+/// fan-out width. Benchmarks comparing sequential vs fan-out should
+/// record *this*, not the raw pool size — a 4-series fan-out on a
+/// 64-thread pool runs 4 workers, and any fan-out on a single-core host
+/// runs 1 (sequentially), which makes a speedup comparison meaningless.
+pub fn fanout_workers(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        rayon::current_num_threads().clamp(1, n)
+    }
+}
+
 /// Evaluate `f` for every id, in parallel across rayon worker threads, and
 /// return results in input order. Ids are distributed in contiguous blocks
 /// so adjacent series (which usually live on the same store shard and share
@@ -665,7 +684,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = rayon::current_num_threads().clamp(1, n);
+    let workers = fanout_workers(n);
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     if workers == 1 {

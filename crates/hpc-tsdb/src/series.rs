@@ -37,6 +37,12 @@ pub struct Series {
     /// aggregate is by construction. In-memory diagnostic state; not part
     /// of the snapshot format.
     quarantined: Vec<QuarantinedSample>,
+    /// Monotonic count of mutations (appends, quarantines, compactions).
+    /// [`crate::ReadView`] publication compares it against the previous
+    /// view's stamp to reuse the frozen `Arc<Series>` of an unchanged
+    /// series instead of re-cloning it. Not persisted; a recovered series
+    /// restarts at zero, which only costs one fresh clone.
+    mutations: u64,
 }
 
 impl Series {
@@ -51,6 +57,7 @@ impl Series {
             total: Aggregate::new(),
             chunk_samples: CHUNK_SAMPLES,
             quarantined: Vec::new(),
+            mutations: 0,
         }
     }
 
@@ -154,12 +161,20 @@ impl Series {
             total,
             chunk_samples: CHUNK_SAMPLES,
             quarantined: Vec::new(),
+            mutations: 0,
         }
+    }
+
+    /// Mutations applied to this series so far (appends, quarantines,
+    /// compactions). Used by view publication to detect unchanged series.
+    pub fn mutation_count(&self) -> u64 {
+        self.mutations
     }
 
     /// Record a sample refused by sanitisation into the quality mask. The
     /// sample is *not* stored and contributes to no aggregate.
     pub fn quarantine(&mut self, sample: QuarantinedSample) {
+        self.mutations += 1;
         self.quarantined.push(sample);
     }
 
@@ -183,6 +198,7 @@ impl Series {
     /// # Panics
     /// Panics if `ts` is not strictly after the last appended timestamp.
     pub fn append(&mut self, ts: i64, value: f64) {
+        self.mutations += 1;
         if self.active.len() >= self.chunk_samples {
             let full = std::mem::take(&mut self.active);
             self.sealed.push(full.seal());
@@ -347,6 +363,9 @@ impl Series {
         }
         flush(&mut run, &mut out, &mut rewritten);
         self.sealed = out;
+        if rewritten > 0 {
+            self.mutations += 1;
+        }
         rewritten
     }
 }

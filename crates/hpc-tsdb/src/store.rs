@@ -10,7 +10,7 @@ use crate::wal::WalWriter;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -92,6 +92,53 @@ struct Shard {
     series: HashMap<u64, Series>,
 }
 
+/// One series frozen into a [`ReadView`], stamped with the mutation count
+/// it was cloned at so the next publication can reuse the `Arc` when the
+/// live series has not moved.
+struct ViewEntry {
+    mutations: u64,
+    frozen: Arc<Series>,
+}
+
+/// An immutable, epoch-stamped snapshot of every series in the store.
+///
+/// A view is *published*: built under short per-shard read locks once
+/// ([`TsdbStore::publish_view`]), then handed to readers as a shared
+/// `Arc`. Query evaluation against a view touches no shard lock at all —
+/// sealed chunks inside the frozen series are the same refcounted byte
+/// blocks the writer holds (cloning a [`Series`] bumps `Bytes` refcounts,
+/// it does not copy chunk payloads), and the active tail / rollup state
+/// are plain copies taken at publication.
+///
+/// Freshness is by generation: the store bumps a monotonic counter on
+/// every mutation, and a view answers for reads only while its stamped
+/// generation still equals the store's ([`TsdbStore::with_series_read`]).
+/// The stamp is loaded *before* the shards are walked, so a view stamped
+/// `G` contains at least every mutation counted in `G` — racing extras
+/// land in the view but also bump the generation past `G`, retiring the
+/// view before the extra could ever be served as stale.
+pub struct ReadView {
+    generation: u64,
+    series: HashMap<u64, ViewEntry>,
+}
+
+impl ReadView {
+    /// The store generation this view was stamped with.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Series captured in this view.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// The frozen series for `id`, if it was registered at publication.
+    pub fn get(&self, id: SeriesId) -> Option<&Arc<Series>> {
+        self.series.get(&id.0).map(|e| &e.frozen)
+    }
+}
+
 /// The embedded time-series store. Cheap to share: `TsdbStore` is a handle
 /// over `Arc`ed shards, so clones refer to the same data.
 #[derive(Clone)]
@@ -101,6 +148,20 @@ pub struct TsdbStore {
     next_id: Arc<RwLock<u64>>,
     cache: Arc<ChunkCache>,
     counters: Arc<QueryCounters>,
+    /// Bumped (release) once per mutating call — append, batch, tick,
+    /// quarantine, register, recovery install, compaction. Readers load it
+    /// (acquire) to decide whether the published view is still current and
+    /// result caches key replies on it.
+    generation: Arc<AtomicU64>,
+    /// The most recently published [`ReadView`]. The slot lock is read for
+    /// one `Arc` clone per query and write-locked only at publication — it
+    /// is not a shard lock, so view readers never contend with the writer.
+    view: Arc<RwLock<Arc<ReadView>>>,
+    /// Whether [`Self::publish_view`] has ever run on this store — lets
+    /// maintenance (compaction) refresh the view only on stores that are
+    /// actually serving, instead of cloning every series of a store nobody
+    /// reads through views.
+    view_published: Arc<AtomicBool>,
     config: StoreConfig,
 }
 
@@ -124,8 +185,78 @@ impl TsdbStore {
             next_id: Arc::new(RwLock::new(0)),
             cache: Arc::new(ChunkCache::new(config.chunk_cache_capacity)),
             counters: Arc::new(QueryCounters::default()),
+            generation: Arc::new(AtomicU64::new(0)),
+            view: Arc::new(RwLock::new(Arc::new(ReadView {
+                generation: 0,
+                series: HashMap::new(),
+            }))),
+            view_published: Arc::new(AtomicBool::new(false)),
             config,
         }
+    }
+
+    /// The store's mutation epoch: a monotonic counter bumped once per
+    /// mutating call. Two equal readings with no mutation in between
+    /// guarantee the store answered identically at both instants — the
+    /// key result caches and published views are validated against.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Publish an immutable [`ReadView`] of every series, stamped with the
+    /// generation read *before* the shards are walked (so the stamp is
+    /// conservative — see [`ReadView`]). Series unchanged since the last
+    /// publication are re-shared, not re-cloned. Costs one short read lock
+    /// per shard; meant for epoch boundaries (a campaign serve step, the
+    /// end of a compaction pass), not for per-sample ingest paths.
+    pub fn publish_view(&self) -> Arc<ReadView> {
+        let generation = self.generation();
+        let old = self.view.read().clone();
+        let mut series = HashMap::with_capacity(old.series.len().max(self.series_count()));
+        for shard in self.shards.iter() {
+            let shard = shard.read();
+            for (&id, live) in shard.series.iter() {
+                let entry = match old.series.get(&id) {
+                    Some(e) if e.mutations == live.mutation_count() => {
+                        ViewEntry { mutations: e.mutations, frozen: Arc::clone(&e.frozen) }
+                    }
+                    _ => ViewEntry {
+                        mutations: live.mutation_count(),
+                        frozen: Arc::new(live.clone()),
+                    },
+                };
+                series.insert(id, entry);
+            }
+        }
+        let view = Arc::new(ReadView { generation, series });
+        *self.view.write() = Arc::clone(&view);
+        self.view_published.store(true, Ordering::Release);
+        view
+    }
+
+    /// The most recently published view (the initial view is empty at
+    /// generation 0, which is exactly what an untouched store holds).
+    pub fn read_view(&self) -> Arc<ReadView> {
+        self.view.read().clone()
+    }
+
+    /// Run `f` with read access to a series, preferring the published
+    /// [`ReadView`]: when the view's generation still matches the store's,
+    /// evaluation runs against the frozen series without touching any
+    /// shard lock; otherwise this falls back to [`Self::with_series`]
+    /// (short shard read lock), so answers never go stale. `None` if the
+    /// id is unknown.
+    pub fn with_series_read<R>(&self, id: SeriesId, f: impl FnOnce(&Series) -> R) -> Option<R> {
+        let generation = self.generation();
+        let view = self.view.read().clone();
+        if view.generation == generation {
+            return view.get(id).map(|s| f(s));
+        }
+        self.with_series(id, f)
     }
 
     /// Number of shards.
@@ -174,6 +305,7 @@ impl TsdbStore {
         *next += 1;
         registry.insert(meta.name.clone(), id);
         self.shards[self.shard_of(id)].write().series.insert(id.0, Series::new(meta));
+        self.bump_generation();
         id
     }
 
@@ -219,6 +351,7 @@ impl TsdbStore {
         registry.insert(series.meta().name.clone(), id);
         shard.series.insert(id.0, series);
         *next = (*next).max(id.0 + 1);
+        self.bump_generation();
         true
     }
 
@@ -250,12 +383,15 @@ impl TsdbStore {
     /// Panics if the id is unknown or the timestamp is not strictly
     /// increasing within the series.
     pub fn append(&self, id: SeriesId, ts: i64, value: f64) {
-        let mut shard = self.shards[self.shard_of(id)].write();
-        shard
-            .series
-            .get_mut(&id.0)
-            .unwrap_or_else(|| panic!("unknown series {id:?}"))
-            .append(ts, value);
+        {
+            let mut shard = self.shards[self.shard_of(id)].write();
+            shard
+                .series
+                .get_mut(&id.0)
+                .unwrap_or_else(|| panic!("unknown series {id:?}"))
+                .append(ts, value);
+        }
+        self.bump_generation();
     }
 
     /// Append a batch of `(ts, value)` samples to one series under a
@@ -296,6 +432,8 @@ impl TsdbStore {
         for &(ts, v) in samples {
             series.append(ts, v);
         }
+        drop(shard);
+        self.bump_generation();
         Ok(())
     }
 
@@ -338,8 +476,10 @@ impl TsdbStore {
         for b in &mut buckets {
             b.reserve(per_shard_hint);
         }
+        let mut total = 0u64;
         for (id, ts, v) in samples {
             buckets[(id.0 % n_shards as u64) as usize].push((id.0, ts, v));
+            total += 1;
         }
         let occupied = buckets.iter().filter(|b| !b.is_empty()).count();
         let rejected = AtomicU64::new(0);
@@ -375,7 +515,13 @@ impl TsdbStore {
                 }
             });
         }
-        rejected.load(Ordering::Relaxed)
+        let rejected = rejected.load(Ordering::Relaxed);
+        if total > rejected {
+            // One epoch bump per tick/batch call, not per sample — any
+            // sample landing invalidates views and result caches.
+            self.bump_generation();
+        }
+        rejected
     }
 
     /// Record a refused sample into a series' quality mask (see
@@ -384,6 +530,10 @@ impl TsdbStore {
         let mut shard = self.shards[self.shard_of(id)].write();
         if let Some(series) = shard.series.get_mut(&id.0) {
             series.quarantine(crate::quality::QuarantinedSample { ts, value, reason });
+            drop(shard);
+            // Gap-coverage answers depend on the quality mask, so a
+            // quarantine is a mutation like any other.
+            self.bump_generation();
         }
     }
 
@@ -440,6 +590,16 @@ impl TsdbStore {
             }
         }
         self.counters.add_chunks_compacted(stats.chunks_compacted);
+        if stats.chunks_compacted > 0 {
+            // Compacted series answer bit-identically, but published views
+            // and result caches hold the pre-compaction chunk lists; bump
+            // the epoch so they retire, and refresh the view on stores
+            // that are serving through one.
+            self.bump_generation();
+            if self.view_published.load(Ordering::Acquire) {
+                self.publish_view();
+            }
+        }
         stats
     }
 
@@ -751,6 +911,107 @@ mod tests {
                 assert_eq!(v, (i * 1000) as f64 + t as f64);
             }
         }
+    }
+
+    #[test]
+    fn published_view_serves_fresh_and_retires_on_mutation() {
+        let store = TsdbStore::default();
+        let id = store.register(meta("facility"));
+        for i in 0..100i64 {
+            store.append(id, i * 60, i as f64);
+        }
+        let g1 = store.generation();
+        let view = store.publish_view();
+        assert_eq!(view.generation(), g1);
+        assert_eq!(view.series_count(), 1);
+        // Fresh view: the read helper and the lock path agree exactly.
+        let via_view = store.with_series_read(id, |s| s.scan(i64::MIN, i64::MAX)).unwrap();
+        let via_lock = store.with_series(id, |s| s.scan(i64::MIN, i64::MAX)).unwrap();
+        assert_eq!(via_view, via_lock);
+        assert_eq!(store.with_series_read(SeriesId(99), |_| ()), None);
+        // Any mutation retires the view…
+        store.append(id, 100 * 60, 1.0);
+        assert!(store.generation() > g1, "append must bump the generation");
+        // …and the read helper falls back to the live store, never stale.
+        assert_eq!(store.with_series_read(id, |s| s.len()), Some(101));
+        // Holders of the retired view still see the old world, unchanged.
+        assert_eq!(view.get(id).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn republish_reuses_unchanged_series() {
+        let store = TsdbStore::default();
+        let a = store.register(meta("a"));
+        let b = store.register(meta("b"));
+        store.append(a, 0, 1.0);
+        store.append(b, 0, 2.0);
+        let v1 = store.publish_view();
+        store.append(a, 60, 3.0);
+        let v2 = store.publish_view();
+        assert!(
+            Arc::ptr_eq(v1.get(b).unwrap(), v2.get(b).unwrap()),
+            "untouched series must be re-shared, not re-cloned"
+        );
+        assert!(
+            !Arc::ptr_eq(v1.get(a).unwrap(), v2.get(a).unwrap()),
+            "mutated series must be freshly frozen"
+        );
+        assert_eq!(v2.get(a).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn every_mutating_path_bumps_the_generation() {
+        let store = TsdbStore::default();
+        let g0 = store.generation();
+        let a = store.register(meta("a"));
+        assert!(store.generation() > g0, "register");
+
+        let g = store.generation();
+        store.append(a, 0, 1.0);
+        assert!(store.generation() > g, "append");
+
+        let g = store.generation();
+        store.append_batch(a, &[(60, 2.0), (120, 3.0)]);
+        assert!(store.generation() > g, "append_batch");
+
+        let g = store.generation();
+        assert_eq!(store.append_tick(180, &[(a, 4.0)]), 0);
+        assert!(store.generation() > g, "append_tick");
+
+        // A fully rejected tick mutates nothing and must not invalidate.
+        let g = store.generation();
+        assert_eq!(store.append_tick(180, &[(a, 9.0)]), 1);
+        assert_eq!(store.generation(), g, "rejected tick");
+
+        let g = store.generation();
+        store.quarantine(a, 200, f64::NAN, crate::quality::QuarantineReason::OutOfRange);
+        assert!(store.generation() > g, "quarantine");
+
+        // Quarantine against an unknown id is a no-op, so no bump.
+        let g = store.generation();
+        store.quarantine(SeriesId(99), 200, 0.0, crate::quality::QuarantineReason::OutOfRange);
+        assert_eq!(store.generation(), g, "unknown-id quarantine");
+
+        // Compaction with nothing to rewrite leaves the epoch alone…
+        let g = store.generation();
+        let stats = store.compact();
+        assert_eq!(stats.chunks_compacted, 0);
+        assert_eq!(store.generation(), g, "no-op compaction");
+
+        // …and a real rewrite bumps it (and refreshes a published view).
+        for i in 0..(2 * crate::series::CHUNK_SAMPLES as i64 + 10) {
+            store.append(a, 300 + i, i as f64);
+        }
+        store.publish_view();
+        let g = store.generation();
+        let stats = store.compact();
+        assert!(stats.chunks_compacted > 0);
+        assert!(store.generation() > g, "compaction");
+        assert_eq!(
+            store.read_view().generation(),
+            store.generation(),
+            "compaction must republish a serving store's view"
+        );
     }
 
     #[test]

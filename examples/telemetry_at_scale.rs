@@ -23,8 +23,8 @@ use archer2_repro::prelude::*;
 use archer2_repro::sim::rng::{Rng, Xoshiro256StarStar};
 use archer2_repro::tsdb::query::{aggregate, aligned_windows, AggOp};
 use archer2_repro::tsdb::{
-    fanout_aggregate, fanout_group, recover, store_aggregate, SeriesId, SeriesMeta, StoreConfig,
-    TsdbStore, WalConfig, WalWriter,
+    fanout_aggregate, fanout_group, fanout_workers, recover, store_aggregate, SeriesId,
+    SeriesMeta, StoreConfig, TsdbStore, WalConfig, WalWriter,
 };
 use archer2_repro::workload::OperatingPoint;
 use serde::{Serialize, Value};
@@ -381,7 +381,19 @@ fn persist_benchmark(store: &TsdbStore, ids: &[SeriesId], campaign: &Campaign, s
 /// and warm, plus the grouped facility reduction. Emits
 /// `BENCH_tsdb_query.json`.
 fn query_benchmark(store: &TsdbStore, ids: &[SeriesId], span: i64, smoke: bool) {
-    let threads = rayon::current_num_threads();
+    // The workers the fan-out will *actually* run, not the raw pool size:
+    // recording the pool size here once produced `threads: 64` next to a
+    // single-digit fan-out, and on a single-core host the speedup column
+    // is not a measurement at all.
+    let threads = fanout_workers(ids.len());
+    if threads == 1 {
+        eprintln!(
+            "warning: fan-out comparison running single-threaded \
+             ({} series, 1 worker) — speedup_cold/speedup_warm measure \
+             overhead, not parallelism",
+            ids.len()
+        );
+    }
 
     // Sequential baseline, cold cache.
     store.chunk_cache().clear();
